@@ -1,0 +1,106 @@
+// Command esthera-accuracy regenerates the paper's accuracy artifacts:
+// Figure 6 (estimation error per exchange scheme), Figure 7 (error vs
+// exchanged particle count), Figure 9 (distributed vs centralized
+// overhead), and the ablations of §IV / §III-B (resampling policy, filter
+// variants, estimate operator).
+//
+// Examples:
+//
+//	esthera-accuracy -fig 6
+//	esthera-accuracy -fig 9 -runs 20 -steps 100
+//	esthera-accuracy -exp variants
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"esthera/internal/experiments"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "", "figure: 6, 7, 9 (empty with -exp empty = all)")
+		exp     = flag.String("exp", "", "ablation: policy, variants, estimator, diversity, precision, embedded, closedloop")
+		runs    = flag.Int("runs", 8, "independent runs per configuration (paper: 100)")
+		steps   = flag.Int("steps", 60, "filtering steps per run (paper: 100)")
+		seed    = flag.Uint64("seed", 0xE57, "master seed")
+		joints  = flag.Int("joints", 5, "arm joints")
+		workers = flag.Int("workers", 0, "host device workers (0 = GOMAXPROCS)")
+		csvPath = flag.String("csv", "", "also write the table(s) as CSV to this file")
+	)
+	flag.Parse()
+
+	o := experiments.AccuracyOptions{
+		Steps: *steps, Runs: *runs, Seed: *seed, Joints: *joints, Workers: *workers,
+	}
+
+	var tables []*experiments.Table
+	add := func(ts []*experiments.Table, err error) {
+		if err != nil {
+			fatal(err)
+		}
+		tables = append(tables, ts...)
+	}
+	one := func(t *experiments.Table, err error) {
+		add([]*experiments.Table{t}, err)
+	}
+	figs := map[string]func(){
+		"6": func() { add(experiments.Fig6ExchangeSchemes(o)) },
+		"7": func() { one(experiments.Fig7ExchangeCount(o)) },
+		"9": func() { one(experiments.Fig9DistributedOverhead(o, nil, nil)) },
+	}
+	exps := map[string]func(){
+		"policy":     func() { one(experiments.PolicyAblation(o)) },
+		"variants":   func() { one(experiments.VariantsAblation(o)) },
+		"estimator":  func() { one(experiments.EstimatorAblation(o)) },
+		"diversity":  func() { one(experiments.DiversityAblation(o)) },
+		"precision":  func() { one(experiments.PrecisionAblation(o)) },
+		"embedded":   func() { one(experiments.EmbeddedScaleDown(o)) },
+		"closedloop": func() { one(experiments.ClosedLoopAblation(o)) },
+	}
+	switch {
+	case *fig == "" && *exp == "":
+		for _, k := range []string{"6", "7", "9"} {
+			figs[k]()
+		}
+		for _, k := range []string{"policy", "variants", "estimator", "diversity", "precision", "embedded", "closedloop"} {
+			exps[k]()
+		}
+	case *fig != "":
+		r, ok := figs[*fig]
+		if !ok {
+			fatal(fmt.Errorf("unknown figure %q", *fig))
+		}
+		r()
+	default:
+		r, ok := exps[*exp]
+		if !ok {
+			fatal(fmt.Errorf("unknown ablation %q", *exp))
+		}
+		r()
+	}
+
+	for _, t := range tables {
+		t.Fprint(os.Stdout)
+	}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		for _, t := range tables {
+			fmt.Fprintf(f, "# %s\n", t.Title)
+			if err := t.WriteCSV(f); err != nil {
+				fatal(err)
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "esthera-accuracy:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,128 @@
+// Command esthera-bench regenerates the paper's performance artifacts:
+// Figure 3 (update rate vs particles across platforms), Figures 4a–4c
+// (kernel-time breakdowns) and Figure 5 (RWS vs Vose resampling runtime),
+// plus the Table III platform listing.
+//
+// Platform columns are analytic cost-model predictions driven by the
+// instrumented device kernels (see DESIGN.md §2); host columns are
+// measured Go wall times.
+//
+// Examples:
+//
+//	esthera-bench -fig 3                 # reduced sweep
+//	esthera-bench -fig 3 -full           # paper-scale sweep (1K–2M)
+//	esthera-bench -fig 4a -csv out.csv
+//	esthera-bench -list-platforms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"esthera/internal/experiments"
+	"esthera/internal/platform"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "", "figure to regenerate: 3, 4a, 4b, 4c, 4cpu, 5 (empty = all)")
+		full    = flag.Bool("full", false, "paper-scale sweeps (slow: up to 2M particles)")
+		csvPath = flag.String("csv", "", "also write the table(s) as CSV to this file")
+		list    = flag.Bool("list-platforms", false, "print the Table III platform descriptors and exit")
+		workers = flag.Int("workers", 0, "host device workers (0 = GOMAXPROCS)")
+		rounds  = flag.Int("rounds", 3, "filtering rounds per measurement")
+		subSize = flag.Int("m", 128, "particles per sub-filter")
+		joints  = flag.Int("joints", 5, "arm joints")
+	)
+	flag.Parse()
+
+	if *list {
+		listPlatforms()
+		return
+	}
+
+	o := experiments.PerfOptions{
+		SubFilterSize: *subSize,
+		Rounds:        *rounds,
+		Joints:        *joints,
+		Workers:       *workers,
+	}
+	if !*full {
+		o.Totals = []int{1 << 10, 1 << 13, 1 << 16, 1 << 18}
+	}
+
+	var tables []*experiments.Table
+	add := func(t *experiments.Table, err error) {
+		if err != nil {
+			fatal(err)
+		}
+		tables = append(tables, t)
+	}
+	run := map[string]func(){
+		"3":    func() { add(experiments.Fig3UpdateRate(o)) },
+		"4a":   func() { add(experiments.Fig4aParticlesPerSubFilter(o, fig4aSizes(*full))) },
+		"4b":   func() { add(experiments.Fig4bSubFilters(o, fig4bCounts(*full))) },
+		"4c":   func() { add(experiments.Fig4cStateDims(o, nil)) },
+		"4cpu": func() { add(experiments.Fig4CPUBreakdown(o, nil)) },
+		"5":    func() { add(experiments.Fig5Resampling(o)) },
+	}
+	if *fig == "" {
+		for _, k := range []string{"3", "4a", "4b", "4c", "4cpu", "5"} {
+			run[k]()
+		}
+	} else if r, ok := run[*fig]; ok {
+		r()
+	} else {
+		fatal(fmt.Errorf("unknown figure %q", *fig))
+	}
+
+	for _, t := range tables {
+		t.Fprint(os.Stdout)
+	}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		for _, t := range tables {
+			fmt.Fprintf(f, "# %s\n", t.Title)
+			if err := t.WriteCSV(f); err != nil {
+				fatal(err)
+			}
+		}
+	}
+}
+
+func fig4aSizes(full bool) []int {
+	if full {
+		return []int{32, 64, 128, 256, 512, 1024}
+	}
+	return []int{32, 128, 512}
+}
+
+func fig4bCounts(full bool) []int {
+	if full {
+		return []int{64, 256, 1024, 4096, 8192}
+	}
+	return []int{64, 512, 2048}
+}
+
+func listPlatforms() {
+	t := &experiments.Table{
+		Title: "Table III — hardware platforms",
+		Header: []string{"platform", "type", "units", "clock GHz", "SP GFLOP/s",
+			"mem GB/s", "TDP W", "released"},
+	}
+	for _, p := range platform.Platforms() {
+		t.Append(p.Name, string(p.Kind), p.Units, p.ClockGHz, p.GFlopsSP, p.MemBWGBs, p.TDPWatts, p.Released)
+	}
+	t.Notes = append(t.Notes, "seq-c models the paper's single-core sequential C reference")
+	t.Fprint(os.Stdout)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "esthera-bench:", err)
+	os.Exit(1)
+}

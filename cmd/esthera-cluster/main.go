@@ -1,0 +1,87 @@
+// Command esthera-cluster runs the §IX scale-up experiments: weak
+// scaling of the distributed particle filter over simulated cluster
+// nodes with a network cost model, and node-failure injection.
+//
+// Examples:
+//
+//	esthera-cluster                 # both experiments
+//	esthera-cluster -exp scaling -nodes 1,2,4,8,16
+//	esthera-cluster -exp failure
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"esthera/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment: scaling, failure (empty = both)")
+		nodes   = flag.String("nodes", "1,2,4,8", "comma-separated node counts for -exp scaling")
+		runs    = flag.Int("runs", 4, "runs per configuration")
+		steps   = flag.Int("steps", 60, "steps per run")
+		seed    = flag.Uint64("seed", 0xE57, "master seed")
+		joints  = flag.Int("joints", 5, "arm joints")
+		workers = flag.Int("workers", 0, "host workers")
+	)
+	flag.Parse()
+
+	o := experiments.AccuracyOptions{
+		Steps: *steps, Runs: *runs, Seed: *seed, Joints: *joints, Workers: *workers,
+	}
+	counts, err := parseCounts(*nodes)
+	if err != nil {
+		fatal(err)
+	}
+
+	var tables []*experiments.Table
+	if *exp == "" || *exp == "scaling" {
+		t, err := experiments.ClusterScaling(o, counts)
+		if err != nil {
+			fatal(err)
+		}
+		tables = append(tables, t)
+	}
+	if *exp == "" || *exp == "failure" {
+		t, err := experiments.ClusterFailure(o)
+		if err != nil {
+			fatal(err)
+		}
+		tables = append(tables, t)
+	}
+	if len(tables) == 0 {
+		fatal(fmt.Errorf("unknown experiment %q", *exp))
+	}
+	for _, t := range tables {
+		t.Fprint(os.Stdout)
+	}
+}
+
+func parseCounts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad node count %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no node counts given")
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "esthera-cluster:", err)
+	os.Exit(1)
+}

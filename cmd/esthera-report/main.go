@@ -1,0 +1,125 @@
+// Command esthera-report regenerates the complete evaluation in one run:
+// every figure and table of the paper plus the toolkit's ablations, each
+// written as aligned text and CSV into a report directory. It is the
+// "reproduce everything" entry point referenced by EXPERIMENTS.md.
+//
+// Example:
+//
+//	esthera-report -out report/ -runs 8 -steps 60
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"esthera/internal/experiments"
+)
+
+func main() {
+	var (
+		out     = flag.String("out", "report", "output directory")
+		runs    = flag.Int("runs", 6, "runs per accuracy configuration (paper: 100)")
+		steps   = flag.Int("steps", 50, "steps per run (paper: 100)")
+		seed    = flag.Uint64("seed", 0xE57, "master seed")
+		full    = flag.Bool("full", false, "paper-scale performance sweeps (slow)")
+		workers = flag.Int("workers", 0, "host device workers")
+	)
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	perf := experiments.PerfOptions{Workers: *workers}
+	if !*full {
+		perf.Totals = []int{1 << 10, 1 << 13, 1 << 16, 1 << 18}
+	}
+	acc := experiments.AccuracyOptions{Steps: *steps, Runs: *runs, Seed: *seed, Workers: *workers}
+
+	type job struct {
+		name string
+		run  func() ([]*experiments.Table, error)
+	}
+	one := func(f func() (*experiments.Table, error)) func() ([]*experiments.Table, error) {
+		return func() ([]*experiments.Table, error) {
+			t, err := f()
+			if err != nil {
+				return nil, err
+			}
+			return []*experiments.Table{t}, nil
+		}
+	}
+	jobs := []job{
+		{"fig3-update-rate", one(func() (*experiments.Table, error) { return experiments.Fig3UpdateRate(perf) })},
+		{"fig4a-subfilter-size", one(func() (*experiments.Table, error) { return experiments.Fig4aParticlesPerSubFilter(perf, nil) })},
+		{"fig4b-subfilter-count", one(func() (*experiments.Table, error) { return experiments.Fig4bSubFilters(perf, nil) })},
+		{"fig4c-state-dims", one(func() (*experiments.Table, error) { return experiments.Fig4cStateDims(perf, nil) })},
+		{"fig4-cpu-breakdown", one(func() (*experiments.Table, error) { return experiments.Fig4CPUBreakdown(perf, nil) })},
+		{"fig5-resampling", one(func() (*experiments.Table, error) { return experiments.Fig5Resampling(perf) })},
+		{"fig6-exchange-schemes", func() ([]*experiments.Table, error) { return experiments.Fig6ExchangeSchemes(acc) }},
+		{"fig7-exchange-count", one(func() (*experiments.Table, error) { return experiments.Fig7ExchangeCount(acc) })},
+		{"fig8-trajectory", one(func() (*experiments.Table, error) {
+			res, err := experiments.Fig8Trajectory(acc, 0)
+			if err != nil {
+				return nil, err
+			}
+			return res.Table, nil
+		})},
+		{"fig9-distributed-overhead", one(func() (*experiments.Table, error) { return experiments.Fig9DistributedOverhead(acc, nil, nil) })},
+		{"ablation-policy", one(func() (*experiments.Table, error) { return experiments.PolicyAblation(acc) })},
+		{"ablation-variants", one(func() (*experiments.Table, error) { return experiments.VariantsAblation(acc) })},
+		{"ablation-estimator", one(func() (*experiments.Table, error) { return experiments.EstimatorAblation(acc) })},
+		{"ablation-diversity", one(func() (*experiments.Table, error) { return experiments.DiversityAblation(acc) })},
+		{"ablation-precision", one(func() (*experiments.Table, error) { return experiments.PrecisionAblation(acc) })},
+		{"ablation-embedded", one(func() (*experiments.Table, error) { return experiments.EmbeddedScaleDown(acc) })},
+		{"ablation-closedloop", one(func() (*experiments.Table, error) { return experiments.ClosedLoopAblation(acc) })},
+		{"cluster-scaling", one(func() (*experiments.Table, error) { return experiments.ClusterScaling(acc, nil) })},
+		{"cluster-failure", one(func() (*experiments.Table, error) { return experiments.ClusterFailure(acc) })},
+	}
+
+	summary := &strings.Builder{}
+	fmt.Fprintf(summary, "esthera evaluation report — %s\n", time.Now().Format(time.RFC3339))
+	fmt.Fprintf(summary, "runs=%d steps=%d seed=%#x full=%v\n\n", *runs, *steps, *seed, *full)
+
+	for _, j := range jobs {
+		start := time.Now()
+		tables, err := j.run()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", j.name, err))
+		}
+		for i, t := range tables {
+			base := j.name
+			if len(tables) > 1 {
+				base = fmt.Sprintf("%s-%d", j.name, i+1)
+			}
+			txt, err := os.Create(filepath.Join(*out, base+".txt"))
+			if err != nil {
+				fatal(err)
+			}
+			t.Fprint(txt)
+			txt.Close()
+			csvf, err := os.Create(filepath.Join(*out, base+".csv"))
+			if err != nil {
+				fatal(err)
+			}
+			if err := t.WriteCSV(csvf); err != nil {
+				fatal(err)
+			}
+			csvf.Close()
+			t.Fprint(summary)
+		}
+		fmt.Printf("%-28s %8s\n", j.name, time.Since(start).Round(time.Millisecond))
+	}
+	if err := os.WriteFile(filepath.Join(*out, "REPORT.txt"), []byte(summary.String()), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("report written to %s (%d artifacts + REPORT.txt)\n", *out, 2*len(jobs))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "esthera-report:", err)
+	os.Exit(1)
+}

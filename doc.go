@@ -1,0 +1,28 @@
+// Package esthera is a particle filter toolkit for many-core
+// architectures — a from-scratch Go reproduction of the system described
+// in "Adapting Particle Filter Algorithms to Many-Core Architectures"
+// (Chitchian, van Amesfoort, Simonetto, Keviczky, Sips; IPDPS Workshops
+// 2013), whose CUDA/OpenCL toolkit was also named Esthera.
+//
+// The toolkit separates generic particle filtering from model-specific
+// routines: implement the Model interface (state transition sampling and
+// measurement likelihood) and any of the filters will estimate it.
+//
+// The headline algorithm is a fully distributed particle filter: a
+// network of small sub-filters, each resampling locally and exchanging
+// its best few particles with topological neighbors (ring, 2-D torus, or
+// all-to-all) every round. On the bundled many-core device substrate
+// (work-groups of barrier-phased lanes, one sub-filter per work-group)
+// this design scales to millions of particles; rules of thumb for
+// configuring it are derived in the paper and reproduced by the
+// experiment suite (see DESIGN.md and EXPERIMENTS.md).
+//
+// Quick start:
+//
+//	m, sc, _ := esthera.NewArmScenario(5)       // 5-joint robotic arm
+//	f, _ := esthera.NewFilter(m, esthera.DefaultConfig())
+//	errs, _ := esthera.Track(f, sc, 100, 42)    // per-step position error
+//
+// See the examples directory for complete programs and cmd/ for the
+// experiment drivers.
+package esthera

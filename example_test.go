@@ -1,0 +1,59 @@
+package esthera_test
+
+import (
+	"fmt"
+
+	"esthera"
+)
+
+// The canonical flow: pick a scenario, build the distributed filter with
+// the paper's Table II defaults, track, and inspect the error series.
+func Example() {
+	model, scenario, err := esthera.NewArmScenario(5)
+	if err != nil {
+		panic(err)
+	}
+	cfg := esthera.DefaultConfig()
+	cfg.SubFilters, cfg.ParticlesPerSubFilter = 32, 32 // small for the example
+	filter, err := esthera.NewFilter(model, cfg)
+	if err != nil {
+		panic(err)
+	}
+	errs, err := esthera.Track(filter, scenario, 50, 42)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("steps tracked:", len(errs))
+	// Output: steps tracked: 50
+}
+
+// Filters are interchangeable behind the Filter interface; the same
+// tracking loop drives the centralized reference, the Kalman baselines,
+// or the cluster-partitioned variant.
+func ExampleNewCentralizedFilter() {
+	model, scenario := esthera.NewUNGMScenario(7)
+	filter, err := esthera.NewCentralizedFilter(model, 512, 1)
+	if err != nil {
+		panic(err)
+	}
+	errs, err := esthera.Track(filter, scenario, 25, 3)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(filter.Name(), len(errs))
+	// Output: centralized 25
+}
+
+// Configurations are plain values; invalid combinations are rejected at
+// construction time, not at run time.
+func ExampleNewFilter_validation() {
+	model, _, _ := esthera.NewArmScenario(3)
+	_, err := esthera.NewFilter(model, esthera.Config{
+		SubFilters:            8,
+		ParticlesPerSubFilter: 8,
+		ExchangeScheme:        "ring",
+		ExchangeCount:         4, // ring degree 2 × t=4 = 8 ≥ m: no native particles left
+	})
+	fmt.Println(err != nil)
+	// Output: true
+}

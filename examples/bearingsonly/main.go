@@ -1,0 +1,60 @@
+// Bearings-only tracking: a four-state-variable "small estimation
+// problem" (the class where the paper reports kHz update rates), used
+// here to compare the particle filter against the parametric baselines
+// the paper's introduction contrasts it with: the extended and unscented
+// Kalman filters and the Gaussian particle filter.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"esthera"
+)
+
+func main() {
+	// 60 steps keeps the target within useful triangulation range of the
+	// two sensors; bearings-only accuracy degrades ~quadratically with
+	// range, for every filter alike.
+	const steps = 60
+	model, scenario := esthera.NewBearingsScenario(17)
+	lin, ok := model.(esthera.Linearizable)
+	if !ok {
+		log.Fatal("bearings model must be linearizable")
+	}
+
+	cfg := esthera.DefaultConfig()
+	cfg.SubFilters, cfg.ParticlesPerSubFilter = 32, 64
+	dpf, err := esthera.NewFilter(model, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pf, err := esthera.NewCentralizedFilter(model, 2048, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gpf, err := esthera.NewGaussianFilter(model, 2048, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("filter       mean-err  final-err")
+	for _, f := range []esthera.Filter{
+		dpf, pf, gpf, esthera.NewEKF(lin, 1), esthera.NewUKF(lin, 1),
+	} {
+		errs, err := esthera.Track(f, scenario, steps, 23)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mean := 0.0
+		for _, e := range errs {
+			mean += e
+		}
+		mean /= float64(len(errs))
+		fmt.Printf("%-12s %8.3f  %9.3f\n", f.Name(), mean, errs[len(errs)-1])
+	}
+	fmt.Println("\nOn this near-Gaussian problem all five are competitive —")
+	fmt.Println("the regime where the paper notes parametric filters suffice.")
+	fmt.Println("Rerun the UNGM comparison (esthera-accuracy -exp variants) to")
+	fmt.Println("see the Kalman filters fail on a multimodal posterior.")
+}

@@ -1,0 +1,48 @@
+// Closed-loop control: the particle filter in the loop. A PD controller
+// drives the robotic arm's joints from the filter's state estimates so
+// the end-effector camera keeps the moving object in view — the setting
+// of the paper's companion work on real-time control (Chitchian et al.,
+// IEEE TCST 2013), where estimation rate and accuracy directly determine
+// control quality.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"esthera"
+)
+
+func main() {
+	const steps = 200
+	cfg := esthera.DefaultConfig()
+	cfg.SubFilters, cfg.ParticlesPerSubFilter = 64, 64
+
+	res, err := esthera.RunClosedLoop(5, steps, cfg, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	burn := steps / 4
+	var point, est float64
+	worst := 0.0
+	for i := burn; i < steps; i++ {
+		point += res.PointingErr[i]
+		est += res.EstErr[i]
+		if res.PointingErr[i] > worst {
+			worst = res.PointingErr[i]
+		}
+	}
+	n := float64(steps - burn)
+	fmt.Printf("closed-loop run: %d steps, 5-joint arm, %d particles\n",
+		steps, cfg.SubFilters*cfg.ParticlesPerSubFilter)
+	fmt.Printf("mean pointing error:  %5.1f° (%.3f rad)\n",
+		point/n*180/math.Pi, point/n)
+	fmt.Printf("worst pointing error: %5.1f°\n", worst*180/math.Pi)
+	fmt.Printf("mean estimation error: %.3f m\n", est/n)
+	fmt.Println("\nThe controller never sees the true state — only the filter's")
+	fmt.Println("estimate — so estimation errors feed straight back into the")
+	fmt.Println("plant. This is why the paper pushes estimation rates to")
+	fmt.Println("hundreds of Hz: a slow or inaccurate filter destabilizes the loop.")
+}

@@ -1,0 +1,55 @@
+// Robotic arm tracking: the paper's full application (§VII-A). Sweeps
+// the arm's joint count (and with it the state dimension) and reports
+// how accuracy and host update rate respond, contrasting the distributed
+// filter with a centralized filter of the same total size — a miniature
+// of the Fig. 4c / Fig. 9 story.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"esthera"
+)
+
+func main() {
+	const steps = 80
+	fmt.Println("joints  state-dim  filter        mean-err[m]  host-rate[Hz]")
+	for _, joints := range []int{3, 5, 9} {
+		model, scenario, err := esthera.NewArmScenario(joints)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		cfg := esthera.DefaultConfig()
+		cfg.SubFilters, cfg.ParticlesPerSubFilter = 64, 64
+		distributed, err := esthera.NewFilter(model, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		centralized, err := esthera.NewCentralizedFilter(model, 64*64, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		for _, f := range []esthera.Filter{distributed, centralized} {
+			start := time.Now()
+			errs, err := esthera.Track(f, scenario, steps, 7)
+			if err != nil {
+				log.Fatal(err)
+			}
+			mean := 0.0
+			for _, e := range errs {
+				mean += e
+			}
+			mean /= float64(len(errs))
+			rate := float64(steps) / time.Since(start).Seconds()
+			fmt.Printf("%6d  %9d  %-12s  %11.3f  %13.1f\n",
+				joints, model.StateDim(), f.Name(), mean, rate)
+		}
+	}
+	fmt.Println("\nAs the state dimension grows, model evaluation dominates the")
+	fmt.Println("runtime (Fig. 4c) while the distributed filter keeps pace with")
+	fmt.Println("the centralized one at equal particle counts (Fig. 9).")
+}

@@ -1,0 +1,45 @@
+// Vehicle localization and map matching: the related-work application
+// class the paper discusses (four state variables, particle filter with
+// a road-map prior). Compares the same particle filter with and without
+// map matching: the on-road soft constraint roughly halves the GPS-only
+// localization error.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"esthera"
+)
+
+func main() {
+	const steps = 200
+	run := func(mapMatching bool) float64 {
+		model, scenario := esthera.NewVehicleScenario(mapMatching)
+		cfg := esthera.DefaultConfig()
+		cfg.SubFilters, cfg.ParticlesPerSubFilter = 32, 64
+		filter, err := esthera.NewFilter(model, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		errs, err := esthera.Track(filter, scenario, steps, 99)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mean := 0.0
+		for _, e := range errs {
+			mean += e
+		}
+		return mean / float64(len(errs))
+	}
+
+	plain := run(false)
+	matched := run(true)
+	fmt.Println("vehicle on a 100 m road grid, GPS σ = 8 m, 200 steps")
+	fmt.Printf("GPS-only localization error: %6.2f m\n", plain)
+	fmt.Printf("with map matching:           %6.2f m\n", matched)
+	fmt.Printf("improvement:                 %6.1f%%\n", 100*(1-matched/plain))
+	fmt.Println("\nThe road prior is multimodal near intersections (the vehicle")
+	fmt.Println("could be on either crossing road), which is why map matching is")
+	fmt.Println("a particle-filter problem rather than a Kalman-filter one.")
+}

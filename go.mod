@@ -1,0 +1,3 @@
+module esthera
+
+go 1.22

@@ -1,0 +1,352 @@
+// Package cluster implements the paper's first future-work direction
+// (§IX): scaling the distributed particle filter *up* from a single
+// many-core device to a cluster of them.
+//
+// The design follows directly from the paper's argument: because every
+// operation is local to a sub-filter except the thin particle exchange,
+// the sub-filter network can be partitioned across nodes; only exchange
+// edges that cross a node boundary become network messages. Each node
+// runs its own device pipeline (rand → sampling → sort → estimate →
+// resample) over a contiguous slice of the global ring of sub-filters,
+// and the cluster layer performs the global exchange, counting inter-node
+// traffic against a configurable network profile (latency + bandwidth) so
+// experiments can predict communication cost on Gigabit Ethernet vs
+// InfiniBand-class fabrics.
+//
+// The package also supports fault injection (FailNode/RestoreNode): a
+// failed node freezes — it neither computes, exchanges, nor contributes
+// to the estimate — which lets the experiments quantify how quickly the
+// surviving sub-filter network re-acquires the target, a robustness
+// property centralized filters do not have.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"esthera/internal/device"
+	"esthera/internal/exchange"
+	"esthera/internal/filter"
+	"esthera/internal/kernels"
+	"esthera/internal/model"
+	"esthera/internal/rng"
+)
+
+// NetworkProfile models the cluster interconnect for the communication-
+// cost predictions.
+type NetworkProfile struct {
+	Name         string
+	Latency      time.Duration // per message
+	BandwidthGBs float64       // payload bandwidth
+}
+
+// GigabitEthernet returns a 1 GbE profile (~50 µs latency).
+func GigabitEthernet() NetworkProfile {
+	return NetworkProfile{Name: "1GbE", Latency: 50 * time.Microsecond, BandwidthGBs: 0.117}
+}
+
+// TenGigabitEthernet returns a 10 GbE profile.
+func TenGigabitEthernet() NetworkProfile {
+	return NetworkProfile{Name: "10GbE", Latency: 20 * time.Microsecond, BandwidthGBs: 1.17}
+}
+
+// InfiniBandQDR returns a QDR InfiniBand profile (~1.3 µs latency).
+func InfiniBandQDR() NetworkProfile {
+	return NetworkProfile{Name: "IB-QDR", Latency: 1300 * time.Nanosecond, BandwidthGBs: 4.0}
+}
+
+// Config parameterizes a cluster filter.
+type Config struct {
+	// Nodes is the cluster size.
+	Nodes int
+	// SubFiltersPerNode and ParticlesPer shape each node's network slice.
+	SubFiltersPerNode int
+	ParticlesPer      int
+	// ExchangeCount is t for the global ring exchange.
+	ExchangeCount int
+	// Network selects the interconnect profile (default GigabitEthernet).
+	Network NetworkProfile
+	// WorkersPerNode sizes each node's device (0 = 1: nodes in this
+	// simulation share the host, so oversubscription is the caller's
+	// choice).
+	WorkersPerNode int
+	// Resampler selects the per-node resampling kernel.
+	Resampler kernels.Algo
+}
+
+// Cluster is a distributed particle filter partitioned over simulated
+// cluster nodes. It implements filter.Filter.
+type Cluster struct {
+	cfg Config
+	m   model.Model
+	dim int
+
+	nodes  []*node
+	failed []bool
+	seed   uint64
+	k      int
+
+	// Communication accounting (inter-node messages only).
+	commBytes int64
+	commMsgs  int64
+	rounds    int64
+
+	outbox []float64 // global staging: S·t·(dim+1)
+}
+
+// node is one cluster member: a device pipeline over its sub-filter slice.
+type node struct {
+	pipe *kernels.Pipeline
+	dev  *device.Device
+}
+
+// New builds the cluster filter.
+func New(m model.Model, cfg Config, seed uint64) (*Cluster, error) {
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("cluster: non-positive node count %d", cfg.Nodes)
+	}
+	if cfg.SubFiltersPerNode <= 0 || cfg.ParticlesPer <= 0 {
+		return nil, fmt.Errorf("cluster: invalid node shape %d×%d", cfg.SubFiltersPerNode, cfg.ParticlesPer)
+	}
+	if cfg.ExchangeCount < 0 || 2*cfg.ExchangeCount >= cfg.ParticlesPer {
+		return nil, fmt.Errorf("cluster: exchange count %d incompatible with sub-filter size %d",
+			cfg.ExchangeCount, cfg.ParticlesPer)
+	}
+	if cfg.Network.Name == "" {
+		cfg.Network = GigabitEthernet()
+	}
+	if cfg.WorkersPerNode <= 0 {
+		cfg.WorkersPerNode = 1
+	}
+	c := &Cluster{cfg: cfg, m: m, dim: m.StateDim()}
+	c.nodes = make([]*node, cfg.Nodes)
+	c.failed = make([]bool, cfg.Nodes)
+	total := cfg.Nodes * cfg.SubFiltersPerNode
+	c.outbox = make([]float64, total*max(cfg.ExchangeCount, 1)*(c.dim+1))
+	for i := range c.nodes {
+		dev := device.New(device.Config{Workers: cfg.WorkersPerNode, LocalMemBytes: -1})
+		top, err := exchange.NewTopology(exchange.None, cfg.SubFiltersPerNode)
+		if err != nil {
+			return nil, err
+		}
+		pipe, err := kernels.New(dev, m, kernels.Config{
+			SubFilters:   cfg.SubFiltersPerNode,
+			ParticlesPer: cfg.ParticlesPer,
+			Topology:     top,
+			Resampler:    cfg.Resampler,
+		}, rng.StreamSeed(seed, i))
+		if err != nil {
+			return nil, err
+		}
+		c.nodes[i] = &node{pipe: pipe, dev: dev}
+	}
+	c.seed = seed
+	return c, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Name implements filter.Filter.
+func (c *Cluster) Name() string { return "cluster" }
+
+// TotalParticles returns the global population size.
+func (c *Cluster) TotalParticles() int {
+	return c.cfg.Nodes * c.cfg.SubFiltersPerNode * c.cfg.ParticlesPer
+}
+
+// Reset implements filter.Filter.
+func (c *Cluster) Reset(seed uint64) {
+	c.seed = seed
+	c.k = 0
+	c.commBytes, c.commMsgs, c.rounds = 0, 0, 0
+	for i, n := range c.nodes {
+		n.pipe.Reset(rng.StreamSeed(seed, i))
+		c.failed[i] = false
+	}
+}
+
+// FailNode freezes node i: it stops computing, exchanging and
+// contributing to estimates until RestoreNode.
+func (c *Cluster) FailNode(i int) {
+	if i >= 0 && i < len(c.failed) {
+		c.failed[i] = true
+	}
+}
+
+// RestoreNode brings a failed node back. Its (stale) particles rejoin the
+// computation and are refreshed by the ongoing exchange and resampling.
+func (c *Cluster) RestoreNode(i int) {
+	if i >= 0 && i < len(c.failed) {
+		c.failed[i] = false
+	}
+}
+
+// FailedNodes returns the number of currently failed nodes.
+func (c *Cluster) FailedNodes() int {
+	n := 0
+	for _, f := range c.failed {
+		if f {
+			n++
+		}
+	}
+	return n
+}
+
+// Step implements filter.Filter: one global filtering round.
+func (c *Cluster) Step(u, z []float64) filter.Estimate {
+	c.k++
+	c.rounds++
+
+	// Phase 1 (per node, concurrently): local kernels up to the sorted
+	// state and the node-local best.
+	type nodeBest struct {
+		state []float64
+		logw  float64
+		ok    bool
+	}
+	bests := make([]nodeBest, len(c.nodes))
+	var wg sync.WaitGroup
+	for i, n := range c.nodes {
+		if c.failed[i] {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, n *node) {
+			defer wg.Done()
+			n.pipe.KernelRand()
+			n.pipe.KernelSampleWeight(u, z, c.k)
+			n.pipe.KernelSortLocal()
+			state, lw := n.pipe.KernelEstimate()
+			bests[i] = nodeBest{state: state, logw: lw, ok: true}
+		}(i, n)
+	}
+	wg.Wait()
+
+	// Phase 2: global ring exchange across the whole sub-filter network;
+	// inter-node edges are counted as network traffic.
+	c.exchangeGlobal()
+
+	// Phase 3 (per node): local resampling.
+	for i, n := range c.nodes {
+		if c.failed[i] {
+			continue
+		}
+		wg.Add(1)
+		go func(n *node) {
+			defer wg.Done()
+			n.pipe.KernelResample()
+		}(n)
+	}
+	wg.Wait()
+
+	// Global estimate over surviving nodes.
+	best := filter.Estimate{State: make([]float64, c.dim), LogWeight: negInf}
+	for _, nb := range bests {
+		if nb.ok && nb.logw > best.LogWeight {
+			copy(best.State, nb.state)
+			best.LogWeight = nb.logw
+		}
+	}
+	return best
+}
+
+const negInf = -1.7976931348623157e308
+
+// exchangeGlobal performs the ring exchange over all S sub-filters.
+func (c *Cluster) exchangeGlobal() {
+	t := c.cfg.ExchangeCount
+	if t == 0 {
+		return
+	}
+	spn := c.cfg.SubFiltersPerNode
+	mp := c.cfg.ParticlesPer
+	dim := c.dim
+	stride := dim + 1
+	S := c.cfg.Nodes * spn
+
+	// Stage every live sub-filter's top-t into the global outbox.
+	for g := 0; g < S; g++ {
+		nodeIdx := g / spn
+		if c.failed[nodeIdx] {
+			continue
+		}
+		local := g % spn
+		p := c.nodes[nodeIdx].pipe.Particles()
+		lw := c.nodes[nodeIdx].pipe.LogWeights()
+		base := local * mp * dim
+		for i := 0; i < t; i++ {
+			rec := c.outbox[(g*t+i)*stride : (g*t+i+1)*stride]
+			copy(rec[:dim], p[base+i*dim:base+(i+1)*dim])
+			rec[dim] = lw[local*mp+i]
+		}
+	}
+	// Deliver: each live sub-filter pulls from its ring neighbors; pulls
+	// from failed senders are skipped (their slots keep native
+	// particles). Inter-node pulls are counted as messages.
+	for g := 0; g < S; g++ {
+		nodeIdx := g / spn
+		if c.failed[nodeIdx] {
+			continue
+		}
+		local := g % spn
+		p := c.nodes[nodeIdx].pipe.Particles()
+		lw := c.nodes[nodeIdx].pipe.LogWeights()
+		base := local * mp * dim
+		neighbors := [2]int{(g - 1 + S) % S, (g + 1) % S}
+		slot := mp - 2*t
+		for _, q := range neighbors {
+			qNode := q / spn
+			if c.failed[qNode] {
+				slot += t
+				continue
+			}
+			if qNode != nodeIdx {
+				c.commMsgs++
+				c.commBytes += int64(t * stride * 8)
+			}
+			for i := 0; i < t; i++ {
+				rec := c.outbox[(q*t+i)*stride : (q*t+i+1)*stride]
+				copy(p[base+slot*dim:base+(slot+1)*dim], rec[:dim])
+				lw[local*mp+slot] = rec[dim]
+				slot++
+			}
+		}
+	}
+}
+
+// CommStats returns the accumulated inter-node traffic.
+func (c *Cluster) CommStats() (bytes, messages int64) { return c.commBytes, c.commMsgs }
+
+// PredictCommPerRound converts the measured per-round traffic into a
+// communication-time prediction under the configured network profile.
+// Messages from different node pairs overlap; the cost is the busiest
+// node's share (each node exchanges with two neighbor nodes per round).
+func (c *Cluster) PredictCommPerRound() time.Duration {
+	if c.rounds == 0 || c.cfg.Nodes == 1 {
+		return 0
+	}
+	msgsPerRound := float64(c.commMsgs) / float64(c.rounds)
+	bytesPerRound := float64(c.commBytes) / float64(c.rounds)
+	live := float64(c.cfg.Nodes - c.FailedNodes())
+	if live == 0 {
+		return 0
+	}
+	perNodeMsgs := msgsPerRound / live
+	perNodeBytes := bytesPerRound / live
+	sec := perNodeMsgs*c.cfg.Network.Latency.Seconds() + perNodeBytes/(c.cfg.Network.BandwidthGBs*1e9)
+	return time.Duration(sec * float64(time.Second))
+}
+
+// Nodes returns the node count.
+func (c *Cluster) Nodes() int { return c.cfg.Nodes }
+
+// NodeProfiler exposes node i's device profiler (for scaling experiments).
+func (c *Cluster) NodeProfiler(i int) *device.Profiler { return c.nodes[i].dev.Profiler() }
+
+var _ filter.Filter = (*Cluster)(nil)

@@ -1,0 +1,179 @@
+package cluster_test
+
+import (
+	"testing"
+
+	"esthera/internal/cluster"
+	"esthera/internal/filter"
+	"esthera/internal/metrics"
+	"esthera/internal/model"
+	"esthera/internal/model/arm"
+)
+
+func armScenario(t *testing.T) (model.Model, model.Scenario) {
+	t.Helper()
+	m, sc, err := arm.NewScenario(arm.Config{}, arm.DefaultLemniscate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, sc
+}
+
+func newCluster(t *testing.T, m model.Model, nodes int) *cluster.Cluster {
+	t.Helper()
+	c, err := cluster.New(m, cluster.Config{
+		Nodes: nodes, SubFiltersPerNode: 16, ParticlesPer: 16,
+		ExchangeCount: 1, WorkersPerNode: 2,
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestValidation(t *testing.T) {
+	m, _ := armScenario(t)
+	bad := []cluster.Config{
+		{Nodes: 0, SubFiltersPerNode: 4, ParticlesPer: 8},
+		{Nodes: 2, SubFiltersPerNode: 0, ParticlesPer: 8},
+		{Nodes: 2, SubFiltersPerNode: 4, ParticlesPer: 8, ExchangeCount: 4},
+		{Nodes: 2, SubFiltersPerNode: 4, ParticlesPer: 8, ExchangeCount: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := cluster.New(m, cfg, 1); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestClusterTracksArm(t *testing.T) {
+	m, sc := armScenario(t)
+	c := newCluster(t, m, 4)
+	if c.TotalParticles() != 4*16*16 {
+		t.Fatalf("total particles %d", c.TotalParticles())
+	}
+	s := metrics.Run(c, sc, 60, 7)
+	if tail := s.MeanAfter(30); tail > 0.25 {
+		t.Fatalf("cluster trailing error %v, want < 0.25", tail)
+	}
+}
+
+func TestClusterMatchesSingleNodeAccuracy(t *testing.T) {
+	m, sc := armScenario(t)
+	one := newCluster(t, m, 1)
+	four := newCluster(t, m, 4)
+	sOne := metrics.Run(one, sc, 50, 9)
+	sFour := metrics.Run(four, sc, 50, 9)
+	// Four nodes hold 4× the particles; they must not be meaningfully
+	// worse than the single node.
+	if sFour.MeanAfter(25) > 2*sOne.MeanAfter(25)+0.1 {
+		t.Fatalf("4-node error %v far above 1-node %v", sFour.MeanAfter(25), sOne.MeanAfter(25))
+	}
+}
+
+func TestInterNodeTrafficCounted(t *testing.T) {
+	m, sc := armScenario(t)
+	c := newCluster(t, m, 4)
+	metrics.Run(c, sc, 10, 3)
+	bytes, msgs := c.CommStats()
+	// Ring of 64 sub-filters over 4 nodes: exactly 2 boundary pulls per
+	// node per round → 8 messages/round.
+	if msgs != 10*8 {
+		t.Fatalf("messages = %d, want 80", msgs)
+	}
+	stride := int64(m.StateDim()+1) * 8
+	if bytes != msgs*stride {
+		t.Fatalf("bytes = %d, want %d", bytes, msgs*stride)
+	}
+	if c.PredictCommPerRound() <= 0 {
+		t.Fatal("comm prediction must be positive for a multi-node cluster")
+	}
+	// Single node: no network traffic at all.
+	c1 := newCluster(t, m, 1)
+	metrics.Run(c1, sc, 10, 3)
+	if b, _ := c1.CommStats(); b != 0 {
+		t.Fatalf("single-node cluster sent %d bytes", b)
+	}
+	if c1.PredictCommPerRound() != 0 {
+		t.Fatal("single-node comm prediction must be zero")
+	}
+}
+
+func TestResetReproducible(t *testing.T) {
+	m, sc := armScenario(t)
+	c := newCluster(t, m, 2)
+	a := metrics.Run(c, sc, 20, 5)
+	c.Reset(1)
+	b := metrics.Run(c, sc, 20, 5)
+	for i := range a.Err {
+		if a.Err[i] != b.Err[i] {
+			t.Fatalf("cluster not reproducible at step %d", i)
+		}
+	}
+}
+
+func TestNodeFailureAndRecovery(t *testing.T) {
+	m, sc := armScenario(t)
+	c := newCluster(t, m, 4)
+
+	var f filter.Filter = c
+	// Warm up: converge.
+	s := metrics.Run(f, sc, 40, 11)
+	before := s.MeanAfter(30)
+
+	// Kill half the cluster; the survivors must keep tracking.
+	c.FailNode(1)
+	c.FailNode(2)
+	if c.FailedNodes() != 2 {
+		t.Fatalf("failed nodes = %d", c.FailedNodes())
+	}
+	s2 := continueRun(c, sc, 41, 30, 11)
+	during := mean(s2)
+
+	// Restore; the stale nodes rejoin and get refreshed via exchange.
+	c.RestoreNode(1)
+	c.RestoreNode(2)
+	s3 := continueRun(c, sc, 71, 40, 11)
+	after := s3[len(s3)-20:]
+
+	if during > 5*before+0.5 {
+		t.Fatalf("tracking collapsed under node failure: %v vs %v before", during, before)
+	}
+	if m := mean(after); m > 5*before+0.5 {
+		t.Fatalf("no recovery after restore: %v vs %v before", m, before)
+	}
+}
+
+// continueRun advances an already-running filter against the scenario
+// from step start (metrics.Run always starts at 1, so failure tests drive
+// the loop directly).
+func continueRun(c *cluster.Cluster, sc model.Scenario, start, steps int, seed uint64) []float64 {
+	m := sc.Model()
+	// Reuse the same measurement stream construction as metrics.Run so
+	// sequences are comparable.
+	s := metrics.Run(&offsetFilter{c}, &offsetScenario{sc, start - 1}, steps, seed)
+	_ = m
+	return s.Err
+}
+
+// offsetScenario shifts a scenario's time axis.
+type offsetScenario struct {
+	model.Scenario
+	offset int
+}
+
+func (o *offsetScenario) TrueState(k int, x []float64) { o.Scenario.TrueState(k+o.offset, x) }
+func (o *offsetScenario) Control(k int, u []float64)   { o.Scenario.Control(k+o.offset, u) }
+
+// offsetFilter passes steps through without resetting.
+type offsetFilter struct{ *cluster.Cluster }
+
+func (o *offsetFilter) Reset(uint64) {} // keep running state
+
+func mean(xs []float64) float64 {
+	s := 0.0
+	for _, v := range xs {
+		s += v
+	}
+	return s / float64(len(xs))
+}

@@ -1,0 +1,203 @@
+// Package control closes the loop around the particle filter: the
+// paper's companion work ([30], Chitchian et al., IEEE TCST 2013) drives
+// an actual robotic arm from the filter's estimates in real time; this
+// package reproduces that setting in simulation. A PD controller reads
+// the estimated object position and joint angles from the filter and
+// commands joint rates so the arm's camera keeps pointing at the object,
+// while the *true* arm integrates those commands with actuator noise —
+// so estimation errors feed back into the plant, the regime where
+// estimation rate and accuracy actually matter (§I: real-time estimation
+// problems).
+package control
+
+import (
+	"fmt"
+	"math"
+
+	"esthera/internal/filter"
+	"esthera/internal/model/arm"
+	"esthera/internal/rng"
+)
+
+// PD is a proportional-derivative joint-rate controller with output
+// clamping.
+type PD struct {
+	// Kp and Kd are the gains (defaults 2.0 and 0.2).
+	Kp, Kd float64
+	// MaxRate clamps each joint-rate command, rad/s (default 1.5).
+	MaxRate float64
+
+	prevErr []float64
+	dt      float64
+}
+
+// NewPD returns a controller for n joints with sampling time dt.
+func NewPD(n int, dt float64) *PD {
+	return &PD{Kp: 2.0, Kd: 0.2, MaxRate: 1.5, prevErr: make([]float64, n), dt: dt}
+}
+
+// Command writes joint-rate commands into u from the angle errors
+// (desired - current).
+func (c *PD) Command(u, angleErr []float64) {
+	for i := range u {
+		d := (angleErr[i] - c.prevErr[i]) / c.dt
+		v := c.Kp*angleErr[i] + c.Kd*d
+		if v > c.MaxRate {
+			v = c.MaxRate
+		}
+		if v < -c.MaxRate {
+			v = -c.MaxRate
+		}
+		u[i] = v
+		c.prevErr[i] = angleErr[i]
+	}
+}
+
+// Result holds the closed-loop run outcome.
+type Result struct {
+	// PointingErr is the per-step angle (rad) between the true camera
+	// axis and the true direction to the object.
+	PointingErr []float64
+	// EstErr is the per-step object-position estimation error (m).
+	EstErr []float64
+}
+
+// MeanPointingAfter returns the mean pointing error after a burn-in.
+func (r Result) MeanPointingAfter(burn int) float64 {
+	if burn >= len(r.PointingErr) {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, e := range r.PointingErr[burn:] {
+		s += e
+	}
+	return s / float64(len(r.PointingErr)-burn)
+}
+
+// Loop is the closed-loop simulation: true arm + moving object, particle
+// filter, PD controller.
+type Loop struct {
+	m    *arm.Model
+	path arm.Lemniscate
+	f    filter.Filter
+	pd   *PD
+	// Oracle feeds the controller the true state instead of the
+	// filter's estimate (the perfect-estimation baseline).
+	Oracle bool
+	// EstimateEvery runs the filter only every k-th plant step (k > 1
+	// models an estimator slower than the control loop; the controller
+	// acts on stale estimates in between). 0 or 1 is every step. This is
+	// the knob that makes the paper's update-rate argument measurable:
+	// "achievable update rate is more important for real-time systems"
+	// (§III-A).
+	EstimateEvery int
+}
+
+// NewLoop builds the closed loop around an existing filter for the given
+// arm model.
+func NewLoop(m *arm.Model, path arm.Lemniscate, f filter.Filter) (*Loop, error) {
+	if m == nil || f == nil {
+		return nil, fmt.Errorf("control: nil model or filter")
+	}
+	return &Loop{m: m, path: path, f: f, pd: NewPD(m.Config().Joints, m.Config().Hs)}, nil
+}
+
+// SetGains overrides the PD gains (0, 0 disables actuation — the
+// dead-arm baseline).
+func (l *Loop) SetGains(kp, kd float64) {
+	l.pd.Kp, l.pd.Kd = kp, kd
+}
+
+// desiredAngles computes the posture that keeps the object in the arm's
+// vertical plane: the base yaw turns toward the (estimated) object
+// bearing while the pitch joints hold the horizontal reference posture.
+// This is the part of the pose the camera geometry actually constrains —
+// the lateral image coordinate z_C is zero exactly when the bearing is
+// matched.
+func (l *Loop) desiredAngles(dst []float64, ox, oy float64) {
+	dst[0] = math.Atan2(oy, ox)
+	for i := 1; i < len(dst); i++ {
+		dst[i] = 0
+	}
+}
+
+// pointingError returns the true bearing misalignment: the absolute
+// angle between the object's bearing from the base and the arm's yaw.
+// Zero means the object lies exactly in the arm's vertical plane (the
+// lateral image coordinate z_C vanishes). It is ill-conditioned only in
+// the instant the object crosses the base origin.
+func (l *Loop) pointingError(truth []float64) float64 {
+	j := l.m.Config().Joints
+	bearing := math.Atan2(truth[j+1], truth[j])
+	d := bearing - truth[0]
+	for d > math.Pi {
+		d -= 2 * math.Pi
+	}
+	for d <= -math.Pi {
+		d += 2 * math.Pi
+	}
+	return math.Abs(d)
+}
+
+// Run executes the closed loop for steps rounds.
+func (l *Loop) Run(steps int, seed uint64) Result {
+	cfg := l.m.Config()
+	j := cfg.Joints
+	dim := l.m.StateDim()
+
+	truth := make([]float64, dim)
+	// Object starts on the lemniscate.
+	truth[j], truth[j+1] = l.path.Pos(0)
+	truth[j+2], truth[j+3] = l.path.Vel(0, cfg.Hs)
+
+	plantR := rng.New(rng.NewPhiloxStream(seed, 0xA1))
+	measR := rng.New(rng.NewPhiloxStream(seed, 0xA2))
+	z := make([]float64, l.m.MeasurementDim())
+	u := make([]float64, j)
+	desired := make([]float64, j)
+	angleErr := make([]float64, j)
+
+	res := Result{
+		PointingErr: make([]float64, steps),
+		EstErr:      make([]float64, steps),
+	}
+	est := make([]float64, dim) // last estimate (starts at prior mean: zeros-ish)
+	for k := 1; k <= steps; k++ {
+		// Controller acts on the previous estimate (or the truth in
+		// oracle mode).
+		src := est
+		if l.Oracle {
+			src = truth
+		}
+		l.desiredAngles(desired, src[j], src[j+1])
+		for i := 0; i < j; i++ {
+			angleErr[i] = desired[i] - src[i]
+		}
+		l.pd.Command(u, angleErr)
+
+		// True plant: joints integrate the command with actuator noise;
+		// the object follows the lemniscate.
+		sTheta := cfg.SigmaThetaRate * cfg.Hs
+		for i := 0; i < j; i++ {
+			truth[i] += cfg.Hs*u[i] + plantR.Normal(0, 0.25*sTheta)
+		}
+		truth[j], truth[j+1] = l.path.Pos(k)
+		truth[j+2], truth[j+3] = l.path.Vel(k, cfg.Hs)
+
+		// Measure and filter (possibly at a reduced estimation rate; the
+		// controller then reuses the stale estimate in between).
+		every := l.EstimateEvery
+		if every < 1 {
+			every = 1
+		}
+		if k%every == 0 {
+			l.m.Measure(z, truth, measR)
+			e := l.f.Step(u, z)
+			copy(est, e.State)
+		}
+		ex, ey := l.m.TrackedPosition(est)
+		res.EstErr[k-1] = math.Hypot(ex-truth[j], ey-truth[j+1])
+		res.PointingErr[k-1] = l.pointingError(truth)
+	}
+	return res
+}

@@ -1,0 +1,116 @@
+package control_test
+
+import (
+	"math"
+	"testing"
+
+	"esthera/internal/control"
+	"esthera/internal/device"
+	"esthera/internal/exchange"
+	"esthera/internal/filter"
+	"esthera/internal/model/arm"
+)
+
+func newArmFilter(t *testing.T, m *arm.Model, seed uint64) filter.Filter {
+	t.Helper()
+	dev := device.New(device.Config{Workers: 4, LocalMemBytes: -1})
+	f, err := filter.NewParallel(dev, m, filter.ParallelConfig{
+		SubFilters: 32, ParticlesPer: 32, Scheme: exchange.Ring, ExchangeCount: 1,
+	}, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func closedLoopModel(t *testing.T) (*arm.Model, arm.Lemniscate) {
+	t.Helper()
+	// Offset path: bearings from the base stay well-conditioned.
+	path := arm.Lemniscate{A: 0.4, Period: 200, CenterX: 0.55}
+	m, _, err := arm.NewScenario(arm.Config{}, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, path
+}
+
+func TestPDClampsAndTracks(t *testing.T) {
+	pd := control.NewPD(2, 0.05)
+	u := make([]float64, 2)
+	pd.Command(u, []float64{10, -10})
+	if u[0] != pd.MaxRate || u[1] != -pd.MaxRate {
+		t.Fatalf("commands not clamped: %v", u)
+	}
+	// A fresh controller with a small constant error: proportional term
+	// dominates, sign follows the error.
+	pd2 := control.NewPD(2, 0.05)
+	pd2.Command(u, []float64{0.1, -0.1})
+	pd2.Command(u, []float64{0.1, -0.1}) // steady: derivative term zero
+	if u[0] <= 0 || u[1] >= 0 {
+		t.Fatalf("steady-state commands have wrong sign: %v", u)
+	}
+	if math.Abs(u[0]-pd2.Kp*0.1) > 1e-9 {
+		t.Fatalf("steady command %v, want Kp·err = %v", u[0], pd2.Kp*0.1)
+	}
+}
+
+func TestLoopValidation(t *testing.T) {
+	m, path := closedLoopModel(t)
+	if _, err := control.NewLoop(nil, path, nil); err == nil {
+		t.Fatal("nil args accepted")
+	}
+	if _, err := control.NewLoop(m, path, newArmFilter(t, m, 1)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClosedLoopKeepsObjectInView(t *testing.T) {
+	m, path := closedLoopModel(t)
+
+	loop, err := control.NewLoop(m, path, newArmFilter(t, m, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := loop.Run(150, 7)
+	if len(res.PointingErr) != 150 || len(res.EstErr) != 150 {
+		t.Fatalf("result lengths %d/%d", len(res.PointingErr), len(res.EstErr))
+	}
+	closed := res.MeanPointingAfter(50)
+
+	// Oracle baseline: controller fed the true state.
+	oracleLoop, err := control.NewLoop(m, path, newArmFilter(t, m, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracleLoop.Oracle = true
+	oracle := oracleLoop.Run(150, 7).MeanPointingAfter(50)
+
+	// Dead-arm baseline: a filter-driven loop with zero controller gains
+	// leaves the arm in its initial posture.
+	deadLoop, err := control.NewLoop(m, path, newArmFilter(t, m, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadLoop.SetGains(0, 0)
+	dead := deadLoop.Run(150, 7).MeanPointingAfter(50)
+
+	if math.IsNaN(closed) || math.IsNaN(oracle) || math.IsNaN(dead) {
+		t.Fatal("NaN pointing errors")
+	}
+	// Estimate-driven control must approach the oracle and clearly beat
+	// no control.
+	if closed > 2.5*oracle+0.05 {
+		t.Fatalf("filter-in-the-loop pointing %v rad far above oracle %v rad", closed, oracle)
+	}
+	if closed >= dead {
+		t.Fatalf("closed loop (%v rad) no better than a dead arm (%v rad)", closed, dead)
+	}
+	// And the filter must keep estimating well despite the feedback.
+	est := 0.0
+	for _, e := range res.EstErr[50:] {
+		est += e
+	}
+	if est/100 > 0.25 {
+		t.Fatalf("estimation error %v m in closed loop", est/100)
+	}
+}

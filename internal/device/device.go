@@ -1,0 +1,156 @@
+// Package device provides the many-core execution substrate that stands in
+// for the paper's CUDA/OpenCL devices (substitution recorded in DESIGN.md §2).
+//
+// The paper maps one particle to one GPU thread and one sub-filter to one
+// work-group (§VI); work-groups run concurrently on the device's streaming
+// multiprocessors / compute units, communicate through global memory only
+// across kernel launches, and use fast local memory plus barriers within a
+// group. This package reproduces that model in Go:
+//
+//   - A Device has a number of compute units, realized as worker
+//     goroutines; work-groups of a launch are scheduled across them.
+//   - A kernel body is written in barrier-phased data-parallel form: a
+//     sequence of Step(fn) calls, where each Step runs fn once per lane
+//     and an implicit group-wide barrier separates consecutive steps —
+//     exactly the discipline CUDA kernels with __syncthreads follow.
+//   - Per-group local memory is allocated against a configurable capacity
+//     (48 KiB by default, as on the paper's NVIDIA SMs), so kernels are
+//     forced to size their working sets like real GPU kernels.
+//   - Every launch is timed and its lane-operations and memory traffic are
+//     counted, feeding both the Fig. 4 kernel-breakdown experiments and
+//     the analytic platform cost model (internal/platform) used for Fig. 3.
+//
+// Kernel launches are globally synchronizing, as in CUDA's default stream:
+// Launch returns only when every work-group has finished, so a kernel may
+// read global data written by the previous kernel without further
+// synchronization, but never data written by another group in the same
+// launch.
+package device
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultLocalMemBytes is the per-group local memory capacity used when a
+// Device is created with LocalMemBytes == 0. It matches the 48 KiB
+// scratch-pad of the paper's NVIDIA SMs (Table III).
+const DefaultLocalMemBytes = 48 * 1024
+
+// Device models a many-core accelerator: a set of compute units executing
+// work-groups, with per-group local memory and a launch profiler.
+//
+// The zero value is not ready to use; call New.
+type Device struct {
+	workers       int
+	localMemBytes int
+	prof          *Profiler
+}
+
+// Config configures a Device.
+type Config struct {
+	// Workers is the number of compute units (concurrently executing
+	// work-groups). 0 means GOMAXPROCS.
+	Workers int
+	// LocalMemBytes is the per-group local-memory capacity. 0 means
+	// DefaultLocalMemBytes; negative means unlimited.
+	LocalMemBytes int
+}
+
+// New creates a Device.
+func New(cfg Config) *Device {
+	w := cfg.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	lm := cfg.LocalMemBytes
+	if lm == 0 {
+		lm = DefaultLocalMemBytes
+	}
+	return &Device{workers: w, localMemBytes: lm, prof: NewProfiler()}
+}
+
+// Workers returns the number of compute units.
+func (d *Device) Workers() int { return d.workers }
+
+// Profiler returns the device's launch profiler.
+func (d *Device) Profiler() *Profiler { return d.prof }
+
+// Grid describes the shape of a kernel launch: Groups work-groups of
+// GroupSize lanes each.
+type Grid struct {
+	Groups    int
+	GroupSize int
+}
+
+// KernelFunc is a kernel body, executed once per work-group.
+type KernelFunc func(g *Group)
+
+// LaunchStats reports the measured cost of one kernel launch.
+type LaunchStats struct {
+	Name    string
+	Grid    Grid
+	Elapsed time.Duration
+	Count   Counters
+}
+
+// Launch runs the kernel over the grid, blocking until all work-groups
+// complete, and records the launch under name in the profiler.
+//
+// Work-groups may be executed in any order and concurrently; a kernel must
+// only write global data that no other group of the same launch touches.
+func (d *Device) Launch(name string, grid Grid, k KernelFunc) LaunchStats {
+	if grid.Groups <= 0 || grid.GroupSize <= 0 {
+		panic(fmt.Sprintf("device: invalid grid %+v", grid))
+	}
+	var (
+		next   int64 = 0
+		total  Counters
+		mu     sync.Mutex
+		wg     sync.WaitGroup
+		panics []interface{}
+	)
+	start := time.Now()
+	workers := d.workers
+	if workers > grid.Groups {
+		workers = grid.Groups
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			var local Counters
+			defer func() {
+				// Propagate kernel panics (e.g. local-memory overflow)
+				// to the launching goroutine instead of crashing the
+				// process from a worker.
+				r := recover()
+				mu.Lock()
+				total.Add(&local)
+				if r != nil {
+					panics = append(panics, r)
+				}
+				mu.Unlock()
+				wg.Done()
+			}()
+			for {
+				gid := int(atomic.AddInt64(&next, 1)) - 1
+				if gid >= grid.Groups {
+					break
+				}
+				g := &Group{id: gid, size: grid.GroupSize, localMemCap: d.localMemBytes}
+				k(g)
+				local.Add(&g.count)
+			}
+		}()
+	}
+	wg.Wait()
+	if len(panics) > 0 {
+		panic(panics[0])
+	}
+	stats := LaunchStats{Name: name, Grid: grid, Elapsed: time.Since(start), Count: total}
+	d.prof.record(stats)
+	return stats
+}

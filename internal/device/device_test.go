@@ -1,0 +1,238 @@
+package device
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestLaunchRunsEveryGroupOnce(t *testing.T) {
+	d := New(Config{Workers: 4})
+	const groups, size = 37, 16
+	var hits [groups]int64
+	d.Launch("mark", Grid{Groups: groups, GroupSize: size}, func(g *Group) {
+		atomic.AddInt64(&hits[g.ID()], 1)
+		if g.Lanes() != size {
+			t.Errorf("group %d lanes = %d, want %d", g.ID(), g.Lanes(), size)
+		}
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("group %d executed %d times", i, h)
+		}
+	}
+}
+
+func TestStepVisitsEveryLane(t *testing.T) {
+	d := New(Config{Workers: 2})
+	d.Launch("lanes", Grid{Groups: 3, GroupSize: 8}, func(g *Group) {
+		seen := make([]bool, g.Lanes())
+		g.Step(func(lane int) {
+			if seen[lane] {
+				t.Errorf("lane %d visited twice in one step", lane)
+			}
+			seen[lane] = true
+		})
+		for l, s := range seen {
+			if !s {
+				t.Errorf("lane %d not visited", l)
+			}
+		}
+	})
+}
+
+func TestCountersAggregate(t *testing.T) {
+	d := New(Config{Workers: 3})
+	const groups, size = 5, 4
+	stats := d.Launch("count", Grid{Groups: groups, GroupSize: size}, func(g *Group) {
+		g.Step(func(lane int) {
+			g.Ops(2)
+			g.GlobalRead(8)
+			g.GlobalWrite(4)
+		})
+		g.Step(func(lane int) {
+			g.LocalRead(8)
+			g.LocalWrite(8)
+		})
+	})
+	c := stats.Count
+	if c.Steps != groups*2 {
+		t.Errorf("steps = %d, want %d", c.Steps, groups*2)
+	}
+	if c.LaneInvocations != groups*size*2 {
+		t.Errorf("lane invocations = %d, want %d", c.LaneInvocations, groups*size*2)
+	}
+	if c.Ops != groups*size*2 {
+		t.Errorf("ops = %d, want %d", c.Ops, groups*size*2)
+	}
+	if c.GlobalReadBytes != groups*size*8 || c.GlobalWriteBytes != groups*size*4 {
+		t.Errorf("global traffic = %d/%d", c.GlobalReadBytes, c.GlobalWriteBytes)
+	}
+	if c.LocalReadBytes != groups*size*8 || c.LocalWriteBytes != groups*size*8 {
+		t.Errorf("local traffic = %d/%d", c.LocalReadBytes, c.LocalWriteBytes)
+	}
+	if c.GlobalBytes() != c.GlobalReadBytes+c.GlobalWriteBytes {
+		t.Errorf("GlobalBytes inconsistent")
+	}
+}
+
+func TestLocalMemoryOverflowPanics(t *testing.T) {
+	d := New(Config{Workers: 1, LocalMemBytes: 1024})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected local-memory overflow panic")
+		}
+	}()
+	d.Launch("overflow", Grid{Groups: 1, GroupSize: 1}, func(g *Group) {
+		g.AllocLocalF64(200) // 1600 bytes > 1024
+	})
+}
+
+func TestLocalMemoryWithinCapacity(t *testing.T) {
+	d := New(Config{Workers: 1, LocalMemBytes: 4096})
+	stats := d.Launch("alloc", Grid{Groups: 2, GroupSize: 1}, func(g *Group) {
+		_ = g.AllocLocalF64(256) // 2048 bytes
+		_ = g.AllocLocalU32(256) // 1024 bytes
+		_ = g.AllocLocalInt(64)  // 256 bytes
+	})
+	if stats.Count.LocalAllocBytes != 2048+1024+256 {
+		t.Fatalf("peak local alloc = %d", stats.Count.LocalAllocBytes)
+	}
+}
+
+func TestUnlimitedLocalMemory(t *testing.T) {
+	d := New(Config{Workers: 1, LocalMemBytes: -1})
+	d.Launch("big", Grid{Groups: 1, GroupSize: 1}, func(g *Group) {
+		_ = g.AllocLocalF64(1 << 20) // 8 MiB: fine when unlimited
+	})
+}
+
+func TestDefaultLocalMemCapacity(t *testing.T) {
+	d := New(Config{Workers: 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected overflow at default 48 KiB capacity")
+		}
+	}()
+	d.Launch("default-cap", Grid{Groups: 1, GroupSize: 1}, func(g *Group) {
+		_ = g.AllocLocalF64(7000) // 56 KB > 48 KiB
+	})
+}
+
+func TestInvalidGridPanics(t *testing.T) {
+	d := New(Config{Workers: 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected invalid-grid panic")
+		}
+	}()
+	d.Launch("bad", Grid{Groups: 0, GroupSize: 4}, func(g *Group) {})
+}
+
+func TestProfilerAccumulatesAndResets(t *testing.T) {
+	d := New(Config{Workers: 2})
+	run := func() {
+		d.Launch("a", Grid{Groups: 2, GroupSize: 2}, func(g *Group) {
+			g.Step(func(int) { g.Ops(1) })
+		})
+	}
+	run()
+	run()
+	d.Launch("b", Grid{Groups: 1, GroupSize: 1}, func(g *Group) {
+		g.Step(func(int) { g.Ops(5) })
+	})
+	snap := d.Profiler().Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot has %d entries, want 2", len(snap))
+	}
+	if snap[0].Name != "a" || snap[0].Launches != 2 || snap[0].Count.Ops != 8 {
+		t.Fatalf("kernel a stats wrong: %+v", snap[0])
+	}
+	if snap[1].Name != "b" || snap[1].Count.Ops != 5 {
+		t.Fatalf("kernel b stats wrong: %+v", snap[1])
+	}
+	bd := d.Profiler().Breakdown()
+	sum := 0.0
+	for _, f := range bd {
+		sum += f.Fraction
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("breakdown fractions sum to %v", sum)
+	}
+	if s := d.Profiler().String(); s == "" {
+		t.Fatal("profiler string empty")
+	}
+	d.Profiler().Reset()
+	if len(d.Profiler().Snapshot()) != 0 {
+		t.Fatal("reset did not clear profiler")
+	}
+}
+
+func TestSerialCtxMatchesGroupSemantics(t *testing.T) {
+	// An algorithm over Ctx must produce identical results under Serial
+	// and Group execution. Use a tiny prefix-sum as the probe.
+	prefix := func(ctx Ctx, data []float64) {
+		n := ctx.Lanes()
+		for stride := 1; stride < n; stride *= 2 {
+			tmp := make([]float64, n)
+			st := stride
+			ctx.Step(func(l int) {
+				if l >= st {
+					tmp[l] = data[l] + data[l-st]
+				} else {
+					tmp[l] = data[l]
+				}
+			})
+			ctx.Step(func(l int) { data[l] = tmp[l] })
+		}
+	}
+	in := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	a := append([]float64(nil), in...)
+	b := append([]float64(nil), in...)
+	prefix(Serial{N: len(a)}, a)
+	d := New(Config{Workers: 1})
+	d.Launch("probe", Grid{Groups: 1, GroupSize: len(b)}, func(g *Group) { prefix(g, b) })
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("serial/group divergence at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	want := 0.0
+	for i, v := range in {
+		want += v
+		if a[i] != want {
+			t.Fatalf("prefix sum wrong at %d: %v want %v", i, a[i], want)
+		}
+	}
+}
+
+func TestStepOneCostsOneBarrier(t *testing.T) {
+	d := New(Config{Workers: 1})
+	stats := d.Launch("one", Grid{Groups: 1, GroupSize: 32}, func(g *Group) {
+		g.StepOne(func() { g.Ops(1) })
+	})
+	if stats.Count.Steps != 1 || stats.Count.LaneInvocations != 1 {
+		t.Fatalf("StepOne accounting wrong: %+v", stats.Count)
+	}
+}
+
+func TestWorkersDefault(t *testing.T) {
+	d := New(Config{})
+	if d.Workers() <= 0 {
+		t.Fatal("default workers must be positive")
+	}
+}
+
+func TestStepSerialRoutesOps(t *testing.T) {
+	d := New(Config{Workers: 1})
+	stats := d.Launch("serial", Grid{Groups: 2, GroupSize: 8}, func(g *Group) {
+		g.Step(func(int) { g.Ops(1) })      // 8 parallel ops per group
+		g.StepSerial(func() { g.Ops(100) }) // 100 serial ops per group
+		g.Step(func(int) { g.Ops(1) })      // serial flag must be cleared
+	})
+	if stats.Count.Ops != 2*16 {
+		t.Fatalf("parallel ops = %d, want 32", stats.Count.Ops)
+	}
+	if stats.Count.SerialOps != 200 {
+		t.Fatalf("serial ops = %d, want 200", stats.Count.SerialOps)
+	}
+}

@@ -1,0 +1,202 @@
+package device
+
+import "fmt"
+
+// Ctx is the data-parallel execution context a barrier-phased algorithm
+// runs against. The parallel primitives (internal/scan, internal/sortnet)
+// and the kernels are written once against Ctx; *Group provides the
+// instrumented device implementation and Serial a plain sequential one for
+// the reference filters.
+type Ctx interface {
+	// Lanes returns the number of parallel lanes (work-group size).
+	Lanes() int
+	// Step executes fn once for each lane in [0, Lanes()), with an
+	// implicit barrier after the last lane. Within a Step, lanes must not
+	// communicate: fn(i) may not read data written by fn(j) of the same
+	// step (on a real device the lanes run concurrently).
+	Step(fn func(lane int))
+	// Ops accounts n arithmetic operations (for the cost model).
+	Ops(n int)
+	// GlobalRead / GlobalWrite account off-chip memory traffic in bytes.
+	GlobalRead(bytes int)
+	GlobalWrite(bytes int)
+	// LocalRead / LocalWrite account scratch-pad traffic in bytes.
+	LocalRead(bytes int)
+	LocalWrite(bytes int)
+}
+
+// Counters aggregates the accounted work of one or more kernel executions.
+type Counters struct {
+	Steps            int64 // barrier-delimited phases
+	LaneInvocations  int64 // total fn(lane) calls
+	Ops              int64 // accounted arithmetic operations (data-parallel)
+	SerialOps        int64 // ops executed by a single lane (StepSerial)
+	GlobalReadBytes  int64
+	GlobalWriteBytes int64
+	LocalReadBytes   int64
+	LocalWriteBytes  int64
+	LocalAllocBytes  int64 // peak local-memory allocation over groups
+}
+
+// Add accumulates o into c (LocalAllocBytes takes the max, since it is a
+// capacity, not a flow).
+func (c *Counters) Add(o *Counters) {
+	c.Steps += o.Steps
+	c.LaneInvocations += o.LaneInvocations
+	c.Ops += o.Ops
+	c.SerialOps += o.SerialOps
+	c.GlobalReadBytes += o.GlobalReadBytes
+	c.GlobalWriteBytes += o.GlobalWriteBytes
+	c.LocalReadBytes += o.LocalReadBytes
+	c.LocalWriteBytes += o.LocalWriteBytes
+	if o.LocalAllocBytes > c.LocalAllocBytes {
+		c.LocalAllocBytes = o.LocalAllocBytes
+	}
+}
+
+// GlobalBytes returns total off-chip traffic.
+func (c *Counters) GlobalBytes() int64 { return c.GlobalReadBytes + c.GlobalWriteBytes }
+
+// Group is one work-group of a kernel launch: a block of lanes sharing
+// local memory and barriers. It implements Ctx with full instrumentation.
+type Group struct {
+	id          int
+	size        int
+	localMemCap int // bytes; negative = unlimited
+	localAlloc  int
+	inSerial    bool
+	count       Counters
+}
+
+// ID returns the work-group index within the launch grid.
+func (g *Group) ID() int { return g.id }
+
+// Lanes returns the work-group size.
+func (g *Group) Lanes() int { return g.size }
+
+// Step executes fn for every lane with an implicit trailing barrier.
+//
+// Lanes are executed sequentially within the group (groups themselves run
+// concurrently across compute units); the barrier-phased discipline is
+// what makes the written algorithms valid on a real SIMT device.
+func (g *Group) Step(fn func(lane int)) {
+	for lane := 0; lane < g.size; lane++ {
+		fn(lane)
+	}
+	g.count.Steps++
+	g.count.LaneInvocations += int64(g.size)
+}
+
+// StepOne executes fn on lane 0 only (the "if (tid == 0)" idiom), still
+// costing a barrier. Work accounted inside fn is treated as
+// data-parallel (use StepOne for bookkeeping or for work that a real
+// kernel would distribute across lanes, such as block PRNG generation).
+func (g *Group) StepOne(fn func()) {
+	fn()
+	g.count.Steps++
+	g.count.LaneInvocations++
+}
+
+// StepSerial executes fn on lane 0 with all other lanes idle, and
+// accounts its Ops as *serial* work: on a wide device this region runs at
+// single-lane throughput (Vose's alias-table construction is the
+// prototypical case — §VI-F: "concurrency usually drops steeply towards
+// one"). The platform cost model charges SerialOps accordingly.
+func (g *Group) StepSerial(fn func()) {
+	g.inSerial = true
+	fn()
+	g.inSerial = false
+	g.count.Steps++
+	g.count.LaneInvocations++
+}
+
+// Ops accounts n arithmetic operations (serial ops inside StepSerial).
+func (g *Group) Ops(n int) {
+	if g.inSerial {
+		g.count.SerialOps += int64(n)
+		return
+	}
+	g.count.Ops += int64(n)
+}
+
+// GlobalRead accounts bytes read from global memory.
+func (g *Group) GlobalRead(bytes int) { g.count.GlobalReadBytes += int64(bytes) }
+
+// GlobalWrite accounts bytes written to global memory.
+func (g *Group) GlobalWrite(bytes int) { g.count.GlobalWriteBytes += int64(bytes) }
+
+// LocalRead accounts bytes read from local memory.
+func (g *Group) LocalRead(bytes int) { g.count.LocalReadBytes += int64(bytes) }
+
+// LocalWrite accounts bytes written to local memory.
+func (g *Group) LocalWrite(bytes int) { g.count.LocalWriteBytes += int64(bytes) }
+
+// allocLocal accounts a local-memory allocation of n bytes, panicking if
+// the group's capacity is exceeded — the same hard failure a CUDA kernel
+// hits when its static shared-memory demand exceeds the SM's scratch pad.
+func (g *Group) allocLocal(n int) {
+	g.localAlloc += n
+	if g.count.LocalAllocBytes < int64(g.localAlloc) {
+		g.count.LocalAllocBytes = int64(g.localAlloc)
+	}
+	if g.localMemCap >= 0 && g.localAlloc > g.localMemCap {
+		panic(fmt.Sprintf("device: local memory overflow: %d bytes requested, capacity %d",
+			g.localAlloc, g.localMemCap))
+	}
+}
+
+// AllocLocalF64 allocates a local-memory float64 buffer of length n.
+func (g *Group) AllocLocalF64(n int) []float64 {
+	g.allocLocal(8 * n)
+	return make([]float64, n)
+}
+
+// AllocLocalU32 allocates a local-memory uint32 buffer of length n.
+func (g *Group) AllocLocalU32(n int) []uint32 {
+	g.allocLocal(4 * n)
+	return make([]uint32, n)
+}
+
+// AllocLocalInt allocates a local-memory index buffer of length n,
+// accounted at 4 bytes per element (device indices are 32-bit).
+func (g *Group) AllocLocalInt(n int) []int {
+	g.allocLocal(4 * n)
+	return make([]int, n)
+}
+
+// Serial is a plain sequential Ctx with no instrumentation and no local
+// memory limit, used by the sequential reference filters to share the
+// exact same algorithm implementations as the device kernels.
+type Serial struct {
+	N int
+}
+
+// Lanes returns the lane count.
+func (s Serial) Lanes() int { return s.N }
+
+// Step executes fn for every lane in order.
+func (s Serial) Step(fn func(lane int)) {
+	for lane := 0; lane < s.N; lane++ {
+		fn(lane)
+	}
+}
+
+// Ops is a no-op.
+func (s Serial) Ops(int) {}
+
+// GlobalRead is a no-op.
+func (s Serial) GlobalRead(int) {}
+
+// GlobalWrite is a no-op.
+func (s Serial) GlobalWrite(int) {}
+
+// LocalRead is a no-op.
+func (s Serial) LocalRead(int) {}
+
+// LocalWrite is a no-op.
+func (s Serial) LocalWrite(int) {}
+
+var (
+	_ Ctx = (*Group)(nil)
+	_ Ctx = Serial{}
+)

@@ -1,0 +1,113 @@
+package device
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Profiler accumulates per-kernel launch statistics. It backs the Fig. 4
+// kernel-breakdown experiments and supplies the work counts consumed by
+// the analytic platform model (Fig. 3).
+type Profiler struct {
+	mu      sync.Mutex
+	entries map[string]*KernelStats
+	order   []string // first-launch order, for stable reporting
+}
+
+// KernelStats is the accumulated record for one kernel name.
+type KernelStats struct {
+	Name     string
+	Launches int64
+	Elapsed  time.Duration
+	Count    Counters
+}
+
+// NewProfiler returns an empty profiler.
+func NewProfiler() *Profiler {
+	return &Profiler{entries: make(map[string]*KernelStats)}
+}
+
+func (p *Profiler) record(s LaunchStats) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e := p.entries[s.Name]
+	if e == nil {
+		e = &KernelStats{Name: s.Name}
+		p.entries[s.Name] = e
+		p.order = append(p.order, s.Name)
+	}
+	e.Launches++
+	e.Elapsed += s.Elapsed
+	e.Count.Add(&s.Count)
+}
+
+// Reset clears all accumulated statistics.
+func (p *Profiler) Reset() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.entries = make(map[string]*KernelStats)
+	p.order = nil
+}
+
+// Snapshot returns a copy of the per-kernel statistics in first-launch
+// order.
+func (p *Profiler) Snapshot() []KernelStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]KernelStats, 0, len(p.order))
+	for _, name := range p.order {
+		out = append(out, *p.entries[name])
+	}
+	return out
+}
+
+// Total returns the summed elapsed time over all kernels.
+func (p *Profiler) Total() time.Duration {
+	var t time.Duration
+	for _, e := range p.Snapshot() {
+		t += e.Elapsed
+	}
+	return t
+}
+
+// Breakdown returns each kernel's fraction of the total elapsed time,
+// sorted descending. This is the quantity plotted in Fig. 4.
+func (p *Profiler) Breakdown() []Fraction {
+	snap := p.Snapshot()
+	var total time.Duration
+	for _, e := range snap {
+		total += e.Elapsed
+	}
+	out := make([]Fraction, 0, len(snap))
+	for _, e := range snap {
+		f := 0.0
+		if total > 0 {
+			f = float64(e.Elapsed) / float64(total)
+		}
+		out = append(out, Fraction{Name: e.Name, Fraction: f, Elapsed: e.Elapsed})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Fraction > out[j].Fraction })
+	return out
+}
+
+// Fraction is one kernel's share of a breakdown.
+type Fraction struct {
+	Name     string
+	Fraction float64
+	Elapsed  time.Duration
+}
+
+// String renders the breakdown as a compact single-line summary.
+func (p *Profiler) String() string {
+	var b strings.Builder
+	for i, f := range p.Breakdown() {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(&b, "%s=%.1f%%", f.Name, 100*f.Fraction)
+	}
+	return b.String()
+}

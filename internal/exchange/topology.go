@@ -1,0 +1,245 @@
+// Package exchange implements the particle-exchange topologies of the
+// distributed filter.
+//
+// After each round, every sub-filter sends its best t particles to its
+// neighbors under an exchange scheme (§IV, §VI-E, Fig. 1):
+//
+//   - All-to-All: every sub-filter contributes t particles to a shared
+//     pool; all read back the same t best of the pool. Cheap on shared
+//     memory but, as Fig. 6 shows, the worst for accuracy — the same
+//     particles flood every sub-filter and diversity collapses.
+//   - Ring: sub-filter i exchanges with i±1 (mod N).
+//   - 2D Torus: sub-filters form a rows×cols grid with wraparound;
+//     4 neighbors each. Better for large networks (Fig. 6c).
+//   - Hypercube (an extension beyond the paper): log₂N neighbors,
+//     provided for the connectivity-scaling ablation.
+//
+// Incoming particles replace the receiver's worst-weighted slots, which
+// is why sub-filters sort by weight before exchanging (§VI-C).
+package exchange
+
+import "fmt"
+
+// Scheme identifies an exchange topology.
+type Scheme int
+
+// The supported schemes.
+const (
+	None Scheme = iota // no exchange (t = 0 or isolated sub-filters)
+	AllToAll
+	Ring
+	Torus2D
+	Hypercube
+	// RandomPairs matches sub-filters into fresh random pairs every
+	// round (gossip-style; one of the "various exchange schemes [that]
+	// can be envisioned", §III-A). Degree 1, so the per-round
+	// communication is the lowest of the pairwise schemes, but over time
+	// every pair of sub-filters eventually communicates directly.
+	// Supported by the sequential distributed filter; the device pipeline
+	// uses static topologies.
+	RandomPairs
+)
+
+// String returns the scheme name.
+func (s Scheme) String() string {
+	switch s {
+	case None:
+		return "none"
+	case AllToAll:
+		return "all-to-all"
+	case Ring:
+		return "ring"
+	case Torus2D:
+		return "torus"
+	case Hypercube:
+		return "hypercube"
+	case RandomPairs:
+		return "random-pairs"
+	}
+	return fmt.Sprintf("scheme(%d)", int(s))
+}
+
+// SchemeByName parses a scheme name.
+func SchemeByName(name string) (Scheme, error) {
+	switch name {
+	case "none":
+		return None, nil
+	case "all-to-all", "alltoall", "a2a":
+		return AllToAll, nil
+	case "ring":
+		return Ring, nil
+	case "torus", "torus2d", "2d-torus":
+		return Torus2D, nil
+	case "hypercube", "cube":
+		return Hypercube, nil
+	case "random-pairs", "random", "gossip":
+		return RandomPairs, nil
+	}
+	return None, fmt.Errorf("exchange: unknown scheme %q", name)
+}
+
+// Topology is an instantiated exchange graph over n sub-filters.
+type Topology struct {
+	scheme     Scheme
+	n          int
+	rows, cols int // torus factorization
+}
+
+// NewTopology builds the topology for scheme over n sub-filters.
+// Torus2D factorizes n into the most-square rows×cols grid (n must not be
+// prime > 3 for a non-degenerate grid, but any n works — a 1×n grid
+// degenerates to a ring). Hypercube requires n to be a power of two.
+func NewTopology(scheme Scheme, n int) (*Topology, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("exchange: non-positive network size %d", n)
+	}
+	t := &Topology{scheme: scheme, n: n}
+	if scheme == Torus2D {
+		t.rows, t.cols = squarestFactors(n)
+	}
+	if scheme == Hypercube && n&(n-1) != 0 {
+		return nil, fmt.Errorf("exchange: hypercube requires power-of-two size, got %d", n)
+	}
+	return t, nil
+}
+
+// Scheme returns the topology's scheme.
+func (t *Topology) Scheme() Scheme { return t.scheme }
+
+// Size returns the number of sub-filters.
+func (t *Topology) Size() int { return t.n }
+
+// GridDims returns the torus factorization (0,0 for other schemes).
+func (t *Topology) GridDims() (rows, cols int) { return t.rows, t.cols }
+
+// Neighbors appends the neighbor ids of sub-filter i to dst and returns
+// it. For AllToAll it returns nil: the pool pattern is handled specially
+// by the exchange kernels (neighbors are not pairwise).
+func (t *Topology) Neighbors(dst []int, i int) []int {
+	if i < 0 || i >= t.n {
+		panic(fmt.Sprintf("exchange: sub-filter %d out of range [0,%d)", i, t.n))
+	}
+	switch t.scheme {
+	case None, AllToAll, RandomPairs:
+		// All-to-All uses the shared pool; RandomPairs derives fresh
+		// pairings per round via Pairing.
+		return dst
+	case Ring:
+		if t.n == 1 {
+			return dst
+		}
+		prev := (i - 1 + t.n) % t.n
+		next := (i + 1) % t.n
+		dst = append(dst, prev)
+		if next != prev {
+			dst = append(dst, next)
+		}
+		return dst
+	case Torus2D:
+		r, c := i/t.cols, i%t.cols
+		seen := map[int]bool{i: true}
+		add := func(rr, cc int) []int {
+			j := ((rr+t.rows)%t.rows)*t.cols + (cc+t.cols)%t.cols
+			if !seen[j] {
+				seen[j] = true
+				dst = append(dst, j)
+			}
+			return dst
+		}
+		dst = add(r-1, c)
+		dst = add(r+1, c)
+		dst = add(r, c-1)
+		dst = add(r, c+1)
+		return dst
+	case Hypercube:
+		for b := 1; b < t.n; b <<= 1 {
+			dst = append(dst, i^b)
+		}
+		return dst
+	}
+	return dst
+}
+
+// MaxDegree returns the maximum neighbor count over all sub-filters,
+// useful for sizing exchange buffers.
+func (t *Topology) MaxDegree() int {
+	switch t.scheme {
+	case None, AllToAll:
+		return 0
+	case RandomPairs:
+		if t.n > 1 {
+			return 1
+		}
+		return 0
+	case Ring:
+		if t.n <= 2 {
+			return t.n - 1
+		}
+		return 2
+	case Torus2D:
+		d := 0
+		var buf []int
+		for i := 0; i < t.n; i++ {
+			buf = t.Neighbors(buf[:0], i)
+			if len(buf) > d {
+				d = len(buf)
+			}
+		}
+		return d
+	case Hypercube:
+		d := 0
+		for b := 1; b < t.n; b <<= 1 {
+			d++
+		}
+		return d
+	}
+	return 0
+}
+
+// Pairing returns the RandomPairs matching for one round: partner[i] is
+// the sub-filter i exchanges with, or i itself when unmatched (odd n
+// leaves one out per round). The matching is a deterministic function of
+// (seed, round), symmetric (partner[partner[i]] == i), and changes every
+// round.
+func Pairing(n int, seed uint64, round int) []int {
+	partner := make([]int, n)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	// Seeded Fisher-Yates via SplitMix-style mixing, then pair adjacent
+	// entries of the permutation.
+	state := seed ^ (uint64(round)+1)*0x9E3779B97F4A7C15
+	next := func() uint64 {
+		state += 0x9E3779B97F4A7C15
+		z := state
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		return z ^ (z >> 31)
+	}
+	for i := n - 1; i > 0; i-- {
+		j := int(next() % uint64(i+1))
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	for i := range partner {
+		partner[i] = i
+	}
+	for i := 0; i+1 < n; i += 2 {
+		a, b := perm[i], perm[i+1]
+		partner[a] = b
+		partner[b] = a
+	}
+	return partner
+}
+
+// squarestFactors returns (rows, cols) with rows*cols == n and rows the
+// largest divisor of n not exceeding √n.
+func squarestFactors(n int) (rows, cols int) {
+	rows = 1
+	for d := 1; d*d <= n; d++ {
+		if n%d == 0 {
+			rows = d
+		}
+	}
+	return rows, n / rows
+}

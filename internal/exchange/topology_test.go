@@ -1,0 +1,242 @@
+package exchange
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSchemeRoundTrip(t *testing.T) {
+	for _, s := range []Scheme{None, AllToAll, Ring, Torus2D, Hypercube} {
+		got, err := SchemeByName(s.String())
+		if err != nil {
+			t.Fatalf("SchemeByName(%q): %v", s.String(), err)
+		}
+		if got != s {
+			t.Fatalf("round trip %v -> %v", s, got)
+		}
+	}
+	if _, err := SchemeByName("bogus"); err == nil {
+		t.Fatal("expected error for unknown scheme")
+	}
+	if s := Scheme(99).String(); s == "" {
+		t.Fatal("unknown scheme must still stringify")
+	}
+}
+
+func TestNewTopologyValidation(t *testing.T) {
+	if _, err := NewTopology(Ring, 0); err == nil {
+		t.Fatal("size 0 must error")
+	}
+	if _, err := NewTopology(Hypercube, 6); err == nil {
+		t.Fatal("non-power-of-two hypercube must error")
+	}
+	if _, err := NewTopology(Hypercube, 8); err != nil {
+		t.Fatalf("hypercube 8: %v", err)
+	}
+}
+
+func TestRingNeighbors(t *testing.T) {
+	top, _ := NewTopology(Ring, 5)
+	got := top.Neighbors(nil, 0)
+	want := map[int]bool{4: true, 1: true}
+	if len(got) != 2 || !want[got[0]] || !want[got[1]] {
+		t.Fatalf("ring neighbors of 0 = %v", got)
+	}
+	// Size 2: single mutual neighbor, no duplicates.
+	top2, _ := NewTopology(Ring, 2)
+	if got := top2.Neighbors(nil, 0); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("2-ring neighbors of 0 = %v", got)
+	}
+	// Size 1: no neighbors.
+	top1, _ := NewTopology(Ring, 1)
+	if got := top1.Neighbors(nil, 0); len(got) != 0 {
+		t.Fatalf("1-ring neighbors = %v", got)
+	}
+}
+
+func TestTorusFactorization(t *testing.T) {
+	cases := []struct{ n, rows, cols int }{
+		{16, 4, 4}, {64, 8, 8}, {12, 3, 4}, {100, 10, 10}, {2, 1, 2}, {7, 1, 7},
+	}
+	for _, c := range cases {
+		top, _ := NewTopology(Torus2D, c.n)
+		r, cc := top.GridDims()
+		if r != c.rows || cc != c.cols {
+			t.Errorf("n=%d: grid %dx%d, want %dx%d", c.n, r, cc, c.rows, c.cols)
+		}
+	}
+}
+
+func TestTorusNeighbors4x4(t *testing.T) {
+	top, _ := NewTopology(Torus2D, 16)
+	got := top.Neighbors(nil, 5) // row 1, col 1
+	want := map[int]bool{1: true, 9: true, 4: true, 6: true}
+	if len(got) != 4 {
+		t.Fatalf("torus neighbors of 5 = %v", got)
+	}
+	for _, n := range got {
+		if !want[n] {
+			t.Fatalf("unexpected neighbor %d in %v", n, got)
+		}
+	}
+	// Wraparound corner.
+	got0 := top.Neighbors(nil, 0)
+	want0 := map[int]bool{12: true, 4: true, 3: true, 1: true}
+	for _, n := range got0 {
+		if !want0[n] {
+			t.Fatalf("corner wraparound wrong: %v", got0)
+		}
+	}
+}
+
+func TestHypercubeNeighbors(t *testing.T) {
+	top, _ := NewTopology(Hypercube, 8)
+	got := top.Neighbors(nil, 5) // 101 -> 100,111,001
+	want := map[int]bool{4: true, 7: true, 1: true}
+	if len(got) != 3 {
+		t.Fatalf("hypercube neighbors of 5 = %v", got)
+	}
+	for _, n := range got {
+		if !want[n] {
+			t.Fatalf("unexpected hypercube neighbor %d", n)
+		}
+	}
+	if top.MaxDegree() != 3 {
+		t.Fatalf("hypercube-8 degree = %d, want 3", top.MaxDegree())
+	}
+}
+
+func TestNoneAndAllToAllHaveNoPairwiseNeighbors(t *testing.T) {
+	for _, s := range []Scheme{None, AllToAll} {
+		top, _ := NewTopology(s, 10)
+		if got := top.Neighbors(nil, 3); len(got) != 0 {
+			t.Fatalf("%v must have no pairwise neighbors, got %v", s, got)
+		}
+		if top.MaxDegree() != 0 {
+			t.Fatalf("%v degree must be 0", s)
+		}
+	}
+}
+
+func TestNeighborsOutOfRangePanics(t *testing.T) {
+	top, _ := NewTopology(Ring, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	top.Neighbors(nil, 4)
+}
+
+// Property: neighbor relations are symmetric for all pairwise schemes and
+// never include self.
+func TestQuickNeighborSymmetry(t *testing.T) {
+	f := func(rawN uint8, rawI uint8, schemeSel uint8) bool {
+		n := int(rawN)%63 + 2
+		scheme := []Scheme{Ring, Torus2D, Hypercube}[int(schemeSel)%3]
+		if scheme == Hypercube {
+			// Round n to a power of two.
+			p := 2
+			for p*2 <= n {
+				p *= 2
+			}
+			n = p
+		}
+		top, err := NewTopology(scheme, n)
+		if err != nil {
+			return false
+		}
+		i := int(rawI) % n
+		for _, j := range top.Neighbors(nil, i) {
+			if j == i {
+				return false // self loop
+			}
+			back := top.Neighbors(nil, j)
+			found := false
+			for _, k := range back {
+				if k == i {
+					found = true
+				}
+			}
+			if !found {
+				return false // asymmetric
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxDegreeRing(t *testing.T) {
+	for _, c := range []struct{ n, want int }{{1, 0}, {2, 1}, {3, 2}, {100, 2}} {
+		top, _ := NewTopology(Ring, c.n)
+		if got := top.MaxDegree(); got != c.want {
+			t.Errorf("ring-%d degree = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestPairingIsSymmetricMatching(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 8, 17, 64} {
+		for round := 0; round < 5; round++ {
+			p := Pairing(n, 42, round)
+			if len(p) != n {
+				t.Fatalf("n=%d: pairing length %d", n, len(p))
+			}
+			unmatched := 0
+			for i, j := range p {
+				if j < 0 || j >= n {
+					t.Fatalf("n=%d: partner out of range", n)
+				}
+				if p[j] != i {
+					t.Fatalf("n=%d round=%d: asymmetric pairing %d<->%d", n, round, i, j)
+				}
+				if j == i {
+					unmatched++
+				}
+			}
+			if want := n % 2; unmatched != want {
+				t.Fatalf("n=%d: %d unmatched, want %d", n, unmatched, want)
+			}
+		}
+	}
+}
+
+func TestPairingDeterministicAndVaries(t *testing.T) {
+	a := Pairing(16, 7, 3)
+	b := Pairing(16, 7, 3)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("pairing not deterministic")
+		}
+	}
+	c := Pairing(16, 7, 4)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("pairing identical across rounds")
+	}
+}
+
+func TestRandomPairsScheme(t *testing.T) {
+	s, err := SchemeByName("gossip")
+	if err != nil || s != RandomPairs {
+		t.Fatalf("gossip alias: %v %v", s, err)
+	}
+	top, err := NewTopology(RandomPairs, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := top.Neighbors(nil, 3); len(got) != 0 {
+		t.Fatal("random-pairs must have no static neighbors")
+	}
+	if top.MaxDegree() != 1 {
+		t.Fatalf("random-pairs degree %d, want 1", top.MaxDegree())
+	}
+}

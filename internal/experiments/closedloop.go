@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+
+	"esthera/internal/control"
+	"esthera/internal/device"
+	"esthera/internal/exchange"
+	"esthera/internal/filter"
+	"esthera/internal/model/arm"
+	"esthera/internal/rng"
+)
+
+// ClosedLoopAblation measures what the paper's performance push buys:
+// control quality as a function of (a) the filter's particle budget and
+// (b) the estimation rate relative to the control loop (the controller
+// reuses stale estimates when the filter is slower). It quantifies the
+// introduction's real-time argument — a filter that is accurate but slow
+// degrades the loop just like one that is fast but starved of particles.
+func ClosedLoopAblation(o AccuracyOptions) (*Table, error) {
+	o = o.withDefaults()
+	path := arm.Lemniscate{A: 0.4, Period: 200, CenterX: 0.55}
+	shapes := []struct{ n, mp int }{{4, 8}, {16, 16}, {64, 64}}
+	periods := []int{1, 2, 4, 8}
+
+	t := &Table{
+		Title:  "companion-work ablation — closed-loop pointing error vs filter size and estimation rate",
+		Header: []string{"filter"},
+		Notes: []string{
+			"mean bearing misalignment [rad] after burn-in, averaged over runs",
+			"estimate/k: the filter runs every k-th control step (stale estimates in between)",
+		},
+	}
+	for _, p := range periods {
+		t.Header = append(t.Header, fmt.Sprintf("estimate/%d", p))
+	}
+	steps := o.Steps * 2 // closed loops need settling time
+	for _, sh := range shapes {
+		row := []interface{}{fmt.Sprintf("%d×%d", sh.n, sh.mp)}
+		for _, p := range periods {
+			sum := 0.0
+			for run := 0; run < o.Runs; run++ {
+				seed := rng.StreamSeed(o.Seed, 100*p+run)
+				m, _, err := arm.NewScenario(arm.Config{Joints: o.Joints}, path)
+				if err != nil {
+					return nil, err
+				}
+				dev := device.New(device.Config{Workers: o.Workers, LocalMemBytes: -1})
+				f, err := filter.NewParallel(dev, m, filter.ParallelConfig{
+					SubFilters: sh.n, ParticlesPer: sh.mp,
+					Scheme: exchange.Ring, ExchangeCount: 1,
+				}, seed)
+				if err != nil {
+					return nil, err
+				}
+				loop, err := control.NewLoop(m, path, f)
+				if err != nil {
+					return nil, err
+				}
+				loop.EstimateEvery = p
+				res := loop.Run(steps, seed+7)
+				sum += res.MeanPointingAfter(steps / 3)
+			}
+			row = append(row, sum/float64(o.Runs))
+		}
+		t.Append(row...)
+	}
+	return t, nil
+}

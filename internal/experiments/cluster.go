@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"esthera/internal/cluster"
+	"esthera/internal/metrics"
+	"esthera/internal/rng"
+)
+
+// ClusterScaling evaluates the §IX scale-up direction: the sub-filter
+// ring partitioned over 1–8 simulated cluster nodes at a fixed per-node
+// workload (weak scaling). For each cluster size it reports accuracy,
+// per-round inter-node traffic, and the predicted communication time per
+// round on three interconnect profiles — showing that the paper's
+// exchange-thin design keeps the network cost negligible next to even a
+// GPU-fast compute round.
+func ClusterScaling(o AccuracyOptions, nodeCounts []int) (*Table, error) {
+	o = o.withDefaults()
+	if nodeCounts == nil {
+		nodeCounts = []int{1, 2, 4, 8}
+	}
+	m, sc, err := armScenario(o.Joints)
+	if err != nil {
+		return nil, err
+	}
+	nets := []cluster.NetworkProfile{
+		cluster.GigabitEthernet(), cluster.TenGigabitEthernet(), cluster.InfiniBandQDR(),
+	}
+	t := &Table{
+		Title: "§IX scale-up — cluster weak scaling (16 sub-filters × 16 particles per node, ring t=1)",
+		Header: []string{"nodes", "particles", "mean error [m]", "bytes/round",
+			"comm@" + nets[0].Name, "comm@" + nets[1].Name, "comm@" + nets[2].Name},
+		Notes: []string{
+			fmt.Sprintf("%d steps; comm columns: predicted per-round network time per node", o.Steps),
+		},
+	}
+	for _, nodes := range nodeCounts {
+		var lastComm [3]time.Duration
+		var bytesPerRound int64
+		meanErr := 0.0
+		for run := 0; run < o.Runs; run++ {
+			c, err := cluster.New(m, cluster.Config{
+				Nodes: nodes, SubFiltersPerNode: 16, ParticlesPer: 16,
+				ExchangeCount: 1, WorkersPerNode: 1,
+			}, rng.StreamSeed(o.Seed, run))
+			if err != nil {
+				return nil, err
+			}
+			s := metrics.Run(c, sc, o.Steps, rng.StreamSeed(o.Seed, 1000+run))
+			meanErr += s.Mean() / float64(o.Runs)
+			bytes, _ := c.CommStats()
+			bytesPerRound = bytes / int64(o.Steps)
+			for i, np := range nets {
+				cc, err := cluster.New(m, cluster.Config{
+					Nodes: nodes, SubFiltersPerNode: 16, ParticlesPer: 16,
+					ExchangeCount: 1, WorkersPerNode: 1, Network: np,
+				}, 1)
+				if err != nil {
+					return nil, err
+				}
+				// One round suffices: traffic per round is deterministic.
+				u := make([]float64, m.ControlDim())
+				z := make([]float64, m.MeasurementDim())
+				cc.Step(u, z)
+				lastComm[i] = cc.PredictCommPerRound()
+			}
+		}
+		t.Append(nodes, nodes*16*16, meanErr, bytesPerRound,
+			lastComm[0].String(), lastComm[1].String(), lastComm[2].String())
+	}
+	return t, nil
+}
+
+// ClusterFailure runs the fault-injection experiment: a 4-node cluster
+// tracking the arm loses half its nodes mid-run and later recovers them.
+// The table reports the mean error in each phase.
+func ClusterFailure(o AccuracyOptions) (*Table, error) {
+	o = o.withDefaults()
+	m, sc, err := armScenario(o.Joints)
+	if err != nil {
+		return nil, err
+	}
+	c, err := cluster.New(m, cluster.Config{
+		Nodes: 4, SubFiltersPerNode: 16, ParticlesPer: 16,
+		ExchangeCount: 1, WorkersPerNode: 2,
+	}, o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	phaseLen := o.Steps
+	if phaseLen < 30 {
+		phaseLen = 30
+	}
+	measR := rng.New(rng.NewPhiloxStream(o.Seed, 0x4D53))
+	truth := make([]float64, m.StateDim())
+	z := make([]float64, m.MeasurementDim())
+	u := make([]float64, m.ControlDim())
+	k := 0
+	phase := func(steps int) float64 {
+		sum := 0.0
+		for i := 0; i < steps; i++ {
+			k++
+			sc.TrueState(k, truth)
+			sc.Control(k, u)
+			m.Measure(z, truth, measR)
+			est := c.Step(u, z)
+			ex, ey := m.TrackedPosition(est.State)
+			tx, ty := m.TrackedPosition(truth)
+			dx, dy := ex-tx, ey-ty
+			sum += dx*dx + dy*dy
+		}
+		return sum / float64(steps)
+	}
+	before := phase(phaseLen)
+	c.FailNode(1)
+	c.FailNode(2)
+	during := phase(phaseLen)
+	c.RestoreNode(1)
+	c.RestoreNode(2)
+	after := phase(phaseLen)
+
+	t := &Table{
+		Title:  "§IX robustness — node failure injection (4 nodes, 2 fail, then recover)",
+		Header: []string{"phase", "live nodes", "mean squared error [m²]"},
+		Notes:  []string{fmt.Sprintf("%d steps per phase", phaseLen)},
+	}
+	t.Append("healthy", 4, before)
+	t.Append("2 nodes failed", 2, during)
+	t.Append("recovered", 4, after)
+	return t, nil
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+
+	"esthera/internal/device"
+	"esthera/internal/exchange"
+	"esthera/internal/filter"
+	"esthera/internal/kernels"
+	"esthera/internal/platform"
+	"esthera/internal/rng"
+)
+
+// EmbeddedScaleDown addresses the paper's second §IX scale direction:
+// down to embedded systems. It sweeps small filter configurations on the
+// arm benchmark and reports, for each, the estimation error and the
+// cost-model update rate on the mobile CPU (the closest Table III proxy
+// for an embedded part) — exposing the smallest configuration that still
+// tracks, and the accuracy price of each step down.
+func EmbeddedScaleDown(o AccuracyOptions) (*Table, error) {
+	o = o.withDefaults()
+	m, sc, err := armScenario(o.Joints)
+	if err != nil {
+		return nil, err
+	}
+	mobile, err := platform.ByName("i7-2720QM")
+	if err != nil {
+		return nil, err
+	}
+	configs := []struct{ n, mp int }{
+		{2, 8}, {4, 8}, {8, 8}, {8, 16}, {16, 16}, {32, 16}, {32, 32},
+	}
+	t := &Table{
+		Title:  "§IX scale-down — small configurations for embedded targets (ring t=1)",
+		Header: []string{"sub-filters", "m", "particles", "mean error [m]", "mobile rate (Hz)"},
+		Notes: []string{
+			fmt.Sprintf("%d runs × %d steps; mobile rate: i7-2720QM cost-model prediction", o.Runs, o.Steps),
+		},
+	}
+	for _, c := range configs {
+		e, err := meanError(o, sc, func(seed uint64) (filter.Filter, error) {
+			return parallelArmFilter(o, m, c.n, c.mp, 1, exchange.Ring, seed)
+		})
+		if err != nil {
+			return nil, err
+		}
+		hz, err := mobileRate(o, mobile, c.n, c.mp)
+		if err != nil {
+			return nil, err
+		}
+		t.Append(c.n, c.mp, c.n*c.mp, e, hz)
+	}
+	return t, nil
+}
+
+// mobileRate predicts the per-round update rate of a configuration on the
+// mobile-CPU descriptor from freshly collected kernel counters.
+func mobileRate(o AccuracyOptions, p platform.Platform, n, mp int) (float64, error) {
+	mdl, sc, err := armScenario(o.Joints)
+	if err != nil {
+		return 0, err
+	}
+	dev := device.New(device.Config{Workers: o.Workers, LocalMemBytes: -1})
+	top, err := exchange.NewTopology(exchange.Ring, n)
+	if err != nil {
+		return 0, err
+	}
+	pipe, err := kernels.New(dev, mdl, kernels.Config{
+		SubFilters: n, ParticlesPer: mp, ExchangeCount: 1, Topology: top,
+	}, 1)
+	if err != nil {
+		return 0, err
+	}
+	measR := rng.New(rng.NewPhiloxStream(3, 1))
+	truth := make([]float64, mdl.StateDim())
+	z := make([]float64, mdl.MeasurementDim())
+	u := make([]float64, mdl.ControlDim())
+	const rounds = 3
+	for k := 1; k <= rounds; k++ {
+		sc.TrueState(k, truth)
+		sc.Control(k, u)
+		mdl.Measure(z, truth, measR)
+		pipe.Round(u, z, k)
+	}
+	_, round := p.PredictRound(dev.Profiler().Snapshot(), rounds, n)
+	return platform.UpdateRateHz(round), nil
+}

@@ -1,0 +1,196 @@
+package filter
+
+import (
+	"fmt"
+	"math"
+
+	"esthera/internal/model"
+	"esthera/internal/resample"
+	"esthera/internal/rng"
+)
+
+// Adaptive is a KLD-sampling particle filter (Fox 2003): instead of a
+// fixed particle count it draws, each round, just enough particles that
+// the Kullback-Leibler divergence between the sample-based posterior and
+// the true posterior is below Epsilon with confidence 1-δ. The bound
+// depends on k, the number of histogram bins with support:
+//
+//	n ≥ (k-1)/(2ε) · (1 - 2/(9(k-1)) + sqrt(2/(9(k-1)))·z_{1-δ})³
+//
+// When the posterior is concentrated (few occupied bins) the filter runs
+// with a fraction of MaxParticles — the "adaptive number of particles"
+// efficiency idea, included here as a toolkit extension complementing the
+// paper's fixed-size design (its real-time argument, §III-A, is exactly
+// that data-dependent sizes are awkward on GPUs; this sequential
+// implementation quantifies what that choice leaves on the table).
+type Adaptive struct {
+	m   model.Model
+	dim int
+
+	// Epsilon is the KLD bound (default 0.05); Z is z_{1-δ} (default
+	// 2.326, δ = 0.01).
+	epsilon, z float64
+	minN, maxN int
+	binWidths  []float64
+
+	particles []float64 // capacity maxN × dim, first n valid
+	next      []float64
+	logw      []float64
+	w         []float64
+	n         int // current particle count
+
+	rs  resample.Resampler
+	r   *rng.Rand
+	est Estimator
+	k   int
+}
+
+// AdaptiveOptions configures NewAdaptive.
+type AdaptiveOptions struct {
+	// MinParticles / MaxParticles bound the adaptive size (defaults 64
+	// and 8192).
+	MinParticles, MaxParticles int
+	// Epsilon is the KLD error bound (default 0.05).
+	Epsilon float64
+	// Z is the standard-normal quantile z_{1-δ} (default 2.326 ≈ 99%).
+	Z float64
+	// BinWidths sets the per-dimension histogram bin width for the
+	// support count; nil uses 0.5 for every dimension.
+	BinWidths []float64
+	// Resampler defaults to systematic (the usual KLD pairing).
+	Resampler resample.Resampler
+	// Estimator defaults to MaxWeight.
+	Estimator Estimator
+}
+
+// NewAdaptive builds a KLD-sampling filter for m.
+func NewAdaptive(m model.Model, seed uint64, opts AdaptiveOptions) (*Adaptive, error) {
+	a := &Adaptive{m: m, dim: m.StateDim()}
+	a.minN = opts.MinParticles
+	if a.minN == 0 {
+		a.minN = 64
+	}
+	a.maxN = opts.MaxParticles
+	if a.maxN == 0 {
+		a.maxN = 8192
+	}
+	if a.minN <= 0 || a.maxN < a.minN {
+		return nil, fmt.Errorf("filter: invalid adaptive bounds [%d,%d]", a.minN, a.maxN)
+	}
+	a.epsilon = opts.Epsilon
+	if a.epsilon == 0 {
+		a.epsilon = 0.05
+	}
+	a.z = opts.Z
+	if a.z == 0 {
+		a.z = 2.326
+	}
+	a.binWidths = opts.BinWidths
+	if a.binWidths == nil {
+		a.binWidths = make([]float64, a.dim)
+		for i := range a.binWidths {
+			a.binWidths[i] = 0.5
+		}
+	}
+	if len(a.binWidths) != a.dim {
+		return nil, fmt.Errorf("filter: %d bin widths for state dim %d", len(a.binWidths), a.dim)
+	}
+	a.rs = opts.Resampler
+	if a.rs == nil {
+		a.rs = resample.Systematic{}
+	}
+	a.est = opts.Estimator
+	a.particles = make([]float64, a.maxN*a.dim)
+	a.next = make([]float64, a.maxN*a.dim)
+	a.logw = make([]float64, a.maxN)
+	a.w = make([]float64, a.maxN)
+	a.Reset(seed)
+	return a, nil
+}
+
+// Name implements Filter.
+func (a *Adaptive) Name() string { return "kld-adaptive" }
+
+// Reset implements Filter.
+func (a *Adaptive) Reset(seed uint64) {
+	a.r = rng.New(rng.NewPhiloxStream(seed, 0))
+	a.k = 0
+	a.n = a.maxN
+	initParticles(a.m, a.particles[:a.n*a.dim], a.r)
+	for i := range a.logw {
+		a.logw[i] = 0
+	}
+}
+
+// N returns the current particle count (for diagnostics and tests).
+func (a *Adaptive) N() int { return a.n }
+
+// kldBound returns the particle count the KLD criterion requires for k
+// occupied bins.
+func (a *Adaptive) kldBound(k int) int {
+	if k <= 1 {
+		return a.minN
+	}
+	km1 := float64(k - 1)
+	t := 1 - 2/(9*km1) + math.Sqrt(2/(9*km1))*a.z
+	n := km1 / (2 * a.epsilon) * t * t * t
+	if n < float64(a.minN) {
+		return a.minN
+	}
+	if n > float64(a.maxN) {
+		return a.maxN
+	}
+	return int(n)
+}
+
+// binKey quantizes a state into its histogram bin.
+func (a *Adaptive) binKey(x []float64) string {
+	// Fixed-width integer key; states live in modest ranges here.
+	var buf [16]byte
+	key := make([]byte, 0, a.dim*4)
+	for d, v := range x {
+		b := int64(math.Floor(v / a.binWidths[d]))
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(b >> (8 * i))
+		}
+		key = append(key, buf[:8]...)
+	}
+	return string(key)
+}
+
+// Step implements Filter: propagate and weight the current set, estimate,
+// then resample with KLD-adapted size — new particles are drawn (with
+// replacement, weight-proportional) until the bound for the occupied-bin
+// count is met.
+func (a *Adaptive) Step(u, z []float64) Estimate {
+	a.k++
+	for i := 0; i < a.n; i++ {
+		src := a.particles[i*a.dim : (i+1)*a.dim]
+		dst := a.next[i*a.dim : (i+1)*a.dim]
+		a.m.Step(dst, src, u, a.k, a.r)
+		a.logw[i] += a.m.LogLikelihood(dst, z)
+	}
+	a.particles, a.next = a.next, a.particles
+	maxLW := normalizeLogWeights(a.logw[:a.n], a.w[:a.n])
+	est := estimateFrom(a.est, a.particles[:a.n*a.dim], a.w[:a.n], a.dim, maxLW)
+
+	// KLD resampling: draw until the bound for the current support is
+	// satisfied (bounded by maxN).
+	table := resample.NewAliasTable(a.w[:a.n])
+	bins := make(map[string]struct{}, a.minN)
+	out := 0
+	required := a.minN
+	for out < required && out < a.maxN {
+		src := table.Sample(a.r)
+		copy(a.next[out*a.dim:(out+1)*a.dim], a.particles[src*a.dim:(src+1)*a.dim])
+		bins[a.binKey(a.next[out*a.dim:(out+1)*a.dim])] = struct{}{}
+		out++
+		required = a.kldBound(len(bins))
+	}
+	a.particles, a.next = a.next, a.particles
+	a.n = out
+	for i := 0; i < a.n; i++ {
+		a.logw[i] = 0
+	}
+	return est
+}

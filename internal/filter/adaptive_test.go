@@ -1,0 +1,136 @@
+package filter_test
+
+import (
+	"testing"
+
+	"esthera/internal/filter"
+	"esthera/internal/model"
+	"esthera/internal/rng"
+)
+
+func TestAdaptiveValidation(t *testing.T) {
+	m := model.NewUNGM()
+	if _, err := filter.NewAdaptive(m, 1, filter.AdaptiveOptions{MinParticles: -1}); err == nil {
+		t.Fatal("negative min accepted")
+	}
+	if _, err := filter.NewAdaptive(m, 1, filter.AdaptiveOptions{MinParticles: 100, MaxParticles: 10}); err == nil {
+		t.Fatal("max < min accepted")
+	}
+	if _, err := filter.NewAdaptive(m, 1, filter.AdaptiveOptions{BinWidths: []float64{1, 2}}); err == nil {
+		t.Fatal("wrong bin widths accepted")
+	}
+}
+
+func TestAdaptiveTracksAndShrinks(t *testing.T) {
+	f, err := filter.NewAdaptive(model.NewUNGM(), 1, filter.AdaptiveOptions{
+		MinParticles: 64, MaxParticles: 4096,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.N() != 4096 {
+		t.Fatalf("initial N = %d, want max", f.N())
+	}
+	sum := 0.0
+	const runs = 4
+	minSeen, maxSeen := 1<<30, 0
+	for run := 0; run < runs; run++ {
+		f.Reset(uint64(run + 1))
+		sum += meanErr(t, f, 60, run)
+		if f.N() < minSeen {
+			minSeen = f.N()
+		}
+		if f.N() > maxSeen {
+			maxSeen = f.N()
+		}
+	}
+	if avg := sum / runs; avg > 5 {
+		t.Fatalf("adaptive filter mean error %v, want < 5", avg)
+	}
+	// Adaptivity: the final particle counts must respect the bounds and
+	// actually shrink below the maximum once the posterior concentrates.
+	if minSeen < 64 || maxSeen > 4096 {
+		t.Fatalf("particle count escaped bounds: [%d, %d]", minSeen, maxSeen)
+	}
+	if minSeen == 4096 {
+		t.Fatal("KLD sizing never shrank the population")
+	}
+}
+
+func TestAdaptiveConcentratedPosteriorUsesFewParticles(t *testing.T) {
+	// Bearings with tiny noise: posterior concentrates fast → small N.
+	m := model.NewBearings()
+	f, err := filter.NewAdaptive(m, 1, filter.AdaptiveOptions{
+		MinParticles: 32, MaxParticles: 2048,
+		BinWidths: []float64{1, 1, 0.5, 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := model.NewSimulated(m, 5)
+	runFilterSteps(t, f, sc, 30)
+	if f.N() > 1024 {
+		t.Fatalf("concentrated posterior still uses %d particles", f.N())
+	}
+}
+
+func runFilterSteps(t *testing.T, f filter.Filter, sc model.Scenario, steps int) {
+	t.Helper()
+	m := sc.Model()
+	truth := make([]float64, m.StateDim())
+	z := make([]float64, m.MeasurementDim())
+	u := make([]float64, m.ControlDim())
+	r := newTestRand()
+	for k := 1; k <= steps; k++ {
+		sc.TrueState(k, truth)
+		sc.Control(k, u)
+		m.Measure(z, truth, r)
+		f.Step(u, z)
+	}
+}
+
+func TestRougheningPreservesTracking(t *testing.T) {
+	plain, err := filter.NewCentralized(model.NewUNGM(), 256, 1, filter.CentralizedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rough, err := filter.NewCentralized(model.NewUNGM(), 256, 1, filter.CentralizedOptions{Roughening: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sumP, sumR float64
+	const runs = 4
+	for run := 0; run < runs; run++ {
+		plain.Reset(uint64(run + 1))
+		rough.Reset(uint64(run + 1))
+		sumP += meanErr(t, plain, 60, run)
+		sumR += meanErr(t, rough, 60, run)
+	}
+	if sumR > 1.5*sumP {
+		t.Fatalf("roughening degraded tracking: %v vs %v", sumR/runs, sumP/runs)
+	}
+}
+
+func TestRougheningRestoresDiversity(t *testing.T) {
+	rough, err := filter.NewCentralized(model.NewUNGM(), 512, 1, filter.CentralizedOptions{Roughening: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := filter.NewCentralized(model.NewUNGM(), 512, 1, filter.CentralizedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := model.NewSimulated(model.NewUNGM(), 3)
+	runFilterSteps(t, rough, sc, 20)
+	runFilterSteps(t, plain, sc, 20)
+	dr := filter.UniqueParticleFraction(rough.Particles(), 1)
+	dp := filter.UniqueParticleFraction(plain.Particles(), 1)
+	if dr != 1 {
+		t.Fatalf("roughened population not fully unique: %v", dr)
+	}
+	if dp >= 1 {
+		t.Fatal("plain resampled population unexpectedly fully unique")
+	}
+}
+
+func newTestRand() *rng.Rand { return rng.New(rng.NewPhilox(0xBEEF)) }

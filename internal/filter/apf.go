@@ -1,0 +1,128 @@
+package filter
+
+import (
+	"fmt"
+	"math"
+
+	"esthera/internal/model"
+	"esthera/internal/resample"
+	"esthera/internal/rng"
+)
+
+// meanPropagator is the part of model.Linearizable the auxiliary particle
+// filter needs: the deterministic one-step prediction.
+type meanPropagator interface {
+	model.Model
+	StepMean(dst, src, u []float64, k int)
+}
+
+// APF is the auxiliary particle filter of Pitt & Shephard (1999), a
+// classic refinement included as a baseline beyond the paper's scope: it
+// "looks ahead" before resampling. Ancestors are selected with first-
+// stage weights λᵢ ∝ wᵢ·p(z | μᵢ), where μᵢ is the deterministic
+// prediction of particle i, so particles headed toward the measurement
+// survive preferentially; the second-stage weights w = p(z|x)/p(z|μ_anc)
+// correct the bias. On peaky likelihoods it needs markedly fewer
+// particles than the bootstrap filter.
+type APF struct {
+	m   meanPropagator
+	n   int
+	dim int
+
+	particles []float64
+	next      []float64
+	mu        []float64 // per-particle deterministic predictions
+	lambda    []float64 // first-stage (auxiliary) weights
+	muLL      []float64 // log p(z | μ_i)
+	logw      []float64 // second-stage log-weights (carried)
+	w         []float64
+	idx       []int
+
+	rs  resample.Resampler
+	est Estimator
+	r   *rng.Rand
+	k   int
+}
+
+// NewAPF builds an auxiliary particle filter with n particles. The model
+// must expose its deterministic prediction (StepMean); all bundled
+// Linearizable models qualify.
+func NewAPF(m model.Model, n int, seed uint64, est Estimator) (*APF, error) {
+	mp, ok := m.(meanPropagator)
+	if !ok {
+		return nil, fmt.Errorf("filter: model %s does not expose StepMean (required by APF)", m.Name())
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("filter: non-positive particle count %d", n)
+	}
+	f := &APF{m: mp, n: n, dim: m.StateDim(), rs: resample.Systematic{}, est: est}
+	f.particles = make([]float64, n*f.dim)
+	f.next = make([]float64, n*f.dim)
+	f.mu = make([]float64, n*f.dim)
+	f.lambda = make([]float64, n)
+	f.muLL = make([]float64, n)
+	f.logw = make([]float64, n)
+	f.w = make([]float64, n)
+	f.idx = make([]int, n)
+	f.Reset(seed)
+	return f, nil
+}
+
+// Name implements Filter.
+func (f *APF) Name() string { return "apf" }
+
+// Reset implements Filter.
+func (f *APF) Reset(seed uint64) {
+	f.r = rng.New(rng.NewPhiloxStream(seed, 0))
+	f.k = 0
+	initParticles(f.m, f.particles, f.r)
+	for i := range f.logw {
+		f.logw[i] = 0
+	}
+}
+
+// Step implements Filter.
+func (f *APF) Step(u, z []float64) Estimate {
+	f.k++
+	// First stage: look-ahead weights from the deterministic predictions.
+	for i := 0; i < f.n; i++ {
+		src := f.particles[i*f.dim : (i+1)*f.dim]
+		mu := f.mu[i*f.dim : (i+1)*f.dim]
+		f.m.StepMean(mu, src, u, f.k)
+		f.muLL[i] = f.m.LogLikelihood(mu, z)
+		f.lambda[i] = f.logw[i] + f.muLL[i]
+	}
+	maxL := math.Inf(-1)
+	for _, l := range f.lambda {
+		if l > maxL {
+			maxL = l
+		}
+	}
+	if math.IsInf(maxL, -1) || math.IsNaN(maxL) {
+		for i := range f.lambda {
+			f.lambda[i] = 1
+		}
+	} else {
+		for i, l := range f.lambda {
+			f.lambda[i] = math.Exp(l - maxL)
+		}
+	}
+	// Select ancestors by the auxiliary weights.
+	f.rs.Resample(f.idx, f.lambda, f.r)
+
+	// Second stage: propagate the selected ancestors stochastically and
+	// weight by the look-ahead correction.
+	for i, anc := range f.idx {
+		src := f.particles[anc*f.dim : (anc+1)*f.dim]
+		dst := f.next[i*f.dim : (i+1)*f.dim]
+		f.m.Step(dst, src, u, f.k, f.r)
+		f.logw[i] = f.m.LogLikelihood(dst, z) - f.muLL[anc]
+	}
+	f.particles, f.next = f.next, f.particles
+	maxLW := normalizeLogWeights(f.logw, f.w)
+	est := estimateFrom(f.est, f.particles, f.w, f.dim, maxLW)
+
+	// Second-stage weights carry into the next round's λ (no extra
+	// resample: the ancestor selection already was one).
+	return est
+}

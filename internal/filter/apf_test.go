@@ -1,0 +1,72 @@
+package filter_test
+
+import (
+	"testing"
+
+	"esthera/internal/filter"
+	"esthera/internal/model"
+)
+
+func TestAPFValidation(t *testing.T) {
+	// Stochastic volatility has no StepMean: APF must refuse it.
+	if _, err := filter.NewAPF(model.NewStochasticVolatility(), 64, 1, filter.MaxWeight); err == nil {
+		t.Fatal("APF accepted a model without StepMean")
+	}
+	if _, err := filter.NewAPF(model.NewUNGM(), 0, 1, filter.MaxWeight); err == nil {
+		t.Fatal("APF accepted zero particles")
+	}
+}
+
+func TestAPFTracksUNGM(t *testing.T) {
+	f, err := filter.NewAPF(model.NewUNGM(), 512, 1, filter.MaxWeight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	const runs = 5
+	for run := 0; run < runs; run++ {
+		f.Reset(uint64(run + 1))
+		sum += meanErr(t, f, 80, run)
+	}
+	if avg := sum / runs; avg > 5 {
+		t.Fatalf("APF mean error %v on UNGM, want < 5", avg)
+	}
+}
+
+func TestAPFBeatsBootstrapAtLowParticleCounts(t *testing.T) {
+	// The look-ahead pays off when particles are scarce and the
+	// likelihood peaky: compare at 32 particles, averaged over runs.
+	const n, runs, steps = 32, 10, 60
+	apf, err := filter.NewAPF(model.NewUNGM(), n, 1, filter.MaxWeight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf, err := filter.NewCentralized(model.NewUNGM(), n, 1, filter.CentralizedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sumA, sumB float64
+	for run := 0; run < runs; run++ {
+		apf.Reset(uint64(run + 1))
+		pf.Reset(uint64(run + 1))
+		sumA += meanErr(t, apf, steps, run)
+		sumB += meanErr(t, pf, steps, run)
+	}
+	// APF should not be worse; typically it is clearly better.
+	if sumA > 1.15*sumB {
+		t.Fatalf("APF error %v worse than bootstrap %v at %d particles", sumA/runs, sumB/runs, n)
+	}
+}
+
+func TestAPFResetReproducible(t *testing.T) {
+	f, err := filter.NewAPF(model.NewBearings(), 128, 9, filter.WeightedMean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := meanErr(t, f, 30, 0)
+	f.Reset(9)
+	b := meanErr(t, f, 30, 0)
+	if a != b {
+		t.Fatalf("APF not reproducible: %v vs %v", a, b)
+	}
+}

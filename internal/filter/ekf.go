@@ -1,0 +1,140 @@
+package filter
+
+import (
+	"math"
+
+	"esthera/internal/mat"
+	"esthera/internal/model"
+	"esthera/internal/rng"
+)
+
+// residualWrapper lets a model normalize measurement residuals before the
+// Kalman update (e.g. wrap bearing residuals into (-π, π]).
+type residualWrapper interface {
+	WrapResidual(res []float64)
+}
+
+// EKF is the extended Kalman filter over a model.Linearizable — the
+// parametric baseline the paper's introduction contrasts particle filters
+// with ("for systems where the amount of non-linearity is limited...").
+// On the severely non-linear benchmarks (UNGM, the arm's camera channel)
+// it degrades or diverges, which the examples demonstrate.
+type EKF struct {
+	m model.Linearizable
+	n int
+
+	x []float64
+	p *mat.Matrix
+	k int
+
+	// InitCovScale spreads the initial covariance (default 1).
+	initCov *mat.Matrix
+}
+
+// NewEKF builds an EKF. The initial state is the mean of a prior particle
+// sample, and the initial covariance its sample covariance (so the EKF
+// starts from the same prior as the particle filters).
+func NewEKF(m model.Linearizable, seed uint64) *EKF {
+	f := &EKF{m: m, n: m.StateDim()}
+	f.x = make([]float64, f.n)
+	f.Reset(seed)
+	return f
+}
+
+// Name implements Filter.
+func (f *EKF) Name() string { return "ekf" }
+
+// Reset implements Filter.
+func (f *EKF) Reset(seed uint64) {
+	f.k = 0
+	r := rng.New(rng.NewPhiloxStream(seed, 0))
+	// Moment-match the model prior with a modest sample.
+	const samples = 256
+	parts := make([]float64, samples*f.n)
+	initParticles(f.m, parts, r)
+	for d := 0; d < f.n; d++ {
+		f.x[d] = 0
+	}
+	for i := 0; i < samples; i++ {
+		for d := 0; d < f.n; d++ {
+			f.x[d] += parts[i*f.n+d] / samples
+		}
+	}
+	cov := mat.NewMatrix(f.n, f.n)
+	diff := make([]float64, f.n)
+	for i := 0; i < samples; i++ {
+		for d := 0; d < f.n; d++ {
+			diff[d] = parts[i*f.n+d] - f.x[d]
+		}
+		cov.OuterAdd(1.0/samples, diff, diff)
+	}
+	for d := 0; d < f.n; d++ {
+		cov.Set(d, d, cov.At(d, d)+1e-9)
+	}
+	f.p = cov
+	f.initCov = cov.Clone()
+}
+
+// State returns the current mean estimate (aliased).
+func (f *EKF) State() []float64 { return f.x }
+
+// Cov returns the current covariance.
+func (f *EKF) Cov() *mat.Matrix { return f.p }
+
+// Step implements Filter.
+func (f *EKF) Step(u, z []float64) Estimate {
+	f.k++
+	n := f.n
+	zd := f.m.MeasurementDim()
+
+	// Predict.
+	xPred := make([]float64, n)
+	f.m.StepMean(xPred, f.x, u, f.k)
+	jacF := mat.NewMatrix(n, n)
+	f.m.StepJacobian(jacF, f.x, u, f.k)
+	f.p = jacF.Mul(f.p).Mul(jacF.T()).Add(f.m.ProcessCov())
+	f.p.Symmetrize()
+
+	// Update.
+	zPred := make([]float64, zd)
+	f.m.MeasureMean(zPred, xPred)
+	res := make([]float64, zd)
+	for i := range res {
+		res[i] = z[i] - zPred[i]
+	}
+	if w, ok := f.m.(residualWrapper); ok {
+		w.WrapResidual(res)
+	}
+	jacH := mat.NewMatrix(zd, n)
+	f.m.MeasureJacobian(jacH, xPred)
+	pht := f.p.Mul(jacH.T())                 // n×zd
+	s := jacH.Mul(pht).Add(f.m.MeasureCov()) // zd×zd innovation covariance
+	s.Symmetrize()
+	kGainT, err := s.SolveChol(pht.T()) // zd×n: S⁻¹·(P·Hᵀ)ᵀ
+	if err != nil {
+		// Skip the update on a degenerate innovation covariance.
+		copy(f.x, xPred)
+		return f.estimate()
+	}
+	kGain := kGainT.T() // n×zd
+	dx := kGain.MulVec(res)
+	for d := 0; d < n; d++ {
+		f.x[d] = xPred[d] + dx[d]
+	}
+	kh := kGain.Mul(jacH) // n×n
+	f.p = mat.Identity(n).Sub(kh).Mul(f.p)
+	f.p.Symmetrize()
+	// Guard against covariance collapse into indefiniteness.
+	for d := 0; d < n; d++ {
+		if f.p.At(d, d) < 1e-12 || math.IsNaN(f.p.At(d, d)) {
+			f.p.Set(d, d, 1e-12)
+		}
+	}
+	return f.estimate()
+}
+
+func (f *EKF) estimate() Estimate {
+	out := make([]float64, f.n)
+	copy(out, f.x)
+	return Estimate{State: out}
+}

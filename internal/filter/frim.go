@@ -1,0 +1,83 @@
+package filter
+
+import (
+	"esthera/internal/model"
+	"esthera/internal/rng"
+)
+
+// FRIM implements the finite-redraw importance-maximizing sampling of
+// Chao et al. (SiPS 2010), discussed in the paper's related work
+// (§III-B): during the sampling step, a drawn particle is rejected and
+// redrawn until it satisfies a minimum weight, with the number of redraws
+// bounded — the bound being "critical for real-time systems". FRIM
+// reduces the total number of particles needed at the cost of extra
+// (bounded) model evaluations per particle.
+//
+// The acceptance threshold is adaptive: a particle is accepted when its
+// log-likelihood is within LogWindow of the previous round's best
+// log-likelihood (so the threshold tracks the measurement scale without
+// tuning).
+type FRIM struct {
+	// MaxRedraws bounds the redraw attempts per particle (0 disables
+	// FRIM).
+	MaxRedraws int
+	// LogWindow is the acceptance band below the previous round's best
+	// log-likelihood (default 3, ≈ e³ ≈ 20× weight ratio).
+	LogWindow float64
+}
+
+// window returns the effective acceptance band.
+func (f FRIM) window() float64 {
+	if f.LogWindow == 0 {
+		return 3
+	}
+	return f.LogWindow
+}
+
+// frimSampler tracks the adaptive threshold across rounds and performs
+// the redraw loop for one filter instance.
+type frimSampler struct {
+	cfg        FRIM
+	prevBestLW float64
+	havePrev   bool
+	// Redraws counts total extra model evaluations (diagnostics).
+	Redraws int64
+}
+
+func newFRIMSampler(cfg FRIM) *frimSampler {
+	return &frimSampler{cfg: cfg}
+}
+
+// reset clears the learned threshold (on filter Reset).
+func (s *frimSampler) reset() {
+	s.havePrev = false
+	s.Redraws = 0
+}
+
+// enabled reports whether FRIM is active.
+func (s *frimSampler) enabled() bool { return s != nil && s.cfg.MaxRedraws > 0 }
+
+// step samples dst from the transition model, redrawing up to MaxRedraws
+// times until the log-likelihood clears the adaptive threshold, and
+// returns the accepted particle's log-likelihood.
+func (s *frimSampler) step(m model.Model, dst, src, u, z []float64, k int, r *rng.Rand) float64 {
+	m.Step(dst, src, u, k, r)
+	lw := m.LogLikelihood(dst, z)
+	if !s.havePrev {
+		return lw
+	}
+	threshold := s.prevBestLW - s.cfg.window()
+	for attempt := 0; attempt < s.cfg.MaxRedraws && lw < threshold; attempt++ {
+		m.Step(dst, src, u, k, r)
+		lw = m.LogLikelihood(dst, z)
+		s.Redraws++
+	}
+	return lw
+}
+
+// observeRound records the round's best log-likelihood for the next
+// round's threshold.
+func (s *frimSampler) observeRound(bestLW float64) {
+	s.prevBestLW = bestLW
+	s.havePrev = true
+}

@@ -1,0 +1,77 @@
+package filter_test
+
+import (
+	"testing"
+
+	"esthera/internal/filter"
+	"esthera/internal/model"
+)
+
+func TestFRIMRedrawsBoundedAndHelps(t *testing.T) {
+	mk := func(frim filter.FRIM) *filter.Centralized {
+		f, err := filter.NewCentralized(model.NewUNGM(), 64, 1, filter.CentralizedOptions{FRIM: frim})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	plain := mk(filter.FRIM{})
+	frim := mk(filter.FRIM{MaxRedraws: 5})
+
+	var sumPlain, sumFRIM float64
+	const runs, steps = 6, 60
+	for run := 0; run < runs; run++ {
+		plain.Reset(uint64(run + 1))
+		frim.Reset(uint64(run + 1))
+		sumPlain += meanErr(t, plain, steps, run)
+		sumFRIM += meanErr(t, frim, steps, run)
+	}
+	if plain.FRIMRedraws() != 0 {
+		t.Fatalf("disabled FRIM performed %d redraws", plain.FRIMRedraws())
+	}
+	redraws := frim.FRIMRedraws()
+	if redraws == 0 {
+		t.Fatal("FRIM never redrew on a 64-particle UNGM filter")
+	}
+	// Hard bound: MaxRedraws per particle per step (last run only, since
+	// Reset clears the counter).
+	if max := int64(5 * 64 * steps); redraws > max {
+		t.Fatalf("redraws %d exceed bound %d", redraws, max)
+	}
+	// With few particles FRIM should not hurt (usually helps).
+	if sumFRIM > sumPlain*1.3 {
+		t.Fatalf("FRIM error %v much worse than plain %v", sumFRIM/runs, sumPlain/runs)
+	}
+}
+
+func TestFRIMResetClearsState(t *testing.T) {
+	f, err := filter.NewCentralized(model.NewUNGM(), 32, 1, filter.CentralizedOptions{FRIM: filter.FRIM{MaxRedraws: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := meanErr(t, f, 20, 0)
+	f.Reset(1)
+	b := meanErr(t, f, 20, 0)
+	if a != b {
+		t.Fatalf("FRIM filter not reproducible after Reset: %v vs %v", a, b)
+	}
+	f.Reset(1)
+	if f.FRIMRedraws() != 0 {
+		t.Fatal("Reset did not clear redraw counter")
+	}
+}
+
+func TestUniqueParticleFraction(t *testing.T) {
+	// 4 particles of dim 2, two identical.
+	p := []float64{1, 2, 3, 4, 1, 2, 5, 6}
+	if got := filter.UniqueParticleFraction(p, 2); got != 0.75 {
+		t.Fatalf("unique fraction %v, want 0.75", got)
+	}
+	if got := filter.UniqueParticleFraction(nil, 2); got != 0 {
+		t.Fatalf("empty fraction %v, want 0", got)
+	}
+	all := []float64{1, 1, 1}
+	if got := filter.UniqueParticleFraction(all, 1); got > 0.34 {
+		t.Fatalf("identical particles fraction %v", got)
+	}
+}

@@ -1,0 +1,153 @@
+package filter
+
+import (
+	"fmt"
+
+	"esthera/internal/mat"
+	"esthera/internal/model"
+	"esthera/internal/rng"
+)
+
+// Gaussian is the Gaussian particle filter (Kotecha & Djurić; compared in
+// the paper's related work §III-B): the posterior is re-approximated by a
+// single Gaussian each round, so no resampling step is needed at all —
+// particles are redrawn from N(μ, Σ) instead. On (near-)Gaussian problems
+// it matches the standard PF's accuracy at lower cost (Bolić et al.); on
+// multimodal problems (UNGM) it degrades, which the variants ablation
+// demonstrates.
+type Gaussian struct {
+	m   model.Model
+	n   int
+	dim int
+
+	mu    []float64
+	cov   *mat.Matrix
+	chol  *mat.Matrix
+	parts []float64
+	logw  []float64
+	w     []float64
+	r     *rng.Rand
+	k     int
+}
+
+// NewGaussian builds a Gaussian particle filter with n particles.
+func NewGaussian(m model.Model, n int, seed uint64) (*Gaussian, error) {
+	if n <= 1 {
+		return nil, fmt.Errorf("filter: gaussian PF needs n > 1, got %d", n)
+	}
+	g := &Gaussian{m: m, n: n, dim: m.StateDim()}
+	g.mu = make([]float64, g.dim)
+	g.parts = make([]float64, n*g.dim)
+	g.logw = make([]float64, n)
+	g.w = make([]float64, n)
+	g.Reset(seed)
+	return g, nil
+}
+
+// Name implements Filter.
+func (g *Gaussian) Name() string { return "gaussian" }
+
+// Reset implements Filter: the initial Gaussian is fit to a prior sample.
+func (g *Gaussian) Reset(seed uint64) {
+	g.r = rng.New(rng.NewPhiloxStream(seed, 0))
+	g.k = 0
+	initParticles(g.m, g.parts, g.r)
+	for i := range g.logw {
+		g.logw[i] = 0
+	}
+	uniform := make([]float64, g.n)
+	for i := range uniform {
+		uniform[i] = 1
+	}
+	g.fitGaussian(uniform)
+}
+
+// fitGaussian sets (mu, cov, chol) to the weighted moments of parts.
+func (g *Gaussian) fitGaussian(w []float64) {
+	total := 0.0
+	for _, v := range w {
+		total += v
+	}
+	if !(total > 0) {
+		for i := range w {
+			w[i] = 1
+		}
+		total = float64(len(w))
+	}
+	for d := range g.mu {
+		g.mu[d] = 0
+	}
+	for i := 0; i < g.n; i++ {
+		wi := w[i] / total
+		p := g.parts[i*g.dim : (i+1)*g.dim]
+		for d, v := range p {
+			g.mu[d] += wi * v
+		}
+	}
+	cov := mat.NewMatrix(g.dim, g.dim)
+	diff := make([]float64, g.dim)
+	for i := 0; i < g.n; i++ {
+		wi := w[i] / total
+		p := g.parts[i*g.dim : (i+1)*g.dim]
+		for d, v := range p {
+			diff[d] = v - g.mu[d]
+		}
+		cov.OuterAdd(wi, diff, diff)
+	}
+	// Regularize so the Cholesky always exists.
+	for d := 0; d < g.dim; d++ {
+		cov.Set(d, d, cov.At(d, d)+1e-9)
+	}
+	g.cov = cov
+	chol, err := cov.Cholesky()
+	if err != nil {
+		// Fall back to a diagonal fit.
+		diag := mat.NewMatrix(g.dim, g.dim)
+		for d := 0; d < g.dim; d++ {
+			diag.Set(d, d, cov.At(d, d))
+		}
+		chol, _ = diag.Cholesky()
+	}
+	g.chol = chol
+}
+
+// Mean returns the current posterior mean (aliased; copy before keeping).
+func (g *Gaussian) Mean() []float64 { return g.mu }
+
+// Cov returns the current posterior covariance.
+func (g *Gaussian) Cov() *mat.Matrix { return g.cov }
+
+// Step implements Filter.
+func (g *Gaussian) Step(u, z []float64) Estimate {
+	g.k++
+	// Redraw the particle cloud from the Gaussian posterior, propagate,
+	// and weight.
+	src := make([]float64, g.dim)
+	for i := 0; i < g.n; i++ {
+		g.drawGaussian(src)
+		dst := g.parts[i*g.dim : (i+1)*g.dim]
+		g.m.Step(dst, src, u, g.k, g.r)
+		g.logw[i] = g.m.LogLikelihood(dst, z)
+	}
+	maxLW := normalizeLogWeights(g.logw, g.w)
+	_ = maxLW
+	g.fitGaussian(g.w)
+	out := make([]float64, g.dim)
+	copy(out, g.mu)
+	return Estimate{State: out}
+}
+
+// drawGaussian samples dst ~ N(mu, cov) via the cached Cholesky factor.
+func (g *Gaussian) drawGaussian(dst []float64) {
+	for d := range dst {
+		dst[d] = g.r.NormFloat64()
+	}
+	// dst = mu + L·dst, computed in place (lower-triangular, back to front).
+	for i := g.dim - 1; i >= 0; i-- {
+		s := 0.0
+		for j := 0; j <= i; j++ {
+			s += g.chol.At(i, j) * dst[j]
+		}
+		dst[i] = g.mu[i] + s
+	}
+}

@@ -1,0 +1,94 @@
+package filter
+
+import (
+	"esthera/internal/device"
+	"esthera/internal/exchange"
+	"esthera/internal/kernels"
+	"esthera/internal/model"
+	"esthera/internal/resample"
+)
+
+// Parallel is the many-core distributed particle filter — the paper's
+// contribution — running on the device substrate with one work-group per
+// sub-filter and the six kernels of §VI (see internal/kernels). Its
+// algorithm is the same as Distributed; the two are cross-validated by
+// tests.
+type Parallel struct {
+	p    *kernels.Pipeline
+	dim  int
+	k    int
+	seed uint64
+}
+
+// ParallelConfig maps DistributedConfig onto the kernel pipeline.
+type ParallelConfig struct {
+	// SubFilters (N), ParticlesPer (m), Scheme (X), ExchangeCount (t):
+	// the Table I parameters.
+	SubFilters    int
+	ParticlesPer  int
+	Scheme        exchange.Scheme
+	ExchangeCount int
+	// Resampler selects the resampling kernel (default RWS, the faster
+	// choice at sub-filter sizes per Fig. 5).
+	Resampler kernels.Algo
+	// Policy defaults to Always.
+	Policy resample.Policy
+	// Streams selects "philox" (default) or "mtgp" sub-filter streams.
+	Streams string
+	// Estimator selects the global-estimate reduction (default
+	// MaxWeight; WeightedMean uses the weighted-average kernel).
+	Estimator Estimator
+}
+
+// NewParallel builds the filter on dev.
+func NewParallel(dev *device.Device, m model.Model, cfg ParallelConfig, seed uint64) (*Parallel, error) {
+	scheme := cfg.Scheme
+	if cfg.ExchangeCount == 0 {
+		scheme = exchange.None
+	}
+	top, err := exchange.NewTopology(scheme, cfg.SubFilters)
+	if err != nil {
+		return nil, err
+	}
+	pipe, err := kernels.New(dev, m, kernels.Config{
+		SubFilters:    cfg.SubFilters,
+		ParticlesPer:  cfg.ParticlesPer,
+		ExchangeCount: cfg.ExchangeCount,
+		Topology:      top,
+		Resampler:     cfg.Resampler,
+		Policy:        cfg.Policy,
+		Streams:       cfg.Streams,
+		MeanEstimate:  cfg.Estimator == WeightedMean,
+	}, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Parallel{p: pipe, dim: m.StateDim(), seed: seed}, nil
+}
+
+// Name implements Filter.
+func (f *Parallel) Name() string { return "parallel" }
+
+// Reset implements Filter.
+func (f *Parallel) Reset(seed uint64) {
+	f.seed = seed
+	f.k = 0
+	f.p.Reset(seed)
+}
+
+// Step implements Filter.
+func (f *Parallel) Step(u, z []float64) Estimate {
+	f.k++
+	state, lw := f.p.Round(u, z, f.k)
+	return Estimate{State: state, LogWeight: lw}
+}
+
+// Pipeline exposes the kernel pipeline (for the profiler-driven
+// breakdown experiments).
+func (f *Parallel) Pipeline() *kernels.Pipeline { return f.p }
+
+// TotalParticles returns N·m.
+func (f *Parallel) TotalParticles() int {
+	c := f.p.Config()
+	return c.SubFilters * c.ParticlesPer
+}

@@ -1,0 +1,207 @@
+package filter
+
+import (
+	"math"
+
+	"esthera/internal/mat"
+	"esthera/internal/model"
+	"esthera/internal/rng"
+)
+
+// UKF is the unscented Kalman filter baseline (scaled unscented
+// transform, additive-noise form). Like the EKF it assumes a unimodal,
+// near-Gaussian posterior; unlike the EKF it propagates 2n+1 sigma points
+// through the full non-linear functions instead of linearizing.
+type UKF struct {
+	m model.Linearizable
+	n int
+
+	x []float64
+	p *mat.Matrix
+	k int
+
+	alpha, beta, kappa float64
+	wm, wc             []float64 // sigma-point weights
+}
+
+// NewUKF builds a UKF with the conventional scaled-UT parameters
+// (α = 0.5, β = 2, κ = 0), moment-matching the model prior like NewEKF.
+func NewUKF(m model.Linearizable, seed uint64) *UKF {
+	f := &UKF{m: m, n: m.StateDim(), alpha: 0.5, beta: 2, kappa: 0}
+	f.x = make([]float64, f.n)
+	nSig := 2*f.n + 1
+	f.wm = make([]float64, nSig)
+	f.wc = make([]float64, nSig)
+	lambda := f.alpha*f.alpha*(float64(f.n)+f.kappa) - float64(f.n)
+	denom := float64(f.n) + lambda
+	f.wm[0] = lambda / denom
+	f.wc[0] = lambda/denom + (1 - f.alpha*f.alpha + f.beta)
+	for i := 1; i < nSig; i++ {
+		f.wm[i] = 1 / (2 * denom)
+		f.wc[i] = f.wm[i]
+	}
+	f.Reset(seed)
+	return f
+}
+
+// Name implements Filter.
+func (f *UKF) Name() string { return "ukf" }
+
+// Reset implements Filter.
+func (f *UKF) Reset(seed uint64) {
+	f.k = 0
+	r := rng.New(rng.NewPhiloxStream(seed, 0))
+	const samples = 256
+	parts := make([]float64, samples*f.n)
+	initParticles(f.m, parts, r)
+	for d := range f.x {
+		f.x[d] = 0
+	}
+	for i := 0; i < samples; i++ {
+		for d := 0; d < f.n; d++ {
+			f.x[d] += parts[i*f.n+d] / samples
+		}
+	}
+	cov := mat.NewMatrix(f.n, f.n)
+	diff := make([]float64, f.n)
+	for i := 0; i < samples; i++ {
+		for d := 0; d < f.n; d++ {
+			diff[d] = parts[i*f.n+d] - f.x[d]
+		}
+		cov.OuterAdd(1.0/samples, diff, diff)
+	}
+	for d := 0; d < f.n; d++ {
+		cov.Set(d, d, cov.At(d, d)+1e-9)
+	}
+	f.p = cov
+}
+
+// State returns the current mean estimate (aliased).
+func (f *UKF) State() []float64 { return f.x }
+
+// sigmaPoints generates the 2n+1 scaled sigma points around (x, p),
+// returning them as rows of a (2n+1)×n matrix.
+func (f *UKF) sigmaPoints() (*mat.Matrix, error) {
+	n := f.n
+	lambda := f.alpha*f.alpha*(float64(n)+f.kappa) - float64(n)
+	scaled := f.p.Scale(float64(n) + lambda)
+	scaled.Symmetrize()
+	for d := 0; d < n; d++ {
+		scaled.Set(d, d, scaled.At(d, d)+1e-12)
+	}
+	l, err := scaled.Cholesky()
+	if err != nil {
+		return nil, err
+	}
+	pts := mat.NewMatrix(2*n+1, n)
+	for d := 0; d < n; d++ {
+		pts.Set(0, d, f.x[d])
+	}
+	for i := 0; i < n; i++ {
+		for d := 0; d < n; d++ {
+			pts.Set(1+i, d, f.x[d]+l.At(d, i))
+			pts.Set(1+n+i, d, f.x[d]-l.At(d, i))
+		}
+	}
+	return pts, nil
+}
+
+// Step implements Filter.
+func (f *UKF) Step(u, z []float64) Estimate {
+	f.k++
+	n := f.n
+	zd := f.m.MeasurementDim()
+	nSig := 2*n + 1
+
+	pts, err := f.sigmaPoints()
+	if err != nil {
+		return f.estimate() // hold the previous state on breakdown
+	}
+	// Propagate sigma points through the dynamics.
+	prop := mat.NewMatrix(nSig, n)
+	row := make([]float64, n)
+	for i := 0; i < nSig; i++ {
+		f.m.StepMean(row, pts.Data[i*n:(i+1)*n], u, f.k)
+		copy(prop.Data[i*n:(i+1)*n], row)
+	}
+	// Predicted mean and covariance.
+	xPred := make([]float64, n)
+	for i := 0; i < nSig; i++ {
+		for d := 0; d < n; d++ {
+			xPred[d] += f.wm[i] * prop.At(i, d)
+		}
+	}
+	pPred := f.m.ProcessCov().Clone()
+	diff := make([]float64, n)
+	for i := 0; i < nSig; i++ {
+		for d := 0; d < n; d++ {
+			diff[d] = prop.At(i, d) - xPred[d]
+		}
+		pPred.OuterAdd(f.wc[i], diff, diff)
+	}
+	pPred.Symmetrize()
+
+	// Transform through the measurement function.
+	zPts := mat.NewMatrix(nSig, zd)
+	zRow := make([]float64, zd)
+	for i := 0; i < nSig; i++ {
+		f.m.MeasureMean(zRow, prop.Data[i*n:(i+1)*n])
+		copy(zPts.Data[i*zd:(i+1)*zd], zRow)
+	}
+	zPred := make([]float64, zd)
+	for i := 0; i < nSig; i++ {
+		for d := 0; d < zd; d++ {
+			zPred[d] += f.wm[i] * zPts.At(i, d)
+		}
+	}
+	s := f.m.MeasureCov().Clone()
+	pxz := mat.NewMatrix(n, zd)
+	zDiff := make([]float64, zd)
+	for i := 0; i < nSig; i++ {
+		for d := 0; d < zd; d++ {
+			zDiff[d] = zPts.At(i, d) - zPred[d]
+		}
+		if w, ok := f.m.(residualWrapper); ok {
+			w.WrapResidual(zDiff)
+		}
+		for d := 0; d < n; d++ {
+			diff[d] = prop.At(i, d) - xPred[d]
+		}
+		s.OuterAdd(f.wc[i], zDiff, zDiff)
+		pxz.OuterAdd(f.wc[i], diff, zDiff)
+	}
+	s.Symmetrize()
+
+	res := make([]float64, zd)
+	for d := 0; d < zd; d++ {
+		res[d] = z[d] - zPred[d]
+	}
+	if w, ok := f.m.(residualWrapper); ok {
+		w.WrapResidual(res)
+	}
+	kGainT, err := s.SolveChol(pxz.T()) // zd×n
+	if err != nil {
+		copy(f.x, xPred)
+		f.p = pPred
+		return f.estimate()
+	}
+	kGain := kGainT.T()
+	dx := kGain.MulVec(res)
+	for d := 0; d < n; d++ {
+		f.x[d] = xPred[d] + dx[d]
+	}
+	f.p = pPred.Sub(kGain.Mul(s).Mul(kGain.T()))
+	f.p.Symmetrize()
+	for d := 0; d < n; d++ {
+		if f.p.At(d, d) < 1e-12 || math.IsNaN(f.p.At(d, d)) {
+			f.p.Set(d, d, 1e-12)
+		}
+	}
+	return f.estimate()
+}
+
+func (f *UKF) estimate() Estimate {
+	out := make([]float64, f.n)
+	copy(out, f.x)
+	return Estimate{State: out}
+}

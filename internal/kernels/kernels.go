@@ -1,0 +1,593 @@
+package kernels
+
+import (
+	"math"
+
+	"esthera/internal/device"
+	"esthera/internal/exchange"
+	"esthera/internal/scan"
+	"esthera/internal/sortnet"
+)
+
+// KernelRand is kernel 1 (§VI-A): each sub-filter's block buffer is
+// refilled from its private stream — the work the paper isolates in a
+// dedicated MTGP kernel so the sampling/resampling kernels stay small.
+func (p *Pipeline) KernelRand() {
+	p.dev.Launch("rand", p.grid(), func(g *device.Group) {
+		buf := p.bufs[g.ID()]
+		g.StepOne(func() {
+			words := buf.Refill()
+			// MT-family generation plus the Box-Muller transform the
+			// paper folds into the PRNG kernel: ~10 ops per word
+			// (recurrence, tempering, and the transform's log/sincos
+			// amortized), with the block written to global memory.
+			g.Ops(10 * words)
+			g.GlobalWrite(4 * words)
+		})
+	})
+}
+
+// KernelSampleWeight is kernel 2 (§VI-B): propagate every particle
+// through the state-transition model using the buffered random words and
+// assign its importance weight from the measurement. Sampling and
+// weighting are fused in one kernel, as in the paper ("we can combine
+// sampling and importance weight calculation in one kernel").
+func (p *Pipeline) KernelSampleWeight(u, z []float64, k int) {
+	m := p.cfg.ParticlesPer
+	dim := p.dim
+	p.dev.Launch("sampling", p.grid(), func(g *device.Group) {
+		s := g.ID()
+		r := p.rands[s]
+		base := s * m * dim
+		g.Step(func(lane int) {
+			src := p.x[base+lane*dim : base+(lane+1)*dim]
+			dst := p.x2[base+lane*dim : base+(lane+1)*dim]
+			p.mdl.Step(dst, src, u, k, r)
+			p.logw[s*m+lane] += p.mdl.LogLikelihood(dst, z)
+			g.GlobalRead(8 * dim)
+			g.GlobalWrite(8*dim + 8)
+			// Propagation draws ~one normal per state dimension (log,
+			// sqrt, sincos via Box-Muller) and the likelihood evaluates
+			// the transcendental-heavy measurement equations (the arm's
+			// rotation chain): ~160 flops per state dimension, which
+			// makes sampling compute-bound on GPUs — the Fig. 4c effect
+			// where the model increasingly dominates as state dimension
+			// grows.
+			g.Ops(160 * dim)
+		})
+	})
+	p.x, p.x2 = p.x2, p.x
+}
+
+// KernelSortLocal is kernel 3 (§VI-C): each sub-filter bitonic-sorts its
+// particles by weight, descending. Weights and the permutation index live
+// in local memory; the particle payload in global memory is then
+// reordered by the index array using non-contiguous reads and contiguous
+// writes, the access pattern the paper prefers.
+func (p *Pipeline) KernelSortLocal() {
+	m := p.cfg.ParticlesPer
+	dim := p.dim
+	p.dev.Launch("local sort", p.grid(), func(g *device.Group) {
+		s := g.ID()
+		base := s * m * dim
+		keys := g.AllocLocalF64(m)
+		idx := g.AllocLocalInt(m)
+		g.Step(func(lane int) {
+			keys[lane] = p.logw[s*m+lane]
+			idx[lane] = lane
+			g.GlobalRead(8)
+			g.LocalWrite(12)
+		})
+		sortnet.SortDescending(g, keys, idx)
+		// Apply the permutation: payload gather (non-contiguous reads,
+		// contiguous writes), then write back sorted weights.
+		g.Step(func(lane int) {
+			src := idx[lane]
+			copy(p.x2[base+lane*dim:base+(lane+1)*dim], p.x[base+src*dim:base+(src+1)*dim])
+			g.LocalRead(4)
+			g.GlobalRead(8 * dim)
+			g.GlobalWrite(8 * dim)
+		})
+		g.Step(func(lane int) {
+			p.logw[s*m+lane] = keys[lane]
+			g.LocalRead(8)
+			g.GlobalWrite(8)
+		})
+	})
+	p.x, p.x2 = p.x2, p.x
+}
+
+// KernelEstimate is kernel 4 (§VI-D): since every sub-filter just sorted,
+// its best particle sits at slot 0; only the final reduction rounds over
+// the N local bests remain. They run as one small launch, and the winning
+// particle's state is copied out host-side (the only device-to-host
+// traffic besides the measurement upload, per §VI). With
+// Config.MeanEstimate the kernel instead reduces to the globally
+// weight-averaged state.
+func (p *Pipeline) KernelEstimate() ([]float64, float64) {
+	if p.cfg.MeanEstimate {
+		return p.kernelEstimateMean()
+	}
+	return p.kernelEstimateMax()
+}
+
+// kernelEstimateMax reduces to the max-weight particle.
+func (p *Pipeline) kernelEstimateMax() ([]float64, float64) {
+	m := p.cfg.ParticlesPer
+	N := p.cfg.SubFilters
+	lanes := N
+	if lanes > 256 {
+		lanes = 256
+	}
+	heads := make([]float64, N)
+	best := 0
+	p.dev.Launch("global estimate", device.Grid{Groups: 1, GroupSize: lanes}, func(g *device.Group) {
+		g.Step(func(lane int) {
+			for i := lane; i < N; i += lanes {
+				heads[i] = p.logw[i*m]
+				g.GlobalRead(8)
+				g.LocalWrite(8)
+			}
+		})
+		best = scan.MaxIndex(g, heads)
+	})
+	p.bestSub, p.bestLW = best, heads[best]
+	out := make([]float64, p.dim)
+	base := best * m * p.dim
+	copy(out, p.x[base:base+p.dim])
+	return out, p.bestLW
+}
+
+// kernelEstimateMean reduces to the globally weighted-average state: a
+// first launch finds the global max log-weight (for stable
+// exponentiation, using the sorted block heads), a second accumulates
+// each sub-filter's weighted partial sums, and the host combines the N
+// partials.
+func (p *Pipeline) kernelEstimateMean() ([]float64, float64) {
+	m := p.cfg.ParticlesPer
+	N := p.cfg.SubFilters
+	dim := p.dim
+
+	// Launch A: global max over the sorted block heads.
+	lanes := N
+	if lanes > 256 {
+		lanes = 256
+	}
+	heads := make([]float64, N)
+	best := 0
+	p.dev.Launch("global estimate", device.Grid{Groups: 1, GroupSize: lanes}, func(g *device.Group) {
+		g.Step(func(lane int) {
+			for i := lane; i < N; i += lanes {
+				heads[i] = p.logw[i*m]
+				g.GlobalRead(8)
+				g.LocalWrite(8)
+			}
+		})
+		best = scan.MaxIndex(g, heads)
+	})
+	maxLW := heads[best]
+	p.bestSub, p.bestLW = best, maxLW
+	if math.IsInf(maxLW, -1) || math.IsNaN(maxLW) {
+		out := make([]float64, dim)
+		base := best * m * dim
+		copy(out, p.x[base:base+dim])
+		return out, maxLW
+	}
+
+	// Launch B: per-sub-filter partial weighted sums.
+	partial := make([]float64, N*(dim+1)) // Σw·x per dim, then Σw
+	p.dev.Launch("global estimate", p.grid(), func(g *device.Group) {
+		s := g.ID()
+		base := s * m * dim
+		wsum := g.AllocLocalF64(m)
+		g.Step(func(lane int) {
+			wsum[lane] = math.Exp(p.logw[s*m+lane] - maxLW)
+			g.Ops(1)
+			g.GlobalRead(8)
+			g.LocalWrite(8)
+		})
+		// Lane 0 accumulates the block (a real kernel would tree-reduce;
+		// the ops are counted either way).
+		g.StepOne(func() {
+			out := partial[s*(dim+1) : (s+1)*(dim+1)]
+			for i := 0; i < m; i++ {
+				w := wsum[i]
+				for d := 0; d < dim; d++ {
+					out[d] += w * p.x[base+i*dim+d]
+				}
+				out[dim] += w
+				g.Ops(2 * dim)
+				g.GlobalRead(8 * dim)
+			}
+			g.GlobalWrite(8 * (dim + 1))
+		})
+	})
+
+	// Host-side final combine over N partials (the last reduction round).
+	out := make([]float64, dim)
+	total := 0.0
+	for s := 0; s < N; s++ {
+		part := partial[s*(dim+1) : (s+1)*(dim+1)]
+		for d := 0; d < dim; d++ {
+			out[d] += part[d]
+		}
+		total += part[dim]
+	}
+	if total > 0 {
+		for d := range out {
+			out[d] /= total
+		}
+	}
+	return out, maxLW
+}
+
+// KernelExchange is kernel 5 (§VI-E). Two launches realize the paper's
+// scheme: first every sub-filter publishes its best t particles (plus
+// their weights) to its outbox in global memory; after the launch
+// boundary (the device-wide synchronization point) every sub-filter pulls
+// its neighbors' outboxes into its own worst slots. All-to-All inserts a
+// selection launch that picks the globally best t of the pooled
+// contributions, which every sub-filter then reads back — the "same t
+// best particles" semantics that Fig. 6 shows destroys diversity.
+func (p *Pipeline) KernelExchange() {
+	t := p.cfg.ExchangeCount
+	if t == 0 || p.cfg.SubFilters == 1 || p.cfg.Topology.Scheme() == exchange.None {
+		return
+	}
+	m := p.cfg.ParticlesPer
+	dim := p.dim
+	stride := dim + 1
+
+	// Launch A: publish top-t.
+	p.dev.Launch("exchange", p.grid(), func(g *device.Group) {
+		s := g.ID()
+		base := s * m * dim
+		g.Step(func(lane int) {
+			if lane >= t {
+				return
+			}
+			rec := p.outbox[(s*t+lane)*stride : (s*t+lane+1)*stride]
+			copy(rec[:dim], p.x[base+lane*dim:base+(lane+1)*dim])
+			rec[dim] = p.logw[s*m+lane]
+			g.GlobalRead(8 * stride)
+			g.GlobalWrite(8 * stride)
+		})
+	})
+
+	if p.cfg.Topology.Scheme() == exchange.AllToAll {
+		p.exchangeAllToAll()
+		return
+	}
+
+	// Launch B: pull from neighbors into the worst slots.
+	p.dev.Launch("exchange", p.grid(), func(g *device.Group) {
+		s := g.ID()
+		base := s * m * dim
+		var nbuf []int
+		g.StepOne(func() { nbuf = p.cfg.Topology.Neighbors(nil, s) })
+		incoming := len(nbuf) * t
+		g.Step(func(lane int) {
+			if lane >= incoming {
+				return
+			}
+			q := nbuf[lane/t]
+			i := lane % t
+			slot := m - incoming + lane
+			rec := p.outbox[(q*t+i)*stride : (q*t+i+1)*stride]
+			copy(p.x[base+slot*dim:base+(slot+1)*dim], rec[:dim])
+			p.logw[s*m+slot] = rec[dim]
+			g.GlobalRead(8 * stride)
+			g.GlobalWrite(8 * stride)
+		})
+	})
+}
+
+// exchangeAllToAll selects the globally best t pooled particles in one
+// device sort and broadcasts them into every sub-filter's worst slots.
+func (p *Pipeline) exchangeAllToAll() {
+	t := p.cfg.ExchangeCount
+	N := p.cfg.SubFilters
+	m := p.cfg.ParticlesPer
+	dim := p.dim
+	stride := dim + 1
+
+	pool := N * t
+	lanes := pool
+	if lanes > 512 {
+		lanes = 512
+	}
+	keys := make([]float64, pool)
+	idx := make([]int, pool)
+	p.dev.Launch("exchange", device.Grid{Groups: 1, GroupSize: lanes}, func(g *device.Group) {
+		g.Step(func(lane int) {
+			for i := lane; i < pool; i += lanes {
+				keys[i] = p.outbox[i*stride+dim]
+				idx[i] = i
+				g.GlobalRead(8)
+				g.LocalWrite(12)
+			}
+		})
+		sortnet.SortDescending(g, keys, idx)
+	})
+	copy(p.poolSel, idx[:t])
+
+	p.dev.Launch("exchange", p.grid(), func(g *device.Group) {
+		s := g.ID()
+		base := s * m * dim
+		g.Step(func(lane int) {
+			if lane >= t {
+				return
+			}
+			src := p.poolSel[lane]
+			slot := m - t + lane
+			rec := p.outbox[src*stride : (src+1)*stride]
+			copy(p.x[base+slot*dim:base+(slot+1)*dim], rec[:dim])
+			p.logw[s*m+slot] = rec[dim]
+			g.GlobalRead(8 * stride)
+			g.GlobalWrite(8 * stride)
+		})
+	})
+}
+
+// KernelResample is kernel 6 (§VI-F): per-sub-filter local resampling.
+// RWS initializes with a parallel (Blelloch) prefix sum over the local
+// weights and draws with one binary search per lane; Vose builds the
+// alias table with the in-place small/large packing described in the
+// paper and draws with two uniforms per lane. Surviving states are
+// gathered with non-contiguous reads and contiguous writes, and weights
+// reset.
+func (p *Pipeline) KernelResample() {
+	m := p.cfg.ParticlesPer
+	dim := p.dim
+	p.dev.Launch("resampling", p.grid(), func(g *device.Group) {
+		s := g.ID()
+		base := s * m * dim
+		r := p.rands[s]
+
+		// Local linear weights, stabilized by the local max (slot 0
+		// holds the max log-weight after sorting; after an exchange a
+		// received particle may beat it, so reduce properly).
+		w := g.AllocLocalF64(m)
+		g.Step(func(lane int) {
+			w[lane] = p.logw[s*m+lane]
+			g.GlobalRead(8)
+			g.LocalWrite(8)
+		})
+		maxIdx := scan.MaxIndex(g, w)
+		maxLW := w[maxIdx]
+		g.Step(func(lane int) {
+			if math.IsInf(maxLW, -1) || math.IsNaN(maxLW) {
+				w[lane] = 1
+			} else {
+				w[lane] = math.Exp(w[lane] - maxLW)
+			}
+			g.Ops(2)
+			g.LocalWrite(8)
+		})
+
+		resampled := false
+		g.StepOne(func() { resampled = p.cfg.Policy.ShouldResample(w, r) })
+		if !resampled {
+			// Keep the population; copy through so the double buffer
+			// stays coherent.
+			g.Step(func(lane int) {
+				copy(p.x2[base+lane*dim:base+(lane+1)*dim], p.x[base+lane*dim:base+(lane+1)*dim])
+				g.GlobalRead(8 * dim)
+				g.GlobalWrite(8 * dim)
+			})
+			return
+		}
+
+		sel := g.AllocLocalInt(m)
+		switch p.cfg.Resampler {
+		case AlgoVose:
+			p.voseSelect(g, w, sel, s)
+		case AlgoSystematic:
+			p.systematicSelect(g, w, sel, s)
+		default:
+			p.rwsSelect(g, w, sel, s)
+		}
+
+		// Gather survivors and reset weights.
+		g.Step(func(lane int) {
+			src := sel[lane]
+			copy(p.x2[base+lane*dim:base+(lane+1)*dim], p.x[base+src*dim:base+(src+1)*dim])
+			p.logw[s*m+lane] = 0
+			g.LocalRead(4)
+			g.GlobalRead(8 * dim)
+			g.GlobalWrite(8*dim + 8)
+		})
+	})
+	p.x, p.x2 = p.x2, p.x
+}
+
+// rwsSelect fills sel with RWS draws from the local weights w.
+func (p *Pipeline) rwsSelect(g *device.Group, w []float64, sel []int, s int) {
+	m := len(w)
+	r := p.rands[s]
+	cdf := g.AllocLocalF64(m)
+	g.Step(func(lane int) {
+		cdf[lane] = w[lane]
+		g.LocalRead(8)
+		g.LocalWrite(8)
+	})
+	total := scan.Exclusive(g, cdf) // exclusive prefix sums + total
+	if !(total > 0) {
+		g.Step(func(lane int) { sel[lane] = lane })
+		return
+	}
+	// One uniform + binary search per lane. Lane draws must happen in a
+	// deterministic order, so draw them in a dedicated phase first.
+	us := g.AllocLocalF64(m)
+	g.StepOne(func() {
+		for i := range us {
+			us[i] = r.Float64() * total
+		}
+		g.Ops(m)
+	})
+	g.Step(func(lane int) {
+		u := us[lane]
+		// Largest index with cdf[idx] <= u (cdf is exclusive sums).
+		lo, hi := 0, m-1
+		for lo < hi {
+			mid := (lo + hi + 1) / 2
+			if cdf[mid] <= u {
+				lo = mid
+			} else {
+				hi = mid - 1
+			}
+			g.Ops(1)
+			g.LocalRead(8)
+		}
+		sel[lane] = lo
+		g.LocalWrite(4)
+	})
+}
+
+// systematicSelect fills sel with systematic draws: pointer i sweeps the
+// CDF at (u₀ + i)·total/m for one shared uniform u₀. Initialization is
+// the same parallel prefix sum as RWS; generation is one binary search
+// per lane with no per-lane random draw.
+func (p *Pipeline) systematicSelect(g *device.Group, w []float64, sel []int, s int) {
+	m := len(w)
+	r := p.rands[s]
+	cdf := g.AllocLocalF64(m)
+	g.Step(func(lane int) {
+		cdf[lane] = w[lane]
+		g.LocalRead(8)
+		g.LocalWrite(8)
+	})
+	total := scan.Exclusive(g, cdf)
+	if !(total > 0) {
+		g.Step(func(lane int) { sel[lane] = lane })
+		return
+	}
+	u0 := 0.0
+	g.StepOne(func() {
+		u0 = r.Float64()
+		g.Ops(1)
+	})
+	step := total / float64(m)
+	g.Step(func(lane int) {
+		u := (u0 + float64(lane)) * step
+		lo, hi := 0, m-1
+		for lo < hi {
+			mid := (lo + hi + 1) / 2
+			if cdf[mid] <= u {
+				lo = mid
+			} else {
+				hi = mid - 1
+			}
+			g.Ops(1)
+			g.LocalRead(8)
+		}
+		sel[lane] = lo
+		g.LocalWrite(4)
+	})
+}
+
+// voseSelect fills sel with alias-method draws, building the table with
+// the paper's in-place forward/backward packing (§VI-F): one array is
+// filled forwards with "small" (weight < 1/m) entries and backwards with
+// "large" entries, then weight is moved from large to small entries until
+// every slot holds exactly 1/m, registering aliases along the way. The
+// construction is the poorly-parallelizing part (concurrency "drops
+// steeply towards one"), which is why Fig. 5 shows Vose losing at
+// sub-filter sizes; we execute it on lane 0 and account its serial cost.
+func (p *Pipeline) voseSelect(g *device.Group, w []float64, sel []int, s int) {
+	m := len(w)
+	r := p.rands[s]
+	prob := g.AllocLocalF64(m)
+	alias := g.AllocLocalInt(m)
+	packed := g.AllocLocalInt(m)
+
+	total := 0.0
+	g.StepOne(func() {
+		for _, v := range w {
+			total += v
+		}
+		g.Ops(m)
+	})
+	if !(total > 0) {
+		g.Step(func(lane int) { sel[lane] = lane })
+		return
+	}
+	// Scale to mean 1 and pack small forwards / large backwards — the
+	// in-place split array. The packing and the alias assignment below
+	// are the poorly-parallelizing sections, executed (and accounted) as
+	// serial work.
+	scale := float64(m) / total
+	nSmall, nLarge := 0, 0
+	g.StepSerial(func() {
+		for i, v := range w {
+			prob[i] = v * scale
+			if prob[i] < 1 {
+				packed[nSmall] = i
+				nSmall++
+			} else {
+				nLarge++
+				packed[m-nLarge] = i
+			}
+			g.Ops(6)
+			g.LocalWrite(12)
+		}
+	})
+	// Serial alias assignment.
+	g.StepSerial(func() {
+		si, li := 0, m-nLarge
+		for si < nSmall && li < m {
+			l := packed[si]
+			gi := packed[li]
+			alias[l] = gi
+			prob[gi] = (prob[gi] + prob[l]) - 1
+			si++
+			if prob[gi] < 1 {
+				// The large entry became small: it needs an alias too;
+				// append it to the small worklist region.
+				packed[nSmall] = gi
+				nSmall++
+				li++
+			}
+			// Worklist management, weight transfer and alias
+			// registration: ~14 serial ops per processed entry.
+			g.Ops(14)
+			g.LocalRead(16)
+			g.LocalWrite(16)
+		}
+		// Numerical leftovers on either worklist saturate at probability 1
+		// (the alias table is guaranteed to exist; only float error can
+		// leave entries behind).
+		for ; li < m; li++ {
+			gi := packed[li]
+			prob[gi] = 1
+			alias[gi] = gi
+		}
+		for ; si < nSmall; si++ {
+			l := packed[si]
+			prob[l] = 1
+			alias[l] = l
+		}
+	})
+	// Draws: two uniforms per lane, pre-drawn in deterministic order.
+	us := g.AllocLocalF64(2 * m)
+	g.StepOne(func() {
+		for i := range us {
+			us[i] = r.Float64()
+		}
+		g.Ops(2 * m)
+	})
+	g.Step(func(lane int) {
+		i := int(us[2*lane] * float64(m))
+		if i >= m {
+			i = m - 1
+		}
+		if us[2*lane+1] < prob[i] {
+			sel[lane] = i
+		} else {
+			sel[lane] = alias[i]
+		}
+		g.Ops(3)
+		g.LocalRead(24)
+		g.LocalWrite(4)
+	})
+}

@@ -1,0 +1,216 @@
+// Package kernels implements the six computational kernels of the
+// paper's many-core distributed particle filter (§VI) on the device
+// substrate:
+//
+//  1. Pseudo-random number generation  ("rand")
+//  2. Sampling + importance weighting  ("sampling")
+//  3. Local sorting                    ("local sort")
+//  4. Global estimate                  ("global estimate")
+//  5. Particle exchange                ("exchange")
+//  6. Resampling                       ("resampling")
+//
+// One work-group processes one sub-filter and one lane one particle,
+// exactly the paper's mapping ("each GPGPU thread processes one particle
+// and each work group one sub-filter"). Particle state is stored in
+// global memory in AoS layout (§VI: SoA "will not result in efficient
+// transfers" for >16-byte particles); weights and sort indices live in
+// local memory during sorting; and reorderings prefer non-contiguous
+// reads over non-contiguous writes, as the paper prescribes.
+package kernels
+
+import (
+	"fmt"
+	"math"
+
+	"esthera/internal/device"
+	"esthera/internal/exchange"
+	"esthera/internal/model"
+	"esthera/internal/resample"
+	"esthera/internal/rng"
+)
+
+// Algo selects the resampling kernel (Fig. 5 compares the two).
+type Algo int
+
+// Resampling kernel algorithms.
+const (
+	// AlgoRWS is Roulette Wheel Selection: parallel prefix sum over the
+	// local weights, then one binary search per lane.
+	AlgoRWS Algo = iota
+	// AlgoVose is Vose's alias method with the paper's in-place
+	// small/large table construction.
+	AlgoVose
+	// AlgoSystematic is systematic resampling adapted to the lane model
+	// (a toolkit extension beyond the paper's two): one shared uniform
+	// offset, each lane binary-searches its own equally spaced pointer.
+	// Fully parallel like RWS but with a single random draw per
+	// sub-filter and minimal resampling variance.
+	AlgoSystematic
+)
+
+// String returns the algorithm name.
+func (a Algo) String() string {
+	switch a {
+	case AlgoVose:
+		return "vose"
+	case AlgoSystematic:
+		return "systematic"
+	}
+	return "rws"
+}
+
+// Config parameterizes a Pipeline (the Table I parameters plus kernel
+// choices).
+type Config struct {
+	SubFilters    int
+	ParticlesPer  int
+	ExchangeCount int
+	Topology      *exchange.Topology
+	Resampler     Algo
+	// Policy defaults to Always; it is evaluated per sub-filter inside
+	// the resampling kernel on the local weights, so no global reduction
+	// is needed (the real-time property §III-A argues for).
+	Policy resample.Policy
+	// Streams selects the per-sub-filter generator family: "philox"
+	// (default) or "mtgp".
+	Streams string
+	// MeanEstimate switches the global-estimate kernel from the paper's
+	// default max-weight particle to the weighted average (§VI-D: "the
+	// reduction operator can compute the particle with the highest
+	// weight, a weighted average, or any other associative operator").
+	MeanEstimate bool
+}
+
+// Pipeline owns the device-resident state of a parallel distributed
+// filter and launches the kernels. It is created by New and driven by
+// Round; the filter layer (internal/filter.Parallel) wraps it.
+type Pipeline struct {
+	dev *device.Device
+	mdl model.Model
+	cfg Config
+	dim int
+
+	// Global-memory buffers.
+	x, x2   []float64 // N·m·dim particle state, AoS, double buffered
+	logw    []float64 // N·m accumulated log-weights
+	outbox  []float64 // N·t·(dim+1) staged top-t particles (+ log-weight)
+	poolSel []int     // t selected pool entries (all-to-all)
+
+	// Per-sub-filter random streams: a block Buffer refilled by the rand
+	// kernel (the paper's dedicated PRNG kernel) and consumed by the
+	// sampling and resampling kernels.
+	bufs  []*rng.Buffer
+	rands []*rng.Rand
+
+	bestSub int
+	bestLW  float64
+}
+
+// New validates cfg and allocates the pipeline on dev.
+func New(dev *device.Device, mdl model.Model, cfg Config, seed uint64) (*Pipeline, error) {
+	if cfg.SubFilters <= 0 || cfg.ParticlesPer <= 0 {
+		return nil, fmt.Errorf("kernels: invalid grid %d sub-filters × %d particles",
+			cfg.SubFilters, cfg.ParticlesPer)
+	}
+	if cfg.Topology == nil {
+		top, err := exchange.NewTopology(exchange.None, cfg.SubFilters)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Topology = top
+	}
+	if cfg.Topology.Size() != cfg.SubFilters {
+		return nil, fmt.Errorf("kernels: topology size %d != sub-filters %d",
+			cfg.Topology.Size(), cfg.SubFilters)
+	}
+	if cfg.Topology.Scheme() == exchange.RandomPairs && cfg.ExchangeCount > 0 {
+		return nil, fmt.Errorf("kernels: random-pairs exchange is dynamic per round and not supported by the device pipeline; use the sequential distributed filter")
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = resample.Always{}
+	}
+	incoming := cfg.Topology.MaxDegree() * cfg.ExchangeCount
+	if cfg.Topology.Scheme() == exchange.AllToAll {
+		incoming = cfg.ExchangeCount
+	}
+	if cfg.ExchangeCount > 0 && incoming >= cfg.ParticlesPer {
+		return nil, fmt.Errorf("kernels: %d incoming particles >= sub-filter size %d",
+			incoming, cfg.ParticlesPer)
+	}
+	if cfg.ExchangeCount > cfg.ParticlesPer {
+		return nil, fmt.Errorf("kernels: exchange count %d > sub-filter size %d",
+			cfg.ExchangeCount, cfg.ParticlesPer)
+	}
+	p := &Pipeline{dev: dev, mdl: mdl, cfg: cfg, dim: mdl.StateDim()}
+	n := cfg.SubFilters * cfg.ParticlesPer
+	p.x = make([]float64, n*p.dim)
+	p.x2 = make([]float64, n*p.dim)
+	p.logw = make([]float64, n)
+	p.outbox = make([]float64, cfg.SubFilters*cfg.ExchangeCount*(p.dim+1))
+	p.poolSel = make([]int, cfg.ExchangeCount)
+	p.bufs = make([]*rng.Buffer, cfg.SubFilters)
+	p.rands = make([]*rng.Rand, cfg.SubFilters)
+	p.Reset(seed)
+	return p, nil
+}
+
+// Reset reseeds every stream and redraws the particle population from the
+// model prior.
+func (p *Pipeline) Reset(seed uint64) {
+	// Words per round: ~2·dim per particle for sampling (Box-Muller via
+	// Uint64) plus up to 4 for resampling draws, with headroom.
+	words := p.cfg.ParticlesPer * (2*p.dim + 8)
+	for s := 0; s < p.cfg.SubFilters; s++ {
+		var src rng.BlockSource
+		if p.cfg.Streams == "mtgp" {
+			src = rng.NewMTGP(seed, s+1)
+		} else {
+			src = rng.NewPhiloxStream(seed, s+1)
+		}
+		p.bufs[s] = rng.NewBuffer(words, src)
+		p.rands[s] = rng.New(p.bufs[s])
+	}
+	for s := 0; s < p.cfg.SubFilters; s++ {
+		base := s * p.cfg.ParticlesPer * p.dim
+		for i := 0; i < p.cfg.ParticlesPer; i++ {
+			p.mdl.InitParticle(p.x[base+i*p.dim:base+(i+1)*p.dim], p.rands[s])
+		}
+	}
+	for i := range p.logw {
+		p.logw[i] = 0
+	}
+	p.bestSub, p.bestLW = 0, math.Inf(-1)
+}
+
+// Config returns the validated configuration.
+func (p *Pipeline) Config() Config { return p.cfg }
+
+// Device returns the device the pipeline runs on.
+func (p *Pipeline) Device() *device.Device { return p.dev }
+
+// grid returns the one-group-per-sub-filter launch shape.
+func (p *Pipeline) grid() device.Grid {
+	return device.Grid{Groups: p.cfg.SubFilters, GroupSize: p.cfg.ParticlesPer}
+}
+
+// Round runs one full filtering round (all six kernels) for control u,
+// measurement z, step index k, and returns the global best particle's
+// state (copied) and log-weight.
+func (p *Pipeline) Round(u, z []float64, k int) ([]float64, float64) {
+	p.KernelRand()
+	p.KernelSampleWeight(u, z, k)
+	p.KernelSortLocal()
+	best, lw := p.KernelEstimate()
+	p.KernelExchange()
+	p.KernelResample()
+	return best, lw
+}
+
+// Best returns the sub-filter index and log-weight of the last estimate.
+func (p *Pipeline) Best() (sub int, logw float64) { return p.bestSub, p.bestLW }
+
+// Particles exposes the current particle buffer (N·m·dim) for tests.
+func (p *Pipeline) Particles() []float64 { return p.x }
+
+// LogWeights exposes the current log-weight buffer for tests.
+func (p *Pipeline) LogWeights() []float64 { return p.logw }

@@ -1,0 +1,274 @@
+// Package mat implements the small dense linear-algebra kernel set needed
+// by the Kalman-filter baselines (EKF/UKF). The paper motivates particle
+// filters by contrasting them with parametric filters "such as the
+// extended or the unscented Kalman filter" (§I); the toolkit therefore
+// ships both as baselines, and they need matrix products, Cholesky
+// factorizations and SPD solves on state-dimension-sized matrices.
+//
+// Matrices are dense, row-major float64. Dimensions here are tiny
+// (state dims ≤ ~50), so clarity wins over blocking/vectorization.
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols
+}
+
+// NewMatrix returns a zero r×c matrix.
+func NewMatrix(r, c int) *Matrix {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("mat: negative dimensions %d×%d", r, c))
+	}
+	return &Matrix{Rows: r, Cols: c, Data: make([]float64, r*c)}
+}
+
+// FromRows builds a matrix from row slices, which must be equal length.
+func FromRows(rows [][]float64) *Matrix {
+	r := len(rows)
+	if r == 0 {
+		return NewMatrix(0, 0)
+	}
+	c := len(rows[0])
+	m := NewMatrix(r, c)
+	for i, row := range rows {
+		if len(row) != c {
+			panic("mat: ragged rows")
+		}
+		copy(m.Data[i*c:(i+1)*c], row)
+	}
+	return m
+}
+
+// Identity returns the n×n identity.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// Diag returns a square matrix with d on the diagonal.
+func Diag(d []float64) *Matrix {
+	m := NewMatrix(len(d), len(d))
+	for i, v := range d {
+		m.Set(i, i, v)
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// T returns the transpose as a new matrix.
+func (m *Matrix) T() *Matrix {
+	out := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out.Set(j, i, m.At(i, j))
+		}
+	}
+	return out
+}
+
+// Add returns m + o.
+func (m *Matrix) Add(o *Matrix) *Matrix {
+	checkSameShape(m, o)
+	out := m.Clone()
+	for i, v := range o.Data {
+		out.Data[i] += v
+	}
+	return out
+}
+
+// Sub returns m - o.
+func (m *Matrix) Sub(o *Matrix) *Matrix {
+	checkSameShape(m, o)
+	out := m.Clone()
+	for i, v := range o.Data {
+		out.Data[i] -= v
+	}
+	return out
+}
+
+// Scale returns s*m.
+func (m *Matrix) Scale(s float64) *Matrix {
+	out := m.Clone()
+	for i := range out.Data {
+		out.Data[i] *= s
+	}
+	return out
+}
+
+// Mul returns the product m·o.
+func (m *Matrix) Mul(o *Matrix) *Matrix {
+	if m.Cols != o.Rows {
+		panic(fmt.Sprintf("mat: incompatible product %d×%d · %d×%d", m.Rows, m.Cols, o.Rows, o.Cols))
+	}
+	out := NewMatrix(m.Rows, o.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for k := 0; k < m.Cols; k++ {
+			a := m.At(i, k)
+			if a == 0 {
+				continue
+			}
+			for j := 0; j < o.Cols; j++ {
+				out.Data[i*out.Cols+j] += a * o.At(k, j)
+			}
+		}
+	}
+	return out
+}
+
+// MulVec returns the matrix-vector product m·x.
+func (m *Matrix) MulVec(x []float64) []float64 {
+	if m.Cols != len(x) {
+		panic(fmt.Sprintf("mat: incompatible MulVec %d×%d · %d", m.Rows, m.Cols, len(x)))
+	}
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		s := 0.0
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Symmetrize overwrites m with (m + mᵀ)/2, repairing the asymmetry that
+// accumulates in covariance updates.
+func (m *Matrix) Symmetrize() {
+	if m.Rows != m.Cols {
+		panic("mat: Symmetrize on non-square matrix")
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := i + 1; j < m.Cols; j++ {
+			v := 0.5 * (m.At(i, j) + m.At(j, i))
+			m.Set(i, j, v)
+			m.Set(j, i, v)
+		}
+	}
+}
+
+// Cholesky computes the lower-triangular factor L with m = L·Lᵀ. It
+// returns an error if m is not (numerically) symmetric positive definite.
+func (m *Matrix) Cholesky() (*Matrix, error) {
+	if m.Rows != m.Cols {
+		return nil, fmt.Errorf("mat: Cholesky of non-square %d×%d", m.Rows, m.Cols)
+	}
+	n := m.Rows
+	l := NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		d := m.At(j, j)
+		for k := 0; k < j; k++ {
+			d -= l.At(j, k) * l.At(j, k)
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, fmt.Errorf("mat: matrix not positive definite at pivot %d (d=%g)", j, d)
+		}
+		dj := math.Sqrt(d)
+		l.Set(j, j, dj)
+		for i := j + 1; i < n; i++ {
+			s := m.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			l.Set(i, j, s/dj)
+		}
+	}
+	return l, nil
+}
+
+// SolveChol solves m·x = b for SPD m via Cholesky, for each column of b,
+// returning x with the shape of b.
+func (m *Matrix) SolveChol(b *Matrix) (*Matrix, error) {
+	l, err := m.Cholesky()
+	if err != nil {
+		return nil, err
+	}
+	n := m.Rows
+	if b.Rows != n {
+		return nil, fmt.Errorf("mat: rhs rows %d != %d", b.Rows, n)
+	}
+	x := b.Clone()
+	// Forward substitution L·y = b.
+	for col := 0; col < x.Cols; col++ {
+		for i := 0; i < n; i++ {
+			s := x.At(i, col)
+			for k := 0; k < i; k++ {
+				s -= l.At(i, k) * x.At(k, col)
+			}
+			x.Set(i, col, s/l.At(i, i))
+		}
+		// Back substitution Lᵀ·x = y.
+		for i := n - 1; i >= 0; i-- {
+			s := x.At(i, col)
+			for k := i + 1; k < n; k++ {
+				s -= l.At(k, i) * x.At(k, col)
+			}
+			x.Set(i, col, s/l.At(i, i))
+		}
+	}
+	return x, nil
+}
+
+// InverseSPD returns the inverse of an SPD matrix via Cholesky.
+func (m *Matrix) InverseSPD() (*Matrix, error) {
+	return m.SolveChol(Identity(m.Rows))
+}
+
+// LogDetSPD returns log(det(m)) for SPD m, computed stably from the
+// Cholesky factor. Needed by Gaussian likelihood evaluations.
+func (m *Matrix) LogDetSPD() (float64, error) {
+	l, err := m.Cholesky()
+	if err != nil {
+		return 0, err
+	}
+	s := 0.0
+	for i := 0; i < l.Rows; i++ {
+		s += math.Log(l.At(i, i))
+	}
+	return 2 * s, nil
+}
+
+func checkSameShape(a, b *Matrix) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: shape mismatch %d×%d vs %d×%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+}
+
+// OuterAdd accumulates s * (x·yᵀ) into m, the workhorse of covariance
+// accumulation in the UKF.
+func (m *Matrix) OuterAdd(s float64, x, y []float64) {
+	if m.Rows != len(x) || m.Cols != len(y) {
+		panic("mat: OuterAdd shape mismatch")
+	}
+	for i, xv := range x {
+		if xv == 0 {
+			continue
+		}
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		f := s * xv
+		for j, yv := range y {
+			row[j] += f * yv
+		}
+	}
+}

@@ -1,0 +1,271 @@
+package mat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"esthera/internal/rng"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func randomSPD(n int, seed uint64) *Matrix {
+	r := rng.New(rng.NewPhilox(seed))
+	a := NewMatrix(n, n)
+	for i := range a.Data {
+		a.Data[i] = r.Float64() - 0.5
+	}
+	// AᵀA + n·I is SPD.
+	spd := a.T().Mul(a)
+	for i := 0; i < n; i++ {
+		spd.Set(i, i, spd.At(i, i)+float64(n))
+	}
+	return spd
+}
+
+func TestMulIdentity(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	got := m.Mul(Identity(2))
+	for i := range m.Data {
+		if got.Data[i] != m.Data[i] {
+			t.Fatalf("M·I != M at %d", i)
+		}
+	}
+	got2 := Identity(3).Mul(m)
+	for i := range m.Data {
+		if got2.Data[i] != m.Data[i] {
+			t.Fatalf("I·M != M at %d", i)
+		}
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	got := a.Mul(b)
+	want := FromRows([][]float64{{19, 22}, {43, 50}})
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("product wrong: %v, want %v", got.Data, want.Data)
+		}
+	}
+}
+
+func TestMulVecMatchesMul(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	x := []float64{7, 8, 9}
+	got := a.MulVec(x)
+	want := []float64{1*7 + 2*8 + 3*9, 4*7 + 5*8 + 6*9}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("MulVec = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	tt := m.T().T()
+	if tt.Rows != m.Rows || tt.Cols != m.Cols {
+		t.Fatal("double transpose changed shape")
+	}
+	for i := range m.Data {
+		if tt.Data[i] != m.Data[i] {
+			t.Fatal("double transpose changed data")
+		}
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{4, 3}, {2, 1}})
+	sum := a.Add(b)
+	for _, v := range sum.Data {
+		if v != 5 {
+			t.Fatalf("Add wrong: %v", sum.Data)
+		}
+	}
+	diff := sum.Sub(b)
+	for i := range a.Data {
+		if diff.Data[i] != a.Data[i] {
+			t.Fatal("Sub(Add) != original")
+		}
+	}
+	sc := a.Scale(2)
+	for i := range a.Data {
+		if sc.Data[i] != 2*a.Data[i] {
+			t.Fatal("Scale wrong")
+		}
+	}
+	// Originals untouched.
+	if a.At(0, 0) != 1 || b.At(0, 0) != 4 {
+		t.Fatal("operands mutated")
+	}
+}
+
+func TestCholeskyReconstructs(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 10, 20} {
+		m := randomSPD(n, uint64(n))
+		l, err := m.Cholesky()
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		// L must be lower triangular.
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if l.At(i, j) != 0 {
+					t.Fatalf("n=%d: L not lower triangular at (%d,%d)", n, i, j)
+				}
+			}
+		}
+		rec := l.Mul(l.T())
+		for i := range m.Data {
+			if !almostEqual(rec.Data[i], m.Data[i], 1e-9*float64(n)) {
+				t.Fatalf("n=%d: L·Lᵀ != M at %d: %v vs %v", n, i, rec.Data[i], m.Data[i])
+			}
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	m := FromRows([][]float64{{1, 0}, {0, -1}})
+	if _, err := m.Cholesky(); err == nil {
+		t.Fatal("expected error for indefinite matrix")
+	}
+	r := FromRows([][]float64{{1, 2, 3}})
+	if _, err := r.Cholesky(); err == nil {
+		t.Fatal("expected error for non-square matrix")
+	}
+}
+
+func TestSolveChol(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		m := randomSPD(n, uint64(100+n))
+		r := rng.New(rng.NewPhilox(uint64(n)))
+		xTrue := NewMatrix(n, 2)
+		for i := range xTrue.Data {
+			xTrue.Data[i] = r.Float64()*2 - 1
+		}
+		b := m.Mul(xTrue)
+		x, err := m.SolveChol(b)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for i := range xTrue.Data {
+			if !almostEqual(x.Data[i], xTrue.Data[i], 1e-8*float64(n)) {
+				t.Fatalf("n=%d: solve wrong at %d: %v vs %v", n, i, x.Data[i], xTrue.Data[i])
+			}
+		}
+	}
+}
+
+func TestInverseSPD(t *testing.T) {
+	m := randomSPD(6, 77)
+	inv, err := m.InverseSPD()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod := m.Mul(inv)
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 6; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if !almostEqual(prod.At(i, j), want, 1e-9) {
+				t.Fatalf("M·M⁻¹ not identity at (%d,%d): %v", i, j, prod.At(i, j))
+			}
+		}
+	}
+}
+
+func TestLogDetSPD(t *testing.T) {
+	d := Diag([]float64{2, 3, 4})
+	got, err := d.LogDetSPD()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, math.Log(24), 1e-12) {
+		t.Fatalf("logdet = %v, want %v", got, math.Log(24))
+	}
+}
+
+func TestSymmetrize(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {4, 3}})
+	m.Symmetrize()
+	if m.At(0, 1) != 3 || m.At(1, 0) != 3 {
+		t.Fatalf("symmetrize wrong: %v", m.Data)
+	}
+}
+
+func TestOuterAdd(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.OuterAdd(2, []float64{1, 2}, []float64{3, 4, 5})
+	want := []float64{6, 8, 10, 12, 16, 20}
+	for i := range want {
+		if m.Data[i] != want[i] {
+			t.Fatalf("OuterAdd = %v, want %v", m.Data, want)
+		}
+	}
+}
+
+func TestDiagAndIdentity(t *testing.T) {
+	d := Diag([]float64{1, 2})
+	if d.At(0, 0) != 1 || d.At(1, 1) != 2 || d.At(0, 1) != 0 {
+		t.Fatal("Diag wrong")
+	}
+	id := Identity(3)
+	if id.At(2, 2) != 1 || id.At(0, 1) != 0 {
+		t.Fatal("Identity wrong")
+	}
+}
+
+func TestShapePanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	a := NewMatrix(2, 3)
+	b := NewMatrix(2, 2)
+	mustPanic("Add", func() { a.Add(b) })
+	mustPanic("Mul", func() { a.Mul(a) })
+	mustPanic("MulVec", func() { a.MulVec([]float64{1}) })
+	mustPanic("Symmetrize", func() { a.Symmetrize() })
+	mustPanic("ragged FromRows", func() { FromRows([][]float64{{1}, {1, 2}}) })
+	mustPanic("OuterAdd", func() { a.OuterAdd(1, []float64{1}, []float64{1}) })
+}
+
+// Property: (A·B)ᵀ == Bᵀ·Aᵀ for random small matrices.
+func TestQuickTransposeProduct(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(rng.NewPhilox(seed))
+		n := 1 + r.Intn(5)
+		m := 1 + r.Intn(5)
+		p := 1 + r.Intn(5)
+		a := NewMatrix(n, m)
+		b := NewMatrix(m, p)
+		for i := range a.Data {
+			a.Data[i] = r.Float64() - 0.5
+		}
+		for i := range b.Data {
+			b.Data[i] = r.Float64() - 0.5
+		}
+		lhs := a.Mul(b).T()
+		rhs := b.T().Mul(a.T())
+		for i := range lhs.Data {
+			if !almostEqual(lhs.Data[i], rhs.Data[i], 1e-12) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,151 @@
+// Package metrics evaluates filter estimation accuracy against scenario
+// ground truth. The accuracy experiments (Figs. 6, 7, 9) report "averages
+// from runs over time steps for each configuration"; this package
+// provides the per-run tracking loop, the error series statistics, and
+// multi-run averaging with common random numbers (the same measurement
+// noise realization is replayed for every filter configuration under the
+// same run seed, isolating configuration effects — DESIGN.md §7).
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"esthera/internal/filter"
+	"esthera/internal/model"
+	"esthera/internal/rng"
+)
+
+// Series is the per-step tracked-position error of one run.
+type Series struct {
+	Err []float64
+}
+
+// Mean returns the mean error over all steps.
+func (s Series) Mean() float64 { return s.MeanAfter(0) }
+
+// MeanAfter returns the mean error over steps after a burn-in prefix.
+func (s Series) MeanAfter(burn int) float64 {
+	if burn >= len(s.Err) {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, e := range s.Err[burn:] {
+		sum += e
+	}
+	return sum / float64(len(s.Err)-burn)
+}
+
+// RMSE returns the root-mean-square error over all steps.
+func (s Series) RMSE() float64 {
+	if len(s.Err) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, e := range s.Err {
+		sum += e * e
+	}
+	return math.Sqrt(sum / float64(len(s.Err)))
+}
+
+// Final returns the last-step error.
+func (s Series) Final() float64 {
+	if len(s.Err) == 0 {
+		return math.NaN()
+	}
+	return s.Err[len(s.Err)-1]
+}
+
+// Converged reports whether the mean error over the trailing window is
+// below threshold — the Fig. 8 convergence criterion.
+func (s Series) Converged(threshold float64, window int) bool {
+	if window > len(s.Err) {
+		window = len(s.Err)
+	}
+	if window == 0 {
+		return false
+	}
+	sum := 0.0
+	for _, e := range s.Err[len(s.Err)-window:] {
+		sum += e
+	}
+	return sum/float64(window) < threshold
+}
+
+// Run drives f through steps rounds of sc, synthesizing measurements from
+// the ground truth with noise drawn from a stream derived from measSeed
+// (so two filters evaluated with the same measSeed see identical data).
+// It returns the per-step tracked-position error series.
+func Run(f filter.Filter, sc model.Scenario, steps int, measSeed uint64) Series {
+	m := sc.Model()
+	measR := rng.New(rng.NewPhiloxStream(measSeed, 0x4D53)) // "MS"
+	truth := make([]float64, m.StateDim())
+	z := make([]float64, m.MeasurementDim())
+	u := make([]float64, m.ControlDim())
+	errs := make([]float64, steps)
+	for k := 1; k <= steps; k++ {
+		sc.TrueState(k, truth)
+		sc.Control(k, u)
+		m.Measure(z, truth, measR)
+		est := f.Step(u, z)
+		ex, ey := m.TrackedPosition(est.State)
+		tx, ty := m.TrackedPosition(truth)
+		errs[k-1] = math.Hypot(ex-tx, ey-ty)
+	}
+	return Series{Err: errs}
+}
+
+// Aggregate summarizes multiple runs.
+type Aggregate struct {
+	Runs      int
+	MeanError float64 // mean over runs of per-run mean error
+	RMSE      float64 // mean over runs of per-run RMSE
+	StdDev    float64 // std dev across runs of the per-run mean error
+}
+
+// String renders the aggregate compactly.
+func (a Aggregate) String() string {
+	return fmt.Sprintf("runs=%d mean=%.4f rmse=%.4f sd=%.4f", a.Runs, a.MeanError, a.RMSE, a.StdDev)
+}
+
+// Average evaluates a filter configuration over several independent runs.
+// newFilter is called once per run with a derived filter seed; the
+// scenario and the measurement noise are also re-derived per run, but
+// depend only on (baseSeed, run), so different configurations evaluated
+// with the same baseSeed share ground truth and data (CRN).
+func Average(
+	newFilter func(seed uint64) (filter.Filter, error),
+	newScenario func(run int) model.Scenario,
+	steps, runs int,
+	baseSeed uint64,
+) (Aggregate, error) {
+	if runs <= 0 || steps <= 0 {
+		return Aggregate{}, fmt.Errorf("metrics: non-positive steps/runs %d/%d", steps, runs)
+	}
+	means := make([]float64, runs)
+	rmses := make([]float64, runs)
+	for run := 0; run < runs; run++ {
+		f, err := newFilter(rng.StreamSeed(baseSeed, 2*run))
+		if err != nil {
+			return Aggregate{}, err
+		}
+		sc := newScenario(run)
+		s := Run(f, sc, steps, rng.StreamSeed(baseSeed, 2*run+1))
+		means[run] = s.Mean()
+		rmses[run] = s.RMSE()
+	}
+	agg := Aggregate{Runs: runs}
+	for run := 0; run < runs; run++ {
+		agg.MeanError += means[run] / float64(runs)
+		agg.RMSE += rmses[run] / float64(runs)
+	}
+	varSum := 0.0
+	for run := 0; run < runs; run++ {
+		d := means[run] - agg.MeanError
+		varSum += d * d
+	}
+	if runs > 1 {
+		agg.StdDev = math.Sqrt(varSum / float64(runs-1))
+	}
+	return agg, nil
+}

@@ -1,0 +1,109 @@
+package metrics_test
+
+import (
+	"math"
+	"testing"
+
+	"esthera/internal/filter"
+	"esthera/internal/metrics"
+	"esthera/internal/model"
+)
+
+func TestSeriesStatistics(t *testing.T) {
+	s := metrics.Series{Err: []float64{3, 4, 5}}
+	if s.Mean() != 4 {
+		t.Fatalf("Mean = %v, want 4", s.Mean())
+	}
+	if s.MeanAfter(1) != 4.5 {
+		t.Fatalf("MeanAfter(1) = %v, want 4.5", s.MeanAfter(1))
+	}
+	if !math.IsNaN(s.MeanAfter(3)) {
+		t.Fatal("MeanAfter past the end must be NaN")
+	}
+	wantRMSE := math.Sqrt((9.0 + 16 + 25) / 3)
+	if math.Abs(s.RMSE()-wantRMSE) > 1e-12 {
+		t.Fatalf("RMSE = %v, want %v", s.RMSE(), wantRMSE)
+	}
+	if s.Final() != 5 {
+		t.Fatalf("Final = %v, want 5", s.Final())
+	}
+	empty := metrics.Series{}
+	if !math.IsNaN(empty.RMSE()) || !math.IsNaN(empty.Final()) {
+		t.Fatal("empty series stats must be NaN")
+	}
+}
+
+func TestConverged(t *testing.T) {
+	s := metrics.Series{Err: []float64{10, 10, 0.1, 0.1, 0.1}}
+	if !s.Converged(0.5, 3) {
+		t.Fatal("trailing window below threshold must converge")
+	}
+	if s.Converged(0.05, 3) {
+		t.Fatal("threshold below trailing mean must not converge")
+	}
+	if s.Converged(0.5, 0) {
+		t.Fatal("zero window must not converge")
+	}
+	// Window longer than series clamps.
+	if s.Converged(1, 99) {
+		t.Fatal("clamped window includes the bad prefix")
+	}
+}
+
+func TestRunCommonRandomNumbers(t *testing.T) {
+	// Two identical filters evaluated with the same measSeed see the same
+	// data and produce identical series.
+	mk := func() filter.Filter {
+		f, err := filter.NewCentralized(model.NewUNGM(), 128, 5, filter.CentralizedOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	scA := model.NewSimulated(model.NewUNGM(), 9)
+	scB := model.NewSimulated(model.NewUNGM(), 9)
+	a := metrics.Run(mk(), scA, 20, 77)
+	b := metrics.Run(mk(), scB, 20, 77)
+	for i := range a.Err {
+		if a.Err[i] != b.Err[i] {
+			t.Fatalf("CRN violated at step %d", i)
+		}
+	}
+	// Different measurement seed → different series.
+	scC := model.NewSimulated(model.NewUNGM(), 9)
+	c := metrics.Run(mk(), scC, 20, 78)
+	same := true
+	for i := range a.Err {
+		if a.Err[i] != c.Err[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different measurement seeds produced identical series")
+	}
+}
+
+func TestAverage(t *testing.T) {
+	agg, err := metrics.Average(
+		func(seed uint64) (filter.Filter, error) {
+			return filter.NewCentralized(model.NewUNGM(), 256, seed, filter.CentralizedOptions{})
+		},
+		func(run int) model.Scenario { return model.NewSimulated(model.NewUNGM(), uint64(run)) },
+		30, 4, 11,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Runs != 4 {
+		t.Fatalf("runs = %d", agg.Runs)
+	}
+	if !(agg.MeanError > 0) || !(agg.RMSE >= agg.MeanError*0.5) {
+		t.Fatalf("implausible aggregate %+v", agg)
+	}
+	if agg.String() == "" {
+		t.Fatal("empty aggregate string")
+	}
+	if _, err := metrics.Average(nil, nil, 0, 0, 1); err == nil {
+		t.Fatal("zero steps/runs must error")
+	}
+}

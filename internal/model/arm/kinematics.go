@@ -1,0 +1,72 @@
+// Package arm implements the paper's robotic-arm tracking application
+// (§VII-A): an industrial arm with N independently controlled joints —
+// one rotational degree of freedom at the base plus planar pitch joints —
+// carrying a camera at the end-effector that observes an object moving on
+// a fixed x–y plane. Joint angle sensors and the camera provide the
+// measurement vector; the camera equation is the "highly non-linear
+// rotation-translation function" h(x) that motivates particle filtering.
+//
+// State:        x = (θ₀, …, θ_{J-1}, x, y, vx, vy), dimension J+4
+// Measurement:  z = (x_C, y_C, θ̂₀, …, θ̂_{J-1}),    dimension J+2
+//
+// With the paper's default of 5 joints the state dimension is 9, matching
+// Table II.
+package arm
+
+import "math"
+
+// Vec3 is a 3-D vector.
+type Vec3 [3]float64
+
+// Sub returns v - o.
+func (v Vec3) Sub(o Vec3) Vec3 { return Vec3{v[0] - o[0], v[1] - o[1], v[2] - o[2]} }
+
+// Dot returns the dot product.
+func (v Vec3) Dot(o Vec3) float64 { return v[0]*o[0] + v[1]*o[1] + v[2]*o[2] }
+
+// CameraPose computes the camera (end-effector) world position and
+// orientation from the joint angles via the forward-kinematic chain:
+// theta[0] is the base yaw about the world z-axis; theta[1:] are pitch
+// joints in the arm's vertical plane, each followed by a link of length
+// linkLen. The camera frame is returned as three orthonormal world-space
+// axes: xc along the final link direction, yc the in-plane "up", zc the
+// lateral axis.
+func CameraPose(theta []float64, linkLen float64) (pos Vec3, xc, yc, zc Vec3) {
+	yaw := theta[0]
+	cy, sy := math.Cos(yaw), math.Sin(yaw)
+	// Accumulate the chain in the vertical plane (radial r, height z).
+	r, z := 0.0, 0.0
+	pitch := 0.0
+	for _, t := range theta[1:] {
+		pitch += t
+		r += linkLen * math.Cos(pitch)
+		z += linkLen * math.Sin(pitch)
+	}
+	if len(theta) == 1 {
+		// Degenerate single-joint arm: a stub of one link pointing
+		// horizontally, so the camera still has a well-defined pose.
+		r = linkLen
+	}
+	pos = Vec3{r * cy, r * sy, z}
+	cp, sp := math.Cos(pitch), math.Sin(pitch)
+	xc = Vec3{cp * cy, cp * sy, sp}
+	yc = Vec3{-sp * cy, -sp * sy, cp}
+	zc = Vec3{sy, -cy, 0}
+	return pos, xc, yc, zc
+}
+
+// CameraProject returns the tracked object's position in the camera
+// frame: the object sits at world (ox, oy, 0) and the returned (xC, yC)
+// are the components of the camera-relative vector along the camera's
+// forward (xc) and lateral (zc) axes — the two directions that span the
+// observed plane, i.e. the image coordinates of an end-effector camera
+// looking down at the working plane (its optical axis is yc). This is
+// the paper's measurement function h(x) of Eq. (1): a pure
+// rotation-translation of the object position into the camera's moving
+// frame. Observability of the plane degrades only when the cumulative
+// pitch approaches ±90° (the camera edge-on to the plane).
+func CameraProject(theta []float64, linkLen, ox, oy float64) (xC, yC float64) {
+	pos, xc, _, zc := CameraPose(theta, linkLen)
+	v := Vec3{ox, oy, 0}.Sub(pos)
+	return v.Dot(xc), v.Dot(zc)
+}

@@ -1,0 +1,103 @@
+// Package model defines the dynamical-system abstraction the filters
+// estimate, and ships the paper-relevant benchmark systems:
+//
+//   - the N-joint robotic arm with camera (§VII-A) in the arm subpackage,
+//   - UNGM, the univariate nonstationary growth model (the classic
+//     academic non-linear benchmark of Gordon et al., of the kind the
+//     first parallel-PF study used),
+//   - 2-D bearings-only tracking with four state variables (the paper's
+//     "small estimation problems with up to four state variables" that
+//     reach kHz rates),
+//   - a stochastic-volatility model (the econometrics application the
+//     introduction cites).
+//
+// The paper's framework "separates generic particle filtering from
+// model-specific routines. New dynamical system models can be easily
+// added" — this interface is that separation.
+package model
+
+import (
+	"math"
+
+	"esthera/internal/mat"
+	"esthera/internal/rng"
+)
+
+// Model is a state-space system with Markov dynamics and a stochastic
+// measurement channel.
+//
+// All slice arguments are caller-allocated; implementations must not
+// retain them.
+type Model interface {
+	// Name identifies the model in reports.
+	Name() string
+	// StateDim is the length of a state vector x.
+	StateDim() int
+	// MeasurementDim is the length of a measurement vector z.
+	MeasurementDim() int
+	// ControlDim is the length of a control vector u (0 if uncontrolled).
+	ControlDim() int
+	// InitParticle samples an initial particle from the prior p(x₀).
+	InitParticle(x []float64, r *rng.Rand)
+	// Step samples dst ~ p(x_k | x_{k-1}=src, u_k=u) at step index k.
+	// dst and src must not alias.
+	Step(dst, src, u []float64, k int, r *rng.Rand)
+	// LogLikelihood returns log p(z | x).
+	LogLikelihood(x, z []float64) float64
+	// Measure samples a measurement z ~ p(z | x) (used to synthesize
+	// observations from ground truth).
+	Measure(z, x []float64, r *rng.Rand)
+	// TrackedPosition projects a state onto the 2-D quantity of interest
+	// whose estimation error the experiments report (for the arm: the
+	// tracked object's position; 1-D models return (x, 0)).
+	TrackedPosition(x []float64) (px, py float64)
+}
+
+// Linearizable is the optional contract the Kalman baselines need: the
+// deterministic parts of the dynamics and measurement, their Jacobians,
+// and the (additive, Gaussian) noise covariances.
+type Linearizable interface {
+	Model
+	// StepMean writes E[x_k | x_{k-1}=src, u] into dst.
+	StepMean(dst, src, u []float64, k int)
+	// StepJacobian writes ∂StepMean/∂x at src into jac (n×n).
+	StepJacobian(jac *mat.Matrix, src, u []float64, k int)
+	// MeasureMean writes E[z | x] into z.
+	MeasureMean(z, x []float64)
+	// MeasureJacobian writes ∂MeasureMean/∂x at x into jac (m×n).
+	MeasureJacobian(jac *mat.Matrix, x []float64)
+	// ProcessCov returns the process-noise covariance (n×n).
+	ProcessCov() *mat.Matrix
+	// MeasureCov returns the measurement-noise covariance (m×m).
+	MeasureCov() *mat.Matrix
+}
+
+// LogNormPDF returns log N(x; mean, sigma²) including the normalization
+// constant, guarding sigma > 0.
+func LogNormPDF(x, mean, sigma float64) float64 {
+	d := (x - mean) / sigma
+	return -0.5*d*d - math.Log(sigma) - 0.5*math.Log(2*math.Pi)
+}
+
+// NumericalJacobian fills jac (m×n) with the central-difference Jacobian
+// of f at x, where f maps n-vectors to m-vectors via f(dst, x). It is the
+// fallback used to make models without analytic measurement Jacobians
+// (such as the robotic arm) usable by the EKF baseline.
+func NumericalJacobian(jac *mat.Matrix, f func(dst, x []float64), x []float64) {
+	m, n := jac.Rows, jac.Cols
+	xp := append([]float64(nil), x...)
+	fPlus := make([]float64, m)
+	fMinus := make([]float64, m)
+	for j := 0; j < n; j++ {
+		h := 1e-6 * (1 + math.Abs(x[j]))
+		xp[j] = x[j] + h
+		f(fPlus, xp)
+		xp[j] = x[j] - h
+		f(fMinus, xp)
+		xp[j] = x[j]
+		inv := 1 / (2 * h)
+		for i := 0; i < m; i++ {
+			jac.Set(i, j, (fPlus[i]-fMinus[i])*inv)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package model
+
+import "esthera/internal/rng"
+
+// Scenario couples a model with a ground-truth trajectory and control
+// schedule, so the experiment harness can replay the same truth across
+// filter configurations (common random numbers, DESIGN.md §7).
+type Scenario interface {
+	// Model returns the system being estimated.
+	Model() Model
+	// TrueState writes the ground-truth state at step k (k >= 0; k = 0 is
+	// the initial state) into x.
+	TrueState(k int, x []float64)
+	// Control writes the control input u_k applied between steps k-1 and
+	// k. For uncontrolled models u has length 0.
+	Control(k int, u []float64)
+}
+
+// Simulated is a Scenario whose truth is produced by running the model's
+// own stochastic dynamics from a seeded draw of the prior — the standard
+// setup for the UNGM / bearings / volatility benchmarks. States are
+// cached so TrueState(k) is O(1) after first access and identical across
+// repeated calls.
+type Simulated struct {
+	m      Model
+	r      *rng.Rand
+	states [][]float64
+	u      []float64
+}
+
+// NewSimulated returns a simulated scenario for m with truth seeded by
+// seed (independent of any filter seed).
+func NewSimulated(m Model, seed uint64) *Simulated {
+	s := &Simulated{m: m, r: rng.New(rng.NewPhiloxStream(seed, 0x7157)), u: make([]float64, m.ControlDim())}
+	x0 := make([]float64, m.StateDim())
+	s.m.InitParticle(x0, s.r)
+	s.states = append(s.states, x0)
+	return s
+}
+
+// Model implements Scenario.
+func (s *Simulated) Model() Model { return s.m }
+
+// TrueState implements Scenario.
+func (s *Simulated) TrueState(k int, x []float64) {
+	for len(s.states) <= k {
+		prev := s.states[len(s.states)-1]
+		next := make([]float64, s.m.StateDim())
+		s.m.Step(next, prev, s.u, len(s.states), s.r)
+		s.states = append(s.states, next)
+	}
+	copy(x, s.states[k])
+}
+
+// Control implements Scenario (uncontrolled: zero-length u).
+func (s *Simulated) Control(int, []float64) {}

@@ -1,0 +1,116 @@
+package model
+
+import (
+	"math"
+
+	"esthera/internal/mat"
+	"esthera/internal/rng"
+)
+
+// UNGM is the univariate nonstationary growth model of Gordon, Salmond &
+// Smith (1993) — the canonical severely non-linear, bimodal particle-
+// filter benchmark:
+//
+//	x_k = x_{k-1}/2 + 25·x_{k-1}/(1+x_{k-1}²) + 8·cos(1.2·k) + w,  w ~ N(0, Q)
+//	z_k = x_k²/20 + v,                                              v ~ N(0, R)
+//
+// The squared measurement makes the posterior bimodal (±x are nearly
+// indistinguishable), which defeats Kalman-type filters — exactly the
+// regime the paper motivates particle filters for.
+type UNGM struct {
+	// Q and R are the process and measurement noise variances. Zero
+	// values default to the literature-standard Q=10, R=1.
+	Q, R float64
+	// P0 is the prior variance of x₀ (default 5).
+	P0 float64
+}
+
+// NewUNGM returns the model with the standard parameters.
+func NewUNGM() *UNGM { return &UNGM{Q: 10, R: 1, P0: 5} }
+
+func (m *UNGM) q() float64 {
+	if m.Q == 0 {
+		return 10
+	}
+	return m.Q
+}
+
+func (m *UNGM) rv() float64 {
+	if m.R == 0 {
+		return 1
+	}
+	return m.R
+}
+
+func (m *UNGM) p0() float64 {
+	if m.P0 == 0 {
+		return 5
+	}
+	return m.P0
+}
+
+// Name implements Model.
+func (m *UNGM) Name() string { return "ungm" }
+
+// StateDim implements Model.
+func (m *UNGM) StateDim() int { return 1 }
+
+// MeasurementDim implements Model.
+func (m *UNGM) MeasurementDim() int { return 1 }
+
+// ControlDim implements Model.
+func (m *UNGM) ControlDim() int { return 0 }
+
+// InitParticle implements Model.
+func (m *UNGM) InitParticle(x []float64, r *rng.Rand) {
+	x[0] = r.Normal(0, math.Sqrt(m.p0()))
+}
+
+// StepMean implements Linearizable.
+func (m *UNGM) StepMean(dst, src, _ []float64, k int) {
+	x := src[0]
+	dst[0] = x/2 + 25*x/(1+x*x) + 8*math.Cos(1.2*float64(k))
+}
+
+// Step implements Model.
+func (m *UNGM) Step(dst, src, u []float64, k int, r *rng.Rand) {
+	m.StepMean(dst, src, u, k)
+	dst[0] += r.Normal(0, math.Sqrt(m.q()))
+}
+
+// MeasureMean implements Linearizable.
+func (m *UNGM) MeasureMean(z, x []float64) { z[0] = x[0] * x[0] / 20 }
+
+// Measure implements Model.
+func (m *UNGM) Measure(z, x []float64, r *rng.Rand) {
+	m.MeasureMean(z, x)
+	z[0] += r.Normal(0, math.Sqrt(m.rv()))
+}
+
+// LogLikelihood implements Model.
+func (m *UNGM) LogLikelihood(x, z []float64) float64 {
+	return LogNormPDF(z[0], x[0]*x[0]/20, math.Sqrt(m.rv()))
+}
+
+// TrackedPosition implements Model.
+func (m *UNGM) TrackedPosition(x []float64) (float64, float64) { return x[0], 0 }
+
+// StepJacobian implements Linearizable.
+func (m *UNGM) StepJacobian(jac *mat.Matrix, src, _ []float64, _ int) {
+	x := src[0]
+	d := 1 + x*x
+	jac.Set(0, 0, 0.5+25*(1-x*x)/(d*d))
+}
+
+// MeasureJacobian implements Linearizable.
+func (m *UNGM) MeasureJacobian(jac *mat.Matrix, x []float64) {
+	jac.Set(0, 0, x[0]/10)
+}
+
+// ProcessCov implements Linearizable.
+func (m *UNGM) ProcessCov() *mat.Matrix { return mat.Diag([]float64{m.q()}) }
+
+// MeasureCov implements Linearizable.
+func (m *UNGM) MeasureCov() *mat.Matrix { return mat.Diag([]float64{m.rv()}) }
+
+var _ Linearizable = (*UNGM)(nil)

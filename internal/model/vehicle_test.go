@@ -1,0 +1,102 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"esthera/internal/rng"
+)
+
+func TestVehicleContract(t *testing.T) { checkModelContract(t, NewVehicle()) }
+
+func TestVehicleRoadDistance(t *testing.T) {
+	m := NewVehicle() // grid 100
+	cases := []struct{ x, y, want float64 }{
+		{0, 0, 0},      // intersection
+		{50, 0, 0},     // on a horizontal road
+		{0, 50, 0},     // on a vertical road
+		{50, 50, 50},   // cell center
+		{30, 40, 30},   // closer to the vertical road at x=0? no: dx=30, dy=40 → 30
+		{110, 250, 10}, // dx=10, dy=50
+	}
+	for _, c := range cases {
+		if got := m.RoadDistance(c.x, c.y); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("RoadDistance(%v,%v) = %v, want %v", c.x, c.y, got, c.want)
+		}
+	}
+}
+
+func TestVehicleMapPriorPrefersRoads(t *testing.T) {
+	m := NewVehicle()
+	onRoad := []float64{50, 0, 0, 10}
+	offRoad := []float64{50, 50, 0, 10}
+	z := []float64{50, 25, 10} // GPS between the two, equidistant
+	if m.LogLikelihood(onRoad, z) <= m.LogLikelihood(offRoad, z) {
+		t.Fatal("map prior must favor the on-road hypothesis")
+	}
+	// With map matching disabled the two are symmetric.
+	m.SigmaRoad = 0
+	a := m.LogLikelihood(onRoad, z)
+	b := m.LogLikelihood(offRoad, z)
+	if math.Abs(a-b) > 1e-9 {
+		t.Fatalf("without map prior, symmetric hypotheses must tie: %v vs %v", a, b)
+	}
+}
+
+func TestVehicleRouteStaysOnRoads(t *testing.T) {
+	m := NewVehicle()
+	r := NewVehicleRoute(m)
+	x := make([]float64, 4)
+	for k := 0; k <= 300; k++ {
+		r.TrueState(k, x)
+		if d := m.RoadDistance(x[0], x[1]); d > 1e-9 {
+			t.Fatalf("step %d: route %v is %v m off-road", k, x[:2], d)
+		}
+		if x[3] != r.Speed {
+			t.Fatalf("step %d: route speed %v", k, x[3])
+		}
+	}
+}
+
+func TestVehicleRouteGeometry(t *testing.T) {
+	m := NewVehicle()
+	r := NewVehicleRoute(m) // 5 m/step, 200 m legs → 40 steps/leg
+	x := make([]float64, 4)
+	r.TrueState(0, x)
+	if x[0] != 0 || x[1] != 0 || x[2] != 0 {
+		t.Fatalf("route start %v", x)
+	}
+	r.TrueState(40, x) // end of first east leg
+	if math.Abs(x[0]-200) > 1e-9 || math.Abs(x[1]) > 1e-9 {
+		t.Fatalf("after leg 1: %v, want (200,0)", x[:2])
+	}
+	r.TrueState(80, x) // end of first north leg
+	if math.Abs(x[0]-200) > 1e-9 || math.Abs(x[1]-200) > 1e-9 {
+		t.Fatalf("after leg 2: %v, want (200,200)", x[:2])
+	}
+	// Controls: zero on legs, ±(π/2)/Dt spikes at corners, and they
+	// integrate to the route headings.
+	u := make([]float64, 1)
+	heading := 0.0
+	for k := 1; k <= 120; k++ {
+		r.Control(k, u)
+		heading += u[0] * m.Dt
+		r.TrueState(k, x)
+		if math.Abs(heading-x[2]) > 1e-9 {
+			t.Fatalf("step %d: integrated heading %v != route heading %v", k, heading, x[2])
+		}
+	}
+}
+
+func TestVehicleStepNonNegativeSpeed(t *testing.T) {
+	m := NewVehicle()
+	r := rng.New(rng.NewPhilox(5))
+	src := []float64{0, 0, 0, 0.01} // nearly stopped
+	dst := make([]float64, 4)
+	for i := 0; i < 1000; i++ {
+		m.Step(dst, src, []float64{0}, i, r)
+		if dst[3] < 0 {
+			t.Fatal("speed went negative")
+		}
+	}
+}

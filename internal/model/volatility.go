@@ -1,0 +1,69 @@
+package model
+
+import (
+	"math"
+
+	"esthera/internal/rng"
+)
+
+// StochasticVolatility is the canonical discrete-time SV model of the
+// econometrics literature (Flury & Shephard 2011, cited in the paper's
+// introduction as a particle-filter application domain):
+//
+//	x_k = μ + φ·(x_{k-1} - μ) + σ_η·w,   w ~ N(0,1)   (log-volatility)
+//	z_k = ε·exp(x_k/2),                  ε ~ N(0,1)   (observed return)
+//
+// The measurement density p(z|x) = N(z; 0, exp(x)) is non-Gaussian in x,
+// so Kalman filters do not apply directly; the particle filter estimates
+// the latent log-volatility path.
+type StochasticVolatility struct {
+	// Mu is the long-run mean of log-volatility (default -1).
+	Mu float64
+	// Phi is the AR(1) persistence (default 0.98).
+	Phi float64
+	// SigmaEta is the volatility-of-volatility (default 0.16).
+	SigmaEta float64
+}
+
+// NewStochasticVolatility returns the model with standard parameters.
+func NewStochasticVolatility() *StochasticVolatility {
+	return &StochasticVolatility{Mu: -1, Phi: 0.98, SigmaEta: 0.16}
+}
+
+// Name implements Model.
+func (m *StochasticVolatility) Name() string { return "volatility" }
+
+// StateDim implements Model.
+func (m *StochasticVolatility) StateDim() int { return 1 }
+
+// MeasurementDim implements Model.
+func (m *StochasticVolatility) MeasurementDim() int { return 1 }
+
+// ControlDim implements Model.
+func (m *StochasticVolatility) ControlDim() int { return 0 }
+
+// InitParticle samples from the stationary distribution of the AR(1).
+func (m *StochasticVolatility) InitParticle(x []float64, r *rng.Rand) {
+	sd := m.SigmaEta / math.Sqrt(1-m.Phi*m.Phi)
+	x[0] = r.Normal(m.Mu, sd)
+}
+
+// Step implements Model.
+func (m *StochasticVolatility) Step(dst, src, _ []float64, _ int, r *rng.Rand) {
+	dst[0] = m.Mu + m.Phi*(src[0]-m.Mu) + r.Normal(0, m.SigmaEta)
+}
+
+// Measure implements Model.
+func (m *StochasticVolatility) Measure(z, x []float64, r *rng.Rand) {
+	z[0] = r.NormFloat64() * math.Exp(x[0]/2)
+}
+
+// LogLikelihood implements Model: log N(z; 0, exp(x)).
+func (m *StochasticVolatility) LogLikelihood(x, z []float64) float64 {
+	return LogNormPDF(z[0], 0, math.Exp(x[0]/2))
+}
+
+// TrackedPosition implements Model.
+func (m *StochasticVolatility) TrackedPosition(x []float64) (float64, float64) {
+	return x[0], 0
+}

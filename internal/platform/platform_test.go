@@ -1,0 +1,187 @@
+package platform
+
+import (
+	"testing"
+	"time"
+
+	"esthera/internal/device"
+)
+
+func TestPlatformsTableIII(t *testing.T) {
+	ps := Platforms()
+	if len(ps) != 7 { // 6 Table III platforms + sequential reference
+		t.Fatalf("%d platforms, want 7", len(ps))
+	}
+	names := map[string]bool{}
+	for _, p := range ps {
+		if p.Name == "" || p.Units <= 0 || p.GFlopsSP <= 0 || p.MemBWGBs <= 0 {
+			t.Fatalf("invalid descriptor %+v", p)
+		}
+		if p.EffCompute <= 0 || p.EffCompute > 1 || p.EffBandwidth <= 0 || p.EffBandwidth > 1 {
+			t.Fatalf("efficiencies out of range for %s", p.Name)
+		}
+		names[p.Name] = true
+	}
+	for _, want := range []string{"seq-c", "i7-2720QM", "2x E5-2660", "GTX 580", "GTX 680", "HD 6970", "HD 7970"} {
+		if !names[want] {
+			t.Fatalf("missing platform %q", want)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	p, err := ByName("HD 7970")
+	if err != nil || p.Kind != GPU {
+		t.Fatalf("ByName failed: %v %+v", err, p)
+	}
+	if _, err := ByName("bogus"); err == nil {
+		t.Fatal("unknown platform must error")
+	}
+}
+
+func TestPredictKernelRoofline(t *testing.T) {
+	p, _ := ByName("GTX 580")
+	// Compute-bound workload: lots of ops, little traffic.
+	compute := device.Counters{Ops: 1e9}
+	tc := p.PredictKernel(compute, 1, p.GroupsForFull)
+	wantSec := 1e9/(p.GFlopsSP*1e9*p.EffCompute) + p.LaunchOverhead.Seconds()
+	if got := tc.Seconds(); got < wantSec*0.99 || got > wantSec*1.01 {
+		t.Fatalf("compute-bound prediction %v s, want %v s", got, wantSec)
+	}
+	// Bandwidth-bound workload dominates when traffic is huge.
+	mem := device.Counters{Ops: 1, GlobalReadBytes: 4e9}
+	tm := p.PredictKernel(mem, 1, p.GroupsForFull)
+	wantMem := 4e9/(p.MemBWGBs*1e9*p.EffBandwidth) + p.LaunchOverhead.Seconds()
+	if got := tm.Seconds(); got < wantMem*0.99 || got > wantMem*1.01 {
+		t.Fatalf("memory-bound prediction %v s, want %v s", got, wantMem)
+	}
+	if p.PredictKernel(compute, 0, 1) != 0 {
+		t.Fatal("zero launches must predict zero")
+	}
+}
+
+func TestUtilizationScalesSmallGrids(t *testing.T) {
+	p, _ := ByName("HD 7970")
+	c := device.Counters{Ops: 1e8}
+	small := p.PredictKernel(c, 1, 1)
+	full := p.PredictKernel(c, 1, p.GroupsForFull)
+	if small <= full {
+		t.Fatalf("tiny grid (%v) must be slower than full grid (%v)", small, full)
+	}
+	over := p.PredictKernel(c, 1, p.GroupsForFull*10)
+	if over != full {
+		t.Fatal("over-subscribed grid must clamp at full utilization")
+	}
+}
+
+func TestPredictRoundAggregates(t *testing.T) {
+	p, _ := ByName("2x E5-2660")
+	snap := []device.KernelStats{
+		{Name: "sampling", Launches: 10, Count: device.Counters{Ops: 1e8}},
+		{Name: "resampling", Launches: 10, Count: device.Counters{Ops: 5e7}},
+	}
+	kts, total := p.PredictRound(snap, 10, 64)
+	if len(kts) != 2 {
+		t.Fatalf("%d kernel times", len(kts))
+	}
+	var sum time.Duration
+	for _, kt := range kts {
+		if kt.Time <= 0 {
+			t.Fatalf("non-positive kernel time %+v", kt)
+		}
+		sum += kt.Time
+	}
+	if sum != total {
+		t.Fatalf("total %v != sum %v", total, sum)
+	}
+}
+
+func TestUpdateRateHz(t *testing.T) {
+	if hz := UpdateRateHz(10 * time.Millisecond); hz < 99 || hz > 101 {
+		t.Fatalf("10ms → %v Hz, want 100", hz)
+	}
+	if UpdateRateHz(0) != 0 {
+		t.Fatal("zero round time must map to 0 Hz")
+	}
+}
+
+// TestQualitativeOrderingFig3 pins the shape of Fig. 3: for a large
+// filtering round, high-end GPUs beat the dual CPU, which beats the
+// sequential reference by a meaningful factor.
+func TestQualitativeOrderingFig3(t *testing.T) {
+	// A representative large round: 8192 sub-filters × 128 particles,
+	// arm model: ~65 ops and ~150 global bytes per particle per kernel,
+	// 6 kernels, aggregated.
+	const groups = 8192
+	snap := []device.KernelStats{{
+		Name:     "round",
+		Launches: 7,
+		Count: device.Counters{
+			Ops:              3.5e8,
+			GlobalReadBytes:  6e8,
+			GlobalWriteBytes: 6e8,
+			LocalReadBytes:   2e8,
+			LocalWriteBytes:  2e8,
+		},
+	}}
+	times := map[string]time.Duration{}
+	for _, name := range []string{"seq-c", "2x E5-2660", "GTX 580", "HD 7970"} {
+		p, _ := ByName(name)
+		_, total := p.PredictRound(snap, 1, groups)
+		times[name] = total
+	}
+	if !(times["seq-c"] > times["2x E5-2660"]) {
+		t.Fatalf("dual CPU (%v) must beat sequential (%v)", times["2x E5-2660"], times["seq-c"])
+	}
+	if !(times["2x E5-2660"] > times["GTX 580"]) {
+		t.Fatalf("GTX 580 (%v) must beat dual CPU (%v)", times["GTX 580"], times["2x E5-2660"])
+	}
+	cpuSpeedup := times["seq-c"].Seconds() / times["2x E5-2660"].Seconds()
+	if cpuSpeedup < 2 || cpuSpeedup > 10 {
+		t.Fatalf("dual-CPU speedup over sequential %v, want a handful (paper: up to 6.5×)", cpuSpeedup)
+	}
+	gpuVsCPU := times["2x E5-2660"].Seconds() / times["HD 7970"].Seconds()
+	if gpuVsCPU < 2 || gpuVsCPU > 25 {
+		t.Fatalf("GPU speedup over dual CPU %v, want order of magnitude (paper: up to ~10×)", gpuVsCPU)
+	}
+}
+
+// TestSmallFilterLaunchOverheadShape pins the other end of Fig. 3: for a
+// tiny filter, GPU launch overhead keeps update rates close to (or below)
+// the CPU's.
+func TestSmallFilterLaunchOverheadShape(t *testing.T) {
+	snap := []device.KernelStats{{
+		Name: "round", Launches: 7,
+		Count: device.Counters{Ops: 4e5, GlobalReadBytes: 1e6, GlobalWriteBytes: 1e6},
+	}}
+	cpu, _ := ByName("i7-2720QM")
+	amd, _ := ByName("HD 6970")
+	_, tCPU := cpu.PredictRound(snap, 1, 8)
+	_, tAMD := amd.PredictRound(snap, 1, 8)
+	// The Radeons "stay behind even more for very small filters".
+	if tAMD < tCPU {
+		t.Fatalf("tiny filter: HD 6970 (%v) should not beat the mobile CPU (%v)", tAMD, tCPU)
+	}
+}
+
+func TestSerialOpsPenalizeGPUsNotCPUs(t *testing.T) {
+	// The same kernel expressed as parallel vs serial work: on a GPU the
+	// serial version must be much slower; on a CPU (whose work-groups run
+	// on one core anyway) the two must cost the same.
+	parallel := device.Counters{Ops: 1e8}
+	serial := device.Counters{SerialOps: 1e8}
+	gpu, _ := ByName("GTX 680")
+	cpu, _ := ByName("2x E5-2660")
+	const groups = 4096
+	gPar := gpu.PredictKernel(parallel, 1, groups)
+	gSer := gpu.PredictKernel(serial, 1, groups)
+	if gSer.Seconds() < 2*gPar.Seconds() {
+		t.Fatalf("GPU serial (%v) not clearly slower than parallel (%v)", gSer, gPar)
+	}
+	cPar := cpu.PredictKernel(parallel, 1, groups)
+	cSer := cpu.PredictKernel(serial, 1, groups)
+	ratio := cSer.Seconds() / cPar.Seconds()
+	if ratio < 0.8 || ratio > 1.3 {
+		t.Fatalf("CPU serial/parallel ratio %v, want ≈ 1", ratio)
+	}
+}

@@ -1,0 +1,162 @@
+// Package plot renders simple ASCII scatter/line charts for the cmd
+// tools, so figure-class outputs (the Fig. 8 trajectory, error curves)
+// can be eyeballed directly in a terminal without external tooling.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one plotted dataset.
+type Series struct {
+	Name  string
+	Glyph rune
+	XS    []float64
+	YS    []float64
+	// Connect draws line segments between consecutive points.
+	Connect bool
+}
+
+// Canvas is a fixed-size character grid with a data-space viewport.
+type Canvas struct {
+	w, h                   int
+	grid                   []rune
+	xmin, xmax, ymin, ymax float64
+	ranged                 bool
+}
+
+// New returns an empty canvas of w×h character cells (minimum 8×4).
+func New(w, h int) *Canvas {
+	if w < 8 {
+		w = 8
+	}
+	if h < 4 {
+		h = 4
+	}
+	c := &Canvas{w: w, h: h, grid: make([]rune, w*h)}
+	for i := range c.grid {
+		c.grid[i] = ' '
+	}
+	return c
+}
+
+// SetRange fixes the data-space viewport explicitly.
+func (c *Canvas) SetRange(xmin, xmax, ymin, ymax float64) {
+	c.xmin, c.xmax, c.ymin, c.ymax = xmin, xmax, ymin, ymax
+	c.ranged = true
+}
+
+// AutoRange fits the viewport to the given series with a 5% margin.
+func (c *Canvas) AutoRange(series ...Series) {
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.XS {
+			x, y := s.XS[i], s.YS[i]
+			if math.IsNaN(x) || math.IsNaN(y) {
+				continue
+			}
+			xmin = math.Min(xmin, x)
+			xmax = math.Max(xmax, x)
+			ymin = math.Min(ymin, y)
+			ymax = math.Max(ymax, y)
+		}
+	}
+	if math.IsInf(xmin, 1) { // no finite points
+		xmin, xmax, ymin, ymax = 0, 1, 0, 1
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	mx, my := 0.05*(xmax-xmin), 0.05*(ymax-ymin)
+	c.SetRange(xmin-mx, xmax+mx, ymin-my, ymax+my)
+}
+
+// cell maps data coordinates to a grid index (-1 if outside).
+func (c *Canvas) cell(x, y float64) int {
+	if !c.ranged || math.IsNaN(x) || math.IsNaN(y) {
+		return -1
+	}
+	fx := (x - c.xmin) / (c.xmax - c.xmin)
+	fy := (y - c.ymin) / (c.ymax - c.ymin)
+	if fx < 0 || fx > 1 || fy < 0 || fy > 1 {
+		return -1
+	}
+	col := int(fx * float64(c.w-1))
+	row := c.h - 1 - int(fy*float64(c.h-1))
+	return row*c.w + col
+}
+
+// Plot draws a series (auto-ranging first if no range is set).
+func (c *Canvas) Plot(s Series) {
+	if !c.ranged {
+		c.AutoRange(s)
+	}
+	glyph := s.Glyph
+	if glyph == 0 {
+		glyph = '*'
+	}
+	prev := -1
+	var px, py float64
+	for i := range s.XS {
+		x, y := s.XS[i], s.YS[i]
+		idx := c.cell(x, y)
+		if idx >= 0 {
+			c.grid[idx] = glyph
+		}
+		if s.Connect && prev >= 0 && idx >= 0 {
+			c.segment(px, py, x, y, glyph)
+		}
+		if idx >= 0 {
+			prev = idx
+			px, py = x, y
+		}
+	}
+}
+
+// segment rasterizes a straight line between two data points.
+func (c *Canvas) segment(x0, y0, x1, y1 float64, glyph rune) {
+	steps := c.w + c.h
+	for i := 0; i <= steps; i++ {
+		t := float64(i) / float64(steps)
+		if idx := c.cell(x0+(x1-x0)*t, y0+(y1-y0)*t); idx >= 0 {
+			c.grid[idx] = glyph
+		}
+	}
+}
+
+// String renders the canvas with a frame and axis labels.
+func (c *Canvas) String() string {
+	var b strings.Builder
+	b.WriteString("+" + strings.Repeat("-", c.w) + "+\n")
+	for row := 0; row < c.h; row++ {
+		b.WriteString("|")
+		b.WriteString(string(c.grid[row*c.w : (row+1)*c.w]))
+		b.WriteString("|\n")
+	}
+	b.WriteString("+" + strings.Repeat("-", c.w) + "+\n")
+	fmt.Fprintf(&b, "x: [%.3g, %.3g]  y: [%.3g, %.3g]\n", c.xmin, c.xmax, c.ymin, c.ymax)
+	return b.String()
+}
+
+// Render is the one-call API: plots every series on a shared auto-ranged
+// canvas, prefixed by a title and a glyph legend.
+func Render(title string, w, h int, series ...Series) string {
+	c := New(w, h)
+	c.AutoRange(series...)
+	var legend []string
+	for _, s := range series {
+		c.Plot(s)
+		glyph := s.Glyph
+		if glyph == 0 {
+			glyph = '*'
+		}
+		legend = append(legend, fmt.Sprintf("%c %s", glyph, s.Name))
+	}
+	return title + "\n" + c.String() + strings.Join(legend, "   ") + "\n"
+}

@@ -1,0 +1,66 @@
+package resample
+
+import "esthera/internal/rng"
+
+// Policy decides, each filtering round, whether a (sub-)filter resamples.
+// §IV discusses three options: always resample (the paper's default after
+// experimentation — "frequent resampling generally yields better
+// results"), resample when the effective sample size falls below a
+// threshold (the tutorial-article suggestion, data-dependent and thus
+// undesirable for hard real-time), and resample at a random fixed
+// frequency (the paper's simpler constant-cost alternative).
+type Policy interface {
+	Name() string
+	// ShouldResample reports whether to resample given the current
+	// (unnormalized) weights. r supplies randomness for stochastic
+	// policies and may be used freely.
+	ShouldResample(weights []float64, r *rng.Rand) bool
+}
+
+// Always resamples every round (the paper's default).
+type Always struct{}
+
+// Name implements Policy.
+func (Always) Name() string { return "always" }
+
+// ShouldResample implements Policy.
+func (Always) ShouldResample([]float64, *rng.Rand) bool { return true }
+
+// Never disables resampling (exposes the degeneracy problem; used by
+// tests and the sampling-importance-sampling ablation).
+type Never struct{}
+
+// Name implements Policy.
+func (Never) Name() string { return "never" }
+
+// ShouldResample implements Policy.
+func (Never) ShouldResample([]float64, *rng.Rand) bool { return false }
+
+// ESSThreshold resamples when ESS < Frac·n, the Arulampalam-tutorial
+// criterion. Frac is typically 0.5.
+type ESSThreshold struct {
+	Frac float64
+}
+
+// Name implements Policy.
+func (ESSThreshold) Name() string { return "ess" }
+
+// ShouldResample implements Policy.
+func (p ESSThreshold) ShouldResample(weights []float64, _ *rng.Rand) bool {
+	return ESS(weights) < p.Frac*float64(len(weights))
+}
+
+// RandomFrequency resamples with probability P each round, independent of
+// the data — constant expected cost, no global reduction needed, the
+// real-time-friendly variant the paper experimented with (§IV).
+type RandomFrequency struct {
+	P float64
+}
+
+// Name implements Policy.
+func (RandomFrequency) Name() string { return "random" }
+
+// ShouldResample implements Policy.
+func (p RandomFrequency) ShouldResample(_ []float64, r *rng.Rand) bool {
+	return r.Float64() < p.P
+}

@@ -1,0 +1,106 @@
+package resample
+
+import "esthera/internal/rng"
+
+// AliasTable is Vose's alias structure over n outcomes: sampling costs one
+// uniform index draw plus one biased coin (§VI-F; Vose 1991; the
+// "Darts, Dice, and Coins" exposition the paper cites).
+type AliasTable struct {
+	prob  []float64 // acceptance probability of the slot's own outcome
+	alias []int     // fallback outcome per slot
+}
+
+// NewAliasTable builds the table in Θ(n) from (possibly unnormalized)
+// non-negative weights using Vose's stable small/large worklist scheme.
+// A zero or non-finite total yields a uniform table.
+func NewAliasTable(weights []float64) *AliasTable {
+	n := len(weights)
+	t := &AliasTable{prob: make([]float64, n), alias: make([]int, n)}
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	if !(total > 0) {
+		for i := range t.prob {
+			t.prob[i] = 1
+			t.alias[i] = i
+		}
+		return t
+	}
+	// Scaled weights: mean 1 per slot.
+	scaled := make([]float64, n)
+	f := float64(n) / total
+	for i, w := range weights {
+		scaled[i] = w * f
+	}
+	small := make([]int, 0, n)
+	large := make([]int, 0, n)
+	for i, s := range scaled {
+		if s < 1 {
+			small = append(small, i)
+		} else {
+			large = append(large, i)
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		l := small[len(small)-1]
+		small = small[:len(small)-1]
+		g := large[len(large)-1]
+		large = large[:len(large)-1]
+		t.prob[l] = scaled[l]
+		t.alias[l] = g
+		scaled[g] = (scaled[g] + scaled[l]) - 1
+		if scaled[g] < 1 {
+			small = append(small, g)
+		} else {
+			large = append(large, g)
+		}
+	}
+	// Numerical leftovers saturate at probability 1.
+	for _, g := range large {
+		t.prob[g] = 1
+		t.alias[g] = g
+	}
+	for _, l := range small {
+		t.prob[l] = 1
+		t.alias[l] = l
+	}
+	return t
+}
+
+// Len returns the number of outcomes.
+func (t *AliasTable) Len() int { return len(t.prob) }
+
+// Prob returns slot i's own-outcome acceptance probability (exported for
+// the device-kernel implementation and its tests).
+func (t *AliasTable) Prob(i int) float64 { return t.prob[i] }
+
+// Alias returns slot i's fallback outcome.
+func (t *AliasTable) Alias(i int) int { return t.alias[i] }
+
+// Sample draws one outcome using two uniforms (one slot draw, one coin),
+// exactly the per-thread cost noted in §VI-F.
+func (t *AliasTable) Sample(r *rng.Rand) int {
+	i := r.Intn(len(t.prob))
+	if r.Float64() < t.prob[i] {
+		return i
+	}
+	return t.alias[i]
+}
+
+// Vose resamples with a fresh alias table per call: Θ(n) init, Θ(1) per
+// draw. This is the sequential form used by the centralized filter; the
+// in-place parallel construction appears in internal/kernels.
+type Vose struct{}
+
+// Name implements Resampler.
+func (Vose) Name() string { return "vose" }
+
+// Resample implements Resampler.
+func (Vose) Resample(dst []int, weights []float64, r *rng.Rand) {
+	checkArgs(dst, weights)
+	t := NewAliasTable(weights)
+	for i := range dst {
+		dst[i] = t.Sample(r)
+	}
+}

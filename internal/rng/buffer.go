@@ -1,0 +1,57 @@
+package rng
+
+// Buffer is a Source that serves pre-generated 32-bit words from a block,
+// falling back to an underlying stream when the block is exhausted.
+//
+// It realizes the paper's kernel split (§VI-A): a dedicated PRNG kernel
+// fills a block of random words per sub-filter per round (keeping the
+// PRNG's large state out of the other kernels), and the sampling and
+// resampling kernels then consume words from the block. Refill is the
+// PRNG kernel's work; Uint64 is what the consumers see.
+type Buffer struct {
+	bits     []uint32
+	pos      int
+	fallback BlockSource
+}
+
+// NewBuffer creates a buffer of capacity words backed by fallback, which
+// both refills the block and serves overflow draws. The buffer starts
+// exhausted; call Refill (the PRNG-kernel step) before drawing, or every
+// draw silently hits the fallback.
+func NewBuffer(capacity int, fallback BlockSource) *Buffer {
+	b := &Buffer{bits: make([]uint32, capacity), fallback: fallback}
+	b.pos = len(b.bits)
+	return b
+}
+
+// Refill regenerates the whole block from the fallback stream and rewinds
+// the read position. It returns the number of words generated, which the
+// PRNG kernel accounts as work.
+func (b *Buffer) Refill() int {
+	b.fallback.Block(b.bits)
+	b.pos = 0
+	return len(b.bits)
+}
+
+// Remaining returns the unread words left in the block.
+func (b *Buffer) Remaining() int { return len(b.bits) - b.pos }
+
+// Uint64 serves two buffered words, or delegates to the fallback stream
+// when fewer than two remain.
+func (b *Buffer) Uint64() uint64 {
+	if b.pos+2 <= len(b.bits) {
+		hi := uint64(b.bits[b.pos])
+		lo := uint64(b.bits[b.pos+1])
+		b.pos += 2
+		return hi<<32 | lo
+	}
+	return b.fallback.Uint64()
+}
+
+// Seed reseeds the fallback stream and discards the buffered block.
+func (b *Buffer) Seed(seed uint64) {
+	b.fallback.Seed(seed)
+	b.pos = len(b.bits)
+}
+
+var _ Source = (*Buffer)(nil)

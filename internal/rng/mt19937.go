@@ -1,0 +1,109 @@
+package rng
+
+// MT19937 is the classic 32-bit Mersenne Twister of Matsumoto & Nishimura
+// (1998), the generator the paper identifies as the de-facto standard
+// ("characterized by a large period, good test results and an inspiring
+// name"). The sequential reference filters use it, matching the paper's
+// centralized C implementation (which used SFMT, an SIMD-oriented variant
+// of the same recurrence).
+//
+// Period 2^19937-1, 623-dimensional equidistribution at 32-bit accuracy.
+type MT19937 struct {
+	state [mtN]uint32
+	index int
+}
+
+const (
+	mtN         = 624
+	mtM         = 397
+	mtMatrixA   = 0x9908B0DF
+	mtUpperMask = 0x80000000
+	mtLowerMask = 0x7FFFFFFF
+)
+
+// NewMT19937 returns a Mersenne Twister seeded with seed.
+func NewMT19937(seed uint64) *MT19937 {
+	m := &MT19937{}
+	m.Seed(seed)
+	return m
+}
+
+// Seed initializes the state with the standard Knuth-style initializer
+// (multiplier 1812433253). Only the low 32 bits of seed are used, matching
+// the reference implementation.
+func (m *MT19937) Seed(seed uint64) {
+	m.state[0] = uint32(seed)
+	for i := 1; i < mtN; i++ {
+		m.state[i] = 1812433253*(m.state[i-1]^(m.state[i-1]>>30)) + uint32(i)
+	}
+	m.index = mtN
+}
+
+// SeedBySlice initializes the state from a key array using the reference
+// init_by_array procedure, allowing more than 32 bits of seed entropy.
+func (m *MT19937) SeedBySlice(key []uint32) {
+	m.Seed(19650218)
+	i, j := 1, 0
+	k := len(key)
+	if mtN > k {
+		k = mtN
+	}
+	for ; k > 0; k-- {
+		m.state[i] = (m.state[i] ^ ((m.state[i-1] ^ (m.state[i-1] >> 30)) * 1664525)) + key[j] + uint32(j)
+		i++
+		j++
+		if i >= mtN {
+			m.state[0] = m.state[mtN-1]
+			i = 1
+		}
+		if j >= len(key) {
+			j = 0
+		}
+	}
+	for k = mtN - 1; k > 0; k-- {
+		m.state[i] = (m.state[i] ^ ((m.state[i-1] ^ (m.state[i-1] >> 30)) * 1566083941)) - uint32(i)
+		i++
+		if i >= mtN {
+			m.state[0] = m.state[mtN-1]
+			i = 1
+		}
+	}
+	m.state[0] = 0x80000000
+	m.index = mtN
+}
+
+// Uint32 returns the next tempered 32-bit output.
+func (m *MT19937) Uint32() uint32 {
+	if m.index >= mtN {
+		m.generate()
+	}
+	y := m.state[m.index]
+	m.index++
+	// Tempering.
+	y ^= y >> 11
+	y ^= (y << 7) & 0x9D2C5680
+	y ^= (y << 15) & 0xEFC60000
+	y ^= y >> 18
+	return y
+}
+
+// Uint64 returns two consecutive 32-bit outputs packed high-then-low, so
+// MT19937 satisfies Source.
+func (m *MT19937) Uint64() uint64 {
+	hi := uint64(m.Uint32())
+	lo := uint64(m.Uint32())
+	return hi<<32 | lo
+}
+
+// generate refreshes the whole state block (the "twist").
+func (m *MT19937) generate() {
+	for i := 0; i < mtN; i++ {
+		y := (m.state[i] & mtUpperMask) | (m.state[(i+1)%mtN] & mtLowerMask)
+		next := m.state[(i+mtM)%mtN] ^ (y >> 1)
+		if y&1 != 0 {
+			next ^= mtMatrixA
+		}
+		m.state[i] = next
+	}
+	m.index = 0
+}

@@ -1,0 +1,86 @@
+package rng
+
+// MTGP is an MTGP-style block generator: the Mersenne Twister linear
+// recurrence equipped with *per-stream* parameters so that a large number
+// of streams (one per work-group / sub-filter) are mutually decorrelated.
+//
+// The original MTGP (Saito 2010, "A Variant of Mersenne Twister Suitable
+// for Graphic Processors") ships precomputed parameter tables for up to
+// 2^14 streams, each stream differing in its recursion and tempering
+// constants. Reproducing those exact tables offline is neither possible
+// nor necessary for this study; what matters for the filter is the design
+// property the paper relies on: a common MT-type recurrence, per-stream
+// output transformations, block generation of a whole round's numbers at
+// once, and stream independence. This implementation keeps the MT19937
+// recurrence (whose equidistribution properties are proven) and derives a
+// per-stream 4-constant tempering table plus a distinct state seeding from
+// SplitMix64(streamID), which is the standard substitute when genuine MTGP
+// parameter sets are unavailable. DESIGN.md records this substitution.
+type MTGP struct {
+	mt     MT19937
+	stream uint64
+	master uint64
+	// Per-stream tempering constants (applied after MT's own tempering;
+	// an extra xor-shift-multiply layer keyed by the stream).
+	t0, t1 uint32
+}
+
+// NewMTGP returns the block generator for the given stream id under the
+// given master seed. Distinct (master, stream) pairs yield decorrelated
+// sequences.
+func NewMTGP(master uint64, stream int) *MTGP {
+	g := &MTGP{}
+	g.master = master
+	g.stream = uint64(stream)
+	g.Seed(master)
+	return g
+}
+
+// Seed re-derives the state from (master=seed, stream).
+func (g *MTGP) Seed(seed uint64) {
+	g.master = seed
+	s := StreamSeed(seed, int(g.stream))
+	var key [4]uint32
+	sm := NewSplitMix64(s)
+	for i := range key {
+		key[i] = uint32(sm.Uint64())
+	}
+	g.mt.SeedBySlice(key[:])
+	// Per-stream tempering constants: odd multiplier and xor mask.
+	g.t0 = uint32(sm.Uint64()) | 1
+	g.t1 = uint32(sm.Uint64())
+}
+
+// Stream returns the stream id this generator was created for.
+func (g *MTGP) Stream() int { return int(g.stream) }
+
+// temper applies the per-stream output transformation.
+func (g *MTGP) temper(y uint32) uint32 {
+	y *= g.t0
+	y ^= y >> 16
+	y ^= g.t1
+	return y
+}
+
+// Uint32 returns the next 32-bit output of this stream.
+func (g *MTGP) Uint32() uint32 { return g.temper(g.mt.Uint32()) }
+
+// Uint64 packs two 32-bit outputs, satisfying Source.
+func (g *MTGP) Uint64() uint64 {
+	hi := uint64(g.Uint32())
+	lo := uint64(g.Uint32())
+	return hi<<32 | lo
+}
+
+// Block fills dst with the next len(dst) 32-bit outputs. This mirrors the
+// paper's dedicated PRNG kernel, which fills a buffer of random numbers
+// for the whole round before the sampling and resampling kernels run
+// (§VI-A: keeping MTGP in a separate kernel keeps the static resource
+// usage of the other kernels small).
+func (g *MTGP) Block(dst []uint32) {
+	for i := range dst {
+		dst[i] = g.Uint32()
+	}
+}
+
+var _ BlockSource = (*MTGP)(nil)

@@ -1,0 +1,80 @@
+package rng
+
+import "math"
+
+// Ziggurat sampling of the standard normal distribution (Marsaglia & Tsang
+// 2000), provided as the fast CPU-side alternative to Box-Muller. The
+// paper's CPU port spent a large fraction of its runtime in the
+// PRNG+transform stage; Ziggurat is the standard remedy on architectures
+// that tolerate branches well (§V-B notes CPUs do), so the toolkit exposes
+// it as an ablation (see Rand.UseZiggurat).
+//
+// Construction: 128 horizontal layers of equal area V under the
+// unnormalized density f(x) = exp(-x²/2) (the classic 128-layer normal
+// tables; R and V below are Marsaglia & Tsang's constants for n = 128).
+// Edges zigX[0] > zigX[1] > ... > zigX[128] = 0 are built by the
+// recurrence f(x[i+1]) = f(x[i]) + V/x[i]; zigX[0] = V/f(R) is the
+// pseudo-edge of the base layer, zigX[1] = R.
+const (
+	zigLayers = 128
+	zigR      = 3.442619855899 // rightmost true edge
+	zigV      = 9.91256303526217e-3
+)
+
+var (
+	zigX [zigLayers + 1]float64 // layer right edges, decreasing
+	zigF [zigLayers + 1]float64 // f(zigX[i]); zigF[0] = f(R)
+)
+
+func init() {
+	f := math.Exp(-0.5 * zigR * zigR)
+	zigX[0] = zigV / f
+	zigF[0] = f
+	zigX[1] = zigR
+	zigF[1] = f
+	for i := 1; i < zigLayers; i++ {
+		y := zigF[i] + zigV/zigX[i]
+		if y >= 1 {
+			zigX[i+1] = 0
+			zigF[i+1] = 1
+			continue
+		}
+		zigX[i+1] = math.Sqrt(-2 * math.Log(y))
+		zigF[i+1] = y
+	}
+	zigX[zigLayers] = 0
+	zigF[zigLayers] = 1
+}
+
+// ziggurat returns one standard normal deviate using the layer tables.
+func (r *Rand) ziggurat() float64 {
+	for {
+		u := r.src.Uint64()
+		i := int(u & 0x7F) // layer 0..127
+		sign := 1.0
+		if u&0x80 != 0 {
+			sign = -1.0
+		}
+		// 52-bit uniform in [0,1) for the horizontal position.
+		f := float64(u>>12) * (1.0 / (1 << 52))
+		x := f * zigX[i]
+		if x < zigX[i+1] {
+			return sign * x // strictly inside the layer: accept
+		}
+		if i == 0 {
+			// Tail beyond R: Marsaglia's exact tail algorithm.
+			for {
+				x = -math.Log(r.OpenFloat64()) / zigR
+				y := -math.Log(r.OpenFloat64())
+				if 2*y >= x*x {
+					return sign * (zigR + x)
+				}
+			}
+		}
+		// Wedge: y uniform in [f(x_i), f(x_{i+1})]; accept below curve.
+		y := zigF[i] + (zigF[i+1]-zigF[i])*r.Float64()
+		if y < math.Exp(-0.5*x*x) {
+			return sign * x
+		}
+	}
+}

@@ -1,0 +1,193 @@
+// Package scan provides prefix-sum and reduction primitives in both
+// sequential and barrier-phased data-parallel form.
+//
+// The paper's RWS resampling kernel initializes by computing an array of
+// cumulative weight sums with a work-efficient parallel prefix sum
+// ("we use a bank-conflict avoiding implementation", §VI-F, citing Harris
+// et al., GPU Gems 3 ch. 39), and the global-estimate kernel is a parallel
+// reduction (§VI-D). Both are implemented here once against device.Ctx so
+// the sequential reference filters and the device kernels share code.
+package scan
+
+import "esthera/internal/device"
+
+// ExclusiveSum writes into dst the exclusive prefix sums of src:
+// dst[i] = src[0] + ... + src[i-1], dst[0] = 0. dst and src may alias.
+func ExclusiveSum(dst, src []float64) {
+	sum := 0.0
+	for i, v := range src {
+		dst[i] = sum
+		sum += v
+	}
+}
+
+// InclusiveSum writes into dst the inclusive prefix sums of src:
+// dst[i] = src[0] + ... + src[i]. dst and src may alias.
+func InclusiveSum(dst, src []float64) {
+	sum := 0.0
+	for i, v := range src {
+		sum += v
+		dst[i] = sum
+	}
+}
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	s := 0.0
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}
+
+// nextPow2 returns the smallest power of two >= n (n >= 1).
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// Exclusive performs an in-place exclusive prefix sum of buf using the
+// Blelloch work-efficient algorithm in barrier-phased form. It returns the
+// total sum of the original buf (which the scan itself discards but every
+// caller needs, e.g. for weight normalization).
+//
+// Non-power-of-two lengths are handled by padding into a scratch buffer.
+func Exclusive(ctx device.Ctx, buf []float64) float64 {
+	n := len(buf)
+	if n == 0 {
+		return 0
+	}
+	p := nextPow2(n)
+	work := buf
+	if p != n {
+		work = make([]float64, p)
+		copy(work, buf)
+	}
+	total := upDownSweep(ctx, work)
+	if p != n {
+		copy(buf, work[:n])
+	}
+	return total
+}
+
+// upDownSweep runs the Blelloch up-sweep/down-sweep on a power-of-two
+// buffer and returns the total.
+func upDownSweep(ctx device.Ctx, work []float64) float64 {
+	p := len(work)
+	lanes := ctx.Lanes()
+	// Up-sweep: build the reduction tree. Lanes cover the tree nodes in
+	// grid-stride fashion so groups smaller than the buffer stay correct.
+	for d := 1; d < p; d <<= 1 {
+		stride := d << 1
+		nodes := p / stride
+		dd := d
+		ctx.Step(func(lane int) {
+			for n := lane; n < nodes; n += lanes {
+				i := (n+1)*stride - 1
+				work[i] += work[i-dd]
+				ctx.Ops(1)
+				ctx.LocalRead(16)
+				ctx.LocalWrite(8)
+			}
+		})
+	}
+	total := work[p-1]
+	// Clear the root, then down-sweep distributing partial sums.
+	ctx.Step(func(lane int) {
+		if lane == 0 {
+			work[p-1] = 0
+			ctx.LocalWrite(8)
+		}
+	})
+	for d := p >> 1; d >= 1; d >>= 1 {
+		stride := d << 1
+		nodes := p / stride
+		dd := d
+		ctx.Step(func(lane int) {
+			for n := lane; n < nodes; n += lanes {
+				i := (n+1)*stride - 1
+				t := work[i-dd]
+				work[i-dd] = work[i]
+				work[i] += t
+				ctx.Ops(1)
+				ctx.LocalRead(16)
+				ctx.LocalWrite(16)
+			}
+		})
+	}
+	return total
+}
+
+// MaxIndex performs a barrier-phased tree reduction over keys and returns
+// the index of the maximum element (ties resolved to the lower index).
+// This is the paper's global-estimate operator: select the particle with
+// the highest weight (§IV, §VI-D).
+func MaxIndex(ctx device.Ctx, keys []float64) int {
+	n := len(keys)
+	if n == 0 {
+		return -1
+	}
+	p := nextPow2(n)
+	val := make([]float64, p)
+	idx := make([]int, p)
+	ctx.Step(func(lane int) {
+		for i := lane; i < p; i += ctx.Lanes() {
+			if i < n {
+				val[i] = keys[i]
+			} else {
+				val[i] = negInf
+			}
+			idx[i] = i
+			ctx.LocalWrite(12)
+		}
+	})
+	for stride := p >> 1; stride >= 1; stride >>= 1 {
+		s := stride
+		ctx.Step(func(lane int) {
+			for i := lane; i < s; i += ctx.Lanes() {
+				a, b := i, i+s
+				if val[b] > val[a] || (val[b] == val[a] && idx[b] < idx[a]) {
+					val[a], idx[a] = val[b], idx[b]
+				}
+				ctx.Ops(1)
+				ctx.LocalRead(24)
+				ctx.LocalWrite(12)
+			}
+		})
+	}
+	return idx[0]
+}
+
+const negInf = -1.7976931348623157e308
+
+// SumTree performs a barrier-phased tree reduction and returns the sum of
+// keys. It is used by the weighted-average estimate operator.
+func SumTree(ctx device.Ctx, keys []float64) float64 {
+	n := len(keys)
+	if n == 0 {
+		return 0
+	}
+	p := nextPow2(n)
+	val := make([]float64, p)
+	ctx.Step(func(lane int) {
+		for i := lane; i < n; i += ctx.Lanes() {
+			val[i] = keys[i]
+			ctx.LocalWrite(8)
+		}
+	})
+	for stride := p >> 1; stride >= 1; stride >>= 1 {
+		s := stride
+		ctx.Step(func(lane int) {
+			for i := lane; i < s; i += ctx.Lanes() {
+				val[i] += val[i+s]
+				ctx.Ops(1)
+				ctx.LocalRead(16)
+				ctx.LocalWrite(8)
+			}
+		})
+	}
+	return val[0]
+}

@@ -1,0 +1,211 @@
+// Package sortnet provides sorting-network primitives in barrier-phased
+// data-parallel form.
+//
+// Each sub-filter sorts its particles by weight every round (§VI-C). The
+// paper uses a bitonic sort — a fixed sequence of parallel
+// compare-exchanges, O(n log² n) comparisons — keeping only the weights
+// and an index array in local memory and applying the resulting
+// permutation to the particle payload in global memory afterwards
+// (preferring non-contiguous reads over non-contiguous writes). This
+// package implements exactly that: the network operates on a
+// (keys, index) pair; payload permutation lives in the kernels.
+package sortnet
+
+import (
+	"math"
+	"sort"
+
+	"esthera/internal/device"
+)
+
+// nextPow2 returns the smallest power of two >= n (n >= 1).
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// SortDescending sorts keys into descending order in place using a
+// bitonic network, applying the identical permutation to idx. If idx is
+// nil it is ignored; if present, equal keys are ordered by ascending idx
+// (making the network stable with respect to the index array, and keeping
+// padding sentinels out of the live region even when genuine -Inf keys
+// are present). Non-power-of-two lengths are handled by padding with
+// (-Inf, large-index) sentinels in a scratch buffer. NaN keys are not
+// supported.
+//
+// The network is executed as barrier-phased steps on ctx; lanes cover the
+// compare-exchange pairs in grid-stride fashion.
+func SortDescending(ctx device.Ctx, keys []float64, idx []int) {
+	n := len(keys)
+	if n <= 1 {
+		return
+	}
+	p := nextPow2(n)
+	ks := keys
+	ix := idx
+	if p != n {
+		ks = make([]float64, p)
+		copy(ks, keys)
+		for i := n; i < p; i++ {
+			ks[i] = math.Inf(-1)
+		}
+		// Padding always carries an index array so sentinels lose ties
+		// against genuine -Inf keys (their near-MaxInt indices sort last
+		// regardless of the caller's index values).
+		const maxInt = int(^uint(0) >> 1)
+		ix = make([]int, p)
+		if idx != nil {
+			copy(ix, idx)
+			for i := n; i < p; i++ {
+				ix[i] = maxInt - (p - 1 - i)
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				ix[i] = 0 // ties irrelevant without a caller index array
+			}
+			for i := n; i < p; i++ {
+				ix[i] = 1
+			}
+		}
+	}
+	bitonic(ctx, ks, ix)
+	if p != n {
+		copy(keys, ks[:n])
+		if idx != nil {
+			copy(idx, ix[:n])
+		}
+	}
+}
+
+// bitonic runs the classic bitonic network on a power-of-two buffer,
+// producing descending order.
+func bitonic(ctx device.Ctx, keys []float64, idx []int) {
+	p := len(keys)
+	lanes := ctx.Lanes()
+	for k := 2; k <= p; k <<= 1 {
+		for j := k >> 1; j > 0; j >>= 1 {
+			kk, jj := k, j
+			ctx.Step(func(lane int) {
+				for i := lane; i < p; i += lanes {
+					ixj := i ^ jj
+					if ixj <= i {
+						continue
+					}
+					// For a descending final order, blocks with i&k == 0
+					// sort descending.
+					desc := i&kk == 0
+					a, b := keys[i], keys[ixj]
+					swap := false
+					if desc {
+						swap = a < b || (a == b && idx != nil && idx[i] > idx[ixj])
+					} else {
+						swap = a > b || (a == b && idx != nil && idx[i] < idx[ixj])
+					}
+					// A compare-exchange costs the comparison plus the
+					// partner-index arithmetic, predication and bank-
+					// conflict-prone local accesses (~12 ops, keys and
+					// index array traffic).
+					ctx.Ops(12)
+					ctx.LocalRead(24)
+					if swap {
+						keys[i], keys[ixj] = b, a
+						if idx != nil {
+							idx[i], idx[ixj] = idx[ixj], idx[i]
+						}
+						ctx.LocalWrite(24)
+					}
+				}
+			})
+		}
+	}
+}
+
+// ArgsortDescending returns the permutation that sorts keys descending,
+// leaving keys untouched. It is the sequential reference used by the
+// centralized filter and by tests validating the bitonic network. The
+// sort is stable, so equal keys keep their original relative order.
+func ArgsortDescending(keys []float64) []int {
+	idx := make([]int, len(keys))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return keys[idx[a]] > keys[idx[b]] })
+	return idx
+}
+
+// TopK returns the indices of the k largest keys in descending key order,
+// without sorting the rest (selection via partial heap). k is clamped to
+// len(keys). It backs the "local maximum instead of full sort" variant
+// the paper suggests as a cheaper alternative (§VI-C).
+func TopK(keys []float64, k int) []int {
+	n := len(keys)
+	if k > n {
+		k = n
+	}
+	if k <= 0 {
+		return nil
+	}
+	// Min-heap of size k over (key, index).
+	heapKeys := make([]float64, 0, k)
+	heapIdx := make([]int, 0, k)
+	less := func(a, b int) bool {
+		if heapKeys[a] != heapKeys[b] {
+			return heapKeys[a] < heapKeys[b]
+		}
+		return heapIdx[a] > heapIdx[b] // larger index = "smaller" for ties
+	}
+	down := func(i, n int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			s := i
+			if l < n && less(l, s) {
+				s = l
+			}
+			if r < n && less(r, s) {
+				s = r
+			}
+			if s == i {
+				return
+			}
+			heapKeys[i], heapKeys[s] = heapKeys[s], heapKeys[i]
+			heapIdx[i], heapIdx[s] = heapIdx[s], heapIdx[i]
+			i = s
+		}
+	}
+	up := func(i int) {
+		for i > 0 {
+			parent := (i - 1) / 2
+			if !less(i, parent) {
+				return
+			}
+			heapKeys[i], heapKeys[parent] = heapKeys[parent], heapKeys[i]
+			heapIdx[i], heapIdx[parent] = heapIdx[parent], heapIdx[i]
+			i = parent
+		}
+	}
+	for i, v := range keys {
+		if len(heapKeys) < k {
+			heapKeys = append(heapKeys, v)
+			heapIdx = append(heapIdx, i)
+			up(len(heapKeys) - 1)
+			continue
+		}
+		if v > heapKeys[0] {
+			heapKeys[0], heapIdx[0] = v, i
+			down(0, k)
+		}
+	}
+	// Drain the heap into descending order.
+	out := make([]int, k)
+	for size := k; size > 0; size-- {
+		out[size-1] = heapIdx[0]
+		heapKeys[0], heapIdx[0] = heapKeys[size-1], heapIdx[size-1]
+		heapKeys = heapKeys[:size-1]
+		heapIdx = heapIdx[:size-1]
+		down(0, size-1)
+	}
+	return out
+}
