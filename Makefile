@@ -1,0 +1,18 @@
+.PHONY: build test verify bench serve
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+# Build + vet + full test suite, plus the concurrency-heavy packages
+# under the race detector. This is the pre-merge gate.
+verify:
+	./scripts/verify.sh
+
+bench:
+	go test -bench=. -benchmem
+
+serve:
+	go run ./cmd/esthera-serve

@@ -9,9 +9,13 @@ package esthera_test
 // cmd/esthera-accuracy (see EXPERIMENTS.md).
 
 import (
+	"errors"
 	"math"
 	"strconv"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"esthera"
 	"esthera/internal/device"
@@ -311,4 +315,58 @@ func byteSize(n int) string {
 		return strconv.Itoa(n>>10) + "K"
 	}
 	return strconv.Itoa(n)
+}
+
+// BenchmarkServeSessions measures the serving layer's aggregate step
+// throughput at increasing tenancy: the same total number of observation
+// steps pushed through 1, 8 and 64 concurrent sessions on one shared
+// device. Rising aggregate Hz with session count is the cross-session
+// batching at work (more pending steps per scheduling round → larger
+// merged grids → better device utilization).
+func BenchmarkServeSessions(b *testing.B) {
+	for _, sessions := range []int{1, 8, 64} {
+		b.Run("sessions="+strconv.Itoa(sessions), func(b *testing.B) {
+			s := esthera.NewServer(esthera.ServerConfig{})
+			defer s.Shutdown()
+			ids := make([]string, sessions)
+			for i := range ids {
+				var err error
+				ids[i], err = s.Create(esthera.FilterSpec{
+					Model: "ungm", SubFilters: 16, ParticlesPer: 64, Seed: uint64(i + 1),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			var next atomic.Int64
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for i := range ids {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					for k := 1; next.Add(1) <= int64(b.N); k++ {
+						z := []float64{10 * math.Sin(float64(k)*0.3+float64(i))}
+						for {
+							_, err := s.Step(ids[i], nil, z)
+							if err == nil {
+								break
+							}
+							var sat *esthera.SaturatedError
+							if !errors.As(err, &sat) {
+								b.Error(err)
+								return
+							}
+							time.Sleep(sat.RetryAfter)
+						}
+					}
+				}(i)
+			}
+			wg.Wait()
+			b.StopTimer()
+			if sec := b.Elapsed().Seconds(); sec > 0 {
+				b.ReportMetric(float64(b.N)/sec, "steps/s")
+			}
+		})
+	}
 }

@@ -1,0 +1,80 @@
+// Command esthera-serve runs the multi-session estimation service over
+// HTTP: many concurrent tracking sessions — one distributed particle
+// filter each — share one many-core device, with bounded admission,
+// cross-session batched kernel launches, checkpoint/restore and a
+// /metrics introspection endpoint.
+//
+// Examples:
+//
+//	esthera-serve                        # listen on :8080
+//	esthera-serve -addr :9000 -workers 8
+//	esthera-serve -queue 64 -batch 16 -sessions 128
+//
+// API (JSON over HTTP; see internal/serve):
+//
+//	POST   /v1/sessions                 {"spec": {"model": "ungm", ...}}
+//	POST   /v1/sessions/{id}/step       {"u": [...], "z": [...]}
+//	GET    /v1/sessions/{id}
+//	GET    /v1/sessions/{id}/checkpoint
+//	POST   /v1/restore
+//	DELETE /v1/sessions/{id}
+//	GET    /metrics
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"esthera"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		workers  = flag.Int("workers", 0, "device workers (0 = GOMAXPROCS)")
+		sessions = flag.Int("sessions", 0, "max concurrent sessions (0 = 256)")
+		queue    = flag.Int("queue", 0, "admission queue depth (0 = 128)")
+		batch    = flag.Int("batch", 0, "max steps coalesced per launch (0 = 32)")
+		window   = flag.Duration("window", 0, "batching window (0 = 200µs)")
+		retry    = flag.Duration("retry", 0, "retry-after hint when saturated (0 = 5ms)")
+	)
+	flag.Parse()
+
+	s := esthera.NewServer(esthera.ServerConfig{
+		Workers:     *workers,
+		MaxSessions: *sessions,
+		QueueDepth:  *queue,
+		MaxBatch:    *batch,
+		BatchWindow: *window,
+		RetryAfter:  *retry,
+	})
+	defer s.Shutdown()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           esthera.NewServerHandler(s),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "esthera-serve listening on %s\n", *addr)
+
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = srv.Shutdown(shutdownCtx)
+}

@@ -44,7 +44,7 @@ type Config struct {
 	ExchangeScheme string
 	// ExchangeCount is t, the particles sent per neighbor pair.
 	ExchangeCount int
-	// Resampler is "rws" (default) or "vose".
+	// Resampler is "rws" (default), "vose" or "systematic".
 	Resampler string
 	// Policy is "always" (default), "ess", "random" or "never".
 	Policy string
@@ -76,26 +76,53 @@ func DefaultConfig() Config {
 	}
 }
 
+// Validate checks every name-typed field of the configuration against
+// its registry — ExchangeScheme, Resampler, Policy, Streams and
+// Estimator — and returns a descriptive error naming the offending value
+// on the first mismatch. Zero values are valid (they select defaults).
+// NewFilter validates implicitly; call Validate directly to check
+// user-supplied configuration (flags, request bodies) before building
+// anything.
+func (cfg Config) Validate() error {
+	if _, err := exchange.SchemeByName(orDefault(cfg.ExchangeScheme, "ring")); err != nil {
+		return err
+	}
+	if _, err := kernels.AlgoByName(cfg.Resampler); err != nil {
+		return err
+	}
+	if _, err := resample.PolicyByName(cfg.Policy); err != nil {
+		return err
+	}
+	if _, err := filter.EstimatorByName(cfg.Estimator); err != nil {
+		return err
+	}
+	switch cfg.Streams {
+	case "", "philox", "mtgp":
+	default:
+		return fmt.Errorf("esthera: unknown streams %q (philox, mtgp)", cfg.Streams)
+	}
+	return nil
+}
+
 // NewFilter builds the paper's distributed particle filter over the
 // many-core device substrate for the given model and configuration.
 func NewFilter(m Model, cfg Config) (Filter, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	scheme, err := exchange.SchemeByName(orDefault(cfg.ExchangeScheme, "ring"))
 	if err != nil {
 		return nil, err
 	}
-	algo := kernels.AlgoRWS
-	switch orDefault(cfg.Resampler, "rws") {
-	case "rws":
-	case "vose":
-		algo = kernels.AlgoVose
-	default:
-		return nil, fmt.Errorf("esthera: unknown resampler %q (parallel filter supports rws, vose)", cfg.Resampler)
-	}
-	policy, err := policyByName(orDefault(cfg.Policy, "always"))
+	algo, err := kernels.AlgoByName(cfg.Resampler)
 	if err != nil {
 		return nil, err
 	}
-	est, err := estimatorByName(cfg.Estimator)
+	policy, err := resample.PolicyByName(cfg.Policy)
+	if err != nil {
+		return nil, err
+	}
+	est, err := filter.EstimatorByName(cfg.Estimator)
 	if err != nil {
 		return nil, err
 	}
@@ -124,11 +151,11 @@ func NewSequentialFilter(m Model, cfg Config) (Filter, error) {
 	if err != nil {
 		return nil, err
 	}
-	policy, err := policyByName(orDefault(cfg.Policy, "always"))
+	policy, err := resample.PolicyByName(cfg.Policy)
 	if err != nil {
 		return nil, err
 	}
-	est, err := estimatorByName(cfg.Estimator)
+	est, err := filter.EstimatorByName(cfg.Estimator)
 	if err != nil {
 		return nil, err
 	}
@@ -154,21 +181,11 @@ func NewCentralizedFilter(m Model, n int, seed uint64) (Filter, error) {
 // sharp or multimodal posteriors) or "weighted-mean" (the MMSE estimate,
 // better for smooth unimodal posteriors such as stochastic volatility).
 func NewCentralizedFilterWithEstimator(m Model, n int, seed uint64, estimator string) (Filter, error) {
-	est, err := estimatorByName(estimator)
+	est, err := filter.EstimatorByName(estimator)
 	if err != nil {
 		return nil, err
 	}
 	return filter.NewCentralized(m, n, seed, filter.CentralizedOptions{Estimator: est})
-}
-
-func estimatorByName(name string) (filter.Estimator, error) {
-	switch name {
-	case "", "max-weight":
-		return filter.MaxWeight, nil
-	case "weighted-mean":
-		return filter.WeightedMean, nil
-	}
-	return 0, fmt.Errorf("esthera: unknown estimator %q", name)
 }
 
 // NewGaussianFilter builds the Gaussian particle filter baseline.
@@ -329,18 +346,4 @@ func orDefault(s, def string) string {
 		return def
 	}
 	return s
-}
-
-func policyByName(name string) (resample.Policy, error) {
-	switch name {
-	case "always":
-		return resample.Always{}, nil
-	case "never":
-		return resample.Never{}, nil
-	case "ess":
-		return resample.ESSThreshold{Frac: 0.5}, nil
-	case "random":
-		return resample.RandomFrequency{P: 0.5}, nil
-	}
-	return nil, fmt.Errorf("esthera: unknown resampling policy %q", name)
 }

@@ -129,13 +129,41 @@ func TestConfigValidation(t *testing.T) {
 	if _, err := esthera.Track(nil, nil, 0, 0); err == nil {
 		t.Error("Track with 0 steps must error")
 	}
-	// Sequential accepts the full resampler set.
+	// Both implementations accept the full resampler set.
 	cfg := esthera.Config{SubFilters: 4, ParticlesPerSubFilter: 16, Resampler: "systematic", ExchangeScheme: "none"}
 	if _, err := esthera.NewSequentialFilter(m, cfg); err != nil {
 		t.Errorf("sequential systematic: %v", err)
 	}
-	if _, err := esthera.NewFilter(m, cfg); err == nil {
-		t.Error("parallel filter must reject systematic (kernel supports rws/vose)")
+	if _, err := esthera.NewFilter(m, cfg); err != nil {
+		t.Errorf("parallel systematic: %v", err)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (esthera.Config{}).Validate(); err != nil {
+		t.Errorf("zero config must validate (all defaults): %v", err)
+	}
+	if err := esthera.DefaultConfig().Validate(); err != nil {
+		t.Errorf("default config: %v", err)
+	}
+	good := esthera.Config{
+		ExchangeScheme: "hypercube", Resampler: "vose", Policy: "ess",
+		Streams: "mtgp", Estimator: "weighted-mean",
+	}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid names rejected: %v", err)
+	}
+	bad := []esthera.Config{
+		{ExchangeScheme: "mesh"},
+		{Resampler: "multinomial"},
+		{Policy: "sometimes"},
+		{Streams: "xorshift"},
+		{Estimator: "median"},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %d validated: %+v", i, cfg)
+		}
 	}
 }
 

@@ -82,7 +82,13 @@ type Cluster struct {
 	m   model.Model
 	dim int
 
-	nodes  []*node
+	nodes []*node
+	// failMu guards failed: fault injection (FailNode/RestoreNode) may be
+	// called from a different goroutine than Step, modeling failures that
+	// strike while a round is in flight. Step snapshots the flags once at
+	// round start, so a mid-round failure takes effect at the next round —
+	// a node cannot half-participate in a round.
+	failMu sync.Mutex
 	failed []bool
 	seed   uint64
 	k      int
@@ -167,13 +173,21 @@ func (c *Cluster) Reset(seed uint64) {
 	c.commBytes, c.commMsgs, c.rounds = 0, 0, 0
 	for i, n := range c.nodes {
 		n.pipe.Reset(rng.StreamSeed(seed, i))
+	}
+	c.failMu.Lock()
+	for i := range c.failed {
 		c.failed[i] = false
 	}
+	c.failMu.Unlock()
 }
 
 // FailNode freezes node i: it stops computing, exchanging and
-// contributing to estimates until RestoreNode.
+// contributing to estimates until RestoreNode. Safe to call from a
+// different goroutine than Step; the failure takes effect at the next
+// round boundary.
 func (c *Cluster) FailNode(i int) {
+	c.failMu.Lock()
+	defer c.failMu.Unlock()
 	if i >= 0 && i < len(c.failed) {
 		c.failed[i] = true
 	}
@@ -181,7 +195,10 @@ func (c *Cluster) FailNode(i int) {
 
 // RestoreNode brings a failed node back. Its (stale) particles rejoin the
 // computation and are refreshed by the ongoing exchange and resampling.
+// Safe to call from a different goroutine than Step.
 func (c *Cluster) RestoreNode(i int) {
+	c.failMu.Lock()
+	defer c.failMu.Unlock()
 	if i >= 0 && i < len(c.failed) {
 		c.failed[i] = false
 	}
@@ -189,6 +206,8 @@ func (c *Cluster) RestoreNode(i int) {
 
 // FailedNodes returns the number of currently failed nodes.
 func (c *Cluster) FailedNodes() int {
+	c.failMu.Lock()
+	defer c.failMu.Unlock()
 	n := 0
 	for _, f := range c.failed {
 		if f {
@@ -198,10 +217,18 @@ func (c *Cluster) FailedNodes() int {
 	return n
 }
 
+// failedSnapshot copies the fault flags for one round's consistent view.
+func (c *Cluster) failedSnapshot() []bool {
+	c.failMu.Lock()
+	defer c.failMu.Unlock()
+	return append([]bool(nil), c.failed...)
+}
+
 // Step implements filter.Filter: one global filtering round.
 func (c *Cluster) Step(u, z []float64) filter.Estimate {
 	c.k++
 	c.rounds++
+	failed := c.failedSnapshot()
 
 	// Phase 1 (per node, concurrently): local kernels up to the sorted
 	// state and the node-local best.
@@ -213,7 +240,7 @@ func (c *Cluster) Step(u, z []float64) filter.Estimate {
 	bests := make([]nodeBest, len(c.nodes))
 	var wg sync.WaitGroup
 	for i, n := range c.nodes {
-		if c.failed[i] {
+		if failed[i] {
 			continue
 		}
 		wg.Add(1)
@@ -230,11 +257,11 @@ func (c *Cluster) Step(u, z []float64) filter.Estimate {
 
 	// Phase 2: global ring exchange across the whole sub-filter network;
 	// inter-node edges are counted as network traffic.
-	c.exchangeGlobal()
+	c.exchangeGlobal(failed)
 
 	// Phase 3 (per node): local resampling.
 	for i, n := range c.nodes {
-		if c.failed[i] {
+		if failed[i] {
 			continue
 		}
 		wg.Add(1)
@@ -258,8 +285,9 @@ func (c *Cluster) Step(u, z []float64) filter.Estimate {
 
 const negInf = -1.7976931348623157e308
 
-// exchangeGlobal performs the ring exchange over all S sub-filters.
-func (c *Cluster) exchangeGlobal() {
+// exchangeGlobal performs the ring exchange over all S sub-filters,
+// under the round's snapshot of the fault flags.
+func (c *Cluster) exchangeGlobal(failed []bool) {
 	t := c.cfg.ExchangeCount
 	if t == 0 {
 		return
@@ -273,7 +301,7 @@ func (c *Cluster) exchangeGlobal() {
 	// Stage every live sub-filter's top-t into the global outbox.
 	for g := 0; g < S; g++ {
 		nodeIdx := g / spn
-		if c.failed[nodeIdx] {
+		if failed[nodeIdx] {
 			continue
 		}
 		local := g % spn
@@ -291,7 +319,7 @@ func (c *Cluster) exchangeGlobal() {
 	// particles). Inter-node pulls are counted as messages.
 	for g := 0; g < S; g++ {
 		nodeIdx := g / spn
-		if c.failed[nodeIdx] {
+		if failed[nodeIdx] {
 			continue
 		}
 		local := g % spn
@@ -302,7 +330,7 @@ func (c *Cluster) exchangeGlobal() {
 		slot := mp - 2*t
 		for _, q := range neighbors {
 			qNode := q / spn
-			if c.failed[qNode] {
+			if failed[qNode] {
 				slot += t
 				continue
 			}

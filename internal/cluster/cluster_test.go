@@ -177,3 +177,50 @@ func mean(xs []float64) float64 {
 	}
 	return s / float64(len(xs))
 }
+
+// TestConcurrentFaultInjection runs FailNode/RestoreNode from a second
+// goroutine while the cluster filter steps, as a live deployment would
+// (failure detection is asynchronous to the filtering loop). Under
+// `go test -race` this asserts the fault flags are properly
+// synchronized; functionally it asserts the estimate survives the churn
+// and recovers once all nodes are back.
+func TestConcurrentFaultInjection(t *testing.T) {
+	m, sc := armScenario(t)
+	c := newCluster(t, m, 4)
+
+	// Warm up so the filter has acquired the target.
+	warm := metrics.Run(c, sc, 30, 7)
+	before := mean(warm.Err[20:])
+
+	// Churn node failures from a second goroutine while stepping.
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			node := i % (c.Nodes() - 1) // node 0 .. n-2; never all at once
+			c.FailNode(node)
+			c.FailedNodes()
+			c.RestoreNode(node)
+			i++
+		}
+	}()
+	continueRun(c, sc, 31, 40, 7)
+	close(stop)
+	<-done
+
+	// All nodes restored: the filter must still track.
+	if got := c.FailedNodes(); got != 0 {
+		t.Fatalf("%d nodes still failed after churn", got)
+	}
+	after := continueRun(c, sc, 71, 30, 7)
+	if m := mean(after[10:]); m > 5*before+0.5 {
+		t.Fatalf("estimate did not recover after concurrent fault churn: %v vs %v before", m, before)
+	}
+}

@@ -27,15 +27,15 @@ type Ctx interface {
 
 // Counters aggregates the accounted work of one or more kernel executions.
 type Counters struct {
-	Steps            int64 // barrier-delimited phases
-	LaneInvocations  int64 // total fn(lane) calls
-	Ops              int64 // accounted arithmetic operations (data-parallel)
-	SerialOps        int64 // ops executed by a single lane (StepSerial)
-	GlobalReadBytes  int64
-	GlobalWriteBytes int64
-	LocalReadBytes   int64
-	LocalWriteBytes  int64
-	LocalAllocBytes  int64 // peak local-memory allocation over groups
+	Steps            int64 `json:"steps"`            // barrier-delimited phases
+	LaneInvocations  int64 `json:"lane_invocations"` // total fn(lane) calls
+	Ops              int64 `json:"ops"`              // accounted arithmetic operations (data-parallel)
+	SerialOps        int64 `json:"serial_ops"`       // ops executed by a single lane (StepSerial)
+	GlobalReadBytes  int64 `json:"global_read_bytes"`
+	GlobalWriteBytes int64 `json:"global_write_bytes"`
+	LocalReadBytes   int64 `json:"local_read_bytes"`
+	LocalWriteBytes  int64 `json:"local_write_bytes"`
+	LocalAllocBytes  int64 `json:"local_alloc_bytes"` // peak local-memory allocation over groups
 }
 
 // Add accumulates o into c (LocalAllocBytes takes the max, since it is a

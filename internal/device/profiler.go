@@ -17,12 +17,14 @@ type Profiler struct {
 	order   []string // first-launch order, for stable reporting
 }
 
-// KernelStats is the accumulated record for one kernel name.
+// KernelStats is the accumulated record for one kernel name. It is plain
+// copyable data and marshals to JSON (Elapsed as integer nanoseconds),
+// so snapshots can be published by introspection endpoints.
 type KernelStats struct {
-	Name     string
-	Launches int64
-	Elapsed  time.Duration
-	Count    Counters
+	Name     string        `json:"name"`
+	Launches int64         `json:"launches"`
+	Elapsed  time.Duration `json:"elapsed_ns"`
+	Count    Counters      `json:"counters"`
 }
 
 // NewProfiler returns an empty profiler.
@@ -62,6 +64,31 @@ func (p *Profiler) Snapshot() []KernelStats {
 		out = append(out, *p.entries[name])
 	}
 	return out
+}
+
+// Stats is the copyable, JSON-marshalable export of a profiler: every
+// kernel's accumulated record plus the totals, taken atomically. This is
+// the struct the serve introspection endpoint publishes.
+type Stats struct {
+	// TotalElapsed is the summed kernel time (integer nanoseconds in
+	// JSON).
+	TotalElapsed time.Duration `json:"total_elapsed_ns"`
+	// TotalLaunches is the summed launch count.
+	TotalLaunches int64 `json:"total_launches"`
+	// Kernels lists per-kernel records in first-launch order.
+	Kernels []KernelStats `json:"kernels"`
+}
+
+// Stats returns the profiler's full accumulated statistics as one
+// consistent, detached copy.
+func (p *Profiler) Stats() Stats {
+	snap := p.Snapshot()
+	st := Stats{Kernels: snap}
+	for _, e := range snap {
+		st.TotalElapsed += e.Elapsed
+		st.TotalLaunches += e.Launches
+	}
+	return st
 }
 
 // Total returns the summed elapsed time over all kernels.

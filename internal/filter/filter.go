@@ -62,6 +62,19 @@ const (
 	WeightedMean
 )
 
+// EstimatorByName maps a flag-friendly name ("max-weight" or "" for the
+// paper's operator, "weighted-mean" for the MMSE estimate) to an
+// Estimator.
+func EstimatorByName(name string) (Estimator, error) {
+	switch name {
+	case "", "max-weight":
+		return MaxWeight, nil
+	case "weighted-mean":
+		return WeightedMean, nil
+	}
+	return 0, fmt.Errorf("filter: unknown estimator %q", name)
+}
+
 // String returns the estimator name.
 func (e Estimator) String() string {
 	switch e {

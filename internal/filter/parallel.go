@@ -1,6 +1,8 @@
 package filter
 
 import (
+	"fmt"
+
 	"esthera/internal/device"
 	"esthera/internal/exchange"
 	"esthera/internal/kernels"
@@ -84,8 +86,75 @@ func (f *Parallel) Step(u, z []float64) Estimate {
 }
 
 // Pipeline exposes the kernel pipeline (for the profiler-driven
-// breakdown experiments).
+// breakdown experiments and the serve layer's batch scheduler).
 func (f *Parallel) Pipeline() *kernels.Pipeline { return f.p }
+
+// StepIndex returns the number of rounds stepped since the last Reset.
+func (f *Parallel) StepIndex() int { return f.k }
+
+// Seed returns the seed of the last Reset (or construction).
+func (f *Parallel) Seed() uint64 { return f.seed }
+
+// ParallelSnapshot is a deep copy of a Parallel filter's state: the step
+// counter plus the pipeline snapshot. Restoring it into a filter with the
+// same configuration resumes the run bit-identically.
+type ParallelSnapshot struct {
+	Seed uint64            `json:"seed"`
+	Step int               `json:"step"`
+	Pipe *kernels.Snapshot `json:"pipe"`
+}
+
+// Snapshot captures the filter's state. Not safe to call concurrently
+// with Step or Reset.
+func (f *Parallel) Snapshot() *ParallelSnapshot {
+	return &ParallelSnapshot{Seed: f.seed, Step: f.k, Pipe: f.p.Snapshot()}
+}
+
+// RestoreSnapshot overwrites the filter's state from a snapshot taken
+// from an identically configured filter. Not safe to call concurrently
+// with Step or Reset.
+func (f *Parallel) RestoreSnapshot(s *ParallelSnapshot) error {
+	if s == nil || s.Pipe == nil {
+		return fmt.Errorf("filter: nil parallel snapshot")
+	}
+	if s.Step < 0 {
+		return fmt.Errorf("filter: negative snapshot step %d", s.Step)
+	}
+	if err := f.p.Restore(s.Pipe); err != nil {
+		return err
+	}
+	f.seed = s.Seed
+	f.k = s.Step
+	return nil
+}
+
+// StepBatch steps every filter in fs through one round with its own
+// (u, z) inputs, coalescing the per-sub-filter kernels of all filters
+// into shared launches on dev. Every filter must have been built on dev.
+// Results are returned in input order.
+func StepBatch(dev *device.Device, fs []*Parallel, us, zs [][]float64) ([]Estimate, error) {
+	if len(fs) != len(us) || len(fs) != len(zs) {
+		return nil, fmt.Errorf("filter: batch length mismatch: %d filters, %d controls, %d measurements",
+			len(fs), len(us), len(zs))
+	}
+	batch := make([]*kernels.BatchRound, len(fs))
+	for i, f := range fs {
+		f.k++
+		batch[i] = &kernels.BatchRound{P: f.p, U: us[i], Z: zs[i], K: f.k}
+	}
+	if err := kernels.RoundBatch(dev, batch); err != nil {
+		// Roll the step counters back so a rejected batch is a no-op.
+		for _, f := range fs {
+			f.k--
+		}
+		return nil, err
+	}
+	out := make([]Estimate, len(fs))
+	for i, e := range batch {
+		out[i] = Estimate{State: e.State, LogWeight: e.LogW}
+	}
+	return out, nil
+}
 
 // TotalParticles returns N·m.
 func (f *Parallel) TotalParticles() int {

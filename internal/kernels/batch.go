@@ -1,0 +1,120 @@
+package kernels
+
+import (
+	"fmt"
+
+	"esthera/internal/device"
+)
+
+// BatchRound couples one pipeline with the inputs of one filtering round.
+// After RoundBatch returns, State and LogW hold the round's global
+// estimate (the same values Pipeline.Round would have returned).
+type BatchRound struct {
+	P *Pipeline
+	// U, Z, K are the round inputs: control, measurement, step index.
+	U, Z []float64
+	K    int
+
+	// State and LogW are the outputs.
+	State []float64
+	LogW  float64
+}
+
+// RoundBatch runs one filtering round for every entry, coalescing the
+// per-sub-filter kernels (rand, sampling, local sort, resampling) of all
+// pipelines into shared launches on dev. This is the mechanism the serve
+// scheduler uses to keep a shared device saturated: B sessions of N
+// sub-filters each become launches of B·N work-groups, so the device's
+// workers drain one large grid instead of B small ones with B launch
+// barriers per kernel.
+//
+// The estimate and exchange kernels involve pipeline-global reductions
+// (a single-group reduction launch, and topology-dependent neighbor
+// pulls), so they remain per-pipeline launches between the shared ones.
+//
+// Every pipeline must have been created on dev. Pipelines with different
+// ParticlesPer (work-group sizes) cannot share a grid; RoundBatch
+// partitions the batch by group size and merges within each partition.
+// A pipeline must appear at most once per batch (a session's steps are
+// ordered; coalescing two rounds of the same filter would reorder its
+// kernels).
+func RoundBatch(dev *device.Device, batch []*BatchRound) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	seen := make(map[*Pipeline]bool, len(batch))
+	byM := make(map[int][]*BatchRound)
+	var sizes []int
+	for _, e := range batch {
+		if e == nil || e.P == nil {
+			return fmt.Errorf("kernels: nil batch entry")
+		}
+		if e.P.dev != dev {
+			return fmt.Errorf("kernels: batched pipeline lives on a different device")
+		}
+		if seen[e.P] {
+			return fmt.Errorf("kernels: pipeline appears twice in one batch")
+		}
+		seen[e.P] = true
+		m := e.P.cfg.ParticlesPer
+		if byM[m] == nil {
+			sizes = append(sizes, m)
+		}
+		byM[m] = append(byM[m], e)
+	}
+	for _, m := range sizes {
+		roundMerged(dev, m, byM[m])
+	}
+	return nil
+}
+
+// roundMerged runs one round for a set of pipelines sharing work-group
+// size m, with one merged launch per per-sub-filter kernel.
+func roundMerged(dev *device.Device, m int, part []*BatchRound) {
+	// Flat map from merged group id to (batch entry, local sub-filter).
+	type slot struct{ e, s int }
+	var groups []slot
+	for i, e := range part {
+		for s := 0; s < e.P.cfg.SubFilters; s++ {
+			groups = append(groups, slot{e: i, s: s})
+		}
+	}
+	grid := device.Grid{Groups: len(groups), GroupSize: m}
+
+	dev.Launch("rand", grid, func(g *device.Group) {
+		sl := groups[g.ID()]
+		part[sl.e].P.randGroup(g, sl.s)
+	})
+
+	dev.Launch("sampling", grid, func(g *device.Group) {
+		sl := groups[g.ID()]
+		e := part[sl.e]
+		e.P.sampleGroup(g, sl.s, e.U, e.Z, e.K)
+	})
+	for _, e := range part {
+		e.P.x, e.P.x2 = e.P.x2, e.P.x
+	}
+
+	dev.Launch("local sort", grid, func(g *device.Group) {
+		sl := groups[g.ID()]
+		part[sl.e].P.sortGroup(g, sl.s)
+	})
+	for _, e := range part {
+		e.P.x, e.P.x2 = e.P.x2, e.P.x
+	}
+
+	// Global estimate and particle exchange reduce across a pipeline's
+	// whole sub-filter network; they stay per-pipeline.
+	for _, e := range part {
+		e.State, e.LogW = e.P.KernelEstimate()
+		e.P.KernelExchange()
+	}
+
+	dev.Launch("resampling", grid, func(g *device.Group) {
+		sl := groups[g.ID()]
+		part[sl.e].P.resampleGroup(g, sl.s)
+	})
+	for _, e := range part {
+		e.P.x, e.P.x2 = e.P.x2, e.P.x
+	}
+}

@@ -14,16 +14,24 @@ import (
 // dedicated MTGP kernel so the sampling/resampling kernels stay small.
 func (p *Pipeline) KernelRand() {
 	p.dev.Launch("rand", p.grid(), func(g *device.Group) {
-		buf := p.bufs[g.ID()]
-		g.StepOne(func() {
-			words := buf.Refill()
-			// MT-family generation plus the Box-Muller transform the
-			// paper folds into the PRNG kernel: ~10 ops per word
-			// (recurrence, tempering, and the transform's log/sincos
-			// amortized), with the block written to global memory.
-			g.Ops(10 * words)
-			g.GlobalWrite(4 * words)
-		})
+		p.randGroup(g, g.ID())
+	})
+}
+
+// randGroup is KernelRand's work-group body for sub-filter s. The group
+// bodies are factored out of the launches so the cross-session batch
+// scheduler (RoundBatch) can coalesce the groups of many pipelines into a
+// single shared launch.
+func (p *Pipeline) randGroup(g *device.Group, s int) {
+	buf := p.bufs[s]
+	g.StepOne(func() {
+		words := buf.Refill()
+		// MT-family generation plus the Box-Muller transform the
+		// paper folds into the PRNG kernel: ~10 ops per word
+		// (recurrence, tempering, and the transform's log/sincos
+		// amortized), with the block written to global memory.
+		g.Ops(10 * words)
+		g.GlobalWrite(4 * words)
 	})
 }
 
@@ -33,30 +41,35 @@ func (p *Pipeline) KernelRand() {
 // weighting are fused in one kernel, as in the paper ("we can combine
 // sampling and importance weight calculation in one kernel").
 func (p *Pipeline) KernelSampleWeight(u, z []float64, k int) {
-	m := p.cfg.ParticlesPer
-	dim := p.dim
 	p.dev.Launch("sampling", p.grid(), func(g *device.Group) {
-		s := g.ID()
-		r := p.rands[s]
-		base := s * m * dim
-		g.Step(func(lane int) {
-			src := p.x[base+lane*dim : base+(lane+1)*dim]
-			dst := p.x2[base+lane*dim : base+(lane+1)*dim]
-			p.mdl.Step(dst, src, u, k, r)
-			p.logw[s*m+lane] += p.mdl.LogLikelihood(dst, z)
-			g.GlobalRead(8 * dim)
-			g.GlobalWrite(8*dim + 8)
-			// Propagation draws ~one normal per state dimension (log,
-			// sqrt, sincos via Box-Muller) and the likelihood evaluates
-			// the transcendental-heavy measurement equations (the arm's
-			// rotation chain): ~160 flops per state dimension, which
-			// makes sampling compute-bound on GPUs — the Fig. 4c effect
-			// where the model increasingly dominates as state dimension
-			// grows.
-			g.Ops(160 * dim)
-		})
+		p.sampleGroup(g, g.ID(), u, z, k)
 	})
 	p.x, p.x2 = p.x2, p.x
+}
+
+// sampleGroup is KernelSampleWeight's work-group body for sub-filter s.
+// The caller swaps the double buffer after the launch completes.
+func (p *Pipeline) sampleGroup(g *device.Group, s int, u, z []float64, k int) {
+	m := p.cfg.ParticlesPer
+	dim := p.dim
+	r := p.rands[s]
+	base := s * m * dim
+	g.Step(func(lane int) {
+		src := p.x[base+lane*dim : base+(lane+1)*dim]
+		dst := p.x2[base+lane*dim : base+(lane+1)*dim]
+		p.mdl.Step(dst, src, u, k, r)
+		p.logw[s*m+lane] += p.mdl.LogLikelihood(dst, z)
+		g.GlobalRead(8 * dim)
+		g.GlobalWrite(8*dim + 8)
+		// Propagation draws ~one normal per state dimension (log,
+		// sqrt, sincos via Box-Muller) and the likelihood evaluates
+		// the transcendental-heavy measurement equations (the arm's
+		// rotation chain): ~160 flops per state dimension, which
+		// makes sampling compute-bound on GPUs — the Fig. 4c effect
+		// where the model increasingly dominates as state dimension
+		// grows.
+		g.Ops(160 * dim)
+	})
 }
 
 // KernelSortLocal is kernel 3 (§VI-C): each sub-filter bitonic-sorts its
@@ -65,36 +78,41 @@ func (p *Pipeline) KernelSampleWeight(u, z []float64, k int) {
 // reordered by the index array using non-contiguous reads and contiguous
 // writes, the access pattern the paper prefers.
 func (p *Pipeline) KernelSortLocal() {
-	m := p.cfg.ParticlesPer
-	dim := p.dim
 	p.dev.Launch("local sort", p.grid(), func(g *device.Group) {
-		s := g.ID()
-		base := s * m * dim
-		keys := g.AllocLocalF64(m)
-		idx := g.AllocLocalInt(m)
-		g.Step(func(lane int) {
-			keys[lane] = p.logw[s*m+lane]
-			idx[lane] = lane
-			g.GlobalRead(8)
-			g.LocalWrite(12)
-		})
-		sortnet.SortDescending(g, keys, idx)
-		// Apply the permutation: payload gather (non-contiguous reads,
-		// contiguous writes), then write back sorted weights.
-		g.Step(func(lane int) {
-			src := idx[lane]
-			copy(p.x2[base+lane*dim:base+(lane+1)*dim], p.x[base+src*dim:base+(src+1)*dim])
-			g.LocalRead(4)
-			g.GlobalRead(8 * dim)
-			g.GlobalWrite(8 * dim)
-		})
-		g.Step(func(lane int) {
-			p.logw[s*m+lane] = keys[lane]
-			g.LocalRead(8)
-			g.GlobalWrite(8)
-		})
+		p.sortGroup(g, g.ID())
 	})
 	p.x, p.x2 = p.x2, p.x
+}
+
+// sortGroup is KernelSortLocal's work-group body for sub-filter s. The
+// caller swaps the double buffer after the launch completes.
+func (p *Pipeline) sortGroup(g *device.Group, s int) {
+	m := p.cfg.ParticlesPer
+	dim := p.dim
+	base := s * m * dim
+	keys := g.AllocLocalF64(m)
+	idx := g.AllocLocalInt(m)
+	g.Step(func(lane int) {
+		keys[lane] = p.logw[s*m+lane]
+		idx[lane] = lane
+		g.GlobalRead(8)
+		g.LocalWrite(12)
+	})
+	sortnet.SortDescending(g, keys, idx)
+	// Apply the permutation: payload gather (non-contiguous reads,
+	// contiguous writes), then write back sorted weights.
+	g.Step(func(lane int) {
+		src := idx[lane]
+		copy(p.x2[base+lane*dim:base+(lane+1)*dim], p.x[base+src*dim:base+(src+1)*dim])
+		g.LocalRead(4)
+		g.GlobalRead(8 * dim)
+		g.GlobalWrite(8 * dim)
+	})
+	g.Step(func(lane int) {
+		p.logw[s*m+lane] = keys[lane]
+		g.LocalRead(8)
+		g.GlobalWrite(8)
+	})
 }
 
 // KernelEstimate is kernel 4 (§VI-D): since every sub-filter just sorted,
@@ -337,68 +355,73 @@ func (p *Pipeline) exchangeAllToAll() {
 // gathered with non-contiguous reads and contiguous writes, and weights
 // reset.
 func (p *Pipeline) KernelResample() {
-	m := p.cfg.ParticlesPer
-	dim := p.dim
 	p.dev.Launch("resampling", p.grid(), func(g *device.Group) {
-		s := g.ID()
-		base := s * m * dim
-		r := p.rands[s]
-
-		// Local linear weights, stabilized by the local max (slot 0
-		// holds the max log-weight after sorting; after an exchange a
-		// received particle may beat it, so reduce properly).
-		w := g.AllocLocalF64(m)
-		g.Step(func(lane int) {
-			w[lane] = p.logw[s*m+lane]
-			g.GlobalRead(8)
-			g.LocalWrite(8)
-		})
-		maxIdx := scan.MaxIndex(g, w)
-		maxLW := w[maxIdx]
-		g.Step(func(lane int) {
-			if math.IsInf(maxLW, -1) || math.IsNaN(maxLW) {
-				w[lane] = 1
-			} else {
-				w[lane] = math.Exp(w[lane] - maxLW)
-			}
-			g.Ops(2)
-			g.LocalWrite(8)
-		})
-
-		resampled := false
-		g.StepOne(func() { resampled = p.cfg.Policy.ShouldResample(w, r) })
-		if !resampled {
-			// Keep the population; copy through so the double buffer
-			// stays coherent.
-			g.Step(func(lane int) {
-				copy(p.x2[base+lane*dim:base+(lane+1)*dim], p.x[base+lane*dim:base+(lane+1)*dim])
-				g.GlobalRead(8 * dim)
-				g.GlobalWrite(8 * dim)
-			})
-			return
-		}
-
-		sel := g.AllocLocalInt(m)
-		switch p.cfg.Resampler {
-		case AlgoVose:
-			p.voseSelect(g, w, sel, s)
-		case AlgoSystematic:
-			p.systematicSelect(g, w, sel, s)
-		default:
-			p.rwsSelect(g, w, sel, s)
-		}
-
-		// Gather survivors and reset weights.
-		g.Step(func(lane int) {
-			src := sel[lane]
-			copy(p.x2[base+lane*dim:base+(lane+1)*dim], p.x[base+src*dim:base+(src+1)*dim])
-			p.logw[s*m+lane] = 0
-			g.LocalRead(4)
-			g.GlobalRead(8 * dim)
-			g.GlobalWrite(8*dim + 8)
-		})
+		p.resampleGroup(g, g.ID())
 	})
 	p.x, p.x2 = p.x2, p.x
+}
+
+// resampleGroup is KernelResample's work-group body for sub-filter s.
+// The caller swaps the double buffer after the launch completes.
+func (p *Pipeline) resampleGroup(g *device.Group, s int) {
+	m := p.cfg.ParticlesPer
+	dim := p.dim
+	base := s * m * dim
+	r := p.rands[s]
+
+	// Local linear weights, stabilized by the local max (slot 0
+	// holds the max log-weight after sorting; after an exchange a
+	// received particle may beat it, so reduce properly).
+	w := g.AllocLocalF64(m)
+	g.Step(func(lane int) {
+		w[lane] = p.logw[s*m+lane]
+		g.GlobalRead(8)
+		g.LocalWrite(8)
+	})
+	maxIdx := scan.MaxIndex(g, w)
+	maxLW := w[maxIdx]
+	g.Step(func(lane int) {
+		if math.IsInf(maxLW, -1) || math.IsNaN(maxLW) {
+			w[lane] = 1
+		} else {
+			w[lane] = math.Exp(w[lane] - maxLW)
+		}
+		g.Ops(2)
+		g.LocalWrite(8)
+	})
+
+	resampled := false
+	g.StepOne(func() { resampled = p.cfg.Policy.ShouldResample(w, r) })
+	if !resampled {
+		// Keep the population; copy through so the double buffer
+		// stays coherent.
+		g.Step(func(lane int) {
+			copy(p.x2[base+lane*dim:base+(lane+1)*dim], p.x[base+lane*dim:base+(lane+1)*dim])
+			g.GlobalRead(8 * dim)
+			g.GlobalWrite(8 * dim)
+		})
+		return
+	}
+
+	sel := g.AllocLocalInt(m)
+	switch p.cfg.Resampler {
+	case AlgoVose:
+		p.voseSelect(g, w, sel, s)
+	case AlgoSystematic:
+		p.systematicSelect(g, w, sel, s)
+	default:
+		p.rwsSelect(g, w, sel, s)
+	}
+
+	// Gather survivors and reset weights.
+	g.Step(func(lane int) {
+		src := sel[lane]
+		copy(p.x2[base+lane*dim:base+(lane+1)*dim], p.x[base+src*dim:base+(src+1)*dim])
+		p.logw[s*m+lane] = 0
+		g.LocalRead(4)
+		g.GlobalRead(8 * dim)
+		g.GlobalWrite(8*dim + 8)
+	})
 }
 
 // rwsSelect fills sel with RWS draws from the local weights w.

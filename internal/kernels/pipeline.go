@@ -48,6 +48,20 @@ const (
 	AlgoSystematic
 )
 
+// AlgoByName maps a flag-friendly name ("rws", "vose", "systematic"; ""
+// defaults to rws) to a resampling kernel.
+func AlgoByName(name string) (Algo, error) {
+	switch name {
+	case "", "rws":
+		return AlgoRWS, nil
+	case "vose":
+		return AlgoVose, nil
+	case "systematic":
+		return AlgoSystematic, nil
+	}
+	return 0, fmt.Errorf("kernels: unknown resampler %q (device pipeline supports rws, vose, systematic)", name)
+}
+
 // String returns the algorithm name.
 func (a Algo) String() string {
 	switch a {

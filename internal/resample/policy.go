@@ -1,6 +1,10 @@
 package resample
 
-import "esthera/internal/rng"
+import (
+	"fmt"
+
+	"esthera/internal/rng"
+)
 
 // Policy decides, each filtering round, whether a (sub-)filter resamples.
 // §IV discusses three options: always resample (the paper's default after
@@ -15,6 +19,23 @@ type Policy interface {
 	// (unnormalized) weights. r supplies randomness for stochastic
 	// policies and may be used freely.
 	ShouldResample(weights []float64, r *rng.Rand) bool
+}
+
+// PolicyByName maps a flag-friendly name to a policy with its default
+// parameters: "always" (or ""), "never", "ess" (Frac 0.5) or "random"
+// (P 0.5).
+func PolicyByName(name string) (Policy, error) {
+	switch name {
+	case "", "always":
+		return Always{}, nil
+	case "never":
+		return Never{}, nil
+	case "ess":
+		return ESSThreshold{Frac: 0.5}, nil
+	case "random":
+		return RandomFrequency{P: 0.5}, nil
+	}
+	return nil, fmt.Errorf("resample: unknown resampling policy %q", name)
 }
 
 // Always resamples every round (the paper's default).

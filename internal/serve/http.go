@@ -1,0 +1,162 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+)
+
+// NewHandler exposes a Server as a JSON-over-HTTP API (stdlib only):
+//
+//	POST   /v1/sessions                 {"spec": FilterSpec}        → {"id": ...}
+//	GET    /v1/sessions                                             → {"sessions": [ids]}
+//	GET    /v1/sessions/{id}                                        → last estimate
+//	POST   /v1/sessions/{id}/step       {"u": [...], "z": [...]}    → StepResult
+//	DELETE /v1/sessions/{id}                                        → 204
+//	GET    /v1/sessions/{id}/checkpoint                             → Checkpoint
+//	POST   /v1/restore                  Checkpoint                  → {"id": ...}
+//	GET    /metrics                                                 → Stats
+//
+// Saturation maps to 429 with a Retry-After header (the admission
+// controller's hint, rounded up to whole seconds per RFC 9110, and
+// exactly in milliseconds in a Retry-After-Ms header); unknown sessions
+// to 404; invalid specs and malformed bodies to 400.
+func NewHandler(s *Server) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+		var body struct {
+			Spec FilterSpec `json:"spec"`
+		}
+		if !readJSON(w, r, &body) {
+			return
+		}
+		id, err := s.Create(body.Spec)
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, map[string]string{"id": id})
+	})
+	mux.HandleFunc("GET /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"sessions": s.Sessions()})
+	})
+	mux.HandleFunc("GET /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		res, err := s.Estimate(r.PathValue("id"))
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, sanitizeResult(res))
+	})
+	mux.HandleFunc("POST /v1/sessions/{id}/step", func(w http.ResponseWriter, r *http.Request) {
+		var body struct {
+			U []float64 `json:"u"`
+			Z []float64 `json:"z"`
+		}
+		if !readJSON(w, r, &body) {
+			return
+		}
+		res, err := s.Step(r.PathValue("id"), body.U, body.Z)
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, sanitizeResult(res))
+	})
+	mux.HandleFunc("DELETE /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if err := s.Close(r.PathValue("id")); err != nil {
+			httpError(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("GET /v1/sessions/{id}/checkpoint", func(w http.ResponseWriter, r *http.Request) {
+		cp, err := s.Checkpoint(r.PathValue("id"))
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, cp)
+	})
+	mux.HandleFunc("POST /v1/restore", func(w http.ResponseWriter, r *http.Request) {
+		var cp Checkpoint
+		if !readJSON(w, r, &cp) {
+			return
+		}
+		id, err := s.Restore(&cp)
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, map[string]string{"id": id})
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	return mux
+}
+
+// stepReply is StepResult with the log-weight JSON-safe: encoding/json
+// rejects ±Inf/NaN, and a just-created or fully degenerate session has
+// LogWeight == -Inf. The bits field is always exact.
+type stepReply struct {
+	Step          int       `json:"step"`
+	State         []float64 `json:"state"`
+	LogWeight     *float64  `json:"log_weight,omitempty"`
+	LogWeightBits uint64    `json:"log_weight_bits"`
+}
+
+func sanitizeResult(res StepResult) stepReply {
+	out := stepReply{
+		Step:          res.Step,
+		State:         res.State,
+		LogWeightBits: math.Float64bits(res.LogWeight),
+	}
+	if !math.IsInf(res.LogWeight, 0) && !math.IsNaN(res.LogWeight) {
+		lw := res.LogWeight
+		out.LogWeight = &lw
+	}
+	return out
+}
+
+func readJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
+	if err := dec.Decode(dst); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("bad request body: %v", err)})
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, err error) {
+	var sat *SaturatedError
+	switch {
+	case errors.As(err, &sat):
+		secs := int64(sat.RetryAfter.Seconds())
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+		w.Header().Set("Retry-After-Ms", strconv.FormatInt(sat.RetryAfter.Milliseconds(), 10))
+		writeJSON(w, http.StatusTooManyRequests, map[string]string{"error": err.Error()})
+	case errors.Is(err, ErrNotFound):
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": err.Error()})
+	case errors.Is(err, ErrTooManySessions):
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
+	case errors.Is(err, ErrClosed):
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
+	default:
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+	}
+}

@@ -1,0 +1,110 @@
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"esthera/internal/filter"
+)
+
+// stepReq is one queued observation step.
+type stepReq struct {
+	sess *Session
+	u, z []float64
+	done chan stepResult
+}
+
+// stepResult is the scheduler's reply to one stepReq.
+type stepResult struct {
+	est  filter.Estimate
+	step int
+	err  error
+}
+
+// schedule is the batching scheduler: it drains the admission queue,
+// coalescing up to MaxBatch pending steps (waiting at most BatchWindow
+// after the first) into shared device launches. One scheduler goroutine
+// drives the device; concurrency comes from the merged grids, not from
+// concurrent launches — exactly the paper's device model (launches are
+// globally synchronizing, work-groups within a launch run concurrently).
+func (s *Server) schedule() {
+	defer close(s.done)
+	for {
+		select {
+		case req := <-s.queue:
+			s.runBatch(s.collect(req))
+		case <-s.quit:
+			s.failPending()
+			return
+		}
+	}
+}
+
+// collect gathers one batch, starting from first.
+func (s *Server) collect(first *stepReq) []*stepReq {
+	batch := []*stepReq{first}
+	if s.cfg.MaxBatch == 1 {
+		return batch
+	}
+	timer := time.NewTimer(s.cfg.BatchWindow)
+	defer timer.Stop()
+	for len(batch) < s.cfg.MaxBatch {
+		select {
+		case r := <-s.queue:
+			batch = append(batch, r)
+		case <-timer.C:
+			return batch
+		case <-s.quit:
+			return batch
+		}
+	}
+	return batch
+}
+
+// runBatch executes one coalesced batch and delivers results. A panic
+// from a kernel or model fails the whole batch (each waiter gets the
+// error) but never kills the scheduler.
+func (s *Server) runBatch(batch []*stepReq) {
+	if len(batch) == 0 {
+		return
+	}
+	fs := make([]*filter.Parallel, len(batch))
+	us := make([][]float64, len(batch))
+	zs := make([][]float64, len(batch))
+	for i, r := range batch {
+		fs[i] = r.sess.f
+		us[i] = r.u
+		zs[i] = r.z
+	}
+	ests, err := func() (out []filter.Estimate, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("serve: batch step panicked: %v", r)
+			}
+		}()
+		return filter.StepBatch(s.dev, fs, us, zs)
+	}()
+	if err != nil {
+		for _, r := range batch {
+			r.done <- stepResult{err: err}
+		}
+		return
+	}
+	s.batches.Add(1)
+	s.batchedSteps.Add(int64(len(batch)))
+	for i, r := range batch {
+		r.done <- stepResult{est: ests[i], step: fs[i].StepIndex()}
+	}
+}
+
+// failPending drains the queue after shutdown, failing every waiter.
+func (s *Server) failPending() {
+	for {
+		select {
+		case r := <-s.queue:
+			r.done <- stepResult{err: ErrClosed}
+		default:
+			return
+		}
+	}
+}

@@ -1,0 +1,397 @@
+// Package serve runs many concurrent tracking sessions — one distributed
+// particle filter per tracked target — on a single shared many-core
+// device, the deployment shape the paper's design is built for: "many
+// small sub-filters share one many-core device" (§IV, Table I). It is
+// the toolkit's multi-tenant estimation service layer:
+//
+//   - Session lifecycle: Create builds a filter from a FilterSpec on the
+//     shared device substrate; Step advances it one observation; Estimate
+//     reads the last estimate; Close releases it.
+//   - Admission control: pending steps enter a bounded queue. When the
+//     queue is full the server rejects immediately with ErrSaturated
+//     (carrying a retry-after hint) instead of growing without bound —
+//     load sheds at the edge, latency stays bounded.
+//   - Cross-session batching: a scheduler goroutine coalesces queued
+//     steps from different sessions into shared kernel launches
+//     (kernels.RoundBatch), so B sessions of N sub-filters each drive the
+//     device with B·N-group grids instead of B separate small launches.
+//     Batching is a pure scheduling optimization: estimates are
+//     bit-identical to unbatched stepping.
+//   - Checkpoint/restore: a session's full state — particles, weights
+//     and the exact position of every random stream — serializes to a
+//     deterministic Checkpoint; restored sessions replay bit-identically
+//     under the same seed (see checkpoint.go).
+//   - Introspection: Stats publishes per-session step counts and latency
+//     histograms, queue depth, batching effectiveness and the shared
+//     device's kernel-breakdown profile (device.Profiler.Stats).
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"esthera/internal/device"
+	"esthera/internal/exchange"
+	"esthera/internal/filter"
+	"esthera/internal/kernels"
+	"esthera/internal/model"
+	"esthera/internal/resample"
+)
+
+// Config shapes a Server.
+type Config struct {
+	// Workers sizes the shared device (0 = GOMAXPROCS).
+	Workers int
+	// MaxSessions bounds concurrent sessions (0 = 256).
+	MaxSessions int
+	// QueueDepth bounds the admission queue of pending steps (0 = 128).
+	// A full queue rejects new steps with ErrSaturated.
+	QueueDepth int
+	// MaxBatch bounds how many session steps one scheduling round
+	// coalesces into shared launches (0 = 32).
+	MaxBatch int
+	// BatchWindow is how long the scheduler waits after the first queued
+	// step for more steps to coalesce (0 = 200µs). Zero latency cost
+	// under load: the window only adds latency when the queue is
+	// near-empty, exactly when latency is cheapest.
+	BatchWindow time.Duration
+	// RetryAfter is the client back-off hint attached to ErrSaturated
+	// (0 = 5ms).
+	RetryAfter time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 256
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 128
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 32
+	}
+	if c.BatchWindow <= 0 {
+		c.BatchWindow = 200 * time.Microsecond
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = 5 * time.Millisecond
+	}
+	return c
+}
+
+// FilterSpec describes a session's filter: the model by registry name
+// plus the distributed-filter parameters (the root package's Config, in
+// serve-layer form).
+type FilterSpec struct {
+	// Model names a registered model factory ("arm", "ungm", ...).
+	Model string `json:"model"`
+	// SubFilters (N) and ParticlesPer (m) shape the network; zero values
+	// take the session-scale defaults (16 sub-filters × 64 particles).
+	SubFilters   int `json:"sub_filters,omitempty"`
+	ParticlesPer int `json:"particles_per,omitempty"`
+	// ExchangeScheme is "ring" (default), "torus", "all-to-all",
+	// "hypercube" or "none"; ExchangeCount is t.
+	ExchangeScheme string `json:"exchange_scheme,omitempty"`
+	ExchangeCount  int    `json:"exchange_count,omitempty"`
+	// Resampler is "rws" (default), "vose" or "systematic".
+	Resampler string `json:"resampler,omitempty"`
+	// Policy is "always" (default), "ess", "random" or "never".
+	Policy string `json:"policy,omitempty"`
+	// Streams is "philox" (default) or "mtgp".
+	Streams string `json:"streams,omitempty"`
+	// Estimator is "max-weight" (default) or "weighted-mean".
+	Estimator string `json:"estimator,omitempty"`
+	// Seed derives every random stream of the session.
+	Seed uint64 `json:"seed"`
+}
+
+func (sp FilterSpec) withDefaults() FilterSpec {
+	if sp.SubFilters <= 0 {
+		sp.SubFilters = 16
+	}
+	if sp.ParticlesPer <= 0 {
+		sp.ParticlesPer = 64
+	}
+	if sp.ExchangeScheme == "" {
+		sp.ExchangeScheme = "ring"
+	}
+	if sp.ExchangeScheme != "none" && sp.ExchangeCount == 0 {
+		sp.ExchangeCount = 1
+	}
+	return sp
+}
+
+// ModelFactory builds a fresh model instance for one session.
+type ModelFactory func() (model.Model, error)
+
+// Sentinel errors. ErrSaturated additionally carries a retry hint; use
+// errors.As with *SaturatedError to read it.
+var (
+	ErrNotFound        = errors.New("serve: no such session")
+	ErrClosed          = errors.New("serve: server closed")
+	ErrTooManySessions = errors.New("serve: session limit reached")
+)
+
+// SaturatedError reports that the admission queue was full: the step was
+// rejected without queuing, and the client should back off for
+// RetryAfter before retrying.
+type SaturatedError struct {
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *SaturatedError) Error() string {
+	return fmt.Sprintf("serve: saturated, retry after %v", e.RetryAfter)
+}
+
+// Server runs concurrent estimation sessions over one shared device.
+type Server struct {
+	cfg    Config
+	dev    *device.Device
+	models map[string]ModelFactory
+
+	mu       sync.RWMutex
+	sessions map[string]*Session
+	nextID   uint64
+	closed   bool
+
+	queue chan *stepReq
+	quit  chan struct{}
+	done  chan struct{}
+
+	// Scheduler counters (atomics: read by Stats concurrently).
+	batches      atomic.Int64
+	batchedSteps atomic.Int64
+	rejected     atomic.Int64
+}
+
+// NewServer starts a server with the given model registry. The caller
+// owns the registry map after return (it is copied).
+func NewServer(cfg Config, models map[string]ModelFactory) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		dev:      device.New(device.Config{Workers: cfg.Workers, LocalMemBytes: -1}),
+		models:   make(map[string]ModelFactory, len(models)),
+		sessions: make(map[string]*Session),
+		queue:    make(chan *stepReq, cfg.QueueDepth),
+		quit:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	for name, f := range models {
+		s.models[name] = f
+	}
+	go s.schedule()
+	return s
+}
+
+// Device exposes the shared device (its profiler feeds the introspection
+// endpoint).
+func (s *Server) Device() *device.Device { return s.dev }
+
+// buildFilter constructs a session filter on the shared device.
+func (s *Server) buildFilter(sp FilterSpec) (*filter.Parallel, model.Model, error) {
+	factory, ok := s.models[sp.Model]
+	if !ok {
+		known := make([]string, 0, len(s.models))
+		for name := range s.models {
+			known = append(known, name)
+		}
+		sort.Strings(known)
+		return nil, nil, fmt.Errorf("serve: unknown model %q (registered: %v)", sp.Model, known)
+	}
+	mdl, err := factory()
+	if err != nil {
+		return nil, nil, err
+	}
+	scheme, err := exchange.SchemeByName(sp.ExchangeScheme)
+	if err != nil {
+		return nil, nil, err
+	}
+	algo, err := kernels.AlgoByName(sp.Resampler)
+	if err != nil {
+		return nil, nil, err
+	}
+	policy, err := resample.PolicyByName(sp.Policy)
+	if err != nil {
+		return nil, nil, err
+	}
+	est, err := filter.EstimatorByName(sp.Estimator)
+	if err != nil {
+		return nil, nil, err
+	}
+	switch sp.Streams {
+	case "", "philox", "mtgp":
+	default:
+		return nil, nil, fmt.Errorf("serve: unknown streams %q (philox, mtgp)", sp.Streams)
+	}
+	f, err := filter.NewParallel(s.dev, mdl, filter.ParallelConfig{
+		SubFilters:    sp.SubFilters,
+		ParticlesPer:  sp.ParticlesPer,
+		Scheme:        scheme,
+		ExchangeCount: sp.ExchangeCount,
+		Resampler:     algo,
+		Policy:        policy,
+		Streams:       sp.Streams,
+		Estimator:     est,
+	}, sp.Seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, mdl, nil
+}
+
+// Create builds a new session and returns its id.
+func (s *Server) Create(sp FilterSpec) (string, error) {
+	sp = sp.withDefaults()
+	f, mdl, err := s.buildFilter(sp)
+	if err != nil {
+		return "", err
+	}
+	return s.install(sp, f, mdl)
+}
+
+// install registers a constructed session under a fresh id.
+func (s *Server) install(sp FilterSpec, f *filter.Parallel, mdl model.Model) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return "", ErrClosed
+	}
+	if len(s.sessions) >= s.cfg.MaxSessions {
+		return "", ErrTooManySessions
+	}
+	s.nextID++
+	id := fmt.Sprintf("s-%d", s.nextID)
+	s.sessions[id] = newSession(id, sp, f, mdl)
+	return id, nil
+}
+
+// lookup fetches a live session.
+func (s *Server) lookup(id string) (*Session, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	sess, ok := s.sessions[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return sess, nil
+}
+
+// StepResult is one successful Step's output.
+type StepResult struct {
+	// Step is the session's step index after this observation.
+	Step int `json:"step"`
+	// State is the estimated state vector.
+	State []float64 `json:"state"`
+	// LogWeight is the winning particle's unnormalized log-weight
+	// (max-weight estimator; 0 for weighted-mean).
+	LogWeight float64 `json:"log_weight"`
+}
+
+// Step advances session id by one observation: control u (may be nil for
+// uncontrolled models) and measurement z. Steps of one session are
+// serialized in arrival order; steps of different sessions are coalesced
+// by the batching scheduler. Returns *SaturatedError when the admission
+// queue is full.
+func (s *Server) Step(id string, u, z []float64) (StepResult, error) {
+	sess, err := s.lookup(id)
+	if err != nil {
+		return StepResult{}, err
+	}
+	if len(z) != sess.mdl.MeasurementDim() {
+		return StepResult{}, fmt.Errorf("serve: measurement has %d values, model %q needs %d",
+			len(z), sess.spec.Model, sess.mdl.MeasurementDim())
+	}
+	if cd := sess.mdl.ControlDim(); len(u) != cd && !(u == nil && cd == 0) {
+		return StepResult{}, fmt.Errorf("serve: control has %d values, model %q needs %d",
+			len(u), sess.spec.Model, cd)
+	}
+	start := time.Now()
+
+	// Serialize this session's steps: the filter is a strictly ordered
+	// Markov recursion, so a session admits one in-flight step at a time.
+	sess.stepMu.Lock()
+	defer sess.stepMu.Unlock()
+	if sess.isClosed() {
+		return StepResult{}, ErrNotFound
+	}
+
+	req := &stepReq{sess: sess, u: u, z: z, done: make(chan stepResult, 1)}
+	select {
+	case s.queue <- req:
+	default:
+		// Bounded admission: reject, never queue unboundedly.
+		s.rejected.Add(1)
+		return StepResult{}, &SaturatedError{RetryAfter: s.cfg.RetryAfter}
+	}
+	select {
+	case res := <-req.done:
+		if res.err != nil {
+			return StepResult{}, res.err
+		}
+		sess.recordStep(res.est, time.Since(start))
+		return StepResult{Step: res.step, State: res.est.State, LogWeight: res.est.LogWeight}, nil
+	case <-s.quit:
+		return StepResult{}, ErrClosed
+	}
+}
+
+// Estimate returns the session's latest estimate without stepping (zero
+// State before the first step).
+func (s *Server) Estimate(id string) (StepResult, error) {
+	sess, err := s.lookup(id)
+	if err != nil {
+		return StepResult{}, err
+	}
+	return sess.lastResult(), nil
+}
+
+// Close tears down one session. In-flight steps finish first (Close
+// waits for the session's step lock).
+func (s *Server) Close(id string) error {
+	sess, err := s.lookup(id)
+	if err != nil {
+		return err
+	}
+	sess.stepMu.Lock()
+	sess.markClosed()
+	sess.stepMu.Unlock()
+	s.mu.Lock()
+	delete(s.sessions, id)
+	s.mu.Unlock()
+	return nil
+}
+
+// Sessions returns the live session ids, sorted.
+func (s *Server) Sessions() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.sessions))
+	for id := range s.sessions {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Shutdown stops the scheduler and fails pending steps with ErrClosed.
+// Sessions become unreachable; Shutdown is idempotent.
+func (s *Server) Shutdown() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.quit)
+	<-s.done
+}

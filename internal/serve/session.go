@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"math"
+	"math/bits"
+	"sync"
+	"time"
+
+	"esthera/internal/filter"
+	"esthera/internal/model"
+)
+
+// Session is one tracked target: a filter plus serving bookkeeping.
+type Session struct {
+	id   string
+	spec FilterSpec
+	f    *filter.Parallel
+	mdl  model.Model
+
+	// stepMu serializes this session's steps (and checkpoints and close)
+	// in arrival order: the filter is a strictly ordered Markov
+	// recursion, so one step may be in flight at a time. It is held
+	// across the queue wait, which also guarantees a session never
+	// appears twice in one scheduler batch.
+	stepMu sync.Mutex
+
+	// mu guards the mutable bookkeeping below (read by Stats while the
+	// scheduler is stepping other sessions).
+	mu      sync.Mutex
+	closed  bool
+	created time.Time
+	steps   int64
+	lastEst filter.Estimate
+	lat     latencyHist
+}
+
+func newSession(id string, sp FilterSpec, f *filter.Parallel, mdl model.Model) *Session {
+	return &Session{
+		id: id, spec: sp, f: f, mdl: mdl, created: time.Now(),
+		// No estimate exists before the first step: log-weight -Inf.
+		lastEst: filter.Estimate{LogWeight: math.Inf(-1)},
+	}
+}
+
+func (sess *Session) isClosed() bool {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	return sess.closed
+}
+
+func (sess *Session) markClosed() {
+	sess.mu.Lock()
+	sess.closed = true
+	sess.mu.Unlock()
+}
+
+func (sess *Session) recordStep(est filter.Estimate, d time.Duration) {
+	sess.mu.Lock()
+	sess.steps++
+	sess.lastEst = est
+	sess.lat.observe(d)
+	sess.mu.Unlock()
+}
+
+// seedResult primes the bookkeeping of a restored session so Estimate
+// and Stats reflect the checkpointed run.
+func (sess *Session) seedResult(steps int64, est filter.Estimate) {
+	sess.mu.Lock()
+	sess.steps = steps
+	sess.lastEst = est
+	sess.mu.Unlock()
+}
+
+func (sess *Session) lastResult() StepResult {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	state := append([]float64(nil), sess.lastEst.State...)
+	return StepResult{Step: int(sess.steps), State: state, LogWeight: sess.lastEst.LogWeight}
+}
+
+// latBuckets is the histogram resolution: bucket i counts steps whose
+// end-to-end latency was < 2^i µs, so the histogram spans 1µs ..
+// ~4s in powers of two — wide enough for an 8-byte-state session on a
+// loaded box and cheap enough to publish on every introspection poll.
+const latBuckets = 23
+
+// latencyHist is a power-of-two latency histogram. Guarded by the
+// session's mu.
+type latencyHist struct {
+	counts [latBuckets]int64
+	n      int64
+	sum    time.Duration
+	max    time.Duration
+}
+
+func (h *latencyHist) observe(d time.Duration) {
+	us := d.Microseconds()
+	b := bits.Len64(uint64(us)) // 0µs → bucket 0, 1µs → 1, 2-3µs → 2, ...
+	if b >= latBuckets {
+		b = latBuckets - 1
+	}
+	h.counts[b]++
+	h.n++
+	h.sum += d
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// LatencyBucket is one histogram bin: Count steps took < UpperUS µs
+// (and at least the previous bucket's bound).
+type LatencyBucket struct {
+	UpperUS int64 `json:"le_us"`
+	Count   int64 `json:"count"`
+}
+
+// LatencyStats is the publishable snapshot of a latency histogram.
+type LatencyStats struct {
+	Count   int64           `json:"count"`
+	MeanUS  float64         `json:"mean_us"`
+	MaxUS   int64           `json:"max_us"`
+	Buckets []LatencyBucket `json:"buckets,omitempty"`
+}
+
+func (h *latencyHist) snapshot() LatencyStats {
+	st := LatencyStats{Count: h.n, MaxUS: h.max.Microseconds()}
+	if h.n > 0 {
+		st.MeanUS = float64(h.sum.Microseconds()) / float64(h.n)
+	}
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		st.Buckets = append(st.Buckets, LatencyBucket{UpperUS: 1 << i, Count: c})
+	}
+	return st
+}

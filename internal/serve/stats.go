@@ -1,0 +1,80 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"esthera/internal/device"
+)
+
+// SessionStats is one session's introspection record.
+type SessionStats struct {
+	ID      string       `json:"id"`
+	Model   string       `json:"model"`
+	Shape   string       `json:"shape"` // "N×m"
+	Steps   int64        `json:"steps"`
+	AgeMS   int64        `json:"age_ms"`
+	Latency LatencyStats `json:"latency"`
+}
+
+// Stats is the server's introspection snapshot: the /metrics payload.
+type Stats struct {
+	// Sessions lists per-session step counts and latency histograms,
+	// sorted by id.
+	Sessions []SessionStats `json:"sessions"`
+	// QueueDepth/QueueCap describe the admission queue right now.
+	QueueDepth int `json:"queue_depth"`
+	QueueCap   int `json:"queue_cap"`
+	// Rejected counts steps shed by admission control since start.
+	Rejected int64 `json:"rejected"`
+	// Batches and BatchedSteps measure scheduler coalescing:
+	// BatchedSteps/Batches is the mean batch size the device saw.
+	Batches      int64   `json:"batches"`
+	BatchedSteps int64   `json:"batched_steps"`
+	MeanBatch    float64 `json:"mean_batch"`
+	// Device is the shared device's kernel-breakdown profile.
+	Device device.Stats `json:"device"`
+}
+
+// Stats returns the introspection snapshot.
+func (s *Server) Stats() Stats {
+	s.mu.RLock()
+	sessions := make([]*Session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.mu.RUnlock()
+
+	st := Stats{
+		QueueDepth:   len(s.queue),
+		QueueCap:     s.cfg.QueueDepth,
+		Rejected:     s.rejected.Load(),
+		Batches:      s.batches.Load(),
+		BatchedSteps: s.batchedSteps.Load(),
+		Device:       s.dev.Profiler().Stats(),
+	}
+	if st.Batches > 0 {
+		st.MeanBatch = float64(st.BatchedSteps) / float64(st.Batches)
+	}
+	now := time.Now()
+	for _, sess := range sessions {
+		sess.mu.Lock()
+		rec := SessionStats{
+			ID:      sess.id,
+			Model:   sess.spec.Model,
+			Shape:   shape(sess.spec),
+			Steps:   sess.steps,
+			AgeMS:   now.Sub(sess.created).Milliseconds(),
+			Latency: sess.lat.snapshot(),
+		}
+		sess.mu.Unlock()
+		st.Sessions = append(st.Sessions, rec)
+	}
+	sort.Slice(st.Sessions, func(i, j int) bool { return st.Sessions[i].ID < st.Sessions[j].ID })
+	return st
+}
+
+func shape(sp FilterSpec) string {
+	return fmt.Sprintf("%d×%d", sp.SubFilters, sp.ParticlesPer)
+}
