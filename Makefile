@@ -1,4 +1,4 @@
-.PHONY: build test verify bench serve
+.PHONY: build test verify bench bench-json serve
 
 build:
 	go build ./...
@@ -13,6 +13,11 @@ verify:
 
 bench:
 	go test -bench=. -benchmem
+
+# Round hot-path benchmarks (unfused / fused / serve-batched) written to
+# BENCH_2.json, with the recorded pre-optimization baseline merged in.
+bench-json:
+	./scripts/bench.sh
 
 serve:
 	go run ./cmd/esthera-serve

@@ -307,6 +307,135 @@ func BenchmarkTableIIDefaults(b *testing.B) {
 	}
 }
 
+// benchRoundPath times full filtering rounds through either the unfused
+// kernel-per-launch path (Pipeline.Round) or the fused path
+// (Pipeline.RoundFused) at the paper's default 128-lane work-groups. The
+// two are bit-identical (see internal/kernels golden-trace tests); the
+// ratio between them is pure launch/synchronization overhead, the cost
+// this PR's persistent pool + kernel fusion attack. UNGM keeps per-lane
+// model work small so the sub-filter kernels stay in the
+// launch-overhead-dominated regime of Fig. 4a's left edge.
+func benchRoundPath(b *testing.B, fused bool, subFilters, particlesPer int) {
+	b.Helper()
+	m := model.NewUNGM()
+	dev := device.New(device.Config{LocalMemBytes: -1})
+	defer dev.Close()
+	top, err := exchange.NewTopology(exchange.Ring, subFilters)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pipe, err := kernels.New(dev, m, kernels.Config{
+		SubFilters:    subFilters,
+		ParticlesPer:  particlesPer,
+		ExchangeCount: 1,
+		Topology:      top,
+	}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	z := make([]float64, m.MeasurementDim())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		z[0] = 10 * math.Sin(float64(i)*0.3)
+		if fused {
+			pipe.RoundFused(nil, z, i+1)
+		} else {
+			pipe.Round(nil, z, i+1)
+		}
+	}
+	b.StopTimer()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(b.N)*float64(subFilters*particlesPer)/sec, "particles/s")
+	}
+}
+
+// BenchmarkRound is the unfused baseline: six kernels, six launches.
+func BenchmarkRound(b *testing.B) {
+	for _, n := range []int{64, 256} {
+		b.Run("n="+strconv.Itoa(n)+"/m=128", func(b *testing.B) {
+			benchRoundPath(b, false, n, 128)
+		})
+	}
+}
+
+// BenchmarkRoundFused fuses rand+sampling+local sort into one launch.
+// BENCH_2.json records the pair; the fused/unfused ratio is this PR's
+// headline number.
+func BenchmarkRoundFused(b *testing.B) {
+	for _, n := range []int{64, 256} {
+		b.Run("n="+strconv.Itoa(n)+"/m=128", func(b *testing.B) {
+			benchRoundPath(b, true, n, 128)
+		})
+	}
+}
+
+// BenchmarkRoundBatch is the serve-path variant: B concurrent sessions'
+// rounds executed either as B independent unfused rounds (what serving
+// cost before cross-session batching) or as one fused batched round
+// (kernels.RoundBatch, what the serve scheduler issues).
+func BenchmarkRoundBatch(b *testing.B) {
+	const sessions, subFilters, particlesPer = 8, 16, 128
+	mk := func(b *testing.B, dev *device.Device) []*kernels.Pipeline {
+		b.Helper()
+		ps := make([]*kernels.Pipeline, sessions)
+		for i := range ps {
+			top, err := exchange.NewTopology(exchange.Ring, subFilters)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ps[i], err = kernels.New(dev, model.NewUNGM(), kernels.Config{
+				SubFilters:    subFilters,
+				ParticlesPer:  particlesPer,
+				ExchangeCount: 1,
+				Topology:      top,
+			}, uint64(i+1))
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		return ps
+	}
+	report := func(b *testing.B) {
+		if sec := b.Elapsed().Seconds(); sec > 0 {
+			b.ReportMetric(float64(b.N)*float64(sessions*subFilters*particlesPer)/sec, "particles/s")
+		}
+	}
+	b.Run("sequential-unfused", func(b *testing.B) {
+		dev := device.New(device.Config{LocalMemBytes: -1})
+		defer dev.Close()
+		ps := mk(b, dev)
+		z := []float64{0}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			z[0] = 10 * math.Sin(float64(i)*0.3)
+			for _, p := range ps {
+				p.Round(nil, z, i+1)
+			}
+		}
+		b.StopTimer()
+		report(b)
+	})
+	b.Run("batched-fused", func(b *testing.B) {
+		dev := device.New(device.Config{LocalMemBytes: -1})
+		defer dev.Close()
+		ps := mk(b, dev)
+		batch := make([]*kernels.BatchRound, sessions)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			z := []float64{10 * math.Sin(float64(i)*0.3)}
+			for j, p := range ps {
+				batch[j] = &kernels.BatchRound{P: p, Z: z, K: i + 1}
+			}
+			if err := kernels.RoundBatch(dev, batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		report(b)
+	})
+}
+
 func byteSize(n int) string {
 	switch {
 	case n >= 1<<20 && n%(1<<20) == 0:

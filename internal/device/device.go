@@ -7,8 +7,9 @@
 // across kernel launches, and use fast local memory plus barriers within a
 // group. This package reproduces that model in Go:
 //
-//   - A Device has a number of compute units, realized as worker
-//     goroutines; work-groups of a launch are scheduled across them.
+//   - A Device has a number of compute units, realized as persistent worker
+//     goroutines started once in New (the GPU's persistent-thread idiom);
+//     work-groups of a launch are scheduled across them.
 //   - A kernel body is written in barrier-phased data-parallel form: a
 //     sequence of Step(fn) calls, where each Step runs fn once per lane
 //     and an implicit group-wide barrier separates consecutive steps —
@@ -24,7 +25,10 @@
 // Launch returns only when every work-group has finished, so a kernel may
 // read global data written by the previous kernel without further
 // synchronization, but never data written by another group in the same
-// launch.
+// launch. LaunchFused additionally lets a kernel body run several
+// logically distinct phases back to back per work-group — the kernel
+// fusion the GPU particle-filter literature applies to group-local phases
+// — while still attributing time and work to per-phase profiler entries.
 package device
 
 import (
@@ -48,6 +52,21 @@ type Device struct {
 	workers       int
 	localMemBytes int
 	prof          *Profiler
+
+	// The persistent compute-unit pool: worker goroutines started once in
+	// New, fed launches through tasks. Launch never blocks on the pool —
+	// the launching goroutine always participates in draining its own
+	// grid, so a saturated (or closed) pool degrades to caller-side
+	// execution instead of deadlocking, and nested/concurrent launches
+	// from independent goroutines make progress unconditionally.
+	tasks chan *launchTask
+	quit  chan struct{}
+	once  sync.Once
+
+	// groups recycles Group objects (and their local-memory arenas)
+	// across launches, eliminating the per-launch per-group allocations
+	// the original spawn-per-launch scheme paid.
+	groups sync.Pool
 }
 
 // Config configures a Device.
@@ -60,7 +79,7 @@ type Config struct {
 	LocalMemBytes int
 }
 
-// New creates a Device.
+// New creates a Device and starts its persistent compute units.
 func New(cfg Config) *Device {
 	w := cfg.Workers
 	if w <= 0 {
@@ -70,7 +89,42 @@ func New(cfg Config) *Device {
 	if lm == 0 {
 		lm = DefaultLocalMemBytes
 	}
-	return &Device{workers: w, localMemBytes: lm, prof: NewProfiler()}
+	d := &Device{
+		workers:       w,
+		localMemBytes: lm,
+		prof:          NewProfiler(),
+		tasks:         make(chan *launchTask, 2*w),
+		quit:          make(chan struct{}),
+	}
+	d.groups.New = func() interface{} { return &Group{} }
+	// The compute units reference only the two channels, never the Device
+	// itself, so an abandoned Device becomes unreachable, its finalizer
+	// closes quit, and the workers exit instead of leaking.
+	for i := 0; i < w; i++ {
+		go computeUnit(d.tasks, d.quit)
+	}
+	runtime.SetFinalizer(d, (*Device).Close)
+	return d
+}
+
+// Close stops the persistent compute units. It is idempotent and optional
+// (an unreachable Device is closed by a finalizer). Launch remains valid
+// after Close: the launching goroutine executes all work-groups itself.
+func (d *Device) Close() {
+	d.once.Do(func() { close(d.quit) })
+}
+
+// computeUnit is one persistent worker: it drains whole launches, one at
+// a time, until the device is closed.
+func computeUnit(tasks <-chan *launchTask, quit <-chan struct{}) {
+	for {
+		select {
+		case t := <-tasks:
+			t.drain()
+		case <-quit:
+			return
+		}
+	}
 }
 
 // Workers returns the number of compute units.
@@ -89,7 +143,8 @@ type Grid struct {
 // KernelFunc is a kernel body, executed once per work-group.
 type KernelFunc func(g *Group)
 
-// LaunchStats reports the measured cost of one kernel launch.
+// LaunchStats reports the measured cost of one kernel launch (or, for
+// LaunchFused, one phase of a fused launch).
 type LaunchStats struct {
 	Name    string
 	Grid    Grid
@@ -97,60 +152,182 @@ type LaunchStats struct {
 	Count   Counters
 }
 
+// launchTask is one in-flight kernel launch. Work-groups are claimed via
+// the atomic next counter, so any number of compute units (plus the
+// launching goroutine) can cooperatively drain one grid; every counter
+// below is task-local, so concurrent launches never interleave their
+// accounting.
+type launchTask struct {
+	dev    *Device
+	grid   Grid
+	kern   KernelFunc
+	phases int // 0 for plain launches
+
+	next    atomic.Int64 // next unclaimed group id
+	pending atomic.Int64 // groups whose results are not yet folded in
+
+	mu          sync.Mutex
+	total       Counters
+	phaseTotals []Counters
+	phaseTimes  []time.Duration
+	panics      []interface{}
+
+	done chan struct{} // closed when pending reaches zero
+}
+
+// drain claims and executes work-groups until the grid is exhausted,
+// folding this participant's accounting into the task once at the end.
+func (t *launchTask) drain() {
+	var (
+		local       Counters
+		localPhases []Counters
+		localTimes  []time.Duration
+		ran         int64
+	)
+	if t.phases > 0 {
+		localPhases = make([]Counters, t.phases)
+		localTimes = make([]time.Duration, t.phases)
+	}
+	for {
+		gid := int(t.next.Add(1)) - 1
+		if gid >= t.grid.Groups {
+			break
+		}
+		t.runGroup(gid, &local, localPhases, localTimes)
+		ran++
+	}
+	if ran == 0 {
+		return
+	}
+	t.mu.Lock()
+	t.total.Add(&local)
+	for i := range localPhases {
+		t.phaseTotals[i].Add(&localPhases[i])
+		t.phaseTimes[i] += localTimes[i]
+	}
+	t.mu.Unlock()
+	// Completion is signaled only after this participant's counters are
+	// visible, so the launcher reads a consistent total after <-done.
+	if t.pending.Add(-ran) == 0 {
+		close(t.done)
+	}
+}
+
+// runGroup executes the kernel for one work-group on a pooled Group,
+// recovering panics (e.g. local-memory overflow) so a kernel failure is
+// propagated to the launching goroutine without killing the persistent
+// worker that happened to execute it.
+func (t *launchTask) runGroup(gid int, local *Counters, lp []Counters, lt []time.Duration) {
+	g := t.dev.groups.Get().(*Group)
+	g.reset(gid, t.grid.GroupSize, t.dev.localMemBytes, t.phases)
+	defer func() {
+		if r := recover(); r != nil {
+			t.mu.Lock()
+			t.panics = append(t.panics, r)
+			t.mu.Unlock()
+		}
+		g.finish(local, lp, lt)
+		t.dev.groups.Put(g)
+	}()
+	t.kern(g)
+}
+
+// start validates the grid, builds the task, and wakes up to
+// min(workers, groups) - 1 pool workers; the caller is always the final
+// participant and must call t.drain() followed by <-t.done.
+func (d *Device) start(grid Grid, phases int, k KernelFunc) *launchTask {
+	if grid.Groups <= 0 || grid.GroupSize <= 0 {
+		panic(fmt.Sprintf("device: invalid grid %+v", grid))
+	}
+	t := &launchTask{dev: d, grid: grid, kern: k, phases: phases, done: make(chan struct{})}
+	t.pending.Store(int64(grid.Groups))
+	if phases > 0 {
+		t.phaseTotals = make([]Counters, phases)
+		t.phaseTimes = make([]time.Duration, phases)
+	}
+	helpers := d.workers - 1
+	if helpers > grid.Groups-1 {
+		helpers = grid.Groups - 1
+	}
+	for i := 0; i < helpers; i++ {
+		select {
+		case d.tasks <- t:
+		default:
+			// Pool submission queue is full (deep concurrent launches):
+			// the remaining groups are drained by the caller and by
+			// whichever workers free up to take the queued references.
+			return t
+		}
+	}
+	return t
+}
+
+// finish waits for completion and propagates the first kernel panic.
+func (t *launchTask) finish() {
+	t.drain()
+	<-t.done
+	if len(t.panics) > 0 {
+		panic(t.panics[0])
+	}
+}
+
 // Launch runs the kernel over the grid, blocking until all work-groups
 // complete, and records the launch under name in the profiler.
 //
 // Work-groups may be executed in any order and concurrently; a kernel must
 // only write global data that no other group of the same launch touches.
+// Launch is safe to call from concurrent goroutines: each launch's
+// accounting is isolated, and the launching goroutine always participates
+// in executing its own grid, so progress never depends on pool capacity.
 func (d *Device) Launch(name string, grid Grid, k KernelFunc) LaunchStats {
-	if grid.Groups <= 0 || grid.GroupSize <= 0 {
-		panic(fmt.Sprintf("device: invalid grid %+v", grid))
-	}
-	var (
-		next   int64 = 0
-		total  Counters
-		mu     sync.Mutex
-		wg     sync.WaitGroup
-		panics []interface{}
-	)
 	start := time.Now()
-	workers := d.workers
-	if workers > grid.Groups {
-		workers = grid.Groups
-	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			var local Counters
-			defer func() {
-				// Propagate kernel panics (e.g. local-memory overflow)
-				// to the launching goroutine instead of crashing the
-				// process from a worker.
-				r := recover()
-				mu.Lock()
-				total.Add(&local)
-				if r != nil {
-					panics = append(panics, r)
-				}
-				mu.Unlock()
-				wg.Done()
-			}()
-			for {
-				gid := int(atomic.AddInt64(&next, 1)) - 1
-				if gid >= grid.Groups {
-					break
-				}
-				g := &Group{id: gid, size: grid.GroupSize, localMemCap: d.localMemBytes}
-				k(g)
-				local.Add(&g.count)
-			}
-		}()
-	}
-	wg.Wait()
-	if len(panics) > 0 {
-		panic(panics[0])
-	}
-	stats := LaunchStats{Name: name, Grid: grid, Elapsed: time.Since(start), Count: total}
+	t := d.start(grid, 0, k)
+	t.finish()
+	stats := LaunchStats{Name: name, Grid: grid, Elapsed: time.Since(start), Count: t.total}
 	d.prof.record(stats)
 	return stats
+}
+
+// LaunchFused runs one kernel body that executes several logically
+// distinct phases back to back per work-group — the kernel-fusion
+// optimization for group-local pipelines, where only the trailing global
+// barrier is semantically required and the intermediate launch
+// boundaries were pure overhead. The body selects the active phase with
+// Group.Phase(i); work accounted before the first Phase call lands in
+// phase 0.
+//
+// The launch is recorded in the profiler as one entry per phase name:
+// each phase receives its exact work counters and a share of the
+// launch's wall-clock time proportional to the CPU time its sections
+// consumed across all groups, so kernel-breakdown experiments (Fig. 4)
+// see the same per-phase attribution as with separate launches. The
+// returned slice holds the per-phase stats in phase order.
+func (d *Device) LaunchFused(phases []string, grid Grid, k KernelFunc) []LaunchStats {
+	if len(phases) == 0 {
+		panic("device: LaunchFused requires at least one phase name")
+	}
+	start := time.Now()
+	t := d.start(grid, len(phases), k)
+	t.finish()
+	wall := time.Since(start)
+
+	var busy time.Duration
+	for _, pt := range t.phaseTimes {
+		busy += pt
+	}
+	out := make([]LaunchStats, len(phases))
+	var attributed time.Duration
+	for i, name := range phases {
+		share := wall / time.Duration(len(phases))
+		if busy > 0 {
+			share = time.Duration(float64(wall) * (float64(t.phaseTimes[i]) / float64(busy)))
+		}
+		if i == len(phases)-1 {
+			share = wall - attributed // exact: shares sum to the wall time
+		}
+		attributed += share
+		out[i] = LaunchStats{Name: name, Grid: grid, Elapsed: share, Count: t.phaseTotals[i]}
+		d.prof.record(out[i])
+	}
+	return out
 }

@@ -1,6 +1,9 @@
 package device
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 // Ctx is the data-parallel execution context a barrier-phased algorithm
 // runs against. The parallel primitives (internal/scan, internal/sortnet)
@@ -15,6 +18,14 @@ type Ctx interface {
 	// communicate: fn(i) may not read data written by fn(j) of the same
 	// step (on a real device the lanes run concurrently).
 	Step(fn func(lane int))
+	// StepSpan is Step with the per-lane dispatch hoisted out: fn is
+	// invoked once and must itself loop lane over [lo, hi) in ascending
+	// order, performing exactly the work Step's per-lane body would. It
+	// costs the same barrier and lane-invocation accounting as Step and
+	// carries the same non-communication contract; it exists so tight
+	// inner bodies (a sorting network's compare-exchange stage, a scan's
+	// tree level) avoid an indirect call per lane on the simulation host.
+	StepSpan(fn func(lo, hi int))
 	// Ops accounts n arithmetic operations (for the cost model).
 	Ops(n int)
 	// GlobalRead / GlobalWrite account off-chip memory traffic in bytes.
@@ -23,6 +34,14 @@ type Ctx interface {
 	// LocalRead / LocalWrite account scratch-pad traffic in bytes.
 	LocalRead(bytes int)
 	LocalWrite(bytes int)
+	// ScratchF64 / ScratchInt return zeroed length-n temporary buffers
+	// for primitive-internal working state (padding, reduction trees).
+	// Unlike AllocLocal*, scratch is NOT accounted against the group's
+	// local-memory capacity — it models register/unified space a real
+	// kernel would already hold — but like local memory it is recycled,
+	// so the barrier-phased primitives run allocation-free.
+	ScratchF64(n int) []float64
+	ScratchInt(n int) []int
 }
 
 // Counters aggregates the accounted work of one or more kernel executions.
@@ -59,13 +78,132 @@ func (c *Counters) GlobalBytes() int64 { return c.GlobalReadBytes + c.GlobalWrit
 
 // Group is one work-group of a kernel launch: a block of lanes sharing
 // local memory and barriers. It implements Ctx with full instrumentation.
+//
+// Group objects are pooled by the Device and recycled across launches:
+// local-memory buffers are carved out of per-Group arenas that persist
+// between kernel executions (and are re-zeroed on allocation), so steady-
+// state kernel rounds run allocation-free.
 type Group struct {
 	id          int
 	size        int
 	localMemCap int // bytes; negative = unlimited
 	localAlloc  int
 	inSerial    bool
-	count       Counters
+
+	// cur is the accounting target: &count for plain launches, or the
+	// active phase's counters inside a fused launch.
+	cur   *Counters
+	count Counters
+
+	// steps/lanes batch the per-Step barrier bookkeeping; they are folded
+	// into cur once per phase transition / kernel completion instead of
+	// touching the Counters struct on every Step.
+	steps int64
+	lanes int64
+
+	// Fused-launch phase attribution. Phase wall-clock is sampled: only
+	// every eighth group (by ID, always including group 0) reads the
+	// clock, keeping the fused hot path free of per-phase timer calls;
+	// the sampled per-phase shares are representative because groups run
+	// the same kernel body.
+	fused       bool
+	timed       bool
+	phase       int
+	phaseStart  time.Time
+	phaseCounts []Counters
+	phaseTimes  []time.Duration
+
+	// Local-memory arenas, recycled across kernel executions.
+	arenaF64               []float64
+	arenaInt               []int
+	arenaU32               []uint32
+	offF64, offInt, offU32 int
+
+	// Scratch arenas (unaccounted temporary space; see Ctx.ScratchF64).
+	scratchF64             []float64
+	scratchInt             []int
+	scrOffF64, scrOffInt   int
+}
+
+// reset prepares a pooled Group for one kernel execution.
+func (g *Group) reset(id, size, localMemCap, phases int) {
+	g.id = id
+	g.size = size
+	g.localMemCap = localMemCap
+	g.localAlloc = 0
+	g.inSerial = false
+	g.count = Counters{}
+	g.steps, g.lanes = 0, 0
+	g.offF64, g.offInt, g.offU32 = 0, 0, 0
+	g.scrOffF64, g.scrOffInt = 0, 0
+	g.fused = phases > 0
+	if !g.fused {
+		g.cur = &g.count
+		return
+	}
+	if cap(g.phaseCounts) < phases {
+		g.phaseCounts = make([]Counters, phases)
+		g.phaseTimes = make([]time.Duration, phases)
+	}
+	g.phaseCounts = g.phaseCounts[:phases]
+	g.phaseTimes = g.phaseTimes[:phases]
+	for i := range g.phaseCounts {
+		g.phaseCounts[i] = Counters{}
+		g.phaseTimes[i] = 0
+	}
+	g.phase = 0
+	g.cur = &g.phaseCounts[0]
+	g.timed = id&7 == 0
+	if g.timed {
+		g.phaseStart = time.Now()
+	}
+}
+
+// flushSteps folds the batched barrier counters into the active target.
+func (g *Group) flushSteps() {
+	g.cur.Steps += g.steps
+	g.cur.LaneInvocations += g.lanes
+	g.steps, g.lanes = 0, 0
+}
+
+// Phase switches accounting to phase i of a fused launch (see
+// Device.LaunchFused). Work accounted before the first Phase call lands
+// in phase 0. Phases may be revisited; their counters accumulate.
+func (g *Group) Phase(i int) {
+	if !g.fused {
+		panic("device: Group.Phase outside LaunchFused")
+	}
+	if i < 0 || i >= len(g.phaseCounts) {
+		panic(fmt.Sprintf("device: phase %d out of range (fused launch has %d phases)", i, len(g.phaseCounts)))
+	}
+	g.flushSteps()
+	if g.timed {
+		now := time.Now()
+		g.phaseTimes[g.phase] += now.Sub(g.phaseStart)
+		g.phaseStart = now
+	}
+	g.phase = i
+	g.cur = &g.phaseCounts[i]
+}
+
+// finish closes out one kernel execution, folding this group's accounting
+// into the participant-local accumulators.
+func (g *Group) finish(local *Counters, lp []Counters, lt []time.Duration) {
+	g.flushSteps()
+	if !g.fused {
+		local.Add(&g.count)
+		return
+	}
+	if g.timed {
+		g.phaseTimes[g.phase] += time.Since(g.phaseStart)
+	}
+	for i := range g.phaseCounts {
+		local.Add(&g.phaseCounts[i])
+		lp[i].Add(&g.phaseCounts[i])
+		if g.timed {
+			lt[i] += g.phaseTimes[i]
+		}
+	}
 }
 
 // ID returns the work-group index within the launch grid.
@@ -83,8 +221,16 @@ func (g *Group) Step(fn func(lane int)) {
 	for lane := 0; lane < g.size; lane++ {
 		fn(lane)
 	}
-	g.count.Steps++
-	g.count.LaneInvocations += int64(g.size)
+	g.steps++
+	g.lanes += int64(g.size)
+}
+
+// StepSpan executes fn once over the full lane range [0, Lanes()) with a
+// trailing barrier; see Ctx.StepSpan.
+func (g *Group) StepSpan(fn func(lo, hi int)) {
+	fn(0, g.size)
+	g.steps++
+	g.lanes += int64(g.size)
 }
 
 // StepOne executes fn on lane 0 only (the "if (tid == 0)" idiom), still
@@ -93,8 +239,8 @@ func (g *Group) Step(fn func(lane int)) {
 // kernel would distribute across lanes, such as block PRNG generation).
 func (g *Group) StepOne(fn func()) {
 	fn()
-	g.count.Steps++
-	g.count.LaneInvocations++
+	g.steps++
+	g.lanes++
 }
 
 // StepSerial executes fn on lane 0 with all other lanes idle, and
@@ -106,38 +252,38 @@ func (g *Group) StepSerial(fn func()) {
 	g.inSerial = true
 	fn()
 	g.inSerial = false
-	g.count.Steps++
-	g.count.LaneInvocations++
+	g.steps++
+	g.lanes++
 }
 
 // Ops accounts n arithmetic operations (serial ops inside StepSerial).
 func (g *Group) Ops(n int) {
 	if g.inSerial {
-		g.count.SerialOps += int64(n)
+		g.cur.SerialOps += int64(n)
 		return
 	}
-	g.count.Ops += int64(n)
+	g.cur.Ops += int64(n)
 }
 
 // GlobalRead accounts bytes read from global memory.
-func (g *Group) GlobalRead(bytes int) { g.count.GlobalReadBytes += int64(bytes) }
+func (g *Group) GlobalRead(bytes int) { g.cur.GlobalReadBytes += int64(bytes) }
 
 // GlobalWrite accounts bytes written to global memory.
-func (g *Group) GlobalWrite(bytes int) { g.count.GlobalWriteBytes += int64(bytes) }
+func (g *Group) GlobalWrite(bytes int) { g.cur.GlobalWriteBytes += int64(bytes) }
 
 // LocalRead accounts bytes read from local memory.
-func (g *Group) LocalRead(bytes int) { g.count.LocalReadBytes += int64(bytes) }
+func (g *Group) LocalRead(bytes int) { g.cur.LocalReadBytes += int64(bytes) }
 
 // LocalWrite accounts bytes written to local memory.
-func (g *Group) LocalWrite(bytes int) { g.count.LocalWriteBytes += int64(bytes) }
+func (g *Group) LocalWrite(bytes int) { g.cur.LocalWriteBytes += int64(bytes) }
 
 // allocLocal accounts a local-memory allocation of n bytes, panicking if
 // the group's capacity is exceeded — the same hard failure a CUDA kernel
 // hits when its static shared-memory demand exceeds the SM's scratch pad.
 func (g *Group) allocLocal(n int) {
 	g.localAlloc += n
-	if g.count.LocalAllocBytes < int64(g.localAlloc) {
-		g.count.LocalAllocBytes = int64(g.localAlloc)
+	if g.cur.LocalAllocBytes < int64(g.localAlloc) {
+		g.cur.LocalAllocBytes = int64(g.localAlloc)
 	}
 	if g.localMemCap >= 0 && g.localAlloc > g.localMemCap {
 		panic(fmt.Sprintf("device: local memory overflow: %d bytes requested, capacity %d",
@@ -145,23 +291,96 @@ func (g *Group) allocLocal(n int) {
 	}
 }
 
-// AllocLocalF64 allocates a local-memory float64 buffer of length n.
+// AllocLocalF64 allocates a zeroed local-memory float64 buffer of length
+// n, carved from the group's recycled arena.
 func (g *Group) AllocLocalF64(n int) []float64 {
 	g.allocLocal(8 * n)
-	return make([]float64, n)
+	if len(g.arenaF64)-g.offF64 < n {
+		// Previously returned slices keep referencing the old backing
+		// array; allocations continue in the fresh, larger one.
+		g.arenaF64 = make([]float64, arenaSize(len(g.arenaF64), n))
+		g.offF64 = 0
+	}
+	s := g.arenaF64[g.offF64 : g.offF64+n : g.offF64+n]
+	g.offF64 += n
+	for i := range s {
+		s[i] = 0
+	}
+	return s
 }
 
-// AllocLocalU32 allocates a local-memory uint32 buffer of length n.
+// AllocLocalU32 allocates a zeroed local-memory uint32 buffer of length n.
 func (g *Group) AllocLocalU32(n int) []uint32 {
 	g.allocLocal(4 * n)
-	return make([]uint32, n)
+	if len(g.arenaU32)-g.offU32 < n {
+		g.arenaU32 = make([]uint32, arenaSize(len(g.arenaU32), n))
+		g.offU32 = 0
+	}
+	s := g.arenaU32[g.offU32 : g.offU32+n : g.offU32+n]
+	g.offU32 += n
+	for i := range s {
+		s[i] = 0
+	}
+	return s
 }
 
-// AllocLocalInt allocates a local-memory index buffer of length n,
+// AllocLocalInt allocates a zeroed local-memory index buffer of length n,
 // accounted at 4 bytes per element (device indices are 32-bit).
 func (g *Group) AllocLocalInt(n int) []int {
 	g.allocLocal(4 * n)
-	return make([]int, n)
+	if len(g.arenaInt)-g.offInt < n {
+		g.arenaInt = make([]int, arenaSize(len(g.arenaInt), n))
+		g.offInt = 0
+	}
+	s := g.arenaInt[g.offInt : g.offInt+n : g.offInt+n]
+	g.offInt += n
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// ScratchF64 returns a zeroed length-n temporary buffer from the group's
+// recycled (unaccounted) scratch arena.
+func (g *Group) ScratchF64(n int) []float64 {
+	if len(g.scratchF64)-g.scrOffF64 < n {
+		g.scratchF64 = make([]float64, arenaSize(len(g.scratchF64), n))
+		g.scrOffF64 = 0
+	}
+	s := g.scratchF64[g.scrOffF64 : g.scrOffF64+n : g.scrOffF64+n]
+	g.scrOffF64 += n
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// ScratchInt returns a zeroed length-n temporary buffer from the group's
+// recycled (unaccounted) scratch arena.
+func (g *Group) ScratchInt(n int) []int {
+	if len(g.scratchInt)-g.scrOffInt < n {
+		g.scratchInt = make([]int, arenaSize(len(g.scratchInt), n))
+		g.scrOffInt = 0
+	}
+	s := g.scratchInt[g.scrOffInt : g.scrOffInt+n : g.scrOffInt+n]
+	g.scrOffInt += n
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// arenaSize picks the next arena capacity: at least double, at least the
+// request, and never trivially small.
+func arenaSize(have, need int) int {
+	n := 2 * have
+	if n < need {
+		n = need
+	}
+	if n < 64 {
+		n = 64
+	}
+	return n
 }
 
 // Serial is a plain sequential Ctx with no instrumentation and no local
@@ -181,6 +400,9 @@ func (s Serial) Step(fn func(lane int)) {
 	}
 }
 
+// StepSpan executes fn once over the full lane range.
+func (s Serial) StepSpan(fn func(lo, hi int)) { fn(0, s.N) }
+
 // Ops is a no-op.
 func (s Serial) Ops(int) {}
 
@@ -195,6 +417,12 @@ func (s Serial) LocalRead(int) {}
 
 // LocalWrite is a no-op.
 func (s Serial) LocalWrite(int) {}
+
+// ScratchF64 returns a fresh zeroed buffer (no recycling sequentially).
+func (s Serial) ScratchF64(n int) []float64 { return make([]float64, n) }
+
+// ScratchInt returns a fresh zeroed buffer.
+func (s Serial) ScratchInt(n int) []int { return make([]int, n) }
 
 var (
 	_ Ctx = (*Group)(nil)

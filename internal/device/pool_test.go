@@ -1,0 +1,239 @@
+package device
+
+import (
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentLaunchesIsolateCounters drives many launches from
+// concurrent goroutines (the serving layer's access pattern) and checks
+// that every launch's returned stats reflect exactly its own grid's work
+// — the persistent pool must never interleave accounting across
+// in-flight launches. Run under -race by scripts/verify.sh.
+func TestConcurrentLaunchesIsolateCounters(t *testing.T) {
+	d := New(Config{Workers: 4, LocalMemBytes: -1})
+	defer d.Close()
+	const launchers = 8
+	const rounds = 25
+	var wg sync.WaitGroup
+	for l := 0; l < launchers; l++ {
+		wg.Add(1)
+		go func(l int) {
+			defer wg.Done()
+			// Each launcher uses a distinct per-lane op count so cross-talk
+			// between launches would change some launch's total.
+			opsPerLane := l + 1
+			groups := 3 + l
+			size := 4 + l
+			for r := 0; r < rounds; r++ {
+				stats := d.Launch("iso-"+strconv.Itoa(l), Grid{Groups: groups, GroupSize: size}, func(g *Group) {
+					g.Step(func(lane int) {
+						g.Ops(opsPerLane)
+						g.GlobalRead(8)
+					})
+				})
+				wantOps := int64(groups * size * opsPerLane)
+				if stats.Count.Ops != wantOps {
+					t.Errorf("launcher %d round %d: ops = %d, want %d", l, r, stats.Count.Ops, wantOps)
+					return
+				}
+				if stats.Count.GlobalReadBytes != int64(groups*size*8) {
+					t.Errorf("launcher %d: global reads = %d", l, stats.Count.GlobalReadBytes)
+					return
+				}
+				if stats.Count.Steps != int64(groups) {
+					t.Errorf("launcher %d: steps = %d, want %d", l, stats.Count.Steps, groups)
+					return
+				}
+			}
+		}(l)
+	}
+	wg.Wait()
+}
+
+// TestLaunchFewerGroupsThanWorkers exercises repeated launches whose
+// grids are smaller than the pool — each launch must still run every
+// group exactly once and aggregate exact counters.
+func TestLaunchFewerGroupsThanWorkers(t *testing.T) {
+	d := New(Config{Workers: 16})
+	defer d.Close()
+	for round := 0; round < 50; round++ {
+		for _, groups := range []int{1, 2, 3} {
+			var mu sync.Mutex
+			hits := make([]int, groups)
+			stats := d.Launch("small", Grid{Groups: groups, GroupSize: 2}, func(g *Group) {
+				mu.Lock()
+				hits[g.ID()]++
+				mu.Unlock()
+				g.Step(func(lane int) { g.Ops(1) })
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("groups=%d: group %d executed %d times", groups, i, h)
+				}
+			}
+			if stats.Count.Ops != int64(groups*2) {
+				t.Fatalf("groups=%d: ops = %d, want %d", groups, stats.Count.Ops, groups*2)
+			}
+		}
+	}
+}
+
+// TestLaunchAfterClose verifies the degraded mode: with the pool stopped,
+// the launching goroutine drains the whole grid itself.
+func TestLaunchAfterClose(t *testing.T) {
+	d := New(Config{Workers: 4})
+	d.Close()
+	d.Close() // idempotent
+	var mu sync.Mutex
+	seen := 0
+	stats := d.Launch("after-close", Grid{Groups: 9, GroupSize: 3}, func(g *Group) {
+		mu.Lock()
+		seen++
+		mu.Unlock()
+		g.Step(func(lane int) { g.Ops(1) })
+	})
+	if seen != 9 {
+		t.Fatalf("executed %d groups, want 9", seen)
+	}
+	if stats.Count.Ops != 27 {
+		t.Fatalf("ops = %d, want 27", stats.Count.Ops)
+	}
+}
+
+// TestPanicDoesNotKillPool asserts that a kernel panic propagates to the
+// launcher while the persistent workers survive to run later launches.
+func TestPanicDoesNotKillPool(t *testing.T) {
+	d := New(Config{Workers: 4, LocalMemBytes: 64})
+	defer d.Close()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected overflow panic to propagate")
+			}
+		}()
+		d.Launch("boom", Grid{Groups: 8, GroupSize: 4}, func(g *Group) {
+			g.AllocLocalF64(64) // 512 bytes > 64-byte capacity
+		})
+	}()
+	// The pool must still be fully functional.
+	stats := d.Launch("alive", Grid{Groups: 8, GroupSize: 4}, func(g *Group) {
+		g.Step(func(lane int) { g.Ops(1) })
+	})
+	if stats.Count.Ops != 32 {
+		t.Fatalf("post-panic launch ops = %d, want 32", stats.Count.Ops)
+	}
+}
+
+// TestPooledLocalMemoryIsZeroed writes garbage into local allocations and
+// verifies that recycled arena memory is handed out zeroed, like a fresh
+// make — kernels may rely on zero initialization.
+func TestPooledLocalMemoryIsZeroed(t *testing.T) {
+	d := New(Config{Workers: 1, LocalMemBytes: -1})
+	defer d.Close()
+	for round := 0; round < 5; round++ {
+		d.Launch("dirty", Grid{Groups: 4, GroupSize: 8}, func(g *Group) {
+			f := g.AllocLocalF64(32)
+			n := g.AllocLocalInt(32)
+			u := g.AllocLocalU32(32)
+			for i := range f {
+				if f[i] != 0 || n[i] != 0 || u[i] != 0 {
+					t.Errorf("round %d: recycled local memory not zeroed at %d: %v %v %v",
+						round, i, f[i], n[i], u[i])
+					return
+				}
+				f[i] = 3.25
+				n[i] = -7
+				u[i] = 0xDEADBEEF
+			}
+		})
+	}
+}
+
+// TestLaunchFusedPhaseAttribution checks that a fused launch records one
+// profiler entry per phase with that phase's exact work counters, and
+// that the phase elapsed times sum to the launch wall time.
+func TestLaunchFusedPhaseAttribution(t *testing.T) {
+	d := New(Config{Workers: 3, LocalMemBytes: -1})
+	defer d.Close()
+	const groups, size = 6, 8
+	stats := d.LaunchFused([]string{"alpha", "beta"}, Grid{Groups: groups, GroupSize: size}, func(g *Group) {
+		g.Phase(0)
+		g.Step(func(lane int) {
+			g.Ops(2)
+			g.GlobalRead(8)
+		})
+		g.Phase(1)
+		g.Step(func(lane int) { g.Ops(5) })
+		g.Step(func(lane int) { g.LocalWrite(4) })
+	})
+	if len(stats) != 2 {
+		t.Fatalf("got %d phase stats, want 2", len(stats))
+	}
+	if stats[0].Name != "alpha" || stats[1].Name != "beta" {
+		t.Fatalf("phase names = %q, %q", stats[0].Name, stats[1].Name)
+	}
+	if got, want := stats[0].Count.Ops, int64(groups*size*2); got != want {
+		t.Errorf("alpha ops = %d, want %d", got, want)
+	}
+	if got, want := stats[1].Count.Ops, int64(groups*size*5); got != want {
+		t.Errorf("beta ops = %d, want %d", got, want)
+	}
+	if got, want := stats[0].Count.Steps, int64(groups); got != want {
+		t.Errorf("alpha steps = %d, want %d", got, want)
+	}
+	if got, want := stats[1].Count.Steps, int64(groups*2); got != want {
+		t.Errorf("beta steps = %d, want %d", got, want)
+	}
+	if stats[0].Count.GlobalReadBytes != int64(groups*size*8) {
+		t.Errorf("alpha global reads = %d", stats[0].Count.GlobalReadBytes)
+	}
+	if stats[1].Count.GlobalReadBytes != 0 {
+		t.Errorf("beta global reads = %d, want 0", stats[1].Count.GlobalReadBytes)
+	}
+
+	// Both phases appear in the profiler, and their summed elapsed equals
+	// the total the profiler accumulated for this device.
+	snap := d.Profiler().Snapshot()
+	names := map[string]KernelStats{}
+	for _, e := range snap {
+		names[e.Name] = e
+	}
+	for _, want := range []string{"alpha", "beta"} {
+		e, ok := names[want]
+		if !ok {
+			t.Fatalf("profiler missing fused phase %q", want)
+		}
+		if e.Launches != 1 {
+			t.Errorf("%s launches = %d, want 1", want, e.Launches)
+		}
+	}
+	var sum time.Duration
+	for _, s := range stats {
+		if s.Elapsed < 0 {
+			t.Errorf("%s elapsed negative: %v", s.Name, s.Elapsed)
+		}
+		sum += s.Elapsed
+	}
+	if total := d.Profiler().Total(); total != sum {
+		t.Errorf("phase elapsed sum %v != profiler total %v", sum, total)
+	}
+}
+
+// TestFusedPanicPropagates ensures fused launches keep the panic
+// contract.
+func TestFusedPanicPropagates(t *testing.T) {
+	d := New(Config{Workers: 2, LocalMemBytes: 32})
+	defer d.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected fused overflow panic")
+		}
+	}()
+	d.LaunchFused([]string{"a", "b"}, Grid{Groups: 2, GroupSize: 2}, func(g *Group) {
+		g.Phase(1)
+		g.AllocLocalF64(16)
+	})
+}

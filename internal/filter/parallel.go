@@ -78,10 +78,12 @@ func (f *Parallel) Reset(seed uint64) {
 	f.p.Reset(seed)
 }
 
-// Step implements Filter.
+// Step implements Filter. It drives the fused round (kernels.Pipeline.
+// RoundFused): bit-identical to the unfused kernel-per-launch sequence,
+// but with the group-local phases collapsed into one launch.
 func (f *Parallel) Step(u, z []float64) Estimate {
 	f.k++
-	state, lw := f.p.Round(u, z, f.k)
+	state, lw := f.p.RoundFused(u, z, f.k)
 	return Estimate{State: state, LogWeight: lw}
 }
 

@@ -26,7 +26,10 @@ type BatchRound struct {
 // scheduler uses to keep a shared device saturated: B sessions of N
 // sub-filters each become launches of B·N work-groups, so the device's
 // workers drain one large grid instead of B small ones with B launch
-// barriers per kernel.
+// barriers per kernel. The group-local kernels additionally run fused
+// (see Pipeline.RoundFused), so one round of B sessions costs a single
+// shared launch for rand+sampling+local sort plus one shared resampling
+// launch, instead of 4·B.
 //
 // The estimate and exchange kernels involve pipeline-global reductions
 // (a single-group reduction launch, and topology-dependent neighbor
@@ -69,7 +72,11 @@ func RoundBatch(dev *device.Device, batch []*BatchRound) error {
 }
 
 // roundMerged runs one round for a set of pipelines sharing work-group
-// size m, with one merged launch per per-sub-filter kernel.
+// size m. The three group-local kernels (rand, sampling, local sort) of
+// all pipelines run as one merged *fused* launch — the batched serving
+// path compounds both optimizations: B·N work-groups share a single grid
+// (one launch instead of B), and the grid runs one fused body instead of
+// three barrier-separated kernels (one launch instead of 3·B).
 func roundMerged(dev *device.Device, m int, part []*BatchRound) {
 	// Flat map from merged group id to (batch entry, local sub-filter).
 	type slot struct{ e, s int }
@@ -81,27 +88,12 @@ func roundMerged(dev *device.Device, m int, part []*BatchRound) {
 	}
 	grid := device.Grid{Groups: len(groups), GroupSize: m}
 
-	dev.Launch("rand", grid, func(g *device.Group) {
-		sl := groups[g.ID()]
-		part[sl.e].P.randGroup(g, sl.s)
-	})
-
-	dev.Launch("sampling", grid, func(g *device.Group) {
+	dev.LaunchFused(fusedPhases, grid, func(g *device.Group) {
 		sl := groups[g.ID()]
 		e := part[sl.e]
-		e.P.sampleGroup(g, sl.s, e.U, e.Z, e.K)
+		e.P.fusedGroup(g, sl.s, e.U, e.Z, e.K)
 	})
-	for _, e := range part {
-		e.P.x, e.P.x2 = e.P.x2, e.P.x
-	}
-
-	dev.Launch("local sort", grid, func(g *device.Group) {
-		sl := groups[g.ID()]
-		part[sl.e].P.sortGroup(g, sl.s)
-	})
-	for _, e := range part {
-		e.P.x, e.P.x2 = e.P.x2, e.P.x
-	}
+	// No buffer swaps: each pipeline's fused body chains x → x2 → x.
 
 	// Global estimate and particle exchange reduce across a pipeline's
 	// whole sub-filter network; they stay per-pipeline.

@@ -35,6 +35,32 @@ func (p *Pipeline) randGroup(g *device.Group, s int) {
 	})
 }
 
+// fusedPhases names the group-local phases of a fused round in launch
+// order; the indices are the Group.Phase arguments used by fusedGroup.
+// The names match the separate launches exactly, so the profiler's
+// per-kernel breakdown is unchanged by fusion.
+var fusedPhases = []string{"rand", "sampling", "local sort"}
+
+// fusedGroup runs the three group-local kernel bodies (rand → sample /
+// weight → local sort) back to back for sub-filter s, as one fused kernel
+// execution. The phases only touch the sub-filter's own slice of global
+// memory and its private random stream, so the launch boundaries the
+// unfused path places between them are pure synchronization overhead —
+// only the barrier *after* local sort is load-bearing (estimate and
+// exchange read across groups). Buffers chain explicitly (x → x2 → x), so
+// the fused round needs no double-buffer swaps for these phases and ends
+// in the same buffer state as the unfused sequence of launches + swaps;
+// per-phase RNG consumption order is untouched, keeping results
+// bit-identical.
+func (p *Pipeline) fusedGroup(g *device.Group, s int, u, z []float64, k int) {
+	g.Phase(0)
+	p.randGroup(g, s)
+	g.Phase(1)
+	p.sampleGroup(g, s, u, z, k, p.x, p.x2)
+	g.Phase(2)
+	p.sortGroup(g, s, p.x2, p.x)
+}
+
 // KernelSampleWeight is kernel 2 (§VI-B): propagate every particle
 // through the state-transition model using the buffered random words and
 // assign its importance weight from the measurement. Sampling and
@@ -42,34 +68,38 @@ func (p *Pipeline) randGroup(g *device.Group, s int) {
 // sampling and importance weight calculation in one kernel").
 func (p *Pipeline) KernelSampleWeight(u, z []float64, k int) {
 	p.dev.Launch("sampling", p.grid(), func(g *device.Group) {
-		p.sampleGroup(g, g.ID(), u, z, k)
+		p.sampleGroup(g, g.ID(), u, z, k, p.x, p.x2)
 	})
 	p.x, p.x2 = p.x2, p.x
 }
 
-// sampleGroup is KernelSampleWeight's work-group body for sub-filter s.
-// The caller swaps the double buffer after the launch completes.
-func (p *Pipeline) sampleGroup(g *device.Group, s int, u, z []float64, k int) {
+// sampleGroup is KernelSampleWeight's work-group body for sub-filter s,
+// reading particle states from xin and writing propagated states to
+// xout. The unfused caller passes the double buffer halves and swaps them
+// after the launch completes; the fused round chains buffers explicitly.
+func (p *Pipeline) sampleGroup(g *device.Group, s int, u, z []float64, k int, xin, xout []float64) {
 	m := p.cfg.ParticlesPer
 	dim := p.dim
 	r := p.rands[s]
 	base := s * m * dim
-	g.Step(func(lane int) {
-		src := p.x[base+lane*dim : base+(lane+1)*dim]
-		dst := p.x2[base+lane*dim : base+(lane+1)*dim]
-		p.mdl.Step(dst, src, u, k, r)
-		p.logw[s*m+lane] += p.mdl.LogLikelihood(dst, z)
-		g.GlobalRead(8 * dim)
-		g.GlobalWrite(8*dim + 8)
-		// Propagation draws ~one normal per state dimension (log,
-		// sqrt, sincos via Box-Muller) and the likelihood evaluates
-		// the transcendental-heavy measurement equations (the arm's
-		// rotation chain): ~160 flops per state dimension, which
-		// makes sampling compute-bound on GPUs — the Fig. 4c effect
-		// where the model increasingly dominates as state dimension
-		// grows.
-		g.Ops(160 * dim)
+	g.StepSpan(func(lo, hi int) {
+		for lane := lo; lane < hi; lane++ {
+			src := xin[base+lane*dim : base+(lane+1)*dim]
+			dst := xout[base+lane*dim : base+(lane+1)*dim]
+			p.mdl.Step(dst, src, u, k, r)
+			p.logw[s*m+lane] += p.mdl.LogLikelihood(dst, z)
+		}
 	})
+	g.GlobalRead(8 * dim * m)
+	g.GlobalWrite((8*dim + 8) * m)
+	// Propagation draws ~one normal per state dimension (log,
+	// sqrt, sincos via Box-Muller) and the likelihood evaluates
+	// the transcendental-heavy measurement equations (the arm's
+	// rotation chain): ~160 flops per state dimension, which
+	// makes sampling compute-bound on GPUs — the Fig. 4c effect
+	// where the model increasingly dominates as state dimension
+	// grows.
+	g.Ops(160 * dim * m)
 }
 
 // KernelSortLocal is kernel 3 (§VI-C): each sub-filter bitonic-sorts its
@@ -79,40 +109,48 @@ func (p *Pipeline) sampleGroup(g *device.Group, s int, u, z []float64, k int) {
 // writes, the access pattern the paper prefers.
 func (p *Pipeline) KernelSortLocal() {
 	p.dev.Launch("local sort", p.grid(), func(g *device.Group) {
-		p.sortGroup(g, g.ID())
+		p.sortGroup(g, g.ID(), p.x, p.x2)
 	})
 	p.x, p.x2 = p.x2, p.x
 }
 
-// sortGroup is KernelSortLocal's work-group body for sub-filter s. The
-// caller swaps the double buffer after the launch completes.
-func (p *Pipeline) sortGroup(g *device.Group, s int) {
+// sortGroup is KernelSortLocal's work-group body for sub-filter s,
+// reading the particle payload from xin and writing the weight-sorted
+// payload to xout. The unfused caller passes the double buffer halves and
+// swaps them after the launch; the fused round chains buffers explicitly.
+func (p *Pipeline) sortGroup(g *device.Group, s int, xin, xout []float64) {
 	m := p.cfg.ParticlesPer
 	dim := p.dim
 	base := s * m * dim
 	keys := g.AllocLocalF64(m)
 	idx := g.AllocLocalInt(m)
-	g.Step(func(lane int) {
-		keys[lane] = p.logw[s*m+lane]
-		idx[lane] = lane
-		g.GlobalRead(8)
-		g.LocalWrite(12)
+	g.StepSpan(func(lo, hi int) {
+		for lane := lo; lane < hi; lane++ {
+			keys[lane] = p.logw[s*m+lane]
+			idx[lane] = lane
+		}
 	})
+	g.GlobalRead(8 * m)
+	g.LocalWrite(12 * m)
 	sortnet.SortDescending(g, keys, idx)
 	// Apply the permutation: payload gather (non-contiguous reads,
 	// contiguous writes), then write back sorted weights.
-	g.Step(func(lane int) {
-		src := idx[lane]
-		copy(p.x2[base+lane*dim:base+(lane+1)*dim], p.x[base+src*dim:base+(src+1)*dim])
-		g.LocalRead(4)
-		g.GlobalRead(8 * dim)
-		g.GlobalWrite(8 * dim)
+	g.StepSpan(func(lo, hi int) {
+		for lane := lo; lane < hi; lane++ {
+			src := idx[lane]
+			copy(xout[base+lane*dim:base+(lane+1)*dim], xin[base+src*dim:base+(src+1)*dim])
+		}
 	})
-	g.Step(func(lane int) {
-		p.logw[s*m+lane] = keys[lane]
-		g.LocalRead(8)
-		g.GlobalWrite(8)
+	g.LocalRead(4 * m)
+	g.GlobalRead(8 * dim * m)
+	g.GlobalWrite(8 * dim * m)
+	g.StepSpan(func(lo, hi int) {
+		for lane := lo; lane < hi; lane++ {
+			p.logw[s*m+lane] = keys[lane]
+		}
 	})
+	g.LocalRead(8 * m)
+	g.GlobalWrite(8 * m)
 }
 
 // KernelEstimate is kernel 4 (§VI-D): since every sub-filter just sorted,
@@ -137,16 +175,16 @@ func (p *Pipeline) kernelEstimateMax() ([]float64, float64) {
 	if lanes > 256 {
 		lanes = 256
 	}
-	heads := make([]float64, N)
+	heads := p.heads
 	best := 0
 	p.dev.Launch("global estimate", device.Grid{Groups: 1, GroupSize: lanes}, func(g *device.Group) {
-		g.Step(func(lane int) {
-			for i := lane; i < N; i += lanes {
+		g.StepSpan(func(lo, hi int) {
+			for i := 0; i < N; i++ {
 				heads[i] = p.logw[i*m]
-				g.GlobalRead(8)
-				g.LocalWrite(8)
 			}
 		})
+		g.GlobalRead(8 * N)
+		g.LocalWrite(8 * N)
 		best = scan.MaxIndex(g, heads)
 	})
 	p.bestSub, p.bestLW = best, heads[best]
@@ -171,16 +209,16 @@ func (p *Pipeline) kernelEstimateMean() ([]float64, float64) {
 	if lanes > 256 {
 		lanes = 256
 	}
-	heads := make([]float64, N)
+	heads := p.heads
 	best := 0
 	p.dev.Launch("global estimate", device.Grid{Groups: 1, GroupSize: lanes}, func(g *device.Group) {
-		g.Step(func(lane int) {
-			for i := lane; i < N; i += lanes {
+		g.StepSpan(func(lo, hi int) {
+			for i := 0; i < N; i++ {
 				heads[i] = p.logw[i*m]
-				g.GlobalRead(8)
-				g.LocalWrite(8)
 			}
 		})
+		g.GlobalRead(8 * N)
+		g.LocalWrite(8 * N)
 		best = scan.MaxIndex(g, heads)
 	})
 	maxLW := heads[best]
@@ -192,18 +230,24 @@ func (p *Pipeline) kernelEstimateMean() ([]float64, float64) {
 		return out, maxLW
 	}
 
-	// Launch B: per-sub-filter partial weighted sums.
-	partial := make([]float64, N*(dim+1)) // Σw·x per dim, then Σw
+	// Launch B: per-sub-filter partial weighted sums (Σw·x per dim, then
+	// Σw), accumulated into the pipeline's reusable scratch.
+	partial := p.partial
+	for i := range partial {
+		partial[i] = 0
+	}
 	p.dev.Launch("global estimate", p.grid(), func(g *device.Group) {
 		s := g.ID()
 		base := s * m * dim
 		wsum := g.AllocLocalF64(m)
-		g.Step(func(lane int) {
-			wsum[lane] = math.Exp(p.logw[s*m+lane] - maxLW)
-			g.Ops(1)
-			g.GlobalRead(8)
-			g.LocalWrite(8)
+		g.StepSpan(func(lo, hi int) {
+			for lane := lo; lane < hi; lane++ {
+				wsum[lane] = math.Exp(p.logw[s*m+lane] - maxLW)
+			}
 		})
+		g.Ops(m)
+		g.GlobalRead(8 * m)
+		g.LocalWrite(8 * m)
 		// Lane 0 accumulates the block (a real kernel would tree-reduce;
 		// the ops are counted either way).
 		g.StepOne(func() {
@@ -214,9 +258,9 @@ func (p *Pipeline) kernelEstimateMean() ([]float64, float64) {
 					out[d] += w * p.x[base+i*dim+d]
 				}
 				out[dim] += w
-				g.Ops(2 * dim)
-				g.GlobalRead(8 * dim)
 			}
+			g.Ops(2 * dim * m)
+			g.GlobalRead(8 * dim * m)
 			g.GlobalWrite(8 * (dim + 1))
 		})
 	})
@@ -260,16 +304,15 @@ func (p *Pipeline) KernelExchange() {
 	p.dev.Launch("exchange", p.grid(), func(g *device.Group) {
 		s := g.ID()
 		base := s * m * dim
-		g.Step(func(lane int) {
-			if lane >= t {
-				return
+		g.StepSpan(func(lo, hi int) {
+			for lane := lo; lane < hi && lane < t; lane++ {
+				rec := p.outbox[(s*t+lane)*stride : (s*t+lane+1)*stride]
+				copy(rec[:dim], p.x[base+lane*dim:base+(lane+1)*dim])
+				rec[dim] = p.logw[s*m+lane]
 			}
-			rec := p.outbox[(s*t+lane)*stride : (s*t+lane+1)*stride]
-			copy(rec[:dim], p.x[base+lane*dim:base+(lane+1)*dim])
-			rec[dim] = p.logw[s*m+lane]
-			g.GlobalRead(8 * stride)
-			g.GlobalWrite(8 * stride)
 		})
+		g.GlobalRead(8 * stride * t)
+		g.GlobalWrite(8 * stride * t)
 	})
 
 	if p.cfg.Topology.Scheme() == exchange.AllToAll {
@@ -282,21 +325,20 @@ func (p *Pipeline) KernelExchange() {
 		s := g.ID()
 		base := s * m * dim
 		var nbuf []int
-		g.StepOne(func() { nbuf = p.cfg.Topology.Neighbors(nil, s) })
+		g.StepOne(func() { nbuf = p.nbrs[s] })
 		incoming := len(nbuf) * t
-		g.Step(func(lane int) {
-			if lane >= incoming {
-				return
+		g.StepSpan(func(lo, hi int) {
+			for lane := lo; lane < hi && lane < incoming; lane++ {
+				q := nbuf[lane/t]
+				i := lane % t
+				slot := m - incoming + lane
+				rec := p.outbox[(q*t+i)*stride : (q*t+i+1)*stride]
+				copy(p.x[base+slot*dim:base+(slot+1)*dim], rec[:dim])
+				p.logw[s*m+slot] = rec[dim]
 			}
-			q := nbuf[lane/t]
-			i := lane % t
-			slot := m - incoming + lane
-			rec := p.outbox[(q*t+i)*stride : (q*t+i+1)*stride]
-			copy(p.x[base+slot*dim:base+(slot+1)*dim], rec[:dim])
-			p.logw[s*m+slot] = rec[dim]
-			g.GlobalRead(8 * stride)
-			g.GlobalWrite(8 * stride)
 		})
+		g.GlobalRead(8 * stride * incoming)
+		g.GlobalWrite(8 * stride * incoming)
 	})
 }
 
@@ -317,14 +359,14 @@ func (p *Pipeline) exchangeAllToAll() {
 	keys := make([]float64, pool)
 	idx := make([]int, pool)
 	p.dev.Launch("exchange", device.Grid{Groups: 1, GroupSize: lanes}, func(g *device.Group) {
-		g.Step(func(lane int) {
-			for i := lane; i < pool; i += lanes {
+		g.StepSpan(func(lo, hi int) {
+			for i := 0; i < pool; i++ {
 				keys[i] = p.outbox[i*stride+dim]
 				idx[i] = i
-				g.GlobalRead(8)
-				g.LocalWrite(12)
 			}
 		})
+		g.GlobalRead(8 * pool)
+		g.LocalWrite(12 * pool)
 		sortnet.SortDescending(g, keys, idx)
 	})
 	copy(p.poolSel, idx[:t])
@@ -332,18 +374,17 @@ func (p *Pipeline) exchangeAllToAll() {
 	p.dev.Launch("exchange", p.grid(), func(g *device.Group) {
 		s := g.ID()
 		base := s * m * dim
-		g.Step(func(lane int) {
-			if lane >= t {
-				return
+		g.StepSpan(func(lo, hi int) {
+			for lane := lo; lane < hi && lane < t; lane++ {
+				src := p.poolSel[lane]
+				slot := m - t + lane
+				rec := p.outbox[src*stride : (src+1)*stride]
+				copy(p.x[base+slot*dim:base+(slot+1)*dim], rec[:dim])
+				p.logw[s*m+slot] = rec[dim]
 			}
-			src := p.poolSel[lane]
-			slot := m - t + lane
-			rec := p.outbox[src*stride : (src+1)*stride]
-			copy(p.x[base+slot*dim:base+(slot+1)*dim], rec[:dim])
-			p.logw[s*m+slot] = rec[dim]
-			g.GlobalRead(8 * stride)
-			g.GlobalWrite(8 * stride)
 		})
+		g.GlobalRead(8 * stride * t)
+		g.GlobalWrite(8 * stride * t)
 	})
 }
 
@@ -373,33 +414,39 @@ func (p *Pipeline) resampleGroup(g *device.Group, s int) {
 	// holds the max log-weight after sorting; after an exchange a
 	// received particle may beat it, so reduce properly).
 	w := g.AllocLocalF64(m)
-	g.Step(func(lane int) {
-		w[lane] = p.logw[s*m+lane]
-		g.GlobalRead(8)
-		g.LocalWrite(8)
+	g.StepSpan(func(lo, hi int) {
+		for lane := lo; lane < hi; lane++ {
+			w[lane] = p.logw[s*m+lane]
+		}
 	})
+	g.GlobalRead(8 * m)
+	g.LocalWrite(8 * m)
 	maxIdx := scan.MaxIndex(g, w)
 	maxLW := w[maxIdx]
-	g.Step(func(lane int) {
-		if math.IsInf(maxLW, -1) || math.IsNaN(maxLW) {
-			w[lane] = 1
-		} else {
-			w[lane] = math.Exp(w[lane] - maxLW)
+	g.StepSpan(func(lo, hi int) {
+		for lane := lo; lane < hi; lane++ {
+			if math.IsInf(maxLW, -1) || math.IsNaN(maxLW) {
+				w[lane] = 1
+			} else {
+				w[lane] = math.Exp(w[lane] - maxLW)
+			}
 		}
-		g.Ops(2)
-		g.LocalWrite(8)
 	})
+	g.Ops(2 * m)
+	g.LocalWrite(8 * m)
 
 	resampled := false
 	g.StepOne(func() { resampled = p.cfg.Policy.ShouldResample(w, r) })
 	if !resampled {
 		// Keep the population; copy through so the double buffer
 		// stays coherent.
-		g.Step(func(lane int) {
-			copy(p.x2[base+lane*dim:base+(lane+1)*dim], p.x[base+lane*dim:base+(lane+1)*dim])
-			g.GlobalRead(8 * dim)
-			g.GlobalWrite(8 * dim)
+		g.StepSpan(func(lo, hi int) {
+			for lane := lo; lane < hi; lane++ {
+				copy(p.x2[base+lane*dim:base+(lane+1)*dim], p.x[base+lane*dim:base+(lane+1)*dim])
+			}
 		})
+		g.GlobalRead(8 * dim * m)
+		g.GlobalWrite(8 * dim * m)
 		return
 	}
 
@@ -414,14 +461,16 @@ func (p *Pipeline) resampleGroup(g *device.Group, s int) {
 	}
 
 	// Gather survivors and reset weights.
-	g.Step(func(lane int) {
-		src := sel[lane]
-		copy(p.x2[base+lane*dim:base+(lane+1)*dim], p.x[base+src*dim:base+(src+1)*dim])
-		p.logw[s*m+lane] = 0
-		g.LocalRead(4)
-		g.GlobalRead(8 * dim)
-		g.GlobalWrite(8*dim + 8)
+	g.StepSpan(func(lo, hi int) {
+		for lane := lo; lane < hi; lane++ {
+			src := sel[lane]
+			copy(p.x2[base+lane*dim:base+(lane+1)*dim], p.x[base+src*dim:base+(src+1)*dim])
+			p.logw[s*m+lane] = 0
+		}
 	})
+	g.LocalRead(4 * m)
+	g.GlobalRead(8 * dim * m)
+	g.GlobalWrite((8*dim + 8) * m)
 }
 
 // rwsSelect fills sel with RWS draws from the local weights w.
@@ -429,14 +478,20 @@ func (p *Pipeline) rwsSelect(g *device.Group, w []float64, sel []int, s int) {
 	m := len(w)
 	r := p.rands[s]
 	cdf := g.AllocLocalF64(m)
-	g.Step(func(lane int) {
-		cdf[lane] = w[lane]
-		g.LocalRead(8)
-		g.LocalWrite(8)
+	g.StepSpan(func(lo, hi int) {
+		for lane := lo; lane < hi; lane++ {
+			cdf[lane] = w[lane]
+		}
 	})
+	g.LocalRead(8 * m)
+	g.LocalWrite(8 * m)
 	total := scan.Exclusive(g, cdf) // exclusive prefix sums + total
 	if !(total > 0) {
-		g.Step(func(lane int) { sel[lane] = lane })
+		g.StepSpan(func(lo, hi int) {
+			for lane := lo; lane < hi; lane++ {
+				sel[lane] = lane
+			}
+		})
 		return
 	}
 	// One uniform + binary search per lane. Lane draws must happen in a
@@ -448,23 +503,27 @@ func (p *Pipeline) rwsSelect(g *device.Group, w []float64, sel []int, s int) {
 		}
 		g.Ops(m)
 	})
-	g.Step(func(lane int) {
-		u := us[lane]
-		// Largest index with cdf[idx] <= u (cdf is exclusive sums).
-		lo, hi := 0, m-1
-		for lo < hi {
-			mid := (lo + hi + 1) / 2
-			if cdf[mid] <= u {
-				lo = mid
-			} else {
-				hi = mid - 1
+	var iters int
+	g.StepSpan(func(spanLo, spanHi int) {
+		for lane := spanLo; lane < spanHi; lane++ {
+			u := us[lane]
+			// Largest index with cdf[idx] <= u (cdf is exclusive sums).
+			lo, hi := 0, m-1
+			for lo < hi {
+				mid := (lo + hi + 1) / 2
+				if cdf[mid] <= u {
+					lo = mid
+				} else {
+					hi = mid - 1
+				}
+				iters++
 			}
-			g.Ops(1)
-			g.LocalRead(8)
+			sel[lane] = lo
 		}
-		sel[lane] = lo
-		g.LocalWrite(4)
 	})
+	g.Ops(iters)
+	g.LocalRead(8 * iters)
+	g.LocalWrite(4 * m)
 }
 
 // systematicSelect fills sel with systematic draws: pointer i sweeps the
@@ -475,14 +534,20 @@ func (p *Pipeline) systematicSelect(g *device.Group, w []float64, sel []int, s i
 	m := len(w)
 	r := p.rands[s]
 	cdf := g.AllocLocalF64(m)
-	g.Step(func(lane int) {
-		cdf[lane] = w[lane]
-		g.LocalRead(8)
-		g.LocalWrite(8)
+	g.StepSpan(func(lo, hi int) {
+		for lane := lo; lane < hi; lane++ {
+			cdf[lane] = w[lane]
+		}
 	})
+	g.LocalRead(8 * m)
+	g.LocalWrite(8 * m)
 	total := scan.Exclusive(g, cdf)
 	if !(total > 0) {
-		g.Step(func(lane int) { sel[lane] = lane })
+		g.StepSpan(func(lo, hi int) {
+			for lane := lo; lane < hi; lane++ {
+				sel[lane] = lane
+			}
+		})
 		return
 	}
 	u0 := 0.0
@@ -491,22 +556,26 @@ func (p *Pipeline) systematicSelect(g *device.Group, w []float64, sel []int, s i
 		g.Ops(1)
 	})
 	step := total / float64(m)
-	g.Step(func(lane int) {
-		u := (u0 + float64(lane)) * step
-		lo, hi := 0, m-1
-		for lo < hi {
-			mid := (lo + hi + 1) / 2
-			if cdf[mid] <= u {
-				lo = mid
-			} else {
-				hi = mid - 1
+	var iters int
+	g.StepSpan(func(spanLo, spanHi int) {
+		for lane := spanLo; lane < spanHi; lane++ {
+			u := (u0 + float64(lane)) * step
+			lo, hi := 0, m-1
+			for lo < hi {
+				mid := (lo + hi + 1) / 2
+				if cdf[mid] <= u {
+					lo = mid
+				} else {
+					hi = mid - 1
+				}
+				iters++
 			}
-			g.Ops(1)
-			g.LocalRead(8)
+			sel[lane] = lo
 		}
-		sel[lane] = lo
-		g.LocalWrite(4)
 	})
+	g.Ops(iters)
+	g.LocalRead(8 * iters)
+	g.LocalWrite(4 * m)
 }
 
 // voseSelect fills sel with alias-method draws, building the table with
@@ -532,7 +601,11 @@ func (p *Pipeline) voseSelect(g *device.Group, w []float64, sel []int, s int) {
 		g.Ops(m)
 	})
 	if !(total > 0) {
-		g.Step(func(lane int) { sel[lane] = lane })
+		g.StepSpan(func(lo, hi int) {
+			for lane := lo; lane < hi; lane++ {
+				sel[lane] = lane
+			}
+		})
 		return
 	}
 	// Scale to mean 1 and pack small forwards / large backwards — the
@@ -551,13 +624,14 @@ func (p *Pipeline) voseSelect(g *device.Group, w []float64, sel []int, s int) {
 				nLarge++
 				packed[m-nLarge] = i
 			}
-			g.Ops(6)
-			g.LocalWrite(12)
 		}
+		g.Ops(6 * m)
+		g.LocalWrite(12 * m)
 	})
 	// Serial alias assignment.
 	g.StepSerial(func() {
 		si, li := 0, m-nLarge
+		processed := 0
 		for si < nSmall && li < m {
 			l := packed[si]
 			gi := packed[li]
@@ -571,12 +645,13 @@ func (p *Pipeline) voseSelect(g *device.Group, w []float64, sel []int, s int) {
 				nSmall++
 				li++
 			}
-			// Worklist management, weight transfer and alias
-			// registration: ~14 serial ops per processed entry.
-			g.Ops(14)
-			g.LocalRead(16)
-			g.LocalWrite(16)
+			processed++
 		}
+		// Worklist management, weight transfer and alias
+		// registration: ~14 serial ops per processed entry.
+		g.Ops(14 * processed)
+		g.LocalRead(16 * processed)
+		g.LocalWrite(16 * processed)
 		// Numerical leftovers on either worklist saturate at probability 1
 		// (the alias table is guaranteed to exist; only float error can
 		// leave entries behind).
@@ -599,18 +674,20 @@ func (p *Pipeline) voseSelect(g *device.Group, w []float64, sel []int, s int) {
 		}
 		g.Ops(2 * m)
 	})
-	g.Step(func(lane int) {
-		i := int(us[2*lane] * float64(m))
-		if i >= m {
-			i = m - 1
+	g.StepSpan(func(lo, hi int) {
+		for lane := lo; lane < hi; lane++ {
+			i := int(us[2*lane] * float64(m))
+			if i >= m {
+				i = m - 1
+			}
+			if us[2*lane+1] < prob[i] {
+				sel[lane] = i
+			} else {
+				sel[lane] = alias[i]
+			}
 		}
-		if us[2*lane+1] < prob[i] {
-			sel[lane] = i
-		} else {
-			sel[lane] = alias[i]
-		}
-		g.Ops(3)
-		g.LocalRead(24)
-		g.LocalWrite(4)
 	})
+	g.Ops(3 * m)
+	g.LocalRead(24 * m)
+	g.LocalWrite(4 * m)
 }

@@ -116,6 +116,14 @@ type Pipeline struct {
 	bufs  []*rng.Buffer
 	rands []*rng.Rand
 
+	// Host-side scratch reused across rounds by the estimate kernels.
+	heads   []float64 // N sorted block-head log-weights
+	partial []float64 // N·(dim+1) weighted partial sums
+
+	// nbrs caches the static topology's neighbor lists so the exchange
+	// kernel does not recompute (and reallocate) them every round.
+	nbrs [][]int
+
 	bestSub int
 	bestLW  float64
 }
@@ -162,8 +170,14 @@ func New(dev *device.Device, mdl model.Model, cfg Config, seed uint64) (*Pipelin
 	p.logw = make([]float64, n)
 	p.outbox = make([]float64, cfg.SubFilters*cfg.ExchangeCount*(p.dim+1))
 	p.poolSel = make([]int, cfg.ExchangeCount)
+	p.heads = make([]float64, cfg.SubFilters)
+	p.partial = make([]float64, cfg.SubFilters*(p.dim+1))
 	p.bufs = make([]*rng.Buffer, cfg.SubFilters)
 	p.rands = make([]*rng.Rand, cfg.SubFilters)
+	p.nbrs = make([][]int, cfg.SubFilters)
+	for s := range p.nbrs {
+		p.nbrs[s] = cfg.Topology.Neighbors(nil, s)
+	}
 	p.Reset(seed)
 	return p, nil
 }
@@ -209,11 +223,37 @@ func (p *Pipeline) grid() device.Grid {
 
 // Round runs one full filtering round (all six kernels) for control u,
 // measurement z, step index k, and returns the global best particle's
-// state (copied) and log-weight.
+// state (copied) and log-weight. Each kernel is issued as its own global
+// launch, exactly as in the paper's baseline; RoundFused is the faster,
+// bit-identical alternative.
 func (p *Pipeline) Round(u, z []float64, k int) ([]float64, float64) {
 	p.KernelRand()
 	p.KernelSampleWeight(u, z, k)
 	p.KernelSortLocal()
+	best, lw := p.KernelEstimate()
+	p.KernelExchange()
+	p.KernelResample()
+	return best, lw
+}
+
+// RoundFused runs one full filtering round with the three group-local
+// kernels (rand, sampling, local sort) fused into a single launch,
+// collapsing their intermediate global barriers — which only ever
+// synchronized independent sub-filters — into per-group sequencing. The
+// estimate, exchange, and resampling kernels remain separate launches:
+// they read data written by other work-groups, so the global barrier
+// before each of them is semantically required.
+//
+// RoundFused consumes the per-sub-filter random streams in exactly the
+// same order as Round and is bit-identical to it (asserted by the
+// golden-trace tests); the profiler still sees per-phase entries under
+// the same kernel names.
+func (p *Pipeline) RoundFused(u, z []float64, k int) ([]float64, float64) {
+	p.dev.LaunchFused(fusedPhases, p.grid(), func(g *device.Group) {
+		p.fusedGroup(g, g.ID(), u, z, k)
+	})
+	// No buffer swap: the fused body chains x → x2 → x, leaving the
+	// buffers exactly where Round's two swaps would.
 	best, lw := p.KernelEstimate()
 	p.KernelExchange()
 	p.KernelResample()

@@ -63,7 +63,7 @@ func Exclusive(ctx device.Ctx, buf []float64) float64 {
 	p := nextPow2(n)
 	work := buf
 	if p != n {
-		work = make([]float64, p)
+		work = ctx.ScratchF64(p)
 		copy(work, buf)
 	}
 	total := upDownSweep(ctx, work)
@@ -74,50 +74,57 @@ func Exclusive(ctx device.Ctx, buf []float64) float64 {
 }
 
 // upDownSweep runs the Blelloch up-sweep/down-sweep on a power-of-two
-// buffer and returns the total.
+// buffer and returns the total. The tree levels reuse one closure per
+// sweep direction and batch the per-node cost accounting into one flush
+// per sweep (identical totals, no interface call per tree node).
 func upDownSweep(ctx device.Ctx, work []float64) float64 {
 	p := len(work)
-	lanes := ctx.Lanes()
-	// Up-sweep: build the reduction tree. Lanes cover the tree nodes in
-	// grid-stride fashion so groups smaller than the buffer stay correct.
-	for d := 1; d < p; d <<= 1 {
-		stride := d << 1
-		nodes := p / stride
-		dd := d
-		ctx.Step(func(lane int) {
-			for n := lane; n < nodes; n += lanes {
-				i := (n+1)*stride - 1
-				work[i] += work[i-dd]
-				ctx.Ops(1)
-				ctx.LocalRead(16)
-				ctx.LocalWrite(8)
-			}
-		})
-	}
-	total := work[p-1]
-	// Clear the root, then down-sweep distributing partial sums.
-	ctx.Step(func(lane int) {
-		if lane == 0 {
-			work[p-1] = 0
-			ctx.LocalWrite(8)
+	// All mutable loop state shared with the closures lives in one struct:
+	// a single heap cell per sweep instead of one escape per variable.
+	// Tree levels run as one StepSpan each, covering all nodes of the
+	// level (node updates within a level are disjoint).
+	var st struct{ stride, dd, nodes, visited int }
+	up := func(lo, hi int) {
+		for n := 0; n < st.nodes; n++ {
+			i := (n+1)*st.stride - 1
+			work[i] += work[i-st.dd]
+			st.visited++
 		}
-	})
-	for d := p >> 1; d >= 1; d >>= 1 {
-		stride := d << 1
-		nodes := p / stride
-		dd := d
-		ctx.Step(func(lane int) {
-			for n := lane; n < nodes; n += lanes {
-				i := (n+1)*stride - 1
-				t := work[i-dd]
-				work[i-dd] = work[i]
-				work[i] += t
-				ctx.Ops(1)
-				ctx.LocalRead(16)
-				ctx.LocalWrite(16)
-			}
-		})
 	}
+	// Up-sweep: build the reduction tree.
+	for d := 1; d < p; d <<= 1 {
+		st.stride, st.dd = d<<1, d
+		st.nodes = p / st.stride
+		ctx.StepSpan(up)
+	}
+	ctx.Ops(st.visited)
+	ctx.LocalRead(16 * st.visited)
+	ctx.LocalWrite(8 * st.visited)
+	total := work[p-1]
+	// Clear the root (lane 0's work), then down-sweep distributing
+	// partial sums.
+	ctx.StepSpan(func(lo, hi int) {
+		work[p-1] = 0
+		ctx.LocalWrite(8)
+	})
+	st.visited = 0
+	down := func(lo, hi int) {
+		for n := 0; n < st.nodes; n++ {
+			i := (n+1)*st.stride - 1
+			t := work[i-st.dd]
+			work[i-st.dd] = work[i]
+			work[i] += t
+			st.visited++
+		}
+	}
+	for d := p >> 1; d >= 1; d >>= 1 {
+		st.stride, st.dd = d<<1, d
+		st.nodes = p / st.stride
+		ctx.StepSpan(down)
+	}
+	ctx.Ops(st.visited)
+	ctx.LocalRead(16 * st.visited)
+	ctx.LocalWrite(16 * st.visited)
 	return total
 }
 
@@ -131,33 +138,36 @@ func MaxIndex(ctx device.Ctx, keys []float64) int {
 		return -1
 	}
 	p := nextPow2(n)
-	val := make([]float64, p)
-	idx := make([]int, p)
-	ctx.Step(func(lane int) {
-		for i := lane; i < p; i += ctx.Lanes() {
+	val := ctx.ScratchF64(p)
+	idx := ctx.ScratchInt(p)
+	ctx.StepSpan(func(lo, hi int) {
+		for i := 0; i < p; i++ {
 			if i < n {
 				val[i] = keys[i]
 			} else {
 				val[i] = negInf
 			}
 			idx[i] = i
-			ctx.LocalWrite(12)
 		}
 	})
-	for stride := p >> 1; stride >= 1; stride >>= 1 {
-		s := stride
-		ctx.Step(func(lane int) {
-			for i := lane; i < s; i += ctx.Lanes() {
-				a, b := i, i+s
-				if val[b] > val[a] || (val[b] == val[a] && idx[b] < idx[a]) {
-					val[a], idx[a] = val[b], idx[b]
-				}
-				ctx.Ops(1)
-				ctx.LocalRead(24)
-				ctx.LocalWrite(12)
+	ctx.LocalWrite(12 * p)
+	var st struct{ s, visited int }
+	reduce := func(lo, hi int) {
+		for i := 0; i < st.s; i++ {
+			a, b := i, i+st.s
+			if val[b] > val[a] || (val[b] == val[a] && idx[b] < idx[a]) {
+				val[a], idx[a] = val[b], idx[b]
 			}
-		})
+			st.visited++
+		}
 	}
+	for stride := p >> 1; stride >= 1; stride >>= 1 {
+		st.s = stride
+		ctx.StepSpan(reduce)
+	}
+	ctx.Ops(st.visited)
+	ctx.LocalRead(24 * st.visited)
+	ctx.LocalWrite(12 * st.visited)
 	return idx[0]
 }
 
@@ -171,23 +181,26 @@ func SumTree(ctx device.Ctx, keys []float64) float64 {
 		return 0
 	}
 	p := nextPow2(n)
-	val := make([]float64, p)
-	ctx.Step(func(lane int) {
-		for i := lane; i < n; i += ctx.Lanes() {
+	val := ctx.ScratchF64(p)
+	ctx.StepSpan(func(lo, hi int) {
+		for i := 0; i < n; i++ {
 			val[i] = keys[i]
-			ctx.LocalWrite(8)
 		}
 	})
-	for stride := p >> 1; stride >= 1; stride >>= 1 {
-		s := stride
-		ctx.Step(func(lane int) {
-			for i := lane; i < s; i += ctx.Lanes() {
-				val[i] += val[i+s]
-				ctx.Ops(1)
-				ctx.LocalRead(16)
-				ctx.LocalWrite(8)
-			}
-		})
+	ctx.LocalWrite(8 * n)
+	var st struct{ s, visited int }
+	reduce := func(lo, hi int) {
+		for i := 0; i < st.s; i++ {
+			val[i] += val[i+st.s]
+			st.visited++
+		}
 	}
+	for stride := p >> 1; stride >= 1; stride >>= 1 {
+		st.s = stride
+		ctx.StepSpan(reduce)
+	}
+	ctx.Ops(st.visited)
+	ctx.LocalRead(16 * st.visited)
+	ctx.LocalWrite(8 * st.visited)
 	return val[0]
 }

@@ -47,7 +47,7 @@ func SortDescending(ctx device.Ctx, keys []float64, idx []int) {
 	ks := keys
 	ix := idx
 	if p != n {
-		ks = make([]float64, p)
+		ks = ctx.ScratchF64(p)
 		copy(ks, keys)
 		for i := n; i < p; i++ {
 			ks[i] = math.Inf(-1)
@@ -56,7 +56,7 @@ func SortDescending(ctx device.Ctx, keys []float64, idx []int) {
 		// against genuine -Inf keys (their near-MaxInt indices sort last
 		// regardless of the caller's index values).
 		const maxInt = int(^uint(0) >> 1)
-		ix = make([]int, p)
+		ix = ctx.ScratchInt(p)
 		if idx != nil {
 			copy(ix, idx)
 			for i := n; i < p; i++ {
@@ -82,45 +82,58 @@ func SortDescending(ctx device.Ctx, keys []float64, idx []int) {
 
 // bitonic runs the classic bitonic network on a power-of-two buffer,
 // producing descending order.
+//
+// The network executes 0.5·log²p barrier-phased steps; one closure
+// (mutating its captured kk/jj stage parameters) is reused across all of
+// them, and the per-compare-exchange cost accounting is accumulated in
+// plain counters and flushed once at the end — the totals are exactly
+// those of per-exchange accounting, without an interface call per pair.
 func bitonic(ctx device.Ctx, keys []float64, idx []int) {
 	p := len(keys)
-	lanes := ctx.Lanes()
-	for k := 2; k <= p; k <<= 1 {
-		for j := k >> 1; j > 0; j >>= 1 {
-			kk, jj := k, j
-			ctx.Step(func(lane int) {
-				for i := lane; i < p; i += lanes {
-					ixj := i ^ jj
-					if ixj <= i {
-						continue
-					}
-					// For a descending final order, blocks with i&k == 0
-					// sort descending.
-					desc := i&kk == 0
-					a, b := keys[i], keys[ixj]
-					swap := false
-					if desc {
-						swap = a < b || (a == b && idx != nil && idx[i] > idx[ixj])
-					} else {
-						swap = a > b || (a == b && idx != nil && idx[i] < idx[ixj])
-					}
-					// A compare-exchange costs the comparison plus the
-					// partner-index arithmetic, predication and bank-
-					// conflict-prone local accesses (~12 ops, keys and
-					// index array traffic).
-					ctx.Ops(12)
-					ctx.LocalRead(24)
-					if swap {
-						keys[i], keys[ixj] = b, a
-						if idx != nil {
-							idx[i], idx[ixj] = idx[ixj], idx[i]
-						}
-						ctx.LocalWrite(24)
-					}
+	// Stage parameters and accounting accumulators share one struct so the
+	// reused closure costs a single heap cell, not one per captured var.
+	// Each stage runs as one StepSpan covering every lane's pair (the
+	// pairs of a stage are disjoint, so lane order is immaterial).
+	var st struct{ k, j, pairs, swaps int }
+	step := func(lo, hi int) {
+		for i := 0; i < p; i++ {
+			ixj := i ^ st.j
+			if ixj <= i {
+				continue
+			}
+			// For a descending final order, blocks with i&k == 0
+			// sort descending.
+			desc := i&st.k == 0
+			a, b := keys[i], keys[ixj]
+			swap := false
+			if desc {
+				swap = a < b || (a == b && idx != nil && idx[i] > idx[ixj])
+			} else {
+				swap = a > b || (a == b && idx != nil && idx[i] < idx[ixj])
+			}
+			st.pairs++
+			if swap {
+				keys[i], keys[ixj] = b, a
+				if idx != nil {
+					idx[i], idx[ixj] = idx[ixj], idx[i]
 				}
-			})
+				st.swaps++
+			}
 		}
 	}
+	for k := 2; k <= p; k <<= 1 {
+		for j := k >> 1; j > 0; j >>= 1 {
+			st.k, st.j = k, j
+			ctx.StepSpan(step)
+		}
+	}
+	// A compare-exchange costs the comparison plus the partner-index
+	// arithmetic, predication and bank-conflict-prone local accesses
+	// (~12 ops, keys and index array traffic); swaps write both entries
+	// of both arrays back.
+	ctx.Ops(12 * st.pairs)
+	ctx.LocalRead(24 * st.pairs)
+	ctx.LocalWrite(24 * st.swaps)
 }
 
 // ArgsortDescending returns the permutation that sorts keys descending,

@@ -1,0 +1,68 @@
+#!/bin/sh
+# Benchmarks the round hot path (unfused / fused / serve-batched) and
+# writes BENCH_2.json with ns/op and particles/sec per configuration.
+#
+# A "baseline" section is merged in from a recorded `go test -bench`
+# output of the pre-optimization tree (the PR 1 commit, measured by
+# running the same unfused round benchmark there); by default it comes
+# from scripts/bench_baseline_seed.txt. Pass a different capture file as
+# $1, or an empty string to skip the baseline section. The headline
+# number is fused throughput vs that unfused baseline.
+#
+# Usage: scripts/bench.sh [baseline-capture-file]
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BASELINE_FILE="${1-scripts/bench_baseline_seed.txt}"
+COUNT="${BENCH_COUNT:-3}"
+BENCHTIME="${BENCHTIME:-2s}"
+OUT="${BENCH_OUT:-BENCH_2.json}"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test -run '^$' -bench 'BenchmarkRound$|BenchmarkRoundFused$|BenchmarkRoundBatch$' \
+	-benchtime "$BENCHTIME" -count "$COUNT" . | tee "$RAW"
+
+# Best (min ns/op) run per benchmark, as JSON objects.
+emit_json() {
+	awk '
+	/^Benchmark/ {
+		name = $1; ns = ""; pps = ""
+		for (i = 2; i <= NF; i++) {
+			if ($(i) == "ns/op") ns = $(i-1)
+			if ($(i) == "particles/s") pps = $(i-1)
+		}
+		if (ns == "") next
+		if (!(name in best) || ns + 0 < best[name] + 0) {
+			best[name] = ns
+			bpps[name] = pps
+			if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
+		}
+	}
+	END {
+		for (i = 1; i <= n; i++) {
+			name = order[i]
+			printf "    \"%s\": {\"ns_per_op\": %s, \"particles_per_sec\": %s}%s\n", \
+				name, best[name], (bpps[name] == "" ? "null" : bpps[name]), (i < n ? "," : "")
+		}
+	}' "$1"
+}
+
+{
+	echo "{"
+	echo "  \"bench\": \"round hot path: persistent pool + fused per-group kernels\","
+	echo "  \"benchtime\": \"$BENCHTIME\", \"count\": $COUNT,"
+	echo "  \"host\": \"$(go env GOOS)/$(go env GOARCH), $(getconf _NPROCESSORS_ONLN 2>/dev/null || echo '?') cpu\","
+	echo "  \"current\": {"
+	emit_json "$RAW"
+	echo "  }"
+	if [ -n "$BASELINE_FILE" ] && [ -f "$BASELINE_FILE" ]; then
+		echo "  ,\"baseline\": {"
+		emit_json "$BASELINE_FILE"
+		echo "  }"
+	fi
+	echo "}"
+} >"$OUT"
+
+echo "wrote $OUT"
