@@ -1,4 +1,4 @@
-.PHONY: build test verify bench bench-json serve
+.PHONY: build test lint verify ci bench bench-json serve
 
 build:
 	go build ./...
@@ -6,10 +6,21 @@ build:
 test:
 	go test ./...
 
-# Build + vet + full test suite, plus the concurrency-heavy packages
-# under the race detector. This is the pre-merge gate.
+# Run the esthera-vet static-analysis suite (determinism, barrier
+# safety, float ordering, checkpoint wire-format compatibility) over the
+# whole module. Exits non-zero on any finding.
+lint:
+	go run ./cmd/esthera-vet ./...
+
+# Build + vet + esthera-vet + full test suite, plus every package under
+# the race detector. This is the pre-merge gate.
 verify:
 	./scripts/verify.sh
+
+# The full CI pipeline: build, go vet, esthera-vet, tests, race sweep,
+# and a benchmark smoke run.
+ci:
+	./scripts/ci.sh
 
 bench:
 	go test -bench=. -benchmem

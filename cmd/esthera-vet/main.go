@@ -1,0 +1,26 @@
+// Command esthera-vet is the repository's custom static-analysis gate:
+// a multichecker over the determinism and work-group-safety analyzers
+// of internal/analysis. It is run by scripts/verify.sh and `make lint`
+// and must exit clean before a change merges.
+//
+// Usage:
+//
+//	esthera-vet ./...   # check the whole module (the only scope)
+//	esthera-vet -list   # list registered analyzers
+//
+// Deliberate, reviewed exceptions are suppressed in place with an
+//
+//	//esthera:allow <analyzer> -- rationale
+//
+// comment on the finding's line or the line above it.
+package main
+
+import (
+	"os"
+
+	"esthera/internal/analysis"
+)
+
+func main() {
+	os.Exit(analysis.Main(os.Args[1:], os.Stdout, os.Stderr, analysis.Suite()))
+}

@@ -1,0 +1,182 @@
+// Package analysis is esthera's static-analysis suite: a set of custom
+// analyzers that machine-check the determinism and work-group-safety
+// invariants the distributed filter's correctness argument rests on
+// (DESIGN.md "Static guarantees").
+//
+// The golden-trace tests prove three seeds replay bit-identically; the
+// analyzers prove the *code shape* cannot drift into the failure modes
+// those traces would only catch probabilistically: wall-clock reads and
+// global PRNG use inside kernels, map iteration on estimate paths,
+// cross-lane writes that silently break the barrier-phased work-group
+// model, float reductions in nondeterministic order, and snapshot
+// fields that would silently fall out of the checkpoint wire format.
+//
+// The framework mirrors the golang.org/x/tools go/analysis API surface
+// (Analyzer, Pass, Diagnostic, an analysistest fixture harness) but is
+// built purely on the standard library's go/ast + go/types, because the
+// toolchain image carries no external modules. Analyzers are compiled
+// into the cmd/esthera-vet multichecker and run by scripts/verify.sh.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check, in the shape of
+// golang.org/x/tools/go/analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //esthera:allow suppression comments.
+	Name string
+	// Doc is the one-paragraph description shown by esthera-vet -list.
+	Doc string
+	// Run executes the check over one package.
+	Run func(*Pass) error
+	// Filter restricts the analyzer to packages for which it returns
+	// true (nil means every package). The analysistest harness ignores
+	// it so fixtures exercise the check regardless of their path.
+	Filter func(pkgPath string) bool
+}
+
+// Pass carries one package's syntax and type information to an analyzer,
+// like go/analysis.Pass.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the finding in the canonical file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Analyzer)
+}
+
+// allowDirective is the suppression comment prefix: a comment
+// "//esthera:allow <analyzer> [rationale]" on the diagnostic's line or
+// the line directly above it suppresses that analyzer's findings there.
+// Suppressions are escape hatches for deliberate, reviewed exceptions
+// (e.g. cost-model instrumentation a real device would not execute) and
+// should carry a rationale.
+const allowDirective = "esthera:allow"
+
+// allowedLines returns, per analyzer name, the set of file lines on
+// which its diagnostics are suppressed (the directive line and the line
+// below it).
+func allowedLines(fset *token.FileSet, files []*ast.File) map[string]map[string]map[int]bool {
+	out := make(map[string]map[string]map[int]bool)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, allowDirective) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, allowDirective))
+				name := rest
+				if i := strings.IndexAny(rest, " \t"); i >= 0 {
+					name = rest[:i]
+				}
+				if name == "" {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				byFile := out[name]
+				if byFile == nil {
+					byFile = make(map[string]map[int]bool)
+					out[name] = byFile
+				}
+				lines := byFile[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]bool)
+					byFile[pos.Filename] = lines
+				}
+				lines[pos.Line] = true
+				lines[pos.Line+1] = true
+			}
+		}
+	}
+	return out
+}
+
+// RunAnalyzers applies the analyzers to one loaded package (honoring
+// each analyzer's package filter unless ignoreFilter is set, which the
+// analysistest harness uses) and returns the surviving diagnostics
+// sorted by position.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer, ignoreFilter bool) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	allowed := allowedLines(pkg.Fset, pkg.Files)
+	for _, a := range analyzers {
+		if !ignoreFilter && a.Filter != nil && !a.Filter(pkg.Path) {
+			continue
+		}
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			diags:     &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if lines := allowed[d.Analyzer][d.Pos.Filename]; lines[d.Pos.Line] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return kept, nil
+}
+
+// Suite returns the full analyzer suite compiled into esthera-vet, in
+// stable order. The meta-test asserts its size and registration.
+func Suite() []*Analyzer {
+	return []*Analyzer{
+		NondeterminismAnalyzer,
+		BarrierAnalyzer,
+		FloatOrderAnalyzer,
+		CheckpointAnalyzer,
+	}
+}

@@ -1,0 +1,30 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"esthera/internal/analysis"
+	"esthera/internal/analysis/analysistest"
+)
+
+// fixture returns the testdata directory of one fixture package.
+func fixture(name string) string {
+	return filepath.Join("testdata", "src", name)
+}
+
+func TestNondeterminismFixtures(t *testing.T) {
+	analysistest.Run(t, fixture("nondet"), analysis.NondeterminismAnalyzer)
+}
+
+func TestBarrierFixtures(t *testing.T) {
+	analysistest.Run(t, fixture("barrier"), analysis.BarrierAnalyzer)
+}
+
+func TestFloatOrderFixtures(t *testing.T) {
+	analysistest.Run(t, fixture("floatorder"), analysis.FloatOrderAnalyzer)
+}
+
+func TestCheckpointCompatFixtures(t *testing.T) {
+	analysistest.Run(t, fixture("checkpoint"), analysis.CheckpointAnalyzer)
+}

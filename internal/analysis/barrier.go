@@ -1,0 +1,230 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// BarrierAnalyzer enforces the work-group model inside lane closures:
+// the bodies passed to device.Ctx.Step and StepSpan run once per lane
+// (concurrently on a real SIMT device, with a barrier only *between*
+// steps), so a lane body may write global or local memory only through
+// lane-indexed storage. A write to a captured scalar — an accumulator,
+// a flag, an enclosing loop variable — is a cross-lane data race on a
+// real device even though the Go simulation (which runs lanes
+// sequentially) masks it.
+//
+// StepOne and StepSerial closures are exempt: they execute on a single
+// lane by contract, which is exactly the "if (tid == 0)" idiom the
+// kernels use for shared scalar writes. Reads of captured variables are
+// always allowed — host code legitimately updates stage parameters
+// between steps, across the barrier.
+var BarrierAnalyzer = &Analyzer{
+	Name: "barrier",
+	Doc: "flag writes to captured non-lane-indexed variables (including enclosing " +
+		"loop variables) inside device.Ctx.Step/StepSpan lane closures, which race " +
+		"across lanes on a real work-group device",
+	Run: runBarrier,
+}
+
+// devicePkgSuffix identifies the device package by import-path suffix,
+// so the analyzer keeps working if the module is ever renamed.
+const devicePkgSuffix = "internal/device"
+
+var laneStepMethods = map[string]bool{"Step": true, "StepSpan": true}
+
+func runBarrier(pass *Pass) error {
+	for _, f := range pass.Files {
+		loopVars := collectLoopVars(pass, f)
+		closures := make(map[*ast.FuncLit]bool)
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !laneStepMethods[sel.Sel.Name] || !isDeviceCtx(pass, sel.X) {
+				return true
+			}
+			fl := resolveFuncLit(pass, f, call.Args[0])
+			if fl == nil || closures[fl] {
+				return true
+			}
+			closures[fl] = true
+			checkLaneClosure(pass, sel.Sel.Name, fl, loopVars)
+			return true
+		})
+	}
+	return nil
+}
+
+// isDeviceCtx reports whether expr's type is declared in the device
+// package (Ctx, *Group, Serial, ...).
+func isDeviceCtx(pass *Pass, expr ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(expr)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return strings.HasSuffix(named.Obj().Pkg().Path(), devicePkgSuffix)
+}
+
+// resolveFuncLit returns the function literal behind a Step argument:
+// the literal itself, or — for the reused-closure idiom (`up := func...;
+// ctx.StepSpan(up)`) — the literal the identifier was bound to in the
+// same file.
+func resolveFuncLit(pass *Pass, f *ast.File, arg ast.Expr) *ast.FuncLit {
+	if fl, ok := arg.(*ast.FuncLit); ok {
+		return fl
+	}
+	id, ok := arg.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return nil
+	}
+	var found *ast.FuncLit
+	ast.Inspect(f, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				lid, ok := lhs.(*ast.Ident)
+				if !ok || i >= len(n.Rhs) {
+					continue
+				}
+				if pass.TypesInfo.Defs[lid] == obj || pass.TypesInfo.Uses[lid] == obj {
+					if fl, ok := n.Rhs[i].(*ast.FuncLit); ok {
+						found = fl
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if pass.TypesInfo.Defs[name] == obj && i < len(n.Values) {
+					if fl, ok := n.Values[i].(*ast.FuncLit); ok {
+						found = fl
+					}
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// collectLoopVars gathers the objects of every for/range induction
+// variable in the file, so captured writes to them get the sharper
+// loop-variable message.
+func collectLoopVars(pass *Pass, f *ast.File) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	def := func(e ast.Expr) {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := pass.TypesInfo.Defs[id]; obj != nil {
+				out[obj] = true
+			}
+			if obj := pass.TypesInfo.Uses[id]; obj != nil {
+				out[obj] = true
+			}
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if n.Key != nil {
+				def(n.Key)
+			}
+			if n.Value != nil {
+				def(n.Value)
+			}
+		case *ast.ForStmt:
+			if a, ok := n.Init.(*ast.AssignStmt); ok {
+				for _, lhs := range a.Lhs {
+					def(lhs)
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// checkLaneClosure flags captured-variable writes in one lane closure.
+func checkLaneClosure(pass *Pass, method string, fl *ast.FuncLit, loopVars map[types.Object]bool) {
+	report := func(n ast.Node, obj types.Object) {
+		if loopVars[obj] {
+			pass.Reportf(n.Pos(),
+				"lane closure passed to %s writes enclosing loop variable %s: on a real device the lanes run concurrently and race on it; keep loop control on the host side of the barrier", method, obj.Name())
+			return
+		}
+		pass.Reportf(n.Pos(),
+			"lane closure passed to %s writes captured variable %s, which is shared across lanes: use lane-indexed storage (scratch/local buffers) and reduce after the barrier", method, obj.Name())
+	}
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if obj := capturedWriteTarget(pass, fl, lhs); obj != nil {
+					report(lhs, obj)
+				}
+			}
+		case *ast.IncDecStmt:
+			if obj := capturedWriteTarget(pass, fl, n.X); obj != nil {
+				report(n, obj)
+			}
+		}
+		return true
+	})
+}
+
+// capturedWriteTarget returns the captured variable a write target
+// resolves to, or nil if the write is safe: a local of the closure, the
+// blank identifier, or any lane-indexed (IndexExpr) location.
+func capturedWriteTarget(pass *Pass, fl *ast.FuncLit, lhs ast.Expr) types.Object {
+	// Strip field selectors: writing st.field mutates the captured st.
+	// Stop at the first index expression — buf[lane], st.buf[lane] and
+	// deeper are lane-indexed storage, the legal pattern.
+	for {
+		switch e := lhs.(type) {
+		case *ast.ParenExpr:
+			lhs = e.X
+		case *ast.SelectorExpr:
+			// A selector through a pointer field still names shared
+			// state; keep unwrapping to the base identifier.
+			lhs = e.X
+		case *ast.StarExpr:
+			lhs = e.X
+		case *ast.Ident:
+			if e.Name == "_" {
+				return nil
+			}
+			obj := pass.TypesInfo.Uses[e]
+			if obj == nil {
+				obj = pass.TypesInfo.Defs[e]
+			}
+			v, ok := obj.(*types.Var)
+			if !ok {
+				return nil
+			}
+			if v.Pos() >= fl.Pos() && v.Pos() <= fl.End() {
+				return nil // declared inside the closure
+			}
+			return v
+		default:
+			// IndexExpr and anything else exotic: treated as
+			// lane-indexed / out of scope.
+			return nil
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package analysis
+
+import (
+	"go/ast"
+	"reflect"
+	"regexp"
+	"strings"
+)
+
+// snapshotPackages are the packages whose snapshot/checkpoint structs
+// form the persisted wire format (serve.Checkpoint and everything it
+// transitively embeds).
+var snapshotPackages = map[string]bool{
+	"esthera/internal/serve":   true,
+	"esthera/internal/filter":  true,
+	"esthera/internal/kernels": true,
+	"esthera/internal/rng":     true,
+}
+
+// snapshotName matches the type names that participate in the
+// checkpoint wire format: kernels.Snapshot, filter.ParallelSnapshot,
+// serve.Checkpoint, rng.State.
+var snapshotName = regexp.MustCompile(`(Snapshot|Checkpoint|State)$`)
+
+// CheckpointAnalyzer guards the checkpoint wire format: every exported
+// field of a snapshot struct must carry an explicit json tag — either a
+// wire name (frozen independently of Go-side renames) or `json:"-"`
+// for state that is serialized out of band (the base64 float encoding)
+// or deliberately excluded. An untagged exported field would silently
+// join (or, renamed, silently leave) the wire format, breaking the
+// bit-exact checkpoint/restore contract between server versions.
+var CheckpointAnalyzer = &Analyzer{
+	Name: "checkpointcompat",
+	Doc: "flag exported fields of snapshot/checkpoint structs that lack an explicit " +
+		"json wire tag, so the checkpoint format only ever changes deliberately",
+	Filter: func(pkgPath string) bool { return snapshotPackages[pkgPath] },
+	Run:    runCheckpointCompat,
+}
+
+func runCheckpointCompat(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok || !ts.Name.IsExported() || !snapshotName.MatchString(ts.Name.Name) {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				if len(field.Names) == 0 {
+					// Embedded field: its own struct is checked at its
+					// declaration (if it is snapshot-named); embedding
+					// without a tag is flagged like a named field.
+					if !hasJSONTag(field) {
+						pass.Reportf(field.Pos(),
+							"embedded field of snapshot struct %s has no json tag: checkpoint wire fields must be declared explicitly (use a wire name or json:\"-\")", ts.Name.Name)
+					}
+					continue
+				}
+				for _, name := range field.Names {
+					if !name.IsExported() {
+						continue
+					}
+					if !hasJSONTag(field) {
+						pass.Reportf(name.Pos(),
+							"exported field %s of snapshot struct %s has no json tag: new checkpoint fields need an explicit wire name (or json:\"-\" with out-of-band encoding) and restore-side handling", name.Name, ts.Name.Name)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// hasJSONTag reports whether the field carries a json struct tag.
+func hasJSONTag(field *ast.Field) bool {
+	if field.Tag == nil {
+		return false
+	}
+	tag := strings.Trim(field.Tag.Value, "`")
+	_, ok := reflect.StructTag(tag).Lookup("json")
+	return ok
+}

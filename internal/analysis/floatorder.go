@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatOrderAnalyzer flags floating-point reductions whose result
+// depends on an unordered iteration: accumulating into a float inside a
+// `range` over a map (random order per run) or a channel (arrival
+// order). Float addition is not associative, so such a reduction
+// changes bits from run to run — precisely the drift the estimate and
+// weight-sum paths must never exhibit (golden traces, checkpoint
+// replay, and cross-backend validation all compare bit patterns).
+//
+// The fix is to iterate sorted keys, or to accumulate into an indexed
+// slice and reduce it in a fixed order.
+var FloatOrderAnalyzer = &Analyzer{
+	Name: "floatorder",
+	Doc: "flag float accumulation inside map/channel range loops, where iteration " +
+		"order (and therefore the non-associative float sum) changes between runs",
+	Run: runFloatOrder,
+}
+
+// orderSensitiveOps are the compound assignments whose float result
+// depends on evaluation order.
+var orderSensitiveOps = map[token.Token]bool{
+	token.ADD_ASSIGN: true,
+	token.SUB_ASSIGN: true,
+	token.MUL_ASSIGN: true,
+	token.QUO_ASSIGN: true,
+}
+
+func runFloatOrder(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok || rng.X == nil {
+				return true
+			}
+			t := pass.TypesInfo.TypeOf(rng.X)
+			if t == nil {
+				return true
+			}
+			var source string
+			switch t.Underlying().(type) {
+			case *types.Map:
+				source = "map"
+			case *types.Chan:
+				source = "channel"
+			default:
+				return true
+			}
+			ast.Inspect(rng.Body, func(inner ast.Node) bool {
+				if nested, ok := inner.(*ast.RangeStmt); ok && nested.X != nil {
+					// A nested map/channel range reports its own body on
+					// its own visit; descending here would double-report.
+					// Ordered nested ranges (slices, ints) stay in scope:
+					// the outer unordered loop still scrambles any
+					// accumulation inside them.
+					nt := pass.TypesInfo.TypeOf(nested.X)
+					if nt != nil {
+						switch nt.Underlying().(type) {
+						case *types.Map, *types.Chan:
+							return false
+						}
+					}
+				}
+				a, ok := inner.(*ast.AssignStmt)
+				if !ok || !orderSensitiveOps[a.Tok] || len(a.Lhs) != 1 {
+					return true
+				}
+				if isFloat(pass.TypesInfo.TypeOf(a.Lhs[0])) {
+					pass.Reportf(a.Pos(),
+						"float accumulation inside range over %s: iteration order is nondeterministic and float %s is not associative, so the result changes bits between runs; iterate sorted keys or reduce an indexed slice", source, a.Tok)
+				}
+				return true
+			})
+			return true
+		})
+	}
+	return nil
+}
+
+// isFloat reports whether t is (or aliases) a floating-point or complex
+// basic type.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}

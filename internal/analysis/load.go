@@ -1,0 +1,231 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Path  string // import path ("esthera/internal/scan")
+	Dir   string // absolute directory
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader loads and type-checks the module's packages from source,
+// resolving intra-module imports itself and standard-library imports
+// through the toolchain's source importer. It exists because the build
+// image carries no external modules: golang.org/x/tools/go/packages is
+// unavailable, and the analyzers only need syntax plus type info for a
+// single self-contained module.
+type Loader struct {
+	Fset    *token.FileSet
+	root    string // module root directory
+	module  string // module path from go.mod
+	pkgs    map[string]*Package
+	loading map[string]bool
+	std     types.ImporterFrom
+}
+
+// NewLoader locates the enclosing module starting from dir.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("analysis: no go.mod found above %s", abs)
+		}
+		root = parent
+	}
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	module := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			module = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if module == "" {
+		return nil, fmt.Errorf("analysis: no module directive in %s/go.mod", root)
+	}
+	// The stdlib is type-checked from source (the image ships no
+	// pre-built export data); disabling cgo selects the pure-Go variants
+	// of net and friends, which is all type checking needs.
+	build.Default.CgoEnabled = false
+	fset := token.NewFileSet()
+	l := &Loader{
+		Fset:    fset,
+		root:    root,
+		module:  module,
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}
+	l.std = importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	return l, nil
+}
+
+// Root returns the module root directory.
+func (l *Loader) Root() string { return l.root }
+
+// Module returns the module path.
+func (l *Loader) Module() string { return l.module }
+
+// Import implements types.Importer, dispatching module-internal paths
+// to the source loader and everything else to the stdlib importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.module || strings.HasPrefix(path, l.module+"/") {
+		p, err := l.loadPath(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// dirFor maps a module-internal import path to its directory.
+func (l *Loader) dirFor(path string) string {
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, l.module), "/")
+	return filepath.Join(l.root, filepath.FromSlash(rel))
+}
+
+// loadPath loads a module-internal package by import path, memoized.
+func (l *Loader) loadPath(path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+	p, err := l.LoadDir(l.dirFor(path), path)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// LoadDir parses and type-checks the non-test Go files of one directory
+// as the package with the given import path. Test files are go vet's
+// and the race detector's jurisdiction; the invariants the analyzers
+// enforce live in production code.
+func (l *Loader) LoadDir(dir, path string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, n := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, n), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	cfg := types.Config{Importer: l}
+	tpkg, err := cfg.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %s: %w", path, err)
+	}
+	return &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// LoadAll loads every package of the module (the ./... pattern),
+// skipping testdata, hidden directories, and directories without
+// buildable Go files. Packages load in dependency order automatically:
+// imports are resolved through the loader itself.
+func (l *Loader) LoadAll() ([]*Package, error) {
+	var paths []string
+	err := filepath.WalkDir(l.root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		base := filepath.Base(p)
+		if p != l.root && (base == "testdata" || strings.HasPrefix(base, ".") || strings.HasPrefix(base, "_")) {
+			return filepath.SkipDir
+		}
+		entries, err := os.ReadDir(p)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			n := e.Name()
+			if !e.IsDir() && strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+				rel, err := filepath.Rel(l.root, p)
+				if err != nil {
+					return err
+				}
+				ip := l.module
+				if rel != "." {
+					ip = l.module + "/" + filepath.ToSlash(rel)
+				}
+				paths = append(paths, ip)
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	out := make([]*Package, 0, len(paths))
+	for _, ip := range paths {
+		p, err := l.loadPath(ip)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

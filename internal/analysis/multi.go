@@ -1,0 +1,74 @@
+package analysis
+
+import (
+	"flag"
+	"fmt"
+	"io"
+)
+
+// Main is the multichecker entry point backing cmd/esthera-vet: it
+// loads the module's packages and applies the analyzer suite, printing
+// findings in the go vet file:line:col format. Exit status follows the
+// vet convention: 0 clean, 1 findings, 2 usage or load failure.
+//
+// Usage: esthera-vet [-list] [packages]
+//
+// The only package pattern supported is the module-wide sweep (./...,
+// all, or no argument at all): the invariants are repository-wide, and
+// partial runs would only invite partially-checked merges.
+func Main(argv []string, stdout, stderr io.Writer, analyzers []*Analyzer) int {
+	fs := flag.NewFlagSet("esthera-vet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list registered analyzers and exit")
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%s: %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	for _, arg := range fs.Args() {
+		if arg != "./..." && arg != "all" {
+			fmt.Fprintf(stderr, "esthera-vet: unsupported package pattern %q (the suite always checks the whole module; use ./...)\n", arg)
+			return 2
+		}
+	}
+	diags, err := CheckModule(".", analyzers)
+	if err != nil {
+		fmt.Fprintf(stderr, "esthera-vet: %v\n", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "esthera-vet: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// CheckModule loads every package of the module containing dir and
+// returns the combined diagnostics of the analyzers, sorted by
+// position within each package.
+func CheckModule(dir string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	loader, err := NewLoader(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		return nil, err
+	}
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		diags, err := RunAnalyzers(pkg, analyzers, false)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, diags...)
+	}
+	return out, nil
+}

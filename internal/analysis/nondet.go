@@ -1,0 +1,131 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// kernelPackages are the packages whose code runs (conceptually) on the
+// device: every sub-filter round through them must replay bit-identically
+// under a fixed seed, which is the property the golden-trace tests pin
+// and the serve layer's checkpoint/restore contract depends on.
+var kernelPackages = map[string]bool{
+	"esthera/internal/kernels":  true,
+	"esthera/internal/scan":     true,
+	"esthera/internal/sortnet":  true,
+	"esthera/internal/resample": true,
+	"esthera/internal/exchange": true,
+}
+
+// NondeterminismAnalyzer flags nondeterminism sources inside kernel-side
+// packages: wall-clock reads, the global math/rand generator (kernel
+// randomness must come from esthera/internal/rng streams, which are
+// seeded, per-sub-filter, and checkpointable), map iteration (random
+// order), and goroutine-identity/scheduler probes.
+var NondeterminismAnalyzer = &Analyzer{
+	Name: "nondeterminism",
+	Doc: "flag nondeterminism sources (time.Now, global math/rand, map iteration, " +
+		"goroutine-identity probes) in kernel-side packages, whose rounds must " +
+		"replay bit-identically under a fixed seed",
+	Filter: func(pkgPath string) bool { return kernelPackages[pkgPath] },
+	Run:    runNondeterminism,
+}
+
+// clockFuncs are the time package functions that read the wall clock.
+var clockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// goroutineProbes are runtime functions whose result depends on
+// scheduler state or goroutine identity.
+var goroutineProbes = map[string]bool{"NumGoroutine": true, "Stack": true, "Gosched": true}
+
+func runNondeterminism(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Pos(),
+					"kernel code must not import %s: draw randomness from esthera/internal/rng streams, which are seeded per sub-filter and checkpointable", path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				pkgPath, ok := selectorPackage(pass, n)
+				if !ok {
+					return true
+				}
+				name := n.Sel.Name
+				switch {
+				case pkgPath == "time" && clockFuncs[name]:
+					pass.Reportf(n.Pos(),
+						"nondeterministic clock read time.%s in kernel code: kernel rounds must replay bit-identically; measure time outside kernels (the device profiler already attributes per-phase cost)", name)
+				case (pkgPath == "math/rand" || pkgPath == "math/rand/v2") && ast.IsExported(name):
+					pass.Reportf(n.Pos(),
+						"global %s.%s in kernel code: draw randomness from esthera/internal/rng streams, which are seeded per sub-filter and checkpointable", pkgPath, name)
+				case pkgPath == "runtime" && goroutineProbes[name]:
+					pass.Reportf(n.Pos(),
+						"runtime.%s in kernel code depends on scheduler state or goroutine identity and is nondeterministic across runs", name)
+				}
+			case *ast.RangeStmt:
+				if n.X == nil {
+					return true
+				}
+				t := pass.TypesInfo.TypeOf(n.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); isMap && !isKeyCollection(n) {
+					pass.Reportf(n.Pos(),
+						"map iteration order is nondeterministic: kernel code must iterate sorted keys (or a deterministic slice) so rounds replay bit-identically")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isKeyCollection recognizes the one legal map range: collecting the
+// keys for sorting, `for k := range m { keys = append(keys, k) }` —
+// the body is a single append of the key, so the loop's effect is
+// order-insensitive. Without this exception the analyzer's own advice
+// ("iterate sorted keys") would be unwritable.
+func isKeyCollection(rng *ast.RangeStmt) bool {
+	if rng.Value != nil || len(rng.Body.List) != 1 {
+		return false
+	}
+	key, ok := rng.Key.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	assign, ok := rng.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+		return false
+	}
+	call, ok := assign.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "append" {
+		return false
+	}
+	arg, ok := call.Args[1].(*ast.Ident)
+	return ok && arg.Name == key.Name
+}
+
+// selectorPackage resolves sel's base identifier to an imported package
+// and returns its path.
+func selectorPackage(pass *Pass, sel *ast.SelectorExpr) (string, bool) {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	obj := pass.TypesInfo.Uses[id]
+	pn, ok := obj.(*types.PkgName)
+	if !ok {
+		return "", false
+	}
+	return pn.Imported().Path(), true
+}

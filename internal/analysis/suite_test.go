@@ -1,0 +1,108 @@
+package analysis_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"esthera/internal/analysis"
+)
+
+// TestSuiteRegistration is the meta-test: the multichecker registers
+// every analyzer, with unique names, documentation, and the package
+// filters the determinism contract assigns them.
+func TestSuiteRegistration(t *testing.T) {
+	suite := analysis.Suite()
+	if len(suite) < 4 {
+		t.Fatalf("suite registers %d analyzers, want >= 4", len(suite))
+	}
+	want := map[string]bool{
+		"nondeterminism":   false,
+		"barrier":          false,
+		"floatorder":       false,
+		"checkpointcompat": false,
+	}
+	seen := make(map[string]bool)
+	for _, a := range suite {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v incompletely registered (need Name, Doc, Run)", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+		if _, ok := want[a.Name]; ok {
+			want[a.Name] = true
+		}
+	}
+	for name, found := range want {
+		if !found {
+			t.Errorf("suite does not register analyzer %q", name)
+		}
+	}
+}
+
+// TestSuiteFilters pins the package scoping: nondeterminism covers
+// exactly the kernel-side packages, checkpointcompat the snapshot
+// packages, and barrier/floatorder run everywhere.
+func TestSuiteFilters(t *testing.T) {
+	byName := make(map[string]*analysis.Analyzer)
+	for _, a := range analysis.Suite() {
+		byName[a.Name] = a
+	}
+	nd := byName["nondeterminism"]
+	for _, pkg := range []string{
+		"esthera/internal/kernels", "esthera/internal/scan", "esthera/internal/sortnet",
+		"esthera/internal/resample", "esthera/internal/exchange",
+	} {
+		if !nd.Filter(pkg) {
+			t.Errorf("nondeterminism must cover kernel package %s", pkg)
+		}
+	}
+	if nd.Filter("esthera/internal/serve") {
+		t.Errorf("nondeterminism must not cover host-side serve (it may legitimately read clocks)")
+	}
+	cc := byName["checkpointcompat"]
+	for _, pkg := range []string{
+		"esthera/internal/serve", "esthera/internal/filter",
+		"esthera/internal/kernels", "esthera/internal/rng",
+	} {
+		if !cc.Filter(pkg) {
+			t.Errorf("checkpointcompat must cover snapshot package %s", pkg)
+		}
+	}
+	if byName["barrier"].Filter != nil || byName["floatorder"].Filter != nil {
+		t.Errorf("barrier and floatorder must run over every package")
+	}
+}
+
+// TestListFlag exercises the multichecker's -list mode, which the
+// verify pipeline uses to assert registration from the shell.
+func TestListFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := analysis.Main([]string{"-list"}, &out, &errb, analysis.Suite())
+	if code != 0 {
+		t.Fatalf("esthera-vet -list exited %d, stderr: %s", code, errb.String())
+	}
+	for _, name := range []string{"nondeterminism:", "barrier:", "floatorder:", "checkpointcompat:"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %q:\n%s", name, out.String())
+		}
+	}
+}
+
+// TestRepositoryClean runs the full suite over the whole module — the
+// same sweep scripts/verify.sh performs — and requires zero findings:
+// every invariant the analyzers encode holds in the tree as committed.
+func TestRepositoryClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module from source; skipped in -short")
+	}
+	diags, err := analysis.CheckModule(".", analysis.Suite())
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

@@ -1,0 +1,120 @@
+// Package barrier seeds the lane-closure patterns the barrier analyzer
+// must flag (captured-scalar writes, loop-variable writes, including
+// through the reused-closure idiom) and the legal patterns it must
+// accept (lane-indexed writes, closure locals, StepOne/StepSerial
+// single-lane writes, host-side stage parameters).
+package barrier
+
+import "esthera/internal/device"
+
+// state mimics the kernels' shared stage-parameter struct.
+type state struct {
+	stride  int
+	visited int
+	buf     []float64
+}
+
+// CapturedScalar accumulates into a captured variable across lanes.
+func CapturedScalar(ctx device.Ctx, xs []float64) float64 {
+	sum := 0.0
+	ctx.Step(func(lane int) {
+		sum += xs[lane] // want `writes captured variable sum`
+	})
+	return sum
+}
+
+// CapturedField writes a field of a captured struct across lanes.
+func CapturedField(ctx device.Ctx, st *state) {
+	ctx.StepSpan(func(lo, hi int) {
+		for lane := lo; lane < hi; lane++ {
+			st.visited++ // want `writes captured variable st`
+		}
+	})
+}
+
+// LoopVariable writes the enclosing loop's induction variable.
+func LoopVariable(ctx device.Ctx, xs []float64) {
+	for i := 0; i < len(xs); i++ {
+		ctx.Step(func(lane int) {
+			i = lane // want `writes enclosing loop variable i`
+		})
+	}
+}
+
+// ReusedClosure is the named-closure idiom: the literal is bound once
+// and passed by identifier; the analyzer resolves and checks it.
+func ReusedClosure(ctx device.Ctx, st *state) {
+	body := func(lo, hi int) {
+		st.visited++ // want `writes captured variable st`
+	}
+	for d := 1; d < 8; d <<= 1 {
+		st.stride = d
+		ctx.StepSpan(body)
+	}
+}
+
+// LaneIndexed writes through lane-indexed storage: the legal pattern.
+func LaneIndexed(ctx device.Ctx, dst, src []float64) {
+	ctx.Step(func(lane int) {
+		dst[lane] = 2 * src[lane]
+	})
+}
+
+// FieldIndexed writes lane-indexed storage reached through a captured
+// struct: still legal.
+func FieldIndexed(ctx device.Ctx, st *state) {
+	ctx.StepSpan(func(lo, hi int) {
+		for lane := lo; lane < hi; lane++ {
+			st.buf[lane] = float64(lane)
+		}
+	})
+}
+
+// ClosureLocal writes locals declared inside the closure: legal.
+func ClosureLocal(ctx device.Ctx, dst []float64) {
+	ctx.StepSpan(func(lo, hi int) {
+		for lane := lo; lane < hi; lane++ {
+			acc := 0.0
+			for i := 0; i < 4; i++ {
+				acc += float64(i)
+			}
+			dst[lane] = acc
+		}
+	})
+}
+
+// SingleLane writes captured state from StepOne/StepSerial bodies,
+// which run on one lane by contract (the "if (tid == 0)" idiom): legal.
+func SingleLane(g *device.Group, ws []float64) float64 {
+	total := 0.0
+	g.StepOne(func() {
+		for _, w := range ws {
+			total += w
+		}
+	})
+	return total
+}
+
+// HostStage updates stage parameters between steps (across the
+// barrier) and only reads them inside the closure: legal.
+func HostStage(ctx device.Ctx, st *state, buf []float64) {
+	body := func(lo, hi int) {
+		for lane := lo; lane < hi; lane++ {
+			buf[lane] += float64(st.stride)
+		}
+	}
+	for d := 1; d < 8; d <<= 1 {
+		st.stride = d
+		ctx.StepSpan(body)
+	}
+}
+
+// Allowed demonstrates the reviewed-exception escape hatch.
+func Allowed(ctx device.Ctx, xs []float64) int {
+	n := 0
+	ctx.Step(func(lane int) {
+		//esthera:allow barrier -- sequential-simulation-only debug counter
+		n++
+	})
+	return n
+}

@@ -1,0 +1,88 @@
+// Package floatorder seeds order-sensitive float reductions over
+// unordered collections (flagged) and their deterministic counterparts
+// (accepted).
+package floatorder
+
+import "sort"
+
+// MapSum accumulates a float over a map range: bits change per run.
+func MapSum(ws map[string]float64) float64 {
+	sum := 0.0
+	for _, w := range ws {
+		sum += w // want `float accumulation inside range over map`
+	}
+	return sum
+}
+
+// MapProduct is order-sensitive too (rounding differs by order).
+func MapProduct(ws map[int]float64) float64 {
+	p := 1.0
+	for _, w := range ws {
+		p *= w // want `float accumulation inside range over map`
+	}
+	return p
+}
+
+// ChanSum accumulates over a channel: arrival order is scheduling.
+func ChanSum(ch chan float64) float64 {
+	sum := 0.0
+	for v := range ch {
+		sum -= v // want `float accumulation inside range over channel`
+	}
+	return sum
+}
+
+// NestedSlice accumulates inside an ordered inner range whose outer
+// range is a map: the outer order still scrambles the sum.
+func NestedSlice(groups map[string][]float64) float64 {
+	sum := 0.0
+	for _, xs := range groups {
+		for _, x := range xs {
+			sum += x // want `float accumulation inside range over map`
+		}
+	}
+	return sum
+}
+
+// IntCount is integer accumulation: associative, accepted.
+func IntCount(ws map[string]float64) int {
+	n := 0
+	for range ws {
+		n++
+	}
+	return n
+}
+
+// SliceSum accumulates over a slice: ordered, accepted.
+func SliceSum(xs []float64) float64 {
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum
+}
+
+// SortedSum is the deterministic spelling for maps.
+func SortedSum(ws map[string]float64) float64 {
+	keys := make([]string, 0, len(ws))
+	for k := range ws {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	sum := 0.0
+	for _, k := range keys {
+		sum += ws[k]
+	}
+	return sum
+}
+
+// Allowed demonstrates the reviewed-exception escape hatch for sums
+// that feed diagnostics only, never bit-compared outputs.
+func Allowed(ws map[string]float64) float64 {
+	sum := 0.0
+	for _, w := range ws {
+		//esthera:allow floatorder -- debug-logging total, never bit-compared
+		sum += w
+	}
+	return sum
+}

@@ -1,0 +1,80 @@
+// Package nondet seeds every nondeterminism pattern the analyzer must
+// flag, plus the deterministic spellings it must accept.
+package nondet
+
+import (
+	"math/rand" // want `kernel code must not import math/rand`
+	"runtime"
+	"sort"
+	"time"
+)
+
+// Clock reads the wall clock inside kernel code.
+func Clock() int64 {
+	t := time.Now() // want `nondeterministic clock read time\.Now`
+	return t.Unix()
+}
+
+// Elapsed measures durations inside kernel code.
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `nondeterministic clock read time\.Since`
+}
+
+// GlobalRand draws from the global math/rand generator.
+func GlobalRand() float64 {
+	return rand.Float64() // want `global math/rand\.Float64 in kernel code`
+}
+
+// MapRange iterates a map in random order.
+func MapRange(weights map[string]float64) float64 {
+	sum := 0.0
+	for _, w := range weights { // want `map iteration order is nondeterministic`
+		sum += w
+	}
+	return sum
+}
+
+// GoroutineProbe depends on scheduler state.
+func GoroutineProbe() int {
+	return runtime.NumGoroutine() // want `runtime\.NumGoroutine in kernel code`
+}
+
+// SortedRange is the accepted spelling: collect keys (the one legal
+// map range), sort, then iterate the slice.
+func SortedRange(weights map[string]float64) float64 {
+	keys := make([]string, 0, len(weights))
+	for k := range weights {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	sum := 0.0
+	for _, k := range keys {
+		sum += weights[k]
+	}
+	return sum
+}
+
+// Allowed demonstrates the reviewed-exception escape hatch.
+func Allowed(set map[int]bool) int {
+	n := 0
+	//esthera:allow nondeterminism -- membership count, order-insensitive
+	for range set {
+		n++
+	}
+	return n
+}
+
+// DurationArg uses the time package without reading the clock: types
+// and constants are deterministic and stay legal.
+func DurationArg(d time.Duration) bool {
+	return d > time.Millisecond
+}
+
+// SliceRange iterates a slice: ordered, legal.
+func SliceRange(xs []float64) float64 {
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum
+}

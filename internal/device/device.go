@@ -107,11 +107,16 @@ func New(cfg Config) *Device {
 	return d
 }
 
-// Close stops the persistent compute units. It is idempotent and optional
-// (an unreachable Device is closed by a finalizer). Launch remains valid
-// after Close: the launching goroutine executes all work-groups itself.
+// Close stops the persistent compute units. It is idempotent — any mix of
+// explicit double-Close and a later finalizer run resolves to exactly one
+// shutdown — and optional (an unreachable Device is closed by a
+// finalizer; explicit Close clears it). Launch remains valid after Close:
+// the launching goroutine executes all work-groups itself.
 func (d *Device) Close() {
-	d.once.Do(func() { close(d.quit) })
+	d.once.Do(func() {
+		runtime.SetFinalizer(d, nil)
+		close(d.quit)
+	})
 }
 
 // computeUnit is one persistent worker: it drains whole launches, one at

@@ -103,6 +103,29 @@ func TestLaunchAfterClose(t *testing.T) {
 	}
 }
 
+// TestConcurrentClose races many Close calls (the double-stop case the
+// finalizer can add to an explicit shutdown): exactly one must win, none
+// may panic on the already-closed quit channel, and the device must keep
+// serving launches caller-side afterwards.
+func TestConcurrentClose(t *testing.T) {
+	d := New(Config{Workers: 4})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			d.Close()
+		}()
+	}
+	wg.Wait()
+	stats := d.Launch("after-racing-close", Grid{Groups: 2, GroupSize: 2}, func(g *Group) {
+		g.Step(func(lane int) { g.Ops(1) })
+	})
+	if stats.Count.Ops != 4 {
+		t.Fatalf("ops = %d, want 4", stats.Count.Ops)
+	}
+}
+
 // TestPanicDoesNotKillPool asserts that a kernel panic propagates to the
 // launcher while the persistent workers survive to run later launches.
 func TestPanicDoesNotKillPool(t *testing.T) {

@@ -147,7 +147,7 @@ func TestFig5Shape(t *testing.T) {
 	last := len(tab.Rows) - 1
 	seqRWS := cell(t, tab, last, 1)
 	seqVose := cell(t, tab, last, 2)
-	if !(seqVose < seqRWS) {
+	if !raceEnabled && !(seqVose < seqRWS) {
 		t.Fatalf("sequential: Vose (%v ms) must beat RWS (%v ms) at large n", seqVose, seqRWS)
 	}
 	// Parallel sub-filter setting: Vose never faster (cost model).

@@ -1,0 +1,9 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether the race detector is active. Wall-clock
+// shape assertions (e.g. "Vose beats RWS at large n") are skipped under
+// race: the detector's per-access overhead skews the relative timings
+// the assertions encode.
+const raceEnabled = true

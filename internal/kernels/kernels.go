@@ -503,12 +503,16 @@ func (p *Pipeline) rwsSelect(g *device.Group, w []float64, sel []int, s int) {
 		}
 		g.Ops(m)
 	})
-	var iters int
+	// Search depth is data-dependent, so each lane tallies its own
+	// iteration count in a lane-indexed scratch slot; the host sums them
+	// after the barrier (identical totals, no cross-lane writes).
+	laneIters := g.ScratchInt(m)
 	g.StepSpan(func(spanLo, spanHi int) {
 		for lane := spanLo; lane < spanHi; lane++ {
 			u := us[lane]
 			// Largest index with cdf[idx] <= u (cdf is exclusive sums).
 			lo, hi := 0, m-1
+			n := 0
 			for lo < hi {
 				mid := (lo + hi + 1) / 2
 				if cdf[mid] <= u {
@@ -516,11 +520,16 @@ func (p *Pipeline) rwsSelect(g *device.Group, w []float64, sel []int, s int) {
 				} else {
 					hi = mid - 1
 				}
-				iters++
+				n++
 			}
 			sel[lane] = lo
+			laneIters[lane] = n
 		}
 	})
+	iters := 0
+	for _, n := range laneIters {
+		iters += n
+	}
 	g.Ops(iters)
 	g.LocalRead(8 * iters)
 	g.LocalWrite(4 * m)
@@ -556,11 +565,14 @@ func (p *Pipeline) systematicSelect(g *device.Group, w []float64, sel []int, s i
 		g.Ops(1)
 	})
 	step := total / float64(m)
-	var iters int
+	// As in rwsSelect: per-lane search depths land in lane-indexed
+	// scratch and are summed host-side after the barrier.
+	laneIters := g.ScratchInt(m)
 	g.StepSpan(func(spanLo, spanHi int) {
 		for lane := spanLo; lane < spanHi; lane++ {
 			u := (u0 + float64(lane)) * step
 			lo, hi := 0, m-1
+			n := 0
 			for lo < hi {
 				mid := (lo + hi + 1) / 2
 				if cdf[mid] <= u {
@@ -568,11 +580,16 @@ func (p *Pipeline) systematicSelect(g *device.Group, w []float64, sel []int, s i
 				} else {
 					hi = mid - 1
 				}
-				iters++
+				n++
 			}
 			sel[lane] = lo
+			laneIters[lane] = n
 		}
 	})
+	iters := 0
+	for _, n := range laneIters {
+		iters += n
+	}
 	g.Ops(iters)
 	g.LocalRead(8 * iters)
 	g.LocalWrite(4 * m)

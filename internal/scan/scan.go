@@ -76,30 +76,34 @@ func Exclusive(ctx device.Ctx, buf []float64) float64 {
 // upDownSweep runs the Blelloch up-sweep/down-sweep on a power-of-two
 // buffer and returns the total. The tree levels reuse one closure per
 // sweep direction and batch the per-node cost accounting into one flush
-// per sweep (identical totals, no interface call per tree node).
+// per sweep (identical totals, no interface call per tree node). The
+// visited-node counts are accumulated host-side between steps — a level
+// visits exactly st.nodes nodes — so the lane closures write only their
+// disjoint tree slots, as the barrier analyzer requires.
 func upDownSweep(ctx device.Ctx, work []float64) float64 {
 	p := len(work)
 	// All mutable loop state shared with the closures lives in one struct:
 	// a single heap cell per sweep instead of one escape per variable.
 	// Tree levels run as one StepSpan each, covering all nodes of the
 	// level (node updates within a level are disjoint).
-	var st struct{ stride, dd, nodes, visited int }
+	var st struct{ stride, dd, nodes int }
 	up := func(lo, hi int) {
 		for n := 0; n < st.nodes; n++ {
 			i := (n+1)*st.stride - 1
 			work[i] += work[i-st.dd]
-			st.visited++
 		}
 	}
 	// Up-sweep: build the reduction tree.
+	visited := 0
 	for d := 1; d < p; d <<= 1 {
 		st.stride, st.dd = d<<1, d
 		st.nodes = p / st.stride
 		ctx.StepSpan(up)
+		visited += st.nodes
 	}
-	ctx.Ops(st.visited)
-	ctx.LocalRead(16 * st.visited)
-	ctx.LocalWrite(8 * st.visited)
+	ctx.Ops(visited)
+	ctx.LocalRead(16 * visited)
+	ctx.LocalWrite(8 * visited)
 	total := work[p-1]
 	// Clear the root (lane 0's work), then down-sweep distributing
 	// partial sums.
@@ -107,24 +111,24 @@ func upDownSweep(ctx device.Ctx, work []float64) float64 {
 		work[p-1] = 0
 		ctx.LocalWrite(8)
 	})
-	st.visited = 0
 	down := func(lo, hi int) {
 		for n := 0; n < st.nodes; n++ {
 			i := (n+1)*st.stride - 1
 			t := work[i-st.dd]
 			work[i-st.dd] = work[i]
 			work[i] += t
-			st.visited++
 		}
 	}
+	visited = 0
 	for d := p >> 1; d >= 1; d >>= 1 {
 		st.stride, st.dd = d<<1, d
 		st.nodes = p / st.stride
 		ctx.StepSpan(down)
+		visited += st.nodes
 	}
-	ctx.Ops(st.visited)
-	ctx.LocalRead(16 * st.visited)
-	ctx.LocalWrite(16 * st.visited)
+	ctx.Ops(visited)
+	ctx.LocalRead(16 * visited)
+	ctx.LocalWrite(16 * visited)
 	return total
 }
 
@@ -151,23 +155,28 @@ func MaxIndex(ctx device.Ctx, keys []float64) int {
 		}
 	})
 	ctx.LocalWrite(12 * p)
-	var st struct{ s, visited int }
+	// The reduction closure shares one captured cell (the level's
+	// stride); per-level node counts are accumulated host-side — a level
+	// visits exactly stride pairs — keeping the lane closure free of
+	// cross-lane writes.
+	var st struct{ s int }
 	reduce := func(lo, hi int) {
 		for i := 0; i < st.s; i++ {
 			a, b := i, i+st.s
 			if val[b] > val[a] || (val[b] == val[a] && idx[b] < idx[a]) {
 				val[a], idx[a] = val[b], idx[b]
 			}
-			st.visited++
 		}
 	}
+	visited := 0
 	for stride := p >> 1; stride >= 1; stride >>= 1 {
 		st.s = stride
 		ctx.StepSpan(reduce)
+		visited += stride
 	}
-	ctx.Ops(st.visited)
-	ctx.LocalRead(24 * st.visited)
-	ctx.LocalWrite(12 * st.visited)
+	ctx.Ops(visited)
+	ctx.LocalRead(24 * visited)
+	ctx.LocalWrite(12 * visited)
 	return idx[0]
 }
 
@@ -188,19 +197,22 @@ func SumTree(ctx device.Ctx, keys []float64) float64 {
 		}
 	})
 	ctx.LocalWrite(8 * n)
-	var st struct{ s, visited int }
+	// As in MaxIndex: stride is the only shared cell, and the per-level
+	// node count (exactly stride adds) is accumulated host-side.
+	var st struct{ s int }
 	reduce := func(lo, hi int) {
 		for i := 0; i < st.s; i++ {
 			val[i] += val[i+st.s]
-			st.visited++
 		}
 	}
+	visited := 0
 	for stride := p >> 1; stride >= 1; stride >>= 1 {
 		st.s = stride
 		ctx.StepSpan(reduce)
+		visited += stride
 	}
-	ctx.Ops(st.visited)
-	ctx.LocalRead(16 * st.visited)
-	ctx.LocalWrite(8 * st.visited)
+	ctx.Ops(visited)
+	ctx.LocalRead(16 * visited)
+	ctx.LocalWrite(8 * visited)
 	return val[0]
 }

@@ -85,16 +85,21 @@ func SortDescending(ctx device.Ctx, keys []float64, idx []int) {
 //
 // The network executes 0.5·log²p barrier-phased steps; one closure
 // (mutating its captured kk/jj stage parameters) is reused across all of
-// them, and the per-compare-exchange cost accounting is accumulated in
-// plain counters and flushed once at the end — the totals are exactly
-// those of per-exchange accounting, without an interface call per pair.
+// them, and the per-compare-exchange cost accounting is flushed once at
+// the end — the totals are exactly those of per-exchange accounting,
+// without an interface call per pair. Pair counts are deterministic (a
+// stage compares exactly p/2 disjoint pairs: ixj > i iff bit j of i is
+// clear) and accumulate host-side; swap counts are data-dependent, so
+// each lane tallies its own swaps in a lane-indexed scratch slot that
+// the host sums after the barrier — no cross-lane writes in the closure.
 func bitonic(ctx device.Ctx, keys []float64, idx []int) {
 	p := len(keys)
-	// Stage parameters and accounting accumulators share one struct so the
-	// reused closure costs a single heap cell, not one per captured var.
-	// Each stage runs as one StepSpan covering every lane's pair (the
-	// pairs of a stage are disjoint, so lane order is immaterial).
-	var st struct{ k, j, pairs, swaps int }
+	// Stage parameters share one struct so the reused closure costs a
+	// single heap cell, not one per captured var. Each stage runs as one
+	// StepSpan covering every lane's pair (the pairs of a stage are
+	// disjoint, so lane order is immaterial).
+	var st struct{ k, j int }
+	laneSwaps := ctx.ScratchInt(p)
 	step := func(lo, hi int) {
 		for i := 0; i < p; i++ {
 			ixj := i ^ st.j
@@ -111,29 +116,35 @@ func bitonic(ctx device.Ctx, keys []float64, idx []int) {
 			} else {
 				swap = a > b || (a == b && idx != nil && idx[i] < idx[ixj])
 			}
-			st.pairs++
 			if swap {
 				keys[i], keys[ixj] = b, a
 				if idx != nil {
 					idx[i], idx[ixj] = idx[ixj], idx[i]
 				}
-				st.swaps++
+				laneSwaps[i]++
 			}
 		}
 	}
+	stages := 0
 	for k := 2; k <= p; k <<= 1 {
 		for j := k >> 1; j > 0; j >>= 1 {
 			st.k, st.j = k, j
 			ctx.StepSpan(step)
+			stages++
 		}
+	}
+	pairs := stages * (p / 2)
+	swaps := 0
+	for _, c := range laneSwaps {
+		swaps += c
 	}
 	// A compare-exchange costs the comparison plus the partner-index
 	// arithmetic, predication and bank-conflict-prone local accesses
 	// (~12 ops, keys and index array traffic); swaps write both entries
 	// of both arrays back.
-	ctx.Ops(12 * st.pairs)
-	ctx.LocalRead(24 * st.pairs)
-	ctx.LocalWrite(24 * st.swaps)
+	ctx.Ops(12 * pairs)
+	ctx.LocalRead(24 * pairs)
+	ctx.LocalWrite(24 * swaps)
 }
 
 // ArgsortDescending returns the permutation that sorts keys descending,
