@@ -19,6 +19,13 @@
 //	POST   /v1/restore
 //	DELETE /v1/sessions/{id}
 //	GET    /metrics
+//	GET    /healthz                     liveness (200 while the process is up)
+//	GET    /readyz                      readiness (503 once draining or closed)
+//
+// On SIGINT/SIGTERM the server drains gracefully: it stops admitting
+// new steps (readiness goes 503 so load balancers route around it),
+// waits up to -drain-timeout for in-flight steps to deliver, then shuts
+// the HTTP listener and the device down.
 package main
 
 import (
@@ -42,7 +49,8 @@ func main() {
 		queue    = flag.Int("queue", 0, "admission queue depth (0 = 128)")
 		batch    = flag.Int("batch", 0, "max steps coalesced per launch (0 = 32)")
 		window   = flag.Duration("window", 0, "batching window (0 = 200µs)")
-		retry    = flag.Duration("retry", 0, "retry-after hint when saturated (0 = 5ms)")
+		retry    = flag.Duration("retry", 0, "retry-after hint before batch latency is measured (0 = 5ms)")
+		drain    = flag.Duration("drain-timeout", 10*time.Second, "max wait for in-flight steps on shutdown")
 	)
 	flag.Parse()
 
@@ -74,6 +82,16 @@ func main() {
 		os.Exit(1)
 	case <-ctx.Done():
 	}
+
+	// Graceful drain: stop admitting steps first (readiness flips to 503,
+	// new steps fail fast with ErrDraining), let in-flight batches finish
+	// and deliver, then close the listener and stop the device.
+	fmt.Fprintf(os.Stderr, "esthera-serve draining (timeout %v)\n", *drain)
+	drainCtx, cancelDrain := context.WithTimeout(context.Background(), *drain)
+	if err := s.Drain(drainCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "esthera-serve drain incomplete: %v\n", err)
+	}
+	cancelDrain()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	_ = srv.Shutdown(shutdownCtx)

@@ -1,12 +1,16 @@
 // Serving: start the multi-session estimation server in-process, run
-// several concurrent tracking sessions over its HTTP API, checkpoint one
-// mid-run, restore it, and show that the restored session replays
-// bit-identically. The same API is served standalone by cmd/esthera-serve.
+// several concurrent tracking sessions through the retrying API client,
+// checkpoint one mid-run, restore it, and show that the restored
+// session replays bit-identically. Finish with a graceful drain:
+// readiness flips to 503 while in-flight steps complete. The same API
+// is served standalone by cmd/esthera-serve.
 package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log"
 	"math"
@@ -24,6 +28,14 @@ func main() {
 	defer s.Shutdown()
 	ts := httptest.NewServer(esthera.NewServerHandler(s))
 	defer ts.Close()
+	ctx := context.Background()
+
+	// The retry client absorbs 429 backpressure using the server's own
+	// adaptive Retry-After hints, so callers never hand-roll retry loops.
+	client := esthera.NewServerClient(esthera.ClientConfig{BaseURL: ts.URL})
+	if err := client.Ready(ctx); err != nil {
+		log.Fatal(err)
+	}
 
 	// Eight concurrent sessions tracking the univariate nonstationary
 	// growth model, each with its own seed and observation stream.
@@ -31,9 +43,13 @@ func main() {
 	const steps = 20
 	ids := make([]string, sessions)
 	for i := range ids {
-		ids[i] = create(ts.URL, esthera.FilterSpec{
+		id, err := client.Create(ctx, esthera.FilterSpec{
 			Model: "ungm", SubFilters: 16, ParticlesPer: 64, Seed: uint64(i + 1),
 		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ids[i] = id
 	}
 	var wg sync.WaitGroup
 	for i, id := range ids {
@@ -41,7 +57,10 @@ func main() {
 		go func(i int, id string) {
 			defer wg.Done()
 			for k := 1; k <= steps; k++ {
-				step(ts.URL, id, []float64{10 * math.Sin(float64(k)*0.3+float64(i))})
+				z := []float64{10 * math.Sin(float64(k)*0.3+float64(i))}
+				if _, err := client.Step(ctx, id, nil, z); err != nil {
+					log.Fatal(err)
+				}
 			}
 		}(i, id)
 	}
@@ -56,8 +75,14 @@ func main() {
 	}
 	post(ts.URL+"/v1/restore", cp, &restored)
 	z := []float64{3.25}
-	a := step(ts.URL, ids[0], z)
-	b := step(ts.URL, restored.ID, z)
+	a, err := client.Step(ctx, ids[0], nil, z)
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := client.Step(ctx, restored.ID, nil, z)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("original  %s: step %d estimate %.6f\n", ids[0], a.Step, a.State[0])
 	fmt.Printf("restored  %s: step %d estimate %.6f\n", restored.ID, b.Step, b.State[0])
 	if math.Float64bits(a.State[0]) != math.Float64bits(b.State[0]) {
@@ -65,27 +90,32 @@ func main() {
 	}
 	fmt.Println("restored session replays bit-identically")
 
-	// Introspection: per-session latency and the device kernel breakdown.
-	var st esthera.ServerStats
-	get(ts.URL+"/metrics", &st)
+	// Introspection: per-session latency, the device kernel breakdown,
+	// and the robustness-layer health counters.
+	st, err := client.Stats(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("sessions=%d mean batch=%.1f rejected=%d\n", len(st.Sessions), st.MeanBatch, st.Rejected)
+	fmt.Printf("health: ready=%v in-flight=%d cancelled=%d retry-after=%.2fms batch-latency=%.0fµs\n",
+		st.Health.Ready, st.Health.InFlight, st.Health.Cancelled, st.Health.RetryAfterMS, st.Health.BatchLatencyUS)
 	for _, k := range st.Device.Kernels {
 		fmt.Printf("  kernel %-16s launches=%-5d elapsed=%v\n", k.Name, k.Launches, k.Elapsed)
 	}
-}
 
-func create(base string, sp esthera.FilterSpec) string {
-	var out struct {
-		ID string `json:"id"`
+	// Graceful drain: admission stops (new steps fail with ErrDraining,
+	// /readyz goes 503 so load balancers route around the node) while
+	// already-admitted steps complete and deliver.
+	if err := s.Drain(ctx); err != nil {
+		log.Fatal(err)
 	}
-	post(base+"/v1/sessions", map[string]any{"spec": sp}, &out)
-	return out.ID
-}
-
-func step(base, id string, z []float64) esthera.StepResult {
-	var out esthera.StepResult
-	post(base+"/v1/sessions/"+id+"/step", map[string]any{"z": z}, &out)
-	return out
+	if _, err := s.Step(ids[1], nil, z); !errors.Is(err, esthera.ErrServerDraining) {
+		log.Fatalf("step while draining: %v, want ErrServerDraining", err)
+	}
+	if err := client.Ready(ctx); err == nil {
+		log.Fatal("drained server still reports ready")
+	}
+	fmt.Println("drained: admission stopped, readiness 503, in-flight work delivered")
 }
 
 func post(url string, body, out any) {

@@ -15,6 +15,7 @@ var snapshotPackages = map[string]bool{
 	"esthera/internal/filter":  true,
 	"esthera/internal/kernels": true,
 	"esthera/internal/rng":     true,
+	"esthera/internal/cluster": true,
 }
 
 // snapshotName matches the type names that participate in the

@@ -66,6 +66,7 @@ func TestSuiteFilters(t *testing.T) {
 	for _, pkg := range []string{
 		"esthera/internal/serve", "esthera/internal/filter",
 		"esthera/internal/kernels", "esthera/internal/rng",
+		"esthera/internal/cluster",
 	} {
 		if !cc.Filter(pkg) {
 			t.Errorf("checkpointcompat must cover snapshot package %s", pkg)

@@ -13,16 +13,26 @@
 // experiments can predict communication cost on Gigabit Ethernet vs
 // InfiniBand-class fabrics.
 //
-// The package also supports fault injection (FailNode/RestoreNode): a
-// failed node freezes — it neither computes, exchanges, nor contributes
-// to the estimate — which lets the experiments quantify how quickly the
-// surviving sub-filter network re-acquires the target, a robustness
-// property centralized filters do not have.
+// The package also supports fault injection (FailNode/RestoreNode) with
+// degraded-mode serving: a failed node stops computing, exchanging, and
+// contributing to the estimate, but the surviving sub-filter network
+// keeps every exchange edge live by rerouting around the hole — ring and
+// torus receivers deterministically skip along their direction to the
+// next live sender instead of freezing the lane. A restored node does
+// not resurrect its stale particles: RestoreNode re-seeds the node from
+// its live neighbors' current top-t particles, so the rejoining node
+// starts from the survivors' posterior rather than a snapshot of where
+// the target used to be. Health and degradation counters (rerouted and
+// dropped edges, degraded rounds, reseeds) are published through
+// Health() and the /metrics handler (NewMetricsHandler), which lets the
+// experiments quantify how quickly the network re-acquires the target —
+// a robustness property centralized filters do not have.
 package cluster
 
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"esthera/internal/device"
@@ -63,8 +73,13 @@ type Config struct {
 	// SubFiltersPerNode and ParticlesPer shape each node's network slice.
 	SubFiltersPerNode int
 	ParticlesPer      int
-	// ExchangeCount is t for the global ring exchange.
+	// ExchangeCount is t for the global exchange.
 	ExchangeCount int
+	// Scheme is the global exchange topology over all S sub-filters:
+	// exchange.Ring (the default; the zero value exchange.None selects
+	// it) or exchange.Torus2D. Both have the directional structure
+	// degraded-mode rerouting needs.
+	Scheme exchange.Scheme
 	// Network selects the interconnect profile (default GigabitEthernet).
 	Network NetworkProfile
 	// WorkersPerNode sizes each node's device (0 = 1: nodes in this
@@ -73,6 +88,11 @@ type Config struct {
 	WorkersPerNode int
 	// Resampler selects the per-node resampling kernel.
 	Resampler kernels.Algo
+	// StaleRestore disables neighbor re-seeding on RestoreNode: the
+	// rejoining node resumes from its frozen (stale) particles, the
+	// pre-robustness behavior. Kept as an ablation knob so experiments
+	// can measure what re-seeding buys.
+	StaleRestore bool
 }
 
 // Cluster is a distributed particle filter partitioned over simulated
@@ -83,20 +103,37 @@ type Cluster struct {
 	dim int
 
 	nodes []*node
-	// failMu guards failed: fault injection (FailNode/RestoreNode) may be
-	// called from a different goroutine than Step, modeling failures that
-	// strike while a round is in flight. Step snapshots the flags once at
-	// round start, so a mid-round failure takes effect at the next round —
-	// a node cannot half-participate in a round.
+	// top is the global exchange topology over all S sub-filters; its
+	// directional lanes drive both the healthy exchange and the
+	// degraded-mode rerouting.
+	top *exchange.Topology
+	// failMu guards failed and reseed: fault injection
+	// (FailNode/RestoreNode) may be called from a different goroutine
+	// than Step, modeling failures that strike while a round is in
+	// flight. Step snapshots the flags once at round start, so a
+	// mid-round failure takes effect at the next round — a node cannot
+	// half-participate in a round.
 	failMu sync.Mutex
 	failed []bool
+	// reseed marks nodes restored since the last round: before the next
+	// round's kernels they are re-seeded from live neighbors' top-t.
+	reseed []bool
 	seed   uint64
 	k      int
+	// lastBests holds each node's local best from the last round (read
+	// by NodeEstimate; written only by Step).
+	lastBests []nodeBest
 
-	// Communication accounting (inter-node messages only).
-	commBytes int64
-	commMsgs  int64
-	rounds    int64
+	// Communication accounting (inter-node messages only) and the
+	// degradation counters, atomics: Health() and the /metrics handler
+	// read them while Step runs.
+	commBytes      atomic.Int64
+	commMsgs       atomic.Int64
+	rounds         atomic.Int64
+	degradedRounds atomic.Int64
+	reroutedEdges  atomic.Int64
+	droppedEdges   atomic.Int64
+	reseeds        atomic.Int64
 
 	outbox []float64 // global staging: S·t·(dim+1)
 }
@@ -115,9 +152,21 @@ func New(m model.Model, cfg Config, seed uint64) (*Cluster, error) {
 	if cfg.SubFiltersPerNode <= 0 || cfg.ParticlesPer <= 0 {
 		return nil, fmt.Errorf("cluster: invalid node shape %d×%d", cfg.SubFiltersPerNode, cfg.ParticlesPer)
 	}
-	if cfg.ExchangeCount < 0 || 2*cfg.ExchangeCount >= cfg.ParticlesPer {
-		return nil, fmt.Errorf("cluster: exchange count %d incompatible with sub-filter size %d",
-			cfg.ExchangeCount, cfg.ParticlesPer)
+	if cfg.Scheme == exchange.None {
+		cfg.Scheme = exchange.Ring
+	}
+	var degree int
+	switch cfg.Scheme {
+	case exchange.Ring:
+		degree = 2
+	case exchange.Torus2D:
+		degree = 4
+	default:
+		return nil, fmt.Errorf("cluster: scheme %v lacks the directional structure degraded-mode rerouting needs (use ring or torus)", cfg.Scheme)
+	}
+	if cfg.ExchangeCount < 0 || degree*cfg.ExchangeCount >= cfg.ParticlesPer {
+		return nil, fmt.Errorf("cluster: exchange count %d incompatible with sub-filter size %d under %v",
+			cfg.ExchangeCount, cfg.ParticlesPer, cfg.Scheme)
 	}
 	if cfg.Network.Name == "" {
 		cfg.Network = GigabitEthernet()
@@ -128,7 +177,13 @@ func New(m model.Model, cfg Config, seed uint64) (*Cluster, error) {
 	c := &Cluster{cfg: cfg, m: m, dim: m.StateDim()}
 	c.nodes = make([]*node, cfg.Nodes)
 	c.failed = make([]bool, cfg.Nodes)
+	c.reseed = make([]bool, cfg.Nodes)
 	total := cfg.Nodes * cfg.SubFiltersPerNode
+	gtop, err := exchange.NewTopology(cfg.Scheme, total)
+	if err != nil {
+		return nil, err
+	}
+	c.top = gtop
 	c.outbox = make([]float64, total*max(cfg.ExchangeCount, 1)*(c.dim+1))
 	for i := range c.nodes {
 		dev := device.New(device.Config{Workers: cfg.WorkersPerNode, LocalMemBytes: -1})
@@ -170,13 +225,20 @@ func (c *Cluster) TotalParticles() int {
 func (c *Cluster) Reset(seed uint64) {
 	c.seed = seed
 	c.k = 0
-	c.commBytes, c.commMsgs, c.rounds = 0, 0, 0
+	c.commBytes.Store(0)
+	c.commMsgs.Store(0)
+	c.rounds.Store(0)
+	c.degradedRounds.Store(0)
+	c.reroutedEdges.Store(0)
+	c.droppedEdges.Store(0)
+	c.reseeds.Store(0)
 	for i, n := range c.nodes {
 		n.pipe.Reset(rng.StreamSeed(seed, i))
 	}
 	c.failMu.Lock()
 	for i := range c.failed {
 		c.failed[i] = false
+		c.reseed[i] = false
 	}
 	c.failMu.Unlock()
 }
@@ -193,14 +255,21 @@ func (c *Cluster) FailNode(i int) {
 	}
 }
 
-// RestoreNode brings a failed node back. Its (stale) particles rejoin the
-// computation and are refreshed by the ongoing exchange and resampling.
-// Safe to call from a different goroutine than Step.
+// RestoreNode brings a failed node back. The node does not resume from
+// its stale frozen particles: before its first round back it is
+// re-seeded from its live neighbors' current top-t particles, so it
+// rejoins at the survivors' posterior instead of where the target was
+// when it died (Config.StaleRestore disables this for ablation). Safe
+// to call from a different goroutine than Step; like failures, the
+// restore takes effect at the next round boundary.
 func (c *Cluster) RestoreNode(i int) {
 	c.failMu.Lock()
 	defer c.failMu.Unlock()
-	if i >= 0 && i < len(c.failed) {
+	if i >= 0 && i < len(c.failed) && c.failed[i] {
 		c.failed[i] = false
+		if !c.cfg.StaleRestore {
+			c.reseed[i] = true
+		}
 	}
 }
 
@@ -217,26 +286,43 @@ func (c *Cluster) FailedNodes() int {
 	return n
 }
 
-// failedSnapshot copies the fault flags for one round's consistent view.
-func (c *Cluster) failedSnapshot() []bool {
+// failedSnapshot copies the fault flags for one round's consistent view
+// and claims the pending re-seed set: a node restored since the last
+// round is re-seeded exactly once, before its first round back.
+func (c *Cluster) failedSnapshot() (failed, pending []bool) {
 	c.failMu.Lock()
 	defer c.failMu.Unlock()
-	return append([]bool(nil), c.failed...)
+	failed = append([]bool(nil), c.failed...)
+	pending = append([]bool(nil), c.reseed...)
+	for i := range c.reseed {
+		c.reseed[i] = false
+	}
+	return failed, pending
 }
 
 // Step implements filter.Filter: one global filtering round.
 func (c *Cluster) Step(u, z []float64) filter.Estimate {
 	c.k++
-	c.rounds++
-	failed := c.failedSnapshot()
+	c.rounds.Add(1)
+	failed, pending := c.failedSnapshot()
+	anyFailed := false
+	for _, f := range failed {
+		anyFailed = anyFailed || f
+	}
+	if anyFailed {
+		c.degradedRounds.Add(1)
+	}
+
+	// Phase 0: re-seed nodes restored since the last round from their
+	// live neighbors' top-t, before any kernel touches their state.
+	for i := range pending {
+		if pending[i] && !failed[i] {
+			c.reseedNode(i, failed, pending)
+		}
+	}
 
 	// Phase 1 (per node, concurrently): local kernels up to the sorted
 	// state and the node-local best.
-	type nodeBest struct {
-		state []float64
-		logw  float64
-		ok    bool
-	}
 	bests := make([]nodeBest, len(c.nodes))
 	var wg sync.WaitGroup
 	for i, n := range c.nodes {
@@ -280,16 +366,42 @@ func (c *Cluster) Step(u, z []float64) filter.Estimate {
 			best.LogWeight = nb.logw
 		}
 	}
+	c.lastBests = bests
 	return best
+}
+
+// nodeBest is one node's local best from the last round's phase 1.
+type nodeBest struct {
+	state []float64
+	logw  float64
+	ok    bool
+}
+
+// NodeEstimate returns node i's local best from the most recent round:
+// its state, log-weight, and whether the node participated (failed
+// nodes do not). Not safe to call concurrently with Step; it exists for
+// per-node convergence introspection in the failure experiments.
+func (c *Cluster) NodeEstimate(i int) (state []float64, logw float64, ok bool) {
+	if i < 0 || i >= len(c.lastBests) {
+		return nil, negInf, false
+	}
+	nb := c.lastBests[i]
+	return append([]float64(nil), nb.state...), nb.logw, nb.ok
 }
 
 const negInf = -1.7976931348623157e308
 
-// exchangeGlobal performs the ring exchange over all S sub-filters,
-// under the round's snapshot of the fault flags.
+// exchangeGlobal performs the global exchange over all S sub-filters,
+// under the round's snapshot of the fault flags. Each live sub-filter
+// pulls its sender along every topology direction; when the immediate
+// neighbor sits on a failed node the edge is rerouted — the receiver
+// walks the direction's cycle to the next live sender — so no exchange
+// edge freezes while any live sender exists. With no failures the
+// rerouting degenerates to the plain neighbor pulls, bit-identically.
 func (c *Cluster) exchangeGlobal(failed []bool) {
 	t := c.cfg.ExchangeCount
-	if t == 0 {
+	degree := c.top.Directions()
+	if t == 0 || degree == 0 {
 		return
 	}
 	spn := c.cfg.SubFiltersPerNode
@@ -297,6 +409,11 @@ func (c *Cluster) exchangeGlobal(failed []bool) {
 	dim := c.dim
 	stride := dim + 1
 	S := c.cfg.Nodes * spn
+	live := func(q int) bool { return !failed[q/spn] }
+	anyFailed := false
+	for _, f := range failed {
+		anyFailed = anyFailed || f
+	}
 
 	// Stage every live sub-filter's top-t into the global outbox.
 	for g := 0; g < S; g++ {
@@ -314,9 +431,11 @@ func (c *Cluster) exchangeGlobal(failed []bool) {
 			rec[dim] = lw[local*mp+i]
 		}
 	}
-	// Deliver: each live sub-filter pulls from its ring neighbors; pulls
-	// from failed senders are skipped (their slots keep native
-	// particles). Inter-node pulls are counted as messages.
+	// Deliver: each live sub-filter pulls along every direction from the
+	// first live sender on that direction's cycle. Lanes with no live
+	// sender anywhere (every other node dead, or a degenerate torus
+	// axis) keep native particles. Inter-node pulls are counted as
+	// messages.
 	for g := 0; g < S; g++ {
 		nodeIdx := g / spn
 		if failed[nodeIdx] {
@@ -326,17 +445,23 @@ func (c *Cluster) exchangeGlobal(failed []bool) {
 		p := c.nodes[nodeIdx].pipe.Particles()
 		lw := c.nodes[nodeIdx].pipe.LogWeights()
 		base := local * mp * dim
-		neighbors := [2]int{(g - 1 + S) % S, (g + 1) % S}
-		slot := mp - 2*t
-		for _, q := range neighbors {
-			qNode := q / spn
-			if failed[qNode] {
+		slot := mp - degree*t
+		for dir := 0; dir < degree; dir++ {
+			q := c.top.RouteLive(g, dir, live)
+			if q < 0 {
+				if anyFailed {
+					c.droppedEdges.Add(1)
+				}
 				slot += t
 				continue
 			}
+			if q != c.top.Walk(g, dir) {
+				c.reroutedEdges.Add(1)
+			}
+			qNode := q / spn
 			if qNode != nodeIdx {
-				c.commMsgs++
-				c.commBytes += int64(t * stride * 8)
+				c.commMsgs.Add(1)
+				c.commBytes.Add(int64(t * stride * 8))
 			}
 			for i := 0; i < t; i++ {
 				rec := c.outbox[(q*t+i)*stride : (q*t+i+1)*stride]
@@ -348,19 +473,76 @@ func (c *Cluster) exchangeGlobal(failed []bool) {
 	}
 }
 
+// reseedNode replaces a restored node's stale particles with copies of
+// its live neighbors' current top-t: for each of the node's sub-filters
+// the donors are the first live sender along every topology direction
+// (skipping failed nodes and nodes restored in this same round, whose
+// state is equally stale), and the donors' top-t records are tiled
+// deterministically across all m particle slots. With no live donor
+// anywhere the stale particles are kept — there is nothing better.
+func (c *Cluster) reseedNode(nodeIdx int, failed, pending []bool) {
+	spn := c.cfg.SubFiltersPerNode
+	mp := c.cfg.ParticlesPer
+	dim := c.dim
+	t := max(c.cfg.ExchangeCount, 1)
+	donorOK := func(q int) bool {
+		n := q / spn
+		return !failed[n] && !pending[n] && n != nodeIdx
+	}
+	p := c.nodes[nodeIdx].pipe.Particles()
+	lw := c.nodes[nodeIdx].pipe.LogWeights()
+	degree := c.top.Directions()
+	reseeded := false
+	for local := 0; local < spn; local++ {
+		g := nodeIdx*spn + local
+		// Gather the donor pool: top-t of each direction's nearest donor.
+		states := make([]float64, 0, degree*t*dim)
+		weights := make([]float64, 0, degree*t)
+		for dir := 0; dir < degree; dir++ {
+			q := c.top.RouteLive(g, dir, donorOK)
+			if q < 0 {
+				continue
+			}
+			qp := c.nodes[q/spn].pipe.Particles()
+			qlw := c.nodes[q/spn].pipe.LogWeights()
+			qbase := (q % spn) * mp * dim
+			for i := 0; i < t; i++ {
+				states = append(states, qp[qbase+i*dim:qbase+(i+1)*dim]...)
+				weights = append(weights, qlw[(q%spn)*mp+i])
+			}
+		}
+		if len(weights) == 0 {
+			continue
+		}
+		base := local * mp * dim
+		for s := 0; s < mp; s++ {
+			d := s % len(weights)
+			copy(p[base+s*dim:base+(s+1)*dim], states[d*dim:(d+1)*dim])
+			lw[local*mp+s] = weights[d]
+		}
+		reseeded = true
+	}
+	if reseeded {
+		c.reseeds.Add(1)
+	}
+}
+
 // CommStats returns the accumulated inter-node traffic.
-func (c *Cluster) CommStats() (bytes, messages int64) { return c.commBytes, c.commMsgs }
+func (c *Cluster) CommStats() (bytes, messages int64) {
+	return c.commBytes.Load(), c.commMsgs.Load()
+}
 
 // PredictCommPerRound converts the measured per-round traffic into a
 // communication-time prediction under the configured network profile.
 // Messages from different node pairs overlap; the cost is the busiest
 // node's share (each node exchanges with two neighbor nodes per round).
 func (c *Cluster) PredictCommPerRound() time.Duration {
-	if c.rounds == 0 || c.cfg.Nodes == 1 {
+	rounds := c.rounds.Load()
+	if rounds == 0 || c.cfg.Nodes == 1 {
 		return 0
 	}
-	msgsPerRound := float64(c.commMsgs) / float64(c.rounds)
-	bytesPerRound := float64(c.commBytes) / float64(c.rounds)
+	msgsPerRound := float64(c.commMsgs.Load()) / float64(rounds)
+	bytesPerRound := float64(c.commBytes.Load()) / float64(rounds)
 	live := float64(c.cfg.Nodes - c.FailedNodes())
 	if live == 0 {
 		return 0

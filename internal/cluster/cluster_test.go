@@ -1,9 +1,15 @@
 package cluster_test
 
 import (
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 
 	"esthera/internal/cluster"
+	"esthera/internal/exchange"
 	"esthera/internal/filter"
 	"esthera/internal/metrics"
 	"esthera/internal/model"
@@ -176,6 +182,215 @@ func mean(xs []float64) float64 {
 		s += v
 	}
 	return s / float64(len(xs))
+}
+
+// TestDegradedModeKeepsEdgesLive is the degraded-mode contract: with a
+// failed node under ring exchange the cluster keeps stepping every
+// round, every live exchange lane reroutes to the next live sender (no
+// frozen edges, no dropped lanes while live senders exist), and the
+// degradation counters record it.
+func TestDegradedModeKeepsEdgesLive(t *testing.T) {
+	m, sc := armScenario(t)
+	c := newCluster(t, m, 4)
+
+	warm := metrics.Run(c, sc, 30, 13)
+	before := mean(warm.Err[20:])
+	h0 := c.Health()
+	if h0.DegradedRounds != 0 || h0.ReroutedEdges != 0 || h0.DroppedEdges != 0 {
+		t.Fatalf("healthy run recorded degradation: %+v", h0)
+	}
+
+	c.FailNode(1)
+	s := continueRun(c, sc, 31, 20, 13)
+	h := c.Health()
+	if h.FailedNodes != 1 || h.LiveNodes != 3 {
+		t.Fatalf("node accounting: %+v", h)
+	}
+	if h.DegradedRounds != 20 {
+		t.Fatalf("degraded rounds %d, want 20 (the cluster must step every round)", h.DegradedRounds)
+	}
+	// Ring receivers adjacent to the dead node's slice reroute past it:
+	// 16 dead sub-filters, so the two flanking live sub-filters skip 16
+	// hops — 2 rerouted edges per round.
+	if h.ReroutedEdges != 2*20 {
+		t.Fatalf("rerouted edges %d, want 40", h.ReroutedEdges)
+	}
+	if h.DroppedEdges != 0 {
+		t.Fatalf("%d exchange lanes froze with 3 live nodes available", h.DroppedEdges)
+	}
+	if during := mean(s); during > 5*before+0.5 {
+		t.Fatalf("tracking collapsed in degraded mode: %v vs %v before", during, before)
+	}
+	c.RestoreNode(1)
+	continueRun(c, sc, 51, 5, 13)
+	if got := c.Health().Reseeds; got != 1 {
+		t.Fatalf("reseeds %d, want 1", got)
+	}
+}
+
+// TestTorusDegradedMode runs the same contract under the torus scheme.
+func TestTorusDegradedMode(t *testing.T) {
+	m, sc := armScenario(t)
+	c, err := cluster.New(m, cluster.Config{
+		Nodes: 4, SubFiltersPerNode: 16, ParticlesPer: 16,
+		ExchangeCount: 1, WorkersPerNode: 2, Scheme: exchange.Torus2D,
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := metrics.Run(c, sc, 40, 17)
+	before := s.MeanAfter(25)
+	if before > 0.25 {
+		t.Fatalf("torus cluster trailing error %v, want < 0.25", before)
+	}
+	if _, msgs := c.CommStats(); msgs == 0 {
+		t.Fatal("torus exchange produced no inter-node messages")
+	}
+	c.FailNode(2)
+	s2 := continueRun(c, sc, 41, 20, 17)
+	h := c.Health()
+	if h.DegradedRounds != 20 || h.ReroutedEdges == 0 {
+		t.Fatalf("torus degradation not recorded: %+v", h)
+	}
+	if h.DroppedEdges != 0 {
+		t.Fatalf("%d torus lanes froze with 3 live nodes", h.DroppedEdges)
+	}
+	if during := mean(s2); during > 5*before+0.5 {
+		t.Fatalf("torus tracking collapsed in degraded mode: %v vs %v", during, before)
+	}
+}
+
+// TestSchemeValidation rejects topologies without directional structure
+// and exchange volumes that overflow the per-scheme slot budget.
+func TestSchemeValidation(t *testing.T) {
+	m, _ := armScenario(t)
+	if _, err := cluster.New(m, cluster.Config{
+		Nodes: 2, SubFiltersPerNode: 4, ParticlesPer: 16, Scheme: exchange.Hypercube,
+	}, 1); err == nil {
+		t.Fatal("hypercube scheme accepted")
+	}
+	// Torus pulls from 4 directions: 4t must stay below m.
+	if _, err := cluster.New(m, cluster.Config{
+		Nodes: 2, SubFiltersPerNode: 4, ParticlesPer: 8,
+		ExchangeCount: 2, Scheme: exchange.Torus2D,
+	}, 1); err == nil {
+		t.Fatal("torus with 4t >= m accepted")
+	}
+}
+
+// TestReseedOnRestoreConvergesFaster is the restore contract: a node
+// that rejoins after the target moved on re-acquires faster when
+// re-seeded from its live neighbors' top-t than when resurrected with
+// its stale frozen particles. Both runs are deterministic; the
+// comparison is the restored node's own local-best error over the
+// rounds right after restore.
+func TestReseedOnRestoreConvergesFaster(t *testing.T) {
+	m, sc := armScenario(t)
+	nodeErr := func(stale bool) []float64 {
+		cfg := cluster.Config{
+			Nodes: 4, SubFiltersPerNode: 16, ParticlesPer: 16,
+			ExchangeCount: 1, WorkersPerNode: 2, StaleRestore: stale,
+		}
+		c, err := cluster.New(m, cfg, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Converge, then kill node 1 and let the target move on without it.
+		metrics.Run(c, sc, 20, 19)
+		c.FailNode(1)
+		continueRun(c, sc, 21, 30, 19)
+		c.RestoreNode(1)
+		// The restored node's own error over the rounds right after
+		// restore, one round at a time.
+		var errs []float64
+		for k := 0; k < 8; k++ {
+			continueRun(c, sc, 51+k, 1, 19)
+			state, _, ok := c.NodeEstimate(1)
+			if !ok {
+				t.Fatal("restored node did not participate")
+			}
+			ex, ey := m.TrackedPosition(state)
+			truth := make([]float64, m.StateDim())
+			sc.TrueState(51+k, truth)
+			tx, ty := m.TrackedPosition(truth)
+			errs = append(errs, hypot(ex-tx, ey-ty))
+		}
+		if stale && c.Health().Reseeds != 0 {
+			t.Fatal("stale restore must not reseed")
+		}
+		if !stale && c.Health().Reseeds != 1 {
+			t.Fatalf("reseeds = %d, want 1", c.Health().Reseeds)
+		}
+		return errs
+	}
+	reseeded := nodeErr(false)
+	stale := nodeErr(true)
+	if mean(reseeded) >= mean(stale) {
+		t.Fatalf("re-seeded node error %v (mean %.4f) not below stale-restore %v (mean %.4f)",
+			reseeded, mean(reseeded), stale, mean(stale))
+	}
+}
+
+func hypot(a, b float64) float64 {
+	return math.Sqrt(a*a + b*b)
+}
+
+// TestMetricsHandler publishes the degradation counters over HTTP: the
+// acceptance surface for "FailedNodes visible via /metrics".
+func TestMetricsHandler(t *testing.T) {
+	m, sc := armScenario(t)
+	c := newCluster(t, m, 4)
+	ts := httptest.NewServer(cluster.NewMetricsHandler(c))
+	defer ts.Close()
+
+	c.FailNode(3)
+	metrics.Run(c, sc, 10, 23)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	var h cluster.HealthSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.FailedNodes != 1 || h.LiveNodes != 3 || h.Nodes != 4 {
+		t.Fatalf("node counters over the wire: %+v", h)
+	}
+	if h.DegradedRounds != 10 || h.ReroutedEdges == 0 {
+		t.Fatalf("degradation counters over the wire: %+v", h)
+	}
+	if h.CommMessages == 0 {
+		t.Fatalf("comm counters over the wire: %+v", h)
+	}
+
+	if code := getStatus(t, ts.URL+"/healthz"); code != http.StatusOK {
+		t.Fatalf("/healthz status %d", code)
+	}
+	if code := getStatus(t, ts.URL+"/readyz"); code != http.StatusOK {
+		t.Fatalf("/readyz with live nodes: status %d", code)
+	}
+	for i := 0; i < 4; i++ {
+		c.FailNode(i)
+	}
+	if code := getStatus(t, ts.URL+"/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz with all nodes down: status %d, want 503", code)
+	}
+}
+
+func getStatus(t *testing.T, url string) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode
 }
 
 // TestConcurrentFaultInjection runs FailNode/RestoreNode from a second

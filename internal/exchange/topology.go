@@ -196,6 +196,78 @@ func (t *Topology) MaxDegree() int {
 	return 0
 }
 
+// Directions returns the number of directed exchange lanes per
+// sub-filter for the pairwise grid schemes: 2 for Ring (previous, next)
+// and 4 for Torus2D (up, down, left, right). Directed lanes underlie
+// degraded-mode rerouting (see RouteLive): a receiver that cannot pull
+// from its immediate neighbor in a direction keeps walking that
+// direction until it finds a live sender. Schemes without a directional
+// structure (None, AllToAll, RandomPairs, Hypercube) report 0, as does a
+// single-sub-filter network.
+func (t *Topology) Directions() int {
+	if t.n <= 1 {
+		return 0
+	}
+	switch t.scheme {
+	case Ring:
+		return 2
+	case Torus2D:
+		return 4
+	}
+	return 0
+}
+
+// Walk returns the sub-filter one hop from i along direction dir
+// (0 ≤ dir < Directions()). Walking a direction repeatedly traverses a
+// closed cycle back to i: the whole ring, or one torus row/column. A
+// degenerate torus axis of length 1 steps to i itself.
+func (t *Topology) Walk(i, dir int) int {
+	if i < 0 || i >= t.n {
+		panic(fmt.Sprintf("exchange: sub-filter %d out of range [0,%d)", i, t.n))
+	}
+	if dir < 0 || dir >= t.Directions() {
+		panic(fmt.Sprintf("exchange: direction %d out of range [0,%d)", dir, t.Directions()))
+	}
+	switch t.scheme {
+	case Ring:
+		if dir == 0 {
+			return (i - 1 + t.n) % t.n
+		}
+		return (i + 1) % t.n
+	case Torus2D:
+		r, c := i/t.cols, i%t.cols
+		switch dir {
+		case 0:
+			r = (r - 1 + t.rows) % t.rows
+		case 1:
+			r = (r + 1) % t.rows
+		case 2:
+			c = (c - 1 + t.cols) % t.cols
+		default:
+			c = (c + 1) % t.cols
+		}
+		return r*t.cols + c
+	}
+	panic(fmt.Sprintf("exchange: scheme %v has no directions", t.scheme))
+}
+
+// RouteLive returns the first live sub-filter along direction dir from
+// i, skipping dead senders deterministically: it walks the direction's
+// cycle hop by hop and stops at the first j with live(j). When the walk
+// returns to i without finding a live sender — every other sub-filter on
+// the cycle is dead, or the axis is degenerate — it returns -1 and the
+// caller keeps its native particles for that lane. With every sender
+// live, RouteLive(i, dir) is exactly the immediate neighbor Walk(i, dir),
+// so the no-fault path is unchanged by routing through this helper.
+func (t *Topology) RouteLive(i, dir int, live func(int) bool) int {
+	for j := t.Walk(i, dir); j != i; j = t.Walk(j, dir) {
+		if live(j) {
+			return j
+		}
+	}
+	return -1
+}
+
 // Pairing returns the RandomPairs matching for one round: partner[i] is
 // the sub-filter i exchanges with, or i itself when unmatched (odd n
 // leaves one out per round). The matching is a deterministic function of

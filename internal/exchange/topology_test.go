@@ -178,6 +178,104 @@ func TestMaxDegreeRing(t *testing.T) {
 	}
 }
 
+func TestDirections(t *testing.T) {
+	cases := []struct {
+		scheme Scheme
+		n      int
+		want   int
+	}{
+		{Ring, 8, 2}, {Ring, 2, 2}, {Ring, 1, 0},
+		{Torus2D, 16, 4}, {Torus2D, 2, 4},
+		{None, 8, 0}, {AllToAll, 8, 0}, {Hypercube, 8, 0}, {RandomPairs, 8, 0},
+	}
+	for _, c := range cases {
+		top, err := NewTopology(c.scheme, c.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := top.Directions(); got != c.want {
+			t.Errorf("%v-%d directions = %d, want %d", c.scheme, c.n, got, c.want)
+		}
+	}
+}
+
+func TestWalkRing(t *testing.T) {
+	top, _ := NewTopology(Ring, 5)
+	if got := top.Walk(0, 0); got != 4 {
+		t.Fatalf("ring walk back from 0 = %d, want 4", got)
+	}
+	if got := top.Walk(0, 1); got != 1 {
+		t.Fatalf("ring walk forward from 0 = %d, want 1", got)
+	}
+	// Walking one direction traverses the full cycle back to the start.
+	j, hops := top.Walk(2, 1), 1
+	for ; j != 2; j = top.Walk(j, 1) {
+		hops++
+	}
+	if hops != 5 {
+		t.Fatalf("ring cycle length %d, want 5", hops)
+	}
+}
+
+func TestWalkTorus(t *testing.T) {
+	top, _ := NewTopology(Torus2D, 16) // 4×4
+	// Sub-filter 5 is row 1, col 1.
+	want := []int{1, 9, 4, 6} // up, down, left, right
+	for dir, w := range want {
+		if got := top.Walk(5, dir); got != w {
+			t.Errorf("torus walk(5, %d) = %d, want %d", dir, got, w)
+		}
+	}
+	// Degenerate 1×2 grid: the vertical axis steps to self.
+	deg, _ := NewTopology(Torus2D, 2)
+	if got := deg.Walk(0, 0); got != 0 {
+		t.Fatalf("1×2 torus vertical walk = %d, want self", got)
+	}
+}
+
+func TestRouteLive(t *testing.T) {
+	top, _ := NewTopology(Ring, 6)
+	allLive := func(int) bool { return true }
+	// Fully live: routing is exactly the immediate neighbor.
+	for i := 0; i < 6; i++ {
+		for dir := 0; dir < top.Directions(); dir++ {
+			if got, want := top.RouteLive(i, dir, allLive), top.Walk(i, dir); got != want {
+				t.Fatalf("all-live route(%d,%d) = %d, want neighbor %d", i, dir, got, want)
+			}
+		}
+	}
+	// Dead immediate neighbor: skip to the next live one in the same
+	// direction, deterministically.
+	dead := map[int]bool{5: true, 4: true}
+	live := func(j int) bool { return !dead[j] }
+	if got := top.RouteLive(0, 0, live); got != 3 {
+		t.Fatalf("route around dead 5,4 = %d, want 3", got)
+	}
+	// All other sub-filters dead: no live sender, -1.
+	only := func(j int) bool { return false }
+	if got := top.RouteLive(0, 1, only); got != -1 {
+		t.Fatalf("route with no live sender = %d, want -1", got)
+	}
+	// Degenerate torus axis: no sender on a length-1 cycle.
+	deg, _ := NewTopology(Torus2D, 3) // 1×3
+	if got := deg.RouteLive(1, 0, allLive); got != -1 {
+		t.Fatalf("degenerate torus axis route = %d, want -1", got)
+	}
+	if got := deg.RouteLive(1, 3, allLive); got != 2 {
+		t.Fatalf("1×3 torus right route = %d, want 2", got)
+	}
+}
+
+func TestWalkOutOfRangePanics(t *testing.T) {
+	top, _ := NewTopology(Ring, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	top.Walk(0, 2)
+}
+
 func TestPairingIsSymmetricMatching(t *testing.T) {
 	for _, n := range []int{1, 2, 3, 8, 17, 64} {
 		for round := 0; round < 5; round++ {

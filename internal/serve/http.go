@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -19,11 +20,18 @@ import (
 //	GET    /v1/sessions/{id}/checkpoint                             → Checkpoint
 //	POST   /v1/restore                  Checkpoint                  → {"id": ...}
 //	GET    /metrics                                                 → Stats
+//	GET    /healthz                                                 → 200 while up
+//	GET    /readyz                                                  → 200 admitting, 503 draining/closed
 //
-// Saturation maps to 429 with a Retry-After header (the admission
-// controller's hint, rounded up to whole seconds per RFC 9110, and
-// exactly in milliseconds in a Retry-After-Ms header); unknown sessions
-// to 404; invalid specs and malformed bodies to 400.
+// Step requests run under the request context: a client disconnect or
+// deadline cancels a still-queued step (the scheduler skips it without
+// executing), surfacing as 499 (client closed request) or 504.
+//
+// Saturation maps to 429 with a Retry-After header (the adaptive
+// admission hint, rounded up to whole seconds per RFC 9110, and in
+// milliseconds — clamped to ≥ 1 so clients never busy-spin — in a
+// Retry-After-Ms header); draining to 503 with the same headers;
+// unknown sessions to 404; invalid specs and malformed bodies to 400.
 func NewHandler(s *Server) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
@@ -59,7 +67,7 @@ func NewHandler(s *Server) http.Handler {
 		if !readJSON(w, r, &body) {
 			return
 		}
-		res, err := s.Step(r.PathValue("id"), body.U, body.Z)
+		res, err := s.StepCtx(r.Context(), r.PathValue("id"), body.U, body.Z)
 		if err != nil {
 			httpError(w, err)
 			return
@@ -95,6 +103,23 @@ func NewHandler(s *Server) http.Handler {
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if !s.Ready() {
+			// "closed" wins over "draining": the graceful path drains
+			// first and shuts down after, and probes care about the
+			// terminal state.
+			status := "closed"
+			if s.Draining() && !s.stopped() {
+				status = "draining"
+			}
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": status})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 	})
 	return mux
 }
@@ -139,6 +164,11 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v)
 }
 
+// statusClientClosedRequest is nginx's non-standard 499: the client
+// disconnected before the step was delivered. The response body is
+// unlikely to be read; the code exists for access logs and middleware.
+const statusClientClosedRequest = 499
+
 func httpError(w http.ResponseWriter, err error) {
 	var sat *SaturatedError
 	switch {
@@ -147,14 +177,24 @@ func httpError(w http.ResponseWriter, err error) {
 		if secs < 1 {
 			secs = 1
 		}
+		ms := sat.RetryAfter.Milliseconds()
+		if ms < 1 {
+			// A sub-millisecond hint truncates to 0, which tells
+			// clients to retry immediately in a hot loop.
+			ms = 1
+		}
 		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
-		w.Header().Set("Retry-After-Ms", strconv.FormatInt(sat.RetryAfter.Milliseconds(), 10))
+		w.Header().Set("Retry-After-Ms", strconv.FormatInt(ms, 10))
 		writeJSON(w, http.StatusTooManyRequests, map[string]string{"error": err.Error()})
 	case errors.Is(err, ErrNotFound):
 		writeJSON(w, http.StatusNotFound, map[string]string{"error": err.Error()})
+	case errors.Is(err, context.Canceled):
+		writeJSON(w, statusClientClosedRequest, map[string]string{"error": err.Error()})
+	case errors.Is(err, context.DeadlineExceeded):
+		writeJSON(w, http.StatusGatewayTimeout, map[string]string{"error": err.Error()})
 	case errors.Is(err, ErrTooManySessions):
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
-	case errors.Is(err, ErrClosed):
+	case errors.Is(err, ErrDraining), errors.Is(err, ErrClosed):
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
 	default:
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})

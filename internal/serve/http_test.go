@@ -2,7 +2,9 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -368,4 +370,112 @@ func TestHTTPSaturation(t *testing.T) {
 		t.Fatalf("metrics count %d rejects, clients saw %d", st.Rejected, saw429)
 	}
 	t.Logf("%d requests shed with 429", saw429)
+}
+
+// probe fetches url and returns the status code plus the decoded
+// {"status": ...} body regardless of code (getJSON only decodes 2xx).
+func probe(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("decoding %s: %v", url, err)
+	}
+	return resp.StatusCode, body.Status
+}
+
+// TestHTTPHealthEndpoints walks /healthz and /readyz through the
+// lifecycle: ready while serving, unready-draining after Drain,
+// unready-closed after Shutdown, liveness green throughout.
+func TestHTTPHealthEndpoints(t *testing.T) {
+	s := NewServer(Config{Workers: 2}, testModels())
+	ts := httptest.NewServer(NewHandler(s))
+	t.Cleanup(ts.Close)
+	t.Cleanup(s.Shutdown)
+
+	if code, status := probe(t, ts.URL+"/healthz"); code != http.StatusOK || status != "ok" {
+		t.Fatalf("/healthz: %d %q", code, status)
+	}
+	if code, status := probe(t, ts.URL+"/readyz"); code != http.StatusOK || status != "ready" {
+		t.Fatalf("/readyz: %d %q", code, status)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if code, status := probe(t, ts.URL+"/readyz"); code != http.StatusServiceUnavailable || status != "draining" {
+		t.Fatalf("/readyz while draining: %d %q", code, status)
+	}
+	// A draining server rejects new steps with 503 so load balancers and
+	// the retry client route around it.
+	id := "s-1" // no sessions exist; the draining check runs first for any id
+	if code := postJSON(t, ts.URL+"/v1/sessions/"+id+"/step", map[string]any{"z": []float64{0}}, nil); code != http.StatusNotFound {
+		// Unknown session wins over draining (lookup runs first): accept 404.
+		t.Fatalf("step on draining server: status %d", code)
+	}
+
+	s.Shutdown()
+	if code, status := probe(t, ts.URL+"/readyz"); code != http.StatusServiceUnavailable || status != "closed" {
+		t.Fatalf("/readyz after shutdown: %d %q", code, status)
+	}
+	if code, status := probe(t, ts.URL+"/healthz"); code != http.StatusOK || status != "ok" {
+		t.Fatalf("/healthz after shutdown: %d %q", code, status)
+	}
+}
+
+// TestHTTPDrainingStepRejected covers the admission path: a live
+// session's step during drain maps ErrDraining to 503 with headers the
+// retry client understands.
+func TestHTTPDrainingStepRejected(t *testing.T) {
+	s, ts := newHTTPServer(t, Config{Workers: 2})
+	id := createSession(t, ts.URL, FilterSpec{Model: "ungm", SubFilters: 4, ParticlesPer: 16, Seed: 9})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if code := postJSON(t, ts.URL+"/v1/sessions/"+id+"/step", map[string]any{"z": []float64{0}}, nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("step while draining: status %d, want 503", code)
+	}
+}
+
+// TestHTTPErrorMapping unit-tests httpError's status mapping, including
+// the sub-millisecond Retry-After-Ms clamp.
+func TestHTTPErrorMapping(t *testing.T) {
+	check := func(err error, wantCode int) *httptest.ResponseRecorder {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		httpError(rec, err)
+		if rec.Code != wantCode {
+			t.Fatalf("%v → status %d, want %d", err, rec.Code, wantCode)
+		}
+		return rec
+	}
+
+	// Sub-millisecond hint: both headers clamp to 1 so clients never see
+	// a zero ("retry immediately") hint.
+	rec := check(&SaturatedError{RetryAfter: 200 * time.Microsecond}, http.StatusTooManyRequests)
+	if ra, ms := rec.Header().Get("Retry-After"), rec.Header().Get("Retry-After-Ms"); ra != "1" || ms != "1" {
+		t.Fatalf("sub-ms hint headers: Retry-After=%q Retry-After-Ms=%q, want 1/1", ra, ms)
+	}
+	rec = check(&SaturatedError{RetryAfter: 1500 * time.Millisecond}, http.StatusTooManyRequests)
+	if ra, ms := rec.Header().Get("Retry-After"), rec.Header().Get("Retry-After-Ms"); ra != "1" || ms != "1500" {
+		t.Fatalf("1.5s hint headers: Retry-After=%q Retry-After-Ms=%q, want 1/1500", ra, ms)
+	}
+
+	check(fmt.Errorf("step: %w", context.Canceled), statusClientClosedRequest)
+	check(fmt.Errorf("step: %w", context.DeadlineExceeded), http.StatusGatewayTimeout)
+	check(ErrDraining, http.StatusServiceUnavailable)
+	check(ErrClosed, http.StatusServiceUnavailable)
+	check(ErrTooManySessions, http.StatusServiceUnavailable)
+	check(ErrNotFound, http.StatusNotFound)
+	check(errors.New("bad spec"), http.StatusBadRequest)
 }

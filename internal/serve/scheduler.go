@@ -2,17 +2,43 @@ package serve
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"esthera/internal/filter"
 )
 
+// A stepReq's lifecycle state. Every request starts pending; exactly one
+// side wins the transition out of it, via compare-and-swap:
+//
+//   - the scheduler *claims* it (reqClaimed) when it commits a batch for
+//     execution — from that point the step WILL be applied to the
+//     session's filter and a result WILL be delivered on done, so the
+//     waiter must consume it even if its context fired meanwhile;
+//   - the waiter *abandons* it (reqAbandoned) when cancellation, a
+//     deadline, or shutdown wins while the request is still queued —
+//     from that point the scheduler skips it at delivery time and the
+//     step is never applied.
+//
+// The protocol gives Step its at-most-once contract: a step is either
+// applied-and-reported or never-applied-and-failed, regardless of how
+// cancellation and shutdown race the batch.
+const (
+	reqPending int32 = iota
+	reqClaimed
+	reqAbandoned
+)
+
 // stepReq is one queued observation step.
 type stepReq struct {
-	sess *Session
-	u, z []float64
-	done chan stepResult
+	sess  *Session
+	u, z  []float64
+	done  chan stepResult // buffered(1): delivery never blocks the scheduler
+	state atomic.Int32
 }
+
+func (r *stepReq) claim() bool   { return r.state.CompareAndSwap(reqPending, reqClaimed) }
+func (r *stepReq) abandon() bool { return r.state.CompareAndSwap(reqPending, reqAbandoned) }
 
 // stepResult is the scheduler's reply to one stepReq.
 type stepResult struct {
@@ -32,7 +58,17 @@ func (s *Server) schedule() {
 	for {
 		select {
 		case req := <-s.queue:
-			s.runBatch(s.collect(req))
+			batch, quit := s.collect(req)
+			if quit {
+				// Shutdown fired while collecting: the waiters' quit
+				// branches are already returning ErrClosed, so running
+				// the batch would apply steps whose callers reported
+				// failure. Fail it instead — no work during shutdown.
+				s.failBatch(batch)
+				s.failPending()
+				return
+			}
+			s.runBatch(batch)
 		case <-s.quit:
 			s.failPending()
 			return
@@ -40,11 +76,12 @@ func (s *Server) schedule() {
 	}
 }
 
-// collect gathers one batch, starting from first.
-func (s *Server) collect(first *stepReq) []*stepReq {
-	batch := []*stepReq{first}
+// collect gathers one batch, starting from first. quit reports that
+// shutdown fired mid-collection: the batch must be failed, not run.
+func (s *Server) collect(first *stepReq) (batch []*stepReq, quit bool) {
+	batch = []*stepReq{first}
 	if s.cfg.MaxBatch == 1 {
-		return batch
+		return batch, false
 	}
 	timer := time.NewTimer(s.cfg.BatchWindow)
 	defer timer.Stop()
@@ -53,29 +90,44 @@ func (s *Server) collect(first *stepReq) []*stepReq {
 		case r := <-s.queue:
 			batch = append(batch, r)
 		case <-timer.C:
-			return batch
+			return batch, false
 		case <-s.quit:
-			return batch
+			return batch, true
 		}
 	}
-	return batch
+	return batch, false
 }
 
-// runBatch executes one coalesced batch and delivers results. A panic
-// from a kernel or model fails the whole batch (each waiter gets the
-// error) but never kills the scheduler.
+// runBatch executes one coalesced batch and delivers results. Requests
+// abandoned while queued (cancelled context, deadline, shutdown race)
+// are skipped here, at delivery time, before any work runs: their
+// sessions' filters are not stepped, so a waiter that reported
+// cancellation never has its step silently applied. A panic from a
+// kernel or model fails the whole batch (each waiter gets the error)
+// but never kills the scheduler.
 func (s *Server) runBatch(batch []*stepReq) {
-	if len(batch) == 0 {
+	live := batch[:0]
+	for _, r := range batch {
+		if r.claim() {
+			live = append(live, r)
+		} else {
+			// Cancelled while queued: the waiter is gone; skip without
+			// executing or consuming a result slot.
+			s.skipped.Add(1)
+		}
+	}
+	if len(live) == 0 {
 		return
 	}
-	fs := make([]*filter.Parallel, len(batch))
-	us := make([][]float64, len(batch))
-	zs := make([][]float64, len(batch))
-	for i, r := range batch {
+	fs := make([]*filter.Parallel, len(live))
+	us := make([][]float64, len(live))
+	zs := make([][]float64, len(live))
+	for i, r := range live {
 		fs[i] = r.sess.f
 		us[i] = r.u
 		zs[i] = r.z
 	}
+	start := time.Now()
 	ests, err := func() (out []filter.Estimate, err error) {
 		defer func() {
 			if r := recover(); r != nil {
@@ -84,16 +136,28 @@ func (s *Server) runBatch(batch []*stepReq) {
 		}()
 		return filter.StepBatch(s.dev, fs, us, zs)
 	}()
+	s.observeBatchLatency(time.Since(start))
 	if err != nil {
-		for _, r := range batch {
+		for _, r := range live {
 			r.done <- stepResult{err: err}
 		}
 		return
 	}
 	s.batches.Add(1)
-	s.batchedSteps.Add(int64(len(batch)))
-	for i, r := range batch {
+	s.batchedSteps.Add(int64(len(live)))
+	for i, r := range live {
 		r.done <- stepResult{est: ests[i], step: fs[i].StepIndex()}
+	}
+}
+
+// failBatch fails every still-pending request of a batch with ErrClosed
+// without executing any work. Claimed delivery keeps the protocol: a
+// waiter whose abandon lost the race is guaranteed a message on done.
+func (s *Server) failBatch(batch []*stepReq) {
+	for _, r := range batch {
+		if r.claim() {
+			r.done <- stepResult{err: ErrClosed}
+		}
 	}
 }
 
@@ -102,9 +166,21 @@ func (s *Server) failPending() {
 	for {
 		select {
 		case r := <-s.queue:
-			r.done <- stepResult{err: ErrClosed}
+			s.failBatch([]*stepReq{r})
 		default:
 			return
 		}
 	}
+}
+
+// observeBatchLatency folds one batch's execution time into the EWMA
+// the adaptive retry hint is derived from. Only the scheduler goroutine
+// writes it; Stats and retryHint read it concurrently.
+func (s *Server) observeBatchLatency(d time.Duration) {
+	old := s.batchLatNS.Load()
+	if old == 0 {
+		s.batchLatNS.Store(d.Nanoseconds())
+		return
+	}
+	s.batchLatNS.Store(old + (d.Nanoseconds()-old)/4)
 }

@@ -27,6 +27,7 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -60,7 +61,10 @@ type Config struct {
 	// near-empty, exactly when latency is cheapest.
 	BatchWindow time.Duration
 	// RetryAfter is the client back-off hint attached to ErrSaturated
-	// (0 = 5ms).
+	// before the scheduler has measured any batch latency (0 = 5ms).
+	// Once batches have run, the hint is adaptive: the expected time to
+	// drain the current queue, derived from the queue depth and an EWMA
+	// of recent batch execution latency (see retryHint).
 	RetryAfter time.Duration
 }
 
@@ -133,6 +137,7 @@ type ModelFactory func() (model.Model, error)
 var (
 	ErrNotFound        = errors.New("serve: no such session")
 	ErrClosed          = errors.New("serve: server closed")
+	ErrDraining        = errors.New("serve: draining, not admitting new steps")
 	ErrTooManySessions = errors.New("serve: session limit reached")
 )
 
@@ -163,10 +168,26 @@ type Server struct {
 	quit  chan struct{}
 	done  chan struct{}
 
+	// draining flips once on Drain: admission stops, in-flight steps
+	// finish, /readyz goes unready.
+	draining atomic.Bool
+
 	// Scheduler counters (atomics: read by Stats concurrently).
 	batches      atomic.Int64
 	batchedSteps atomic.Int64
 	rejected     atomic.Int64
+	// inflight counts steps admitted to the queue whose waiters have not
+	// returned yet (queued or executing); Drain waits for it to hit 0.
+	inflight atomic.Int64
+	// cancelled counts steps abandoned by their waiter (context
+	// cancellation/deadline) while still queued; skipped counts the
+	// scheduler-side view — abandoned requests dropped at delivery time
+	// without executing.
+	cancelled atomic.Int64
+	skipped   atomic.Int64
+	// batchLatNS is an EWMA of recent batch execution latency in
+	// nanoseconds, feeding the adaptive retry hint.
+	batchLatNS atomic.Int64
 }
 
 // NewServer starts a server with the given model registry. The caller
@@ -297,11 +318,31 @@ type StepResult struct {
 }
 
 // Step advances session id by one observation: control u (may be nil for
-// uncontrolled models) and measurement z. Steps of one session are
-// serialized in arrival order; steps of different sessions are coalesced
-// by the batching scheduler. Returns *SaturatedError when the admission
-// queue is full.
+// uncontrolled models) and measurement z. It is StepCtx without a
+// deadline; see StepCtx for the delivery semantics.
 func (s *Server) Step(id string, u, z []float64) (StepResult, error) {
+	return s.StepCtx(context.Background(), id, u, z)
+}
+
+// StepCtx advances session id by one observation under a context: the
+// caller's deadline and cancellation propagate into the batching
+// scheduler. Steps of one session are serialized in arrival order; steps
+// of different sessions are coalesced by the batching scheduler. Returns
+// *SaturatedError when the admission queue is full (carrying the
+// adaptive retry hint) and ErrDraining once Drain has begun.
+//
+// Delivery is at-most-once with a hard consistency guarantee: a step is
+// either applied to the session's filter and reported with its result,
+// or never applied and reported with an error — no step is both applied
+// and reported failed. Cancellation is honored while the step is
+// queued: the call returns promptly with the context's error, the
+// scheduler skips the request at delivery time without executing it,
+// and its batch slot is released. Once the scheduler has claimed the
+// step for an executing batch, cancellation arrives too late: the call
+// waits out the batch and returns the applied step's result, so the
+// session's filter state never silently diverges from its reported
+// estimates.
+func (s *Server) StepCtx(ctx context.Context, id string, u, z []float64) (StepResult, error) {
 	sess, err := s.lookup(id)
 	if err != nil {
 		return StepResult{}, err
@@ -314,6 +355,9 @@ func (s *Server) Step(id string, u, z []float64) (StepResult, error) {
 		return StepResult{}, fmt.Errorf("serve: control has %d values, model %q needs %d",
 			len(u), sess.spec.Model, cd)
 	}
+	if err := ctx.Err(); err != nil {
+		return StepResult{}, err
+	}
 	start := time.Now()
 
 	// Serialize this session's steps: the filter is a strictly ordered
@@ -323,25 +367,77 @@ func (s *Server) Step(id string, u, z []float64) (StepResult, error) {
 	if sess.isClosed() {
 		return StepResult{}, ErrNotFound
 	}
+	if s.draining.Load() {
+		return StepResult{}, ErrDraining
+	}
 
 	req := &stepReq{sess: sess, u: u, z: z, done: make(chan stepResult, 1)}
 	select {
 	case s.queue <- req:
+		s.inflight.Add(1)
+		defer s.inflight.Add(-1)
 	default:
 		// Bounded admission: reject, never queue unboundedly.
 		s.rejected.Add(1)
-		return StepResult{}, &SaturatedError{RetryAfter: s.cfg.RetryAfter}
+		return StepResult{}, &SaturatedError{RetryAfter: s.retryHint()}
 	}
 	select {
 	case res := <-req.done:
-		if res.err != nil {
-			return StepResult{}, res.err
+		return s.finish(sess, res, start)
+	case <-ctx.Done():
+		if req.abandon() {
+			// Still queued: the scheduler will skip it; the step is
+			// never applied.
+			s.cancelled.Add(1)
+			return StepResult{}, fmt.Errorf("serve: step abandoned while queued: %w", ctx.Err())
 		}
-		sess.recordStep(res.est, time.Since(start))
-		return StepResult{Step: res.step, State: res.est.State, LogWeight: res.est.LogWeight}, nil
+		// The scheduler claimed the step first: it will be applied and a
+		// result is guaranteed on done. Take it — reporting failure here
+		// would desynchronize the session from its own filter.
+		return s.finish(sess, <-req.done, start)
 	case <-s.quit:
-		return StepResult{}, ErrClosed
+		if req.abandon() {
+			// Still queued at shutdown: never applied.
+			return StepResult{}, ErrClosed
+		}
+		// The batch completed (or is completing) concurrently with
+		// shutdown: prefer the ready result over quit, so an applied
+		// step is never reported as failed and recordStep always runs.
+		return s.finish(sess, <-req.done, start)
 	}
+}
+
+// finish delivers one completed step to the caller, recording it in the
+// session bookkeeping so Estimate and Stats stay consistent with the
+// filter state.
+func (s *Server) finish(sess *Session, res stepResult, start time.Time) (StepResult, error) {
+	if res.err != nil {
+		return StepResult{}, res.err
+	}
+	sess.recordStep(res.est, time.Since(start))
+	return StepResult{Step: res.step, State: res.est.State, LogWeight: res.est.LogWeight}, nil
+}
+
+// retryHint derives the saturation back-off from live load: the
+// expected time for the scheduler to drain the queue as seen now —
+// (batches left to run) × (EWMA batch latency) — clamped to a sane
+// range. Before any batch has run it falls back to the configured
+// constant.
+func (s *Server) retryHint() time.Duration {
+	lat := time.Duration(s.batchLatNS.Load())
+	if lat <= 0 {
+		return s.cfg.RetryAfter
+	}
+	pending := len(s.queue)/s.cfg.MaxBatch + 1
+	hint := time.Duration(pending) * lat
+	const minHint, maxHint = 200 * time.Microsecond, 2 * time.Second
+	if hint < minHint {
+		hint = minHint
+	}
+	if hint > maxHint {
+		hint = maxHint
+	}
+	return hint
 }
 
 // Estimate returns the session's latest estimate without stepping (zero
@@ -382,8 +478,59 @@ func (s *Server) Sessions() []string {
 	return out
 }
 
+// Drain begins graceful shutdown: the server stops admitting new steps
+// (they fail with ErrDraining; /readyz goes unready) and Drain blocks
+// until every already-admitted step has completed and been delivered,
+// or ctx expires. It does not stop the scheduler or the device — call
+// Shutdown afterwards for that. Drain is idempotent and safe to call
+// concurrently.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	tick := time.NewTicker(time.Millisecond)
+	defer tick.Stop()
+	for {
+		if s.inflight.Load() == 0 && len(s.queue) == 0 {
+			return nil
+		}
+		select {
+		case <-tick.C:
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-s.quit:
+			return ErrClosed
+		}
+	}
+}
+
+// Draining reports whether Drain has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// stopped reports whether Shutdown has fired.
+func (s *Server) stopped() bool {
+	select {
+	case <-s.quit:
+		return true
+	default:
+		return false
+	}
+}
+
+// Ready reports whether the server is admitting new steps: live, not
+// draining, not shut down. The /readyz endpoint serves it.
+func (s *Server) Ready() bool {
+	if s.draining.Load() {
+		return false
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return !s.closed
+}
+
 // Shutdown stops the scheduler and fails pending steps with ErrClosed.
-// Sessions become unreachable; Shutdown is idempotent.
+// Steps already claimed by an executing batch still deliver their
+// results (at-most-once: an applied step is never reported failed).
+// Sessions become unreachable; Shutdown is idempotent. For a graceful
+// stop, call Drain first.
 func (s *Server) Shutdown() {
 	s.mu.Lock()
 	if s.closed {

@@ -18,6 +18,30 @@ type SessionStats struct {
 	Latency LatencyStats `json:"latency"`
 }
 
+// HealthSnapshot is the server's robustness-layer introspection record:
+// readiness, drain state, and the cancellation/backpressure counters.
+// Fields carry explicit json wire names (enforced by esthera-vet's
+// checkpointcompat analyzer) so the /metrics payload only ever changes
+// deliberately.
+type HealthSnapshot struct {
+	// Ready and Draining mirror the /readyz state.
+	Ready    bool `json:"ready"`
+	Draining bool `json:"draining"`
+	// InFlight counts admitted steps not yet delivered to their callers.
+	InFlight int64 `json:"in_flight"`
+	// Cancelled counts steps abandoned by their caller's context while
+	// queued; Skipped is the scheduler's view — abandoned requests
+	// dropped at delivery time without executing. Skipped can lag
+	// Cancelled while an abandoned request still sits in the queue.
+	Cancelled int64 `json:"cancelled"`
+	Skipped   int64 `json:"skipped"`
+	// RetryAfterMS is the adaptive back-off hint a saturated step would
+	// receive right now; BatchLatencyUS is the EWMA of batch execution
+	// latency it derives from (0 until the first batch runs).
+	RetryAfterMS   float64 `json:"retry_after_ms"`
+	BatchLatencyUS float64 `json:"batch_latency_us"`
+}
+
 // Stats is the server's introspection snapshot: the /metrics payload.
 type Stats struct {
 	// Sessions lists per-session step counts and latency histograms,
@@ -33,6 +57,9 @@ type Stats struct {
 	Batches      int64   `json:"batches"`
 	BatchedSteps int64   `json:"batched_steps"`
 	MeanBatch    float64 `json:"mean_batch"`
+	// Health is the robustness-layer state: readiness, drain,
+	// cancellation counters, and the adaptive backpressure hint.
+	Health HealthSnapshot `json:"health"`
 	// Device is the shared device's kernel-breakdown profile.
 	Device device.Stats `json:"device"`
 }
@@ -52,7 +79,16 @@ func (s *Server) Stats() Stats {
 		Rejected:     s.rejected.Load(),
 		Batches:      s.batches.Load(),
 		BatchedSteps: s.batchedSteps.Load(),
-		Device:       s.dev.Profiler().Stats(),
+		Health: HealthSnapshot{
+			Ready:          s.Ready(),
+			Draining:       s.draining.Load(),
+			InFlight:       s.inflight.Load(),
+			Cancelled:      s.cancelled.Load(),
+			Skipped:        s.skipped.Load(),
+			RetryAfterMS:   float64(s.retryHint().Microseconds()) / 1e3,
+			BatchLatencyUS: float64(s.batchLatNS.Load()) / 1e3,
+		},
+		Device: s.dev.Profiler().Stats(),
 	}
 	if st.Batches > 0 {
 		st.MeanBatch = float64(st.BatchedSteps) / float64(st.Batches)

@@ -14,3 +14,7 @@ go run ./cmd/esthera-vet -list
 go run ./cmd/esthera-vet ./...
 go test ./...
 go test -race ./...
+# The serving robustness layer (cancellation, shutdown, drain) is pure
+# concurrency: hammer it repeatedly under the race detector so
+# interleaving-dependent regressions surface before merge.
+go test -race -count=3 ./internal/serve/...

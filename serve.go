@@ -31,16 +31,33 @@ type (
 	Checkpoint = serve.Checkpoint
 	// ServerStats is the introspection snapshot (the /metrics payload).
 	ServerStats = serve.Stats
+	// ServerHealth is the robustness-layer slice of ServerStats:
+	// readiness, drain state, cancellation and backpressure counters.
+	ServerHealth = serve.HealthSnapshot
 	// SaturatedError reports admission-queue overflow with a retry hint.
 	SaturatedError = serve.SaturatedError
+	// Client is an HTTP client for the serving API with
+	// exponential-backoff retries that honor the server's Retry-After
+	// admission hints.
+	Client = serve.Client
+	// ClientConfig shapes a Client: base URL, attempt bound, backoff.
+	ClientConfig = serve.ClientConfig
+	// APIError is a Client's non-retryable (or retry-exhausted) reply.
+	APIError = serve.APIError
 )
 
 // Serving errors, re-exported for errors.Is.
 var (
 	ErrNotFound        = serve.ErrNotFound
 	ErrServerClosed    = serve.ErrClosed
+	ErrServerDraining  = serve.ErrDraining
 	ErrTooManySessions = serve.ErrTooManySessions
 )
+
+// NewServerClient builds a retrying HTTP client for a serving endpoint.
+func NewServerClient(cfg ClientConfig) *Client {
+	return serve.NewClient(cfg)
+}
 
 // BuiltinModels returns the standard model registry for serving: every
 // bundled benchmark model by name. The "arm" entry serves the Table II
