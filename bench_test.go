@@ -26,6 +26,7 @@ import (
 	"esthera/internal/model/arm"
 	"esthera/internal/resample"
 	"esthera/internal/rng"
+	"esthera/internal/telemetry"
 )
 
 // benchScenario sets up the arm benchmark and measurement plumbing.
@@ -315,7 +316,7 @@ func BenchmarkTableIIDefaults(b *testing.B) {
 // this PR's persistent pool + kernel fusion attack. UNGM keeps per-lane
 // model work small so the sub-filter kernels stay in the
 // launch-overhead-dominated regime of Fig. 4a's left edge.
-func benchRoundPath(b *testing.B, fused bool, subFilters, particlesPer int) {
+func benchRoundPath(b *testing.B, fused, traced bool, subFilters, particlesPer int) {
 	b.Helper()
 	m := model.NewUNGM()
 	dev := device.New(device.Config{LocalMemBytes: -1})
@@ -332,6 +333,13 @@ func benchRoundPath(b *testing.B, fused bool, subFilters, particlesPer int) {
 	}, 1)
 	if err != nil {
 		b.Fatal(err)
+	}
+	if traced {
+		tr := telemetry.New(telemetry.Config{})
+		tr.SetEnabled(true)
+		dev.SetTracer(tr)
+		pipe.SetTracer(tr)
+		pipe.SetHealthEvery(1)
 	}
 	z := make([]float64, m.MeasurementDim())
 	b.ReportAllocs()
@@ -354,18 +362,31 @@ func benchRoundPath(b *testing.B, fused bool, subFilters, particlesPer int) {
 func BenchmarkRound(b *testing.B) {
 	for _, n := range []int{64, 256} {
 		b.Run("n="+strconv.Itoa(n)+"/m=128", func(b *testing.B) {
-			benchRoundPath(b, false, n, 128)
+			benchRoundPath(b, false, false, n, 128)
 		})
 	}
 }
 
 // BenchmarkRoundFused fuses rand+sampling+local sort into one launch.
 // BENCH_2.json records the pair; the fused/unfused ratio is this PR's
-// headline number.
+// headline number. Telemetry stays detached here — this is the number
+// scripts/bench_guard.sh holds the hot path to.
 func BenchmarkRoundFused(b *testing.B) {
 	for _, n := range []int{64, 256} {
 		b.Run("n="+strconv.Itoa(n)+"/m=128", func(b *testing.B) {
-			benchRoundPath(b, true, n, 128)
+			benchRoundPath(b, true, false, n, 128)
+		})
+	}
+}
+
+// BenchmarkRoundFusedTraced is the fused round with full observability
+// on: span recording for every launch and round, filter health sampled
+// every round. The delta vs BenchmarkRoundFused is the enabled-telemetry
+// overhead; DESIGN.md §9 records the measured budget.
+func BenchmarkRoundFusedTraced(b *testing.B) {
+	for _, n := range []int{64, 256} {
+		b.Run("n="+strconv.Itoa(n)+"/m=128", func(b *testing.B) {
+			benchRoundPath(b, true, true, n, 128)
 		})
 	}
 }

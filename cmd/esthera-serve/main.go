@@ -18,9 +18,15 @@
 //	GET    /v1/sessions/{id}/checkpoint
 //	POST   /v1/restore
 //	DELETE /v1/sessions/{id}
-//	GET    /metrics
+//	GET    /metrics                     JSON stats; Prometheus text with ?format=prometheus
+//	GET    /trace                       drain recorded spans as Chrome trace JSON
+//	POST   /trace                       {"enabled": bool} toggles span recording
 //	GET    /healthz                     liveness (200 while the process is up)
 //	GET    /readyz                      readiness (503 once draining or closed)
+//
+// -trace starts span recording at boot; -health-stride controls
+// per-session filter-health sampling. -pprof-addr serves net/http/pprof
+// on a separate address (off by default, never on the service port).
 //
 // On SIGINT/SIGTERM the server drains gracefully: it stops admitting
 // new steps (readiness goes 503 so load balancers route around it),
@@ -33,6 +39,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux, served only via -pprof-addr
 	"os"
 	"os/signal"
 	"syscall"
@@ -51,18 +58,36 @@ func main() {
 		window   = flag.Duration("window", 0, "batching window (0 = 200µs)")
 		retry    = flag.Duration("retry", 0, "retry-after hint before batch latency is measured (0 = 5ms)")
 		drain    = flag.Duration("drain-timeout", 10*time.Second, "max wait for in-flight steps on shutdown")
+		trace    = flag.Bool("trace", false, "start with span recording enabled (toggle at runtime via POST /trace)")
+		stride   = flag.Int("health-stride", 0, "sample filter health every k rounds (0 = every round, <0 = off)")
+		pprof    = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled)")
 	)
 	flag.Parse()
 
 	s := esthera.NewServer(esthera.ServerConfig{
-		Workers:     *workers,
-		MaxSessions: *sessions,
-		QueueDepth:  *queue,
-		MaxBatch:    *batch,
-		BatchWindow: *window,
-		RetryAfter:  *retry,
+		Workers:      *workers,
+		MaxSessions:  *sessions,
+		QueueDepth:   *queue,
+		MaxBatch:     *batch,
+		BatchWindow:  *window,
+		RetryAfter:   *retry,
+		Trace:        *trace,
+		HealthStride: *stride,
 	})
 	defer s.Shutdown()
+
+	if *pprof != "" {
+		// pprof gets its own listener and mux so profiling endpoints are
+		// never exposed on the service address. http.DefaultServeMux
+		// carries the net/http/pprof registrations from the import above.
+		go func() {
+			fmt.Fprintf(os.Stderr, "esthera-serve pprof listening on %s\n", *pprof)
+			srv := &http.Server{Addr: *pprof, Handler: http.DefaultServeMux, ReadHeaderTimeout: 5 * time.Second}
+			if err := srv.ListenAndServe(); err != nil {
+				fmt.Fprintf(os.Stderr, "esthera-serve pprof: %v\n", err)
+			}
+		}()
+	}
 
 	srv := &http.Server{
 		Addr:              *addr,

@@ -1,11 +1,24 @@
-// Command esthera-trace regenerates Figure 8: the lemniscate ground
-// truth with a converging high-particle trace and a diverging
-// low-particle trace, emitted as CSV for plotting, plus the §VIII-A
-// convergence verdicts.
+// Command esthera-trace is the tracing toolbox. Without a subcommand it
+// regenerates Figure 8 (the lemniscate ground truth with converging and
+// diverging filter traces, as CSV or an ASCII chart). The subcommands
+// work with the span tracer in internal/telemetry:
 //
-// Example:
+//	esthera-trace convert -in spans.json -out trace.json
+//	    Convert recorded span events (the /trace wire format or an
+//	    already-converted Chrome trace) to Chrome trace-event JSON,
+//	    loadable in chrome://tracing or https://ui.perfetto.dev.
+//	    Without -in, a built-in demo pipeline runs traced rounds and
+//	    converts its own spans — a one-command way to get a real trace.
 //
-//	esthera-trace -steps 200 -csv fig8.csv
+//	esthera-trace summary -in spans.json
+//	    Aggregate spans by name: count, total, mean and max duration.
+//
+//	esthera-trace top -in spans.json -n 10
+//	    The n longest individual spans.
+//
+//	esthera-trace fig8 -steps 200 -csv fig8.csv
+//	    The legacy Figure 8 generator, also the default when no
+//	    subcommand is given.
 package main
 
 import (
@@ -13,21 +26,202 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"time"
 
+	"esthera/internal/device"
+	"esthera/internal/exchange"
 	"esthera/internal/experiments"
+	"esthera/internal/kernels"
+	"esthera/internal/model"
 	"esthera/internal/plot"
+	"esthera/internal/rng"
+	"esthera/internal/telemetry"
 )
 
 func main() {
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "convert":
+			fatalIf(runConvert(os.Args[2:]))
+			return
+		case "summary":
+			fatalIf(runSummary(os.Args[2:]))
+			return
+		case "top":
+			fatalIf(runTop(os.Args[2:]))
+			return
+		case "fig8":
+			runFig8(os.Args[2:])
+			return
+		}
+	}
+	runFig8(os.Args[1:])
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "esthera-trace:", err)
+		os.Exit(1)
+	}
+}
+
+// loadEvents reads span events from a file (either the /trace wire
+// format or Chrome trace JSON), or, when path is empty, runs the
+// built-in demo pipeline and returns its spans.
+func loadEvents(path string, d demoOptions) ([]telemetry.Event, error) {
+	if path != "" {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return telemetry.ParseEvents(data)
+	}
+	return demoEvents(d)
+}
+
+// demoOptions sizes the built-in traced pipeline run.
+type demoOptions struct {
+	rounds, subFilters, particles int
+	seed                          uint64
+	fused                         bool
+}
+
+func (d *demoOptions) flags(fs *flag.FlagSet) {
+	fs.IntVar(&d.rounds, "rounds", 20, "demo: filtering rounds to trace (with -in unset)")
+	fs.IntVar(&d.subFilters, "subfilters", 8, "demo: sub-filters")
+	fs.IntVar(&d.particles, "particles", 64, "demo: particles per sub-filter")
+	fs.Uint64Var(&d.seed, "seed", 0xE57, "demo: master seed")
+	fs.BoolVar(&d.fused, "fused", true, "demo: use the fused per-group round")
+}
+
+// demoEvents runs a traced UNGM pipeline and drains its spans: device
+// launches (and fused phases), per-round filter spans, health sampling.
+func demoEvents(d demoOptions) ([]telemetry.Event, error) {
+	dev := device.New(device.Config{LocalMemBytes: -1})
+	defer dev.Close()
+	tr := telemetry.New(telemetry.Config{})
+	tr.SetEnabled(true)
+	dev.SetTracer(tr)
+
+	mdl := model.NewUNGM()
+	top, err := exchange.NewTopology(exchange.Ring, d.subFilters)
+	if err != nil {
+		return nil, err
+	}
+	pipe, err := kernels.New(dev, mdl, kernels.Config{
+		SubFilters: d.subFilters, ParticlesPer: d.particles,
+		ExchangeCount: 1, Topology: top,
+	}, d.seed)
+	if err != nil {
+		return nil, err
+	}
+	pipe.SetTracer(tr)
+	pipe.SetHealthEvery(1)
+
+	sc := model.NewSimulated(mdl, d.seed^0x9E3779B9)
+	truth := make([]float64, mdl.StateDim())
+	z := make([]float64, mdl.MeasurementDim())
+	u := make([]float64, mdl.ControlDim())
+	measR := rng.New(rng.NewPhiloxStream(d.seed, 0xFACE))
+	for k := 1; k <= d.rounds; k++ {
+		sc.TrueState(k, truth)
+		sc.Control(k, u)
+		mdl.Measure(z, truth, measR)
+		if d.fused {
+			pipe.RoundFused(u, z, k)
+		} else {
+			pipe.Round(u, z, k)
+		}
+	}
+	return tr.Drain(), nil
+}
+
+func runConvert(args []string) error {
+	fs := flag.NewFlagSet("convert", flag.ExitOnError)
+	in := fs.String("in", "", "span events file (empty: run the built-in demo pipeline)")
+	out := fs.String("out", "", "output file (empty: stdout)")
+	var d demoOptions
+	d.flags(fs)
+	_ = fs.Parse(args)
+
+	evs, err := loadEvents(*in, d)
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := telemetry.WriteChromeTrace(w, evs); err != nil {
+		return err
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "%d events written to %s\n", len(evs), *out)
+	}
+	return nil
+}
+
+func runSummary(args []string) error {
+	fs := flag.NewFlagSet("summary", flag.ExitOnError)
+	in := fs.String("in", "", "span events file (empty: run the built-in demo pipeline)")
+	var d demoOptions
+	d.flags(fs)
+	_ = fs.Parse(args)
+
+	evs, err := loadEvents(*in, d)
+	if err != nil {
+		return err
+	}
+	sums := telemetry.Summarize(evs)
+	fmt.Printf("%-24s %-10s %8s %14s %14s %14s\n", "name", "cat", "count", "total", "mean", "max")
+	for _, s := range sums {
+		fmt.Printf("%-24s %-10s %8d %14s %14s %14s\n",
+			s.Name, s.Cat, s.Count, fmtDur(s.Total), fmtDur(s.Mean()), fmtDur(s.Max))
+	}
+	return nil
+}
+
+func runTop(args []string) error {
+	fs := flag.NewFlagSet("top", flag.ExitOnError)
+	in := fs.String("in", "", "span events file (empty: run the built-in demo pipeline)")
+	n := fs.Int("n", 10, "spans to show")
+	var d demoOptions
+	d.flags(fs)
+	_ = fs.Parse(args)
+
+	evs, err := loadEvents(*in, d)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-24s %-10s %14s %14s\n", "name", "cat", "start", "duration")
+	for _, ev := range telemetry.Top(evs, *n) {
+		fmt.Printf("%-24s %-10s %14s %14s\n", ev.Name, ev.Cat, fmtDur(ev.TS), fmtDur(ev.Dur))
+	}
+	return nil
+}
+
+func fmtDur(d time.Duration) string { return d.Round(time.Microsecond).String() }
+
+// runFig8 is the legacy default: regenerate Figure 8 — the lemniscate
+// ground truth with a converging high-particle trace and a diverging
+// low-particle trace — as CSV or an ASCII chart, plus the §VIII-A
+// convergence verdicts.
+func runFig8(args []string) {
+	fs := flag.NewFlagSet("fig8", flag.ExitOnError)
 	var (
-		steps    = flag.Int("steps", 160, "trace length in steps")
-		seed     = flag.Uint64("seed", 0xE57, "master seed")
-		joints   = flag.Int("joints", 5, "arm joints")
-		csvPath  = flag.String("csv", "", "write the trace as CSV to this file (default: stdout table)")
-		ascii    = flag.Bool("plot", false, "render the traces as an ASCII chart instead of the table")
-		plotSize = flag.String("plot-size", "72x28", "ASCII chart size as WxH")
+		steps    = fs.Int("steps", 160, "trace length in steps")
+		seed     = fs.Uint64("seed", 0xE57, "master seed")
+		joints   = fs.Int("joints", 5, "arm joints")
+		csvPath  = fs.String("csv", "", "write the trace as CSV to this file (default: stdout table)")
+		ascii    = fs.Bool("plot", false, "render the traces as an ASCII chart instead of the table")
+		plotSize = fs.String("plot-size", "72x28", "ASCII chart size as WxH")
 	)
-	flag.Parse()
+	_ = fs.Parse(args)
 
 	res, err := experiments.Fig8Trajectory(experiments.AccuracyOptions{Seed: *seed, Joints: *joints}, *steps)
 	if err != nil {

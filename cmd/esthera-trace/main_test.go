@@ -1,0 +1,118 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"esthera/internal/telemetry"
+)
+
+// TestConvertEmitsValidChromeTrace runs the built-in demo pipeline and
+// schema-checks the converted output against the Chrome trace-event
+// format: a top-level traceEvents array whose entries carry the
+// required keys with the required types, complete "X" spans with
+// microsecond timestamps, and at most one process-name metadata event.
+func TestConvertEmitsValidChromeTrace(t *testing.T) {
+	evs, err := demoEvents(demoOptions{rounds: 3, subFilters: 4, particles: 16, seed: 7, fused: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) == 0 {
+		t.Fatal("demo pipeline recorded no spans")
+	}
+
+	var buf bytes.Buffer
+	if err := telemetry.WriteChromeTrace(&buf, evs); err != nil {
+		t.Fatal(err)
+	}
+
+	var doc struct {
+		TraceEvents []map[string]json.RawMessage `json:"traceEvents"`
+	}
+	dec := json.NewDecoder(bytes.NewReader(buf.Bytes()))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		t.Fatalf("convert output is not a trace-event document: %v", err)
+	}
+	if len(doc.TraceEvents) != len(evs)+1 { // +1 process_name metadata
+		t.Fatalf("got %d traceEvents, want %d", len(doc.TraceEvents), len(evs)+1)
+	}
+
+	var spans, meta int
+	for i, raw := range doc.TraceEvents {
+		var ph, name string
+		mustField(t, i, raw, "ph", &ph)
+		mustField(t, i, raw, "name", &name)
+		var pid, tid int
+		mustField(t, i, raw, "pid", &pid)
+		mustField(t, i, raw, "tid", &tid)
+		switch ph {
+		case "X":
+			spans++
+			var ts, dur float64
+			mustField(t, i, raw, "ts", &ts)
+			mustField(t, i, raw, "dur", &dur)
+			if ts < 0 || dur < 0 {
+				t.Errorf("event %d (%s): negative ts/dur (%v/%v)", i, name, ts, dur)
+			}
+			if tid < 1 {
+				t.Errorf("event %d (%s): X event tid %d, want >= 1", i, name, tid)
+			}
+		case "M":
+			meta++
+			if name != "process_name" {
+				t.Errorf("event %d: metadata event named %q", i, name)
+			}
+		default:
+			t.Errorf("event %d (%s): unexpected phase %q", i, name, ph)
+		}
+	}
+	if spans != len(evs) {
+		t.Errorf("got %d X spans, want %d", spans, len(evs))
+	}
+	if meta != 1 {
+		t.Errorf("got %d metadata events, want 1", meta)
+	}
+
+	// The converted document must itself round-trip through ParseEvents
+	// (convert -in accepts Chrome traces, not just the wire format).
+	back, err := telemetry.ParseEvents(buf.Bytes())
+	if err != nil {
+		t.Fatalf("ParseEvents on convert output: %v", err)
+	}
+	if len(back) != len(evs) {
+		t.Fatalf("round-trip kept %d events, want %d", len(back), len(evs))
+	}
+}
+
+func mustField(t *testing.T, i int, raw map[string]json.RawMessage, key string, dst any) {
+	t.Helper()
+	v, ok := raw[key]
+	if !ok {
+		t.Fatalf("event %d: missing required key %q", i, key)
+	}
+	if err := json.Unmarshal(v, dst); err != nil {
+		t.Fatalf("event %d: key %q: %v", i, key, err)
+	}
+}
+
+// TestDemoRecordsHealthAndRounds asserts the demo pipeline's health
+// sampling fired (it drives the same wiring esthera-serve uses).
+func TestDemoRecordsHealthAndRounds(t *testing.T) {
+	for _, fused := range []bool{false, true} {
+		evs, err := demoEvents(demoOptions{rounds: 5, subFilters: 4, particles: 16, seed: 9, fused: fused})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rounds int
+		for _, ev := range evs {
+			if ev.Cat == "filter" && ev.Name == "round" {
+				rounds++
+			}
+		}
+		if rounds != 5 {
+			t.Errorf("fused=%v: got %d round spans, want 5", fused, rounds)
+		}
+	}
+}

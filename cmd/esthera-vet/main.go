@@ -7,6 +7,8 @@
 //
 //	esthera-vet ./...   # check the whole module (the only scope)
 //	esthera-vet -list   # list registered analyzers
+//	esthera-vet -require esthera/internal/telemetry ./...
+//	                    # fail unless the named package is in the sweep
 //
 // Deliberate, reviewed exceptions are suppressed in place with an
 //

@@ -4,6 +4,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"strings"
 )
 
 // Main is the multichecker entry point backing cmd/esthera-vet: it
@@ -11,15 +12,19 @@ import (
 // findings in the go vet file:line:col format. Exit status follows the
 // vet convention: 0 clean, 1 findings, 2 usage or load failure.
 //
-// Usage: esthera-vet [-list] [packages]
+// Usage: esthera-vet [-list] [-require paths] [packages]
 //
 // The only package pattern supported is the module-wide sweep (./...,
 // all, or no argument at all): the invariants are repository-wide, and
-// partial runs would only invite partially-checked merges.
+// partial runs would only invite partially-checked merges. -require
+// names import paths (comma-separated) that MUST appear in the sweep:
+// the run fails if one is absent, guarding against a package silently
+// dropping out of coverage (a moved directory, a build-tag mistake).
 func Main(argv []string, stdout, stderr io.Writer, analyzers []*Analyzer) int {
 	fs := flag.NewFlagSet("esthera-vet", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list registered analyzers and exit")
+	require := fs.String("require", "", "comma-separated import paths that must be covered by the sweep")
 	if err := fs.Parse(argv); err != nil {
 		return 2
 	}
@@ -35,10 +40,16 @@ func Main(argv []string, stdout, stderr io.Writer, analyzers []*Analyzer) int {
 			return 2
 		}
 	}
-	diags, err := CheckModule(".", analyzers)
+	diags, covered, err := checkModule(".", analyzers)
 	if err != nil {
 		fmt.Fprintf(stderr, "esthera-vet: %v\n", err)
 		return 2
+	}
+	for _, p := range strings.Split(*require, ",") {
+		if p = strings.TrimSpace(p); p != "" && !covered[p] {
+			fmt.Fprintf(stderr, "esthera-vet: required package %q was not covered by the sweep\n", p)
+			return 2
+		}
 	}
 	for _, d := range diags {
 		fmt.Fprintln(stdout, d)
@@ -54,21 +65,30 @@ func Main(argv []string, stdout, stderr io.Writer, analyzers []*Analyzer) int {
 // returns the combined diagnostics of the analyzers, sorted by
 // position within each package.
 func CheckModule(dir string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	diags, _, err := checkModule(dir, analyzers)
+	return diags, err
+}
+
+// checkModule is CheckModule plus the set of package import paths the
+// sweep covered, backing the -require coverage guard.
+func checkModule(dir string, analyzers []*Analyzer) ([]Diagnostic, map[string]bool, error) {
 	loader, err := NewLoader(dir)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	pkgs, err := loader.LoadAll()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	covered := make(map[string]bool, len(pkgs))
 	var out []Diagnostic
 	for _, pkg := range pkgs {
+		covered[pkg.Path] = true
 		diags, err := RunAnalyzers(pkg, analyzers, false)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		out = append(out, diags...)
 	}
-	return out, nil
+	return out, covered, nil
 }

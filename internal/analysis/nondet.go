@@ -35,6 +35,18 @@ var NondeterminismAnalyzer = &Analyzer{
 // clockFuncs are the time package functions that read the wall clock.
 var clockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
 
+// sanctionedClockConsumers are packages kernel code may call even
+// though they read the wall clock internally. esthera/internal/telemetry
+// wraps the clock behind its tracer, writes only telemetry-side buffers,
+// and never feeds time back into particle state or RNG consumption, so
+// spans recorded through it leave rounds bit-identical (asserted by the
+// golden-trace tests). Calls into a sanctioned consumer are the approved
+// spelling for in-kernel timing; a direct time.Now next to them stays
+// flagged.
+var sanctionedClockConsumers = map[string]bool{
+	"esthera/internal/telemetry": true,
+}
+
 // goroutineProbes are runtime functions whose result depends on
 // scheduler state or goroutine identity.
 var goroutineProbes = map[string]bool{"NumGoroutine": true, "Stack": true, "Gosched": true}
@@ -57,9 +69,13 @@ func runNondeterminism(pass *Pass) error {
 				}
 				name := n.Sel.Name
 				switch {
+				case sanctionedClockConsumers[pkgPath]:
+					// Explicitly allowed: the consumer owns the clock and
+					// keeps it out of filter state.
+					return true
 				case pkgPath == "time" && clockFuncs[name]:
 					pass.Reportf(n.Pos(),
-						"nondeterministic clock read time.%s in kernel code: kernel rounds must replay bit-identically; measure time outside kernels (the device profiler already attributes per-phase cost)", name)
+						"nondeterministic clock read time.%s in kernel code: kernel rounds must replay bit-identically; record spans through esthera/internal/telemetry (a sanctioned clock consumer) or measure outside kernels (the device profiler already attributes per-phase cost)", name)
 				case (pkgPath == "math/rand" || pkgPath == "math/rand/v2") && ast.IsExported(name):
 					pass.Reportf(n.Pos(),
 						"global %s.%s in kernel code: draw randomness from esthera/internal/rng streams, which are seeded per sub-filter and checkpointable", pkgPath, name)

@@ -92,6 +92,27 @@ func TestListFlag(t *testing.T) {
 	}
 }
 
+// TestRequireFlag pins the -require coverage guard verify.sh relies
+// on: a covered package passes, an unknown one fails the run with exit
+// status 2 even when the sweep itself is clean.
+func TestRequireFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module from source; skipped in -short")
+	}
+	var out, errb bytes.Buffer
+	if code := analysis.Main([]string{"-require", "esthera/internal/telemetry", "./..."}, &out, &errb, analysis.Suite()); code != 0 {
+		t.Fatalf("-require on a covered package exited %d, stderr: %s", code, errb.String())
+	}
+	out.Reset()
+	errb.Reset()
+	if code := analysis.Main([]string{"-require", "esthera/internal/nosuchpkg", "./..."}, &out, &errb, analysis.Suite()); code != 2 {
+		t.Fatalf("-require on a missing package exited %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "esthera/internal/nosuchpkg") {
+		t.Errorf("error does not name the missing package: %s", errb.String())
+	}
+}
+
 // TestRepositoryClean runs the full suite over the whole module — the
 // same sweep scripts/verify.sh performs — and requires zero findings:
 // every invariant the analyzers encode holds in the tree as committed.

@@ -41,6 +41,7 @@ import (
 	"esthera/internal/kernels"
 	"esthera/internal/model"
 	"esthera/internal/rng"
+	"esthera/internal/telemetry"
 )
 
 // NetworkProfile models the cluster interconnect for the communication-
@@ -135,6 +136,16 @@ type Cluster struct {
 	droppedEdges   atomic.Int64
 	reseeds        atomic.Int64
 
+	// contrib counts, per node, how many exchange deliveries that
+	// node's sub-filters donated (its outbox records pulled by a
+	// receiver). Atomics: Health() reads them while Step runs.
+	contrib []atomic.Int64
+
+	// tracer, when attached and enabled, records one span per round
+	// plus per-phase child spans (reseed, local kernels, exchange,
+	// resample) with degradation counters as span arguments.
+	tracer atomic.Pointer[telemetry.Tracer]
+
 	outbox []float64 // global staging: S·t·(dim+1)
 }
 
@@ -178,6 +189,7 @@ func New(m model.Model, cfg Config, seed uint64) (*Cluster, error) {
 	c.nodes = make([]*node, cfg.Nodes)
 	c.failed = make([]bool, cfg.Nodes)
 	c.reseed = make([]bool, cfg.Nodes)
+	c.contrib = make([]atomic.Int64, cfg.Nodes)
 	total := cfg.Nodes * cfg.SubFiltersPerNode
 	gtop, err := exchange.NewTopology(cfg.Scheme, total)
 	if err != nil {
@@ -232,6 +244,9 @@ func (c *Cluster) Reset(seed uint64) {
 	c.reroutedEdges.Store(0)
 	c.droppedEdges.Store(0)
 	c.reseeds.Store(0)
+	for i := range c.contrib {
+		c.contrib[i].Store(0)
+	}
 	for i, n := range c.nodes {
 		n.pipe.Reset(rng.StreamSeed(seed, i))
 	}
@@ -306,23 +321,40 @@ func (c *Cluster) Step(u, z []float64) filter.Estimate {
 	c.rounds.Add(1)
 	failed, pending := c.failedSnapshot()
 	anyFailed := false
+	liveN := 0
 	for _, f := range failed {
 		anyFailed = anyFailed || f
+		if !f {
+			liveN++
+		}
 	}
 	if anyFailed {
 		c.degradedRounds.Add(1)
 	}
+	tr := c.tracer.Load()
+	degraded := int64(0)
+	if anyFailed {
+		degraded = 1
+	}
+	roundSp := tr.Begin("cluster", "round").Arg("k", int64(c.k)).Arg("degraded", degraded)
 
 	// Phase 0: re-seed nodes restored since the last round from their
 	// live neighbors' top-t, before any kernel touches their state.
+	reseedSp := tr.Begin("cluster", "reseed")
+	reseeded := int64(0)
 	for i := range pending {
 		if pending[i] && !failed[i] {
 			c.reseedNode(i, failed, pending)
+			reseeded++
 		}
+	}
+	if reseeded > 0 {
+		reseedSp.Arg("nodes", reseeded).End()
 	}
 
 	// Phase 1 (per node, concurrently): local kernels up to the sorted
 	// state and the node-local best.
+	localSp := tr.Begin("cluster", "local kernels").Arg("live_nodes", int64(liveN))
 	bests := make([]nodeBest, len(c.nodes))
 	var wg sync.WaitGroup
 	for i, n := range c.nodes {
@@ -340,12 +372,20 @@ func (c *Cluster) Step(u, z []float64) filter.Estimate {
 		}(i, n)
 	}
 	wg.Wait()
+	localSp.End()
 
 	// Phase 2: global ring exchange across the whole sub-filter network;
-	// inter-node edges are counted as network traffic.
+	// inter-node edges are counted as network traffic. The span records
+	// this round's reroute/drop deltas, making degraded-mode reroutes
+	// visible per round rather than only as cumulative counters.
+	exchSp := tr.Begin("cluster", "exchange")
+	rerBefore, drpBefore := c.reroutedEdges.Load(), c.droppedEdges.Load()
 	c.exchangeGlobal(failed)
+	exchSp.Arg("rerouted", c.reroutedEdges.Load()-rerBefore).
+		Arg("dropped", c.droppedEdges.Load()-drpBefore).End()
 
 	// Phase 3 (per node): local resampling.
+	resSp := tr.Begin("cluster", "resample")
 	for i, n := range c.nodes {
 		if failed[i] {
 			continue
@@ -357,6 +397,8 @@ func (c *Cluster) Step(u, z []float64) filter.Estimate {
 		}(n)
 	}
 	wg.Wait()
+	resSp.End()
+	roundSp.End()
 
 	// Global estimate over surviving nodes.
 	best := filter.Estimate{State: make([]float64, c.dim), LogWeight: negInf}
@@ -459,6 +501,7 @@ func (c *Cluster) exchangeGlobal(failed []bool) {
 				c.reroutedEdges.Add(1)
 			}
 			qNode := q / spn
+			c.contrib[qNode].Add(1)
 			if qNode != nodeIdx {
 				c.commMsgs.Add(1)
 				c.commBytes.Add(int64(t * stride * 8))
@@ -552,6 +595,11 @@ func (c *Cluster) PredictCommPerRound() time.Duration {
 	sec := perNodeMsgs*c.cfg.Network.Latency.Seconds() + perNodeBytes/(c.cfg.Network.BandwidthGBs*1e9)
 	return time.Duration(sec * float64(time.Second))
 }
+
+// SetTracer attaches a span tracer; each round records a parent span
+// plus reseed/local/exchange/resample phase spans. Pass nil to detach.
+// Safe to call concurrently with Step.
+func (c *Cluster) SetTracer(tr *telemetry.Tracer) { c.tracer.Store(tr) }
 
 // Nodes returns the node count.
 func (c *Cluster) Nodes() int { return c.cfg.Nodes }

@@ -37,6 +37,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"esthera/internal/telemetry"
 )
 
 // DefaultLocalMemBytes is the per-group local memory capacity used when a
@@ -67,6 +69,12 @@ type Device struct {
 	// across launches, eliminating the per-launch per-group allocations
 	// the original spawn-per-launch scheme paid.
 	groups sync.Pool
+
+	// tracer, when set and enabled, receives one span per launch plus
+	// per-phase child spans for fused launches. Launch timing is
+	// measured regardless; the tracer only re-records the already
+	// measured intervals, so enabling it cannot change kernel results.
+	tracer atomic.Pointer[telemetry.Tracer]
 }
 
 // Config configures a Device.
@@ -134,6 +142,14 @@ func computeUnit(tasks <-chan *launchTask, quit <-chan struct{}) {
 
 // Workers returns the number of compute units.
 func (d *Device) Workers() int { return d.workers }
+
+// SetTracer attaches a span tracer; launches record one span each (and
+// fused launches one child span per phase). Pass nil to detach. Safe
+// to call concurrently with launches.
+func (d *Device) SetTracer(tr *telemetry.Tracer) { d.tracer.Store(tr) }
+
+// Tracer returns the attached span tracer, or nil.
+func (d *Device) Tracer() *telemetry.Tracer { return d.tracer.Load() }
 
 // Profiler returns the device's launch profiler.
 func (d *Device) Profiler() *Profiler { return d.prof }
@@ -290,6 +306,12 @@ func (d *Device) Launch(name string, grid Grid, k KernelFunc) LaunchStats {
 	t.finish()
 	stats := LaunchStats{Name: name, Grid: grid, Elapsed: time.Since(start), Count: t.total}
 	d.prof.record(stats)
+	if tr := d.tracer.Load(); tr.Enabled() {
+		ev := telemetry.Event{Name: name, Cat: "launch", TS: tr.Stamp(start), Dur: stats.Elapsed}
+		ev.SetArg("groups", int64(grid.Groups))
+		ev.SetArg("lanes", int64(grid.GroupSize))
+		tr.Record(ev)
+	}
 	return stats
 }
 
@@ -333,6 +355,22 @@ func (d *Device) LaunchFused(phases []string, grid Grid, k KernelFunc) []LaunchS
 		attributed += share
 		out[i] = LaunchStats{Name: name, Grid: grid, Elapsed: share, Count: t.phaseTotals[i]}
 		d.prof.record(out[i])
+	}
+	if tr := d.tracer.Load(); tr.Enabled() {
+		// One parent span for the fused launch plus one child per phase,
+		// laid end to end using the profiler's attributed shares; batched
+		// so they land on one track and nest by containment in viewers.
+		evs := make([]telemetry.Event, 0, len(phases)+1)
+		parent := telemetry.Event{Name: "fused", Cat: "launch", TS: tr.Stamp(start), Dur: wall}
+		parent.SetArg("groups", int64(grid.Groups))
+		parent.SetArg("phases", int64(len(phases)))
+		evs = append(evs, parent)
+		off := tr.Stamp(start)
+		for i, name := range phases {
+			evs = append(evs, telemetry.Event{Name: name, Cat: "phase", TS: off, Dur: out[i].Elapsed})
+			off += out[i].Elapsed
+		}
+		tr.RecordBatch(evs)
 	}
 	return out
 }

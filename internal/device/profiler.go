@@ -6,6 +6,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"esthera/internal/telemetry"
 )
 
 // Profiler accumulates per-kernel launch statistics. It backs the Fig. 4
@@ -89,6 +91,24 @@ func (p *Profiler) Stats() Stats {
 		st.TotalLaunches += e.Launches
 	}
 	return st
+}
+
+// Collect emits the profiler's accumulated state into a telemetry
+// registry gather: per-kernel elapsed time and launch counts under the
+// esthera_kernel_* names, so device profiling joins the unified
+// /metrics exposition.
+func (p *Profiler) Collect(e *telemetry.Emitter) {
+	st := p.Stats()
+	e.Counter("esthera_kernel_launches_total", "Kernel launches by kernel name.",
+		float64(st.TotalLaunches))
+	e.Counter("esthera_kernel_elapsed_seconds_total", "Accumulated kernel wall time.",
+		st.TotalElapsed.Seconds())
+	for _, k := range st.Kernels {
+		e.Counter("esthera_kernel_seconds_total", "Accumulated wall time per kernel.",
+			k.Elapsed.Seconds(), "kernel", k.Name)
+		e.Counter("esthera_kernel_runs_total", "Launches per kernel.",
+			float64(k.Launches), "kernel", k.Name)
+	}
 }
 
 // Total returns the summed elapsed time over all kernels.

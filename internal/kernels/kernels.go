@@ -161,6 +161,7 @@ func (p *Pipeline) sortGroup(g *device.Group, s int, xin, xout []float64) {
 // Config.MeanEstimate the kernel instead reduces to the globally
 // weight-averaged state.
 func (p *Pipeline) KernelEstimate() ([]float64, float64) {
+	p.observeRound()
 	if p.cfg.MeanEstimate {
 		return p.kernelEstimateMean()
 	}
@@ -436,7 +437,16 @@ func (p *Pipeline) resampleGroup(g *device.Group, s int) {
 	g.LocalWrite(8 * m)
 
 	resampled := false
-	g.StepOne(func() { resampled = p.cfg.Policy.ShouldResample(w, r) })
+	g.StepOne(func() {
+		resampled = p.cfg.Policy.ShouldResample(w, r)
+		// Record the policy decision for health sampling; each group
+		// owns its own flag slot, and readers wait for the launch.
+		if resampled {
+			p.resampleFlags[s] = 1
+		} else {
+			p.resampleFlags[s] = 0
+		}
+	})
 	if !resampled {
 		// Keep the population; copy through so the double buffer
 		// stays coherent.

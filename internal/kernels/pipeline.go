@@ -27,6 +27,7 @@ import (
 	"esthera/internal/model"
 	"esthera/internal/resample"
 	"esthera/internal/rng"
+	"esthera/internal/telemetry"
 )
 
 // Algo selects the resampling kernel (Fig. 5 compares the two).
@@ -126,6 +127,17 @@ type Pipeline struct {
 
 	bestSub int
 	bestLW  float64
+
+	// Observability state (see telemetry.go): an optional span tracer,
+	// a stride-gated filter-health sample, and the per-sub-filter
+	// resample-policy decisions of the most recent resampling kernel.
+	// All of it is read-only with respect to filter state, so golden
+	// traces are unaffected.
+	tracer        *telemetry.Tracer
+	healthEvery   int
+	round         int64
+	lastHealth    telemetry.FilterHealth
+	resampleFlags []uint8
 }
 
 // New validates cfg and allocates the pipeline on dev.
@@ -174,6 +186,7 @@ func New(dev *device.Device, mdl model.Model, cfg Config, seed uint64) (*Pipelin
 	p.partial = make([]float64, cfg.SubFilters*(p.dim+1))
 	p.bufs = make([]*rng.Buffer, cfg.SubFilters)
 	p.rands = make([]*rng.Rand, cfg.SubFilters)
+	p.resampleFlags = make([]uint8, cfg.SubFilters)
 	p.nbrs = make([][]int, cfg.SubFilters)
 	for s := range p.nbrs {
 		p.nbrs[s] = cfg.Topology.Neighbors(nil, s)
@@ -207,6 +220,11 @@ func (p *Pipeline) Reset(seed uint64) {
 	for i := range p.logw {
 		p.logw[i] = 0
 	}
+	for i := range p.resampleFlags {
+		p.resampleFlags[i] = 0
+	}
+	p.round = 0
+	p.lastHealth = telemetry.FilterHealth{}
 	p.bestSub, p.bestLW = 0, math.Inf(-1)
 }
 
@@ -227,12 +245,14 @@ func (p *Pipeline) grid() device.Grid {
 // launch, exactly as in the paper's baseline; RoundFused is the faster,
 // bit-identical alternative.
 func (p *Pipeline) Round(u, z []float64, k int) ([]float64, float64) {
+	sp := p.tracer.Begin("filter", "round").Arg("k", int64(k))
 	p.KernelRand()
 	p.KernelSampleWeight(u, z, k)
 	p.KernelSortLocal()
 	best, lw := p.KernelEstimate()
 	p.KernelExchange()
 	p.KernelResample()
+	sp.End()
 	return best, lw
 }
 
@@ -249,6 +269,7 @@ func (p *Pipeline) Round(u, z []float64, k int) ([]float64, float64) {
 // golden-trace tests); the profiler still sees per-phase entries under
 // the same kernel names.
 func (p *Pipeline) RoundFused(u, z []float64, k int) ([]float64, float64) {
+	sp := p.tracer.Begin("filter", "round").Arg("k", int64(k))
 	p.dev.LaunchFused(fusedPhases, p.grid(), func(g *device.Group) {
 		p.fusedGroup(g, g.ID(), u, z, k)
 	})
@@ -257,6 +278,7 @@ func (p *Pipeline) RoundFused(u, z []float64, k int) ([]float64, float64) {
 	best, lw := p.KernelEstimate()
 	p.KernelExchange()
 	p.KernelResample()
+	sp.End()
 	return best, lw
 }
 

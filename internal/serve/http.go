@@ -8,6 +8,8 @@ import (
 	"math"
 	"net/http"
 	"strconv"
+
+	"esthera/internal/telemetry"
 )
 
 // NewHandler exposes a Server as a JSON-over-HTTP API (stdlib only):
@@ -19,7 +21,12 @@ import (
 //	DELETE /v1/sessions/{id}                                        → 204
 //	GET    /v1/sessions/{id}/checkpoint                             → Checkpoint
 //	POST   /v1/restore                  Checkpoint                  → {"id": ...}
-//	GET    /metrics                                                 → Stats
+//	GET    /metrics                                                 → Stats (JSON); Prometheus text with
+//	                                                                  ?format=prometheus or an Accept header
+//	                                                                  preferring text/plain
+//	GET    /trace                                                   → drain recorded spans (Chrome trace JSON;
+//	                                                                  ?format=raw for the wire format)
+//	POST   /trace                       {"enabled": bool}           → toggle span recording
 //	GET    /healthz                                                 → 200 while up
 //	GET    /readyz                                                  → 200 admitting, 503 draining/closed
 //
@@ -102,8 +109,13 @@ func NewHandler(s *Server) http.Handler {
 		writeJSON(w, http.StatusCreated, map[string]string{"id": id})
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		if telemetry.WantsPrometheus(r) {
+			s.reg.ServePrometheus(w)
+			return
+		}
 		writeJSON(w, http.StatusOK, s.Stats())
 	})
+	mux.Handle("/trace", telemetry.TraceHandler(s.tracer))
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"esthera/internal/filter"
+	"esthera/internal/telemetry"
 )
 
 // A stepReq's lifecycle state. Every request starts pending; exactly one
@@ -136,7 +137,14 @@ func (s *Server) runBatch(batch []*stepReq) {
 		}()
 		return filter.StepBatch(s.dev, fs, us, zs)
 	}()
-	s.observeBatchLatency(time.Since(start))
+	elapsed := time.Since(start)
+	s.observeBatchLatency(elapsed)
+	if s.tracer.Enabled() {
+		ev := telemetry.Event{Name: "batch", Cat: "serve", TS: s.tracer.Stamp(start), Dur: elapsed}
+		ev.SetArg("steps", int64(len(live)))
+		ev.SetArg("skipped", int64(len(batch)-len(live)))
+		s.tracer.Record(ev)
+	}
 	if err != nil {
 		for _, r := range live {
 			r.done <- stepResult{err: err}

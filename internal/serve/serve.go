@@ -41,6 +41,7 @@ import (
 	"esthera/internal/kernels"
 	"esthera/internal/model"
 	"esthera/internal/resample"
+	"esthera/internal/telemetry"
 )
 
 // Config shapes a Server.
@@ -66,6 +67,14 @@ type Config struct {
 	// drain the current queue, derived from the queue depth and an EWMA
 	// of recent batch execution latency (see retryHint).
 	RetryAfter time.Duration
+	// Trace starts the server with span recording enabled. Recording
+	// can also be toggled at runtime via POST /trace; the tracer itself
+	// always exists and is free while disabled.
+	Trace bool
+	// HealthStride gates per-session filter-health sampling (ESS,
+	// weight degeneracy, resample acceptance): every k-th round is
+	// sampled. 0 means every round; negative disables sampling.
+	HealthStride int
 }
 
 func (c Config) withDefaults() Config {
@@ -83,6 +92,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = 5 * time.Millisecond
+	}
+	if c.HealthStride == 0 {
+		c.HealthStride = 1
+	}
+	if c.HealthStride < 0 {
+		c.HealthStride = -1
 	}
 	return c
 }
@@ -188,6 +203,13 @@ type Server struct {
 	// batchLatNS is an EWMA of recent batch execution latency in
 	// nanoseconds, feeding the adaptive retry hint.
 	batchLatNS atomic.Int64
+
+	// Observability: the span tracer shared by the device, every
+	// session's pipeline, and the scheduler; and the metrics registry
+	// unifying serve counters, latency histograms, filter health and
+	// the device profile behind /metrics (see telemetry.go).
+	tracer *telemetry.Tracer
+	reg    *telemetry.Registry
 }
 
 // NewServer starts a server with the given model registry. The caller
@@ -202,7 +224,12 @@ func NewServer(cfg Config, models map[string]ModelFactory) *Server {
 		queue:    make(chan *stepReq, cfg.QueueDepth),
 		quit:     make(chan struct{}),
 		done:     make(chan struct{}),
+		tracer:   telemetry.New(telemetry.Config{}),
+		reg:      telemetry.NewRegistry(),
 	}
+	s.tracer.SetEnabled(cfg.Trace)
+	s.dev.SetTracer(s.tracer)
+	s.reg.RegisterCollector(s.collectMetrics)
 	for name, f := range models {
 		s.models[name] = f
 	}
@@ -288,6 +315,12 @@ func (s *Server) install(sp FilterSpec, f *filter.Parallel, mdl model.Model) (st
 	}
 	s.nextID++
 	id := fmt.Sprintf("s-%d", s.nextID)
+	// Wire the session's pipeline into the server's observability:
+	// round spans when tracing is on, and stride-gated health sampling.
+	f.Pipeline().SetTracer(s.tracer)
+	if s.cfg.HealthStride > 0 {
+		f.Pipeline().SetHealthEvery(s.cfg.HealthStride)
+	}
 	s.sessions[id] = newSession(id, sp, f, mdl)
 	return id, nil
 }
@@ -414,7 +447,18 @@ func (s *Server) finish(sess *Session, res stepResult, start time.Time) (StepRes
 	if res.err != nil {
 		return StepResult{}, res.err
 	}
-	sess.recordStep(res.est, time.Since(start))
+	elapsed := time.Since(start)
+	sess.recordStep(res.est, elapsed)
+	if s.cfg.HealthStride > 0 {
+		// The caller holds sess.stepMu and the batch that ran this step
+		// has delivered, so the pipeline's health sample is stable.
+		sess.setHealth(sess.f.Pipeline().LastHealth())
+	}
+	if s.tracer.Enabled() {
+		ev := telemetry.Event{Name: "request", Cat: "serve", TS: s.tracer.Stamp(start), Dur: elapsed}
+		ev.SetArg("step", int64(res.step))
+		s.tracer.Record(ev)
+	}
 	return StepResult{Step: res.step, State: res.est.State, LogWeight: res.est.LogWeight}, nil
 }
 

@@ -8,6 +8,7 @@ import (
 
 	"esthera/internal/filter"
 	"esthera/internal/model"
+	"esthera/internal/telemetry"
 )
 
 // Session is one tracked target: a filter plus serving bookkeeping.
@@ -32,6 +33,10 @@ type Session struct {
 	steps   int64
 	lastEst filter.Estimate
 	lat     latencyHist
+	// health is the pipeline's most recent stride-gated filter-health
+	// sample, copied out after each step so Stats and the Prometheus
+	// collector can read it without touching the filter.
+	health telemetry.FilterHealth
 }
 
 func newSession(id string, sp FilterSpec, f *filter.Parallel, mdl model.Model) *Session {
@@ -60,6 +65,21 @@ func (sess *Session) recordStep(est filter.Estimate, d time.Duration) {
 	sess.lastEst = est
 	sess.lat.observe(d)
 	sess.mu.Unlock()
+}
+
+func (sess *Session) setHealth(h telemetry.FilterHealth) {
+	if h.Round == 0 {
+		return // no sample taken yet (stride hasn't fired)
+	}
+	sess.mu.Lock()
+	sess.health = h
+	sess.mu.Unlock()
+}
+
+func (sess *Session) healthSample() telemetry.FilterHealth {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	return sess.health
 }
 
 // seedResult primes the bookkeeping of a restored session so Estimate
@@ -134,4 +154,28 @@ func (h *latencyHist) snapshot() LatencyStats {
 		st.Buckets = append(st.Buckets, LatencyBucket{UpperUS: 1 << i, Count: c})
 	}
 	return st
+}
+
+// latBoundsSeconds are the histogram bounds in seconds (2^i µs), shared
+// by every session's Prometheus exposition so series stay comparable.
+var latBoundsSeconds = func() []float64 {
+	b := make([]float64, latBuckets)
+	for i := range b {
+		b[i] = float64(int64(1)<<i) / 1e6
+	}
+	return b
+}()
+
+// promSnapshot renders the histogram in Prometheus shape: cumulative
+// counts over latBoundsSeconds plus a +Inf bucket, the observation sum
+// in seconds, and the count. Caller holds the session's mu.
+func (h *latencyHist) promSnapshot() (cum []int64, sum float64, n int64) {
+	cum = make([]int64, latBuckets+1)
+	var running int64
+	for i, c := range h.counts {
+		running += c
+		cum[i] = running
+	}
+	cum[latBuckets] = h.n // +Inf
+	return cum, h.sum.Seconds(), h.n
 }

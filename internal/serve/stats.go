@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"esthera/internal/device"
+	"esthera/internal/telemetry"
 )
 
 // SessionStats is one session's introspection record.
@@ -16,6 +17,10 @@ type SessionStats struct {
 	Steps   int64        `json:"steps"`
 	AgeMS   int64        `json:"age_ms"`
 	Latency LatencyStats `json:"latency"`
+	// Health is the most recent stride-gated filter-health sample (ESS,
+	// weight degeneracy, resample acceptance); omitted until the first
+	// sample is taken.
+	Health *telemetry.FilterHealth `json:"health,omitempty"`
 }
 
 // HealthSnapshot is the server's robustness-layer introspection record:
@@ -103,6 +108,10 @@ func (s *Server) Stats() Stats {
 			Steps:   sess.steps,
 			AgeMS:   now.Sub(sess.created).Milliseconds(),
 			Latency: sess.lat.snapshot(),
+		}
+		if sess.health.Round > 0 {
+			h := sess.health
+			rec.Health = &h
 		}
 		sess.mu.Unlock()
 		st.Sessions = append(st.Sessions, rec)

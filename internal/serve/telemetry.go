@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"sort"
+
+	"esthera/internal/telemetry"
+)
+
+// Observability accessors and the metrics collector unifying the
+// serving layer's counters, per-session latency histograms, filter
+// health and the device profile behind one registry gather.
+
+// Tracer returns the server's span tracer. It is shared by the device
+// (launch/phase spans), every session's pipeline (round spans) and the
+// scheduler (batch/request spans), so one Drain yields the full
+// cross-layer picture of a serving window.
+func (s *Server) Tracer() *telemetry.Tracer { return s.tracer }
+
+// Registry returns the server's metrics registry; a gather renders the
+// same state as Stats() in Prometheus shape.
+func (s *Server) Registry() *telemetry.Registry { return s.reg }
+
+// collectMetrics is the registry collector: it walks the same state Stats()
+// publishes as JSON and emits it under stable esthera_* names.
+func (s *Server) collectMetrics(e *telemetry.Emitter) {
+	e.Gauge("esthera_serve_ready", "1 while the server accepts steps.", b2f(s.Ready()))
+	e.Gauge("esthera_serve_draining", "1 while a graceful drain is in progress.", b2f(s.draining.Load()))
+	e.Gauge("esthera_serve_queue_depth", "Steps waiting in the admission queue.", float64(len(s.queue)))
+	e.Gauge("esthera_serve_queue_cap", "Admission queue capacity.", float64(s.cfg.QueueDepth))
+	e.Gauge("esthera_serve_inflight", "Admitted steps not yet delivered.", float64(s.inflight.Load()))
+	e.Counter("esthera_serve_rejected_total", "Steps shed by admission control.", float64(s.rejected.Load()))
+	e.Counter("esthera_serve_cancelled_total", "Steps abandoned by caller context while queued.", float64(s.cancelled.Load()))
+	e.Counter("esthera_serve_skipped_total", "Abandoned steps dropped at delivery time.", float64(s.skipped.Load()))
+	e.Counter("esthera_serve_batches_total", "Scheduler batches executed.", float64(s.batches.Load()))
+	e.Counter("esthera_serve_batched_steps_total", "Steps executed across all batches.", float64(s.batchedSteps.Load()))
+	e.Gauge("esthera_serve_batch_latency_seconds", "EWMA of batch execution latency.", float64(s.batchLatNS.Load())/1e9)
+	e.Gauge("esthera_serve_retry_hint_seconds", "Back-off hint a saturated step would receive now.", s.retryHint().Seconds())
+	e.Counter("esthera_trace_dropped_events_total", "Span events overwritten by tracer ring overflow.", float64(s.tracer.Dropped()))
+
+	s.mu.RLock()
+	sessions := make([]*Session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.mu.RUnlock()
+	sort.Slice(sessions, func(i, j int) bool { return sessions[i].id < sessions[j].id })
+	e.Gauge("esthera_serve_sessions", "Open sessions.", float64(len(sessions)))
+
+	for _, sess := range sessions {
+		sess.mu.Lock()
+		steps := sess.steps
+		cum, sum, n := sess.lat.promSnapshot()
+		h := sess.health
+		sess.mu.Unlock()
+
+		e.Counter("esthera_session_steps_total", "Filtering steps executed, by session.",
+			float64(steps), "session", sess.id)
+		e.Histogram("esthera_step_latency_seconds", "End-to-end step latency (admission to delivery), by session.",
+			latBoundsSeconds, cum, sum, n, "session", sess.id)
+		if h.Round > 0 {
+			e.Gauge("esthera_filter_ess", "Effective sample size at the last health sample.",
+				h.ESS, "session", sess.id)
+			e.Gauge("esthera_filter_ess_frac", "ESS as a fraction of the particle count.",
+				h.ESSFrac, "session", sess.id)
+			e.Gauge("esthera_filter_max_weight_ratio", "Largest normalized weight times N (1 = uniform, N = degenerate).",
+				h.MaxWeightRatio, "session", sess.id)
+			e.Gauge("esthera_filter_resample_accept_ratio", "Fraction of groups the resampling policy fired for last round.",
+				h.ResampleAccept, "session", sess.id)
+			e.Gauge("esthera_filter_health_round", "Round the health sample was taken at.",
+				float64(h.Round), "session", sess.id)
+		}
+	}
+
+	s.dev.Profiler().Collect(e)
+}
+
+func b2f(v bool) float64 {
+	if v {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,230 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"esthera/internal/telemetry"
+)
+
+// scrape GETs url and returns body and content type. Errors are
+// reported with Errorf (not Fatal) so it is safe from the concurrent
+// scraper goroutine in TestConcurrentScrapeUnderLoad.
+func scrape(t *testing.T, url, accept string) (string, string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Errorf("scrape %s: %v", url, err)
+		return "", ""
+	}
+	if accept != "" {
+		req.Header.Set("Accept", accept)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Errorf("scrape %s: %v", url, err)
+		return "", ""
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Errorf("scrape %s: %v", url, err)
+		return "", ""
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("GET %s: %d: %s", url, resp.StatusCode, body)
+		return "", ""
+	}
+	return string(body), resp.Header.Get("Content-Type")
+}
+
+// TestMetricsContentNegotiation pins the /metrics format selection: the
+// default stays the JSON Stats payload (backward compatible), the query
+// parameter and Accept header select Prometheus text, and the
+// Prometheus body passes the exposition-format lint.
+func TestMetricsContentNegotiation(t *testing.T) {
+	s, ts := newHTTPServer(t, Config{Workers: 2})
+	id, err := s.Create(FilterSpec{Model: "ungm", SubFilters: 4, ParticlesPer: 16, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k <= 3; k++ {
+		if _, err := s.Step(id, nil, obs(0, k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	body, ctype := scrape(t, ts.URL+"/metrics", "")
+	if !strings.Contains(ctype, "application/json") || !strings.Contains(body, "\"sessions\"") {
+		t.Fatalf("default scrape not JSON Stats: %s %q", ctype, body[:min(len(body), 120)])
+	}
+
+	for _, variant := range []struct{ url, accept string }{
+		{ts.URL + "/metrics?format=prometheus", ""},
+		{ts.URL + "/metrics", "text/plain"},
+	} {
+		body, ctype := scrape(t, variant.url, variant.accept)
+		if ctype != telemetry.PrometheusContentType {
+			t.Fatalf("prometheus scrape content type %q", ctype)
+		}
+		if err := telemetry.LintPrometheus(strings.NewReader(body)); err != nil {
+			t.Fatalf("prometheus lint: %v\n%s", err, body)
+		}
+		for _, want := range []string{
+			"esthera_serve_batches_total",
+			"esthera_session_steps_total{session=\"" + id + "\"}",
+			"esthera_step_latency_seconds_bucket",
+			"esthera_kernel_launches_total",
+		} {
+			if !strings.Contains(body, want) {
+				t.Errorf("prometheus scrape missing %s", want)
+			}
+		}
+	}
+}
+
+// TestESSGaugePerSessionUpdates is the filter-health acceptance test:
+// ESS and weight-degeneracy gauges appear per session and track the
+// advancing rounds.
+func TestESSGaugePerSessionUpdates(t *testing.T) {
+	s, ts := newHTTPServer(t, Config{Workers: 2})
+	ids := make([]string, 2)
+	for i := range ids {
+		id, err := s.Create(FilterSpec{Model: "ungm", SubFilters: 4, ParticlesPer: 16, Seed: uint64(i + 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	step := func(rounds int) {
+		for k := 1; k <= rounds; k++ {
+			for i, id := range ids {
+				if _, err := s.Step(id, nil, obs(i, k)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	gauge := func(body, name, id string) (float64, bool) {
+		prefix := fmt.Sprintf("%s{session=%q} ", name, id)
+		for _, line := range strings.Split(body, "\n") {
+			if strings.HasPrefix(line, prefix) {
+				var v float64
+				if _, err := fmt.Sscanf(line[len(prefix):], "%g", &v); err != nil {
+					t.Fatalf("parsing %q: %v", line, err)
+				}
+				return v, true
+			}
+		}
+		return 0, false
+	}
+
+	step(4)
+	body1, _ := scrape(t, ts.URL+"/metrics?format=prometheus", "")
+	step(3)
+	body2, _ := scrape(t, ts.URL+"/metrics?format=prometheus", "")
+
+	for _, id := range ids {
+		ess, ok := gauge(body1, "esthera_filter_ess", id)
+		if !ok {
+			t.Fatalf("no esthera_filter_ess for %s:\n%s", id, body1)
+		}
+		if ess <= 0 || ess > 4*16 {
+			t.Errorf("%s: ESS %v out of (0, 64]", id, ess)
+		}
+		if frac, ok := gauge(body1, "esthera_filter_ess_frac", id); !ok || frac <= 0 || frac > 1 {
+			t.Errorf("%s: ess_frac %v ok=%v, want in (0, 1]", id, frac, ok)
+		}
+		if ratio, ok := gauge(body1, "esthera_filter_max_weight_ratio", id); !ok || ratio < 1 {
+			t.Errorf("%s: max_weight_ratio %v ok=%v, want >= 1", id, ratio, ok)
+		}
+		r1, ok1 := gauge(body1, "esthera_filter_health_round", id)
+		r2, ok2 := gauge(body2, "esthera_filter_health_round", id)
+		if !ok1 || !ok2 || r2 <= r1 {
+			t.Errorf("%s: health round did not advance across scrapes: %v -> %v", id, r1, r2)
+		}
+	}
+}
+
+// TestConcurrentScrapeUnderLoad hammers /metrics (both formats) and
+// /trace while sessions step concurrently — run under -race, this is
+// the data-race acceptance test for the whole exposition path.
+func TestConcurrentScrapeUnderLoad(t *testing.T) {
+	s, ts := newHTTPServer(t, Config{Workers: 4, Trace: true})
+	ids := make([]string, 3)
+	for i := range ids {
+		id, err := s.Create(FilterSpec{Model: "ungm", SubFilters: 4, ParticlesPer: 16, Seed: uint64(i + 9)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+
+	const rounds = 30
+	var steppers sync.WaitGroup
+	for i, id := range ids {
+		steppers.Add(1)
+		go func(i int, id string) {
+			defer steppers.Done()
+			for k := 1; k <= rounds; k++ {
+				if _, err := s.Step(id, nil, obs(i, k)); err != nil {
+					t.Errorf("step %s: %v", id, err)
+					return
+				}
+			}
+		}(i, id)
+	}
+
+	stop := make(chan struct{})
+	var scraper sync.WaitGroup
+	scraper.Add(1)
+	go func() {
+		defer scraper.Done()
+		for n := 0; ; n++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			switch n % 4 {
+			case 0:
+				body, _ := scrape(t, ts.URL+"/metrics?format=prometheus", "")
+				if err := telemetry.LintPrometheus(strings.NewReader(body)); err != nil {
+					t.Errorf("prometheus lint under load: %v", err)
+					return
+				}
+			case 1:
+				scrape(t, ts.URL+"/metrics", "")
+			case 2:
+				scrape(t, ts.URL+"/trace", "")
+			case 3:
+				resp, err := http.Post(ts.URL+"/trace", "application/json",
+					bytes.NewReader([]byte(`{"enabled":true}`)))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp.Body.Close()
+			}
+		}
+	}()
+
+	steppers.Wait()
+	close(stop)
+	scraper.Wait()
+
+	for _, id := range ids {
+		res, err := s.Estimate(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Step != rounds {
+			t.Errorf("%s at step %d, want %d", id, res.Step, rounds)
+		}
+	}
+}

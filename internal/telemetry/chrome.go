@@ -1,0 +1,184 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Chrome trace-event export. The format is the Trace Event JSON the
+// Chrome tracing UI and Perfetto both load: an object with a
+// "traceEvents" array of complete events (ph "X") carrying
+// microsecond-resolution ts/dur. We emit one process (pid 1) whose
+// threads are the tracer's ring shards, so spans recorded together via
+// RecordBatch stack by containment on one track.
+
+// chromeEvent is one Trace Event JSON entry.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+}
+
+// WriteChromeTrace serializes events as Chrome trace-event JSON.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	out := chromeTrace{TraceEvents: make([]chromeEvent, 0, len(events)+1)}
+	out.TraceEvents = append(out.TraceEvents, chromeEvent{
+		Name: "process_name", Ph: "M", PID: 1,
+		Args: map[string]any{"name": "esthera"},
+	})
+	for _, ev := range events {
+		ce := chromeEvent{
+			Name: ev.Name,
+			Cat:  ev.Cat,
+			Ph:   "X",
+			TS:   float64(ev.TS) / float64(time.Microsecond),
+			Dur:  float64(ev.Dur) / float64(time.Microsecond),
+			PID:  1,
+			TID:  int(ev.TID),
+		}
+		for _, a := range ev.Args {
+			if a.Name == "" {
+				continue
+			}
+			if ce.Args == nil {
+				ce.Args = make(map[string]any, maxArgs)
+			}
+			ce.Args[a.Name] = a.Value
+		}
+		out.TraceEvents = append(out.TraceEvents, ce)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// rawTrace is the wire format served by GET /trace?format=raw: events
+// with full nanosecond resolution plus the tracer's drop counter.
+type rawTrace struct {
+	Events  []Event `json:"events"`
+	Dropped int64   `json:"dropped,omitempty"`
+}
+
+// EncodeEvents serializes events in the raw nanosecond wire format.
+func EncodeEvents(w io.Writer, events []Event, dropped int64) error {
+	return json.NewEncoder(w).Encode(rawTrace{Events: events, Dropped: dropped})
+}
+
+// ParseEvents decodes a trace from any of the three shapes the tooling
+// produces: the raw wire format ({"events": [...]}), Chrome trace-event
+// JSON ({"traceEvents": [...]}), or a bare JSON array of raw events.
+func ParseEvents(data []byte) ([]Event, error) {
+	var probe struct {
+		Events      []Event           `json:"events"`
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		var bare []Event
+		if err2 := json.Unmarshal(data, &bare); err2 == nil {
+			return bare, nil
+		}
+		return nil, fmt.Errorf("telemetry: unrecognized trace format: %w", err)
+	}
+	if probe.TraceEvents != nil {
+		events := make([]Event, 0, len(probe.TraceEvents))
+		for _, raw := range probe.TraceEvents {
+			var ce chromeEvent
+			if err := json.Unmarshal(raw, &ce); err != nil {
+				return nil, fmt.Errorf("telemetry: bad trace event: %w", err)
+			}
+			if ce.Ph != "X" {
+				continue // metadata and instant events carry no interval
+			}
+			ev := Event{
+				Name: ce.Name,
+				Cat:  ce.Cat,
+				TS:   time.Duration(ce.TS * float64(time.Microsecond)),
+				Dur:  time.Duration(ce.Dur * float64(time.Microsecond)),
+				TID:  int32(ce.TID),
+			}
+			names := make([]string, 0, len(ce.Args))
+			for k := range ce.Args {
+				names = append(names, k)
+			}
+			sort.Strings(names)
+			for _, k := range names {
+				if v, ok := ce.Args[k].(float64); ok {
+					ev.SetArg(k, int64(v))
+				}
+			}
+			events = append(events, ev)
+		}
+		return events, nil
+	}
+	return probe.Events, nil
+}
+
+// NameSummary aggregates all spans sharing one name.
+type NameSummary struct {
+	Name  string        `json:"name"`
+	Cat   string        `json:"cat"`
+	Count int           `json:"count"`
+	Total time.Duration `json:"total_ns"`
+	Max   time.Duration `json:"max_ns"`
+}
+
+// Mean returns the average span duration.
+func (s NameSummary) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Total / time.Duration(s.Count)
+}
+
+// Summarize groups events by name, ordered by descending total time.
+func Summarize(events []Event) []NameSummary {
+	idx := make(map[string]int)
+	var out []NameSummary
+	for _, ev := range events {
+		i, ok := idx[ev.Name]
+		if !ok {
+			i = len(out)
+			idx[ev.Name] = i
+			out = append(out, NameSummary{Name: ev.Name, Cat: ev.Cat})
+		}
+		out[i].Count++
+		out[i].Total += ev.Dur
+		if ev.Dur > out[i].Max {
+			out[i].Max = ev.Dur
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total != out[j].Total {
+			return out[i].Total > out[j].Total
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Top returns the n longest spans, descending by duration.
+func Top(events []Event, n int) []Event {
+	sorted := make([]Event, len(events))
+	copy(sorted, events)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Dur != sorted[j].Dur {
+			return sorted[i].Dur > sorted[j].Dur
+		}
+		return sorted[i].TS < sorted[j].TS
+	})
+	if n > 0 && n < len(sorted) {
+		sorted = sorted[:n]
+	}
+	return sorted
+}

@@ -1,0 +1,69 @@
+package telemetry
+
+import "math"
+
+// FilterHealth summarizes particle-weight quality for one filter at
+// one round. All quantities are computed from the normalized weights
+// w_i = exp(logw_i - max logw), read after weighting and before
+// resampling — the point where degeneracy is visible.
+type FilterHealth struct {
+	// Round is the filter round the sample was taken at.
+	Round int64 `json:"round"`
+	// Particles is the total particle count the sample covers.
+	Particles int `json:"particles"`
+	// ESS is the effective sample size (sum w)^2 / sum w^2, in
+	// [1, Particles] for non-degenerate weights; 0 when all weights
+	// underflow.
+	ESS float64 `json:"ess"`
+	// ESSFrac is ESS / Particles, the scale-free degeneracy signal.
+	ESSFrac float64 `json:"ess_frac"`
+	// MaxWeightRatio is max w_i / mean w_i, i.e. how many times
+	// over-weighted the heaviest particle is; 1 means uniform, N means
+	// total collapse onto one particle.
+	MaxWeightRatio float64 `json:"max_weight_ratio"`
+	// ResampleAccept is the fraction of sub-filters whose resampling
+	// policy fired on the previous round's decision (resampling runs
+	// after the health sample point).
+	ResampleAccept float64 `json:"resample_accept"`
+}
+
+// HealthFromLogWeights computes a FilterHealth from raw log-weights.
+// resampledGroups out of groups is the most recent resample-policy
+// acceptance count (pass 0,0 when unknown). The computation is
+// read-only and deterministic; it never reorders or rescales the
+// input.
+func HealthFromLogWeights(logw []float64, resampledGroups, groups int) FilterHealth {
+	h := FilterHealth{Particles: len(logw)}
+	if groups > 0 {
+		h.ResampleAccept = float64(resampledGroups) / float64(groups)
+	}
+	if len(logw) == 0 {
+		return h
+	}
+	maxLW := math.Inf(-1)
+	for _, lw := range logw {
+		if lw > maxLW {
+			maxLW = lw
+		}
+	}
+	if math.IsInf(maxLW, -1) || math.IsNaN(maxLW) {
+		return h // fully degenerate: every weight underflowed
+	}
+	var sum, sumSq, maxW float64
+	for _, lw := range logw {
+		w := math.Exp(lw - maxLW)
+		sum += w
+		sumSq += w * w
+		if w > maxW {
+			maxW = w
+		}
+	}
+	if sumSq > 0 {
+		h.ESS = sum * sum / sumSq
+		h.ESSFrac = h.ESS / float64(len(logw))
+	}
+	if sum > 0 {
+		h.MaxWeightRatio = maxW * float64(len(logw)) / sum
+	}
+	return h
+}

@@ -1,0 +1,81 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+)
+
+func decodeJSONBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<16))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+// WantsPrometheus decides the /metrics response format for a request.
+// The explicit ?format= query parameter wins ("prometheus" or "json");
+// otherwise an Accept header preferring text/plain or OpenMetrics
+// selects the Prometheus text exposition. The default stays JSON so
+// existing scrapers keep working.
+func WantsPrometheus(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "prometheus", "prom", "text":
+		return true
+	case "json":
+		return false
+	}
+	accept := r.Header.Get("Accept")
+	for _, part := range strings.Split(accept, ",") {
+		mt := strings.TrimSpace(strings.SplitN(part, ";", 2)[0])
+		switch mt {
+		case "text/plain", "application/openmetrics-text":
+			return true
+		case "application/json":
+			return false
+		}
+	}
+	return false
+}
+
+// ServePrometheus writes the registry as a Prometheus text exposition
+// HTTP response.
+func (r *Registry) ServePrometheus(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", PrometheusContentType)
+	_ = r.WritePrometheus(w)
+}
+
+// TraceHandler exposes a Tracer over HTTP: GET drains the buffered
+// spans (?format=raw for the nanosecond wire format, Chrome
+// trace-event JSON otherwise); POST with {"enabled": true|false}
+// toggles recording.
+func TraceHandler(t *Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodGet:
+			events := t.Drain()
+			w.Header().Set("Content-Type", "application/json")
+			if r.URL.Query().Get("format") == "raw" {
+				_ = EncodeEvents(w, events, t.Dropped())
+				return
+			}
+			_ = WriteChromeTrace(w, events)
+		case http.MethodPost:
+			var req struct {
+				Enabled bool `json:"enabled"`
+			}
+			if err := decodeJSONBody(r, &req); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			t.SetEnabled(req.Enabled)
+			w.Header().Set("Content-Type", "application/json")
+			if req.Enabled {
+				_, _ = w.Write([]byte(`{"enabled":true}` + "\n"))
+			} else {
+				_, _ = w.Write([]byte(`{"enabled":false}` + "\n"))
+			}
+		default:
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		}
+	})
+}

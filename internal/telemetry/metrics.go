@@ -1,0 +1,314 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Metrics registry: a dependency-free unification layer over the
+// repo's existing introspection sources (device Profiler.Stats, serve
+// latency histograms, cluster HealthSnapshot). Long-lived counters,
+// gauges and histograms are owned by the registry; snapshot-style
+// sources plug in as Collectors that emit samples at gather time.
+// Gather produces one merged, sorted family list that both the JSON
+// and the Prometheus text exposition render from.
+
+// Metric family types, matching Prometheus exposition TYPE values.
+const (
+	TypeCounter   = "counter"
+	TypeGauge     = "gauge"
+	TypeHistogram = "histogram"
+)
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add increases the counter by n (n must be non-negative).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a settable float metric.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the last stored value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into explicit buckets. Bounds are the
+// inclusive upper edges of the finite buckets; an implicit +Inf bucket
+// catches the rest.
+type Histogram struct {
+	bounds []float64
+	mu     sync.Mutex
+	counts []int64
+	sum    float64
+	count  int64
+}
+
+// NewHistogramBuckets validates and copies a bound list: strictly
+// increasing, finite.
+func newHistogramBounds(bounds []float64) []float64 {
+	out := make([]float64, len(bounds))
+	copy(out, bounds)
+	for i, b := range out {
+		if math.IsInf(b, 0) || math.IsNaN(b) {
+			panic(fmt.Sprintf("telemetry: histogram bound %d not finite", i))
+		}
+		if i > 0 && out[i-1] >= b {
+			panic(fmt.Sprintf("telemetry: histogram bounds not increasing at %d", i))
+		}
+	}
+	return out
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.mu.Lock()
+	h.counts[i]++
+	h.sum += v
+	h.count++
+	h.mu.Unlock()
+}
+
+// snapshot returns cumulative bucket counts (per finite bound, then
+// +Inf), sum and count.
+func (h *Histogram) snapshot() (cum []int64, sum float64, count int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	cum = make([]int64, len(h.counts))
+	var run int64
+	for i, c := range h.counts {
+		run += c
+		cum[i] = run
+	}
+	return cum, h.sum, h.count
+}
+
+// HistBucket is one cumulative histogram bucket in a gathered Family.
+type HistBucket struct {
+	UpperBound float64 `json:"le"`
+	Count      int64   `json:"count"`
+}
+
+// Sample is one exposed series: a label set plus either a scalar value
+// or a histogram snapshot.
+type Sample struct {
+	Labels  []Label      `json:"labels,omitempty"`
+	Value   float64      `json:"value"`
+	Buckets []HistBucket `json:"buckets,omitempty"`
+	Sum     float64      `json:"sum,omitempty"`
+	Count   int64        `json:"count,omitempty"`
+}
+
+// Label is one name/value pair on a Sample.
+type Label struct {
+	Name  string `json:"name"`
+	Value string `json:"value"`
+}
+
+// Family is every sample sharing one metric name.
+type Family struct {
+	Name    string   `json:"name"`
+	Help    string   `json:"help"`
+	Type    string   `json:"type"`
+	Samples []Sample `json:"samples"`
+}
+
+// Collector emits point-in-time samples into an Emitter at gather
+// time; snapshot-style sources (profiler stats, health snapshots)
+// implement exposition this way instead of mirroring state into owned
+// instruments.
+type Collector func(e *Emitter)
+
+// Registry holds owned instruments and gather-time collectors.
+type Registry struct {
+	mu         sync.Mutex
+	owned      []*ownedFamily
+	ownedByKey map[string]*ownedFamily
+	collectors []Collector
+}
+
+type ownedFamily struct {
+	name, help string
+	typ        string
+	counter    *Counter
+	gauge      *Gauge
+	hist       *Histogram
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{ownedByKey: make(map[string]*ownedFamily)}
+}
+
+// NewCounter registers and returns an owned counter. Registering the
+// same name twice returns the original instrument.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.ownedByKey[name]; ok {
+		return f.counter
+	}
+	f := &ownedFamily{name: name, help: help, typ: TypeCounter, counter: &Counter{}}
+	r.owned = append(r.owned, f)
+	r.ownedByKey[name] = f
+	return f.counter
+}
+
+// NewGauge registers and returns an owned gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.ownedByKey[name]; ok {
+		return f.gauge
+	}
+	f := &ownedFamily{name: name, help: help, typ: TypeGauge, gauge: &Gauge{}}
+	r.owned = append(r.owned, f)
+	r.ownedByKey[name] = f
+	return f.gauge
+}
+
+// NewHistogram registers and returns an owned histogram with the given
+// finite bucket bounds.
+func (r *Registry) NewHistogram(name, help string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.ownedByKey[name]; ok {
+		return f.hist
+	}
+	b := newHistogramBounds(bounds)
+	f := &ownedFamily{name: name, help: help, typ: TypeHistogram,
+		hist: &Histogram{bounds: b, counts: make([]int64, len(b)+1)}}
+	r.owned = append(r.owned, f)
+	r.ownedByKey[name] = f
+	return f.hist
+}
+
+// RegisterCollector adds a gather-time sample source.
+func (r *Registry) RegisterCollector(c Collector) {
+	r.mu.Lock()
+	r.collectors = append(r.collectors, c)
+	r.mu.Unlock()
+}
+
+// Emitter receives samples during a gather. Methods may be called with
+// repeated names (different label sets); samples merge into one family
+// per name.
+type Emitter struct {
+	idx      map[string]int
+	families []Family
+}
+
+func (e *Emitter) family(name, help, typ string) *Family {
+	if i, ok := e.idx[name]; ok {
+		return &e.families[i]
+	}
+	e.idx[name] = len(e.families)
+	e.families = append(e.families, Family{Name: name, Help: help, Type: typ})
+	return &e.families[len(e.families)-1]
+}
+
+// labelPairs converts alternating name,value strings.
+func labelPairs(kv []string) []Label {
+	if len(kv)%2 != 0 {
+		panic("telemetry: odd label list")
+	}
+	if len(kv) == 0 {
+		return nil
+	}
+	out := make([]Label, 0, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		out = append(out, Label{Name: kv[i], Value: kv[i+1]})
+	}
+	return out
+}
+
+// Counter emits one counter sample. labels are alternating name,value.
+func (e *Emitter) Counter(name, help string, v float64, labels ...string) {
+	f := e.family(name, help, TypeCounter)
+	f.Samples = append(f.Samples, Sample{Labels: labelPairs(labels), Value: v})
+}
+
+// Gauge emits one gauge sample.
+func (e *Emitter) Gauge(name, help string, v float64, labels ...string) {
+	f := e.family(name, help, TypeGauge)
+	f.Samples = append(f.Samples, Sample{Labels: labelPairs(labels), Value: v})
+}
+
+// Histogram emits one histogram sample from cumulative bucket counts.
+// bounds are the finite upper edges; cum must have len(bounds)+1
+// entries, the last being the +Inf (total) count.
+func (e *Emitter) Histogram(name, help string, bounds []float64, cum []int64, sum float64, count int64, labels ...string) {
+	if len(cum) != len(bounds)+1 {
+		panic("telemetry: histogram cum/bounds length mismatch")
+	}
+	f := e.family(name, help, TypeHistogram)
+	buckets := make([]HistBucket, 0, len(cum))
+	for i, b := range bounds {
+		buckets = append(buckets, HistBucket{UpperBound: b, Count: cum[i]})
+	}
+	buckets = append(buckets, HistBucket{UpperBound: math.Inf(1), Count: cum[len(cum)-1]})
+	f.Samples = append(f.Samples, Sample{Labels: labelPairs(labels), Buckets: buckets, Sum: sum, Count: count})
+}
+
+// Gather snapshots every owned instrument, runs every collector, and
+// returns the merged families sorted by name.
+func (r *Registry) Gather() []Family {
+	r.mu.Lock()
+	owned := make([]*ownedFamily, len(r.owned))
+	copy(owned, r.owned)
+	collectors := make([]Collector, len(r.collectors))
+	copy(collectors, r.collectors)
+	r.mu.Unlock()
+
+	e := &Emitter{idx: make(map[string]int)}
+	for _, f := range owned {
+		switch f.typ {
+		case TypeCounter:
+			e.Counter(f.name, f.help, float64(f.counter.Value()))
+		case TypeGauge:
+			e.Gauge(f.name, f.help, f.gauge.Value())
+		case TypeHistogram:
+			cum, sum, count := f.hist.snapshot()
+			e.Histogram(f.name, f.help, f.hist.bounds, cum, sum, count)
+		}
+	}
+	for _, c := range collectors {
+		c(e)
+	}
+	out := e.families
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	for fi := range out {
+		sort.SliceStable(out[fi].Samples, func(i, j int) bool {
+			return labelKey(out[fi].Samples[i].Labels) < labelKey(out[fi].Samples[j].Labels)
+		})
+	}
+	return out
+}
+
+func labelKey(ls []Label) string {
+	var b strings.Builder
+	for _, l := range ls {
+		b.WriteString(l.Name)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+		b.WriteByte(',')
+	}
+	return b.String()
+}

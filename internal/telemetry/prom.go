@@ -1,0 +1,361 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (format version 0.0.4): # HELP and # TYPE
+// lines per family, then one sample line per series. Histograms expand
+// into _bucket{le=...} cumulative series plus _sum and _count.
+
+// PrometheusContentType is the Content-Type for the text exposition.
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders the registry in Prometheus text exposition
+// format. Families are sorted by name, samples by label set, so output
+// is deterministic for a fixed state.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	return WriteFamilies(w, r.Gather())
+}
+
+// WriteFamilies renders pre-gathered families as Prometheus text.
+func WriteFamilies(w io.Writer, families []Family) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range families {
+		fmt.Fprintf(bw, "# HELP %s %s\n", f.Name, escapeHelp(f.Help))
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.Name, f.Type)
+		for _, s := range f.Samples {
+			if f.Type == TypeHistogram {
+				writeHistogramSample(bw, f.Name, s)
+				continue
+			}
+			fmt.Fprintf(bw, "%s%s %s\n", f.Name, labelString(s.Labels, "", ""), formatValue(s.Value))
+		}
+	}
+	return bw.Flush()
+}
+
+func writeHistogramSample(w io.Writer, name string, s Sample) {
+	for _, b := range s.Buckets {
+		le := "+Inf"
+		if !math.IsInf(b.UpperBound, 1) {
+			le = formatValue(b.UpperBound)
+		}
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, labelString(s.Labels, "le", le), b.Count)
+	}
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, labelString(s.Labels, "", ""), formatValue(s.Sum))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, labelString(s.Labels, "", ""), s.Count)
+}
+
+// labelString renders {a="x",b="y"}, appending an extra pair when
+// extraName is non-empty; empty label sets render as nothing.
+func labelString(ls []Label, extraName, extraValue string) string {
+	if len(ls) == 0 && extraName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Name, escapeLabel(l.Value))
+	}
+	if extraName != "" {
+		if len(ls) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", extraName, escapeLabel(extraValue))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel handles backslash and newline; %q adds the quote
+// escaping.
+func escapeLabel(s string) string {
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+var (
+	promMetricName = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	promLabelName  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// LintPrometheus parses text exposition output and reports format
+// violations: bad metric/label names, samples without a preceding
+// TYPE, duplicate series, non-cumulative or +Inf-less histograms, and
+// _count/_bucket{+Inf} disagreement. It is the validator behind the
+// /metrics acceptance tests.
+func LintPrometheus(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	types := make(map[string]string) // family name -> TYPE
+	seen := make(map[string]bool)    // full series key -> present
+	type histSeries struct {
+		le    []float64
+		count []int64
+	}
+	hists := make(map[string]*histSeries) // family|labels(sans le)
+	counts := make(map[string]int64)      // family|labels -> _count value
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "# HELP ") {
+			rest := strings.TrimPrefix(text, "# HELP ")
+			name, _, _ := strings.Cut(rest, " ")
+			if !promMetricName.MatchString(name) {
+				return fmt.Errorf("line %d: bad metric name %q in HELP", line, name)
+			}
+			continue
+		}
+		if strings.HasPrefix(text, "# TYPE ") {
+			fields := strings.Fields(strings.TrimPrefix(text, "# TYPE "))
+			if len(fields) != 2 {
+				return fmt.Errorf("line %d: malformed TYPE line", line)
+			}
+			name, typ := fields[0], fields[1]
+			if !promMetricName.MatchString(name) {
+				return fmt.Errorf("line %d: bad metric name %q in TYPE", line, name)
+			}
+			switch typ {
+			case TypeCounter, TypeGauge, TypeHistogram, "summary", "untyped":
+			default:
+				return fmt.Errorf("line %d: unknown TYPE %q", line, typ)
+			}
+			if _, dup := types[name]; dup {
+				return fmt.Errorf("line %d: duplicate TYPE for %s", line, name)
+			}
+			types[name] = typ
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			continue // other comments are legal
+		}
+		name, labels, value, err := parsePromSample(text)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", line, err)
+		}
+		base, suffix := splitPromSuffix(name, types)
+		if _, ok := types[base]; !ok {
+			return fmt.Errorf("line %d: sample %s has no preceding TYPE", line, name)
+		}
+		if types[base] == TypeHistogram && suffix == "" {
+			return fmt.Errorf("line %d: histogram %s exposes a bare series", line, base)
+		}
+		key := name + "|" + promLabelKey(labels, "")
+		if seen[key] {
+			return fmt.Errorf("line %d: duplicate series %s", line, key)
+		}
+		seen[key] = true
+		switch suffix {
+		case "_bucket":
+			leStr, ok := labels["le"]
+			if !ok {
+				return fmt.Errorf("line %d: %s without le label", line, name)
+			}
+			le := math.Inf(1)
+			if leStr != "+Inf" {
+				le, err = strconv.ParseFloat(leStr, 64)
+				if err != nil {
+					return fmt.Errorf("line %d: bad le %q: %w", line, leStr, err)
+				}
+			}
+			hk := base + "|" + promLabelKey(labels, "le")
+			h := hists[hk]
+			if h == nil {
+				h = &histSeries{}
+				hists[hk] = h
+			}
+			h.le = append(h.le, le)
+			h.count = append(h.count, int64(value))
+		case "_count":
+			counts[base+"|"+promLabelKey(labels, "")] = int64(value)
+		}
+		if counterType := types[base]; counterType == TypeCounter && suffix == "" {
+			if !strings.HasSuffix(base, "_total") {
+				return fmt.Errorf("line %d: counter %s should end in _total", line, base)
+			}
+			if value < 0 {
+				return fmt.Errorf("line %d: counter %s is negative", line, base)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	for hk, h := range hists {
+		if len(h.le) == 0 || !math.IsInf(h.le[len(h.le)-1], 1) {
+			return fmt.Errorf("histogram %s missing +Inf bucket", hk)
+		}
+		for i := 1; i < len(h.le); i++ {
+			if h.le[i] <= h.le[i-1] {
+				return fmt.Errorf("histogram %s: le not increasing", hk)
+			}
+			if h.count[i] < h.count[i-1] {
+				return fmt.Errorf("histogram %s: bucket counts not cumulative", hk)
+			}
+		}
+		if c, ok := counts[hk]; ok && c != h.count[len(h.count)-1] {
+			return fmt.Errorf("histogram %s: _count %d != +Inf bucket %d", hk, c, h.count[len(h.count)-1])
+		}
+	}
+	return nil
+}
+
+// splitPromSuffix maps a series name back to its family: histogram
+// child series use _bucket/_sum/_count suffixes.
+func splitPromSuffix(name string, types map[string]string) (base, suffix string) {
+	for _, sfx := range []string{"_bucket", "_sum", "_count"} {
+		trimmed := strings.TrimSuffix(name, sfx)
+		if trimmed != name {
+			if t, ok := types[trimmed]; ok && t == TypeHistogram {
+				return trimmed, sfx
+			}
+		}
+	}
+	return name, ""
+}
+
+// parsePromSample parses `name{l1="v1",...} value`.
+func parsePromSample(text string) (name string, labels map[string]string, value float64, err error) {
+	labels = make(map[string]string)
+	rest := text
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		end := strings.LastIndexByte(rest, '}')
+		if end < i {
+			return "", nil, 0, fmt.Errorf("unterminated label set")
+		}
+		if err := parsePromLabels(rest[i+1:end], labels); err != nil {
+			return "", nil, 0, err
+		}
+		rest = strings.TrimSpace(rest[end+1:])
+	} else {
+		fields := strings.Fields(rest)
+		if len(fields) < 2 {
+			return "", nil, 0, fmt.Errorf("malformed sample %q", text)
+		}
+		name = fields[0]
+		rest = fields[1]
+	}
+	if !promMetricName.MatchString(name) {
+		return "", nil, 0, fmt.Errorf("bad metric name %q", name)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 {
+		return "", nil, 0, fmt.Errorf("sample %s has no value", name)
+	}
+	if fields[0] == "+Inf" || fields[0] == "-Inf" || fields[0] == "NaN" {
+		value = math.Inf(1)
+		if fields[0] == "-Inf" {
+			value = math.Inf(-1)
+		}
+		if fields[0] == "NaN" {
+			value = math.NaN()
+		}
+		return name, labels, value, nil
+	}
+	value, err = strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("bad value %q: %w", fields[0], err)
+	}
+	return name, labels, value, nil
+}
+
+func parsePromLabels(s string, out map[string]string) error {
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return fmt.Errorf("label without '=' in %q", s)
+		}
+		lname := strings.TrimSpace(s[:eq])
+		if !promLabelName.MatchString(lname) {
+			return fmt.Errorf("bad label name %q", lname)
+		}
+		s = strings.TrimSpace(s[eq+1:])
+		if len(s) == 0 || s[0] != '"' {
+			return fmt.Errorf("label %s value not quoted", lname)
+		}
+		// Scan the quoted value honoring backslash escapes.
+		i := 1
+		var val strings.Builder
+		for i < len(s) {
+			c := s[i]
+			if c == '\\' && i+1 < len(s) {
+				switch s[i+1] {
+				case 'n':
+					val.WriteByte('\n')
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				default:
+					return fmt.Errorf("bad escape in label %s", lname)
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				break
+			}
+			val.WriteByte(c)
+			i++
+		}
+		if i >= len(s) || s[i] != '"' {
+			return fmt.Errorf("unterminated label value for %s", lname)
+		}
+		if _, dup := out[lname]; dup {
+			return fmt.Errorf("duplicate label %s", lname)
+		}
+		out[lname] = val.String()
+		s = strings.TrimSpace(s[i+1:])
+		if len(s) > 0 {
+			if s[0] != ',' {
+				return fmt.Errorf("expected ',' between labels, got %q", s)
+			}
+			s = strings.TrimSpace(s[1:])
+		}
+	}
+	return nil
+}
+
+// promLabelKey builds a deterministic label-set key, skipping one
+// label name (pass "" to keep all).
+func promLabelKey(labels map[string]string, skip string) string {
+	names := make([]string, 0, len(labels))
+	for k := range labels {
+		if k != skip {
+			names = append(names, k)
+		}
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, k := range names {
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(labels[k])
+		b.WriteByte(',')
+	}
+	return b.String()
+}

@@ -1,6 +1,9 @@
 #!/bin/sh
 # Benchmarks the round hot path (unfused / fused / serve-batched) and
-# writes BENCH_2.json with ns/op and particles/sec per configuration.
+# writes BENCH_<pr>.json with ns/op and particles/sec per configuration.
+# The PR number is derived from CHANGES.md (one `- PR n:` line per
+# landed PR, so the in-flight PR is the count plus one); override with
+# BENCH_PR, or the whole filename with BENCH_OUT.
 #
 # A "baseline" section is merged in from a recorded `go test -bench`
 # output of the pre-optimization tree (the PR 1 commit, measured by
@@ -17,7 +20,8 @@ cd "$(dirname "$0")/.."
 BASELINE_FILE="${1-scripts/bench_baseline_seed.txt}"
 COUNT="${BENCH_COUNT:-3}"
 BENCHTIME="${BENCHTIME:-2s}"
-OUT="${BENCH_OUT:-BENCH_2.json}"
+PR_NUM="${BENCH_PR:-$(($(grep -c '^- PR' CHANGES.md) + 1))}"
+OUT="${BENCH_OUT:-BENCH_${PR_NUM}.json}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 

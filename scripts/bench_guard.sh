@@ -1,0 +1,60 @@
+#!/bin/sh
+# Guards the fused round hot path against overhead creep: reruns
+# BenchmarkRoundFused (telemetry disabled — the default) and asserts the
+# best-of-N ns/op is within BENCH_GUARD_TOLERANCE percent (default 3)
+# of the newest recorded BENCH_*.json baseline. Observability must be
+# free when off; this is where that promise is enforced.
+#
+# With no recorded baseline the guard warns and exits 0 (first run on a
+# fresh tree), so verify.sh stays runnable everywhere.
+#
+# Usage: scripts/bench_guard.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+TOLERANCE="${BENCH_GUARD_TOLERANCE:-3}"
+COUNT="${BENCH_GUARD_COUNT:-3}"
+BENCHTIME="${BENCH_GUARD_BENCHTIME:-1s}"
+
+# Newest recorded run that carries a fused-round number.
+BASELINE=""
+for f in $(ls -t BENCH_*.json 2>/dev/null); do
+	if grep -q '"BenchmarkRoundFused' "$f"; then
+		BASELINE="$f"
+		break
+	fi
+done
+if [ -z "$BASELINE" ]; then
+	echo "bench_guard: no BENCH_*.json baseline with BenchmarkRoundFused; skipping (run scripts/bench.sh to record one)" >&2
+	exit 0
+fi
+
+# First match is the "current" section (emitted before any merged-in
+# historical baseline section).
+BASE_NS="$(sed -n 's/.*"BenchmarkRoundFused[^"]*": {"ns_per_op": \([0-9][0-9.e+]*\).*/\1/p' "$BASELINE" | head -1)"
+if [ -z "$BASE_NS" ]; then
+	echo "bench_guard: could not parse BenchmarkRoundFused ns/op from $BASELINE; skipping" >&2
+	exit 0
+fi
+
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+go test -run '^$' -bench 'BenchmarkRoundFused$' -benchtime "$BENCHTIME" -count "$COUNT" . | tee "$RAW"
+
+FRESH_NS="$(awk '/^BenchmarkRoundFused/ { for (i = 2; i <= NF; i++) if ($(i) == "ns/op") ns = $(i-1); if (best == "" || ns + 0 < best + 0) best = ns } END { print best }' "$RAW")"
+if [ -z "$FRESH_NS" ]; then
+	echo "bench_guard: BenchmarkRoundFused produced no ns/op" >&2
+	exit 1
+fi
+
+awk -v fresh="$FRESH_NS" -v base="$BASE_NS" -v tol="$TOLERANCE" -v src="$BASELINE" 'BEGIN {
+	limit = base * (1 + tol / 100)
+	delta = (fresh - base) / base * 100
+	printf "bench_guard: fused round %.0f ns/op vs %.0f baseline (%s): %+.1f%% (tolerance +%s%%)\n", fresh, base, src, delta, tol
+	if (fresh > limit) {
+		printf "bench_guard: FAIL — fused round regressed past tolerance\n"
+		exit 1
+	}
+	print "bench_guard: ok"
+}'

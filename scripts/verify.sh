@@ -11,10 +11,16 @@ cd "$(dirname "$0")/.."
 go build ./...
 go vet ./...
 go run ./cmd/esthera-vet -list
-go run ./cmd/esthera-vet ./...
+# The telemetry layer is a leaf package every hot path calls into:
+# -require makes the sweep fail loudly if a module-path change ever
+# silently drops it from the ./... coverage.
+go run ./cmd/esthera-vet -require esthera/internal/telemetry ./...
 go test ./...
 go test -race ./...
 # The serving robustness layer (cancellation, shutdown, drain) is pure
 # concurrency: hammer it repeatedly under the race detector so
 # interleaving-dependent regressions surface before merge.
 go test -race -count=3 ./internal/serve/...
+# Observability must be free when disabled: assert the fused round hot
+# path is within tolerance of the newest recorded benchmark baseline.
+scripts/bench_guard.sh
