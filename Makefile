@@ -1,4 +1,4 @@
-.PHONY: build test lint verify ci bench bench-json serve
+.PHONY: build test lint verify ci bench bench-json serve chaos
 
 build:
 	go build ./...
@@ -32,3 +32,9 @@ bench-json:
 
 serve:
 	go run ./cmd/esthera-serve
+
+# Sharded-serving chaos drill: router + 3 replicas, swarm load, kill -9
+# and restart one replica mid-run. Fails on any non-retryable error or
+# a blown p99 budget. Also runs inside verify via CHAOS=1.
+chaos:
+	./scripts/test_chaos_shards.sh

@@ -28,6 +28,12 @@
 // per-session filter-health sampling. -pprof-addr serves net/http/pprof
 // on a separate address (off by default, never on the service port).
 //
+// -shard-addr additionally serves the binary shard transport there
+// (see internal/shard): health pings plus checkpoint export/restore,
+// which is what lets an esthera-router front this replica, fail over
+// its sessions, and live-migrate them bit-exactly. -shard-name sets
+// the replica's handshake name (default the listen address).
+//
 // On SIGINT/SIGTERM the server drains gracefully: it stops admitting
 // new steps (readiness goes 503 so load balancers route around it),
 // waits up to -drain-timeout for in-flight steps to deliver, then shuts
@@ -46,6 +52,7 @@ import (
 	"time"
 
 	"esthera"
+	"esthera/internal/shard"
 )
 
 func main() {
@@ -61,6 +68,8 @@ func main() {
 		trace    = flag.Bool("trace", false, "start with span recording enabled (toggle at runtime via POST /trace)")
 		stride   = flag.Int("health-stride", 0, "sample filter health every k rounds (0 = every round, <0 = off)")
 		pprof    = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled)")
+		shAddr   = flag.String("shard-addr", "", "serve the shard transport (pings, checkpoint transfer) on this address (empty = disabled)")
+		shName   = flag.String("shard-name", "", "replica name in shard transport handshakes (empty = -shard-addr)")
 	)
 	flag.Parse()
 
@@ -87,6 +96,20 @@ func main() {
 				fmt.Fprintf(os.Stderr, "esthera-serve pprof: %v\n", err)
 			}
 		}()
+	}
+
+	if *shAddr != "" {
+		name := *shName
+		if name == "" {
+			name = *shAddr
+		}
+		tl := shard.NewListener(name, shard.NewAgent(name, s))
+		if err := tl.ListenAndServe(*shAddr); err != nil {
+			fmt.Fprintf(os.Stderr, "esthera-serve shard transport: %v\n", err)
+			os.Exit(1)
+		}
+		defer tl.Close()
+		fmt.Fprintf(os.Stderr, "esthera-serve shard transport %q listening on %s\n", name, tl.Addr())
 	}
 
 	srv := &http.Server{

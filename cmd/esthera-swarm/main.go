@@ -1,0 +1,147 @@
+// Command esthera-swarm drives synthetic stepping load against an
+// esthera-serve or esthera-router endpoint and judges the run: it
+// creates -sessions tracking sessions, steps each in its own goroutine
+// for -duration with the retrying client, and exits non-zero if any
+// non-retryable error surfaced or the stepping p99 latency exceeded
+// -p99-budget. The chaos harness (scripts/test_chaos_shards.sh) uses
+// it to assert that killing a replica under a router costs retries,
+// never correctness.
+//
+// Retryable backpressure (429/503 with Retry-After) is absorbed by the
+// client's retry loop up to -attempts tries per step; only exhausted
+// retries and hard replies count as failures. The summary is one JSON
+// object on stdout.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"esthera"
+)
+
+type summary struct {
+	Sessions     int     `json:"sessions"`
+	Steps        int64   `json:"steps"`
+	Failures     int64   `json:"failures"`
+	FirstFailure string  `json:"first_failure,omitempty"`
+	P50MS        float64 `json:"p50_ms"`
+	P99MS        float64 `json:"p99_ms"`
+	MaxMS        float64 `json:"max_ms"`
+	BudgetMS     float64 `json:"p99_budget_ms"`
+	Pass         bool    `json:"pass"`
+}
+
+func main() {
+	var (
+		base     = flag.String("router", "http://127.0.0.1:8080", "endpoint base URL (router or single replica)")
+		sessions = flag.Int("sessions", 8, "concurrent sessions")
+		duration = flag.Duration("duration", 10*time.Second, "stepping duration")
+		model    = flag.String("model", "ungm", "model registry name")
+		attempts = flag.Int("attempts", 64, "max attempts per step (retryable 429/503 absorbed)")
+		budget   = flag.Duration("p99-budget", 2*time.Second, "fail if stepping p99 exceeds this")
+		ready    = flag.Duration("ready-timeout", 15*time.Second, "wait this long for /readyz before starting")
+		seed     = flag.Int64("seed", 1, "observation stream seed")
+	)
+	flag.Parse()
+
+	client := esthera.NewServerClient(esthera.ClientConfig{BaseURL: *base, MaxAttempts: *attempts})
+	ctx, cancel := context.WithTimeout(context.Background(), *ready+*duration+2*time.Minute)
+	defer cancel()
+
+	if err := waitReady(ctx, client, *ready); err != nil {
+		fmt.Fprintf(os.Stderr, "esthera-swarm: endpoint never became ready: %v\n", err)
+		os.Exit(1)
+	}
+
+	ids := make([]string, *sessions)
+	for i := range ids {
+		id, err := client.Create(ctx, esthera.FilterSpec{Model: *model, Seed: uint64(*seed) + uint64(i)})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "esthera-swarm: create session %d: %v\n", i, err)
+			os.Exit(1)
+		}
+		ids[i] = id
+	}
+
+	var (
+		mu        sync.Mutex
+		latencies []float64
+		steps     int64
+		failures  int64
+		firstFail string
+	)
+	deadline := time.Now().Add(*duration)
+	var wg sync.WaitGroup
+	for i, id := range ids {
+		wg.Add(1)
+		go func(i int, id string) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(i)))
+			for time.Now().Before(deadline) && ctx.Err() == nil {
+				z := []float64{rng.NormFloat64()}
+				t0 := time.Now()
+				_, err := client.Step(ctx, id, nil, z)
+				lat := time.Since(t0)
+				mu.Lock()
+				if err != nil {
+					failures++
+					if firstFail == "" {
+						firstFail = fmt.Sprintf("session %s: %v", id, err)
+					}
+					mu.Unlock()
+					return
+				}
+				steps++
+				latencies = append(latencies, float64(lat.Microseconds())/1000)
+				mu.Unlock()
+			}
+		}(i, id)
+	}
+	wg.Wait()
+
+	sum := summary{Sessions: *sessions, Steps: steps, Failures: failures, FirstFailure: firstFail, BudgetMS: float64(budget.Milliseconds())}
+	if len(latencies) > 0 {
+		sort.Float64s(latencies)
+		sum.P50MS = latencies[len(latencies)/2]
+		sum.P99MS = latencies[min(len(latencies)-1, len(latencies)*99/100)]
+		sum.MaxMS = latencies[len(latencies)-1]
+	}
+	sum.Pass = failures == 0 && steps > 0 && sum.P99MS <= sum.BudgetMS
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(sum)
+	if !sum.Pass {
+		os.Exit(1)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// waitReady polls /readyz until it answers 200 or the wait expires.
+func waitReady(ctx context.Context, c *esthera.Client, wait time.Duration) error {
+	deadline := time.Now().Add(wait)
+	var last error
+	for time.Now().Before(deadline) && ctx.Err() == nil {
+		if last = c.Ready(ctx); last == nil {
+			return nil
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	if last == nil {
+		last = ctx.Err()
+	}
+	return last
+}

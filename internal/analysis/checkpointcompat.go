@@ -16,24 +16,28 @@ var snapshotPackages = map[string]bool{
 	"esthera/internal/kernels": true,
 	"esthera/internal/rng":     true,
 	"esthera/internal/cluster": true,
+	"esthera/internal/shard":   true,
 }
 
-// snapshotName matches the type names that participate in the
-// checkpoint wire format: kernels.Snapshot, filter.ParallelSnapshot,
-// serve.Checkpoint, rng.State.
-var snapshotName = regexp.MustCompile(`(Snapshot|Checkpoint|State)$`)
+// snapshotName matches the type names that participate in a wire
+// format: kernels.Snapshot, filter.ParallelSnapshot, serve.Checkpoint,
+// rng.State, and the shard transport's framed *Msg control structs
+// (shard.ExportMsg, shard.RestoreMsg, ...).
+var snapshotName = regexp.MustCompile(`(Snapshot|Checkpoint|State|Msg)$`)
 
-// CheckpointAnalyzer guards the checkpoint wire format: every exported
-// field of a snapshot struct must carry an explicit json tag — either a
-// wire name (frozen independently of Go-side renames) or `json:"-"`
-// for state that is serialized out of band (the base64 float encoding)
-// or deliberately excluded. An untagged exported field would silently
-// join (or, renamed, silently leave) the wire format, breaking the
-// bit-exact checkpoint/restore contract between server versions.
+// CheckpointAnalyzer guards the wire formats: every exported field of
+// a snapshot/checkpoint/framed-message struct must carry an explicit
+// wire tag — a json tag with a wire name (frozen independently of
+// Go-side renames), `json:"-"` for state serialized out of band (the
+// base64 float encoding) or deliberately excluded, or a `binary:` tag
+// for fields hand-encoded into a raw binary frame (shard.ExchangeMsg).
+// An untagged exported field would silently join (or, renamed,
+// silently leave) the wire format, breaking the bit-exact
+// checkpoint/restore and transport contracts between versions.
 var CheckpointAnalyzer = &Analyzer{
 	Name: "checkpointcompat",
-	Doc: "flag exported fields of snapshot/checkpoint structs that lack an explicit " +
-		"json wire tag, so the checkpoint format only ever changes deliberately",
+	Doc: "flag exported fields of snapshot/checkpoint/wire-message structs that lack an " +
+		"explicit json or binary wire tag, so wire formats only ever change deliberately",
 	Filter: func(pkgPath string) bool { return snapshotPackages[pkgPath] },
 	Run:    runCheckpointCompat,
 }
@@ -54,7 +58,7 @@ func runCheckpointCompat(pass *Pass) error {
 					// Embedded field: its own struct is checked at its
 					// declaration (if it is snapshot-named); embedding
 					// without a tag is flagged like a named field.
-					if !hasJSONTag(field) {
+					if !hasWireTag(field) {
 						pass.Reportf(field.Pos(),
 							"embedded field of snapshot struct %s has no json tag: checkpoint wire fields must be declared explicitly (use a wire name or json:\"-\")", ts.Name.Name)
 					}
@@ -64,9 +68,9 @@ func runCheckpointCompat(pass *Pass) error {
 					if !name.IsExported() {
 						continue
 					}
-					if !hasJSONTag(field) {
+					if !hasWireTag(field) {
 						pass.Reportf(name.Pos(),
-							"exported field %s of snapshot struct %s has no json tag: new checkpoint fields need an explicit wire name (or json:\"-\" with out-of-band encoding) and restore-side handling", name.Name, ts.Name.Name)
+							"exported field %s of snapshot struct %s has no json tag: new wire fields need an explicit wire name (json, or binary for hand-framed payloads; json:\"-\" with out-of-band encoding) and restore-side handling", name.Name, ts.Name.Name)
 					}
 				}
 			}
@@ -76,12 +80,17 @@ func runCheckpointCompat(pass *Pass) error {
 	return nil
 }
 
-// hasJSONTag reports whether the field carries a json struct tag.
-func hasJSONTag(field *ast.Field) bool {
+// hasWireTag reports whether the field carries an explicit wire tag:
+// json (the checkpoint and control-frame formats) or binary (fields
+// hand-encoded into raw frames, e.g. shard.ExchangeMsg).
+func hasWireTag(field *ast.Field) bool {
 	if field.Tag == nil {
 		return false
 	}
-	tag := strings.Trim(field.Tag.Value, "`")
-	_, ok := reflect.StructTag(tag).Lookup("json")
+	tag := reflect.StructTag(strings.Trim(field.Tag.Value, "`"))
+	if _, ok := tag.Lookup("json"); ok {
+		return true
+	}
+	_, ok := tag.Lookup("binary")
 	return ok
 }

@@ -36,6 +36,20 @@ type EmbeddedSnapshot struct {
 	Extra        int `json:"extra"`
 }
 
+// FramedMsg matches the Msg$ naming rule: transport control frames are
+// a wire format too.
+type FramedMsg struct {
+	ID    string `json:"id"`
+	Round int64  // want `exported field Round of snapshot struct FramedMsg has no json tag`
+}
+
+// BinaryMsg is hand-encoded into a raw frame: binary tags declare the
+// wire fields just like json tags do.
+type BinaryMsg struct {
+	From int       `binary:"u32le"`
+	Recs []float64 `binary:"f64le"`
+}
+
 // NotPersisted is not snapshot-named: untagged fields are fine here.
 type NotPersisted struct {
 	Cache   map[string]int

@@ -146,8 +146,44 @@ type Cluster struct {
 	// resample) with degradation counters as span arguments.
 	tracer atomic.Pointer[telemetry.Tracer]
 
+	// transport, when attached, carries every inter-node exchange pull
+	// (nil keeps the in-process copy path, bit-identically). A failing
+	// transport degrades exactly like a failed sender: the edge drops,
+	// the receiver keeps native particles, and the round completes.
+	transport       atomic.Pointer[Transport]
+	transportErrors atomic.Int64
+
 	outbox []float64 // global staging: S·t·(dim+1)
 }
+
+// Transport carries inter-node exchange pulls for one cluster. Exchange
+// delivers the sender sub-filter's staged top-t records (t contiguous
+// [dim state floats + 1 log-weight] groups) from sub-filter `from` to
+// receiver `to` for the given round, returning the records as the
+// receiver must apply them — the same length, bit-exact floats. An
+// implementation that round-trips the records unchanged (loopback, or
+// the shard package's TCP framing) leaves the filter's estimate stream
+// bit-identical to the in-process path; an error drops the edge for
+// this round (counted in TransportErrors and DroppedEdges) instead of
+// stalling it.
+type Transport interface {
+	Exchange(round int64, from, to int, recs []float64) ([]float64, error)
+}
+
+// SetTransport attaches (or, with nil, detaches) the inter-node
+// exchange transport. Safe to call concurrently with Step; the round in
+// flight keeps the transport it started with.
+func (c *Cluster) SetTransport(t Transport) {
+	if t == nil {
+		c.transport.Store(nil)
+		return
+	}
+	c.transport.Store(&t)
+}
+
+// TransportErrors counts exchange pulls dropped by transport failures
+// since New or the last Reset.
+func (c *Cluster) TransportErrors() int64 { return c.transportErrors.Load() }
 
 // node is one cluster member: a device pipeline over its sub-filter slice.
 type node struct {
@@ -244,6 +280,7 @@ func (c *Cluster) Reset(seed uint64) {
 	c.reroutedEdges.Store(0)
 	c.droppedEdges.Store(0)
 	c.reseeds.Store(0)
+	c.transportErrors.Store(0)
 	for i := range c.contrib {
 		c.contrib[i].Store(0)
 	}
@@ -456,6 +493,11 @@ func (c *Cluster) exchangeGlobal(failed []bool) {
 	for _, f := range failed {
 		anyFailed = anyFailed || f
 	}
+	var tr Transport
+	if p := c.transport.Load(); p != nil {
+		tr = *p
+	}
+	round := c.rounds.Load()
 
 	// Stage every live sub-filter's top-t into the global outbox.
 	for g := 0; g < S; g++ {
@@ -501,13 +543,26 @@ func (c *Cluster) exchangeGlobal(failed []bool) {
 				c.reroutedEdges.Add(1)
 			}
 			qNode := q / spn
-			c.contrib[qNode].Add(1)
+			recs := c.outbox[(q * t * stride) : (q*t+t)*stride]
 			if qNode != nodeIdx {
 				c.commMsgs.Add(1)
 				c.commBytes.Add(int64(t * stride * 8))
+				if tr != nil {
+					got, err := tr.Exchange(round, q, g, recs)
+					if err != nil || len(got) != len(recs) {
+						// The edge drops exactly as if the sender had no
+						// live lane: native particles stay in the slots.
+						c.transportErrors.Add(1)
+						c.droppedEdges.Add(1)
+						slot += t
+						continue
+					}
+					recs = got
+				}
 			}
+			c.contrib[qNode].Add(1)
 			for i := 0; i < t; i++ {
-				rec := c.outbox[(q*t+i)*stride : (q*t+i+1)*stride]
+				rec := recs[i*stride : (i+1)*stride]
 				copy(p[base+slot*dim:base+(slot+1)*dim], rec[:dim])
 				lw[local*mp+slot] = rec[dim]
 				slot++

@@ -32,6 +32,9 @@ type HealthSnapshot struct {
 	DroppedEdges  int64 `json:"dropped_edges"`
 	// Reseeds counts nodes re-seeded from live neighbors on restore.
 	Reseeds int64 `json:"reseeds"`
+	// TransportErrors counts inter-node exchange pulls dropped because
+	// the attached Transport failed (each also counts in DroppedEdges).
+	TransportErrors int64 `json:"transport_errors"`
 	// CommBytes and CommMessages mirror CommStats.
 	CommBytes    int64 `json:"comm_bytes"`
 	CommMessages int64 `json:"comm_messages"`
@@ -60,6 +63,7 @@ func (c *Cluster) Health() HealthSnapshot {
 		ReroutedEdges:   c.reroutedEdges.Load(),
 		DroppedEdges:    c.droppedEdges.Load(),
 		Reseeds:         c.reseeds.Load(),
+		TransportErrors: c.transportErrors.Load(),
 		CommBytes:       c.commBytes.Load(),
 		CommMessages:    c.commMsgs.Load(),
 		ExchangeContrib: contrib,
@@ -79,6 +83,7 @@ func (c *Cluster) Collect(e *telemetry.Emitter) {
 	e.Counter("esthera_cluster_rerouted_edges_total", "Exchange pulls rerouted past failed nodes.", float64(h.ReroutedEdges))
 	e.Counter("esthera_cluster_dropped_edges_total", "Exchange pulls with no live sender on the lane.", float64(h.DroppedEdges))
 	e.Counter("esthera_cluster_reseeds_total", "Nodes re-seeded from live neighbors on restore.", float64(h.Reseeds))
+	e.Counter("esthera_cluster_transport_errors_total", "Inter-node exchange pulls dropped by transport failures.", float64(h.TransportErrors))
 	e.Counter("esthera_cluster_comm_bytes_total", "Inter-node exchange payload bytes.", float64(h.CommBytes))
 	e.Counter("esthera_cluster_comm_messages_total", "Inter-node exchange messages.", float64(h.CommMessages))
 	for i, n := range h.ExchangeContrib {

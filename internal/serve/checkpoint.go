@@ -93,6 +93,35 @@ func (s *Server) Checkpoint(id string) (*Checkpoint, error) {
 	if sess.isClosed() {
 		return nil, ErrNotFound
 	}
+	return s.checkpointLocked(id, sess), nil
+}
+
+// Export checkpoints session id and closes it in one atomic section:
+// the in-flight step (if any) finishes, the snapshot lands on a round
+// boundary, and no later step can advance the session past its own
+// checkpoint — the source-side half of a bit-exact live migration. A
+// restored copy of the returned checkpoint continues the estimate
+// stream exactly where this session stopped.
+func (s *Server) Export(id string) (*Checkpoint, error) {
+	sess, err := s.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	sess.stepMu.Lock()
+	defer sess.stepMu.Unlock()
+	if sess.isClosed() {
+		return nil, ErrNotFound
+	}
+	cp := s.checkpointLocked(id, sess)
+	sess.markClosed()
+	s.mu.Lock()
+	delete(s.sessions, id)
+	s.mu.Unlock()
+	return cp, nil
+}
+
+// checkpointLocked serializes a session; the caller holds sess.stepMu.
+func (s *Server) checkpointLocked(id string, sess *Session) *Checkpoint {
 	snap := sess.f.Snapshot()
 	last := sess.lastResult()
 	cp := &Checkpoint{
@@ -111,7 +140,7 @@ func (s *Server) Checkpoint(id string) (*Checkpoint, error) {
 		LastLWBits:   math.Float64bits(last.LogWeight),
 		Rands:        snap.Pipe.Rands,
 	}
-	return cp, nil
+	return cp
 }
 
 // Restore creates a new session from a checkpoint and returns its id.

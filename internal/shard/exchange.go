@@ -1,0 +1,94 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"esthera/internal/cluster"
+)
+
+// ExchangeClient carries a cluster's inter-node exchange pulls over the
+// shard TCP transport: it implements cluster.Transport by framing each
+// record block as a binary FrameExchange and applying whatever the far
+// side answers. Against ExchangeReflector (or any peer that returns the
+// records unchanged) the filter's estimate stream stays bit-identical
+// to the in-process exchange — the records are raw IEEE-754 bit
+// patterns end to end, never decimal-formatted.
+//
+// Transport failures return an error, which the cluster absorbs as a
+// dropped edge for that round (the degraded-mode machinery, not a
+// stall); the underlying Peer redials on the next pull.
+type ExchangeClient struct {
+	peer *Peer
+	// timeout bounds one pull (0 = 2s): the exchange is on the hot
+	// step path, so a dead peer must fail fast into the drop path
+	// rather than hold the round.
+	timeout time.Duration
+}
+
+// NewExchangeClient builds a transport pulling exchange records through
+// the shard listener at addr, identifying as name.
+func NewExchangeClient(addr, name string, timeout time.Duration) *ExchangeClient {
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	return &ExchangeClient{peer: NewPeer(addr, name), timeout: timeout}
+}
+
+var _ cluster.Transport = (*ExchangeClient)(nil)
+
+// Exchange implements cluster.Transport.
+func (e *ExchangeClient) Exchange(round int64, from, to int, recs []float64) ([]float64, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), e.timeout)
+	defer cancel()
+	payload := EncodeExchange(ExchangeMsg{Round: round, From: int32(from), To: int32(to), Recs: recs})
+	t, reply, err := e.peer.Call(ctx, FrameExchange, payload)
+	if err != nil {
+		return nil, err
+	}
+	if t != FrameExchangeOK {
+		return nil, fmt.Errorf("shard: exchange reply was %s, want exchange-ok", t)
+	}
+	msg, err := DecodeExchange(reply)
+	if err != nil {
+		return nil, err
+	}
+	if len(msg.Recs) != len(recs) {
+		return nil, fmt.Errorf("shard: exchange reply carries %d records, sent %d", len(msg.Recs), len(recs))
+	}
+	return msg.Recs, nil
+}
+
+// Close drops the pooled connection.
+func (e *ExchangeClient) Close() { e.peer.Close() }
+
+// ExchangeFunc resolves one exchange pull on the listening side of the
+// transport: given the decoded request it returns the records the
+// receiver must apply. A nil ExchangeFunc reflects the request's own
+// records — the loopback proving the framing is bit-exact over a real
+// socket; a real node half would look the (round, from) block up in
+// its own outbox instead.
+type ExchangeFunc func(round int64, from, to int, recs []float64) ([]float64, error)
+
+// ExchangeReflector builds a transport Handler serving FrameExchange
+// with fn (nil = echo). Other frame types answer CodeBadRequest, so a
+// reflector endpoint cannot be abused as a migration agent.
+func ExchangeReflector(fn ExchangeFunc) Handler {
+	return HandlerFunc(func(remote string, t FrameType, payload []byte) (FrameType, []byte, error) {
+		if t != FrameExchange {
+			return 0, nil, &RemoteError{Code: CodeBadRequest, Message: fmt.Sprintf("exchange endpoint does not serve %s frames", t)}
+		}
+		msg, err := DecodeExchange(payload)
+		if err != nil {
+			return 0, nil, err
+		}
+		recs := msg.Recs
+		if fn != nil {
+			if recs, err = fn(msg.Round, int(msg.From), int(msg.To), msg.Recs); err != nil {
+				return 0, nil, &RemoteError{Code: CodeInternal, Message: err.Error()}
+			}
+		}
+		return FrameExchangeOK, EncodeExchange(ExchangeMsg{Round: msg.Round, From: msg.From, To: msg.To, Recs: recs}), nil
+	})
+}

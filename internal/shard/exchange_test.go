@@ -1,0 +1,116 @@
+package shard
+
+import (
+	"math"
+	"testing"
+
+	"esthera/internal/cluster"
+	"esthera/internal/model"
+)
+
+func newTestCluster(t *testing.T, seed uint64) *cluster.Cluster {
+	t.Helper()
+	c, err := cluster.New(model.NewUNGM(), cluster.Config{
+		Nodes:             3,
+		SubFiltersPerNode: 2,
+		ParticlesPer:      16,
+		ExchangeCount:     2,
+	}, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestClusterExchangeOverTCPBitExact runs the same cluster twice — once
+// with the in-process exchange, once with every inter-node pull framed
+// over a real TCP socket and reflected back — through a fault-injection
+// schedule, and demands bit-identical estimate streams. This is the
+// transport's core guarantee: the wire is invisible to the filter.
+func TestClusterExchangeOverTCPBitExact(t *testing.T) {
+	l := startListener(t, ExchangeReflector(nil))
+
+	ref := newTestCluster(t, 99)
+	tcp := newTestCluster(t, 99)
+	ec := NewExchangeClient(l.Addr().String(), "cluster-test", 0)
+	defer ec.Close()
+	tcp.SetTransport(ec)
+
+	step := func(c *cluster.Cluster, k int) (state []float64, lw float64) {
+		est := c.Step(nil, []float64{math.Cos(float64(k)) * 3})
+		return est.State, est.LogWeight
+	}
+	for k := 0; k < 24; k++ {
+		// Inject the same failure schedule into both runs.
+		switch k {
+		case 8:
+			ref.FailNode(1)
+			tcp.FailNode(1)
+		case 16:
+			ref.RestoreNode(1)
+			tcp.RestoreNode(1)
+		}
+		ws, wlw := step(ref, k)
+		gs, glw := step(tcp, k)
+		if math.Float64bits(glw) != math.Float64bits(wlw) {
+			t.Fatalf("round %d: log-weight over TCP %016x, in-process %016x", k,
+				math.Float64bits(glw), math.Float64bits(wlw))
+		}
+		for i := range ws {
+			if math.Float64bits(gs[i]) != math.Float64bits(ws[i]) {
+				t.Fatalf("round %d: state[%d] over TCP %016x, in-process %016x", k, i,
+					math.Float64bits(gs[i]), math.Float64bits(ws[i]))
+			}
+		}
+	}
+	if n := tcp.TransportErrors(); n != 0 {
+		t.Fatalf("healthy transport recorded %d errors", n)
+	}
+	if tcp.Health().CommMessages == 0 {
+		t.Fatal("no inter-node messages crossed the transport")
+	}
+}
+
+// TestClusterTransportFailureDegrades kills the transport endpoint
+// mid-run: inter-node pulls drop (TransportErrors and DroppedEdges
+// grow), but the filter keeps stepping every round — transport loss is
+// degradation, never a stall.
+func TestClusterTransportFailureDegrades(t *testing.T) {
+	l := startListener(t, ExchangeReflector(nil))
+	c := newTestCluster(t, 5)
+	ec := NewExchangeClient(l.Addr().String(), "cluster-test", 0)
+	defer ec.Close()
+	c.SetTransport(ec)
+
+	for k := 0; k < 4; k++ {
+		c.Step(nil, []float64{1})
+	}
+	if c.TransportErrors() != 0 {
+		t.Fatalf("errors before the kill: %d", c.TransportErrors())
+	}
+	l.Close()
+	for k := 0; k < 4; k++ {
+		est := c.Step(nil, []float64{1})
+		if len(est.State) == 0 {
+			t.Fatalf("round %d after transport death produced no estimate", k)
+		}
+	}
+	h := c.Health()
+	if h.TransportErrors == 0 {
+		t.Fatal("dead transport recorded no errors")
+	}
+	if h.DroppedEdges < h.TransportErrors {
+		t.Fatalf("dropped edges %d < transport errors %d: drops must be accounted", h.DroppedEdges, h.TransportErrors)
+	}
+	if h.Rounds != 8 {
+		t.Fatalf("rounds = %d, want 8 (no stalls)", h.Rounds)
+	}
+
+	// Detaching the transport restores the pure in-process path.
+	c.SetTransport(nil)
+	before := c.TransportErrors()
+	c.Step(nil, []float64{1})
+	if c.TransportErrors() != before {
+		t.Fatal("detached transport still recorded errors")
+	}
+}

@@ -1,0 +1,271 @@
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"math"
+	"net/http"
+	"strconv"
+
+	"esthera/internal/serve"
+	"esthera/internal/telemetry"
+)
+
+// NewRouterHandler exposes a Router over the same JSON-over-HTTP
+// surface as a single esthera-serve replica, plus the routing
+// control plane:
+//
+//	POST   /v1/sessions                  {"spec": FilterSpec}   → {"id": ...}
+//	GET    /v1/sessions                                         → {"sessions": [ids]}
+//	GET    /v1/sessions/{id}                                    → last estimate
+//	POST   /v1/sessions/{id}/step        {"u": [...], "z": [...]} → StepResult
+//	DELETE /v1/sessions/{id}                                    → 204
+//	GET    /v1/sessions/{id}/checkpoint                         → Checkpoint (over the shard transport)
+//	POST   /v1/sessions/{id}/migrate     {"target": "name"}     → {"shard": ...} ("" = least-loaded)
+//	POST   /v1/rebalance                                        → {"moved": n}
+//	GET    /v1/shards                                           → per-shard liveness/placement
+//	GET    /metrics                                             → {"router": ..., "shards": {...}} (JSON);
+//	                                                              Prometheus text with ?format=prometheus
+//	GET    /healthz                                             → 200 while up
+//	GET    /readyz                                              → 200 with ≥1 live shard, else 503
+//
+// A serve.Client pointed at a router works unchanged: step and
+// estimate requests forward to the owning replica, and the transient
+// states the router introduces — session mid-migration, shard
+// mid-failover — surface as 503 + Retry-After(-Ms), which that
+// client's retry loop already rides out (both guarantee the step was
+// not applied). A duplicate migration request is 409; an unknown
+// session or shard is 404.
+func NewRouterHandler(r *Router) http.Handler {
+	reg := telemetry.NewRegistry()
+	reg.RegisterCollector(routerCollector(r))
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sessions", func(w http.ResponseWriter, req *http.Request) {
+		var body struct {
+			Spec serve.FilterSpec `json:"spec"`
+		}
+		if !readJSON(w, req, &body) {
+			return
+		}
+		id, err := r.Create(req.Context(), body.Spec)
+		if err != nil {
+			routerError(w, r, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, map[string]string{"id": id})
+	})
+	mux.HandleFunc("GET /v1/sessions", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"sessions": r.Sessions()})
+	})
+	mux.HandleFunc("GET /v1/sessions/{id}", func(w http.ResponseWriter, req *http.Request) {
+		res, err := r.Estimate(req.Context(), req.PathValue("id"))
+		if err != nil {
+			routerError(w, r, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, sanitizeResult(res))
+	})
+	mux.HandleFunc("POST /v1/sessions/{id}/step", func(w http.ResponseWriter, req *http.Request) {
+		var body struct {
+			U []float64 `json:"u"`
+			Z []float64 `json:"z"`
+		}
+		if !readJSON(w, req, &body) {
+			return
+		}
+		res, err := r.Step(req.Context(), req.PathValue("id"), body.U, body.Z)
+		if err != nil {
+			routerError(w, r, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, sanitizeResult(res))
+	})
+	mux.HandleFunc("DELETE /v1/sessions/{id}", func(w http.ResponseWriter, req *http.Request) {
+		if err := r.CloseSession(req.Context(), req.PathValue("id")); err != nil {
+			routerError(w, r, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("GET /v1/sessions/{id}/checkpoint", func(w http.ResponseWriter, req *http.Request) {
+		cp, err := r.Checkpoint(req.Context(), req.PathValue("id"))
+		if err != nil {
+			routerError(w, r, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, cp)
+	})
+	mux.HandleFunc("POST /v1/sessions/{id}/migrate", func(w http.ResponseWriter, req *http.Request) {
+		var body struct {
+			Target string `json:"target"`
+		}
+		if !readJSON(w, req, &body) {
+			return
+		}
+		id := req.PathValue("id")
+		if err := r.Migrate(req.Context(), id, body.Target); err != nil {
+			routerError(w, r, err)
+			return
+		}
+		shard, _ := r.ShardOf(id)
+		writeJSON(w, http.StatusOK, map[string]string{"id": id, "shard": shard})
+	})
+	mux.HandleFunc("POST /v1/rebalance", func(w http.ResponseWriter, req *http.Request) {
+		moved := r.Rebalance(req.Context())
+		writeJSON(w, http.StatusOK, map[string]int{"moved": moved})
+	})
+	mux.HandleFunc("GET /v1/shards", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"shards": r.Stats().Shards})
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, req *http.Request) {
+		if telemetry.WantsPrometheus(req) {
+			reg.ServePrometheus(w)
+			return
+		}
+		writeJSON(w, http.StatusOK, aggregateStats(req.Context(), r))
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, req *http.Request) {
+		if !r.Ready() {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "no live shards"})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	})
+	return mux
+}
+
+// AggregatedStats is the router /metrics JSON shape: the router's own
+// counters plus each reachable replica's full Stats snapshot.
+type AggregatedStats struct {
+	Router RouterStats            `json:"router"`
+	Shards map[string]serve.Stats `json:"shards"`
+}
+
+func aggregateStats(ctx context.Context, r *Router) AggregatedStats {
+	out := AggregatedStats{Router: r.Stats(), Shards: make(map[string]serve.Stats)}
+	for _, name := range r.ShardNames() {
+		st, err := r.ShardStats(ctx, name)
+		if err != nil {
+			continue // down shard: its liveness shows in Router.Shards
+		}
+		out.Shards[name] = st
+	}
+	return out
+}
+
+// routerCollector emits the router's counters as esthera_router_*
+// Prometheus samples, with per-shard liveness labeled by shard name.
+func routerCollector(r *Router) telemetry.Collector {
+	return func(e *telemetry.Emitter) {
+		st := r.Stats()
+		e.Gauge("esthera_router_sessions", "Sessions routed by this router.", float64(st.Sessions))
+		e.Gauge("esthera_router_sessions_parked", "Sessions with no live shard, held as checkpoints.", float64(st.Parked))
+		e.Gauge("esthera_router_sessions_migrating", "Sessions with a transfer in flight.", float64(st.Migrating))
+		e.Counter("esthera_router_steps_forwarded_total", "Steps forwarded to replicas.", float64(st.StepsForwarded))
+		e.Counter("esthera_router_steps_held_total", "Steps answered retryable during a migration.", float64(st.StepsHeld))
+		e.Counter("esthera_router_steps_rerouted_total", "Steps answered retryable because the owning shard failed.", float64(st.StepsRerouted))
+		e.Counter("esthera_router_migrations_total", "Completed live migrations.", float64(st.Migrations))
+		e.Counter("esthera_router_migration_errors_total", "Migrations that failed mid-protocol.", float64(st.MigrationErrors))
+		e.Counter("esthera_router_failovers_total", "Shard failover events.", float64(st.Failovers))
+		e.Counter("esthera_router_sessions_restored_total", "Sessions rehomed from a checkpoint.", float64(st.Restored))
+		e.Counter("esthera_router_sessions_recreated_total", "Sessions rebuilt from spec (no checkpoint).", float64(st.Recreated))
+		e.Counter("esthera_router_sessions_rebalanced_total", "Sessions moved by load rebalancing.", float64(st.Rebalanced))
+		e.Counter("esthera_router_probes_total", "Transport health probes sent.", float64(st.Probes))
+		e.Counter("esthera_router_probe_failures_total", "Transport health probes failed.", float64(st.ProbeFailures))
+		for _, sh := range st.Shards {
+			up := 1.0
+			if sh.Down {
+				up = 0
+			}
+			e.Gauge("esthera_router_shard_up", "Shard liveness (1 = accepting placements).", up, "shard", sh.Name)
+			e.Gauge("esthera_router_shard_sessions", "Sessions homed on the shard.", float64(sh.Sessions), "shard", sh.Name)
+		}
+	}
+}
+
+// routerError maps router and forwarded errors onto HTTP statuses.
+// ErrMigrating/ErrShardDown are the router's own backpressure: 503
+// with the Retry-After hint, shaped exactly like a replica's drain
+// reply so serve.Client retries them transparently.
+func routerError(w http.ResponseWriter, r *Router, err error) {
+	var api *serve.APIError
+	switch {
+	case errors.Is(err, ErrMigrating), errors.Is(err, ErrShardDown), errors.Is(err, ErrNoLiveShards):
+		hint := r.RetryAfter()
+		secs := int64(hint.Seconds())
+		if secs < 1 {
+			secs = 1
+		}
+		ms := hint.Milliseconds()
+		if ms < 1 {
+			ms = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+		w.Header().Set("Retry-After-Ms", strconv.FormatInt(ms, 10))
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
+	case errors.Is(err, ErrMigrationInFlight):
+		writeJSON(w, http.StatusConflict, map[string]string{"error": err.Error()})
+	case errors.Is(err, ErrUnknownShard):
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": err.Error()})
+	case errors.Is(err, serve.ErrNotFound):
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": err.Error()})
+	case errors.Is(err, context.Canceled):
+		writeJSON(w, statusClientClosedRequest, map[string]string{"error": err.Error()})
+	case errors.Is(err, context.DeadlineExceeded):
+		writeJSON(w, http.StatusGatewayTimeout, map[string]string{"error": err.Error()})
+	case errors.As(err, &api):
+		// A replica's own reply (after the forwarding client's retries):
+		// relay its status so the caller sees what the shard said.
+		writeJSON(w, api.Status, map[string]string{"error": api.Message})
+	default:
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+	}
+}
+
+// statusClientClosedRequest mirrors serve's non-standard 499.
+const statusClientClosedRequest = 499
+
+// readJSON / writeJSON / sanitizeResult mirror the serve package's
+// helpers (unexported there); the router speaks the identical wire
+// dialect, including the IEEE-754-bits log-weight field.
+
+type stepReply struct {
+	Step          int       `json:"step"`
+	State         []float64 `json:"state"`
+	LogWeight     *float64  `json:"log_weight,omitempty"`
+	LogWeightBits uint64    `json:"log_weight_bits"`
+}
+
+func sanitizeResult(res serve.StepResult) stepReply {
+	out := stepReply{
+		Step:          res.Step,
+		State:         res.State,
+		LogWeightBits: math.Float64bits(res.LogWeight),
+	}
+	if !math.IsInf(res.LogWeight, 0) && !math.IsNaN(res.LogWeight) {
+		lw := res.LogWeight
+		out.LogWeight = &lw
+	}
+	return out
+}
+
+func readJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
+	if err := dec.Decode(dst); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad request body: " + err.Error()})
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}

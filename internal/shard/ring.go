@@ -1,0 +1,161 @@
+package shard
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// Ring is a consistent hash ring mapping session ids onto shard names.
+// Each shard owns Vnodes points on a 64-bit circle; a key hashes to a
+// point and walks clockwise to the first shard point. Adding or
+// removing one shard only remaps the keys whose arcs that shard's
+// points bounded (~1/N of the space), which is what keeps placement
+// stable while replicas come and go.
+//
+// The ring is deterministic: the same member set and vnode count place
+// every key identically in every process, so a router restart recovers
+// the same initial placements (migration overrides live in the
+// router's table, not the ring). Not safe for concurrent mutation;
+// the Router guards it with its own lock.
+type Ring struct {
+	vnodes int
+	// points is sorted by hash; owner[i] names the shard owning
+	// points[i].
+	points []uint64
+	owner  []string
+	nodes  map[string]bool
+}
+
+// DefaultVnodes is the per-shard virtual node count when RingConfig
+// leaves it zero: enough to keep the largest/smallest shard load ratio
+// near 1 for single-digit shard counts.
+const DefaultVnodes = 64
+
+// NewRing builds an empty ring with the given virtual node count per
+// shard (0 = DefaultVnodes).
+func NewRing(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	return &Ring{vnodes: vnodes, nodes: make(map[string]bool)}
+}
+
+// hashKey is FNV-1a over the key bytes followed by a splitmix64-style
+// avalanche finalizer: deterministic across processes and platforms,
+// cheap, and well-spread even for near-identical short keys. The
+// finalizer matters — raw FNV-1a maps "a#0".."a#63" onto one tiny arc
+// (the trailing byte barely perturbs the state), which would collapse
+// each shard's virtual nodes into a single effective point and ruin
+// the load distribution.
+func hashKey(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Add inserts a shard's points. Adding a present member is a no-op.
+func (r *Ring) Add(name string) {
+	if r.nodes[name] {
+		return
+	}
+	r.nodes[name] = true
+	for i := 0; i < r.vnodes; i++ {
+		r.points = append(r.points, hashKey(name+"#"+strconv.Itoa(i)))
+		r.owner = append(r.owner, name)
+	}
+	r.sortPoints()
+}
+
+// Remove deletes a shard's points. Removing an absent member is a
+// no-op.
+func (r *Ring) Remove(name string) {
+	if !r.nodes[name] {
+		return
+	}
+	delete(r.nodes, name)
+	points := r.points[:0]
+	owner := r.owner[:0]
+	for i, o := range r.owner {
+		if o != name {
+			points = append(points, r.points[i])
+			owner = append(owner, o)
+		}
+	}
+	r.points = points
+	r.owner = owner
+}
+
+func (r *Ring) sortPoints() {
+	idx := make([]int, len(r.points))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		pa, pb := r.points[idx[a]], r.points[idx[b]]
+		if pa != pb {
+			return pa < pb
+		}
+		// Hash ties break by owner name so the ring is deterministic
+		// regardless of insertion order.
+		return r.owner[idx[a]] < r.owner[idx[b]]
+	})
+	points := make([]uint64, len(idx))
+	owner := make([]string, len(idx))
+	for i, j := range idx {
+		points[i] = r.points[j]
+		owner[i] = r.owner[j]
+	}
+	r.points = points
+	r.owner = owner
+}
+
+// Members returns the shard names on the ring, sorted.
+func (r *Ring) Members() []string {
+	out := make([]string, 0, len(r.nodes))
+	for n := range r.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Lookup returns the shard owning key ("" on an empty ring).
+func (r *Ring) Lookup(key string) string {
+	return r.LookupFunc(key, nil)
+}
+
+// LookupFunc returns the first shard clockwise from key's point for
+// which ok returns true (nil ok accepts every shard). It walks at most
+// one full circle of distinct shards; "" means no acceptable shard
+// exists. This is both the primary placement (ok = nil) and the
+// failover/ring-successor rule (ok = "is live"): a down shard's keys
+// fall through to the next live shard, and only its keys move.
+func (r *Ring) LookupFunc(key string, ok func(name string) bool) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := hashKey(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i] >= h })
+	seen := make(map[string]bool, len(r.nodes))
+	for i := 0; i < len(r.points); i++ {
+		name := r.owner[(start+i)%len(r.points)]
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
+		if ok == nil || ok(name) {
+			return name
+		}
+		if len(seen) == len(r.nodes) {
+			return ""
+		}
+	}
+	return ""
+}

@@ -1,0 +1,108 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingDeterministic(t *testing.T) {
+	build := func(order []string) *Ring {
+		r := NewRing(0)
+		for _, n := range order {
+			r.Add(n)
+		}
+		return r
+	}
+	a := build([]string{"alpha", "beta", "gamma"})
+	b := build([]string{"gamma", "alpha", "beta"})
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("t-%d", i)
+		if got, want := a.Lookup(key), b.Lookup(key); got != want {
+			t.Fatalf("key %q: placement depends on insertion order (%q vs %q)", key, got, want)
+		}
+	}
+}
+
+func TestRingDistribution(t *testing.T) {
+	r := NewRing(0)
+	shards := []string{"a", "b", "c"}
+	for _, s := range shards {
+		r.Add(s)
+	}
+	counts := map[string]int{}
+	const keys = 3000
+	for i := 0; i < keys; i++ {
+		counts[r.Lookup(fmt.Sprintf("t-%d", i))]++
+	}
+	for _, s := range shards {
+		frac := float64(counts[s]) / keys
+		if frac < 0.15 || frac > 0.55 {
+			t.Fatalf("shard %q owns %.0f%% of keys; ring is badly skewed: %v", s, 100*frac, counts)
+		}
+	}
+}
+
+// TestRingMinimalRemap is the consistent-hashing property: dropping one
+// shard moves only that shard's keys, everything else stays put.
+func TestRingMinimalRemap(t *testing.T) {
+	r := NewRing(0)
+	for _, s := range []string{"a", "b", "c"} {
+		r.Add(s)
+	}
+	const keys = 2000
+	before := make([]string, keys)
+	for i := range before {
+		before[i] = r.Lookup(fmt.Sprintf("t-%d", i))
+	}
+	r.Remove("b")
+	for i := range before {
+		after := r.Lookup(fmt.Sprintf("t-%d", i))
+		if before[i] != "b" && after != before[i] {
+			t.Fatalf("key t-%d moved %q → %q though its shard survived", i, before[i], after)
+		}
+		if after == "b" {
+			t.Fatalf("key t-%d still maps to the removed shard", i)
+		}
+	}
+}
+
+// TestRingLookupFuncFailover mirrors Remove with a liveness predicate:
+// declaring a shard dead must reroute exactly the keys a Remove would.
+func TestRingLookupFuncFailover(t *testing.T) {
+	r := NewRing(0)
+	for _, s := range []string{"a", "b", "c"} {
+		r.Add(s)
+	}
+	removed := NewRing(0)
+	for _, s := range []string{"a", "c"} {
+		removed.Add(s)
+	}
+	alive := func(n string) bool { return n != "b" }
+	for i := 0; i < 2000; i++ {
+		key := fmt.Sprintf("t-%d", i)
+		if got, want := r.LookupFunc(key, alive), removed.Lookup(key); got != want {
+			t.Fatalf("key %q: failover walk gave %q, membership removal gives %q", key, got, want)
+		}
+	}
+	if got := r.LookupFunc("t-1", func(string) bool { return false }); got != "" {
+		t.Fatalf("no live shard: got %q, want empty", got)
+	}
+	if got := NewRing(0).Lookup("t-1"); got != "" {
+		t.Fatalf("empty ring: got %q, want empty", got)
+	}
+}
+
+func TestRingMembers(t *testing.T) {
+	r := NewRing(4)
+	r.Add("b")
+	r.Add("a")
+	r.Add("a") // duplicate add is a no-op
+	got := r.Members()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("members = %v, want [a b]", got)
+	}
+	r.Remove("zz") // absent remove is a no-op
+	if len(r.points) != 2*4 {
+		t.Fatalf("points = %d, want 8", len(r.points))
+	}
+}

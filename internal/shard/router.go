@@ -1,0 +1,956 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"esthera/internal/serve"
+)
+
+// ShardSpec names one replica: its HTTP base URL (step/estimate
+// forwarding via the retrying serve.Client) and its transport address
+// (health pings, checkpoint transfer).
+type ShardSpec struct {
+	Name          string `json:"name"`
+	BaseURL       string `json:"base_url"`
+	TransportAddr string `json:"transport_addr"`
+}
+
+// RouterConfig shapes a Router.
+type RouterConfig struct {
+	// Shards is the replica set. Membership is fixed for the router's
+	// lifetime; liveness is tracked per shard.
+	Shards []ShardSpec
+	// Vnodes is the consistent-hash ring's virtual node count per shard
+	// (0 = DefaultVnodes).
+	Vnodes int
+	// ProbeInterval paces the health loop pinging every shard over the
+	// transport (0 = 500ms; negative disables the loop — liveness then
+	// moves only on step-path strikes).
+	ProbeInterval time.Duration
+	// FailAfter is how many consecutive failures (probe or step
+	// transport errors) mark a shard down and trigger failover (0 = 3).
+	FailAfter int
+	// RebalanceThreshold enables load-based rebalancing: when the
+	// busiest live shard holds more than threshold sessions above the
+	// idlest, sessions migrate until the spread closes. 0 disables
+	// automatic rebalancing (Rebalance can still be called).
+	RebalanceThreshold int
+	// RetryAfter is the back-off hint attached to retryable router
+	// errors — a migrating session, a shard mid-failover (0 = 15ms).
+	RetryAfter time.Duration
+	// ClientMaxAttempts bounds the serve.Client's per-forward retries
+	// against one replica (0 = 4). The router keeps this short: a
+	// saturated replica's hint is worth honoring a few times, but a
+	// dead one should fail over, not stall the caller.
+	ClientMaxAttempts int
+	// HTTPClient is the forwarding transport (nil = http.DefaultClient).
+	HTTPClient *http.Client
+	// Name identifies the router in transport handshakes (0 = "router").
+	Name string
+}
+
+func (c RouterConfig) withDefaults() RouterConfig {
+	if c.ProbeInterval == 0 {
+		c.ProbeInterval = 500 * time.Millisecond
+	}
+	if c.FailAfter <= 0 {
+		c.FailAfter = 3
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = 15 * time.Millisecond
+	}
+	if c.ClientMaxAttempts <= 0 {
+		c.ClientMaxAttempts = 4
+	}
+	if c.Name == "" {
+		c.Name = "router"
+	}
+	return c
+}
+
+// Router errors. ErrMigrating and ErrShardDown are retryable — the
+// HTTP front-end maps them to 503 with the Retry-After hint, and the
+// serve.Client's retry loop rides them out while a migration or
+// failover completes.
+var (
+	ErrMigrating         = errors.New("shard: session is migrating, retry")
+	ErrShardDown         = errors.New("shard: shard unavailable, retry")
+	ErrMigrationInFlight = errors.New("shard: migration already in flight for session")
+	ErrNoLiveShards      = errors.New("shard: no live shards")
+	ErrUnknownShard      = errors.New("shard: unknown shard")
+)
+
+// shardState is one replica's runtime state.
+type shardState struct {
+	spec   ShardSpec
+	client *serve.Client
+	peer   *Peer
+	// down flips after FailAfter consecutive strikes and back on a
+	// successful probe.
+	down    atomic.Bool
+	strikes atomic.Int32
+	// failingOver collapses concurrent failover triggers to one run.
+	failingOver atomic.Bool
+	lastPong    atomic.Pointer[PongMsg]
+}
+
+// route is one public session's placement. Guarded by Router.mu.
+type route struct {
+	spec serve.FilterSpec
+	// shard names the owning replica; "" parks the session (its state
+	// lives only in lastCP until a live shard takes it).
+	shard    string
+	remoteID string
+	// epoch counts placements; it salts the migration id so a retried
+	// old transfer can never collide with a newer one.
+	epoch int
+	// migrating holds new steps (retryable) while a transfer is in
+	// flight; it is the at-most-once gate for Migrate.
+	migrating bool
+	// lastCP is failover insurance: the freshest checkpoint the router
+	// holds (from create, the last migration, or Snapshot). Failover of
+	// a dead shard restores from it — rolling back to the checkpoint —
+	// or recreates from spec when nil.
+	lastCP *serve.Checkpoint
+	steps  int64
+}
+
+// Router fronts N esthera-serve replicas as one serving surface:
+// consistent-hash initial placement, forwarded steps with retryable
+// backpressure, live migration, health-driven failover and load-driven
+// rebalance. See the package documentation for the protocol.
+type Router struct {
+	cfg    RouterConfig
+	shards map[string]*shardState
+	names  []string // sorted shard names
+	ring   *Ring
+
+	mu     sync.Mutex
+	routes map[string]*route
+	nextID uint64
+
+	quit chan struct{}
+	wg   sync.WaitGroup
+
+	// Counters (atomics: Stats reads them live).
+	stepsForwarded  atomic.Int64
+	stepsHeld       atomic.Int64
+	stepsRerouted   atomic.Int64
+	migrations      atomic.Int64
+	migrationErrors atomic.Int64
+	failovers       atomic.Int64
+	restored        atomic.Int64
+	recreated       atomic.Int64
+	parked          atomic.Int64
+	probes          atomic.Int64
+	probeFailures   atomic.Int64
+	rebalanced      atomic.Int64
+}
+
+// NewRouter builds a router over the given shard set and starts its
+// health loop (unless ProbeInterval < 0). Callers own Close.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Shards) == 0 {
+		return nil, errors.New("shard: router needs at least one shard")
+	}
+	r := &Router{
+		cfg:    cfg,
+		shards: make(map[string]*shardState, len(cfg.Shards)),
+		ring:   NewRing(cfg.Vnodes),
+		routes: make(map[string]*route),
+		quit:   make(chan struct{}),
+	}
+	for _, sp := range cfg.Shards {
+		if sp.Name == "" || sp.BaseURL == "" {
+			return nil, fmt.Errorf("shard: shard spec needs name and base_url (got %+v)", sp)
+		}
+		if _, dup := r.shards[sp.Name]; dup {
+			return nil, fmt.Errorf("shard: duplicate shard name %q", sp.Name)
+		}
+		r.shards[sp.Name] = &shardState{
+			spec: sp,
+			client: serve.NewClient(serve.ClientConfig{
+				BaseURL:     sp.BaseURL,
+				HTTPClient:  cfg.HTTPClient,
+				MaxAttempts: cfg.ClientMaxAttempts,
+			}),
+			peer: NewPeer(sp.TransportAddr, cfg.Name),
+		}
+		r.names = append(r.names, sp.Name)
+		r.ring.Add(sp.Name)
+	}
+	sort.Strings(r.names)
+	if cfg.ProbeInterval > 0 {
+		r.wg.Add(1)
+		go r.probeLoop()
+	}
+	return r, nil
+}
+
+// Close stops the health loop and drops transport connections. It does
+// not touch the replicas or their sessions.
+func (r *Router) Close() {
+	select {
+	case <-r.quit:
+	default:
+		close(r.quit)
+	}
+	r.wg.Wait()
+	for _, sh := range r.shards {
+		sh.peer.Close()
+	}
+}
+
+// isLive reports whether a shard is accepting placements.
+func (r *Router) isLive(name string) bool {
+	sh, ok := r.shards[name]
+	return ok && !sh.down.Load()
+}
+
+// Create builds a session on the shard its id hashes to and returns
+// the router-scoped session id. The freshly created session is
+// immediately checkpointed as failover insurance (best-effort: a
+// replica without a transport endpoint still serves, it just recreates
+// from spec on failover).
+func (r *Router) Create(ctx context.Context, spec serve.FilterSpec) (string, error) {
+	r.mu.Lock()
+	r.nextID++
+	id := "t-" + strconv.FormatUint(r.nextID, 10)
+	r.mu.Unlock()
+	target := r.ring.LookupFunc(id, r.isLive)
+	if target == "" {
+		return "", ErrNoLiveShards
+	}
+	sh := r.shards[target]
+	remoteID, err := sh.client.Create(ctx, spec)
+	if err != nil {
+		return "", err
+	}
+	rt := &route{spec: spec, shard: target, remoteID: remoteID, epoch: 1}
+	if sh.spec.TransportAddr != "" {
+		if cp, err := r.exportFrom(ctx, sh, "", remoteID, false); err == nil {
+			rt.lastCP = cp
+		}
+	}
+	r.mu.Lock()
+	r.routes[id] = rt
+	r.mu.Unlock()
+	return id, nil
+}
+
+// lookupRoute snapshots a route's placement for a forwarded call.
+func (r *Router) lookupRoute(id string) (shardName, remoteID string, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rt, ok := r.routes[id]
+	if !ok {
+		return "", "", serve.ErrNotFound
+	}
+	if rt.migrating {
+		r.stepsHeld.Add(1)
+		return "", "", ErrMigrating
+	}
+	if rt.shard == "" {
+		return "", "", ErrShardDown
+	}
+	return rt.shard, rt.remoteID, nil
+}
+
+// Step forwards one observation step to the session's shard. Failures
+// of the shard surface as the retryable ErrShardDown while failover
+// rehomes the session; the caller's retry loop (serve.Client honors
+// the 503 + Retry-After the HTTP layer emits) rides out the move.
+func (r *Router) Step(ctx context.Context, id string, u, z []float64) (serve.StepResult, error) {
+	shardName, remoteID, err := r.lookupRoute(id)
+	if err != nil {
+		return serve.StepResult{}, err
+	}
+	sh := r.shards[shardName]
+	if sh.down.Load() {
+		r.kickFailover(sh)
+		return serve.StepResult{}, ErrShardDown
+	}
+	res, err := sh.client.Step(ctx, remoteID, u, z)
+	if err == nil {
+		r.stepsForwarded.Add(1)
+		r.mu.Lock()
+		if rt, ok := r.routes[id]; ok {
+			rt.steps++
+		}
+		r.mu.Unlock()
+		return res, nil
+	}
+	return serve.StepResult{}, r.stepError(ctx, id, sh, remoteID, err)
+}
+
+// stepError classifies a forwarded call's failure: context errors pass
+// through, replica replies pass through (except a 404, which means the
+// replica lost the session — a restart — and is handled like a dead
+// shard for that session), and transport errors strike the shard
+// toward failover.
+func (r *Router) stepError(ctx context.Context, id string, sh *shardState, remoteID string, err error) error {
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	var api *serve.APIError
+	if errors.As(err, &api) {
+		if api.Status == http.StatusNotFound {
+			r.parkRoute(id, sh.spec.Name, remoteID)
+			r.stepsRerouted.Add(1)
+			return ErrShardDown
+		}
+		return err
+	}
+	r.strike(sh)
+	r.stepsRerouted.Add(1)
+	return ErrShardDown
+}
+
+// Estimate forwards a read of the session's latest estimate.
+func (r *Router) Estimate(ctx context.Context, id string) (serve.StepResult, error) {
+	shardName, remoteID, err := r.lookupRoute(id)
+	if err != nil {
+		return serve.StepResult{}, err
+	}
+	sh := r.shards[shardName]
+	res, err := sh.client.Estimate(ctx, remoteID)
+	if err != nil {
+		return serve.StepResult{}, r.stepError(ctx, id, sh, remoteID, err)
+	}
+	return res, nil
+}
+
+// CloseSession tears the session down on its shard and forgets the
+// route.
+func (r *Router) CloseSession(ctx context.Context, id string) error {
+	shardName, remoteID, err := r.lookupRoute(id)
+	if errors.Is(err, ErrShardDown) {
+		// Parked: the remote copy is already gone; dropping the route
+		// is the whole close.
+		r.mu.Lock()
+		delete(r.routes, id)
+		r.mu.Unlock()
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	delete(r.routes, id)
+	r.mu.Unlock()
+	sh := r.shards[shardName]
+	if cerr := sh.client.Close(ctx, remoteID); cerr != nil && !errors.Is(cerr, serve.ErrNotFound) {
+		return cerr
+	}
+	return nil
+}
+
+// Checkpoint exports the session's current checkpoint over the
+// transport without closing it, and refreshes the router's failover
+// insurance with it.
+func (r *Router) Checkpoint(ctx context.Context, id string) (*serve.Checkpoint, error) {
+	shardName, remoteID, err := r.lookupRoute(id)
+	if err != nil {
+		return nil, err
+	}
+	sh := r.shards[shardName]
+	cp, err := r.exportFrom(ctx, sh, "", remoteID, false)
+	if err != nil {
+		return nil, r.stepError(ctx, id, sh, remoteID, err)
+	}
+	r.mu.Lock()
+	if rt, ok := r.routes[id]; ok && rt.shard == shardName && !rt.migrating {
+		rt.lastCP = cp
+	}
+	r.mu.Unlock()
+	return cp, nil
+}
+
+// Snapshot refreshes every routable session's failover-insurance
+// checkpoint. It bounds how much history a crash-failover can roll
+// back; the chaos harness runs it on a short period.
+func (r *Router) Snapshot(ctx context.Context) (ok, failed int) {
+	for _, id := range r.Sessions() {
+		if ctx.Err() != nil {
+			return ok, failed
+		}
+		if _, err := r.Checkpoint(ctx, id); err != nil {
+			failed++
+			continue
+		}
+		ok++
+	}
+	return ok, failed
+}
+
+// Sessions lists the router-scoped session ids, sorted.
+func (r *Router) Sessions() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.routes))
+	for id := range r.routes {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ShardOf reports the shard currently owning the session ("" while
+// parked).
+func (r *Router) ShardOf(id string) (string, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rt, ok := r.routes[id]
+	if !ok {
+		return "", serve.ErrNotFound
+	}
+	return rt.shard, nil
+}
+
+// exportFrom pulls a checkpoint over the transport. close selects the
+// atomic export (migration drain) versus a plain snapshot.
+func (r *Router) exportFrom(ctx context.Context, sh *shardState, mid, remoteID string, close bool) (*serve.Checkpoint, error) {
+	t, payload, err := sh.peer.Call(ctx, FrameExport, marshal(ExportMsg{MigrationID: mid, SessionID: remoteID, Close: close}))
+	if err != nil {
+		return nil, err
+	}
+	if t != FrameCheckpoint {
+		return nil, fmt.Errorf("shard: export reply was %s, want checkpoint", t)
+	}
+	var msg CheckpointMsg
+	if err := unmarshal(t, payload, &msg); err != nil {
+		return nil, err
+	}
+	if msg.Checkpoint == nil {
+		return nil, errors.New("shard: export reply carried no checkpoint")
+	}
+	return msg.Checkpoint, nil
+}
+
+// restoreOn pushes a checkpoint over the transport and returns the
+// restored session's replica-local id. At-most-once per migration id:
+// a retry of a transfer the target already applied returns the
+// original id.
+func (r *Router) restoreOn(ctx context.Context, sh *shardState, mid string, cp *serve.Checkpoint) (string, error) {
+	t, payload, err := sh.peer.Call(ctx, FrameRestore, marshal(RestoreMsg{MigrationID: mid, Checkpoint: cp}))
+	if err != nil {
+		return "", err
+	}
+	if t != FrameRestored {
+		return "", fmt.Errorf("shard: restore reply was %s, want restored", t)
+	}
+	var msg RestoredMsg
+	if err := unmarshal(t, payload, &msg); err != nil {
+		return "", err
+	}
+	return msg.SessionID, nil
+}
+
+// Migrate moves a live session from its current shard to target
+// ("" picks the least-loaded live shard). The protocol:
+//
+//  1. Hold: the route flips to migrating — new steps get the retryable
+//     ErrMigrating; a second Migrate gets ErrMigrationInFlight
+//     (at-most-once).
+//  2. Drain + export: the source replica checkpoints and closes the
+//     session atomically (serve.Export); the in-flight step finishes
+//     first, so the cut is a round boundary.
+//  3. Transfer + restore: the checkpoint crosses the TCP transport and
+//     restores on the target, deduplicated by migration id.
+//  4. Repoint: the route atomically points at the target and steps
+//     resume. The estimate stream is bit-identical to an unmigrated
+//     run.
+//
+// If the restore cannot reach the target the session parks (its state
+// is the exported checkpoint) and placement retries on the failover
+// path; the session is never left half-moved with two live copies.
+func (r *Router) Migrate(ctx context.Context, id, target string) error {
+	r.mu.Lock()
+	rt, ok := r.routes[id]
+	if !ok {
+		r.mu.Unlock()
+		return serve.ErrNotFound
+	}
+	if rt.migrating {
+		r.mu.Unlock()
+		return ErrMigrationInFlight
+	}
+	if rt.shard == "" {
+		r.mu.Unlock()
+		return ErrShardDown
+	}
+	source := rt.shard
+	if target == "" {
+		target = r.leastLoadedLocked(source)
+	}
+	if target == source {
+		r.mu.Unlock()
+		return nil
+	}
+	tsh, ok := r.shards[target]
+	if !ok {
+		r.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrUnknownShard, target)
+	}
+	if tsh.down.Load() {
+		r.mu.Unlock()
+		return ErrShardDown
+	}
+	if r.shards[source].spec.TransportAddr == "" || tsh.spec.TransportAddr == "" {
+		r.mu.Unlock()
+		return fmt.Errorf("shard: migration needs transport endpoints on both %q and %q", source, target)
+	}
+	rt.migrating = true
+	rt.epoch++
+	mid := id + "#" + strconv.Itoa(rt.epoch)
+	remoteID := rt.remoteID
+	r.mu.Unlock()
+
+	ssh := r.shards[source]
+	cp, err := r.exportFrom(ctx, ssh, mid, remoteID, true)
+	if err != nil {
+		// Nothing moved: the source still owns the session (or lost it
+		// to a crash, which the failover path will notice). Unwind.
+		r.mu.Lock()
+		rt.migrating = false
+		r.mu.Unlock()
+		r.migrationErrors.Add(1)
+		var rerr *RemoteError
+		if !errors.As(err, &rerr) {
+			r.strike(ssh)
+		}
+		return fmt.Errorf("shard: migrate %s: export from %s: %w", id, source, err)
+	}
+
+	newID, err := r.restoreOn(ctx, tsh, mid, cp)
+	if err != nil {
+		// The source copy is closed and the target unreachable: park
+		// with the checkpoint and let placement retry elsewhere.
+		r.mu.Lock()
+		rt.shard = ""
+		rt.remoteID = ""
+		rt.lastCP = cp
+		rt.migrating = false
+		r.mu.Unlock()
+		r.migrationErrors.Add(1)
+		r.parked.Add(1)
+		r.strike(tsh)
+		go r.placeParked()
+		return fmt.Errorf("shard: migrate %s: restore on %s: %w", id, target, err)
+	}
+
+	r.mu.Lock()
+	rt.shard = target
+	rt.remoteID = newID
+	rt.lastCP = cp
+	rt.migrating = false
+	r.mu.Unlock()
+	r.migrations.Add(1)
+	return nil
+}
+
+// leastLoadedLocked picks the live shard owning the fewest routes,
+// excluding exclude; caller holds r.mu. Ties break by name so the
+// choice is deterministic.
+func (r *Router) leastLoadedLocked(exclude string) string {
+	counts := make(map[string]int, len(r.shards))
+	for _, rt := range r.routes {
+		if rt.shard != "" {
+			counts[rt.shard]++
+		}
+	}
+	best, bestN := "", -1
+	for _, name := range r.names {
+		if name == exclude || !r.isLive(name) {
+			continue
+		}
+		if n := counts[name]; bestN < 0 || n < bestN {
+			best, bestN = name, n
+		}
+	}
+	return best
+}
+
+// parkRoute handles a replica that lost a session (a 404 from a shard
+// the router still believes owns it — a replica restart): the route
+// parks and placement retries from the failover-insurance checkpoint.
+// The placement check inside guards against a racing migration having
+// already repointed the route elsewhere.
+func (r *Router) parkRoute(id, shardName, remoteID string) {
+	r.mu.Lock()
+	rt, ok := r.routes[id]
+	if !ok || rt.migrating || rt.shard != shardName || rt.remoteID != remoteID {
+		r.mu.Unlock()
+		return
+	}
+	rt.migrating = true
+	rt.shard = ""
+	rt.remoteID = ""
+	r.mu.Unlock()
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		r.placeRoute(id)
+	}()
+}
+
+// strike records one failure against a shard; FailAfter consecutive
+// strikes mark it down and trigger failover.
+func (r *Router) strike(sh *shardState) {
+	if n := sh.strikes.Add(1); int(n) >= r.cfg.FailAfter {
+		if !sh.down.Swap(true) {
+			r.kickFailover(sh)
+		}
+	}
+}
+
+// kickFailover starts (at most one concurrent) failover run for a down
+// shard.
+func (r *Router) kickFailover(sh *shardState) {
+	if !sh.failingOver.CompareAndSwap(false, true) {
+		return
+	}
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		defer sh.failingOver.Store(false)
+		r.failoverShard(sh)
+	}()
+}
+
+// failoverShard rehomes every session of a down shard: restore from
+// the failover-insurance checkpoint where one exists (rolling back to
+// it), recreate from spec where none does. Sessions that cannot be
+// placed park until a shard comes back.
+func (r *Router) failoverShard(sh *shardState) {
+	name := sh.spec.Name
+	r.mu.Lock()
+	var victims []string
+	for id, rt := range r.routes {
+		if rt.shard == name && !rt.migrating {
+			rt.migrating = true
+			rt.epoch++
+			rt.shard = ""
+			rt.remoteID = ""
+			victims = append(victims, id)
+		}
+	}
+	r.mu.Unlock()
+	if len(victims) == 0 {
+		return
+	}
+	r.failovers.Add(1)
+	sort.Strings(victims)
+	for _, id := range victims {
+		r.placeRoute(id)
+	}
+}
+
+// placeRoute homes one held route (migrating=true, shard="") on a live
+// shard, or parks it when none can take it. It owns clearing the
+// migrating flag.
+func (r *Router) placeRoute(id string) {
+	r.mu.Lock()
+	rt, ok := r.routes[id]
+	if !ok {
+		r.mu.Unlock()
+		return
+	}
+	cp := rt.lastCP
+	spec := rt.spec
+	rt.epoch++
+	mid := id + "#" + strconv.Itoa(rt.epoch)
+	r.mu.Unlock()
+
+	target := r.ring.LookupFunc(id, r.isLive)
+	finish := func(shard, remoteID string) {
+		r.mu.Lock()
+		rt.shard = shard
+		rt.remoteID = remoteID
+		rt.migrating = false
+		r.mu.Unlock()
+	}
+	if target == "" {
+		finish("", "")
+		r.parked.Add(1)
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	sh := r.shards[target]
+	if cp != nil && sh.spec.TransportAddr != "" {
+		if remoteID, err := r.restoreOn(ctx, sh, mid, cp); err == nil {
+			finish(target, remoteID)
+			r.restored.Add(1)
+			return
+		}
+		r.strike(sh)
+	} else if remoteID, err := sh.client.Create(ctx, spec); err == nil {
+		finish(target, remoteID)
+		r.recreated.Add(1)
+		return
+	} else {
+		r.strike(sh)
+	}
+	finish("", "")
+	r.parked.Add(1)
+}
+
+// placeParked retries placement of every parked session.
+func (r *Router) placeParked() {
+	r.mu.Lock()
+	var parked []string
+	for id, rt := range r.routes {
+		if rt.shard == "" && !rt.migrating {
+			rt.migrating = true
+			parked = append(parked, id)
+		}
+	}
+	r.mu.Unlock()
+	sort.Strings(parked)
+	for _, id := range parked {
+		r.placeRoute(id)
+	}
+}
+
+// Rebalance migrates sessions from the busiest live shard to the
+// idlest until the spread is within threshold (cfg.RebalanceThreshold,
+// or 1 when unset). Returns how many sessions moved.
+func (r *Router) Rebalance(ctx context.Context) int {
+	threshold := r.cfg.RebalanceThreshold
+	if threshold <= 0 {
+		threshold = 1
+	}
+	moved := 0
+	for i := 0; i < 1024; i++ { // hard bound: each pass moves one session
+		maxShard, minShard, spread := r.loadSpread()
+		if maxShard == "" || spread <= threshold {
+			break
+		}
+		id := r.pickMovable(maxShard)
+		if id == "" {
+			break
+		}
+		if err := r.Migrate(ctx, id, minShard); err != nil {
+			break
+		}
+		moved++
+		r.rebalanced.Add(1)
+	}
+	return moved
+}
+
+// loadSpread returns the busiest and idlest live shards by route count
+// and the count difference.
+func (r *Router) loadSpread() (maxShard, minShard string, spread int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	counts := make(map[string]int, len(r.shards))
+	for _, rt := range r.routes {
+		if rt.shard != "" && !rt.migrating {
+			counts[rt.shard]++
+		}
+	}
+	maxN, minN := -1, -1
+	for _, name := range r.names {
+		if !r.isLive(name) {
+			continue
+		}
+		n := counts[name]
+		if maxN < 0 || n > maxN {
+			maxShard, maxN = name, n
+		}
+		if minN < 0 || n < minN {
+			minShard, minN = name, n
+		}
+	}
+	if maxN < 0 {
+		return "", "", 0
+	}
+	return maxShard, minShard, maxN - minN
+}
+
+// pickMovable returns the lexically first non-migrating session homed
+// on the shard ("" if none).
+func (r *Router) pickMovable(shard string) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	best := ""
+	for id, rt := range r.routes {
+		if rt.shard == shard && !rt.migrating && (best == "" || id < best) {
+			best = id
+		}
+	}
+	return best
+}
+
+// probeLoop pings every shard each interval, driving the liveness
+// flags: FailAfter consecutive probe failures mark a shard down (and
+// fail its sessions over); one success marks it back up, re-places
+// parked sessions, and — when automatic rebalancing is enabled —
+// levels load back onto it.
+func (r *Router) probeLoop() {
+	defer r.wg.Done()
+	tick := time.NewTicker(r.cfg.ProbeInterval)
+	defer tick.Stop()
+	seq := int64(0)
+	for {
+		select {
+		case <-r.quit:
+			return
+		case <-tick.C:
+		}
+		seq++
+		for _, name := range r.names {
+			if sh := r.shards[name]; sh.spec.TransportAddr != "" {
+				r.probe(sh, seq)
+			}
+		}
+	}
+}
+
+// probe pings one shard once and applies the outcome to its liveness.
+func (r *Router) probe(sh *shardState, seq int64) {
+	r.probes.Add(1)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	t, payload, err := sh.peer.Call(ctx, FramePing, marshal(PingMsg{Seq: seq}))
+	if err == nil && t == FramePong {
+		var pong PongMsg
+		if uerr := unmarshal(t, payload, &pong); uerr == nil {
+			sh.lastPong.Store(&pong)
+			sh.strikes.Store(0)
+			if sh.down.Swap(false) {
+				// The shard is back: give parked sessions a home and,
+				// if enabled, level load onto it.
+				r.wg.Add(1)
+				go func() {
+					defer r.wg.Done()
+					r.placeParked()
+					if r.cfg.RebalanceThreshold > 0 {
+						ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+						defer cancel()
+						r.Rebalance(ctx)
+					}
+				}()
+			}
+			return
+		}
+	}
+	r.probeFailures.Add(1)
+	r.strike(sh)
+}
+
+// RetryAfter is the back-off hint the HTTP layer attaches to retryable
+// router errors.
+func (r *Router) RetryAfter() time.Duration { return r.cfg.RetryAfter }
+
+// ShardHealth is one shard's router-side view for /v1/shards and the
+// aggregated metrics.
+type ShardHealth struct {
+	Name          string   `json:"name"`
+	BaseURL       string   `json:"base_url"`
+	TransportAddr string   `json:"transport_addr"`
+	Down          bool     `json:"down"`
+	Strikes       int      `json:"strikes"`
+	Sessions      int      `json:"sessions"`
+	LastPong      *PongMsg `json:"last_pong,omitempty"`
+}
+
+// RouterStats is the router's introspection record.
+type RouterStats struct {
+	Sessions        int           `json:"sessions"`
+	Parked          int           `json:"parked_now"`
+	Migrating       int           `json:"migrating_now"`
+	StepsForwarded  int64         `json:"steps_forwarded"`
+	StepsHeld       int64         `json:"steps_held"`
+	StepsRerouted   int64         `json:"steps_rerouted"`
+	Migrations      int64         `json:"migrations"`
+	MigrationErrors int64         `json:"migration_errors"`
+	Failovers       int64         `json:"failovers"`
+	Restored        int64         `json:"sessions_restored"`
+	Recreated       int64         `json:"sessions_recreated"`
+	ParkEvents      int64         `json:"park_events"`
+	Rebalanced      int64         `json:"sessions_rebalanced"`
+	Probes          int64         `json:"probes"`
+	ProbeFailures   int64         `json:"probe_failures"`
+	Shards          []ShardHealth `json:"shards"`
+}
+
+// Stats snapshots the router's counters and per-shard liveness.
+func (r *Router) Stats() RouterStats {
+	st := RouterStats{
+		StepsForwarded:  r.stepsForwarded.Load(),
+		StepsHeld:       r.stepsHeld.Load(),
+		StepsRerouted:   r.stepsRerouted.Load(),
+		Migrations:      r.migrations.Load(),
+		MigrationErrors: r.migrationErrors.Load(),
+		Failovers:       r.failovers.Load(),
+		Restored:        r.restored.Load(),
+		Recreated:       r.recreated.Load(),
+		ParkEvents:      r.parked.Load(),
+		Rebalanced:      r.rebalanced.Load(),
+		Probes:          r.probes.Load(),
+		ProbeFailures:   r.probeFailures.Load(),
+	}
+	counts := make(map[string]int, len(r.shards))
+	r.mu.Lock()
+	st.Sessions = len(r.routes)
+	for _, rt := range r.routes {
+		if rt.migrating {
+			st.Migrating++
+		} else if rt.shard == "" {
+			st.Parked++
+		} else {
+			counts[rt.shard]++
+		}
+	}
+	r.mu.Unlock()
+	for _, name := range r.names {
+		sh := r.shards[name]
+		st.Shards = append(st.Shards, ShardHealth{
+			Name:          name,
+			BaseURL:       sh.spec.BaseURL,
+			TransportAddr: sh.spec.TransportAddr,
+			Down:          sh.down.Load(),
+			Strikes:       int(sh.strikes.Load()),
+			Sessions:      counts[name],
+			LastPong:      sh.lastPong.Load(),
+		})
+	}
+	return st
+}
+
+// ShardNames returns the configured shard names, sorted.
+func (r *Router) ShardNames() []string {
+	return append([]string(nil), r.names...)
+}
+
+// ShardStats fetches one replica's own /metrics snapshot through its
+// client.
+func (r *Router) ShardStats(ctx context.Context, name string) (serve.Stats, error) {
+	sh, ok := r.shards[name]
+	if !ok {
+		return serve.Stats{}, fmt.Errorf("%w: %q", ErrUnknownShard, name)
+	}
+	return sh.client.Stats(ctx)
+}
+
+// Ready reports whether the router can serve: at least one live shard.
+func (r *Router) Ready() bool {
+	for _, name := range r.names {
+		if r.isLive(name) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,491 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"esthera/internal/model"
+	"esthera/internal/serve"
+)
+
+func testModels() map[string]serve.ModelFactory {
+	return map[string]serve.ModelFactory{
+		"ungm": func() (model.Model, error) { return model.NewUNGM(), nil },
+	}
+}
+
+// replica is one in-process esthera-serve stand-in: a serve.Server, its
+// HTTP front-end, and its shard transport endpoint.
+type replica struct {
+	name string
+	srv  *serve.Server
+	web  *httptest.Server
+	tl   *Listener
+	spec ShardSpec
+}
+
+func startReplica(t *testing.T, name string) *replica {
+	t.Helper()
+	srv := serve.NewServer(serve.Config{Workers: 2}, testModels())
+	web := httptest.NewServer(serve.NewHandler(srv))
+	tl := NewListener(name, NewAgent(name, srv))
+	if err := tl.ListenAndServe("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	r := &replica{
+		name: name,
+		srv:  srv,
+		web:  web,
+		tl:   tl,
+		spec: ShardSpec{Name: name, BaseURL: web.URL, TransportAddr: tl.Addr().String()},
+	}
+	t.Cleanup(r.kill)
+	return r
+}
+
+// kill tears the replica down hard (idempotent): HTTP refused, transport
+// refused, device stopped.
+func (r *replica) kill() {
+	r.web.CloseClientConnections()
+	r.web.Close()
+	r.tl.Close()
+	r.srv.Shutdown()
+}
+
+func newTestRouter(t *testing.T, cfg RouterConfig, reps ...*replica) *Router {
+	t.Helper()
+	for _, rep := range reps {
+		cfg.Shards = append(cfg.Shards, rep.spec)
+	}
+	if cfg.ProbeInterval == 0 {
+		cfg.ProbeInterval = -1 // most tests drive liveness from the step path
+	}
+	r, err := NewRouter(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Close)
+	return r
+}
+
+// obs is the deterministic observation stream shared by routed and
+// reference runs.
+func obs(k int) []float64 {
+	return []float64{math.Sin(float64(k)) * 5}
+}
+
+func sameResult(t *testing.T, k int, got, want serve.StepResult) {
+	t.Helper()
+	if got.Step != want.Step {
+		t.Fatalf("step %d: counter %d, want %d", k, got.Step, want.Step)
+	}
+	if math.Float64bits(got.LogWeight) != math.Float64bits(want.LogWeight) {
+		t.Fatalf("step %d: log-weight bits %016x, want %016x", k,
+			math.Float64bits(got.LogWeight), math.Float64bits(want.LogWeight))
+	}
+	if len(got.State) != len(want.State) {
+		t.Fatalf("step %d: state dim %d, want %d", k, len(got.State), len(want.State))
+	}
+	for i := range got.State {
+		if math.Float64bits(got.State[i]) != math.Float64bits(want.State[i]) {
+			t.Fatalf("step %d: state[%d] bits %016x, want %016x", k, i,
+				math.Float64bits(got.State[i]), math.Float64bits(want.State[i]))
+		}
+	}
+}
+
+// TestMigrationDeterminism is the tentpole acceptance test: a session
+// stepped K times on one replica, live-migrated over TCP to another,
+// and stepped K more must produce an estimate stream bit-identical to
+// the same spec stepped 2K times on one uninterrupted server.
+func TestMigrationDeterminism(t *testing.T) {
+	const K = 8
+	a := startReplica(t, "a")
+	b := startReplica(t, "b")
+	router := newTestRouter(t, RouterConfig{}, a, b)
+	ctx := context.Background()
+
+	spec := serve.FilterSpec{Model: "ungm", Seed: 7}
+	id, err := router.Create(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	source, err := router.ShardOf(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := "a"
+	if source == "a" {
+		target = "b"
+	}
+
+	var routed []serve.StepResult
+	for k := 0; k < K; k++ {
+		res, err := router.Step(ctx, id, nil, obs(k))
+		if err != nil {
+			t.Fatalf("pre-migration step %d: %v", k, err)
+		}
+		routed = append(routed, res)
+	}
+	if err := router.Migrate(ctx, id, target); err != nil {
+		t.Fatalf("migrate: %v", err)
+	}
+	if got, _ := router.ShardOf(id); got != target {
+		t.Fatalf("after migration session sits on %q, want %q", got, target)
+	}
+	for k := K; k < 2*K; k++ {
+		res, err := router.Step(ctx, id, nil, obs(k))
+		if err != nil {
+			t.Fatalf("post-migration step %d: %v", k, err)
+		}
+		routed = append(routed, res)
+	}
+
+	// The source replica must no longer hold a copy (drain-on-export):
+	// exactly one live copy exists, on the target.
+	srcSrv := a.srv
+	tgtSrv := b.srv
+	if source == "b" {
+		srcSrv, tgtSrv = b.srv, a.srv
+	}
+	if n := len(srcSrv.Sessions()); n != 0 {
+		t.Fatalf("source replica still holds %d sessions after migration", n)
+	}
+	if n := len(tgtSrv.Sessions()); n != 1 {
+		t.Fatalf("target replica holds %d sessions, want 1", n)
+	}
+
+	// Reference: one uninterrupted server, same spec, same observations.
+	ref := serve.NewServer(serve.Config{Workers: 2}, testModels())
+	defer ref.Shutdown()
+	rid, err := ref.Create(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 2*K; k++ {
+		want, err := ref.StepCtx(ctx, rid, nil, obs(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResult(t, k, routed[k], want)
+	}
+
+	if st := router.Stats(); st.Migrations != 1 {
+		t.Fatalf("migrations counter = %d, want 1", st.Migrations)
+	}
+}
+
+// TestMigrationAtMostOnce covers the duplicate-migration paths: a
+// second Migrate while one is in flight is rejected at the router, and
+// a replayed transfer is deduplicated at the agent.
+func TestMigrationAtMostOnce(t *testing.T) {
+	a := startReplica(t, "a")
+	b := startReplica(t, "b")
+	router := newTestRouter(t, RouterConfig{}, a, b)
+	ctx := context.Background()
+
+	id, err := router.Create(ctx, serve.FilterSpec{Model: "ungm", Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Freeze the route mid-migration (what a concurrent Migrate would
+	// observe) and assert both surfaces of the hold.
+	router.mu.Lock()
+	router.routes[id].migrating = true
+	router.mu.Unlock()
+	if err := router.Migrate(ctx, id, "b"); !errors.Is(err, ErrMigrationInFlight) {
+		t.Fatalf("second migrate: %v, want ErrMigrationInFlight", err)
+	}
+	if _, err := router.Step(ctx, id, nil, obs(0)); !errors.Is(err, ErrMigrating) {
+		t.Fatalf("step during migration: %v, want ErrMigrating", err)
+	}
+	router.mu.Lock()
+	router.routes[id].migrating = false
+	router.mu.Unlock()
+
+	// Agent-level dedup: replaying the export and restore halves of one
+	// migration id must be idempotent.
+	srcName, _ := router.ShardOf(id)
+	src := a
+	if srcName == "b" {
+		src = b
+	}
+	remoteID := src.srv.Sessions()[0]
+	peer := NewPeer(src.spec.TransportAddr, "test")
+	defer peer.Close()
+
+	const mid = "t-x#9"
+	export := func() *CheckpointMsg {
+		ft, payload, err := peer.Call(ctx, FrameExport, marshal(ExportMsg{MigrationID: mid, SessionID: remoteID, Close: true}))
+		if err != nil || ft != FrameCheckpoint {
+			t.Fatalf("export: %v %v", ft, err)
+		}
+		var msg CheckpointMsg
+		if err := unmarshal(ft, payload, &msg); err != nil {
+			t.Fatal(err)
+		}
+		return &msg
+	}
+	cp1 := export()
+	cp2 := export() // the session is closed now; only the dedup log can answer
+	if cp1.Checkpoint == nil || cp2.Checkpoint == nil || cp1.Checkpoint.Particles != cp2.Checkpoint.Particles {
+		t.Fatal("replayed export did not return the original checkpoint")
+	}
+
+	tgtPeer := NewPeer(b.spec.TransportAddr, "test")
+	defer tgtPeer.Close()
+	restore := func() RestoredMsg {
+		ft, payload, err := tgtPeer.Call(ctx, FrameRestore, marshal(RestoreMsg{MigrationID: mid, Checkpoint: cp1.Checkpoint}))
+		if err != nil || ft != FrameRestored {
+			t.Fatalf("restore: %v %v", ft, err)
+		}
+		var msg RestoredMsg
+		if err := unmarshal(ft, payload, &msg); err != nil {
+			t.Fatal(err)
+		}
+		return msg
+	}
+	before := len(b.srv.Sessions())
+	r1 := restore()
+	r2 := restore()
+	if r1.SessionID != r2.SessionID {
+		t.Fatalf("replayed restore installed a second copy: %q vs %q", r1.SessionID, r2.SessionID)
+	}
+	if r1.Duplicate || !r2.Duplicate {
+		t.Fatalf("duplicate flags %v/%v, want false/true", r1.Duplicate, r2.Duplicate)
+	}
+	if after := len(b.srv.Sessions()); after != before+1 {
+		t.Fatalf("restore replay changed session count %d → %d, want +1", before, after)
+	}
+}
+
+// TestShardDeathMidStep kills a replica out from under its sessions:
+// the step surfaces as the retryable ErrShardDown, failover rehomes the
+// session onto the survivor, and stepping resumes.
+func TestShardDeathMidStep(t *testing.T) {
+	a := startReplica(t, "a")
+	b := startReplica(t, "b")
+	router := newTestRouter(t, RouterConfig{FailAfter: 1}, a, b)
+	ctx := context.Background()
+
+	id, err := router.Create(ctx, serve.FilterSpec{Model: "ungm", Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := router.Step(ctx, id, nil, obs(0)); err != nil {
+		t.Fatal(err)
+	}
+
+	source, _ := router.ShardOf(id)
+	victim, survivor := a, b
+	if source == "b" {
+		victim, survivor = b, a
+	}
+	victim.kill()
+
+	if _, err := router.Step(ctx, id, nil, obs(1)); !errors.Is(err, ErrShardDown) && !errors.Is(err, ErrMigrating) {
+		t.Fatalf("step against dead shard: %v, want ErrShardDown", err)
+	}
+
+	// Failover runs in the background; the session must land on the
+	// survivor and accept steps again.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if sh, _ := router.ShardOf(id); sh == survivor.name {
+			if _, err := router.Step(ctx, id, nil, obs(2)); err == nil {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			sh, _ := router.ShardOf(id)
+			t.Fatalf("session never recovered onto %q (still on %q)", survivor.name, sh)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	st := router.Stats()
+	if st.Failovers < 1 {
+		t.Fatalf("failover counter = %d, want ≥ 1", st.Failovers)
+	}
+	if st.Restored+st.Recreated < 1 {
+		t.Fatalf("no session was restored or recreated: %+v", st)
+	}
+}
+
+// TestRouterHTTPRetryableStates drives the HTTP front-end: a migrating
+// session answers 503 with both Retry-After headers (so serve.Client
+// retries transparently), a duplicate migration answers 409, and an
+// unknown session 404.
+func TestRouterHTTPRetryableStates(t *testing.T) {
+	a := startReplica(t, "a")
+	b := startReplica(t, "b")
+	router := newTestRouter(t, RouterConfig{}, a, b)
+	front := httptest.NewServer(NewRouterHandler(router))
+	defer front.Close()
+	ctx := context.Background()
+
+	id, err := router.Create(ctx, serve.FilterSpec{Model: "ungm", Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	router.mu.Lock()
+	router.routes[id].migrating = true
+	router.mu.Unlock()
+
+	resp, err := http.Post(front.URL+"/v1/sessions/"+id+"/step", "application/json", strings.NewReader(`{"z":[0.5]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("step during migration: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" || resp.Header.Get("Retry-After-Ms") == "" {
+		t.Fatalf("503 without retry hints: %+v", resp.Header)
+	}
+
+	resp, err = http.Post(front.URL+"/v1/sessions/"+id+"/migrate", "application/json", strings.NewReader(`{"target":"b"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate migrate: status %d, want 409", resp.StatusCode)
+	}
+
+	router.mu.Lock()
+	router.routes[id].migrating = false
+	router.mu.Unlock()
+
+	resp, err = http.Get(front.URL + "/v1/sessions/no-such-session")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown session: status %d, want 404", resp.StatusCode)
+	}
+
+	// With the hold released, a serve.Client steps through the router
+	// exactly as it would against a single replica.
+	client := serve.NewClient(serve.ClientConfig{BaseURL: front.URL})
+	if _, err := client.Step(ctx, id, nil, obs(0)); err != nil {
+		t.Fatalf("client step through router: %v", err)
+	}
+	if err := client.Close(ctx, id); err != nil {
+		t.Fatalf("client close through router: %v", err)
+	}
+	if _, err := router.ShardOf(id); !errors.Is(err, serve.ErrNotFound) {
+		t.Fatalf("route survived close: %v", err)
+	}
+}
+
+// TestRouterRebalance piles sessions onto an imbalanced router and
+// checks Rebalance levels them with live migrations.
+func TestRouterRebalance(t *testing.T) {
+	a := startReplica(t, "a")
+	b := startReplica(t, "b")
+	router := newTestRouter(t, RouterConfig{RebalanceThreshold: 1}, a, b)
+	ctx := context.Background()
+
+	var ids []string
+	for i := 0; i < 6; i++ {
+		id, err := router.Create(ctx, serve.FilterSpec{Model: "ungm", Seed: uint64(20 + i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	// Force every session onto shard a to create a maximal imbalance.
+	for _, id := range ids {
+		if sh, _ := router.ShardOf(id); sh != "a" {
+			if err := router.Migrate(ctx, id, "a"); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	moved := router.Rebalance(ctx)
+	if moved == 0 {
+		t.Fatal("rebalance moved nothing off a 6-0 split")
+	}
+	_, _, spread := router.loadSpread()
+	if spread > 1 {
+		t.Fatalf("spread %d after rebalance, want ≤ 1", spread)
+	}
+	// Rebalanced sessions must still step.
+	for k, id := range ids {
+		if _, err := router.Step(ctx, id, nil, obs(k)); err != nil {
+			t.Fatalf("step %s after rebalance: %v", id, err)
+		}
+	}
+}
+
+// TestRouterProbeFailover exercises the transport health loop end to
+// end: with probing enabled, killing a replica fails its sessions over
+// without any step traffic provoking it.
+func TestRouterProbeFailover(t *testing.T) {
+	a := startReplica(t, "a")
+	b := startReplica(t, "b")
+	router := newTestRouter(t, RouterConfig{ProbeInterval: 25 * time.Millisecond, FailAfter: 2}, a, b)
+	ctx := context.Background()
+
+	id, err := router.Create(ctx, serve.FilterSpec{Model: "ungm", Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	source, _ := router.ShardOf(id)
+	victim, survivor := a, b
+	if source == "b" {
+		victim, survivor = b, a
+	}
+	victim.kill()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if sh, _ := router.ShardOf(id); sh == survivor.name {
+			break
+		}
+		if time.Now().After(deadline) {
+			sh, _ := router.ShardOf(id)
+			t.Fatalf("probe loop never failed the session over (still on %q)", sh)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if _, err := router.Step(ctx, id, nil, obs(0)); err != nil {
+		t.Fatalf("step after probe-driven failover: %v", err)
+	}
+	if st := router.Stats(); st.ProbeFailures == 0 {
+		t.Fatalf("probe failures = 0 after killing a replica: %+v", st)
+	}
+}
+
+// TestCreateSpreadsByHash sanity-checks initial placement: with enough
+// sessions both shards get some.
+func TestCreateSpreadsByHash(t *testing.T) {
+	a := startReplica(t, "a")
+	b := startReplica(t, "b")
+	router := newTestRouter(t, RouterConfig{}, a, b)
+	ctx := context.Background()
+	counts := map[string]int{}
+	for i := 0; i < 12; i++ {
+		id, err := router.Create(ctx, serve.FilterSpec{Model: "ungm", Seed: uint64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sh, _ := router.ShardOf(id)
+		counts[sh]++
+	}
+	if counts["a"] == 0 || counts["b"] == 0 {
+		t.Fatalf("all 12 sessions landed on one shard: %v", counts)
+	}
+	if fmt.Sprint(router.ShardNames()) != "[a b]" {
+		t.Fatalf("shard names %v", router.ShardNames())
+	}
+}

@@ -1,0 +1,375 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Handler answers one request frame. Returning an error sends a
+// FrameError to the caller (the connection stays up: handler errors
+// are application-level); returning a *RemoteError preserves its code
+// on the wire, any other error maps to CodeInternal.
+type Handler interface {
+	HandleFrame(remote string, t FrameType, payload []byte) (FrameType, []byte, error)
+}
+
+// HandlerFunc adapts a function to Handler.
+type HandlerFunc func(remote string, t FrameType, payload []byte) (FrameType, []byte, error)
+
+// HandleFrame implements Handler.
+func (f HandlerFunc) HandleFrame(remote string, t FrameType, payload []byte) (FrameType, []byte, error) {
+	return f(remote, t, payload)
+}
+
+// Listener serves the shard transport protocol on a TCP listener:
+// per-connection, a Hello handshake followed by a strict
+// request/response loop. Malformed frames kill the connection (the
+// stream offset is unrecoverable); handler errors answer with
+// FrameError and keep it.
+type Listener struct {
+	name string
+	h    Handler
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewListener builds a transport listener identified as name in
+// handshakes, dispatching request frames to h.
+func NewListener(name string, h Handler) *Listener {
+	return &Listener{name: name, h: h, conns: make(map[net.Conn]struct{})}
+}
+
+// ListenAndServe listens on addr and serves until Close. It returns
+// once the listener is installed; the accept loop runs in background
+// goroutines tracked by Close.
+func (l *Listener) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return l.Serve(ln)
+}
+
+// Serve adopts an existing listener (ownership transfers: Close closes
+// it) and starts the accept loop in the background.
+func (l *Listener) Serve(ln net.Listener) error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		ln.Close()
+		return errors.New("shard: listener closed")
+	}
+	if l.ln != nil {
+		l.mu.Unlock()
+		ln.Close()
+		return errors.New("shard: listener already serving")
+	}
+	l.ln = ln
+	l.mu.Unlock()
+	l.wg.Add(1)
+	go l.acceptLoop(ln)
+	return nil
+}
+
+// Addr returns the bound address (nil before Serve).
+func (l *Listener) Addr() net.Addr {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.ln == nil {
+		return nil
+	}
+	return l.ln.Addr()
+}
+
+// Close stops accepting, closes every live connection and waits for
+// the per-connection goroutines to drain. Idempotent.
+func (l *Listener) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		l.wg.Wait()
+		return nil
+	}
+	l.closed = true
+	ln := l.ln
+	conns := make([]net.Conn, 0, len(l.conns))
+	for c := range l.conns {
+		conns = append(conns, c)
+	}
+	l.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	l.wg.Wait()
+	return nil
+}
+
+func (l *Listener) acceptLoop(ln net.Listener) {
+	defer l.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		l.mu.Lock()
+		if l.closed {
+			l.mu.Unlock()
+			conn.Close()
+			return
+		}
+		l.conns[conn] = struct{}{}
+		l.wg.Add(1)
+		l.mu.Unlock()
+		go l.serveConn(conn)
+	}
+}
+
+// connIdleTimeout bounds how long a served connection may sit between
+// request frames before the read is abandoned; it keeps half-dead
+// peers from pinning goroutines forever.
+const connIdleTimeout = 5 * time.Minute
+
+func (l *Listener) serveConn(conn net.Conn) {
+	defer l.wg.Done()
+	defer func() {
+		l.mu.Lock()
+		delete(l.conns, conn)
+		l.mu.Unlock()
+		conn.Close()
+	}()
+
+	// Handshake: the dialer speaks first; both directions send Hello.
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+	t, payload, err := ReadFrame(conn)
+	if err != nil || t != FrameHello {
+		return
+	}
+	var hello HelloMsg
+	if err := unmarshal(t, payload, &hello); err != nil || hello.Proto != ProtoVersion {
+		_ = WriteFrame(conn, FrameError, marshal(ErrorMsg{Code: CodeBadRequest, Message: "bad handshake"}))
+		return
+	}
+	if err := WriteFrame(conn, FrameHello, marshal(HelloMsg{Proto: ProtoVersion, Name: l.name})); err != nil {
+		return
+	}
+
+	for {
+		conn.SetDeadline(time.Now().Add(connIdleTimeout))
+		t, payload, err := ReadFrame(conn)
+		if err != nil {
+			if errors.Is(err, ErrMalformedFrame) {
+				// Best-effort diagnosis for the peer, then cut the
+				// stream: after a malformed header nothing downstream
+				// can be framed again.
+				_ = WriteFrame(conn, FrameError, marshal(ErrorMsg{Code: CodeBadRequest, Message: err.Error()}))
+			}
+			return
+		}
+		rt, rp, herr := l.h.HandleFrame(hello.Name, t, payload)
+		if herr != nil {
+			var rerr *RemoteError
+			msg := ErrorMsg{Code: CodeInternal, Message: herr.Error()}
+			if errors.As(herr, &rerr) {
+				msg = ErrorMsg{Code: rerr.Code, Message: rerr.Message}
+			}
+			if errors.Is(herr, ErrMalformedFrame) {
+				msg.Code = CodeBadRequest
+			}
+			rt, rp = FrameError, marshal(msg)
+		}
+		if err := WriteFrame(conn, rt, rp); err != nil {
+			return
+		}
+	}
+}
+
+// Conn is one dialed transport connection. Calls are strictly
+// request/response and serialized; concurrent callers queue on the
+// connection mutex.
+type Conn struct {
+	mu     sync.Mutex
+	c      net.Conn
+	remote string
+	broken bool
+}
+
+// DialTimeout bounds the TCP connect plus handshake of Dial.
+const DialTimeout = 5 * time.Second
+
+// Dial connects to a transport listener at addr, identifying as name
+// in the handshake, and returns the connection after Hello exchange.
+func Dial(ctx context.Context, addr, name string) (*Conn, error) {
+	d := net.Dialer{Timeout: DialTimeout}
+	nc, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	nc.SetDeadline(time.Now().Add(DialTimeout))
+	if err := WriteFrame(nc, FrameHello, marshal(HelloMsg{Proto: ProtoVersion, Name: name})); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	t, payload, err := ReadFrame(nc)
+	if err != nil {
+		nc.Close()
+		return nil, err
+	}
+	if t == FrameError {
+		var em ErrorMsg
+		_ = unmarshal(t, payload, &em)
+		nc.Close()
+		return nil, &RemoteError{Code: em.Code, Message: em.Message}
+	}
+	var hello HelloMsg
+	if t != FrameHello || unmarshal(t, payload, &hello) != nil {
+		nc.Close()
+		return nil, fmt.Errorf("shard: handshake reply was %s, want hello", t)
+	}
+	nc.SetDeadline(time.Time{})
+	return &Conn{c: nc, remote: hello.Name}, nil
+}
+
+// Remote returns the peer's handshake name.
+func (c *Conn) Remote() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.remote
+}
+
+// callTimeout is the per-call deadline when the context carries none.
+const callTimeout = 30 * time.Second
+
+// Call sends one request frame and reads its reply. A FrameError reply
+// surfaces as *RemoteError; any transport failure marks the connection
+// broken (subsequent calls fail until redialed — the stream may hold an
+// orphaned reply).
+func (c *Conn) Call(ctx context.Context, t FrameType, payload []byte) (FrameType, []byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.broken {
+		return 0, nil, errors.New("shard: connection broken")
+	}
+	deadline := time.Now().Add(callTimeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	c.c.SetDeadline(deadline)
+	if err := WriteFrame(c.c, t, payload); err != nil {
+		c.broken = true
+		return 0, nil, err
+	}
+	rt, rp, err := ReadFrame(c.c)
+	if err != nil {
+		c.broken = true
+		return 0, nil, err
+	}
+	if rt == FrameError {
+		var em ErrorMsg
+		if err := unmarshal(rt, rp, &em); err != nil {
+			c.broken = true
+			return 0, nil, err
+		}
+		return 0, nil, &RemoteError{Code: em.Code, Message: em.Message}
+	}
+	return rt, rp, nil
+}
+
+// Close closes the underlying connection.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.broken = true
+	return c.c.Close()
+}
+
+// Peer is a lazily-dialed, self-healing client for one transport
+// address: the first Call dials, a transport failure drops the
+// connection, and the next Call redials. Application-level errors
+// (*RemoteError) do not recycle the connection.
+type Peer struct {
+	addr string
+	name string
+
+	mu   sync.Mutex
+	conn *Conn
+}
+
+// NewPeer builds a peer client for the listener at addr, identifying
+// as name when dialing.
+func NewPeer(addr, name string) *Peer {
+	return &Peer{addr: addr, name: name}
+}
+
+// Addr returns the peer's transport address.
+func (p *Peer) Addr() string { return p.addr }
+
+// Call issues one request, dialing or redialing as needed. One
+// transport retry hides a connection that went stale between calls
+// (listener restart, idle timeout); a fresh-dial failure is returned
+// as-is.
+func (p *Peer) Call(ctx context.Context, t FrameType, payload []byte) (FrameType, []byte, error) {
+	for attempt := 0; ; attempt++ {
+		conn, dialed, err := p.get(ctx)
+		if err != nil {
+			return 0, nil, err
+		}
+		rt, rp, err := conn.Call(ctx, t, payload)
+		var rerr *RemoteError
+		if err != nil && !errors.As(err, &rerr) {
+			p.drop(conn)
+			if ctx.Err() == nil && !dialed && attempt == 0 {
+				continue // stale pooled connection: redial once
+			}
+			return 0, nil, err
+		}
+		return rt, rp, err
+	}
+}
+
+// get returns the pooled connection, dialing if absent; dialed reports
+// whether this call created it.
+func (p *Peer) get(ctx context.Context) (conn *Conn, dialed bool, err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.conn != nil {
+		return p.conn, false, nil
+	}
+	c, err := Dial(ctx, p.addr, p.name)
+	if err != nil {
+		return nil, true, err
+	}
+	p.conn = c
+	return c, true, nil
+}
+
+// drop discards a failed connection if it is still the pooled one.
+func (p *Peer) drop(conn *Conn) {
+	conn.Close()
+	p.mu.Lock()
+	if p.conn == conn {
+		p.conn = nil
+	}
+	p.mu.Unlock()
+}
+
+// Close drops the pooled connection.
+func (p *Peer) Close() {
+	p.mu.Lock()
+	conn := p.conn
+	p.conn = nil
+	p.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
+}

@@ -1,0 +1,239 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// echoHandler reflects every payload back with the same frame type,
+// except FrameExport which reports a deliberate RemoteError.
+func echoHandler() Handler {
+	return HandlerFunc(func(remote string, t FrameType, payload []byte) (FrameType, []byte, error) {
+		if t == FrameExport {
+			return 0, nil, &RemoteError{Code: CodeNotFound, Message: "nothing to export"}
+		}
+		return t, payload, nil
+	})
+}
+
+func startListener(t *testing.T, h Handler) *Listener {
+	t.Helper()
+	l := NewListener("test-listener", h)
+	if err := l.ListenAndServe("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return l
+}
+
+func TestTransportCallRoundTrip(t *testing.T) {
+	l := startListener(t, echoHandler())
+	ctx := context.Background()
+	conn, err := Dial(ctx, l.Addr().String(), "caller")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if conn.Remote() != "test-listener" {
+		t.Fatalf("handshake name %q, want test-listener", conn.Remote())
+	}
+	ft, payload, err := conn.Call(ctx, FramePing, []byte("ping-payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ft != FramePing || string(payload) != "ping-payload" {
+		t.Fatalf("echo gave %v %q", ft, payload)
+	}
+
+	// Application errors keep the connection usable.
+	if _, _, err := conn.Call(ctx, FrameExport, nil); err == nil {
+		t.Fatal("want RemoteError")
+	} else {
+		var rerr *RemoteError
+		if !errors.As(err, &rerr) || rerr.Code != CodeNotFound {
+			t.Fatalf("err = %v, want CodeNotFound RemoteError", err)
+		}
+	}
+	if _, _, err := conn.Call(ctx, FramePong, []byte("still alive")); err != nil {
+		t.Fatalf("connection died after application error: %v", err)
+	}
+}
+
+func TestTransportConcurrentCalls(t *testing.T) {
+	l := startListener(t, echoHandler())
+	peer := NewPeer(l.Addr().String(), "caller")
+	defer peer.Close()
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			want := fmt.Sprintf("payload-%d", i)
+			_, got, err := peer.Call(context.Background(), FramePing, []byte(want))
+			if err != nil {
+				errs <- err
+				return
+			}
+			if string(got) != want {
+				errs <- fmt.Errorf("reply %q, want %q (responses crossed streams)", got, want)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestMalformedFrameClosesConn sends garbage after a valid handshake:
+// the listener must answer with a FrameError diagnosis and cut the
+// connection rather than try to resynchronize the stream.
+func TestMalformedFrameClosesConn(t *testing.T) {
+	l := startListener(t, echoHandler())
+	nc, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	nc.SetDeadline(time.Now().Add(5 * time.Second))
+	if err := WriteFrame(nc, FrameHello, marshal(HelloMsg{Proto: ProtoVersion, Name: "raw"})); err != nil {
+		t.Fatal(err)
+	}
+	if ft, _, err := ReadFrame(nc); err != nil || ft != FrameHello {
+		t.Fatalf("handshake: %v %v", ft, err)
+	}
+	if _, err := nc.Write([]byte("GARBAGE-NOT-A-FRAME-................")); err != nil {
+		t.Fatal(err)
+	}
+	ft, payload, err := ReadFrame(nc)
+	if err == nil {
+		if ft != FrameError {
+			t.Fatalf("reply to garbage was %v, want error frame", ft)
+		}
+		var em ErrorMsg
+		if uerr := unmarshal(ft, payload, &em); uerr != nil || em.Code != CodeBadRequest {
+			t.Fatalf("error frame %+v (%v), want bad_request", em, uerr)
+		}
+		// After the diagnosis the stream must be closed.
+		if _, _, err := ReadFrame(nc); err == nil {
+			t.Fatal("stream still open after malformed frame")
+		}
+	}
+	// err != nil is also acceptable: the listener may have cut the
+	// connection before the diagnosis flushed.
+}
+
+// TestBadHandshakeRejected covers version skew and non-hello openings.
+func TestBadHandshakeRejected(t *testing.T) {
+	l := startListener(t, echoHandler())
+
+	// Wrong protocol version in the hello.
+	nc, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	nc.SetDeadline(time.Now().Add(5 * time.Second))
+	if err := WriteFrame(nc, FrameHello, marshal(HelloMsg{Proto: ProtoVersion + 1, Name: "future"})); err != nil {
+		t.Fatal(err)
+	}
+	if ft, _, err := ReadFrame(nc); err == nil && ft != FrameError {
+		t.Fatalf("version-skewed hello got %v, want error frame", ft)
+	}
+
+	// Opening with a non-hello frame drops the connection.
+	nc2, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc2.Close()
+	nc2.SetDeadline(time.Now().Add(5 * time.Second))
+	if err := WriteFrame(nc2, FramePing, marshal(PingMsg{Seq: 1})); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadFrame(nc2); err == nil {
+		t.Fatal("listener answered a connection that never said hello")
+	}
+}
+
+// TestPeerRedialsAfterRestart proves the self-healing client: a peer
+// whose pooled connection died (listener restart on the same address)
+// transparently redials on the next call.
+func TestPeerRedialsAfterRestart(t *testing.T) {
+	l := NewListener("gen1", echoHandler())
+	if err := l.ListenAndServe("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	peer := NewPeer(addr, "caller")
+	defer peer.Close()
+	if _, _, err := peer.Call(context.Background(), FramePing, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	// Restart a listener on the same address; races with the OS releasing
+	// the port, so retry briefly.
+	var l2 *Listener
+	for i := 0; i < 50; i++ {
+		l2 = NewListener("gen2", echoHandler())
+		if err := l2.ListenAndServe(addr); err == nil {
+			break
+		}
+		l2 = nil
+		time.Sleep(20 * time.Millisecond)
+	}
+	if l2 == nil {
+		t.Skip("could not rebind the port")
+	}
+	defer l2.Close()
+
+	_, got, err := peer.Call(context.Background(), FramePing, []byte("b"))
+	if err != nil {
+		t.Fatalf("peer did not redial after restart: %v", err)
+	}
+	if string(got) != "b" {
+		t.Fatalf("reply %q, want b", got)
+	}
+
+	// With the listener gone for good, calls fail (and keep failing)
+	// without hanging.
+	l2.Close()
+	if _, _, err := peer.Call(context.Background(), FramePing, []byte("c")); err == nil {
+		// One call may still ride the pooled connection's buffered close
+		// race; the next must fail.
+		if _, _, err := peer.Call(context.Background(), FramePing, []byte("d")); err == nil {
+			t.Fatal("calls keep succeeding against a closed listener")
+		}
+	}
+}
+
+// TestOversizeFrameRejectedBeforeAllocation: a header declaring a
+// payload beyond MaxFramePayload must be rejected from the 12 header
+// bytes alone — the decoder must not trust the length and allocate.
+func TestOversizeFrameRejectedBeforeAllocation(t *testing.T) {
+	var hdr bytes.Buffer
+	var scratch bytes.Buffer
+	if err := WriteFrame(&scratch, FramePing, nil); err != nil {
+		t.Fatal(err)
+	}
+	h := scratch.Bytes()[:headerSize]
+	binary.BigEndian.PutUint32(h[8:], MaxFramePayload+1)
+	hdr.Write(h)
+	// No payload follows: if the decoder tried to read (or allocate) the
+	// declared 64MiB+1 it would block or balloon; instead it must fail
+	// immediately on the header.
+	_, _, err := ReadFrame(&hdr)
+	if !errors.Is(err, ErrMalformedFrame) {
+		t.Fatalf("err = %v, want ErrMalformedFrame", err)
+	}
+}

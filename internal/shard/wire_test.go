@@ -1,0 +1,168 @@
+package shard
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math"
+	"strings"
+	"testing"
+
+	"esthera/internal/serve"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte{0xAB}, 4096)}
+	var buf bytes.Buffer
+	for _, p := range payloads {
+		if err := WriteFrame(&buf, FramePing, p); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+	}
+	for i, p := range payloads {
+		ft, got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if ft != FramePing {
+			t.Fatalf("read %d: type %v, want ping", i, ft)
+		}
+		if !bytes.Equal(got, p) {
+			t.Fatalf("read %d: payload %q, want %q", i, got, p)
+		}
+	}
+}
+
+func TestReadFrameRejectsMalformed(t *testing.T) {
+	valid := func() []byte {
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, FramePing, []byte("ok")); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	cases := map[string]func([]byte) []byte{
+		"bad magic":        func(b []byte) []byte { b[0] = 'X'; return b },
+		"bad version":      func(b []byte) []byte { b[4] = ProtoVersion + 9; return b },
+		"zero frame type":  func(b []byte) []byte { b[5] = 0; return b },
+		"huge frame type":  func(b []byte) []byte { b[5] = 200; return b },
+		"reserved nonzero": func(b []byte) []byte { b[6] = 1; return b },
+		"oversize length": func(b []byte) []byte {
+			binary.BigEndian.PutUint32(b[8:], MaxFramePayload+1)
+			return b
+		},
+	}
+	for name, mutate := range cases {
+		t.Run(name, func(t *testing.T) {
+			_, _, err := ReadFrame(bytes.NewReader(mutate(valid())))
+			if !errors.Is(err, ErrMalformedFrame) {
+				t.Fatalf("err = %v, want ErrMalformedFrame", err)
+			}
+		})
+	}
+
+	// Truncation mid-payload is an I/O error, not a malformed frame: the
+	// header was well-formed, the stream just ended.
+	b := valid()
+	if _, _, err := ReadFrame(bytes.NewReader(b[:len(b)-1])); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("truncated payload: err = %v, want unexpected EOF", err)
+	}
+}
+
+// TestExchangeBitExact proves the binary exchange codec preserves every
+// float64 bit pattern, including the values JSON cannot carry.
+func TestExchangeBitExact(t *testing.T) {
+	recs := []float64{
+		0, math.Copysign(0, -1), 1.0 / 3.0, -math.MaxFloat64, math.SmallestNonzeroFloat64,
+		math.Inf(1), math.Inf(-1), math.NaN(), 6.626070153e-34,
+	}
+	in := ExchangeMsg{Round: 41, From: 3, To: 7, Recs: recs}
+	out, err := DecodeExchange(EncodeExchange(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Round != in.Round || out.From != in.From || out.To != in.To {
+		t.Fatalf("header mismatch: %+v vs %+v", out, in)
+	}
+	if len(out.Recs) != len(in.Recs) {
+		t.Fatalf("rec count %d, want %d", len(out.Recs), len(in.Recs))
+	}
+	for i := range recs {
+		if math.Float64bits(out.Recs[i]) != math.Float64bits(in.Recs[i]) {
+			t.Fatalf("rec %d: bits %016x, want %016x", i, math.Float64bits(out.Recs[i]), math.Float64bits(in.Recs[i]))
+		}
+	}
+}
+
+func TestDecodeExchangeRejectsTruncated(t *testing.T) {
+	full := EncodeExchange(ExchangeMsg{Round: 1, From: 0, To: 1, Recs: []float64{1, 2, 3}})
+	for _, cut := range []int{1, exchangeHeader - 1, len(full) - 1} {
+		if _, err := DecodeExchange(full[:cut]); !errors.Is(err, ErrMalformedFrame) {
+			t.Fatalf("cut=%d: err = %v, want ErrMalformedFrame", cut, err)
+		}
+	}
+	// A declared count larger than the payload backs must not allocate
+	// past the payload.
+	bad := append([]byte(nil), full...)
+	binary.LittleEndian.PutUint32(bad[16:], 1<<30)
+	if _, err := DecodeExchange(bad); !errors.Is(err, ErrMalformedFrame) {
+		t.Fatalf("inflated count: err = %v, want ErrMalformedFrame", err)
+	}
+}
+
+// FuzzReadFrame throws arbitrary bytes at the TCP decoder: it must
+// never panic and never allocate beyond the framed length bound,
+// whatever a malicious or corrupted peer sends.
+func FuzzReadFrame(f *testing.F) {
+	var valid bytes.Buffer
+	_ = WriteFrame(&valid, FrameHello, []byte(`{"proto":1,"name":"fuzz"}`))
+	f.Add(valid.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("ESHD"))
+	f.Add(valid.Bytes()[:headerSize-2])
+	huge := append([]byte(nil), valid.Bytes()...)
+	binary.BigEndian.PutUint32(huge[8:], 0xFFFFFFFF)
+	f.Add(huge)
+	badMagic := append([]byte(nil), valid.Bytes()...)
+	copy(badMagic, "EVIL")
+	f.Add(badMagic)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ft, payload, err := ReadFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if ft < FrameHello || ft > FrameExchangeOK {
+			t.Fatalf("accepted unknown frame type %d", ft)
+		}
+		if len(payload) > MaxFramePayload {
+			t.Fatalf("payload %d bytes exceeds the frame limit", len(payload))
+		}
+		// A frame the decoder accepts must re-encode to the same bytes it
+		// consumed (the codec is canonical).
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, ft, payload); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if !bytes.Equal(buf.Bytes(), data[:buf.Len()]) {
+			t.Fatalf("re-encode differs from consumed bytes")
+		}
+	})
+}
+
+func TestRemoteErrorIs(t *testing.T) {
+	err := error(&RemoteError{Code: CodeNotFound, Message: "no session"})
+	if !strings.Contains(err.Error(), "no session") {
+		t.Fatalf("message lost: %v", err)
+	}
+	// A not-found crossing the transport must keep satisfying
+	// errors.Is(err, serve.ErrNotFound), like the HTTP client's 404.
+	if !errors.Is(err, serve.ErrNotFound) {
+		t.Fatal("CodeNotFound does not map to serve.ErrNotFound")
+	}
+	if errors.Is(error(&RemoteError{Code: CodeInternal}), serve.ErrNotFound) {
+		t.Fatal("CodeInternal must not map to serve.ErrNotFound")
+	}
+}

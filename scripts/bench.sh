@@ -1,9 +1,11 @@
 #!/bin/sh
 # Benchmarks the round hot path (unfused / fused / serve-batched) and
 # writes BENCH_<pr>.json with ns/op and particles/sec per configuration.
-# The PR number is derived from CHANGES.md (one `- PR n:` line per
-# landed PR, so the in-flight PR is the count plus one); override with
-# BENCH_PR, or the whole filename with BENCH_OUT.
+# The PR number is derived from CHANGES.md: the highest `- PR n:` line
+# plus one. (The highest, not the count — not every PR records a bench,
+# so neither the CHANGES numbering nor the BENCH_* files on disk can be
+# assumed contiguous.) Override with BENCH_PR, or the whole filename
+# with BENCH_OUT.
 #
 # A "baseline" section is merged in from a recorded `go test -bench`
 # output of the pre-optimization tree (the PR 1 commit, measured by
@@ -20,7 +22,8 @@ cd "$(dirname "$0")/.."
 BASELINE_FILE="${1-scripts/bench_baseline_seed.txt}"
 COUNT="${BENCH_COUNT:-3}"
 BENCHTIME="${BENCHTIME:-2s}"
-PR_NUM="${BENCH_PR:-$(($(grep -c '^- PR' CHANGES.md) + 1))}"
+LAST_PR="$(sed -n 's/^- PR \([0-9][0-9]*\):.*/\1/p' CHANGES.md | sort -n | tail -1)"
+PR_NUM="${BENCH_PR:-$((${LAST_PR:-0} + 1))}"
 OUT="${BENCH_OUT:-BENCH_${PR_NUM}.json}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT

@@ -17,12 +17,23 @@ TOLERANCE="${BENCH_GUARD_TOLERANCE:-3}"
 COUNT="${BENCH_GUARD_COUNT:-3}"
 BENCHTIME="${BENCH_GUARD_BENCHTIME:-1s}"
 
-# Newest recorded run that carries a fused-round number.
+# Newest recorded run that carries a fused-round number. "Newest" is
+# the highest PR number in the filename, NOT file mtime: not every PR
+# records a bench, so the BENCH_<n>.json numbering has gaps (e.g. only
+# BENCH_2 and BENCH_5), and a checkout or touch can reorder mtimes.
+# Non-numeric suffixes (BENCH_custom.json from BENCH_OUT) are ignored.
 BASELINE=""
-for f in $(ls -t BENCH_*.json 2>/dev/null); do
-	if grep -q '"BenchmarkRoundFused' "$f"; then
+BEST=-1
+for f in BENCH_*.json; do
+	[ -f "$f" ] || continue
+	n="${f#BENCH_}"
+	n="${n%.json}"
+	case "$n" in
+	'' | *[!0-9]*) continue ;;
+	esac
+	if [ "$n" -gt "$BEST" ] && grep -q '"BenchmarkRoundFused' "$f"; then
+		BEST="$n"
 		BASELINE="$f"
-		break
 	fi
 done
 if [ -z "$BASELINE" ]; then

@@ -1,0 +1,97 @@
+#!/bin/sh
+# Chaos drill for the sharded serving stack: build the three binaries,
+# start a router fronting 3 esthera-serve replicas (HTTP + shard
+# transport each), drive swarm load for the whole run, kill -9 one
+# replica mid-run and restart it later. esthera-swarm judges the run:
+# it exits non-zero if any session saw a non-retryable error (the
+# failover must be absorbed by 503+Retry-After retries) or stepping p99
+# exceeded its budget. Replica death must cost retries, not errors.
+#
+# Opt-in from verify.sh via CHAOS=1 (or `make chaos`): it burns ~30s of
+# wall clock and binds local ports (base CHAOS_PORT_BASE, default 19480).
+#
+# Usage: scripts/test_chaos_shards.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+PORT="${CHAOS_PORT_BASE:-19480}"
+DURATION="${CHAOS_DURATION:-20s}"
+SESSIONS="${CHAOS_SESSIONS:-9}"
+
+TMP="$(mktemp -d)"
+PIDS=""
+cleanup() {
+	for p in $PIDS; do
+		kill "$p" 2>/dev/null || true
+	done
+	wait 2>/dev/null || true
+	rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+echo "chaos: building binaries" >&2
+go build -o "$TMP/esthera-serve" ./cmd/esthera-serve
+go build -o "$TMP/esthera-router" ./cmd/esthera-router
+go build -o "$TMP/esthera-swarm" ./cmd/esthera-swarm
+
+# start_replica <index>: HTTP on PORT+i, shard transport on PORT+10+i.
+# Prints the replica pid; logs append so a restart keeps history.
+start_replica() {
+	"$TMP/esthera-serve" \
+		-addr "127.0.0.1:$((PORT + $1))" \
+		-shard-addr "127.0.0.1:$((PORT + 10 + $1))" \
+		-shard-name "r$1" \
+		>>"$TMP/replica$1.log" 2>&1 &
+	echo $!
+}
+
+R1="$(start_replica 1)"
+R2="$(start_replica 2)"
+R3="$(start_replica 3)"
+PIDS="$R1 $R2 $R3"
+
+SPEC="r1|http://127.0.0.1:$((PORT + 1))|127.0.0.1:$((PORT + 11))"
+SPEC="$SPEC,r2|http://127.0.0.1:$((PORT + 2))|127.0.0.1:$((PORT + 12))"
+SPEC="$SPEC,r3|http://127.0.0.1:$((PORT + 3))|127.0.0.1:$((PORT + 13))"
+
+"$TMP/esthera-router" \
+	-addr "127.0.0.1:$PORT" \
+	-shards "$SPEC" \
+	-probe 100ms -fail-after 2 -retry-hint 25ms \
+	-snapshot 500ms -rebalance-threshold 3 \
+	>"$TMP/router.log" 2>&1 &
+ROUTER=$!
+PIDS="$PIDS $ROUTER"
+
+echo "chaos: starting swarm ($SESSIONS sessions, $DURATION)" >&2
+"$TMP/esthera-swarm" \
+	-router "http://127.0.0.1:$PORT" \
+	-sessions "$SESSIONS" -duration "$DURATION" \
+	-attempts 128 -p99-budget 2s \
+	>"$TMP/swarm.json" &
+SWARM=$!
+PIDS="$PIDS $SWARM"
+
+sleep 5
+echo "chaos: kill -9 replica r2 (pid $R2)" >&2
+kill -9 "$R2" 2>/dev/null || true
+
+sleep 5
+echo "chaos: restarting replica r2" >&2
+R2="$(start_replica 2)"
+PIDS="$PIDS $R2"
+
+STATUS=0
+wait "$SWARM" || STATUS=$?
+
+echo "chaos: swarm summary:" >&2
+cat "$TMP/swarm.json"
+
+if [ "$STATUS" -ne 0 ]; then
+	echo "chaos: FAIL — swarm saw non-retryable errors or blew its p99 budget" >&2
+	echo "chaos: router log tail:" >&2
+	tail -40 "$TMP/router.log" >&2 || true
+	exit "$STATUS"
+fi
+echo "chaos: ok — replica death cost retries, not errors" >&2

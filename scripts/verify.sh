@@ -11,10 +11,11 @@ cd "$(dirname "$0")/.."
 go build ./...
 go vet ./...
 go run ./cmd/esthera-vet -list
-# The telemetry layer is a leaf package every hot path calls into:
-# -require makes the sweep fail loudly if a module-path change ever
-# silently drops it from the ./... coverage.
-go run ./cmd/esthera-vet -require esthera/internal/telemetry ./...
+# The telemetry layer is a leaf package every hot path calls into, and
+# the shard package carries the framed wire structs the checkpointcompat
+# analyzer must keep covered: -require makes the sweep fail loudly if a
+# module-path change ever silently drops either from ./... coverage.
+go run ./cmd/esthera-vet -require esthera/internal/telemetry,esthera/internal/shard ./...
 go test ./...
 go test -race ./...
 # The serving robustness layer (cancellation, shutdown, drain) is pure
@@ -24,3 +25,8 @@ go test -race -count=3 ./internal/serve/...
 # Observability must be free when disabled: assert the fused round hot
 # path is within tolerance of the newest recorded benchmark baseline.
 scripts/bench_guard.sh
+# Sharded-serving chaos drill (router + replicas + kill/restore) is
+# opt-in: it builds three binaries and runs ~30s of wall-clock load.
+if [ "${CHAOS:-0}" = "1" ]; then
+	scripts/test_chaos_shards.sh
+fi
