@@ -7,10 +7,13 @@ import (
 )
 
 // BarrierAnalyzer enforces the work-group model inside lane closures:
-// the bodies passed to device.Ctx.Step and StepSpan run once per lane
-// (concurrently on a real SIMT device, with a barrier only *between*
-// steps), so a lane body may write global or local memory only through
-// lane-indexed storage. A write to a captured scalar — an accumulator,
+// the bodies passed to device.Ctx.Step, StepSpan, and StepVec run once
+// per lane (or per lane range, for the span/vector forms — concurrently
+// on a real SIMT device, with a barrier only *between* steps), so a
+// lane body may write global or local memory only through lane-indexed
+// storage. StepVec closures in particular must write only rows
+// [lo, hi) of their SoA columns; a captured scalar accumulated across
+// the whole range is the same cross-lane race as in a Step body. A write to a captured scalar — an accumulator,
 // a flag, an enclosing loop variable — is a cross-lane data race on a
 // real device even though the Go simulation (which runs lanes
 // sequentially) masks it.
@@ -23,8 +26,8 @@ import (
 var BarrierAnalyzer = &Analyzer{
 	Name: "barrier",
 	Doc: "flag writes to captured non-lane-indexed variables (including enclosing " +
-		"loop variables) inside device.Ctx.Step/StepSpan lane closures, which race " +
-		"across lanes on a real work-group device",
+		"loop variables) inside device.Ctx.Step/StepSpan/StepVec lane closures, " +
+		"which race across lanes on a real work-group device",
 	Run: runBarrier,
 }
 
@@ -32,7 +35,7 @@ var BarrierAnalyzer = &Analyzer{
 // so the analyzer keeps working if the module is ever renamed.
 const devicePkgSuffix = "internal/device"
 
-var laneStepMethods = map[string]bool{"Step": true, "StepSpan": true}
+var laneStepMethods = map[string]bool{"Step": true, "StepSpan": true, "StepVec": true}
 
 func runBarrier(pass *Pass) error {
 	for _, f := range pass.Files {

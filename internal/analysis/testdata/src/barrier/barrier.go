@@ -53,6 +53,61 @@ func ReusedClosure(ctx device.Ctx, st *state) {
 	}
 }
 
+// VecCapturedScalar accumulates into a captured variable from a StepVec
+// range body: the same cross-lane race as in a Step body, since the
+// range [lo, hi) is one lane's share of the rows.
+func VecCapturedScalar(ctx device.Ctx, xs []float64) float64 {
+	sum := 0.0
+	ctx.StepVec(func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sum += xs[i] // want `writes captured variable sum`
+		}
+	})
+	return sum
+}
+
+// VecCapturedField writes a field of a captured struct from a StepVec
+// body.
+func VecCapturedField(ctx device.Ctx, st *state) {
+	ctx.StepVec(func(lo, hi int) {
+		st.visited += hi - lo // want `writes captured variable st`
+	})
+}
+
+// VecReusedClosure is the named-closure idiom under StepVec.
+func VecReusedClosure(ctx device.Ctx, st *state) {
+	body := func(lo, hi int) {
+		st.visited++ // want `writes captured variable st`
+	}
+	for d := 1; d < 8; d <<= 1 {
+		st.stride = d
+		ctx.StepVec(body)
+	}
+}
+
+// VecRowIndexed writes only rows [lo, hi) of SoA columns: the legal
+// StepVec pattern.
+func VecRowIndexed(ctx device.Ctx, dst, src [][]float64) {
+	ctx.StepVec(func(lo, hi int) {
+		d0, s0 := dst[0], src[0]
+		for i := lo; i < hi; i++ {
+			d0[i] = 2 * s0[i]
+		}
+	})
+}
+
+// VecLaneScratch accumulates into row-indexed scratch (one slot per
+// row) instead of a shared scalar: legal.
+func VecLaneScratch(ctx device.Ctx, hits []int, keys []float64) {
+	ctx.StepVec(func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if keys[i] > 0 {
+				hits[i]++
+			}
+		}
+	})
+}
+
 // LaneIndexed writes through lane-indexed storage: the legal pattern.
 func LaneIndexed(ctx device.Ctx, dst, src []float64) {
 	ctx.Step(func(lane int) {

@@ -405,7 +405,9 @@ func (c *Cluster) Step(u, z []float64) filter.Estimate {
 			n.pipe.KernelSampleWeight(u, z, c.k)
 			n.pipe.KernelSortLocal()
 			state, lw := n.pipe.KernelEstimate()
-			bests[i] = nodeBest{state: state, logw: lw, ok: true}
+			// The estimate buffer is pipeline-owned and reused next
+			// round; lastBests outlives it, so copy.
+			bests[i] = nodeBest{state: append([]float64(nil), state...), logw: lw, ok: true}
 		}(i, n)
 	}
 	wg.Wait()
@@ -506,12 +508,11 @@ func (c *Cluster) exchangeGlobal(failed []bool) {
 			continue
 		}
 		local := g % spn
-		p := c.nodes[nodeIdx].pipe.Particles()
-		lw := c.nodes[nodeIdx].pipe.LogWeights()
-		base := local * mp * dim
+		pipe := c.nodes[nodeIdx].pipe
+		lw := pipe.LogWeights()
 		for i := 0; i < t; i++ {
 			rec := c.outbox[(g*t+i)*stride : (g*t+i+1)*stride]
-			copy(rec[:dim], p[base+i*dim:base+(i+1)*dim])
+			pipe.ReadParticle(local, i, rec[:dim])
 			rec[dim] = lw[local*mp+i]
 		}
 	}
@@ -526,9 +527,8 @@ func (c *Cluster) exchangeGlobal(failed []bool) {
 			continue
 		}
 		local := g % spn
-		p := c.nodes[nodeIdx].pipe.Particles()
-		lw := c.nodes[nodeIdx].pipe.LogWeights()
-		base := local * mp * dim
+		pipe := c.nodes[nodeIdx].pipe
+		lw := pipe.LogWeights()
 		slot := mp - degree*t
 		for dir := 0; dir < degree; dir++ {
 			q := c.top.RouteLive(g, dir, live)
@@ -563,7 +563,7 @@ func (c *Cluster) exchangeGlobal(failed []bool) {
 			c.contrib[qNode].Add(1)
 			for i := 0; i < t; i++ {
 				rec := recs[i*stride : (i+1)*stride]
-				copy(p[base+slot*dim:base+(slot+1)*dim], rec[:dim])
+				pipe.WriteParticle(local, slot, rec[:dim])
 				lw[local*mp+slot] = rec[dim]
 				slot++
 			}
@@ -587,10 +587,11 @@ func (c *Cluster) reseedNode(nodeIdx int, failed, pending []bool) {
 		n := q / spn
 		return !failed[n] && !pending[n] && n != nodeIdx
 	}
-	p := c.nodes[nodeIdx].pipe.Particles()
-	lw := c.nodes[nodeIdx].pipe.LogWeights()
+	pipe := c.nodes[nodeIdx].pipe
+	lw := pipe.LogWeights()
 	degree := c.top.Directions()
 	reseeded := false
+	tmp := make([]float64, dim)
 	for local := 0; local < spn; local++ {
 		g := nodeIdx*spn + local
 		// Gather the donor pool: top-t of each direction's nearest donor.
@@ -601,21 +602,20 @@ func (c *Cluster) reseedNode(nodeIdx int, failed, pending []bool) {
 			if q < 0 {
 				continue
 			}
-			qp := c.nodes[q/spn].pipe.Particles()
+			donor := c.nodes[q/spn].pipe
 			qlw := c.nodes[q/spn].pipe.LogWeights()
-			qbase := (q % spn) * mp * dim
 			for i := 0; i < t; i++ {
-				states = append(states, qp[qbase+i*dim:qbase+(i+1)*dim]...)
+				donor.ReadParticle(q%spn, i, tmp)
+				states = append(states, tmp...)
 				weights = append(weights, qlw[(q%spn)*mp+i])
 			}
 		}
 		if len(weights) == 0 {
 			continue
 		}
-		base := local * mp * dim
 		for s := 0; s < mp; s++ {
 			d := s % len(weights)
-			copy(p[base+s*dim:base+(s+1)*dim], states[d*dim:(d+1)*dim])
+			pipe.WriteParticle(local, s, states[d*dim:(d+1)*dim])
 			lw[local*mp+s] = weights[d]
 		}
 		reseeded = true

@@ -70,6 +70,12 @@ type Device struct {
 	// the original spawn-per-launch scheme paid.
 	groups sync.Pool
 
+	// free recycles launchTask objects (with their completion channel and
+	// phase-accounting slices), so steady-state launches allocate nothing.
+	// A task is only reused once no stale submission-queue reference to it
+	// remains (tracked by launchTask.refs).
+	free chan *launchTask
+
 	// tracer, when set and enabled, receives one span per launch plus
 	// per-phase child spans for fused launches. Launch timing is
 	// measured regardless; the tracer only re-records the already
@@ -103,6 +109,7 @@ func New(cfg Config) *Device {
 		prof:          NewProfiler(),
 		tasks:         make(chan *launchTask, 2*w),
 		quit:          make(chan struct{}),
+		free:          make(chan *launchTask, 4*w),
 	}
 	d.groups.New = func() interface{} { return &Group{} }
 	// The compute units reference only the two channels, never the Device
@@ -134,6 +141,7 @@ func computeUnit(tasks <-chan *launchTask, quit <-chan struct{}) {
 		select {
 		case t := <-tasks:
 			t.drain()
+			t.refs.Add(-1)
 		case <-quit:
 			return
 		}
@@ -186,6 +194,7 @@ type launchTask struct {
 
 	next    atomic.Int64 // next unclaimed group id
 	pending atomic.Int64 // groups whose results are not yet folded in
+	refs    atomic.Int64 // outstanding submission-queue references
 
 	mu          sync.Mutex
 	total       Counters
@@ -193,7 +202,37 @@ type launchTask struct {
 	phaseTimes  []time.Duration
 	panics      []interface{}
 
-	done chan struct{} // closed when pending reaches zero
+	// statsBuf backs LaunchFused's returned per-phase stats; it is owned
+	// by the (recycled) task, so the returned slice is only valid until a
+	// later launch reuses this task.
+	statsBuf []LaunchStats
+
+	done chan struct{} // receives one token when pending reaches zero
+}
+
+// drainScratch holds one drain participant's phase accumulators. The
+// slices are recycled through a pool so steady-state fused launches do
+// not allocate per participant per launch.
+type drainScratch struct {
+	phases []Counters
+	times  []time.Duration
+}
+
+var drainScratchPool = sync.Pool{New: func() interface{} { return &drainScratch{} }}
+
+// phaseSlices returns zeroed accumulators of length n.
+func (sc *drainScratch) phaseSlices(n int) ([]Counters, []time.Duration) {
+	if cap(sc.phases) < n {
+		sc.phases = make([]Counters, n)
+		sc.times = make([]time.Duration, n)
+	}
+	sc.phases = sc.phases[:n]
+	sc.times = sc.times[:n]
+	for i := range sc.phases {
+		sc.phases[i] = Counters{}
+		sc.times[i] = 0
+	}
+	return sc.phases, sc.times
 }
 
 // drain claims and executes work-groups until the grid is exhausted,
@@ -206,8 +245,9 @@ func (t *launchTask) drain() {
 		ran         int64
 	)
 	if t.phases > 0 {
-		localPhases = make([]Counters, t.phases)
-		localTimes = make([]time.Duration, t.phases)
+		sc := drainScratchPool.Get().(*drainScratch)
+		defer drainScratchPool.Put(sc)
+		localPhases, localTimes = sc.phaseSlices(t.phases)
 	}
 	for {
 		gid := int(t.next.Add(1)) - 1
@@ -229,8 +269,10 @@ func (t *launchTask) drain() {
 	t.mu.Unlock()
 	// Completion is signaled only after this participant's counters are
 	// visible, so the launcher reads a consistent total after <-done.
+	// Exactly one participant observes zero, so the buffered send never
+	// blocks, and the channel is drained by finish — ready for reuse.
 	if t.pending.Add(-ran) == 0 {
-		close(t.done)
+		t.done <- struct{}{}
 	}
 }
 
@@ -253,6 +295,31 @@ func (t *launchTask) runGroup(gid int, local *Counters, lp []Counters, lt []time
 	t.kern(g)
 }
 
+// getTask pops a recycled launchTask, or allocates one. A recycled task
+// whose submission-queue references have not all been consumed yet is
+// dropped to the garbage collector rather than reused under a live
+// reference (rare: it requires a queued helper that never woke up before
+// the next launch started).
+func (d *Device) getTask() *launchTask {
+	select {
+	case t := <-d.free:
+		if t.refs.Load() == 0 {
+			return t
+		}
+	default:
+	}
+	return &launchTask{dev: d, done: make(chan struct{}, 1)}
+}
+
+// putTask returns a finished, fully-read task to the freelist.
+func (d *Device) putTask(t *launchTask) {
+	t.kern = nil
+	select {
+	case d.free <- t:
+	default:
+	}
+}
+
 // start validates the grid, builds the task, and wakes up to
 // min(workers, groups) - 1 pool workers; the caller is always the final
 // participant and must call t.drain() followed by <-t.done.
@@ -260,30 +327,47 @@ func (d *Device) start(grid Grid, phases int, k KernelFunc) *launchTask {
 	if grid.Groups <= 0 || grid.GroupSize <= 0 {
 		panic(fmt.Sprintf("device: invalid grid %+v", grid))
 	}
-	t := &launchTask{dev: d, grid: grid, kern: k, phases: phases, done: make(chan struct{})}
+	t := d.getTask()
+	t.grid, t.kern, t.phases = grid, k, phases
+	t.next.Store(0)
 	t.pending.Store(int64(grid.Groups))
+	t.total = Counters{}
+	t.panics = t.panics[:0]
 	if phases > 0 {
-		t.phaseTotals = make([]Counters, phases)
-		t.phaseTimes = make([]time.Duration, phases)
+		if cap(t.phaseTotals) < phases {
+			t.phaseTotals = make([]Counters, phases)
+			t.phaseTimes = make([]time.Duration, phases)
+			t.statsBuf = make([]LaunchStats, phases)
+		}
+		t.phaseTotals = t.phaseTotals[:phases]
+		t.phaseTimes = t.phaseTimes[:phases]
+		t.statsBuf = t.statsBuf[:phases]
+		for i := range t.phaseTotals {
+			t.phaseTotals[i] = Counters{}
+			t.phaseTimes[i] = 0
+		}
 	}
 	helpers := d.workers - 1
 	if helpers > grid.Groups-1 {
 		helpers = grid.Groups - 1
 	}
 	for i := 0; i < helpers; i++ {
+		t.refs.Add(1)
 		select {
 		case d.tasks <- t:
 		default:
 			// Pool submission queue is full (deep concurrent launches):
 			// the remaining groups are drained by the caller and by
 			// whichever workers free up to take the queued references.
+			t.refs.Add(-1)
 			return t
 		}
 	}
 	return t
 }
 
-// finish waits for completion and propagates the first kernel panic.
+// finish waits for completion and propagates the first kernel panic. A
+// panicking task is never recycled, so the panic value stays intact.
 func (t *launchTask) finish() {
 	t.drain()
 	<-t.done
@@ -305,6 +389,7 @@ func (d *Device) Launch(name string, grid Grid, k KernelFunc) LaunchStats {
 	t := d.start(grid, 0, k)
 	t.finish()
 	stats := LaunchStats{Name: name, Grid: grid, Elapsed: time.Since(start), Count: t.total}
+	d.putTask(t)
 	d.prof.record(stats)
 	if tr := d.tracer.Load(); tr.Enabled() {
 		ev := telemetry.Event{Name: name, Cat: "launch", TS: tr.Stamp(start), Dur: stats.Elapsed}
@@ -328,7 +413,9 @@ func (d *Device) Launch(name string, grid Grid, k KernelFunc) LaunchStats {
 // launch's wall-clock time proportional to the CPU time its sections
 // consumed across all groups, so kernel-breakdown experiments (Fig. 4)
 // see the same per-phase attribution as with separate launches. The
-// returned slice holds the per-phase stats in phase order.
+// returned slice holds the per-phase stats in phase order; it is backed
+// by recycled launch state and only valid until a later launch on this
+// device — copy it to retain it.
 func (d *Device) LaunchFused(phases []string, grid Grid, k KernelFunc) []LaunchStats {
 	if len(phases) == 0 {
 		panic("device: LaunchFused requires at least one phase name")
@@ -342,7 +429,7 @@ func (d *Device) LaunchFused(phases []string, grid Grid, k KernelFunc) []LaunchS
 	for _, pt := range t.phaseTimes {
 		busy += pt
 	}
-	out := make([]LaunchStats, len(phases))
+	out := t.statsBuf
 	var attributed time.Duration
 	for i, name := range phases {
 		share := wall / time.Duration(len(phases))
@@ -372,5 +459,6 @@ func (d *Device) LaunchFused(phases []string, grid Grid, k KernelFunc) []LaunchS
 		}
 		tr.RecordBatch(evs)
 	}
+	d.putTask(t)
 	return out
 }

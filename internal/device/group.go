@@ -26,6 +26,18 @@ type Ctx interface {
 	// inner bodies (a sorting network's compare-exchange stage, a scan's
 	// tree level) avoid an indirect call per lane on the simulation host.
 	StepSpan(fn func(lo, hi int))
+	// StepVec executes one barrier-delimited step over the lane range as
+	// contiguous row spans of structure-of-arrays columns: fn receives a
+	// half-open row range [lo, hi) and must process exactly those rows of
+	// every column it touches, writing no row outside the range. Unlike
+	// StepSpan — whose body is a hoisted per-lane loop — a StepVec body
+	// operates on whole spans (block RNG fills, fused per-dimension
+	// arithmetic), which is what lets the compiler keep the inner loops
+	// bounds-check-free and auto-vectorizable. A device may partition the
+	// lane range and invoke fn several times with disjoint sub-ranges;
+	// correctness must not depend on receiving [0, Lanes()) in one call.
+	// The barrier and accounting cost equals Step's.
+	StepVec(fn func(lo, hi int))
 	// Ops accounts n arithmetic operations (for the cost model).
 	Ops(n int)
 	// GlobalRead / GlobalWrite account off-chip memory traffic in bytes.
@@ -120,9 +132,9 @@ type Group struct {
 	offF64, offInt, offU32 int
 
 	// Scratch arenas (unaccounted temporary space; see Ctx.ScratchF64).
-	scratchF64             []float64
-	scratchInt             []int
-	scrOffF64, scrOffInt   int
+	scratchF64           []float64
+	scratchInt           []int
+	scrOffF64, scrOffInt int
 }
 
 // reset prepares a pooled Group for one kernel execution.
@@ -228,6 +240,15 @@ func (g *Group) Step(fn func(lane int)) {
 // StepSpan executes fn once over the full lane range [0, Lanes()) with a
 // trailing barrier; see Ctx.StepSpan.
 func (g *Group) StepSpan(fn func(lo, hi int)) {
+	fn(0, g.size)
+	g.steps++
+	g.lanes += int64(g.size)
+}
+
+// StepVec executes fn over the group's full row range [0, Lanes()) with a
+// trailing barrier; see Ctx.StepVec. The simulated device hands the body
+// one span per group (real hardware would split it across vector units).
+func (g *Group) StepVec(fn func(lo, hi int)) {
 	fn(0, g.size)
 	g.steps++
 	g.lanes += int64(g.size)
@@ -402,6 +423,9 @@ func (s Serial) Step(fn func(lane int)) {
 
 // StepSpan executes fn once over the full lane range.
 func (s Serial) StepSpan(fn func(lo, hi int)) { fn(0, s.N) }
+
+// StepVec executes fn once over the full row range.
+func (s Serial) StepVec(fn func(lo, hi int)) { fn(0, s.N) }
 
 // Ops is a no-op.
 func (s Serial) Ops(int) {}

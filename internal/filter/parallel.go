@@ -84,7 +84,9 @@ func (f *Parallel) Reset(seed uint64) {
 func (f *Parallel) Step(u, z []float64) Estimate {
 	f.k++
 	state, lw := f.p.RoundFused(u, z, f.k)
-	return Estimate{State: state, LogWeight: lw}
+	// The pipeline reuses its estimate buffer; the Estimate escapes to
+	// the caller, so copy.
+	return Estimate{State: append([]float64(nil), state...), LogWeight: lw}
 }
 
 // Pipeline exposes the kernel pipeline (for the profiler-driven
@@ -133,18 +135,48 @@ func (f *Parallel) RestoreSnapshot(s *ParallelSnapshot) error {
 // StepBatch steps every filter in fs through one round with its own
 // (u, z) inputs, coalescing the per-sub-filter kernels of all filters
 // into shared launches on dev. Every filter must have been built on dev.
-// Results are returned in input order.
+// Results are returned in input order. Long-lived callers (the serve
+// scheduler) should hold a BatchStepper instead: this convenience
+// wrapper rebuilds the batch scratch on every call.
 func StepBatch(dev *device.Device, fs []*Parallel, us, zs [][]float64) ([]Estimate, error) {
+	return NewBatchStepper(dev).StepBatch(fs, us, zs)
+}
+
+// BatchStepper carries the reusable scratch of the batched stepping
+// path: the kernels.Batcher (merged-launch tables and closures) and the
+// BatchRound entries with their estimate buffers. Steady-state batches
+// allocate only the returned estimates. Not safe for concurrent use.
+type BatchStepper struct {
+	batcher *kernels.Batcher
+	entries []kernels.BatchRound
+	batch   []*kernels.BatchRound
+}
+
+// NewBatchStepper returns a stepper for filters built on dev.
+func NewBatchStepper(dev *device.Device) *BatchStepper {
+	return &BatchStepper{batcher: kernels.NewBatcher(dev)}
+}
+
+// StepBatch implements the package-level StepBatch contract with the
+// stepper's reusable scratch.
+func (bs *BatchStepper) StepBatch(fs []*Parallel, us, zs [][]float64) ([]Estimate, error) {
 	if len(fs) != len(us) || len(fs) != len(zs) {
 		return nil, fmt.Errorf("filter: batch length mismatch: %d filters, %d controls, %d measurements",
 			len(fs), len(us), len(zs))
 	}
-	batch := make([]*kernels.BatchRound, len(fs))
+	// Grow before taking entry pointers: append may move the backing
+	// array, and the existing entries carry reusable State buffers.
+	for len(bs.entries) < len(fs) {
+		bs.entries = append(bs.entries, kernels.BatchRound{})
+	}
+	bs.batch = bs.batch[:0]
 	for i, f := range fs {
 		f.k++
-		batch[i] = &kernels.BatchRound{P: f.p, U: us[i], Z: zs[i], K: f.k}
+		e := &bs.entries[i]
+		e.P, e.U, e.Z, e.K = f.p, us[i], zs[i], f.k
+		bs.batch = append(bs.batch, e)
 	}
-	if err := kernels.RoundBatch(dev, batch); err != nil {
+	if err := bs.batcher.Round(bs.batch); err != nil {
 		// Roll the step counters back so a rejected batch is a no-op.
 		for _, f := range fs {
 			f.k--
@@ -152,8 +184,11 @@ func StepBatch(dev *device.Device, fs []*Parallel, us, zs [][]float64) ([]Estima
 		return nil, err
 	}
 	out := make([]Estimate, len(fs))
-	for i, e := range batch {
-		out[i] = Estimate{State: e.State, LogWeight: e.LogW}
+	for i := range fs {
+		e := &bs.entries[i]
+		// The entry's State buffer is reused next batch; the Estimate
+		// escapes to the caller, so copy.
+		out[i] = Estimate{State: append([]float64(nil), e.State...), LogWeight: e.LogW}
 	}
 	return out, nil
 }

@@ -42,71 +42,138 @@ type BatchRound struct {
 // ordered; coalescing two rounds of the same filter would reorder its
 // kernels).
 func RoundBatch(dev *device.Device, batch []*BatchRound) error {
+	return NewBatcher(dev).Round(batch)
+}
+
+// Batcher executes RoundBatch rounds with reusable scratch: the
+// duplicate-detection map, the per-group-size partitions, the merged
+// group tables, and the launch closures all persist across rounds, so a
+// steady-state round performs no heap allocations. The serve scheduler
+// holds one Batcher per device for the lifetime of the server; the
+// one-shot RoundBatch wrapper builds a throwaway one.
+//
+// A Batcher is not safe for concurrent use; like the pipelines it
+// steps, it belongs to a single scheduling goroutine.
+type Batcher struct {
+	dev   *device.Device
+	round int               // current round stamp
+	seen  map[*Pipeline]int // round at which each pipeline was last batched
+	parts map[int]*mergedPart
+	live  []*mergedPart // parts used this round, in first-seen order
+}
+
+// mergedPart is the reusable per-group-size partition: the entries
+// sharing one work-group size, their flattened group table, and the two
+// launch bodies (built once, reading the current tables through the
+// part pointer).
+type mergedPart struct {
+	round    int
+	entries  []*BatchRound
+	groups   []batchSlot
+	fused    func(g *device.Group)
+	resample func(g *device.Group)
+}
+
+// batchSlot maps one merged work-group to (entry index, local sub-filter).
+type batchSlot struct{ e, s int }
+
+// NewBatcher returns a Batcher for pipelines living on dev.
+func NewBatcher(dev *device.Device) *Batcher {
+	return &Batcher{
+		dev:   dev,
+		seen:  make(map[*Pipeline]int),
+		parts: make(map[int]*mergedPart),
+	}
+}
+
+// Round runs one filtering round for every entry; see RoundBatch for
+// the coalescing contract. A failed validation leaves every pipeline
+// unstepped.
+func (b *Batcher) Round(batch []*BatchRound) error {
 	if len(batch) == 0 {
 		return nil
 	}
-	seen := make(map[*Pipeline]bool, len(batch))
-	byM := make(map[int][]*BatchRound)
-	var sizes []int
+	b.round++
+	b.live = b.live[:0]
 	for _, e := range batch {
 		if e == nil || e.P == nil {
 			return fmt.Errorf("kernels: nil batch entry")
 		}
-		if e.P.dev != dev {
+		if e.P.dev != b.dev {
 			return fmt.Errorf("kernels: batched pipeline lives on a different device")
 		}
-		if seen[e.P] {
+		if b.seen[e.P] == b.round {
 			return fmt.Errorf("kernels: pipeline appears twice in one batch")
 		}
-		seen[e.P] = true
+		b.seen[e.P] = b.round
 		m := e.P.cfg.ParticlesPer
-		if byM[m] == nil {
-			sizes = append(sizes, m)
+		p := b.parts[m]
+		if p == nil {
+			p = newMergedPart()
+			b.parts[m] = p
 		}
-		byM[m] = append(byM[m], e)
+		if p.round != b.round {
+			p.round = b.round
+			p.entries = p.entries[:0]
+			b.live = append(b.live, p)
+		}
+		p.entries = append(p.entries, e)
 	}
-	for _, m := range sizes {
-		roundMerged(dev, m, byM[m])
+	for _, p := range b.live {
+		p.run(b.dev)
 	}
 	return nil
 }
 
-// roundMerged runs one round for a set of pipelines sharing work-group
-// size m. The three group-local kernels (rand, sampling, local sort) of
-// all pipelines run as one merged *fused* launch — the batched serving
-// path compounds both optimizations: B·N work-groups share a single grid
-// (one launch instead of B), and the grid runs one fused body instead of
-// three barrier-separated kernels (one launch instead of 3·B).
-func roundMerged(dev *device.Device, m int, part []*BatchRound) {
-	// Flat map from merged group id to (batch entry, local sub-filter).
-	type slot struct{ e, s int }
-	var groups []slot
-	for i, e := range part {
+// newMergedPart builds a partition with its two launch bodies. The
+// closures are allocated here, once, and index the part's current
+// tables on every launch.
+func newMergedPart() *mergedPart {
+	p := &mergedPart{}
+	p.fused = func(g *device.Group) {
+		sl := p.groups[g.ID()]
+		e := p.entries[sl.e]
+		e.P.fusedGroup(g, sl.s, e.U, e.Z, e.K)
+	}
+	p.resample = func(g *device.Group) {
+		sl := p.groups[g.ID()]
+		p.entries[sl.e].P.resampleGroup(g, sl.s)
+	}
+	return p
+}
+
+// run executes one round for the partition's pipelines, all sharing one
+// work-group size. The three group-local kernels (rand, sampling, local
+// sort) of all pipelines run as one merged *fused* launch — the batched
+// serving path compounds both optimizations: B·N work-groups share a
+// single grid (one launch instead of B), and the grid runs one fused
+// body instead of three barrier-separated kernels (one launch instead
+// of 3·B).
+func (p *mergedPart) run(dev *device.Device) {
+	p.groups = p.groups[:0]
+	for i, e := range p.entries {
 		for s := 0; s < e.P.cfg.SubFilters; s++ {
-			groups = append(groups, slot{e: i, s: s})
+			p.groups = append(p.groups, batchSlot{e: i, s: s})
 		}
 	}
-	grid := device.Grid{Groups: len(groups), GroupSize: m}
+	grid := device.Grid{Groups: len(p.groups), GroupSize: p.entries[0].P.cfg.ParticlesPer}
 
-	dev.LaunchFused(fusedPhases, grid, func(g *device.Group) {
-		sl := groups[g.ID()]
-		e := part[sl.e]
-		e.P.fusedGroup(g, sl.s, e.U, e.Z, e.K)
-	})
+	dev.LaunchFused(fusedPhases, grid, p.fused)
 	// No buffer swaps: each pipeline's fused body chains x → x2 → x.
 
 	// Global estimate and particle exchange reduce across a pipeline's
 	// whole sub-filter network; they stay per-pipeline.
-	for _, e := range part {
-		e.State, e.LogW = e.P.KernelEstimate()
+	for _, e := range p.entries {
+		state, lw := e.P.KernelEstimate()
+		// The estimate buffer is pipeline-owned and reused next round;
+		// the batch entry outlives it, so copy.
+		e.State = append(e.State[:0], state...)
+		e.LogW = lw
 		e.P.KernelExchange()
 	}
 
-	dev.Launch("resampling", grid, func(g *device.Group) {
-		sl := groups[g.ID()]
-		part[sl.e].P.resampleGroup(g, sl.s)
-	})
-	for _, e := range part {
-		e.P.x, e.P.x2 = e.P.x2, e.P.x
+	dev.Launch("resampling", grid, p.resample)
+	for _, e := range p.entries {
+		e.P.cur, e.P.nxt = e.P.nxt, e.P.cur
 	}
 }

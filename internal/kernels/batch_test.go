@@ -153,3 +153,45 @@ func TestRestoreRejectsShapeMismatch(t *testing.T) {
 		t.Fatal("shape mismatch accepted")
 	}
 }
+
+// TestRoundBatchSteadyStateAllocs pins the batched serving path's fixed
+// steady-state cost: a persistent Batcher driving reused BatchRound
+// entries performs zero heap allocations per round. This is the
+// regression the Batcher refactor removed — the one-shot RoundBatch
+// wrapper rebuilt its partition maps, group tables, and launch closures
+// on every round, which is pure overhead next to the sequential path
+// (whose rounds are allocation-free) and erased the batched path's win.
+func TestRoundBatchSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates on allocation-free paths")
+	}
+	dev := device.New(device.Config{LocalMemBytes: -1})
+	defer dev.Close()
+	const sessions = 4
+	batcher := kernels.NewBatcher(dev)
+	batch := make([]*kernels.BatchRound, sessions)
+	for i := range batch {
+		batch[i] = &kernels.BatchRound{P: newPipe(t, dev, 4, 32, uint64(i+1))}
+	}
+	k := 0
+	z := []float64{0}
+	round := func() {
+		k++
+		z[0] = float64(k % 7)
+		for _, e := range batch {
+			e.Z = z
+			e.K = k
+		}
+		if err := batcher.Round(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm up: first rounds grow the partition tables and the entries'
+	// State buffers to their steady-state capacities.
+	for i := 0; i < 3; i++ {
+		round()
+	}
+	if allocs := testing.AllocsPerRun(10, round); allocs != 0 {
+		t.Fatalf("steady-state batched round allocates %.1f objects/round, want 0", allocs)
+	}
+}

@@ -1,0 +1,209 @@
+package kernels
+
+import (
+	"bufio"
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"esthera/internal/device"
+	"esthera/internal/exchange"
+	"esthera/internal/model"
+	"esthera/internal/model/arm"
+)
+
+// -update-golden regenerates testdata/golden_fused.txt from the current
+// tree. Only run it on a tree whose output is known-good: the recorded
+// hashes are the bit-exact contract every layout or RNG refactor must
+// preserve.
+var updateGolden = flag.Bool("update-golden", false, "rewrite the pinned fused-round trace hashes")
+
+const goldenFile = "testdata/golden_fused.txt"
+
+// goldenModel builds a fresh instance of one of the pinned models. Every
+// model that ships a vectorized (VecModel) implementation must be listed
+// here so the SoA/vector path stays trace-locked against these pins.
+func goldenModel(t *testing.T, name string) model.Model {
+	t.Helper()
+	switch name {
+	case "ungm":
+		return model.NewUNGM()
+	case "bearings":
+		return model.NewBearings()
+	case "arm":
+		m, _, err := arm.NewScenario(arm.Config{}, arm.DefaultLemniscate())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	t.Fatalf("unknown golden model %q", name)
+	return nil
+}
+
+// goldenTraceHash runs 10 fused rounds with a deterministic synthetic
+// measurement sequence and folds every observable filter output — the
+// per-step estimate, best log-weight, best sub-filter, and the full
+// log-weight and particle buffers — into one FNV-1a 64 hash. Any
+// draw-order, accumulation-order, or layout drift changes the hash.
+func goldenTraceHash(t *testing.T, modelName string, algo Algo, seed uint64) uint64 {
+	t.Helper()
+	mdl := goldenModel(t, modelName)
+	dev := device.New(device.Config{Workers: 4, LocalMemBytes: -1})
+	top, err := exchange.NewTopology(exchange.Ring, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(dev, mdl, Config{
+		SubFilters:    8,
+		ParticlesPer:  16,
+		ExchangeCount: 1,
+		Topology:      top,
+		Resampler:     algo,
+	}, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v float64) {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	u := make([]float64, mdl.ControlDim())
+	z := make([]float64, mdl.MeasurementDim())
+	for k := 1; k <= 10; k++ {
+		for j := range u {
+			u[j] = 0.05 * float64(k+j)
+		}
+		for j := range z {
+			z[j] = 0.3*float64(k) - 0.1*float64(j) - 1
+		}
+		state, lw := p.RoundFused(u, z, k)
+		for _, v := range state {
+			put(v)
+		}
+		put(lw)
+		sub, _ := p.Best()
+		put(float64(sub))
+		for _, v := range p.LogWeights() {
+			put(v)
+		}
+		for _, v := range p.Particles() {
+			put(v)
+		}
+	}
+	return h.Sum64()
+}
+
+func goldenKeys() []string {
+	var keys []string
+	for _, m := range []string{"ungm", "bearings", "arm"} {
+		for _, algo := range []Algo{AlgoRWS, AlgoVose} {
+			for _, seed := range []uint64{1, 2, 3} {
+				keys = append(keys, fmt.Sprintf("%s/%s/seed=%d", m, algo, seed))
+			}
+		}
+	}
+	return keys
+}
+
+func parseGoldenKey(t *testing.T, key string) (modelName string, algo Algo, seed uint64) {
+	t.Helper()
+	parts := strings.Split(key, "/")
+	if len(parts) != 3 {
+		t.Fatalf("malformed golden key %q", key)
+	}
+	algo, err := AlgoByName(parts[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fmt.Sscanf(parts[2], "seed=%d", &seed); err != nil {
+		t.Fatalf("malformed golden key %q: %v", key, err)
+	}
+	return parts[0], algo, seed
+}
+
+func readGoldenPins(t *testing.T) map[string]uint64 {
+	t.Helper()
+	f, err := os.Open(goldenFile)
+	if err != nil {
+		t.Fatalf("no golden pins recorded (run with -update-golden on a known-good tree): %v", err)
+	}
+	defer f.Close()
+	pins := map[string]uint64{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var key string
+		var hash uint64
+		if _, err := fmt.Sscanf(line, "%s %x", &key, &hash); err != nil {
+			t.Fatalf("malformed golden pin line %q: %v", line, err)
+		}
+		pins[key] = hash
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return pins
+}
+
+// TestFusedGoldenPins locks the fused round's output for every model
+// with a vectorized implementation (arm, UNGM, bearings) to hashes
+// recorded before the SoA refactor. Unlike TestFusedRoundBitIdentical —
+// which only compares the fused round against the unfused one and would
+// accept a change that shifted both — these pins are absolute: the
+// refactored pipeline must reproduce the pre-refactor byte stream
+// exactly, seed for seed, for both RWS and Vose resampling.
+func TestFusedGoldenPins(t *testing.T) {
+	keys := goldenKeys()
+	if *updateGolden {
+		var sb strings.Builder
+		sb.WriteString("# Pinned FNV-1a 64 hashes of 10 fused rounds (estimate, best\n")
+		sb.WriteString("# log-weight, best sub-filter, log-weights, particles per step).\n")
+		sb.WriteString("# Regenerate only from a known-good tree: go test -run TestFusedGoldenPins -update-golden ./internal/kernels\n")
+		for _, key := range keys {
+			m, algo, seed := parseGoldenKey(t, key)
+			fmt.Fprintf(&sb, "%s %016x\n", key, goldenTraceHash(t, m, algo, seed))
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenFile), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenFile, []byte(sb.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s with %d pins", goldenFile, len(keys))
+		return
+	}
+	pins := readGoldenPins(t)
+	var missing []string
+	for _, key := range keys {
+		if _, ok := pins[key]; !ok {
+			missing = append(missing, key)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		t.Fatalf("golden pins missing for %v (run -update-golden on a known-good tree)", missing)
+	}
+	for _, key := range keys {
+		key := key
+		t.Run(key, func(t *testing.T) {
+			m, algo, seed := parseGoldenKey(t, key)
+			got := goldenTraceHash(t, m, algo, seed)
+			if got != pins[key] {
+				t.Fatalf("fused-round trace drifted: hash %016x, pinned %016x — the round is no longer bit-identical to the pre-refactor pipeline", got, pins[key])
+			}
+		})
+	}
+}

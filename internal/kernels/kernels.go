@@ -5,7 +5,6 @@ import (
 
 	"esthera/internal/device"
 	"esthera/internal/exchange"
-	"esthera/internal/scan"
 	"esthera/internal/sortnet"
 )
 
@@ -13,9 +12,7 @@ import (
 // refilled from its private stream — the work the paper isolates in a
 // dedicated MTGP kernel so the sampling/resampling kernels stay small.
 func (p *Pipeline) KernelRand() {
-	p.dev.Launch("rand", p.grid(), func(g *device.Group) {
-		p.randGroup(g, g.ID())
-	})
+	p.dev.Launch("rand", p.grid(), p.randBody)
 }
 
 // randGroup is KernelRand's work-group body for sub-filter s. The group
@@ -43,22 +40,22 @@ var fusedPhases = []string{"rand", "sampling", "local sort"}
 
 // fusedGroup runs the three group-local kernel bodies (rand → sample /
 // weight → local sort) back to back for sub-filter s, as one fused kernel
-// execution. The phases only touch the sub-filter's own slice of global
+// execution. The phases only touch the sub-filter's own columns of global
 // memory and its private random stream, so the launch boundaries the
 // unfused path places between them are pure synchronization overhead —
 // only the barrier *after* local sort is load-bearing (estimate and
-// exchange read across groups). Buffers chain explicitly (x → x2 → x), so
-// the fused round needs no double-buffer swaps for these phases and ends
-// in the same buffer state as the unfused sequence of launches + swaps;
-// per-phase RNG consumption order is untouched, keeping results
+// exchange read across groups). Buffers chain explicitly (cur → nxt →
+// cur), so the fused round needs no double-buffer swaps for these phases
+// and ends in the same buffer state as the unfused sequence of launches +
+// swaps; per-phase RNG consumption order is untouched, keeping results
 // bit-identical.
 func (p *Pipeline) fusedGroup(g *device.Group, s int, u, z []float64, k int) {
 	g.Phase(0)
 	p.randGroup(g, s)
 	g.Phase(1)
-	p.sampleGroup(g, s, u, z, k, p.x, p.x2)
+	p.sampleGroup(g, s, u, z, k, p.cur, p.nxt)
 	g.Phase(2)
-	p.sortGroup(g, s, p.x2, p.x)
+	p.sortGroup(g, s, p.nxt, p.cur)
 }
 
 // KernelSampleWeight is kernel 2 (§VI-B): propagate every particle
@@ -67,27 +64,43 @@ func (p *Pipeline) fusedGroup(g *device.Group, s int, u, z []float64, k int) {
 // weighting are fused in one kernel, as in the paper ("we can combine
 // sampling and importance weight calculation in one kernel").
 func (p *Pipeline) KernelSampleWeight(u, z []float64, k int) {
-	p.dev.Launch("sampling", p.grid(), func(g *device.Group) {
-		p.sampleGroup(g, g.ID(), u, z, k, p.x, p.x2)
-	})
-	p.x, p.x2 = p.x2, p.x
+	p.curU, p.curZ, p.curK = u, z, k
+	p.dev.Launch("sampling", p.grid(), p.sampleBody)
+	p.cur, p.nxt = p.nxt, p.cur
 }
 
 // sampleGroup is KernelSampleWeight's work-group body for sub-filter s,
-// reading particle states from xin and writing propagated states to
+// reading particle columns from xin and writing propagated columns to
 // xout. The unfused caller passes the double buffer halves and swaps them
 // after the launch completes; the fused round chains buffers explicitly.
-func (p *Pipeline) sampleGroup(g *device.Group, s int, u, z []float64, k int, xin, xout []float64) {
+//
+// The body is vectorized: one StepVec span hands the sub-filter's whole
+// row range to the model's StepVec/LogLikelihoodVec, which stream
+// unit-stride over the SoA columns. Draw order is preserved — the scalar
+// path interleaves Step(lane)/LogLikelihood(lane), but LogLikelihood
+// draws nothing, so all Step draws in ascending lane order replay the
+// identical stream (the model.VecModel contract).
+func (p *Pipeline) sampleGroup(g *device.Group, s int, u, z []float64, k int, xin, xout *soaBuf) {
 	m := p.cfg.ParticlesPer
 	dim := p.dim
+	vm := p.vms[s]
 	r := p.rands[s]
-	base := s * m * dim
-	g.StepSpan(func(lo, hi int) {
-		for lane := lo; lane < hi; lane++ {
-			src := xin[base+lane*dim : base+(lane+1)*dim]
-			dst := xout[base+lane*dim : base+(lane+1)*dim]
-			p.mdl.Step(dst, src, u, k, r)
-			p.logw[s*m+lane] += p.mdl.LogLikelihood(dst, z)
+	src := xin.sub[s]
+	dst := xout.sub[s]
+	vs, vd := p.vsrc[s], p.vdst[s]
+	lws := p.logw[s*m : (s+1)*m : (s+1)*m]
+	lls := p.ll[s*m : (s+1)*m : (s+1)*m]
+	g.StepVec(func(lo, hi int) {
+		for c := 0; c < dim; c++ {
+			vs[c] = src[c][lo:hi:hi]
+			vd[c] = dst[c][lo:hi:hi]
+		}
+		vm.StepVec(vd, vs, u, k, r)
+		ll := lls[lo:hi:hi]
+		vm.LogLikelihoodVec(ll, vd, z)
+		lw := lws[lo:hi:hi]
+		for i := range lw {
+			lw[i] += ll[i]
 		}
 	})
 	g.GlobalRead(8 * dim * m)
@@ -108,45 +121,55 @@ func (p *Pipeline) sampleGroup(g *device.Group, s int, u, z []float64, k int, xi
 // reordered by the index array using non-contiguous reads and contiguous
 // writes, the access pattern the paper prefers.
 func (p *Pipeline) KernelSortLocal() {
-	p.dev.Launch("local sort", p.grid(), func(g *device.Group) {
-		p.sortGroup(g, g.ID(), p.x, p.x2)
-	})
-	p.x, p.x2 = p.x2, p.x
+	p.dev.Launch("local sort", p.grid(), p.sortBody)
+	p.cur, p.nxt = p.nxt, p.cur
 }
 
 // sortGroup is KernelSortLocal's work-group body for sub-filter s,
-// reading the particle payload from xin and writing the weight-sorted
-// payload to xout. The unfused caller passes the double buffer halves and
+// reading the particle columns from xin and writing the weight-sorted
+// columns to xout. The unfused caller passes the double buffer halves and
 // swaps them after the launch; the fused round chains buffers explicitly.
-func (p *Pipeline) sortGroup(g *device.Group, s int, xin, xout []float64) {
+func (p *Pipeline) sortGroup(g *device.Group, s int, xin, xout *soaBuf) {
 	m := p.cfg.ParticlesPer
 	dim := p.dim
-	base := s * m * dim
+	src := xin.sub[s]
+	dst := xout.sub[s]
+	lws := p.logw[s*m : (s+1)*m : (s+1)*m]
 	keys := g.AllocLocalF64(m)
 	idx := g.AllocLocalInt(m)
-	g.StepSpan(func(lo, hi int) {
-		for lane := lo; lane < hi; lane++ {
-			keys[lane] = p.logw[s*m+lane]
-			idx[lane] = lane
+	g.StepVec(func(lo, hi int) {
+		k := keys[lo:hi:hi]
+		ix := idx[lo:hi:hi]
+		lw := lws[lo:hi:hi]
+		for i := range k {
+			k[i] = lw[i]
+			ix[i] = lo + i
 		}
 	})
 	g.GlobalRead(8 * m)
 	g.LocalWrite(12 * m)
-	sortnet.SortDescending(g, keys, idx)
-	// Apply the permutation: payload gather (non-contiguous reads,
-	// contiguous writes), then write back sorted weights.
-	g.StepSpan(func(lo, hi int) {
-		for lane := lo; lane < hi; lane++ {
-			src := idx[lane]
-			copy(xout[base+lane*dim:base+(lane+1)*dim], xin[base+src*dim:base+(src+1)*dim])
+	p.sorts[s].SortDescending(g, keys, idx)
+	// Apply the permutation column by column: payload gather
+	// (non-contiguous reads, contiguous unit-stride writes), then write
+	// back sorted weights.
+	g.StepVec(func(lo, hi int) {
+		ix := idx[lo:hi:hi]
+		for c := 0; c < dim; c++ {
+			sc := src[c]
+			dc := dst[c][lo:hi:hi]
+			for i := range dc {
+				dc[i] = sc[ix[i]]
+			}
 		}
 	})
 	g.LocalRead(4 * m)
 	g.GlobalRead(8 * dim * m)
 	g.GlobalWrite(8 * dim * m)
-	g.StepSpan(func(lo, hi int) {
-		for lane := lo; lane < hi; lane++ {
-			p.logw[s*m+lane] = keys[lane]
+	g.StepVec(func(lo, hi int) {
+		lw := lws[lo:hi:hi]
+		k := keys[lo:hi:hi]
+		for i := range lw {
+			lw[i] = k[i]
 		}
 	})
 	g.LocalRead(8 * m)
@@ -159,7 +182,8 @@ func (p *Pipeline) sortGroup(g *device.Group, s int, xin, xout []float64) {
 // particle's state is copied out host-side (the only device-to-host
 // traffic besides the measurement upload, per §VI). With
 // Config.MeanEstimate the kernel instead reduces to the globally
-// weight-averaged state.
+// weight-averaged state. The returned slice is the pipeline's reused
+// estimate buffer, overwritten by the next round.
 func (p *Pipeline) KernelEstimate() ([]float64, float64) {
 	p.observeRound()
 	if p.cfg.MeanEstimate {
@@ -168,30 +192,41 @@ func (p *Pipeline) KernelEstimate() ([]float64, float64) {
 	return p.kernelEstimateMax()
 }
 
-// kernelEstimateMax reduces to the max-weight particle.
-func (p *Pipeline) kernelEstimateMax() ([]float64, float64) {
-	m := p.cfg.ParticlesPer
-	N := p.cfg.SubFilters
-	lanes := N
+// estGrid is the single-group reduction launch shape over the N block
+// heads.
+func (p *Pipeline) estGrid() device.Grid {
+	lanes := p.cfg.SubFilters
 	if lanes > 256 {
 		lanes = 256
 	}
+	return device.Grid{Groups: 1, GroupSize: lanes}
+}
+
+// estHeadGroup loads the N sorted block-head log-weights and reduces to
+// the index of the global best, leaving it in p.estBest.
+func (p *Pipeline) estHeadGroup(g *device.Group) {
+	m := p.cfg.ParticlesPer
+	N := p.cfg.SubFilters
 	heads := p.heads
-	best := 0
-	p.dev.Launch("global estimate", device.Grid{Groups: 1, GroupSize: lanes}, func(g *device.Group) {
-		g.StepSpan(func(lo, hi int) {
-			for i := 0; i < N; i++ {
-				heads[i] = p.logw[i*m]
-			}
-		})
-		g.GlobalRead(8 * N)
-		g.LocalWrite(8 * N)
-		best = scan.MaxIndex(g, heads)
+	g.StepSpan(func(lo, hi int) {
+		for i := 0; i < N; i++ {
+			heads[i] = p.logw[i*m]
+		}
 	})
-	p.bestSub, p.bestLW = best, heads[best]
-	out := make([]float64, p.dim)
-	base := best * m * p.dim
-	copy(out, p.x[base:base+p.dim])
+	g.GlobalRead(8 * N)
+	g.LocalWrite(8 * N)
+	p.estBest = p.estScan.MaxIndex(g, heads)
+}
+
+// kernelEstimateMax reduces to the max-weight particle.
+func (p *Pipeline) kernelEstimateMax() ([]float64, float64) {
+	p.dev.Launch("global estimate", p.estGrid(), p.estHeadBody)
+	best := p.estBest
+	p.bestSub, p.bestLW = best, p.heads[best]
+	out := p.estState
+	for d, col := range p.cur.sub[best] {
+		out[d] = col[0]
+	}
 	return out, p.bestLW
 }
 
@@ -201,73 +236,35 @@ func (p *Pipeline) kernelEstimateMax() ([]float64, float64) {
 // each sub-filter's weighted partial sums, and the host combines the N
 // partials.
 func (p *Pipeline) kernelEstimateMean() ([]float64, float64) {
-	m := p.cfg.ParticlesPer
 	N := p.cfg.SubFilters
 	dim := p.dim
 
 	// Launch A: global max over the sorted block heads.
-	lanes := N
-	if lanes > 256 {
-		lanes = 256
-	}
-	heads := p.heads
-	best := 0
-	p.dev.Launch("global estimate", device.Grid{Groups: 1, GroupSize: lanes}, func(g *device.Group) {
-		g.StepSpan(func(lo, hi int) {
-			for i := 0; i < N; i++ {
-				heads[i] = p.logw[i*m]
-			}
-		})
-		g.GlobalRead(8 * N)
-		g.LocalWrite(8 * N)
-		best = scan.MaxIndex(g, heads)
-	})
-	maxLW := heads[best]
+	p.dev.Launch("global estimate", p.estGrid(), p.estHeadBody)
+	best := p.estBest
+	maxLW := p.heads[best]
 	p.bestSub, p.bestLW = best, maxLW
+	out := p.estState
 	if math.IsInf(maxLW, -1) || math.IsNaN(maxLW) {
-		out := make([]float64, dim)
-		base := best * m * dim
-		copy(out, p.x[base:base+dim])
+		for d, col := range p.cur.sub[best] {
+			out[d] = col[0]
+		}
 		return out, maxLW
 	}
 
 	// Launch B: per-sub-filter partial weighted sums (Σw·x per dim, then
 	// Σw), accumulated into the pipeline's reusable scratch.
+	p.estMaxLW = maxLW
 	partial := p.partial
 	for i := range partial {
 		partial[i] = 0
 	}
-	p.dev.Launch("global estimate", p.grid(), func(g *device.Group) {
-		s := g.ID()
-		base := s * m * dim
-		wsum := g.AllocLocalF64(m)
-		g.StepSpan(func(lo, hi int) {
-			for lane := lo; lane < hi; lane++ {
-				wsum[lane] = math.Exp(p.logw[s*m+lane] - maxLW)
-			}
-		})
-		g.Ops(m)
-		g.GlobalRead(8 * m)
-		g.LocalWrite(8 * m)
-		// Lane 0 accumulates the block (a real kernel would tree-reduce;
-		// the ops are counted either way).
-		g.StepOne(func() {
-			out := partial[s*(dim+1) : (s+1)*(dim+1)]
-			for i := 0; i < m; i++ {
-				w := wsum[i]
-				for d := 0; d < dim; d++ {
-					out[d] += w * p.x[base+i*dim+d]
-				}
-				out[dim] += w
-			}
-			g.Ops(2 * dim * m)
-			g.GlobalRead(8 * dim * m)
-			g.GlobalWrite(8 * (dim + 1))
-		})
-	})
+	p.dev.Launch("global estimate", p.grid(), p.estMeanBody)
 
 	// Host-side final combine over N partials (the last reduction round).
-	out := make([]float64, dim)
+	for d := range out {
+		out[d] = 0
+	}
 	total := 0.0
 	for s := 0; s < N; s++ {
 		part := partial[s*(dim+1) : (s+1)*(dim+1)]
@@ -284,6 +281,52 @@ func (p *Pipeline) kernelEstimateMean() ([]float64, float64) {
 	return out, maxLW
 }
 
+// estMeanGroup is the per-sub-filter body of the weighted-average
+// estimate's second launch: exponentiate the block's log-weights against
+// the global max, then accumulate Σw·x per dimension and Σw. The
+// accumulation runs column-major over the SoA storage; each partial sum
+// still receives its additions in ascending particle order, so the float
+// results are bit-identical to the row-major traversal.
+func (p *Pipeline) estMeanGroup(g *device.Group, s int) {
+	m := p.cfg.ParticlesPer
+	dim := p.dim
+	maxLW := p.estMaxLW
+	cols := p.cur.sub[s]
+	lws := p.logw[s*m : (s+1)*m : (s+1)*m]
+	wsum := g.AllocLocalF64(m)
+	g.StepVec(func(lo, hi int) {
+		w := wsum[lo:hi:hi]
+		lw := lws[lo:hi:hi]
+		for i := range w {
+			w[i] = math.Exp(lw[i] - maxLW)
+		}
+	})
+	g.Ops(m)
+	g.GlobalRead(8 * m)
+	g.LocalWrite(8 * m)
+	// Lane 0 accumulates the block (a real kernel would tree-reduce;
+	// the ops are counted either way).
+	g.StepOne(func() {
+		out := p.partial[s*(dim+1) : (s+1)*(dim+1)]
+		for d := 0; d < dim; d++ {
+			col := cols[d]
+			acc := out[d]
+			for i := 0; i < m; i++ {
+				acc += wsum[i] * col[i]
+			}
+			out[d] = acc
+		}
+		wacc := out[dim]
+		for i := 0; i < m; i++ {
+			wacc += wsum[i]
+		}
+		out[dim] = wacc
+		g.Ops(2 * dim * m)
+		g.GlobalRead(8 * dim * m)
+		g.GlobalWrite(8 * (dim + 1))
+	})
+}
+
 // KernelExchange is kernel 5 (§VI-E). Two launches realize the paper's
 // scheme: first every sub-filter publishes its best t particles (plus
 // their weights) to its outbox in global memory; after the launch
@@ -292,101 +335,128 @@ func (p *Pipeline) kernelEstimateMean() ([]float64, float64) {
 // selection launch that picks the globally best t of the pooled
 // contributions, which every sub-filter then reads back — the "same t
 // best particles" semantics that Fig. 6 shows destroys diversity.
+//
+// Outbox records stay AoS (dim+1 contiguous floats per particle): they
+// are the wire format the shard/cluster layers ship between processes,
+// so the SoA storage is packed/unpacked at this boundary.
 func (p *Pipeline) KernelExchange() {
 	t := p.cfg.ExchangeCount
 	if t == 0 || p.cfg.SubFilters == 1 || p.cfg.Topology.Scheme() == exchange.None {
 		return
 	}
-	m := p.cfg.ParticlesPer
-	dim := p.dim
-	stride := dim + 1
 
 	// Launch A: publish top-t.
-	p.dev.Launch("exchange", p.grid(), func(g *device.Group) {
-		s := g.ID()
-		base := s * m * dim
-		g.StepSpan(func(lo, hi int) {
-			for lane := lo; lane < hi && lane < t; lane++ {
-				rec := p.outbox[(s*t+lane)*stride : (s*t+lane+1)*stride]
-				copy(rec[:dim], p.x[base+lane*dim:base+(lane+1)*dim])
-				rec[dim] = p.logw[s*m+lane]
-			}
-		})
-		g.GlobalRead(8 * stride * t)
-		g.GlobalWrite(8 * stride * t)
-	})
+	p.dev.Launch("exchange", p.grid(), p.exchPubBody)
 
 	if p.cfg.Topology.Scheme() == exchange.AllToAll {
-		p.exchangeAllToAll()
+		p.dev.Launch("exchange", p.poolGrid(), p.exchPoolBody)
+		copy(p.poolSel, p.poolIdx[:t])
+		p.dev.Launch("exchange", p.grid(), p.exchBcastBody)
 		return
 	}
 
 	// Launch B: pull from neighbors into the worst slots.
-	p.dev.Launch("exchange", p.grid(), func(g *device.Group) {
-		s := g.ID()
-		base := s * m * dim
-		var nbuf []int
-		g.StepOne(func() { nbuf = p.nbrs[s] })
-		incoming := len(nbuf) * t
-		g.StepSpan(func(lo, hi int) {
-			for lane := lo; lane < hi && lane < incoming; lane++ {
-				q := nbuf[lane/t]
-				i := lane % t
-				slot := m - incoming + lane
-				rec := p.outbox[(q*t+i)*stride : (q*t+i+1)*stride]
-				copy(p.x[base+slot*dim:base+(slot+1)*dim], rec[:dim])
-				p.logw[s*m+slot] = rec[dim]
-			}
-		})
-		g.GlobalRead(8 * stride * incoming)
-		g.GlobalWrite(8 * stride * incoming)
-	})
+	p.dev.Launch("exchange", p.grid(), p.exchPullBody)
 }
 
-// exchangeAllToAll selects the globally best t pooled particles in one
-// device sort and broadcasts them into every sub-filter's worst slots.
-func (p *Pipeline) exchangeAllToAll() {
+// exchPublishGroup stages sub-filter s's top-t particles (which sit in
+// slots 0..t-1 after the local sort) into its outbox records.
+func (p *Pipeline) exchPublishGroup(g *device.Group, s int) {
 	t := p.cfg.ExchangeCount
-	N := p.cfg.SubFilters
 	m := p.cfg.ParticlesPer
 	dim := p.dim
 	stride := dim + 1
+	cols := p.cur.sub[s]
+	g.StepSpan(func(lo, hi int) {
+		for lane := lo; lane < hi && lane < t; lane++ {
+			rec := p.outbox[(s*t+lane)*stride : (s*t+lane+1)*stride]
+			for d := 0; d < dim; d++ {
+				rec[d] = cols[d][lane]
+			}
+			rec[dim] = p.logw[s*m+lane]
+		}
+	})
+	g.GlobalRead(8 * stride * t)
+	g.GlobalWrite(8 * stride * t)
+}
 
-	pool := N * t
-	lanes := pool
+// exchPullGroup pulls the neighbors' outbox records into sub-filter s's
+// worst slots.
+func (p *Pipeline) exchPullGroup(g *device.Group, s int) {
+	t := p.cfg.ExchangeCount
+	m := p.cfg.ParticlesPer
+	dim := p.dim
+	stride := dim + 1
+	cols := p.cur.sub[s]
+	var nbuf []int
+	g.StepOne(func() { nbuf = p.nbrs[s] })
+	incoming := len(nbuf) * t
+	g.StepSpan(func(lo, hi int) {
+		for lane := lo; lane < hi && lane < incoming; lane++ {
+			q := nbuf[lane/t]
+			i := lane % t
+			slot := m - incoming + lane
+			rec := p.outbox[(q*t+i)*stride : (q*t+i+1)*stride]
+			for d := 0; d < dim; d++ {
+				cols[d][slot] = rec[d]
+			}
+			p.logw[s*m+slot] = rec[dim]
+		}
+	})
+	g.GlobalRead(8 * stride * incoming)
+	g.GlobalWrite(8 * stride * incoming)
+}
+
+// poolGrid is the all-to-all selection launch shape over the N·t pooled
+// records.
+func (p *Pipeline) poolGrid() device.Grid {
+	lanes := p.cfg.SubFilters * p.cfg.ExchangeCount
 	if lanes > 512 {
 		lanes = 512
 	}
-	keys := make([]float64, pool)
-	idx := make([]int, pool)
-	p.dev.Launch("exchange", device.Grid{Groups: 1, GroupSize: lanes}, func(g *device.Group) {
-		g.StepSpan(func(lo, hi int) {
-			for i := 0; i < pool; i++ {
-				keys[i] = p.outbox[i*stride+dim]
-				idx[i] = i
-			}
-		})
-		g.GlobalRead(8 * pool)
-		g.LocalWrite(12 * pool)
-		sortnet.SortDescending(g, keys, idx)
-	})
-	copy(p.poolSel, idx[:t])
+	return device.Grid{Groups: 1, GroupSize: lanes}
+}
 
-	p.dev.Launch("exchange", p.grid(), func(g *device.Group) {
-		s := g.ID()
-		base := s * m * dim
-		g.StepSpan(func(lo, hi int) {
-			for lane := lo; lane < hi && lane < t; lane++ {
-				src := p.poolSel[lane]
-				slot := m - t + lane
-				rec := p.outbox[src*stride : (src+1)*stride]
-				copy(p.x[base+slot*dim:base+(slot+1)*dim], rec[:dim])
-				p.logw[s*m+slot] = rec[dim]
-			}
-		})
-		g.GlobalRead(8 * stride * t)
-		g.GlobalWrite(8 * stride * t)
+// exchPoolGroup sorts the pooled outbox records by weight, leaving the
+// descending permutation in p.poolIdx.
+func (p *Pipeline) exchPoolGroup(g *device.Group) {
+	dim := p.dim
+	stride := dim + 1
+	pool := p.cfg.SubFilters * p.cfg.ExchangeCount
+	keys := p.poolKeys
+	idx := p.poolIdx
+	g.StepSpan(func(lo, hi int) {
+		for i := 0; i < pool; i++ {
+			keys[i] = p.outbox[i*stride+dim]
+			idx[i] = i
+		}
 	})
+	g.GlobalRead(8 * pool)
+	g.LocalWrite(12 * pool)
+	p.poolSort.SortDescending(g, keys, idx)
+}
+
+// exchBroadcastGroup copies the globally selected top-t records into
+// sub-filter s's worst slots.
+func (p *Pipeline) exchBroadcastGroup(g *device.Group, s int) {
+	t := p.cfg.ExchangeCount
+	m := p.cfg.ParticlesPer
+	dim := p.dim
+	stride := dim + 1
+	cols := p.cur.sub[s]
+	g.StepSpan(func(lo, hi int) {
+		for lane := lo; lane < hi && lane < t; lane++ {
+			src := p.poolSel[lane]
+			slot := m - t + lane
+			rec := p.outbox[src*stride : (src+1)*stride]
+			for d := 0; d < dim; d++ {
+				cols[d][slot] = rec[d]
+			}
+			p.logw[s*m+slot] = rec[dim]
+		}
+	})
+	g.GlobalRead(8 * stride * t)
+	g.GlobalWrite(8 * stride * t)
 }
 
 // KernelResample is kernel 6 (§VI-F): per-sub-filter local resampling.
@@ -397,10 +467,8 @@ func (p *Pipeline) exchangeAllToAll() {
 // gathered with non-contiguous reads and contiguous writes, and weights
 // reset.
 func (p *Pipeline) KernelResample() {
-	p.dev.Launch("resampling", p.grid(), func(g *device.Group) {
-		p.resampleGroup(g, g.ID())
-	})
-	p.x, p.x2 = p.x2, p.x
+	p.dev.Launch("resampling", p.grid(), p.resampleBody)
+	p.cur, p.nxt = p.nxt, p.cur
 }
 
 // resampleGroup is KernelResample's work-group body for sub-filter s.
@@ -408,28 +476,36 @@ func (p *Pipeline) KernelResample() {
 func (p *Pipeline) resampleGroup(g *device.Group, s int) {
 	m := p.cfg.ParticlesPer
 	dim := p.dim
-	base := s * m * dim
+	src := p.cur.sub[s]
+	dst := p.nxt.sub[s]
 	r := p.rands[s]
+	lws := p.logw[s*m : (s+1)*m : (s+1)*m]
 
 	// Local linear weights, stabilized by the local max (slot 0
 	// holds the max log-weight after sorting; after an exchange a
 	// received particle may beat it, so reduce properly).
 	w := g.AllocLocalF64(m)
-	g.StepSpan(func(lo, hi int) {
-		for lane := lo; lane < hi; lane++ {
-			w[lane] = p.logw[s*m+lane]
+	g.StepVec(func(lo, hi int) {
+		wl := w[lo:hi:hi]
+		lw := lws[lo:hi:hi]
+		for i := range wl {
+			wl[i] = lw[i]
 		}
 	})
 	g.GlobalRead(8 * m)
 	g.LocalWrite(8 * m)
-	maxIdx := scan.MaxIndex(g, w)
+	maxIdx := p.scans[s].MaxIndex(g, w)
 	maxLW := w[maxIdx]
-	g.StepSpan(func(lo, hi int) {
-		for lane := lo; lane < hi; lane++ {
-			if math.IsInf(maxLW, -1) || math.IsNaN(maxLW) {
-				w[lane] = 1
-			} else {
-				w[lane] = math.Exp(w[lane] - maxLW)
+	degenerate := math.IsInf(maxLW, -1) || math.IsNaN(maxLW)
+	g.StepVec(func(lo, hi int) {
+		wl := w[lo:hi:hi]
+		if degenerate {
+			for i := range wl {
+				wl[i] = 1
+			}
+		} else {
+			for i := range wl {
+				wl[i] = math.Exp(wl[i] - maxLW)
 			}
 		}
 	})
@@ -450,9 +526,9 @@ func (p *Pipeline) resampleGroup(g *device.Group, s int) {
 	if !resampled {
 		// Keep the population; copy through so the double buffer
 		// stays coherent.
-		g.StepSpan(func(lo, hi int) {
-			for lane := lo; lane < hi; lane++ {
-				copy(p.x2[base+lane*dim:base+(lane+1)*dim], p.x[base+lane*dim:base+(lane+1)*dim])
+		g.StepVec(func(lo, hi int) {
+			for c := 0; c < dim; c++ {
+				copy(dst[c][lo:hi], src[c][lo:hi])
 			}
 		})
 		g.GlobalRead(8 * dim * m)
@@ -470,12 +546,19 @@ func (p *Pipeline) resampleGroup(g *device.Group, s int) {
 		p.rwsSelect(g, w, sel, s)
 	}
 
-	// Gather survivors and reset weights.
-	g.StepSpan(func(lo, hi int) {
-		for lane := lo; lane < hi; lane++ {
-			src := sel[lane]
-			copy(p.x2[base+lane*dim:base+(lane+1)*dim], p.x[base+src*dim:base+(src+1)*dim])
-			p.logw[s*m+lane] = 0
+	// Gather survivors column by column and reset weights.
+	g.StepVec(func(lo, hi int) {
+		ix := sel[lo:hi:hi]
+		for c := 0; c < dim; c++ {
+			sc := src[c]
+			dc := dst[c][lo:hi:hi]
+			for i := range dc {
+				dc[i] = sc[ix[i]]
+			}
+		}
+		lw := lws[lo:hi:hi]
+		for i := range lw {
+			lw[i] = 0
 		}
 	})
 	g.LocalRead(4 * m)
@@ -488,18 +571,21 @@ func (p *Pipeline) rwsSelect(g *device.Group, w []float64, sel []int, s int) {
 	m := len(w)
 	r := p.rands[s]
 	cdf := g.AllocLocalF64(m)
-	g.StepSpan(func(lo, hi int) {
-		for lane := lo; lane < hi; lane++ {
-			cdf[lane] = w[lane]
+	g.StepVec(func(lo, hi int) {
+		c := cdf[lo:hi:hi]
+		wl := w[lo:hi:hi]
+		for i := range c {
+			c[i] = wl[i]
 		}
 	})
 	g.LocalRead(8 * m)
 	g.LocalWrite(8 * m)
-	total := scan.Exclusive(g, cdf) // exclusive prefix sums + total
+	total := p.scans[s].Exclusive(g, cdf) // exclusive prefix sums + total
 	if !(total > 0) {
-		g.StepSpan(func(lo, hi int) {
-			for lane := lo; lane < hi; lane++ {
-				sel[lane] = lane
+		g.StepVec(func(lo, hi int) {
+			ix := sel[lo:hi:hi]
+			for i := range ix {
+				ix[i] = lo + i
 			}
 		})
 		return
@@ -508,28 +594,77 @@ func (p *Pipeline) rwsSelect(g *device.Group, w []float64, sel []int, s int) {
 	// deterministic order, so draw them in a dedicated phase first.
 	us := g.AllocLocalF64(m)
 	g.StepOne(func() {
+		r.FillUniforms(us)
 		for i := range us {
-			us[i] = r.Float64() * total
+			us[i] *= total
 		}
 		g.Ops(m)
 	})
 	// Search depth is data-dependent, so each lane tallies its own
 	// iteration count in a lane-indexed scratch slot; the host sums them
 	// after the barrier (identical totals, no cross-lane writes).
+	//
+	// The searches compare order-preserving integer images of the cdf
+	// and the draws (sortnet.KeyImages) instead of the floats: integer
+	// comparisons compile to conditional moves, removing the
+	// ~50%-mispredicted branch per search level. The selected indices
+	// and per-lane iteration counts are identical.
+	icdf := g.ScratchInt(m)
+	sortnet.KeyImages(icdf, cdf)
 	laneIters := g.ScratchInt(m)
 	g.StepSpan(func(spanLo, spanHi int) {
-		for lane := spanLo; lane < spanHi; lane++ {
-			u := us[lane]
+		lane := spanLo
+		if m&(m-1) == 0 {
+			// For power-of-two m the halving recurrence visits interval
+			// [lo, lo+2·step-1] with mid = lo+step for step = m/2, m/4,
+			// …, 1 — a stride descent with exactly log2(m) levels per
+			// lane. The levels form a serial load→compare chain, so four
+			// lanes run interleaved to overlap their chains.
+			for ; lane+4 <= spanHi; lane += 4 {
+				iu0 := sortnet.KeyImage(us[lane])
+				iu1 := sortnet.KeyImage(us[lane+1])
+				iu2 := sortnet.KeyImage(us[lane+2])
+				iu3 := sortnet.KeyImage(us[lane+3])
+				lo0, lo1, lo2, lo3 := 0, 0, 0, 0
+				n := 0
+				for step := m >> 1; step > 0; step >>= 1 {
+					// The flag-then-multiply form compiles to setcc
+					// (branchless); `if { lo += step }` does not.
+					s0, s1, s2, s3 := 0, 0, 0, 0
+					if icdf[lo0+step] <= iu0 {
+						s0 = 1
+					}
+					if icdf[lo1+step] <= iu1 {
+						s1 = 1
+					}
+					if icdf[lo2+step] <= iu2 {
+						s2 = 1
+					}
+					if icdf[lo3+step] <= iu3 {
+						s3 = 1
+					}
+					lo0 += s0 * step
+					lo1 += s1 * step
+					lo2 += s2 * step
+					lo3 += s3 * step
+					n++
+				}
+				sel[lane], sel[lane+1], sel[lane+2], sel[lane+3] = lo0, lo1, lo2, lo3
+				laneIters[lane], laneIters[lane+1], laneIters[lane+2], laneIters[lane+3] = n, n, n, n
+			}
+		}
+		for ; lane < spanHi; lane++ {
+			iu := sortnet.KeyImage(us[lane])
 			// Largest index with cdf[idx] <= u (cdf is exclusive sums).
 			lo, hi := 0, m-1
 			n := 0
 			for lo < hi {
-				mid := (lo + hi + 1) / 2
-				if cdf[mid] <= u {
-					lo = mid
-				} else {
-					hi = mid - 1
+				mid := int(uint(lo+hi+1) >> 1)
+				nlo, nhi := mid, hi
+				if icdf[mid] > iu {
+					nlo, nhi = lo, mid-1
 				}
+				lo, hi = nlo, nhi
 				n++
 			}
 			sel[lane] = lo
@@ -553,18 +688,21 @@ func (p *Pipeline) systematicSelect(g *device.Group, w []float64, sel []int, s i
 	m := len(w)
 	r := p.rands[s]
 	cdf := g.AllocLocalF64(m)
-	g.StepSpan(func(lo, hi int) {
-		for lane := lo; lane < hi; lane++ {
-			cdf[lane] = w[lane]
+	g.StepVec(func(lo, hi int) {
+		c := cdf[lo:hi:hi]
+		wl := w[lo:hi:hi]
+		for i := range c {
+			c[i] = wl[i]
 		}
 	})
 	g.LocalRead(8 * m)
 	g.LocalWrite(8 * m)
-	total := scan.Exclusive(g, cdf)
+	total := p.scans[s].Exclusive(g, cdf)
 	if !(total > 0) {
-		g.StepSpan(func(lo, hi int) {
-			for lane := lo; lane < hi; lane++ {
-				sel[lane] = lane
+		g.StepVec(func(lo, hi int) {
+			ix := sel[lo:hi:hi]
+			for i := range ix {
+				ix[i] = lo + i
 			}
 		})
 		return
@@ -628,9 +766,10 @@ func (p *Pipeline) voseSelect(g *device.Group, w []float64, sel []int, s int) {
 		g.Ops(m)
 	})
 	if !(total > 0) {
-		g.StepSpan(func(lo, hi int) {
-			for lane := lo; lane < hi; lane++ {
-				sel[lane] = lane
+		g.StepVec(func(lo, hi int) {
+			ix := sel[lo:hi:hi]
+			for i := range ix {
+				ix[i] = lo + i
 			}
 		})
 		return
@@ -696,9 +835,7 @@ func (p *Pipeline) voseSelect(g *device.Group, w []float64, sel []int, s int) {
 	// Draws: two uniforms per lane, pre-drawn in deterministic order.
 	us := g.AllocLocalF64(2 * m)
 	g.StepOne(func() {
-		for i := range us {
-			us[i] = r.Float64()
-		}
+		r.FillUniforms(us)
 		g.Ops(2 * m)
 	})
 	g.StepSpan(func(lo, hi int) {

@@ -83,6 +83,7 @@ func TestSortKernelOrdersEveryBlock(t *testing.T) {
 	for i := range lw {
 		x[i] = lw[i]
 	}
+	p.SetParticles(x)
 	p.KernelSortLocal()
 	lw = p.LogWeights()
 	x = p.Particles()
@@ -112,6 +113,7 @@ func TestEstimateKernelPicksGlobalBest(t *testing.T) {
 	lw[11*8] = 100
 	x := p.Particles()
 	x[11*8] = 123.456
+	p.SetParticles(x)
 	state, best := p.KernelEstimate()
 	if best != 100 {
 		t.Fatalf("best log-weight %v, want 100", best)
@@ -137,6 +139,7 @@ func TestExchangeRingMovesBestToNeighborsWorstSlots(t *testing.T) {
 			x[s*m+i] = float64(1000*s + i)
 		}
 	}
+	p.SetParticles(x)
 	p.KernelExchange()
 	lw = p.LogWeights()
 	x = p.Particles()
@@ -170,6 +173,7 @@ func TestExchangeAllToAllBroadcastsGlobalBest(t *testing.T) {
 			x[s*m+i] = float64(1000*s + i)
 		}
 	}
+	p.SetParticles(x)
 	p.KernelExchange()
 	lw = p.LogWeights()
 	x = p.Particles()
@@ -209,6 +213,7 @@ func TestResampleKernelResetsWeightsAndConcentrates(t *testing.T) {
 			}
 			lw[s*64+5] = 0
 		}
+		p.SetParticles(x)
 		p.KernelResample()
 		lw = p.LogWeights()
 		x = p.Particles()
@@ -241,6 +246,7 @@ func TestResampleKernelProportions(t *testing.T) {
 				x[i] = 1
 			}
 		}
+		p.SetParticles(x)
 		p.KernelResample()
 		ones := 0
 		for _, v := range p.Particles() {
@@ -263,6 +269,7 @@ func TestResamplePolicyNeverKeepsPopulation(t *testing.T) {
 		lw[i] = float64(i)
 		x[i] = float64(i)
 	}
+	p.SetParticles(x)
 	p.KernelResample()
 	for i, v := range p.Particles() {
 		if v != float64(i) {
@@ -325,6 +332,7 @@ func TestMeanEstimateKernel(t *testing.T) {
 		x[i] = float64(i)
 		want += float64(i)
 	}
+	p.SetParticles(x)
 	want /= float64(len(x))
 	state, _ := p.KernelEstimate()
 	if math.Abs(state[0]-want) > 1e-9 {

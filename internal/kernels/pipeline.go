@@ -12,10 +12,16 @@
 // One work-group processes one sub-filter and one lane one particle,
 // exactly the paper's mapping ("each GPGPU thread processes one particle
 // and each work group one sub-filter"). Particle state is stored in
-// global memory in AoS layout (§VI: SoA "will not result in efficient
-// transfers" for >16-byte particles); weights and sort indices live in
-// local memory during sorting; and reorderings prefer non-contiguous
-// reads over non-contiguous writes, as the paper prescribes.
+// global memory as structure-of-arrays columns — dim contiguous
+// per-dimension arrays — so the vectorized lane kernels (device.Ctx.
+// StepVec + model.VecModel) stream unit-stride over each dimension; the
+// paper's AoS-preference argument (§VI) is about PCIe transfer
+// granularity, which does not apply to this host-resident substrate,
+// and every external surface (exchange records, checkpoints, the
+// Particles accessor) still speaks AoS, packed at the boundary. Weights
+// and sort indices live in local memory during sorting; reorderings
+// prefer non-contiguous reads over non-contiguous writes, as the paper
+// prescribes.
 package kernels
 
 import (
@@ -27,6 +33,8 @@ import (
 	"esthera/internal/model"
 	"esthera/internal/resample"
 	"esthera/internal/rng"
+	"esthera/internal/scan"
+	"esthera/internal/sortnet"
 	"esthera/internal/telemetry"
 )
 
@@ -96,20 +104,61 @@ type Config struct {
 	MeanEstimate bool
 }
 
+// soaBuf holds one generation of the particle population in
+// structure-of-arrays layout: one contiguous arena of dim·N·m floats cut
+// into dim columns of N·m rows each, plus per-sub-filter column views.
+// Row i of column c is dimension c of particle i; sub[s][c] is column c
+// restricted to sub-filter s's m rows. All views alias the arena, so
+// packing/unpacking the AoS boundary format touches only the arena.
+type soaBuf struct {
+	arena []float64
+	cols  [][]float64   // dim columns, each N·m rows
+	sub   [][][]float64 // sub[s][c] = cols[c][s*m : (s+1)*m]
+}
+
+func newSoaBuf(dim, groups, m int) *soaBuf {
+	nm := groups * m
+	b := &soaBuf{
+		arena: make([]float64, dim*nm),
+		cols:  make([][]float64, dim),
+		sub:   make([][][]float64, groups),
+	}
+	for c := range b.cols {
+		b.cols[c] = b.arena[c*nm : (c+1)*nm : (c+1)*nm]
+	}
+	for s := range b.sub {
+		b.sub[s] = make([][]float64, dim)
+		for c := range b.cols {
+			b.sub[s][c] = b.cols[c][s*m : (s+1)*m : (s+1)*m]
+		}
+	}
+	return b
+}
+
 // Pipeline owns the device-resident state of a parallel distributed
 // filter and launches the kernels. It is created by New and driven by
 // Round; the filter layer (internal/filter.Parallel) wraps it.
+//
+// Steady-state rounds are allocation-free: particle storage is double
+// buffered and swapped by pointer, every launch body and barrier-phased
+// primitive is bound once at construction, and the estimate kernel
+// returns a buffer owned by the pipeline (valid until the next round —
+// callers that retain it must copy).
 type Pipeline struct {
 	dev *device.Device
 	mdl model.Model
 	cfg Config
 	dim int
 
-	// Global-memory buffers.
-	x, x2   []float64 // N·m·dim particle state, AoS, double buffered
-	logw    []float64 // N·m accumulated log-weights
-	outbox  []float64 // N·t·(dim+1) staged top-t particles (+ log-weight)
-	poolSel []int     // t selected pool entries (all-to-all)
+	// Global-memory buffers. Particle state is SoA double buffered
+	// (cur holds the current generation; kernels write nxt and the
+	// caller swaps); weights and the exchange outbox keep their flat
+	// layouts — outbox records are AoS (dim+1 floats per particle), the
+	// wire format the shard/cluster layers reflect.
+	cur, nxt *soaBuf
+	logw     []float64 // N·m accumulated log-weights
+	outbox   []float64 // N·t·(dim+1) staged top-t particles (+ log-weight)
+	poolSel  []int     // t selected pool entries (all-to-all)
 
 	// Per-sub-filter random streams: a block Buffer refilled by the rand
 	// kernel (the paper's dedicated PRNG kernel) and consumed by the
@@ -117,9 +166,27 @@ type Pipeline struct {
 	bufs  []*rng.Buffer
 	rands []*rng.Rand
 
-	// Host-side scratch reused across rounds by the estimate kernels.
-	heads   []float64 // N sorted block-head log-weights
-	partial []float64 // N·(dim+1) weighted partial sums
+	// Per-sub-filter vectorized model views. Native VecModels are
+	// stateless and shared; the generic adapter carries scratch, so each
+	// work-group gets its own instance.
+	vms []model.VecModel
+
+	// Host-side scratch reused across rounds.
+	ll         []float64     // N·m per-round log-likelihoods
+	vsrc, vdst [][][]float64 // per-sub-filter span views handed to VecModels
+	heads      []float64     // N sorted block-head log-weights
+	partial    []float64     // N·(dim+1) weighted partial sums
+	estState   []float64     // dim estimate output, reused every round
+	poolKeys   []float64     // N·t all-to-all pool sort keys
+	poolIdx    []int         // N·t all-to-all pool sort permutation
+
+	// Pre-bound barrier-phased primitives (one per sub-filter: groups
+	// execute concurrently; plus dedicated instances for the single-group
+	// estimate and all-to-all pool launches).
+	scans    []*scan.Plan
+	sorts    []*sortnet.Net
+	estScan  *scan.Plan
+	poolSort *sortnet.Net
 
 	// nbrs caches the static topology's neighbor lists so the exchange
 	// kernel does not recompute (and reallocate) them every round.
@@ -127,6 +194,18 @@ type Pipeline struct {
 
 	bestSub int
 	bestLW  float64
+
+	// Launch bodies, bound once in New. The per-round inputs they read
+	// (curU, curZ, curK, estMaxLW, estBest) are plain fields: launches
+	// are synchronous, so writing them between launches is race-free.
+	curU, curZ []float64
+	curK       int
+	estBest    int
+	estMaxLW   float64
+
+	fusedBody, randBody, sampleBody, sortBody, resampleBody device.KernelFunc
+	estHeadBody, estMeanBody                                device.KernelFunc
+	exchPubBody, exchPullBody, exchPoolBody, exchBcastBody  device.KernelFunc
 
 	// Observability state (see telemetry.go): an optional span tracer,
 	// a stride-gated filter-health sample, and the per-sub-filter
@@ -176,23 +255,63 @@ func New(dev *device.Device, mdl model.Model, cfg Config, seed uint64) (*Pipelin
 			cfg.ExchangeCount, cfg.ParticlesPer)
 	}
 	p := &Pipeline{dev: dev, mdl: mdl, cfg: cfg, dim: mdl.StateDim()}
-	n := cfg.SubFilters * cfg.ParticlesPer
-	p.x = make([]float64, n*p.dim)
-	p.x2 = make([]float64, n*p.dim)
+	N, m := cfg.SubFilters, cfg.ParticlesPer
+	n := N * m
+	p.cur = newSoaBuf(p.dim, N, m)
+	p.nxt = newSoaBuf(p.dim, N, m)
 	p.logw = make([]float64, n)
-	p.outbox = make([]float64, cfg.SubFilters*cfg.ExchangeCount*(p.dim+1))
+	p.outbox = make([]float64, N*cfg.ExchangeCount*(p.dim+1))
 	p.poolSel = make([]int, cfg.ExchangeCount)
-	p.heads = make([]float64, cfg.SubFilters)
-	p.partial = make([]float64, cfg.SubFilters*(p.dim+1))
-	p.bufs = make([]*rng.Buffer, cfg.SubFilters)
-	p.rands = make([]*rng.Rand, cfg.SubFilters)
-	p.resampleFlags = make([]uint8, cfg.SubFilters)
-	p.nbrs = make([][]int, cfg.SubFilters)
-	for s := range p.nbrs {
+	p.heads = make([]float64, N)
+	p.partial = make([]float64, N*(p.dim+1))
+	p.estState = make([]float64, p.dim)
+	p.poolKeys = make([]float64, N*cfg.ExchangeCount)
+	p.poolIdx = make([]int, N*cfg.ExchangeCount)
+	p.ll = make([]float64, n)
+	p.vsrc = make([][][]float64, N)
+	p.vdst = make([][][]float64, N)
+	p.bufs = make([]*rng.Buffer, N)
+	p.rands = make([]*rng.Rand, N)
+	p.vms = make([]model.VecModel, N)
+	p.scans = make([]*scan.Plan, N)
+	p.sorts = make([]*sortnet.Net, N)
+	p.resampleFlags = make([]uint8, N)
+	p.nbrs = make([][]int, N)
+	for s := 0; s < N; s++ {
+		p.vsrc[s] = make([][]float64, p.dim)
+		p.vdst[s] = make([][]float64, p.dim)
+		p.vms[s] = model.Vectorize(mdl)
+		p.scans[s] = scan.NewPlan()
+		p.sorts[s] = sortnet.NewNet()
 		p.nbrs[s] = cfg.Topology.Neighbors(nil, s)
 	}
+	p.estScan = scan.NewPlan()
+	p.poolSort = sortnet.NewNet()
+	p.bindBodies()
 	p.Reset(seed)
 	return p, nil
+}
+
+// bindBodies creates every launch body once, so steady-state rounds do
+// not allocate closures (a body handed to Device.Launch escapes into the
+// launch task; the tiny per-phase closures inside the group bodies are
+// called through concrete *device.Group methods and stay on the stack).
+func (p *Pipeline) bindBodies() {
+	p.randBody = func(g *device.Group) { p.randGroup(g, g.ID()) }
+	p.fusedBody = func(g *device.Group) {
+		p.fusedGroup(g, g.ID(), p.curU, p.curZ, p.curK)
+	}
+	p.sampleBody = func(g *device.Group) {
+		p.sampleGroup(g, g.ID(), p.curU, p.curZ, p.curK, p.cur, p.nxt)
+	}
+	p.sortBody = func(g *device.Group) { p.sortGroup(g, g.ID(), p.cur, p.nxt) }
+	p.resampleBody = func(g *device.Group) { p.resampleGroup(g, g.ID()) }
+	p.estHeadBody = func(g *device.Group) { p.estHeadGroup(g) }
+	p.estMeanBody = func(g *device.Group) { p.estMeanGroup(g, g.ID()) }
+	p.exchPubBody = func(g *device.Group) { p.exchPublishGroup(g, g.ID()) }
+	p.exchPullBody = func(g *device.Group) { p.exchPullGroup(g, g.ID()) }
+	p.exchPoolBody = func(g *device.Group) { p.exchPoolGroup(g) }
+	p.exchBcastBody = func(g *device.Group) { p.exchBroadcastGroup(g, g.ID()) }
 }
 
 // Reset reseeds every stream and redraws the particle population from the
@@ -212,10 +331,7 @@ func (p *Pipeline) Reset(seed uint64) {
 		p.rands[s] = rng.New(p.bufs[s])
 	}
 	for s := 0; s < p.cfg.SubFilters; s++ {
-		base := s * p.cfg.ParticlesPer * p.dim
-		for i := 0; i < p.cfg.ParticlesPer; i++ {
-			p.mdl.InitParticle(p.x[base+i*p.dim:base+(i+1)*p.dim], p.rands[s])
-		}
+		p.vms[s].InitVec(p.cur.sub[s], p.rands[s])
 	}
 	for i := range p.logw {
 		p.logw[i] = 0
@@ -241,9 +357,10 @@ func (p *Pipeline) grid() device.Grid {
 
 // Round runs one full filtering round (all six kernels) for control u,
 // measurement z, step index k, and returns the global best particle's
-// state (copied) and log-weight. Each kernel is issued as its own global
-// launch, exactly as in the paper's baseline; RoundFused is the faster,
-// bit-identical alternative.
+// state and log-weight. Each kernel is issued as its own global launch,
+// exactly as in the paper's baseline; RoundFused is the faster,
+// bit-identical alternative. The returned state slice is owned by the
+// pipeline and overwritten by the next round — copy it to retain it.
 func (p *Pipeline) Round(u, z []float64, k int) ([]float64, float64) {
 	sp := p.tracer.Begin("filter", "round").Arg("k", int64(k))
 	p.KernelRand()
@@ -267,13 +384,13 @@ func (p *Pipeline) Round(u, z []float64, k int) ([]float64, float64) {
 // RoundFused consumes the per-sub-filter random streams in exactly the
 // same order as Round and is bit-identical to it (asserted by the
 // golden-trace tests); the profiler still sees per-phase entries under
-// the same kernel names.
+// the same kernel names. The returned state slice is owned by the
+// pipeline and overwritten by the next round — copy it to retain it.
 func (p *Pipeline) RoundFused(u, z []float64, k int) ([]float64, float64) {
 	sp := p.tracer.Begin("filter", "round").Arg("k", int64(k))
-	p.dev.LaunchFused(fusedPhases, p.grid(), func(g *device.Group) {
-		p.fusedGroup(g, g.ID(), u, z, k)
-	})
-	// No buffer swap: the fused body chains x → x2 → x, leaving the
+	p.curU, p.curZ, p.curK = u, z, k
+	p.dev.LaunchFused(fusedPhases, p.grid(), p.fusedBody)
+	// No buffer swap: the fused body chains cur → nxt → cur, leaving the
 	// buffers exactly where Round's two swaps would.
 	best, lw := p.KernelEstimate()
 	p.KernelExchange()
@@ -285,8 +402,62 @@ func (p *Pipeline) RoundFused(u, z []float64, k int) ([]float64, float64) {
 // Best returns the sub-filter index and log-weight of the last estimate.
 func (p *Pipeline) Best() (sub int, logw float64) { return p.bestSub, p.bestLW }
 
-// Particles exposes the current particle buffer (N·m·dim) for tests.
-func (p *Pipeline) Particles() []float64 { return p.x }
+// Particles returns a copy of the current particle population in AoS
+// layout (N·m rows of dim floats — the boundary format shared with
+// checkpoints and exchange records). Mutations do not affect the
+// pipeline; use SetParticles to write a population back.
+func (p *Pipeline) Particles() []float64 {
+	out := make([]float64, len(p.cur.arena))
+	p.packInto(out)
+	return out
+}
+
+// SetParticles overwrites the particle population from an AoS buffer of
+// the shape Particles returns. It panics if the length does not match.
+func (p *Pipeline) SetParticles(aos []float64) {
+	if len(aos) != len(p.cur.arena) {
+		panic(fmt.Sprintf("kernels: SetParticles length %d != %d", len(aos), len(p.cur.arena)))
+	}
+	p.unpackFrom(aos)
+}
+
+// packInto writes the current population into dst in AoS row-major order
+// (particle-major, dimension-minor — the historical flat layout).
+func (p *Pipeline) packInto(dst []float64) {
+	dim := p.dim
+	for c, col := range p.cur.cols {
+		for i, v := range col {
+			dst[i*dim+c] = v
+		}
+	}
+}
+
+// unpackFrom scatters an AoS buffer into the current SoA columns.
+func (p *Pipeline) unpackFrom(src []float64) {
+	dim := p.dim
+	for c, col := range p.cur.cols {
+		for i := range col {
+			col[i] = src[i*dim+c]
+		}
+	}
+}
+
+// ReadParticle copies particle slot of sub-filter sub into dst (dim
+// floats). It is the random-access read the cluster exchange layer uses
+// in place of aliasing a flat buffer.
+func (p *Pipeline) ReadParticle(sub, slot int, dst []float64) {
+	for d, col := range p.cur.sub[sub] {
+		dst[d] = col[slot]
+	}
+}
+
+// WriteParticle overwrites particle slot of sub-filter sub from src (dim
+// floats).
+func (p *Pipeline) WriteParticle(sub, slot int, src []float64) {
+	for d, col := range p.cur.sub[sub] {
+		col[slot] = src[d]
+	}
+}
 
 // LogWeights exposes the current log-weight buffer for tests.
 func (p *Pipeline) LogWeights() []float64 { return p.logw }

@@ -1,0 +1,8 @@
+//go:build race
+
+package kernels_test
+
+// raceEnabled reports whether the race detector is active. Allocation
+// pins are skipped under race: the detector's instrumentation allocates
+// on paths that are allocation-free in a normal build.
+const raceEnabled = true

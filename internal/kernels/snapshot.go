@@ -33,7 +33,7 @@ func (p *Pipeline) Snapshot() *Snapshot {
 		SubFilters:   p.cfg.SubFilters,
 		ParticlesPer: p.cfg.ParticlesPer,
 		Dim:          p.dim,
-		X:            append([]float64(nil), p.x...),
+		X:            p.Particles(),
 		LogW:         append([]float64(nil), p.logw...),
 		BestSub:      p.bestSub,
 		BestLW:       p.bestLW,
@@ -56,9 +56,9 @@ func (p *Pipeline) Restore(s *Snapshot) error {
 		return fmt.Errorf("kernels: snapshot shape %d×%d (dim %d) does not match pipeline %d×%d (dim %d)",
 			s.SubFilters, s.ParticlesPer, s.Dim, p.cfg.SubFilters, p.cfg.ParticlesPer, p.dim)
 	}
-	if len(s.X) != len(p.x) || len(s.LogW) != len(p.logw) {
+	if len(s.X) != len(p.cur.arena) || len(s.LogW) != len(p.logw) {
 		return fmt.Errorf("kernels: snapshot buffers %d/%d do not match pipeline %d/%d",
-			len(s.X), len(s.LogW), len(p.x), len(p.logw))
+			len(s.X), len(s.LogW), len(p.cur.arena), len(p.logw))
 	}
 	if len(s.Rands) != len(p.rands) {
 		return fmt.Errorf("kernels: snapshot has %d streams, pipeline %d", len(s.Rands), len(p.rands))
@@ -80,7 +80,7 @@ func (p *Pipeline) Restore(s *Snapshot) error {
 			return fmt.Errorf("kernels: stream %d: %w", i, err)
 		}
 	}
-	copy(p.x, s.X)
+	p.unpackFrom(s.X)
 	copy(p.logw, s.LogW)
 	p.bestSub, p.bestLW = s.BestSub, s.BestLW
 	return nil

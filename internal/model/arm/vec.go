@@ -1,0 +1,132 @@
+package arm
+
+import (
+	"math"
+
+	"esthera/internal/model"
+	"esthera/internal/rng"
+)
+
+// The vectorized methods below process whole row spans over SoA columns.
+// Per-row draw order matches the scalar methods exactly: Step and
+// InitParticle each consume StateDim normals per row (J joint draws, two
+// position draws, two velocity draws — the draw index equals the state
+// index), so one row-major Normals block replays the scalar stream and
+// the columns can then be filled in any order.
+
+// StepVec implements model.VecModel.
+func (m *Model) StepVec(dst, src [][]float64, u []float64, _ int, r *rng.Rand) {
+	j := m.cfg.Joints
+	nd := j + 4
+	n := len(dst[0])
+	zs := r.Normals(nd * n)[: nd*n : nd*n]
+	h := m.cfg.Hs
+	sTheta := m.cfg.SigmaThetaRate * h
+	for c := 0; c < j; c++ {
+		ui := 0.0
+		if c < len(u) {
+			ui = u[c]
+		}
+		hui := h * ui
+		d := dst[c][:n:n]
+		s := src[c][:n]
+		for i := range d {
+			d[i] = s[i] + hui + sTheta*zs[i*nd+c]
+		}
+	}
+	sp, sv := m.cfg.SigmaPos, m.cfg.SigmaVel
+	dj, dj1 := dst[j][:n:n], dst[j+1][:n:n]
+	dj2, dj3 := dst[j+2][:n:n], dst[j+3][:n:n]
+	sj, sj1 := src[j][:n], src[j+1][:n]
+	sj2, sj3 := src[j+2][:n], src[j+3][:n]
+	for i := range dj {
+		b := i * nd
+		dj[i] = sj[i] + h*sj2[i] + sp*zs[b+j]
+		dj1[i] = sj1[i] + h*sj3[i] + sp*zs[b+j+1]
+		dj2[i] = sj2[i] + sv*zs[b+j+2]
+		dj3[i] = sj3[i] + sv*zs[b+j+3]
+	}
+	if m.cfg.SinglePrecision {
+		for c := 0; c < nd; c++ {
+			d := dst[c][:n:n]
+			for i := range d {
+				d[i] = float64(float32(d[i]))
+			}
+		}
+	}
+}
+
+// LogLikelihoodVec implements model.VecModel. The camera projection is
+// inherently per-row (forward kinematics through transcendentals), so the
+// win here is hoisting the channel-noise logarithms and skipping the
+// per-particle interface dispatch; joint angles are gathered into a small
+// stack buffer for CameraProject.
+func (m *Model) LogLikelihoodVec(ll []float64, x [][]float64, z []float64) {
+	j := m.cfg.Joints
+	n := len(ll)
+	out := ll[:n:n]
+	var buf [16]float64
+	theta := buf[:]
+	if j > len(buf) {
+		theta = make([]float64, j)
+	}
+	theta = theta[:j]
+	sc := m.cfg.SigmaCam
+	st := m.cfg.SigmaThetaMeas
+	logCam := math.Log(sc)
+	logTheta := math.Log(st)
+	halfLog2Pi := 0.5 * math.Log(2*math.Pi)
+	xj, xj1 := x[j][:n], x[j+1][:n]
+	z0, z1 := z[0], z[1]
+	single := m.cfg.SinglePrecision
+	for i := range out {
+		for c := 0; c < j; c++ {
+			theta[c] = x[c][i]
+		}
+		xC, yC := CameraProject(theta, m.linkLen, xj[i], xj1[i])
+		if single {
+			xC = float64(float32(xC))
+			yC = float64(float32(yC))
+		}
+		d0 := (z0 - xC) / sc
+		d1 := (z1 - yC) / sc
+		v := (-0.5*d0*d0 - logCam - halfLog2Pi) + (-0.5*d1*d1 - logCam - halfLog2Pi)
+		for c := 0; c < j; c++ {
+			d := (z[2+c] - theta[c]) / st
+			v += -0.5*d*d - logTheta - halfLog2Pi
+		}
+		if single {
+			v = float64(float32(v))
+		}
+		out[i] = v
+	}
+}
+
+// InitVec implements model.VecModel.
+func (m *Model) InitVec(x [][]float64, r *rng.Rand) {
+	mean := m.initMean()
+	j := m.cfg.Joints
+	nd := j + 4
+	n := len(x[0])
+	zs := r.Normals(nd * n)[: nd*n : nd*n]
+	sigTheta := m.cfg.InitSigmaTheta
+	for c := 0; c < j; c++ {
+		mc := mean[c]
+		col := x[c][:n:n]
+		for i := range col {
+			col[i] = mc + sigTheta*zs[i*nd+c]
+		}
+	}
+	sig := [4]float64{m.cfg.InitSigmaPos, m.cfg.InitSigmaPos, m.cfg.InitSigmaVel, m.cfg.InitSigmaVel}
+	for o := 0; o < 4; o++ {
+		c := j + o
+		mc := mean[c]
+		s := sig[o]
+		col := x[c][:n:n]
+		for i := range col {
+			col[i] = mc + s*zs[i*nd+c]
+		}
+	}
+}
+
+var _ model.VecModel = (*Model)(nil)

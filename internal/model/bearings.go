@@ -188,4 +188,60 @@ func wrapAngle(a float64) float64 {
 	return a
 }
 
-var _ Linearizable = (*Bearings)(nil)
+// StepVec implements VecModel: two acceleration draws per row, consumed
+// row-major exactly as Step draws them.
+func (m *Bearings) StepVec(dst, src [][]float64, _ []float64, _ int, r *rng.Rand) {
+	n := len(dst[0])
+	d0, d1, d2, d3 := dst[0][:n:n], dst[1][:n:n], dst[2][:n:n], dst[3][:n:n]
+	s0, s1, s2, s3 := src[0][:n], src[1][:n], src[2][:n], src[3][:n]
+	zs := r.Normals(2 * n)[: 2*n : 2*n]
+	h := m.Dt
+	hh := 0.5 * h * h
+	sa := m.SigmaA
+	for i := range d0 {
+		ax := sa * zs[2*i]
+		ay := sa * zs[2*i+1]
+		d0[i] = s0[i] + h*s2[i] + hh*ax
+		d1[i] = s1[i] + h*s3[i] + hh*ay
+		d2[i] = s2[i] + h*ax
+		d3[i] = s3[i] + h*ay
+	}
+}
+
+// LogLikelihoodVec implements VecModel with the noise stddev's log and
+// the sensor coordinates hoisted out of the row loop.
+func (m *Bearings) LogLikelihoodVec(ll []float64, x [][]float64, z []float64) {
+	n := len(ll)
+	out := ll[:n:n]
+	x0, x1 := x[0][:n], x[1][:n]
+	sigma := m.SigmaB
+	logSigma := math.Log(sigma)
+	halfLog2Pi := 0.5 * math.Log(2*math.Pi)
+	s0x, s0y := m.Sensors[0][0], m.Sensors[0][1]
+	s1x, s1y := m.Sensors[1][0], m.Sensors[1][1]
+	z0, z1 := z[0], z[1]
+	for i := range out {
+		d0 := wrapAngle(z0-math.Atan2(x1[i]-s0y, x0[i]-s0x)) / sigma
+		d1 := wrapAngle(z1-math.Atan2(x1[i]-s1y, x0[i]-s1x)) / sigma
+		out[i] = (-0.5*d0*d0 - logSigma - halfLog2Pi) + (-0.5*d1*d1 - logSigma - halfLog2Pi)
+	}
+}
+
+// InitVec implements VecModel: four prior draws per row, row-major.
+func (m *Bearings) InitVec(x [][]float64, r *rng.Rand) {
+	n := len(x[0])
+	x0, x1, x2, x3 := x[0][:n:n], x[1][:n:n], x[2][:n:n], x[3][:n:n]
+	zs := r.Normals(4 * n)[: 4*n : 4*n]
+	ps, vs := m.InitPosSigma, m.InitVelSigma
+	for i := range x0 {
+		x0[i] = ps * zs[4*i]
+		x1[i] = 5 + ps*zs[4*i+1]
+		x2[i] = 0.5 + vs*zs[4*i+2]
+		x3[i] = vs * zs[4*i+3]
+	}
+}
+
+var (
+	_ Linearizable = (*Bearings)(nil)
+	_ VecModel     = (*Bearings)(nil)
+)

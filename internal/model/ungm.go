@@ -113,4 +113,49 @@ func (m *UNGM) ProcessCov() *mat.Matrix { return mat.Diag([]float64{m.q()}) }
 // MeasureCov implements Linearizable.
 func (m *UNGM) MeasureCov() *mat.Matrix { return mat.Diag([]float64{m.rv()}) }
 
-var _ Linearizable = (*UNGM)(nil)
+// StepVec implements VecModel. The 8·cos(1.2k) forcing term and the
+// process-noise stddev are loop-invariant and hoisted; the per-row
+// arithmetic matches Step exactly.
+func (m *UNGM) StepVec(dst, src [][]float64, _ []float64, k int, r *rng.Rand) {
+	n := len(dst[0])
+	d0 := dst[0][:n:n]
+	s0 := src[0][:n]
+	zs := r.Normals(n)[:n]
+	c := 8 * math.Cos(1.2*float64(k))
+	sq := math.Sqrt(m.q())
+	for i := range d0 {
+		x := s0[i]
+		d0[i] = x/2 + 25*x/(1+x*x) + c + sq*zs[i]
+	}
+}
+
+// LogLikelihoodVec implements VecModel with the measurement-noise stddev
+// and its log hoisted out of the row loop.
+func (m *UNGM) LogLikelihoodVec(ll []float64, x [][]float64, z []float64) {
+	z0 := z[0]
+	sigma := math.Sqrt(m.rv())
+	logSigma := math.Log(sigma)
+	halfLog2Pi := 0.5 * math.Log(2*math.Pi)
+	n := len(ll)
+	out := ll[:n:n]
+	x0 := x[0][:n]
+	for i := range out {
+		d := (z0 - x0[i]*x0[i]/20) / sigma
+		out[i] = -0.5*d*d - logSigma - halfLog2Pi
+	}
+}
+
+// InitVec implements VecModel.
+func (m *UNGM) InitVec(x [][]float64, r *rng.Rand) {
+	x0 := x[0]
+	sp := math.Sqrt(m.p0())
+	zs := r.Normals(len(x0))
+	for i := range x0 {
+		x0[i] = sp * zs[i]
+	}
+}
+
+var (
+	_ Linearizable = (*UNGM)(nil)
+	_ VecModel     = (*UNGM)(nil)
+)

@@ -1,0 +1,90 @@
+package model
+
+import "esthera/internal/rng"
+
+// VecModel is the optional span-vectorized extension of Model consumed by
+// the SoA kernel path (internal/kernels): instead of one interface
+// dispatch per particle, a VecModel processes a whole row span per call
+// over structure-of-arrays columns.
+//
+// Columns: dst, src, and x are StateDim() slices, one per state
+// dimension, all of one common length n (the span's row count); row i of
+// the span is the particle (dst[0][i], …, dst[dim-1][i]).
+//
+// Bit-exactness contract: a vectorized method must consume random draws
+// in EXACTLY the per-lane order the scalar method does — row 0's draws
+// first, in the scalar method's order, then row 1's, and so on (use
+// rng.Rand's FillNormals/Normals, which preserve scalar draw order) —
+// and must produce bit-identical float64 results for every row. Hoisting
+// loop-invariant values (a cached math.Log(sigma), the 8·cos(1.2k) term)
+// is fine; reassociating per-row arithmetic is not. The golden-trace
+// pins in internal/kernels enforce this for every shipped VecModel.
+type VecModel interface {
+	Model
+	// StepVec samples dst[·][i] ~ p(x_k | x_{k-1}=src[·][i], u) for every
+	// row i, bit-identical to n sequential Step calls on the same Rand.
+	StepVec(dst, src [][]float64, u []float64, k int, r *rng.Rand)
+	// LogLikelihoodVec writes log p(z | x[·][i]) into ll[i] for every row,
+	// bit-identical to n LogLikelihood calls.
+	LogLikelihoodVec(ll []float64, x [][]float64, z []float64)
+	// InitVec samples every row from the prior p(x₀), bit-identical to n
+	// sequential InitParticle calls.
+	InitVec(x [][]float64, r *rng.Rand)
+}
+
+// Vectorize returns a span-vectorized view of m: m itself when it
+// implements VecModel natively, else a generic per-lane adapter. The
+// adapter gathers each row into scratch vectors and calls the scalar
+// methods, so it is draw-order and bit-exactness neutral by construction
+// — but it carries per-call scratch and is NOT safe for concurrent use;
+// create one per work-group (native VecModels are stateless and shared).
+func Vectorize(m Model) VecModel {
+	if vm, ok := m.(VecModel); ok {
+		return vm
+	}
+	d := m.StateDim()
+	return &vecAdapter{Model: m, dst: make([]float64, d), src: make([]float64, d)}
+}
+
+type vecAdapter struct {
+	Model
+	dst, src []float64
+}
+
+func (a *vecAdapter) StepVec(dst, src [][]float64, u []float64, k int, r *rng.Rand) {
+	if len(dst) == 0 {
+		return
+	}
+	n := len(dst[0])
+	for i := 0; i < n; i++ {
+		for c := range src {
+			a.src[c] = src[c][i]
+		}
+		a.Model.Step(a.dst, a.src, u, k, r)
+		for c := range dst {
+			dst[c][i] = a.dst[c]
+		}
+	}
+}
+
+func (a *vecAdapter) LogLikelihoodVec(ll []float64, x [][]float64, z []float64) {
+	for i := range ll {
+		for c := range x {
+			a.src[c] = x[c][i]
+		}
+		ll[i] = a.Model.LogLikelihood(a.src, z)
+	}
+}
+
+func (a *vecAdapter) InitVec(x [][]float64, r *rng.Rand) {
+	if len(x) == 0 {
+		return
+	}
+	n := len(x[0])
+	for i := 0; i < n; i++ {
+		a.Model.InitParticle(a.dst, r)
+		for c := range x {
+			x[c][i] = a.dst[c]
+		}
+	}
+}

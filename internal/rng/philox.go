@@ -58,19 +58,17 @@ func (p *Philox4x32) SetCounter(c0, c1, c2, c3 uint32) {
 // private) so the device kernels can generate numbers positionally.
 func Round4x32(key [2]uint32, ctr [4]uint32) [4]uint32 {
 	k0, k1 := key[0], key[1]
+	// The counter words live in scalars so the ten rounds stay in
+	// registers instead of round-tripping through an array temporary.
+	c0, c1, c2, c3 := ctr[0], ctr[1], ctr[2], ctr[3]
 	for round := 0; round < 10; round++ {
-		hi0, lo0 := mul32(philoxM0, ctr[0])
-		hi1, lo1 := mul32(philoxM1, ctr[2])
-		ctr = [4]uint32{
-			hi1 ^ ctr[1] ^ k0,
-			lo1,
-			hi0 ^ ctr[3] ^ k1,
-			lo0,
-		}
+		hi0, lo0 := mul32(philoxM0, c0)
+		hi1, lo1 := mul32(philoxM1, c2)
+		c0, c1, c2, c3 = hi1^c1^k0, lo1, hi0^c3^k1, lo0
 		k0 += philoxW0
 		k1 += philoxW1
 	}
-	return ctr
+	return [4]uint32{c0, c1, c2, c3}
 }
 
 // refill produces the next 4-word block and advances the counter.
@@ -103,9 +101,29 @@ func (p *Philox4x32) Uint64() uint64 {
 	return hi<<32 | lo
 }
 
-// Block fills dst with consecutive outputs, satisfying BlockSource.
+// Block fills dst with consecutive outputs, satisfying BlockSource. The
+// stream is identical to len(dst) Uint32 calls: buffered leftovers are
+// drained first, whole 4-word blocks are then generated straight into
+// dst (skipping the internal buffer and its per-word bookkeeping), and
+// any tail goes through Uint32 so the leftover state matches.
 func (p *Philox4x32) Block(dst []uint32) {
-	for i := range dst {
+	i := 0
+	for p.n > 0 && i < len(dst) {
+		dst[i] = p.buf[4-p.n]
+		p.n--
+		i++
+	}
+	for ; i+4 <= len(dst); i += 4 {
+		b := Round4x32(p.key, p.ctr)
+		for w := 0; w < 4; w++ {
+			p.ctr[w]++
+			if p.ctr[w] != 0 {
+				break
+			}
+		}
+		dst[i], dst[i+1], dst[i+2], dst[i+3] = b[0], b[1], b[2], b[3]
+	}
+	for ; i < len(dst); i++ {
 		dst[i] = p.Uint32()
 	}
 }

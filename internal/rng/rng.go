@@ -74,6 +74,11 @@ type Rand struct {
 	// Box-Muller. Box-Muller is the default because it is what the paper
 	// used on top of MTGP.
 	useZiggurat bool
+
+	// Reusable scratch for the block-draw API (Normals/Uniforms); not
+	// part of the serialized state.
+	normScratch []float64
+	unifScratch []float64
 }
 
 // Source returns the underlying raw stream.

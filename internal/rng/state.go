@@ -135,8 +135,12 @@ func (g *MTGP) RestoreState(st State) error {
 // SaveState implements Stateful: the read position followed by the whole
 // buffered block, with the fallback stream as a sub-state. The block must
 // be captured verbatim — it was generated before the fallback's saved
-// position, so it cannot be regenerated from the sub-state alone.
+// position, so it cannot be regenerated from the sub-state alone. Lazy
+// materialization is forced to completion first, so the saved bytes (and
+// the fallback's saved position) are exactly what eager generation would
+// have produced.
 func (b *Buffer) SaveState() State {
+	b.materializeTo(len(b.bits))
 	w := make([]uint32, 0, len(b.bits)+1)
 	w = append(w, uint32(b.pos))
 	w = append(w, b.bits...)
@@ -172,6 +176,7 @@ func (b *Buffer) RestoreState(st State) error {
 	}
 	copy(b.bits, st.Words[1:])
 	b.pos = pos
+	b.gen = len(b.bits) // the restored block is fully materialized
 	return nil
 }
 

@@ -1,0 +1,98 @@
+package scan
+
+import (
+	"math"
+	"testing"
+
+	"esthera/internal/device"
+	"esthera/internal/rng"
+)
+
+// TestPlanMatchesPackageFunctions checks the stateful Plan against the
+// package-level primitives bit for bit: same buffers, same seeds, same
+// lane counts. The Plan exists to make repeated invocations on hot kernel
+// paths allocation-free; its results must be indistinguishable.
+func TestPlanMatchesPackageFunctions(t *testing.T) {
+	r := rng.New(rng.NewPhilox(11))
+	pl := NewPlan()
+	for _, n := range []int{1, 2, 3, 7, 8, 16, 100, 128, 513, 1000} {
+		src := make([]float64, n)
+		for i := range src {
+			src[i] = r.Float64() - 0.3
+		}
+
+		a := append([]float64(nil), src...)
+		b := append([]float64(nil), src...)
+		wantTotal := Exclusive(device.Serial{N: n}, a)
+		gotTotal := pl.Exclusive(device.Serial{N: n}, b)
+		if math.Float64bits(wantTotal) != math.Float64bits(gotTotal) {
+			t.Fatalf("n=%d: Exclusive total %v, plan %v", n, wantTotal, gotTotal)
+		}
+		for i := range a {
+			if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+				t.Fatalf("n=%d: Exclusive[%d] %v, plan %v", n, i, a[i], b[i])
+			}
+		}
+
+		if want, got := MaxIndex(device.Serial{N: n}, src), pl.MaxIndex(device.Serial{N: n}, src); want != got {
+			t.Fatalf("n=%d: MaxIndex %d, plan %d", n, want, got)
+		}
+		want := SumTree(device.Serial{N: n}, src)
+		got := pl.SumTree(device.Serial{N: n}, src)
+		if math.Float64bits(want) != math.Float64bits(got) {
+			t.Fatalf("n=%d: SumTree %v, plan %v", n, want, got)
+		}
+	}
+}
+
+// TestPlanOnDeviceGroup reruns the Plan primitives inside real device
+// launches (grid-stride lanes, barrier phases) and checks cost accounting
+// matches the package-level functions.
+func TestPlanOnDeviceGroup(t *testing.T) {
+	const n = 300
+	r := rng.New(rng.NewPhilox(5))
+	src := make([]float64, n)
+	for i := range src {
+		src[i] = r.Float64()
+	}
+	run := func(f func(ctx device.Ctx)) device.Counters {
+		d := device.New(device.Config{Workers: 2, LocalMemBytes: -1})
+		stats := d.Launch("plan-test", device.Grid{Groups: 1, GroupSize: 64}, func(g *device.Group) {
+			f(g)
+		})
+		return stats.Count
+	}
+
+	var wantBuf, gotBuf []float64
+	var wantTotal, gotTotal float64
+	wantStats := run(func(ctx device.Ctx) {
+		wantBuf = append([]float64(nil), src...)
+		wantTotal = Exclusive(ctx, wantBuf)
+	})
+	pl := NewPlan()
+	gotStats := run(func(ctx device.Ctx) {
+		gotBuf = append([]float64(nil), src...)
+		gotTotal = pl.Exclusive(ctx, gotBuf)
+	})
+	if math.Float64bits(wantTotal) != math.Float64bits(gotTotal) {
+		t.Fatalf("totals differ: %v vs %v", wantTotal, gotTotal)
+	}
+	for i := range wantBuf {
+		if math.Float64bits(wantBuf[i]) != math.Float64bits(gotBuf[i]) {
+			t.Fatalf("prefix[%d]: %v vs %v", i, wantBuf[i], gotBuf[i])
+		}
+	}
+	if wantStats.Ops != gotStats.Ops || wantStats.LocalReadBytes != gotStats.LocalReadBytes || wantStats.LocalWriteBytes != gotStats.LocalWriteBytes {
+		t.Fatalf("accounting differs: package %+v plan %+v", wantStats, gotStats)
+	}
+
+	var wantIdx, gotIdx int
+	wantStats = run(func(ctx device.Ctx) { wantIdx = MaxIndex(ctx, src) })
+	gotStats = run(func(ctx device.Ctx) { gotIdx = pl.MaxIndex(ctx, src) })
+	if wantIdx != gotIdx {
+		t.Fatalf("MaxIndex %d vs plan %d", wantIdx, gotIdx)
+	}
+	if wantStats.Ops != gotStats.Ops {
+		t.Fatalf("MaxIndex accounting differs: %+v vs %+v", wantStats, gotStats)
+	}
+}

@@ -49,6 +49,190 @@ func nextPow2(n int) int {
 	return p
 }
 
+// Plan is a reusable execution context for the barrier-phased primitives:
+// it pre-binds the lane closures once, so repeated Exclusive/MaxIndex/
+// SumTree calls on hot kernel paths allocate nothing (the plain package
+// functions re-create their closures — and thus heap cells — per call,
+// because the closures escape through the device.Ctx interface).
+//
+// A Plan carries per-call mutable state and must not be shared between
+// concurrently executing work-groups; create one per group context (the
+// kernel pipeline keeps one per sub-filter).
+type Plan struct {
+	ctx   device.Ctx
+	work  []float64
+	val   []float64
+	idx   []int
+	keys  []float64
+	n, p2 int
+
+	sweep struct{ stride, dd, nodes int }
+	red   struct{ s int }
+
+	up, down, clear, initMax, initSum, reduceMax, reduceSum func(lo, hi int)
+}
+
+// NewPlan returns a Plan with its lane closures bound.
+func NewPlan() *Plan {
+	pl := &Plan{}
+	pl.initMax = func(lo, hi int) {
+		val, idx, keys := pl.val, pl.idx, pl.keys
+		n, p := pl.n, pl.p2
+		for i := 0; i < p; i++ {
+			if i < n {
+				val[i] = keys[i]
+			} else {
+				val[i] = negInf
+			}
+			idx[i] = i
+		}
+	}
+	pl.initSum = func(lo, hi int) {
+		val, keys := pl.val, pl.keys
+		for i := 0; i < pl.n; i++ {
+			val[i] = keys[i]
+		}
+	}
+	pl.up = func(lo, hi int) {
+		work, st := pl.work, &pl.sweep
+		for n := 0; n < st.nodes; n++ {
+			i := (n+1)*st.stride - 1
+			work[i] += work[i-st.dd]
+		}
+	}
+	pl.down = func(lo, hi int) {
+		work, st := pl.work, &pl.sweep
+		for n := 0; n < st.nodes; n++ {
+			i := (n+1)*st.stride - 1
+			t := work[i-st.dd]
+			work[i-st.dd] = work[i]
+			work[i] += t
+		}
+	}
+	pl.clear = func(lo, hi int) {
+		pl.work[len(pl.work)-1] = 0
+		pl.ctx.LocalWrite(8)
+	}
+	pl.reduceMax = func(lo, hi int) {
+		val, idx, s := pl.val, pl.idx, pl.red.s
+		for i := 0; i < s; i++ {
+			a, b := i, i+s
+			if val[b] > val[a] || (val[b] == val[a] && idx[b] < idx[a]) {
+				val[a], idx[a] = val[b], idx[b]
+			}
+		}
+	}
+	pl.reduceSum = func(lo, hi int) {
+		val, s := pl.val, pl.red.s
+		for i := 0; i < s; i++ {
+			val[i] += val[i+s]
+		}
+	}
+	return pl
+}
+
+// Exclusive is the method form of the package-level Exclusive, reusing the
+// plan's bound closures. Identical results and cost accounting.
+func (pl *Plan) Exclusive(ctx device.Ctx, buf []float64) float64 {
+	n := len(buf)
+	if n == 0 {
+		return 0
+	}
+	p := nextPow2(n)
+	work := buf
+	if p != n {
+		work = ctx.ScratchF64(p)
+		copy(work, buf)
+	}
+	pl.ctx, pl.work = ctx, work
+	total := pl.upDownSweep()
+	if p != n {
+		copy(buf, work[:n])
+	}
+	return total
+}
+
+// upDownSweep mirrors the package-level upDownSweep on the plan's state.
+func (pl *Plan) upDownSweep() float64 {
+	ctx, work := pl.ctx, pl.work
+	p := len(work)
+	st := &pl.sweep
+	visited := 0
+	for d := 1; d < p; d <<= 1 {
+		st.stride, st.dd = d<<1, d
+		st.nodes = p / st.stride
+		ctx.StepSpan(pl.up)
+		visited += st.nodes
+	}
+	ctx.Ops(visited)
+	ctx.LocalRead(16 * visited)
+	ctx.LocalWrite(8 * visited)
+	total := work[p-1]
+	ctx.StepSpan(pl.clear)
+	visited = 0
+	for d := p >> 1; d >= 1; d >>= 1 {
+		st.stride, st.dd = d<<1, d
+		st.nodes = p / st.stride
+		ctx.StepSpan(pl.down)
+		visited += st.nodes
+	}
+	ctx.Ops(visited)
+	ctx.LocalRead(16 * visited)
+	ctx.LocalWrite(16 * visited)
+	return total
+}
+
+// MaxIndex is the method form of the package-level MaxIndex, reusing the
+// plan's bound closures. Identical results and cost accounting.
+func (pl *Plan) MaxIndex(ctx device.Ctx, keys []float64) int {
+	n := len(keys)
+	if n == 0 {
+		return -1
+	}
+	p := nextPow2(n)
+	val := ctx.ScratchF64(p)
+	idx := ctx.ScratchInt(p)
+	pl.ctx, pl.val, pl.idx, pl.keys = ctx, val, idx, keys
+	pl.n, pl.p2 = n, p
+	ctx.StepSpan(pl.initMax)
+	ctx.LocalWrite(12 * p)
+	visited := 0
+	for stride := p >> 1; stride >= 1; stride >>= 1 {
+		pl.red.s = stride
+		ctx.StepSpan(pl.reduceMax)
+		visited += stride
+	}
+	ctx.Ops(visited)
+	ctx.LocalRead(24 * visited)
+	ctx.LocalWrite(12 * visited)
+	return idx[0]
+}
+
+// SumTree is the method form of the package-level SumTree, reusing the
+// plan's bound closures. Identical results and cost accounting.
+func (pl *Plan) SumTree(ctx device.Ctx, keys []float64) float64 {
+	n := len(keys)
+	if n == 0 {
+		return 0
+	}
+	p := nextPow2(n)
+	val := ctx.ScratchF64(p)
+	pl.ctx, pl.val, pl.keys = ctx, val, keys
+	pl.n = n
+	ctx.StepSpan(pl.initSum)
+	ctx.LocalWrite(8 * n)
+	visited := 0
+	for stride := p >> 1; stride >= 1; stride >>= 1 {
+		pl.red.s = stride
+		ctx.StepSpan(pl.reduceSum)
+		visited += stride
+	}
+	ctx.Ops(visited)
+	ctx.LocalRead(16 * visited)
+	ctx.LocalWrite(8 * visited)
+	return val[0]
+}
+
 // Exclusive performs an in-place exclusive prefix sum of buf using the
 // Blelloch work-efficient algorithm in barrier-phased form. It returns the
 // total sum of the original buf (which the scan itself discards but every

@@ -135,7 +135,7 @@ func (s *Server) runBatch(batch []*stepReq) {
 				err = fmt.Errorf("serve: batch step panicked: %v", r)
 			}
 		}()
-		return filter.StepBatch(s.dev, fs, us, zs)
+		return s.stepper.StepBatch(fs, us, zs)
 	}()
 	elapsed := time.Since(start)
 	s.observeBatchLatency(elapsed)

@@ -174,6 +174,11 @@ type Server struct {
 	dev    *device.Device
 	models map[string]ModelFactory
 
+	// stepper is the scheduler goroutine's reusable batched-stepping
+	// scratch (merged-launch tables, batch entries); only runBatch
+	// touches it.
+	stepper *filter.BatchStepper
+
 	mu       sync.RWMutex
 	sessions map[string]*Session
 	nextID   uint64
@@ -227,6 +232,7 @@ func NewServer(cfg Config, models map[string]ModelFactory) *Server {
 		tracer:   telemetry.New(telemetry.Config{}),
 		reg:      telemetry.NewRegistry(),
 	}
+	s.stepper = filter.NewBatchStepper(s.dev)
 	s.tracer.SetEnabled(cfg.Trace)
 	s.dev.SetTracer(s.tracer)
 	s.reg.RegisterCollector(s.collectMetrics)

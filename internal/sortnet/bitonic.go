@@ -27,6 +27,56 @@ func nextPow2(n int) int {
 	return p
 }
 
+// floatSortKeys writes order-preserving integer images of keys into iks:
+// comparing images as ints gives exactly the float order of the keys (the
+// radix-sort float trick — negative floats have their magnitude bits
+// flipped so their bit patterns ascend with their values). The network's
+// compare-exchange then runs entirely on integers, which the compiler
+// lowers to flag materialization and masked selects instead of
+// data-dependent branches — the branch predictor has a ~50% miss rate on
+// sort comparisons, and each miss costs more than the whole exchange.
+//
+// -0.0 is normalized to +0.0 first so equal floats map to equal images
+// (±0 is the only pair of distinct bit patterns that compare equal; NaN
+// keys are unsupported, as documented on SortDescending). The transform
+// preserves the sign bit and is therefore an involution: applying it to
+// an image restores the key bits.
+func floatSortKeys(iks []int, keys []float64) {
+	KeyImages(iks, keys)
+}
+
+// KeyImage returns the order-preserving integer image of f: for non-NaN
+// a, b, a < b ⇔ KeyImage(a) < KeyImage(b) and a == b ⇔ KeyImage(a) ==
+// KeyImage(b). Kernels use it to replace hot float comparisons (sort
+// networks, cdf binary searches) with integer ones, which compile to
+// branchless flag materialization instead of mispredict-prone jumps.
+func KeyImage(f float64) int {
+	f += 0 // -0.0 + 0 = +0.0; every other value is unchanged
+	b := int64(math.Float64bits(f))
+	return int(b ^ int64(uint64(b>>63)>>1))
+}
+
+// KeyImages fills dst with KeyImage of each element of src.
+func KeyImages(dst []int, src []float64) {
+	dst = dst[:len(src)]
+	for i, f := range src {
+		f += 0
+		b := int64(math.Float64bits(f))
+		dst[i] = int(b ^ int64(uint64(b>>63)>>1))
+	}
+}
+
+// sortKeysFloat inverts floatSortKeys, writing the float keys for the
+// images in iks back into keys.
+func sortKeysFloat(keys []float64, iks []int) {
+	keys = keys[:len(iks)]
+	for i, k := range iks {
+		b := int64(k)
+		b ^= int64(uint64(b>>63) >> 1)
+		keys[i] = math.Float64frombits(uint64(b))
+	}
+}
+
 // SortDescending sorts keys into descending order in place using a
 // bitonic network, applying the identical permutation to idx. If idx is
 // nil it is ignored; if present, equal keys are ordered by ascending idx
@@ -80,6 +130,188 @@ func SortDescending(ctx device.Ctx, keys []float64, idx []int) {
 	}
 }
 
+// Net is a reusable execution context for the bitonic network: it
+// pre-binds the compare-exchange closure once, so repeated SortDescending
+// calls on hot kernel paths allocate nothing (the package function
+// re-creates its closure — and thus a heap cell — per call, because it
+// escapes through the device.Ctx interface).
+//
+// A Net carries per-call mutable state and must not be shared between
+// concurrently executing work-groups; create one per group context (the
+// kernel pipeline keeps one per sub-filter).
+type Net struct {
+	keys      []int // integer sort-key images (see floatSortKeys)
+	idx       []int
+	laneSwaps []int
+	st        struct{ k, j int }
+	step      func(lo, hi int)
+}
+
+// NewNet returns a Net with its compare-exchange closure bound.
+//
+// The closure walks the stage's pairs directly instead of scanning all p
+// lanes and skipping the upper partners: a stage's pairs are (i, i+j)
+// for every i whose j bit is clear, i.e. runs of j consecutive lanes
+// every 2j lanes. The sort direction bit (i & k) is constant within a
+// run (all of off < j's bits sit below bit log2(k)), so it hoists out of
+// the inner loop. Each compare-exchange is branchless: the swap flag is
+// materialized from integer comparisons of the key images and applied as
+// an XOR mask, so the loop body carries no data-dependent branches. The
+// compare-exchange sequence — and therefore the resulting permutation
+// and the data-dependent swap counts — is identical to the naive scan.
+func NewNet() *Net {
+	nt := &Net{}
+	nt.step = func(lo, hi int) {
+		keys, idx, laneSwaps := nt.keys, nt.idx, nt.laneSwaps
+		k, j := nt.st.k, nt.st.j
+		p := len(keys)
+		j2 := j << 1
+		for base := 0; base < p; base += j2 {
+			desc := base&k == 0
+			end := base + j
+			if idx == nil {
+				if desc {
+					for i := base; i < end; i++ {
+						a, b := keys[i], keys[i+j]
+						s := 0
+						if a < b {
+							s = 1
+						}
+						x := (a ^ b) & -s
+						keys[i], keys[i+j] = a^x, b^x
+						laneSwaps[i] += s
+					}
+				} else {
+					for i := base; i < end; i++ {
+						a, b := keys[i], keys[i+j]
+						s := 0
+						if a > b {
+							s = 1
+						}
+						x := (a ^ b) & -s
+						keys[i], keys[i+j] = a^x, b^x
+						laneSwaps[i] += s
+					}
+				}
+				continue
+			}
+			if desc {
+				for i := base; i < end; i++ {
+					a, b := keys[i], keys[i+j]
+					ia, ib := idx[i], idx[i+j]
+					lt, eq, tb := 0, 0, 0
+					if a < b {
+						lt = 1
+					}
+					if a == b {
+						eq = 1
+					}
+					if ia > ib {
+						tb = 1
+					}
+					s := lt | eq&tb
+					m := -s
+					xk := (a ^ b) & m
+					xi := (ia ^ ib) & m
+					keys[i], keys[i+j] = a^xk, b^xk
+					idx[i], idx[i+j] = ia^xi, ib^xi
+					laneSwaps[i] += s
+				}
+			} else {
+				for i := base; i < end; i++ {
+					a, b := keys[i], keys[i+j]
+					ia, ib := idx[i], idx[i+j]
+					gt, eq, tb := 0, 0, 0
+					if a > b {
+						gt = 1
+					}
+					if a == b {
+						eq = 1
+					}
+					if ia < ib {
+						tb = 1
+					}
+					s := gt | eq&tb
+					m := -s
+					xk := (a ^ b) & m
+					xi := (ia ^ ib) & m
+					keys[i], keys[i+j] = a^xk, b^xk
+					idx[i], idx[i+j] = ia^xi, ib^xi
+					laneSwaps[i] += s
+				}
+			}
+		}
+	}
+	return nt
+}
+
+// SortDescending is the method form of the package-level SortDescending,
+// reusing the net's bound closure. Identical results and cost accounting.
+func (nt *Net) SortDescending(ctx device.Ctx, keys []float64, idx []int) {
+	n := len(keys)
+	if n <= 1 {
+		return
+	}
+	p := nextPow2(n)
+	ks := keys
+	ix := idx
+	if p != n {
+		ks = ctx.ScratchF64(p)
+		copy(ks, keys)
+		for i := n; i < p; i++ {
+			ks[i] = math.Inf(-1)
+		}
+		const maxInt = int(^uint(0) >> 1)
+		ix = ctx.ScratchInt(p)
+		if idx != nil {
+			copy(ix, idx)
+			for i := n; i < p; i++ {
+				ix[i] = maxInt - (p - 1 - i)
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				ix[i] = 0
+			}
+			for i := n; i < p; i++ {
+				ix[i] = 1
+			}
+		}
+	}
+	nt.bitonic(ctx, ks, ix)
+	if p != n {
+		copy(keys, ks[:n])
+		if idx != nil {
+			copy(idx, ix[:n])
+		}
+	}
+}
+
+// bitonic mirrors the package-level bitonic on the net's bound state.
+func (nt *Net) bitonic(ctx device.Ctx, keys []float64, idx []int) {
+	p := len(keys)
+	iks := ctx.ScratchInt(p)
+	floatSortKeys(iks, keys)
+	nt.keys, nt.idx = iks, idx
+	nt.laneSwaps = ctx.ScratchInt(p)
+	stages := 0
+	for k := 2; k <= p; k <<= 1 {
+		for j := k >> 1; j > 0; j >>= 1 {
+			nt.st.k, nt.st.j = k, j
+			ctx.StepSpan(nt.step)
+			stages++
+		}
+	}
+	sortKeysFloat(keys, iks)
+	pairs := stages * (p / 2)
+	swaps := 0
+	for _, c := range nt.laneSwaps {
+		swaps += c
+	}
+	ctx.Ops(12 * pairs)
+	ctx.LocalRead(24 * pairs)
+	ctx.LocalWrite(24 * swaps)
+}
+
 // bitonic runs the classic bitonic network on a power-of-two buffer,
 // producing descending order.
 //
@@ -94,34 +326,100 @@ func SortDescending(ctx device.Ctx, keys []float64, idx []int) {
 // the host sums after the barrier — no cross-lane writes in the closure.
 func bitonic(ctx device.Ctx, keys []float64, idx []int) {
 	p := len(keys)
+	// The network runs on integer images of the keys (floatSortKeys), so
+	// each compare-exchange is branchless: flag materialization plus
+	// XOR-mask selects, no data-dependent branches for the predictor to
+	// miss. The images are transformed back once after the last stage.
+	iks := ctx.ScratchInt(p)
+	floatSortKeys(iks, keys)
 	// Stage parameters share one struct so the reused closure costs a
 	// single heap cell, not one per captured var. Each stage runs as one
 	// StepSpan covering every lane's pair (the pairs of a stage are
 	// disjoint, so lane order is immaterial).
 	var st struct{ k, j int }
 	laneSwaps := ctx.ScratchInt(p)
+	// A stage's pairs are (i, i+j) for every i whose j bit is clear:
+	// runs of j consecutive lanes every 2j lanes. The direction bit
+	// (i & k, deciding descending vs ascending blocks of the final
+	// descending order) is constant within a run, so it hoists out of
+	// the inner loop. The compare-exchange sequence is identical to a
+	// full-lane scan that skips upper partners.
 	step := func(lo, hi int) {
-		for i := 0; i < p; i++ {
-			ixj := i ^ st.j
-			if ixj <= i {
+		k, j := st.k, st.j
+		j2 := j << 1
+		for base := 0; base < p; base += j2 {
+			desc := base&k == 0
+			end := base + j
+			if idx == nil {
+				if desc {
+					for i := base; i < end; i++ {
+						a, b := iks[i], iks[i+j]
+						s := 0
+						if a < b {
+							s = 1
+						}
+						x := (a ^ b) & -s
+						iks[i], iks[i+j] = a^x, b^x
+						laneSwaps[i] += s
+					}
+				} else {
+					for i := base; i < end; i++ {
+						a, b := iks[i], iks[i+j]
+						s := 0
+						if a > b {
+							s = 1
+						}
+						x := (a ^ b) & -s
+						iks[i], iks[i+j] = a^x, b^x
+						laneSwaps[i] += s
+					}
+				}
 				continue
 			}
-			// For a descending final order, blocks with i&k == 0
-			// sort descending.
-			desc := i&st.k == 0
-			a, b := keys[i], keys[ixj]
-			swap := false
 			if desc {
-				swap = a < b || (a == b && idx != nil && idx[i] > idx[ixj])
-			} else {
-				swap = a > b || (a == b && idx != nil && idx[i] < idx[ixj])
-			}
-			if swap {
-				keys[i], keys[ixj] = b, a
-				if idx != nil {
-					idx[i], idx[ixj] = idx[ixj], idx[i]
+				for i := base; i < end; i++ {
+					a, b := iks[i], iks[i+j]
+					ia, ib := idx[i], idx[i+j]
+					lt, eq, tb := 0, 0, 0
+					if a < b {
+						lt = 1
+					}
+					if a == b {
+						eq = 1
+					}
+					if ia > ib {
+						tb = 1
+					}
+					s := lt | eq&tb
+					m := -s
+					xk := (a ^ b) & m
+					xi := (ia ^ ib) & m
+					iks[i], iks[i+j] = a^xk, b^xk
+					idx[i], idx[i+j] = ia^xi, ib^xi
+					laneSwaps[i] += s
 				}
-				laneSwaps[i]++
+			} else {
+				for i := base; i < end; i++ {
+					a, b := iks[i], iks[i+j]
+					ia, ib := idx[i], idx[i+j]
+					gt, eq, tb := 0, 0, 0
+					if a > b {
+						gt = 1
+					}
+					if a == b {
+						eq = 1
+					}
+					if ia < ib {
+						tb = 1
+					}
+					s := gt | eq&tb
+					m := -s
+					xk := (a ^ b) & m
+					xi := (ia ^ ib) & m
+					iks[i], iks[i+j] = a^xk, b^xk
+					idx[i], idx[i+j] = ia^xi, ib^xi
+					laneSwaps[i] += s
+				}
 			}
 		}
 	}
@@ -133,6 +431,7 @@ func bitonic(ctx device.Ctx, keys []float64, idx []int) {
 			stages++
 		}
 	}
+	sortKeysFloat(keys, iks)
 	pairs := stages * (p / 2)
 	swaps := 0
 	for _, c := range laneSwaps {

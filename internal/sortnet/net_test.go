@@ -1,0 +1,76 @@
+package sortnet
+
+import (
+	"math"
+	"testing"
+
+	"esthera/internal/device"
+)
+
+// TestNetMatchesPackageSort drives the stateful Net against the
+// package-level SortDescending on identical inputs across sizes (powers
+// of two, odd lengths forcing sentinel padding, nil and non-nil index
+// arrays) and requires identical keys, permutations, and accounting.
+func TestNetMatchesPackageSort(t *testing.T) {
+	nt := NewNet()
+	for _, n := range []int{0, 1, 2, 3, 5, 8, 17, 100, 128, 513} {
+		for _, withIdx := range []bool{true, false} {
+			ks := randomKeys(n, uint64(n)*2+7)
+			a := append([]float64(nil), ks...)
+			b := append([]float64(nil), ks...)
+			var ia, ib []int
+			if withIdx {
+				ia = make([]int, n)
+				ib = make([]int, n)
+				for i := range ia {
+					ia[i], ib[i] = i, i
+				}
+			}
+			SortDescending(device.Serial{N: n + 1}, a, ia)
+			nt.SortDescending(device.Serial{N: n + 1}, b, ib)
+			for i := range a {
+				if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+					t.Fatalf("n=%d idx=%v keys[%d]: %v vs %v", n, withIdx, i, a[i], b[i])
+				}
+			}
+			for i := range ia {
+				if ia[i] != ib[i] {
+					t.Fatalf("n=%d idx[%d]: %d vs %d", n, i, ia[i], ib[i])
+				}
+			}
+		}
+	}
+}
+
+// TestNetOnDeviceGroup runs both implementations inside real device
+// launches and compares cost accounting (pairs are deterministic; swap
+// counts must match because the sequences of compare-exchanges match).
+func TestNetOnDeviceGroup(t *testing.T) {
+	const n = 200
+	ks := randomKeys(n, 99)
+	run := func(f func(ctx device.Ctx)) device.Counters {
+		d := device.New(device.Config{Workers: 2, LocalMemBytes: -1})
+		stats := d.Launch("net-test", device.Grid{Groups: 1, GroupSize: 64}, func(g *device.Group) {
+			f(g)
+		})
+		return stats.Count
+	}
+	a := append([]float64(nil), ks...)
+	b := append([]float64(nil), ks...)
+	ia := make([]int, n)
+	ib := make([]int, n)
+	for i := range ia {
+		ia[i], ib[i] = i, i
+	}
+	wantStats := run(func(ctx device.Ctx) { SortDescending(ctx, a, ia) })
+	nt := NewNet()
+	gotStats := run(func(ctx device.Ctx) { nt.SortDescending(ctx, b, ib) })
+	for i := range a {
+		if a[i] != b[i] || ia[i] != ib[i] {
+			t.Fatalf("row %d differs: (%v,%d) vs (%v,%d)", i, a[i], ia[i], b[i], ib[i])
+		}
+	}
+	if wantStats.Ops != gotStats.Ops || wantStats.LocalReadBytes != gotStats.LocalReadBytes || wantStats.LocalWriteBytes != gotStats.LocalWriteBytes {
+		t.Fatalf("accounting differs: package %+v net %+v", wantStats, gotStats)
+	}
+}

@@ -29,36 +29,41 @@ RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
 go test -run '^$' -bench 'BenchmarkRound$|BenchmarkRoundFused$|BenchmarkRoundBatch$' \
-	-benchtime "$BENCHTIME" -count "$COUNT" . | tee "$RAW"
+	-benchtime "$BENCHTIME" -count "$COUNT" -benchmem . | tee "$RAW"
 
-# Best (min ns/op) run per benchmark, as JSON objects.
+# Best (min ns/op) run per benchmark, as JSON objects. allocs/op comes
+# from -benchmem; the hot paths are expected to hold it at zero
+# steady-state (enforced by bench_guard.sh).
 emit_json() {
 	awk '
 	/^Benchmark/ {
-		name = $1; ns = ""; pps = ""
+		name = $1; ns = ""; pps = ""; allocs = ""
 		for (i = 2; i <= NF; i++) {
 			if ($(i) == "ns/op") ns = $(i-1)
 			if ($(i) == "particles/s") pps = $(i-1)
+			if ($(i) == "allocs/op") allocs = $(i-1)
 		}
 		if (ns == "") next
 		if (!(name in best) || ns + 0 < best[name] + 0) {
 			best[name] = ns
 			bpps[name] = pps
+			ballocs[name] = allocs
 			if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
 		}
 	}
 	END {
 		for (i = 1; i <= n; i++) {
 			name = order[i]
-			printf "    \"%s\": {\"ns_per_op\": %s, \"particles_per_sec\": %s}%s\n", \
-				name, best[name], (bpps[name] == "" ? "null" : bpps[name]), (i < n ? "," : "")
+			printf "    \"%s\": {\"ns_per_op\": %s, \"particles_per_sec\": %s, \"allocs_per_op\": %s}%s\n", \
+				name, best[name], (bpps[name] == "" ? "null" : bpps[name]), \
+				(ballocs[name] == "" ? "null" : ballocs[name]), (i < n ? "," : "")
 		}
 	}' "$1"
 }
 
 {
 	echo "{"
-	echo "  \"bench\": \"round hot path: persistent pool + fused per-group kernels\","
+	echo "  \"bench\": \"round hot path: SoA particle columns + vectorized lane kernels + block RNG\","
 	echo "  \"benchtime\": \"$BENCHTIME\", \"count\": $COUNT,"
 	echo "  \"host\": \"$(go env GOOS)/$(go env GOARCH), $(getconf _NPROCESSORS_ONLN 2>/dev/null || echo '?') cpu\","
 	echo "  \"current\": {"

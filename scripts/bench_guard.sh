@@ -1,9 +1,17 @@
 #!/bin/sh
 # Guards the fused round hot path against overhead creep: reruns
-# BenchmarkRoundFused (telemetry disabled — the default) and asserts the
-# best-of-N ns/op is within BENCH_GUARD_TOLERANCE percent (default 3)
-# of the newest recorded BENCH_*.json baseline. Observability must be
-# free when off; this is where that promise is enforced.
+# BenchmarkRoundFused (telemetry disabled — the default) and asserts
+# (a) the best-of-N ns/op is within BENCH_GUARD_TOLERANCE percent
+# (default 20) of the newest recorded BENCH_*.json baseline, and
+# (b) the steady-state round performs zero heap allocations.
+# Observability must be free when off; this is where that promise is
+# enforced.
+#
+# The recorded baseline is a best-of-N on a noisy single-core host whose
+# run-to-run spread is ±15%, so the default tolerance is wide: it exists
+# to catch structural regressions (an extra pass over the particles, a
+# lost fusion — tens of percent), not single-digit drift the host cannot
+# resolve. Tighten BENCH_GUARD_TOLERANCE on a quiet machine.
 #
 # With no recorded baseline the guard warns and exits 0 (first run on a
 # fresh tree), so verify.sh stays runnable everywhere.
@@ -13,7 +21,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-TOLERANCE="${BENCH_GUARD_TOLERANCE:-3}"
+TOLERANCE="${BENCH_GUARD_TOLERANCE:-20}"
 COUNT="${BENCH_GUARD_COUNT:-3}"
 BENCHTIME="${BENCH_GUARD_BENCHTIME:-1s}"
 
@@ -51,13 +59,22 @@ fi
 
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
-go test -run '^$' -bench 'BenchmarkRoundFused$' -benchtime "$BENCHTIME" -count "$COUNT" . | tee "$RAW"
+go test -run '^$' -bench 'BenchmarkRoundFused$' -benchtime "$BENCHTIME" -count "$COUNT" -benchmem . | tee "$RAW"
 
 FRESH_NS="$(awk '/^BenchmarkRoundFused/ { for (i = 2; i <= NF; i++) if ($(i) == "ns/op") ns = $(i-1); if (best == "" || ns + 0 < best + 0) best = ns } END { print best }' "$RAW")"
 if [ -z "$FRESH_NS" ]; then
 	echo "bench_guard: BenchmarkRoundFused produced no ns/op" >&2
 	exit 1
 fi
+
+# Zero-allocation assertion: the fused round reuses every buffer it
+# touches, so any steady-state allocation is a leak into the hot path.
+MAX_ALLOCS="$(awk '/^BenchmarkRoundFused/ { for (i = 2; i <= NF; i++) if ($(i) == "allocs/op") if ($(i-1) + 0 > max + 0) max = $(i-1) } END { print max + 0 }' "$RAW")"
+if [ "$MAX_ALLOCS" -gt 0 ]; then
+	echo "bench_guard: FAIL — fused round allocates $MAX_ALLOCS objects/op, want 0" >&2
+	exit 1
+fi
+echo "bench_guard: fused round allocs/op: 0"
 
 awk -v fresh="$FRESH_NS" -v base="$BASE_NS" -v tol="$TOLERANCE" -v src="$BASELINE" 'BEGIN {
 	limit = base * (1 + tol / 100)

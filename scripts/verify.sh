@@ -18,6 +18,18 @@ go run ./cmd/esthera-vet -list
 go run ./cmd/esthera-vet -require esthera/internal/telemetry,esthera/internal/shard ./...
 go test ./...
 go test -race ./...
+# The vectorized lane kernels and the branchless sort/search paths are
+# sensitive to codegen: re-run the numeric core once more under
+# GOAMD64=v3 (AVX2-era ISA selection) so an instruction-selection
+# difference that breaks bit-identity surfaces here, not on a user's
+# machine. Probed: only meaningful on amd64, and only when the host CPU
+# actually has the v3 feature set (avx2 implies the rest for this
+# check's purposes).
+if [ "$(go env GOARCH)" = "amd64" ] && grep -q avx2 /proc/cpuinfo 2>/dev/null; then
+	GOAMD64=v3 go test ./internal/kernels/ ./internal/filter/ ./internal/sortnet/ ./internal/rng/ ./internal/model/...
+else
+	echo "verify: skipping GOAMD64=v3 leg (not amd64 or no avx2)"
+fi
 # The serving robustness layer (cancellation, shutdown, drain) is pure
 # concurrency: hammer it repeatedly under the race detector so
 # interleaving-dependent regressions surface before merge.
