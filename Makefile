@@ -1,4 +1,4 @@
-.PHONY: build test lint verify ci bench bench-json serve chaos
+.PHONY: build test lint vet-ratchet verify ci bench bench-json serve chaos
 
 build:
 	go build ./...
@@ -7,10 +7,17 @@ test:
 	go test ./...
 
 # Run the esthera-vet static-analysis suite (determinism, barrier
-# safety, float ordering, checkpoint wire-format compatibility) over the
-# whole module. Exits non-zero on any finding.
+# safety, float ordering, checkpoint wire-format compatibility, and the
+# compiler-diagnostic contracts: noalloc, bce ratchet, draw order, lock
+# order) over the whole module. Exits non-zero on any finding.
 lint:
 	go run ./cmd/esthera-vet ./...
+
+# Recompute scripts/bce_baseline.txt from the tree's current
+# //esthera:hotpath bce functions. Run after a deliberate, reviewed
+# change to a hot loop's retained bounds checks; the diff is the audit.
+vet-ratchet:
+	go run ./cmd/esthera-vet -ratchet
 
 # Build + vet + esthera-vet + full test suite, plus every package under
 # the race detector. This is the pre-merge gate.

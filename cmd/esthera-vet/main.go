@@ -5,16 +5,31 @@
 //
 // Usage:
 //
-//	esthera-vet ./...   # check the whole module (the only scope)
-//	esthera-vet -list   # list registered analyzers
+//	esthera-vet ./...     # check the whole module (the only scope)
+//	esthera-vet -list     # list registered analyzers
+//	esthera-vet -run bce  # run a comma-separated subset of analyzers
+//	esthera-vet -ratchet  # recompute scripts/bce_baseline.txt and exit
 //	esthera-vet -require esthera/internal/telemetry ./...
-//	                    # fail unless the named package is in the sweep
+//	                      # fail unless the named package is in the sweep
+//
+// Beyond the pure AST analyzers, the suite reads real compiler
+// diagnostics (go build -gcflags='-m -d=ssa/check_bce') for functions
+// annotated
+//
+//	//esthera:hotpath <contract> [<contract>...]
+//
+// in their doc comment: "noalloc" (escape analysis must show no heap
+// allocation, device-arena grow paths excepted) and "bce" (no new
+// per-element-loop bounds checks beyond the scripts/bce_baseline.txt
+// budget; refresh a reviewed change with -ratchet / `make vet-ratchet`).
 //
 // Deliberate, reviewed exceptions are suppressed in place with an
 //
 //	//esthera:allow <analyzer> -- rationale
 //
-// comment on the finding's line or the line above it.
+// comment on the finding's line or the line above it; the directive
+// analyzer rejects unknown analyzer names and malformed hotpath
+// contracts, so a typo cannot silently mask nothing.
 package main
 
 import (

@@ -41,6 +41,33 @@ type Analyzer struct {
 	// true (nil means every package). The analysistest harness ignores
 	// it so fixtures exercise the check regardless of their path.
 	Filter func(pkgPath string) bool
+	// NeedsCompiler marks analyzers that consume compiler diagnostics
+	// (escape analysis, BCE). When set, RunAnalyzers performs one
+	// diagnostic build per package (memoized in Config.Compiler) and
+	// exposes the findings through Pass.Escapes / Pass.Bounds. Such an
+	// analyzer is skipped when the run has no compiler cache.
+	NeedsCompiler bool
+}
+
+// Config carries run-wide state shared by every RunAnalyzers call of a
+// sweep: the compiler-diagnostic cache, the valid-analyzer-name registry
+// the directive analyzer validates suppressions against, and the BCE
+// ratchet baseline.
+type Config struct {
+	// Compiler memoizes diagnostic builds; nil disables NeedsCompiler
+	// analyzers for the run.
+	Compiler *CompilerCache
+	// Known is the set of analyzer names //esthera:allow may reference.
+	// When nil, the directive analyzer falls back to the Suite registry.
+	Known map[string]bool
+	// BCEBaseline maps per-function keys ("pkg.(recv).name") to the
+	// number of sanctioned per-element-loop bounds checks; functions
+	// absent from the map have a budget of zero.
+	BCEBaseline map[string]int
+	// BCERecord, when non-nil, switches the bce analyzer into ratchet
+	// mode: it records current loop-class counts here instead of
+	// reporting, so the caller can rewrite the baseline file.
+	BCERecord map[string]int
 }
 
 // Pass carries one package's syntax and type information to an analyzer,
@@ -51,6 +78,14 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	// Dir is the package's source directory (absolute).
+	Dir string
+	// Config is the sweep-wide configuration (never nil inside Run).
+	Config *Config
+	// Escapes and Bounds hold the package's compiler diagnostics; they
+	// are populated only for analyzers with NeedsCompiler set.
+	Escapes []CompilerFinding
+	Bounds  []CompilerFinding
 
 	diags *[]Diagnostic
 }
@@ -127,8 +162,12 @@ func allowedLines(fset *token.FileSet, files []*ast.File) map[string]map[string]
 // RunAnalyzers applies the analyzers to one loaded package (honoring
 // each analyzer's package filter unless ignoreFilter is set, which the
 // analysistest harness uses) and returns the surviving diagnostics
-// sorted by position.
-func RunAnalyzers(pkg *Package, analyzers []*Analyzer, ignoreFilter bool) ([]Diagnostic, error) {
+// sorted by position. cfg may be nil; NeedsCompiler analyzers then
+// skip (no diagnostic builds without a cache to share them).
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer, ignoreFilter bool, cfg *Config) ([]Diagnostic, error) {
+	if cfg == nil {
+		cfg = &Config{}
+	}
 	var diags []Diagnostic
 	allowed := allowedLines(pkg.Fset, pkg.Files)
 	for _, a := range analyzers {
@@ -141,7 +180,20 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer, ignoreFilter bool) ([]Dia
 			Files:     pkg.Files,
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.Info,
+			Dir:       pkg.Dir,
+			Config:    cfg,
 			diags:     &diags,
+		}
+		if a.NeedsCompiler {
+			if cfg.Compiler == nil {
+				continue
+			}
+			cd, err := cfg.Compiler.Diags(pkg.Dir)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+			pass.Escapes = cd.Escapes
+			pass.Bounds = cd.Bounds
 		}
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
@@ -171,12 +223,32 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer, ignoreFilter bool) ([]Dia
 }
 
 // Suite returns the full analyzer suite compiled into esthera-vet, in
-// stable order. The meta-test asserts its size and registration.
+// stable order. The meta-test asserts its size and registration. The
+// first four are the PR 3 AST/type analyzers; noalloc and bce consume
+// compiler diagnostics through the Config.Compiler harness; draworder
+// and lockorder are the model-contract and concurrency analyzers; the
+// directive analyzer validates the suppression/annotation comments the
+// others rely on.
 func Suite() []*Analyzer {
 	return []*Analyzer{
 		NondeterminismAnalyzer,
 		BarrierAnalyzer,
 		FloatOrderAnalyzer,
 		CheckpointAnalyzer,
+		NoallocAnalyzer,
+		BCEAnalyzer,
+		DrawOrderAnalyzer,
+		LockOrderAnalyzer,
+		DirectiveAnalyzer,
 	}
+}
+
+// KnownNames returns the set of analyzer names //esthera:allow may
+// legally reference: every analyzer in the given registry.
+func KnownNames(analyzers []*Analyzer) map[string]bool {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	return known
 }

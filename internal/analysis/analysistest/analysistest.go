@@ -54,7 +54,19 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer) {
 	if err != nil {
 		t.Fatalf("analysistest: loading %s: %v", dir, err)
 	}
-	diags, err := analysis.RunAnalyzers(pkg, []*analysis.Analyzer{a}, true)
+	// Fixtures get the full harness: a compiler cache so NeedsCompiler
+	// analyzers see real escape/BCE diagnostics for the fixture package
+	// (it compiles standalone inside the module), the full suite as the
+	// allow-name registry, and an empty BCE baseline so every loop-class
+	// bounds check in a fixture is a finding.
+	known := analysis.KnownNames(analysis.Suite())
+	known[a.Name] = true
+	cfg := &analysis.Config{
+		Compiler:    analysis.NewCompilerCache(),
+		Known:       known,
+		BCEBaseline: map[string]int{},
+	}
+	diags, err := analysis.RunAnalyzers(pkg, []*analysis.Analyzer{a}, true, cfg)
 	if err != nil {
 		t.Fatalf("analysistest: running %s on %s: %v", a.Name, dir, err)
 	}

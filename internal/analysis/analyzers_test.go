@@ -28,3 +28,33 @@ func TestFloatOrderFixtures(t *testing.T) {
 func TestCheckpointCompatFixtures(t *testing.T) {
 	analysistest.Run(t, fixture("checkpoint"), analysis.CheckpointAnalyzer)
 }
+
+// The noalloc and bce fixtures need real compiler diagnostics: the
+// harness shells out to `go build -gcflags=...` on the fixture package,
+// which is too slow for -short.
+
+func TestNoallocFixtures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles the fixture package for escape diagnostics; skipped in -short")
+	}
+	analysistest.Run(t, fixture("noalloc"), analysis.NoallocAnalyzer)
+}
+
+func TestBCEFixtures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles the fixture package for bounds-check diagnostics; skipped in -short")
+	}
+	analysistest.Run(t, fixture("bce"), analysis.BCEAnalyzer)
+}
+
+func TestDrawOrderFixtures(t *testing.T) {
+	analysistest.Run(t, fixture("draworder"), analysis.DrawOrderAnalyzer)
+}
+
+func TestLockOrderFixtures(t *testing.T) {
+	analysistest.Run(t, fixture("lockorder"), analysis.LockOrderAnalyzer)
+}
+
+func TestDirectiveFixtures(t *testing.T) {
+	analysistest.Run(t, fixture("directive"), analysis.DirectiveAnalyzer)
+}

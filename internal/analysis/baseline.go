@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// BCEBaselinePath is the baseline file's module-root-relative location.
+const BCEBaselinePath = "scripts/bce_baseline.txt"
+
+// LoadBCEBaseline parses a ratchet baseline file: one "<func-key>
+// <count>" pair per line, '#' comments and blank lines ignored. A
+// missing file is an empty baseline (zero budget everywhere), so a
+// fresh checkout before the first ratchet run still works.
+func LoadBCEBaseline(path string) (map[string]int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return map[string]int{}, nil
+		}
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string]int)
+	sc := bufio.NewScanner(f)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("analysis: %s:%d: want \"<func-key> <count>\", got %q", path, lineNo, line)
+		}
+		n, err := strconv.Atoi(fields[1])
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("analysis: %s:%d: bad count %q", path, lineNo, fields[1])
+		}
+		out[fields[0]] = n
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// FormatBCEBaseline renders a baseline map in the canonical sorted form
+// LoadBCEBaseline reads back.
+func FormatBCEBaseline(m map[string]int) []byte {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var buf bytes.Buffer
+	buf.WriteString("# BCE ratchet baseline: per-function sanctioned per-element-loop\n")
+	buf.WriteString("# bounds-check counts for //esthera:hotpath bce functions. Audited\n")
+	buf.WriteString("# residuals only (see DESIGN.md \"Static guarantees\"); refresh with\n")
+	buf.WriteString("# `make vet-ratchet` after reviewed changes.\n")
+	for _, k := range keys {
+		fmt.Fprintf(&buf, "%s %d\n", k, m[k])
+	}
+	return buf.Bytes()
+}

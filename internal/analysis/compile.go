@@ -1,0 +1,171 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is the second-generation diagnostic harness: where the
+// PR 3 analyzers see only syntax and types, the harness consumes the
+// COMPILER's own analyses — escape analysis (-gcflags=-m) and the
+// bounds-check elimination results of the SSA prove pass
+// (-d=ssa/check_bce) — and maps each finding back to a source position
+// in the loader's FileSet. Analyzers that set NeedsCompiler receive the
+// parsed findings through Pass.Escapes and Pass.Bounds and report
+// through the ordinary pass/diagnostic/`//esthera:allow` model, so a
+// compiler-backed contract (a hot function allocates, a column loop
+// regrew a bounds check) reads exactly like an AST-backed one.
+
+// CompilerFinding is one diagnostic emitted by the Go compiler for a
+// package build: an allocation site from escape analysis or a retained
+// bounds check from the prove pass.
+type CompilerFinding struct {
+	Pos     token.Position // absolute filename
+	Message string         // e.g. "make([]float64, n) escapes to heap", "Found IsInBounds"
+}
+
+// CompilerDiags is the per-package feed of compiler findings.
+type CompilerDiags struct {
+	// Escapes holds the heap-allocation sites: "... escapes to heap"
+	// and "moved to heap: x" findings. Inlining attributes a callee's
+	// allocation to the caller's source line, which is exactly the
+	// accounting a per-function no-allocation contract wants.
+	Escapes []CompilerFinding
+	// Bounds holds the retained bounds checks: "Found IsInBounds" /
+	// "Found IsSliceInBounds" from -d=ssa/check_bce.
+	Bounds []CompilerFinding
+}
+
+// CompilerCache runs the diagnostic build at most once per package
+// directory and memoizes the parsed findings, so the noalloc and bce
+// analyzers share one compiler invocation per package.
+type CompilerCache struct {
+	byDir map[string]*CompilerDiags
+	errs  map[string]error
+}
+
+// NewCompilerCache returns an empty cache.
+func NewCompilerCache() *CompilerCache {
+	return &CompilerCache{byDir: make(map[string]*CompilerDiags), errs: make(map[string]error)}
+}
+
+// diagLine matches one compiler diagnostic: file:line:col: message.
+var diagLine = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): (.+)$`)
+
+// Diags builds the package rooted at dir with the diagnostic flags and
+// returns its parsed findings. The build runs with the directory itself
+// as the (only) named package, so the unpatterned -gcflags apply to it
+// alone — dependencies rebuild quietly from the build cache — and the
+// same invocation works for real module packages and testdata fixture
+// directories alike.
+func (c *CompilerCache) Diags(dir string) (*CompilerDiags, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	if d, ok := c.byDir[abs]; ok {
+		return d, nil
+	}
+	if err, ok := c.errs[abs]; ok {
+		return nil, err
+	}
+	d, err := compileDiags(abs)
+	if err != nil {
+		c.errs[abs] = err
+		return nil, err
+	}
+	c.byDir[abs] = d
+	return d, nil
+}
+
+// compileDiags performs one diagnostic build of the package in dir.
+func compileDiags(dir string) (*CompilerDiags, error) {
+	cmd := exec.Command("go", "build", "-o", os.DevNull, "-gcflags=-m -d=ssa/check_bce", ".")
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		// A failing diagnostic build means the package does not compile;
+		// surface the compiler's message, which is in out.
+		return nil, fmt.Errorf("analysis: diagnostic build of %s failed: %v\n%s", dir, err, strings.TrimSpace(string(out)))
+	}
+	d := &CompilerDiags{}
+	seen := make(map[string]bool)
+	for _, line := range strings.Split(string(out), "\n") {
+		m := diagLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue // "# pkg" headers, inlining notes without positions, blanks
+		}
+		file := m[1]
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(dir, file)
+		}
+		file = filepath.Clean(file)
+		ln, _ := strconv.Atoi(m[2])
+		col, _ := strconv.Atoi(m[3])
+		msg := m[4]
+		f := CompilerFinding{Pos: token.Position{Filename: file, Line: ln, Column: col}, Message: msg}
+		// Generic instantiation and inlining can emit the same finding
+		// several times; one source position is one contract violation.
+		key := fmt.Sprintf("%s:%d:%d:%s", file, ln, col, msg)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		switch {
+		case msg == "Found IsInBounds" || msg == "Found IsSliceInBounds":
+			d.Bounds = append(d.Bounds, f)
+		case strings.Contains(msg, "moved to heap"),
+			strings.Contains(msg, "escapes to heap") && !strings.Contains(msg, "does not escape"):
+			d.Escapes = append(d.Escapes, f)
+		}
+	}
+	sortFindings(d.Escapes)
+	sortFindings(d.Bounds)
+	return d, nil
+}
+
+func sortFindings(fs []CompilerFinding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i].Pos, fs[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+}
+
+// findingPos maps a compiler finding back into the pass's FileSet,
+// returning token.NoPos when the finding's file is not one of the
+// package's parsed files (e.g. a generated cgo shim).
+func findingPos(pass *Pass, f CompilerFinding) token.Pos {
+	for _, file := range pass.Files {
+		tf := pass.Fset.File(file.Pos())
+		if tf == nil || filepath.Clean(tf.Name()) != f.Pos.Filename {
+			continue
+		}
+		if f.Pos.Line < 1 || f.Pos.Line > tf.LineCount() {
+			return token.NoPos
+		}
+		p := tf.LineStart(f.Pos.Line)
+		// Columns are byte-based in both worlds; stepping within the line
+		// keeps the diagnostic anchored to the offending expression.
+		if f.Pos.Column > 1 {
+			off := tf.Offset(p) + f.Pos.Column - 1
+			if off < tf.Size() {
+				p = tf.Pos(off)
+			}
+		}
+		return p
+	}
+	return token.NoPos
+}

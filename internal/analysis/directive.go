@@ -1,0 +1,151 @@
+package analysis
+
+import (
+	"go/ast"
+	"sort"
+	"strings"
+)
+
+// hotpathDirective is the function annotation the compiler-diagnostic
+// analyzers key off: a doc comment
+//
+//	//esthera:hotpath <contract> [<contract>...]
+//
+// on a function declaration subscribes that function to the named
+// contracts. The grammar is a space-separated contract list; valid
+// contracts are "noalloc" (escape analysis must show no heap
+// allocations in the body) and "bce" (per-element-loop bounds checks
+// are ratcheted against scripts/bce_baseline.txt).
+const hotpathDirective = "esthera:hotpath"
+
+// hotpathContracts are the contract names //esthera:hotpath accepts.
+var hotpathContracts = map[string]bool{
+	"noalloc": true,
+	"bce":     true,
+}
+
+// directiveText returns the trimmed body of a //esthera:<kind> comment,
+// or ok=false if c is not that directive. Directives are recognized in
+// the Go directive shape (no space after //), but a spaced variant is
+// still parsed so the directive analyzer can flag rather than silently
+// ignore it — callers decide.
+func directiveText(c *ast.Comment, kind string) (rest string, ok bool) {
+	text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+	if !strings.HasPrefix(text, kind) {
+		return "", false
+	}
+	rest = text[len(kind):]
+	if rest != "" && !strings.HasPrefix(rest, " ") && !strings.HasPrefix(rest, "\t") {
+		return "", false // e.g. esthera:hotpathx
+	}
+	// A trailing "// ..." is not part of the directive (the analysistest
+	// fixtures put their `// want` expectations there).
+	if i := strings.Index(rest, "//"); i >= 0 {
+		rest = rest[:i]
+	}
+	return strings.TrimSpace(rest), true
+}
+
+// funcContracts returns the hotpath contracts declared in fn's doc
+// comment (nil when the function carries no directive). Malformed
+// contract words are included verbatim; the directive analyzer rejects
+// them, and the consuming analyzers simply see an unknown word.
+func funcContracts(fn *ast.FuncDecl) []string {
+	if fn.Doc == nil {
+		return nil
+	}
+	var out []string
+	for _, c := range fn.Doc.List {
+		if rest, ok := directiveText(c, hotpathDirective); ok {
+			out = append(out, strings.Fields(rest)...)
+		}
+	}
+	return out
+}
+
+// hasContract reports whether fn declares the given hotpath contract.
+func hasContract(fn *ast.FuncDecl, contract string) bool {
+	for _, c := range funcContracts(fn) {
+		if c == contract {
+			return true
+		}
+	}
+	return false
+}
+
+// DirectiveAnalyzer validates the comment directives the rest of the
+// suite trusts: //esthera:allow must name a registered analyzer (a
+// typo'd allow would otherwise silently mask nothing while the author
+// believes a finding is sanctioned), and //esthera:hotpath must sit in
+// a function's doc comment and list only known contracts.
+var DirectiveAnalyzer = &Analyzer{
+	Name: "directive",
+	Doc:  "validate //esthera:allow and //esthera:hotpath directives: known analyzer names, known contracts, correct placement",
+}
+
+// Run is attached in init: runDirective's Known fallback calls Suite(),
+// which contains DirectiveAnalyzer, and a direct field reference would
+// be an initialization cycle.
+func init() { DirectiveAnalyzer.Run = runDirective }
+
+func runDirective(pass *Pass) error {
+	known := pass.Config.Known
+	if known == nil {
+		known = KnownNames(Suite())
+	}
+	names := make([]string, 0, len(known))
+	for n := range known {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	for _, f := range pass.Files {
+		// Positions of comments that belong to some function's doc
+		// comment: the only legal home for //esthera:hotpath.
+		docComments := make(map[*ast.Comment]bool)
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Doc == nil {
+				continue
+			}
+			for _, c := range fn.Doc.List {
+				docComments[c] = true
+			}
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if rest, ok := directiveText(c, allowDirective); ok {
+					name := rest
+					if i := strings.IndexAny(rest, " \t"); i >= 0 {
+						name = rest[:i]
+					}
+					switch {
+					case name == "":
+						pass.Reportf(c.Pos(), "//esthera:allow directive names no analyzer (known: %s)", strings.Join(names, ", "))
+					case !known[name]:
+						pass.Reportf(c.Pos(), "//esthera:allow names unknown analyzer %q (known: %s)", name, strings.Join(names, ", "))
+					}
+					continue
+				}
+				rest, ok := directiveText(c, hotpathDirective)
+				if !ok {
+					continue
+				}
+				if !docComments[c] {
+					pass.Reportf(c.Pos(), "//esthera:hotpath directive must appear in a function declaration's doc comment")
+					continue
+				}
+				contracts := strings.Fields(rest)
+				if len(contracts) == 0 {
+					pass.Reportf(c.Pos(), "//esthera:hotpath directive lists no contracts (valid: bce, noalloc)")
+				}
+				for _, contract := range contracts {
+					if !hotpathContracts[contract] {
+						pass.Reportf(c.Pos(), "//esthera:hotpath names unknown contract %q (valid: bce, noalloc)", contract)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}

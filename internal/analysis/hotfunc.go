@@ -1,0 +1,86 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"path/filepath"
+)
+
+// hotPackages is the exact set of packages carrying //esthera:hotpath
+// annotations. The noalloc and bce analyzers are scoped to it because
+// every package they cover costs one diagnostic `go build`; a new
+// annotated package must be added here (and to the esthera-vet -require
+// list in scripts/verify.sh, which guards against silent coverage loss).
+var hotPackages = map[string]bool{
+	"esthera/internal/kernels":   true,
+	"esthera/internal/sortnet":   true,
+	"esthera/internal/scan":      true,
+	"esthera/internal/rng":       true,
+	"esthera/internal/model":     true,
+	"esthera/internal/model/arm": true,
+}
+
+func isHotPackage(path string) bool { return hotPackages[path] }
+
+// funcKey is the stable per-function identity used in diagnostics and
+// the BCE baseline: "pkgpath.name" for functions, "pkgpath.(T).name" /
+// "pkgpath.(*T).name" for methods. Line numbers are deliberately not
+// part of the key so unrelated edits don't invalidate the baseline.
+func funcKey(pass *Pass, fn *ast.FuncDecl) string {
+	return pass.Pkg.Path() + "." + funcDisplayName(fn)
+}
+
+// funcDisplayName renders a FuncDecl's name with its receiver type.
+func funcDisplayName(fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return fn.Name.Name
+	}
+	t := fn.Recv.List[0].Type
+	star := ""
+	if s, ok := t.(*ast.StarExpr); ok {
+		star = "*"
+		t = s.X
+	}
+	name := "?"
+	switch x := t.(type) {
+	case *ast.Ident:
+		name = x.Name
+	case *ast.IndexExpr: // generic receiver T[P]
+		if id, ok := x.X.(*ast.Ident); ok {
+			name = id.Name
+		}
+	}
+	return fmt.Sprintf("(%s%s).%s", star, name, fn.Name.Name)
+}
+
+// declFile returns the cleaned filename a declaration lives in.
+func declFile(pass *Pass, n ast.Node) string {
+	return filepath.Clean(pass.Fset.Position(n.Pos()).Filename)
+}
+
+// findingsWithin selects the compiler findings falling inside the given
+// file and line range (inclusive).
+func findingsWithin(findings []CompilerFinding, file string, startLine, endLine int) []CompilerFinding {
+	var out []CompilerFinding
+	for _, f := range findings {
+		if f.Pos.Filename == file && f.Pos.Line >= startLine && f.Pos.Line <= endLine {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// isPkgFunc reports whether obj is the named function/method of a
+// package whose import path ends with the given suffix.
+func isPkgFunc(obj types.Object, pkgSuffix string, names map[string]bool) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	if !names[fn.Name()] {
+		return false
+	}
+	p := fn.Pkg().Path()
+	return p == pkgSuffix || len(p) > len(pkgSuffix) && p[len(p)-len(pkgSuffix)-1] == '/' && p[len(p)-len(pkgSuffix):] == pkgSuffix
+}

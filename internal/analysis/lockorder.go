@@ -1,0 +1,451 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrderAnalyzer pins the serving stack's deadlock-freedom argument
+// (the PR 4 scheduler races, the PR 6 migration protocol) statically:
+//
+//  1. it builds an intra-package lock-acquisition graph — node =
+//     (struct type, mutex field), edge A→B = "B acquired while A is
+//     held", including acquisitions reached transitively through
+//     same-package calls — and flags every edge on a cycle;
+//  2. it flags blocking channel sends made while a lock is held: the
+//     send can park the goroutine for as long as the consumer takes,
+//     extending the critical section unboundedly (the serve admission
+//     path instead sends under select-with-default, which cannot block
+//     and is exempt).
+//
+// The held-set tracking is a statement-order approximation: branch
+// bodies are analyzed with a copy of the entry set (so an early
+// return-after-unlock does not leak), defers keep the lock held to the
+// end of the function, and Lock/RLock map to the same node (an RLock
+// ordered against a Lock is still an ordering commitment). Distinct
+// instances of one struct share a node, so cross-instance cycles
+// through the same field are found too; re-acquiring the same node is
+// deliberately NOT flagged (two different Sessions' mutexes are
+// different runtime locks).
+var LockOrderAnalyzer = &Analyzer{
+	Name: "lockorder",
+	Doc:  "serve/shard mutex acquisitions must form a cycle-free order, and no blocking channel send may happen with a lock held",
+	Run:  runLockOrder,
+	Filter: func(path string) bool {
+		return path == "esthera/internal/serve" || path == "esthera/internal/shard"
+	},
+}
+
+// lockEdge is one "to acquired while holding from" observation.
+type lockEdge struct {
+	from, to string
+	pos      token.Pos
+	via      string // callee name for transitive acquisitions, "" for direct
+}
+
+// lockState walks one function accumulating edges, sends-under-lock,
+// and the set of nodes the function may acquire (for the transitive
+// closure).
+type lockState struct {
+	pass     *Pass
+	funcs    map[*types.Func]*ast.FuncDecl // same-package declarations
+	acquires map[*types.Func]map[string]bool
+	edges    []lockEdge
+	sends    []lockEdge // from = held node, pos = send
+}
+
+func runLockOrder(pass *Pass) error {
+	st := &lockState{
+		pass:     pass,
+		funcs:    make(map[*types.Func]*ast.FuncDecl),
+		acquires: make(map[*types.Func]map[string]bool),
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func); ok {
+				st.funcs[obj] = fn
+			}
+		}
+	}
+
+	// Fixpoint: acquires(f) = direct locks of f ∪ acquires(callees).
+	for obj, fn := range st.funcs {
+		st.acquires[obj] = st.directAcquires(fn)
+	}
+	for changed := true; changed; {
+		changed = false
+		for obj, fn := range st.funcs {
+			for _, callee := range st.callees(fn) {
+				for node := range st.acquires[callee] {
+					if !st.acquires[obj][node] {
+						st.acquires[obj][node] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	for _, fn := range st.funcs {
+		st.walkStmts(fn.Body.List, make(map[string]bool))
+	}
+
+	for _, s := range st.sends {
+		st.pass.Reportf(s.pos, "blocking channel send while holding %s; a parked consumer extends the critical section unboundedly (use select with default, or send after unlocking)", s.from)
+	}
+
+	reportLockCycles(pass, st.edges)
+	return nil
+}
+
+// reportLockCycles finds strongly-connected ordering violations in the
+// edge list and reports each edge that participates in one.
+func reportLockCycles(pass *Pass, edges []lockEdge) {
+	adj := make(map[string]map[string]bool)
+	for _, e := range edges {
+		if e.from == e.to {
+			continue
+		}
+		if adj[e.from] == nil {
+			adj[e.from] = make(map[string]bool)
+		}
+		adj[e.from][e.to] = true
+	}
+	// reaches reports whether to is reachable from from.
+	reaches := func(from, to string) bool {
+		seen := map[string]bool{from: true}
+		stack := []string{from}
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for next := range adj[n] {
+				if next == to {
+					return true
+				}
+				if !seen[next] {
+					seen[next] = true
+					stack = append(stack, next)
+				}
+			}
+		}
+		return false
+	}
+	reported := make(map[string]bool)
+	sort.Slice(edges, func(i, j int) bool { return edges[i].pos < edges[j].pos })
+	for _, e := range edges {
+		if e.from == e.to || !reaches(e.to, e.from) {
+			continue
+		}
+		key := e.from + "→" + e.to
+		if reported[key] {
+			continue
+		}
+		reported[key] = true
+		via := ""
+		if e.via != "" {
+			via = fmt.Sprintf(" (through call to %s)", e.via)
+		}
+		pass.Reportf(e.pos, "lock order cycle: %s acquired while holding %s%s, but the reverse order also occurs; a deadlock needs only two goroutines interleaving", e.to, e.from, via)
+	}
+}
+
+// directAcquires returns the nodes fn locks anywhere in its body.
+func (st *lockState) directAcquires(fn *ast.FuncDecl) map[string]bool {
+	out := make(map[string]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if node, op := st.mutexOp(call); node != "" && (op == "Lock" || op == "RLock") {
+				out[node] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// callees returns the same-package functions fn calls.
+func (st *lockState) callees(fn *ast.FuncDecl) []*types.Func {
+	var out []*types.Func
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var id *ast.Ident
+		switch f := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			id = f
+		case *ast.SelectorExpr:
+			id = f.Sel
+		default:
+			return true
+		}
+		if obj, ok := st.pass.TypesInfo.Uses[id].(*types.Func); ok {
+			if _, declared := st.funcs[obj]; declared {
+				out = append(out, obj)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// mutexOp recognizes a sync.Mutex/RWMutex method call and returns the
+// lock node ("Type.field") plus the operation name.
+func (st *lockState) mutexOp(call *ast.CallExpr) (node, op string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	obj, ok := st.pass.TypesInfo.ObjectOf(sel.Sel).(*types.Func)
+	if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return "", ""
+	}
+	switch obj.Name() {
+	case "Lock", "Unlock", "RLock", "RUnlock", "TryLock", "TryRLock":
+	default:
+		return "", ""
+	}
+	return st.lockNode(sel.X), obj.Name()
+}
+
+// lockNode names the mutex a selector expression denotes: the owning
+// named type plus field name ("Server.mu"), a package-level variable's
+// name, or — as a fallback — the expression text position-independent
+// enough to be stable within the package.
+func (st *lockState) lockNode(e ast.Expr) string {
+	e = ast.Unparen(e)
+	switch x := e.(type) {
+	case *ast.SelectorExpr:
+		base := st.pass.TypesInfo.Types[x.X].Type
+		if base != nil {
+			if named := namedOf(base); named != "" {
+				return named + "." + x.Sel.Name
+			}
+		}
+		return st.lockNode(x.X) + "." + x.Sel.Name
+	case *ast.Ident:
+		if obj := st.pass.TypesInfo.Uses[x]; obj != nil {
+			if _, isVar := obj.(*types.Var); isVar && obj.Parent() == obj.Pkg().Scope() {
+				return "var " + x.Name
+			}
+			if named := namedOf(obj.Type()); named != "" {
+				return named + "." + x.Name
+			}
+		}
+		return x.Name
+	case *ast.IndexExpr:
+		return st.lockNode(x.X) + "[]"
+	}
+	return "?"
+}
+
+// namedOf unwraps pointers and returns a type's base name, "" if the
+// type is unnamed.
+func namedOf(t types.Type) string {
+	for {
+		ptr, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// walkStmts processes a statement list in order, threading the held
+// set. Branch bodies get a copy: the continuation conservatively keeps
+// the pre-branch set (the early-return-after-unlock pattern stays
+// clean; a branch that unlocks and falls through is over-approximated).
+func (st *lockState) walkStmts(stmts []ast.Stmt, held map[string]bool) {
+	for _, s := range stmts {
+		st.walkStmt(s, held)
+	}
+}
+
+func (st *lockState) walkStmt(s ast.Stmt, held map[string]bool) {
+	switch x := s.(type) {
+	case *ast.ExprStmt:
+		st.walkExprStmt(x.X, held, false)
+	case *ast.DeferStmt:
+		if node, op := st.mutexOp(x.Call); node != "" {
+			// defer Unlock: the lock stays held to function end — exactly
+			// what the current held set already says. defer Lock is odd
+			// enough to ignore.
+			_ = op
+			_ = node
+			return
+		}
+		st.recordCall(x.Call, held)
+	case *ast.GoStmt:
+		// The spawned goroutine has its own empty held set.
+		if lit, ok := x.Call.Fun.(*ast.FuncLit); ok {
+			st.walkStmts(lit.Body.List, make(map[string]bool))
+		}
+	case *ast.SendStmt:
+		st.flagSend(x, held)
+	case *ast.AssignStmt:
+		for _, rhs := range x.Rhs {
+			st.walkExprStmt(rhs, held, false)
+		}
+	case *ast.ReturnStmt:
+		for _, r := range x.Results {
+			st.walkExprStmt(r, held, false)
+		}
+	case *ast.IfStmt:
+		if x.Init != nil {
+			st.walkStmt(x.Init, held)
+		}
+		st.walkStmts(x.Body.List, copySet(held))
+		if x.Else != nil {
+			st.walkStmt(x.Else, copySet(held))
+		}
+	case *ast.BlockStmt:
+		st.walkStmts(x.List, held)
+	case *ast.ForStmt:
+		st.walkStmts(x.Body.List, copySet(held))
+	case *ast.RangeStmt:
+		st.walkStmts(x.Body.List, copySet(held))
+	case *ast.SwitchStmt:
+		for _, c := range x.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				st.walkStmts(cc.Body, copySet(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range x.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				st.walkStmts(cc.Body, copySet(held))
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range x.Body.List {
+			comm, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			if send, ok := comm.Comm.(*ast.SendStmt); ok && !selectHasDefault(x) {
+				// A send case of a select without default can block.
+				st.flagSend(send, held)
+			}
+			st.walkStmts(comm.Body, copySet(held))
+		}
+	case *ast.LabeledStmt:
+		st.walkStmt(x.Stmt, held)
+	}
+}
+
+// walkExprStmt handles expression-level effects: mutex ops mutate the
+// held set, same-package calls contribute transitive edges, function
+// literals are walked with the current held set (they run inline when
+// called immediately; a stored closure's later locks are attributed to
+// its eventual caller through the call graph, so walking here is the
+// conservative union).
+func (st *lockState) walkExprStmt(e ast.Expr, held map[string]bool, inDefer bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		if lit, ok := ast.Unparen(e).(*ast.FuncLit); ok {
+			st.walkStmts(lit.Body.List, copySet(held))
+		}
+		return
+	}
+	if node, op := st.mutexOp(call); node != "" {
+		switch op {
+		case "Lock", "RLock":
+			for h := range held {
+				if h != node {
+					st.edges = append(st.edges, lockEdge{from: h, to: node, pos: call.Pos()})
+				}
+			}
+			held[node] = true
+		case "Unlock", "RUnlock":
+			delete(held, node)
+		}
+		return
+	}
+	for _, arg := range call.Args {
+		st.walkExprStmt(arg, held, inDefer)
+	}
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		st.walkStmts(lit.Body.List, held)
+		return
+	}
+	st.recordCall(call, held)
+}
+
+// recordCall adds transitive edges for a same-package callee's
+// acquisitions.
+func (st *lockState) recordCall(call *ast.CallExpr, held map[string]bool) {
+	if len(held) == 0 {
+		return
+	}
+	var id *ast.Ident
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = f
+	case *ast.SelectorExpr:
+		id = f.Sel
+	default:
+		return
+	}
+	obj, ok := st.pass.TypesInfo.Uses[id].(*types.Func)
+	if !ok {
+		return
+	}
+	acq := st.acquires[obj]
+	if acq == nil {
+		return
+	}
+	name := obj.Name()
+	for h := range held {
+		for node := range acq {
+			if h != node {
+				st.edges = append(st.edges, lockEdge{from: h, to: node, pos: call.Pos(), via: name})
+			}
+		}
+	}
+}
+
+// flagSend records a blocking send performed with locks held.
+func (st *lockState) flagSend(s *ast.SendStmt, held map[string]bool) {
+	if len(held) == 0 {
+		return
+	}
+	names := make([]string, 0, len(held))
+	for h := range held {
+		names = append(names, h)
+	}
+	sort.Strings(names)
+	st.sends = append(st.sends, lockEdge{from: strings.Join(names, ", "), pos: s.Arrow})
+}
+
+// selectHasDefault reports whether a select statement has a default
+// clause (making its communication cases non-blocking).
+func selectHasDefault(sel *ast.SelectStmt) bool {
+	for _, c := range sel.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// copySet clones a held set for branch-local mutation.
+func copySet(m map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

@@ -4,6 +4,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"strings"
 )
 
@@ -12,19 +14,26 @@ import (
 // findings in the go vet file:line:col format. Exit status follows the
 // vet convention: 0 clean, 1 findings, 2 usage or load failure.
 //
-// Usage: esthera-vet [-list] [-require paths] [packages]
+// Usage: esthera-vet [-list] [-run names] [-require paths] [-ratchet] [packages]
 //
 // The only package pattern supported is the module-wide sweep (./...,
 // all, or no argument at all): the invariants are repository-wide, and
-// partial runs would only invite partially-checked merges. -require
-// names import paths (comma-separated) that MUST appear in the sweep:
-// the run fails if one is absent, guarding against a package silently
-// dropping out of coverage (a moved directory, a build-tag mistake).
+// partial runs would only invite partially-checked merges. -run
+// restricts the sweep to a comma-separated subset of analyzers (the
+// directive registry stays the full suite, so //esthera:allow names
+// keep validating against every analyzer). -require names import paths
+// (comma-separated) that MUST appear in the sweep: the run fails if one
+// is absent, guarding against a package silently dropping out of
+// coverage (a moved directory, a build-tag mistake). -ratchet
+// recomputes scripts/bce_baseline.txt from the tree's current
+// //esthera:hotpath bce functions instead of checking against it.
 func Main(argv []string, stdout, stderr io.Writer, analyzers []*Analyzer) int {
 	fs := flag.NewFlagSet("esthera-vet", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list registered analyzers and exit")
+	run := fs.String("run", "", "comma-separated analyzer names to run (default: all)")
 	require := fs.String("require", "", "comma-separated import paths that must be covered by the sweep")
+	ratchet := fs.Bool("ratchet", false, "recompute "+BCEBaselinePath+" from the current tree and exit")
 	if err := fs.Parse(argv); err != nil {
 		return 2
 	}
@@ -40,7 +49,67 @@ func Main(argv []string, stdout, stderr io.Writer, analyzers []*Analyzer) int {
 			return 2
 		}
 	}
-	diags, covered, err := checkModule(".", analyzers)
+
+	active := analyzers
+	if *run != "" {
+		byName := make(map[string]*Analyzer, len(analyzers))
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		active = nil
+		for _, name := range strings.Split(*run, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			a, ok := byName[name]
+			if !ok {
+				names := make([]string, 0, len(analyzers))
+				for _, a := range analyzers {
+					names = append(names, a.Name)
+				}
+				fmt.Fprintf(stderr, "esthera-vet: unknown analyzer %q (registered: %s)\n", name, strings.Join(names, ", "))
+				return 2
+			}
+			active = append(active, a)
+		}
+		if len(active) == 0 {
+			fmt.Fprintf(stderr, "esthera-vet: -run selected no analyzers\n")
+			return 2
+		}
+	}
+
+	// The allow-directive registry always spans the FULL suite: a
+	// -run subset must not make valid suppressions look like typos.
+	cfg := &Config{Compiler: NewCompilerCache(), Known: KnownNames(analyzers)}
+
+	if *ratchet {
+		cfg.BCERecord = make(map[string]int)
+		bce := []*Analyzer{}
+		for _, a := range analyzers {
+			if a.Name == "bce" {
+				bce = append(bce, a)
+			}
+		}
+		if len(bce) == 0 {
+			fmt.Fprintf(stderr, "esthera-vet: -ratchet requires the bce analyzer in the suite\n")
+			return 2
+		}
+		_, _, root, err := checkModule(".", bce, cfg)
+		if err != nil {
+			fmt.Fprintf(stderr, "esthera-vet: %v\n", err)
+			return 2
+		}
+		path := filepath.Join(root, filepath.FromSlash(BCEBaselinePath))
+		if err := os.WriteFile(path, FormatBCEBaseline(cfg.BCERecord), 0o644); err != nil {
+			fmt.Fprintf(stderr, "esthera-vet: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "esthera-vet: wrote %d function entr(ies) to %s\n", len(cfg.BCERecord), BCEBaselinePath)
+		return 0
+	}
+
+	diags, covered, _, err := checkModule(".", active, cfg)
 	if err != nil {
 		fmt.Fprintf(stderr, "esthera-vet: %v\n", err)
 		return 2
@@ -63,32 +132,43 @@ func Main(argv []string, stdout, stderr io.Writer, analyzers []*Analyzer) int {
 
 // CheckModule loads every package of the module containing dir and
 // returns the combined diagnostics of the analyzers, sorted by
-// position within each package.
+// position within each package. The run gets a fresh compiler cache
+// and the BCE baseline from the module's scripts/bce_baseline.txt.
 func CheckModule(dir string, analyzers []*Analyzer) ([]Diagnostic, error) {
-	diags, _, err := checkModule(dir, analyzers)
+	cfg := &Config{Compiler: NewCompilerCache(), Known: KnownNames(analyzers)}
+	diags, _, _, err := checkModule(dir, analyzers, cfg)
 	return diags, err
 }
 
 // checkModule is CheckModule plus the set of package import paths the
-// sweep covered, backing the -require coverage guard.
-func checkModule(dir string, analyzers []*Analyzer) ([]Diagnostic, map[string]bool, error) {
+// sweep covered (backing the -require coverage guard) and the module
+// root. It loads the BCE ratchet baseline into cfg unless the caller
+// already set one or asked for record mode.
+func checkModule(dir string, analyzers []*Analyzer, cfg *Config) ([]Diagnostic, map[string]bool, string, error) {
 	loader, err := NewLoader(dir)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, "", err
+	}
+	if cfg.BCEBaseline == nil && cfg.BCERecord == nil {
+		baseline, err := LoadBCEBaseline(filepath.Join(loader.Root(), filepath.FromSlash(BCEBaselinePath)))
+		if err != nil {
+			return nil, nil, "", err
+		}
+		cfg.BCEBaseline = baseline
 	}
 	pkgs, err := loader.LoadAll()
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, "", err
 	}
 	covered := make(map[string]bool, len(pkgs))
 	var out []Diagnostic
 	for _, pkg := range pkgs {
 		covered[pkg.Path] = true
-		diags, err := RunAnalyzers(pkg, analyzers, false)
+		diags, err := RunAnalyzers(pkg, analyzers, false, cfg)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, "", err
 		}
 		out = append(out, diags...)
 	}
-	return out, covered, nil
+	return out, covered, loader.Root(), nil
 }

@@ -13,14 +13,19 @@ import (
 // filters the determinism contract assigns them.
 func TestSuiteRegistration(t *testing.T) {
 	suite := analysis.Suite()
-	if len(suite) < 4 {
-		t.Fatalf("suite registers %d analyzers, want >= 4", len(suite))
+	if len(suite) < 9 {
+		t.Fatalf("suite registers %d analyzers, want >= 9", len(suite))
 	}
 	want := map[string]bool{
 		"nondeterminism":   false,
 		"barrier":          false,
 		"floatorder":       false,
 		"checkpointcompat": false,
+		"noalloc":          false,
+		"bce":              false,
+		"draworder":        false,
+		"lockorder":        false,
+		"directive":        false,
 	}
 	seen := make(map[string]bool)
 	for _, a := range suite {
@@ -75,6 +80,35 @@ func TestSuiteFilters(t *testing.T) {
 	if byName["barrier"].Filter != nil || byName["floatorder"].Filter != nil {
 		t.Errorf("barrier and floatorder must run over every package")
 	}
+	for _, name := range []string{"noalloc", "bce"} {
+		a := byName[name]
+		if !a.NeedsCompiler {
+			t.Errorf("%s must request compiler diagnostics", name)
+		}
+		for _, pkg := range []string{
+			"esthera/internal/kernels", "esthera/internal/sortnet", "esthera/internal/scan",
+			"esthera/internal/rng", "esthera/internal/model", "esthera/internal/model/arm",
+		} {
+			if !a.Filter(pkg) {
+				t.Errorf("%s must cover hot package %s", name, pkg)
+			}
+		}
+		if a.Filter("esthera/internal/serve") {
+			t.Errorf("%s must not compile host-side serve (only the hot path carries the contract)", name)
+		}
+	}
+	lo := byName["lockorder"]
+	for _, pkg := range []string{"esthera/internal/serve", "esthera/internal/shard"} {
+		if !lo.Filter(pkg) {
+			t.Errorf("lockorder must cover serving package %s", pkg)
+		}
+	}
+	if lo.Filter("esthera/internal/kernels") {
+		t.Errorf("lockorder must not cover lock-free kernels")
+	}
+	if byName["draworder"].Filter != nil || byName["directive"].Filter != nil {
+		t.Errorf("draworder and directive must run over every package")
+	}
 }
 
 // TestListFlag exercises the multichecker's -list mode, which the
@@ -85,10 +119,31 @@ func TestListFlag(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("esthera-vet -list exited %d, stderr: %s", code, errb.String())
 	}
-	for _, name := range []string{"nondeterminism:", "barrier:", "floatorder:", "checkpointcompat:"} {
+	for _, name := range []string{
+		"nondeterminism:", "barrier:", "floatorder:", "checkpointcompat:",
+		"noalloc:", "bce:", "draworder:", "lockorder:", "directive:",
+	} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output missing %q:\n%s", name, out.String())
 		}
+	}
+}
+
+// TestRunFlag pins -run's name validation: an unknown analyzer is a
+// usage error (exit 2) before any package is loaded, and the error
+// names the registered set.
+func TestRunFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := analysis.Main([]string{"-run", "nosuchanalyzer", "./..."}, &out, &errb, analysis.Suite()); code != 2 {
+		t.Fatalf("-run nosuchanalyzer exited %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "nosuchanalyzer") || !strings.Contains(errb.String(), "registered:") {
+		t.Errorf("error does not name the unknown analyzer and the registry: %s", errb.String())
+	}
+	out.Reset()
+	errb.Reset()
+	if code := analysis.Main([]string{"-run", " , "}, &out, &errb, analysis.Suite()); code != 2 {
+		t.Fatalf("-run with an empty selection exited %d, want 2", code)
 	}
 }
 

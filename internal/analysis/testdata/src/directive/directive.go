@@ -1,0 +1,31 @@
+// Package directive exercises the directive analyzer: //esthera:allow
+// must name a registered analyzer, and //esthera:hotpath must sit in a
+// function's doc comment listing only known contracts.
+package directive
+
+//esthera:allow nosuchanalyzer reviewed long ago // want `unknown analyzer "nosuchanalyzer"`
+var masked = 1
+
+//esthera:allow barrier fixture rationale: a valid suppression is silent
+var sanctioned = 2
+
+//esthera:allow // want `names no analyzer`
+var nameless = 3
+
+// Frob declares a contract that no analyzer implements.
+//
+//esthera:hotpath nosuchcontract // want `unknown contract "nosuchcontract"`
+func Frob() {}
+
+// Empty forgot its contract list.
+//
+//esthera:hotpath // want `lists no contracts`
+func Empty() {}
+
+// Clean carries a well-formed directive.
+//
+//esthera:hotpath noalloc bce
+func Clean() int {
+	//esthera:hotpath noalloc // want `must appear in a function declaration's doc comment`
+	return masked + sanctioned + nameless
+}

@@ -1,0 +1,76 @@
+// Package draworder exercises the draw-order analyzer: vectorized
+// model methods must use block rng draws, and their per-row draw count
+// must match the paired scalar method.
+package draworder
+
+import "esthera/internal/rng"
+
+// Skewed's StepVec requests one normal per row while the scalar Step
+// consumes two: the replayed stream diverges after the first row.
+type Skewed struct{}
+
+func (m *Skewed) Step(dst, src, u []float64, k int, r *rng.Rand) {
+	dst[0] = src[0] + r.Normal(0, 1)
+	dst[1] = src[1] + r.Normal(0, 1)
+}
+
+func (m *Skewed) StepVec(dst, src [][]float64, u []float64, k int, r *rng.Rand) { // want `consumes 1 normal draw\(s\) per row but scalar Step consumes 2`
+	n := len(dst[0])
+	zs := r.Normals(n)
+	for i := range zs {
+		dst[0][i] = src[0][i] + zs[i]
+		dst[1][i] = src[1][i]
+	}
+}
+
+// Scalarized draws word-at-a-time inside its vectorized method, which
+// reorders the stream relative to block replay.
+type Scalarized struct{}
+
+func (m *Scalarized) InitParticle(x []float64, r *rng.Rand) {
+	x[0] = r.Normal(0, 1)
+}
+
+func (m *Scalarized) InitVec(x [][]float64, r *rng.Rand) {
+	x0 := x[0]
+	for i := range x0 {
+		x0[i] = r.Normal(0, 1) // want `scalar normal-stream draw r.Normal in vectorized method`
+	}
+}
+
+// Balanced is the clean shape: 2 normals per row on both sides.
+type Balanced struct{}
+
+func (m *Balanced) Step(dst, src, u []float64, k int, r *rng.Rand) {
+	dst[0] = src[0] + r.Normal(0, 1)
+	dst[1] = src[1]*0.5 + r.Normal(0, 1)
+}
+
+func (m *Balanced) StepVec(dst, src [][]float64, u []float64, k int, r *rng.Rand) {
+	n := len(dst[0])
+	zs := r.Normals(2 * n)
+	d0, s0 := dst[0][:n], src[0][:n]
+	d1, s1 := dst[1][:n], src[1][:n]
+	for i := range d0 {
+		d0[i] = s0[i] + zs[2*i]
+		d1[i] = s1[i]*0.5 + zs[2*i+1]
+	}
+}
+
+// Jagged's block request length is not a static multiple of the row
+// count, so the comparison stays silent (soundness over completeness).
+type Jagged struct {
+	dims int
+}
+
+func (m *Jagged) Step(dst, src, u []float64, k int, r *rng.Rand) {
+	dst[0] = src[0] + r.Normal(0, 1)
+}
+
+func (m *Jagged) StepVec(dst, src [][]float64, u []float64, k int, r *rng.Rand) {
+	n := len(dst[0])
+	zs := r.Normals(m.dims * n)
+	for i := range dst[0] {
+		dst[0][i] = src[0][i] + zs[i]
+	}
+}

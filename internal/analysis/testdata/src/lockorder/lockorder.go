@@ -1,0 +1,101 @@
+// Package lockorder exercises the lock-order analyzer: mutex
+// acquisitions must form a cycle-free order, and no blocking channel
+// send may happen while a lock is held.
+package lockorder
+
+import "sync"
+
+// Server's two mutexes are taken in both orders: a two-goroutine
+// interleaving deadlocks.
+type Server struct {
+	mu     sync.Mutex
+	sessMu sync.RWMutex
+}
+
+func (s *Server) abLock() {
+	s.mu.Lock()
+	s.sessMu.Lock() // want `lock order cycle: Server.sessMu acquired while holding Server.mu`
+	s.sessMu.Unlock()
+	s.mu.Unlock()
+}
+
+func (s *Server) baLock() {
+	s.sessMu.RLock()
+	s.mu.Lock() // want `lock order cycle: Server.mu acquired while holding Server.sessMu`
+	s.mu.Unlock()
+	s.sessMu.RUnlock()
+}
+
+// Agent closes its cycle through a call: opThenLog holds opMu while
+// calling a helper that acquires logMu, and logThenOp inverts it.
+type Agent struct {
+	opMu  sync.Mutex
+	logMu sync.Mutex
+}
+
+func (a *Agent) lockLog() {
+	a.logMu.Lock()
+	a.logMu.Unlock()
+}
+
+func (a *Agent) opThenLog() {
+	a.opMu.Lock()
+	a.lockLog() // want `lock order cycle: Agent.logMu acquired while holding Agent.opMu \(through call to lockLog\)`
+	a.opMu.Unlock()
+}
+
+func (a *Agent) logThenOp() {
+	a.logMu.Lock()
+	a.opMu.Lock() // want `lock order cycle: Agent.opMu acquired while holding Agent.logMu`
+	a.opMu.Unlock()
+	a.logMu.Unlock()
+}
+
+// Router demonstrates the clean shapes: a consistent nesting order, a
+// non-blocking select send under lock, sends after unlocking, and an
+// early return past an unlock.
+type Router struct {
+	mu     sync.Mutex
+	ringMu sync.Mutex
+	out    chan int
+}
+
+func (r *Router) place(v int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ringMu.Lock()
+	r.ringMu.Unlock()
+	r.out <- v // want `blocking channel send while holding Router.mu`
+}
+
+func (r *Router) tryPlace(v int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	select {
+	case r.out <- v:
+	default:
+	}
+}
+
+func (r *Router) unheldSend(v int) {
+	r.mu.Lock()
+	r.mu.Unlock()
+	r.out <- v
+}
+
+func (r *Router) earlyReturn(cond bool) {
+	r.mu.Lock()
+	if cond {
+		r.mu.Unlock()
+		return
+	}
+	r.mu.Unlock()
+}
+
+func (r *Router) spawn(v int) {
+	r.mu.Lock()
+	go func() {
+		r.out <- v
+	}()
+	r.mu.Unlock()
+}

@@ -89,6 +89,8 @@ func NewBatcher(dev *device.Device) *Batcher {
 // Round runs one filtering round for every entry; see RoundBatch for
 // the coalescing contract. A failed validation leaves every pipeline
 // unstepped.
+//
+//esthera:hotpath noalloc bce
 func (b *Batcher) Round(batch []*BatchRound) error {
 	if len(batch) == 0 {
 		return nil
@@ -109,6 +111,9 @@ func (b *Batcher) Round(batch []*BatchRound) error {
 		m := e.P.cfg.ParticlesPer
 		p := b.parts[m]
 		if p == nil {
+			// Amortized: a merged part is built once per distinct group
+			// size, then reused; the steady state reruns existing parts.
+			//esthera:allow noalloc merged-part construction is the amortized grow path, not steady state
 			p = newMergedPart()
 			b.parts[m] = p
 		}
@@ -149,6 +154,8 @@ func newMergedPart() *mergedPart {
 // single grid (one launch instead of B), and the grid runs one fused
 // body instead of three barrier-separated kernels (one launch instead
 // of 3·B).
+//
+//esthera:hotpath noalloc bce
 func (p *mergedPart) run(dev *device.Device) {
 	p.groups = p.groups[:0]
 	for i, e := range p.entries {

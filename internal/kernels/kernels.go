@@ -19,6 +19,8 @@ func (p *Pipeline) KernelRand() {
 // bodies are factored out of the launches so the cross-session batch
 // scheduler (RoundBatch) can coalesce the groups of many pipelines into a
 // single shared launch.
+//
+//esthera:hotpath noalloc bce
 func (p *Pipeline) randGroup(g *device.Group, s int) {
 	buf := p.bufs[s]
 	g.StepOne(func() {
@@ -49,6 +51,8 @@ var fusedPhases = []string{"rand", "sampling", "local sort"}
 // and ends in the same buffer state as the unfused sequence of launches +
 // swaps; per-phase RNG consumption order is untouched, keeping results
 // bit-identical.
+//
+//esthera:hotpath noalloc bce
 func (p *Pipeline) fusedGroup(g *device.Group, s int, u, z []float64, k int) {
 	g.Phase(0)
 	p.randGroup(g, s)
@@ -80,6 +84,8 @@ func (p *Pipeline) KernelSampleWeight(u, z []float64, k int) {
 // path interleaves Step(lane)/LogLikelihood(lane), but LogLikelihood
 // draws nothing, so all Step draws in ascending lane order replay the
 // identical stream (the model.VecModel contract).
+//
+//esthera:hotpath noalloc bce
 func (p *Pipeline) sampleGroup(g *device.Group, s int, u, z []float64, k int, xin, xout *soaBuf) {
 	m := p.cfg.ParticlesPer
 	dim := p.dim
@@ -129,6 +135,8 @@ func (p *Pipeline) KernelSortLocal() {
 // reading the particle columns from xin and writing the weight-sorted
 // columns to xout. The unfused caller passes the double buffer halves and
 // swaps them after the launch; the fused round chains buffers explicitly.
+//
+//esthera:hotpath noalloc bce
 func (p *Pipeline) sortGroup(g *device.Group, s int, xin, xout *soaBuf) {
 	m := p.cfg.ParticlesPer
 	dim := p.dim
@@ -204,6 +212,8 @@ func (p *Pipeline) estGrid() device.Grid {
 
 // estHeadGroup loads the N sorted block-head log-weights and reduces to
 // the index of the global best, leaving it in p.estBest.
+//
+//esthera:hotpath noalloc bce
 func (p *Pipeline) estHeadGroup(g *device.Group) {
 	m := p.cfg.ParticlesPer
 	N := p.cfg.SubFilters
@@ -287,6 +297,8 @@ func (p *Pipeline) kernelEstimateMean() ([]float64, float64) {
 // accumulation runs column-major over the SoA storage; each partial sum
 // still receives its additions in ascending particle order, so the float
 // results are bit-identical to the row-major traversal.
+//
+//esthera:hotpath noalloc bce
 func (p *Pipeline) estMeanGroup(g *device.Group, s int) {
 	m := p.cfg.ParticlesPer
 	dim := p.dim
@@ -361,6 +373,8 @@ func (p *Pipeline) KernelExchange() {
 
 // exchPublishGroup stages sub-filter s's top-t particles (which sit in
 // slots 0..t-1 after the local sort) into its outbox records.
+//
+//esthera:hotpath noalloc bce
 func (p *Pipeline) exchPublishGroup(g *device.Group, s int) {
 	t := p.cfg.ExchangeCount
 	m := p.cfg.ParticlesPer
@@ -382,6 +396,8 @@ func (p *Pipeline) exchPublishGroup(g *device.Group, s int) {
 
 // exchPullGroup pulls the neighbors' outbox records into sub-filter s's
 // worst slots.
+//
+//esthera:hotpath noalloc bce
 func (p *Pipeline) exchPullGroup(g *device.Group, s int) {
 	t := p.cfg.ExchangeCount
 	m := p.cfg.ParticlesPer
@@ -419,6 +435,8 @@ func (p *Pipeline) poolGrid() device.Grid {
 
 // exchPoolGroup sorts the pooled outbox records by weight, leaving the
 // descending permutation in p.poolIdx.
+//
+//esthera:hotpath noalloc bce
 func (p *Pipeline) exchPoolGroup(g *device.Group) {
 	dim := p.dim
 	stride := dim + 1
@@ -438,6 +456,8 @@ func (p *Pipeline) exchPoolGroup(g *device.Group) {
 
 // exchBroadcastGroup copies the globally selected top-t records into
 // sub-filter s's worst slots.
+//
+//esthera:hotpath noalloc bce
 func (p *Pipeline) exchBroadcastGroup(g *device.Group, s int) {
 	t := p.cfg.ExchangeCount
 	m := p.cfg.ParticlesPer
@@ -473,6 +493,8 @@ func (p *Pipeline) KernelResample() {
 
 // resampleGroup is KernelResample's work-group body for sub-filter s.
 // The caller swaps the double buffer after the launch completes.
+//
+//esthera:hotpath noalloc bce
 func (p *Pipeline) resampleGroup(g *device.Group, s int) {
 	m := p.cfg.ParticlesPer
 	dim := p.dim
@@ -567,6 +589,8 @@ func (p *Pipeline) resampleGroup(g *device.Group, s int) {
 }
 
 // rwsSelect fills sel with RWS draws from the local weights w.
+//
+//esthera:hotpath noalloc bce
 func (p *Pipeline) rwsSelect(g *device.Group, w []float64, sel []int, s int) {
 	m := len(w)
 	r := p.rands[s]
@@ -684,6 +708,8 @@ func (p *Pipeline) rwsSelect(g *device.Group, w []float64, sel []int, s int) {
 // CDF at (u₀ + i)·total/m for one shared uniform u₀. Initialization is
 // the same parallel prefix sum as RWS; generation is one binary search
 // per lane with no per-lane random draw.
+//
+//esthera:hotpath noalloc bce
 func (p *Pipeline) systematicSelect(g *device.Group, w []float64, sel []int, s int) {
 	m := len(w)
 	r := p.rands[s]
@@ -751,6 +777,8 @@ func (p *Pipeline) systematicSelect(g *device.Group, w []float64, sel []int, s i
 // construction is the poorly-parallelizing part (concurrency "drops
 // steeply towards one"), which is why Fig. 5 shows Vose losing at
 // sub-filter sizes; we execute it on lane 0 and account its serial cost.
+//
+//esthera:hotpath noalloc bce
 func (p *Pipeline) voseSelect(g *device.Group, w []float64, sel []int, s int) {
 	m := len(w)
 	r := p.rands[s]

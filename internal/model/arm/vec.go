@@ -15,6 +15,8 @@ import (
 // the columns can then be filled in any order.
 
 // StepVec implements model.VecModel.
+//
+//esthera:hotpath noalloc bce
 func (m *Model) StepVec(dst, src [][]float64, u []float64, _ int, r *rng.Rand) {
 	j := m.cfg.Joints
 	nd := j + 4
@@ -61,6 +63,8 @@ func (m *Model) StepVec(dst, src [][]float64, u []float64, _ int, r *rng.Rand) {
 // win here is hoisting the channel-noise logarithms and skipping the
 // per-particle interface dispatch; joint angles are gathered into a small
 // stack buffer for CameraProject.
+//
+//esthera:hotpath noalloc bce
 func (m *Model) LogLikelihoodVec(ll []float64, x [][]float64, z []float64) {
 	j := m.cfg.Joints
 	n := len(ll)
@@ -68,6 +72,7 @@ func (m *Model) LogLikelihoodVec(ll []float64, x [][]float64, z []float64) {
 	var buf [16]float64
 	theta := buf[:]
 	if j > len(buf) {
+		//esthera:allow noalloc cold fallback for arms beyond 16 joints; the stack buffer covers every shipped config
 		theta = make([]float64, j)
 	}
 	theta = theta[:j]
@@ -103,6 +108,8 @@ func (m *Model) LogLikelihoodVec(ll []float64, x [][]float64, z []float64) {
 }
 
 // InitVec implements model.VecModel.
+//
+//esthera:hotpath bce
 func (m *Model) InitVec(x [][]float64, r *rng.Rand) {
 	mean := m.initMean()
 	j := m.cfg.Joints

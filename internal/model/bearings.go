@@ -190,6 +190,8 @@ func wrapAngle(a float64) float64 {
 
 // StepVec implements VecModel: two acceleration draws per row, consumed
 // row-major exactly as Step draws them.
+//
+//esthera:hotpath noalloc bce
 func (m *Bearings) StepVec(dst, src [][]float64, _ []float64, _ int, r *rng.Rand) {
 	n := len(dst[0])
 	d0, d1, d2, d3 := dst[0][:n:n], dst[1][:n:n], dst[2][:n:n], dst[3][:n:n]
@@ -210,6 +212,8 @@ func (m *Bearings) StepVec(dst, src [][]float64, _ []float64, _ int, r *rng.Rand
 
 // LogLikelihoodVec implements VecModel with the noise stddev's log and
 // the sensor coordinates hoisted out of the row loop.
+//
+//esthera:hotpath noalloc bce
 func (m *Bearings) LogLikelihoodVec(ll []float64, x [][]float64, z []float64) {
 	n := len(ll)
 	out := ll[:n:n]
@@ -228,6 +232,8 @@ func (m *Bearings) LogLikelihoodVec(ll []float64, x [][]float64, z []float64) {
 }
 
 // InitVec implements VecModel: four prior draws per row, row-major.
+//
+//esthera:hotpath noalloc bce
 func (m *Bearings) InitVec(x [][]float64, r *rng.Rand) {
 	n := len(x[0])
 	x0, x1, x2, x3 := x[0][:n:n], x[1][:n:n], x[2][:n:n], x[3][:n:n]

@@ -116,6 +116,8 @@ func (m *UNGM) MeasureCov() *mat.Matrix { return mat.Diag([]float64{m.rv()}) }
 // StepVec implements VecModel. The 8·cos(1.2k) forcing term and the
 // process-noise stddev are loop-invariant and hoisted; the per-row
 // arithmetic matches Step exactly.
+//
+//esthera:hotpath noalloc bce
 func (m *UNGM) StepVec(dst, src [][]float64, _ []float64, k int, r *rng.Rand) {
 	n := len(dst[0])
 	d0 := dst[0][:n:n]
@@ -131,6 +133,8 @@ func (m *UNGM) StepVec(dst, src [][]float64, _ []float64, k int, r *rng.Rand) {
 
 // LogLikelihoodVec implements VecModel with the measurement-noise stddev
 // and its log hoisted out of the row loop.
+//
+//esthera:hotpath noalloc bce
 func (m *UNGM) LogLikelihoodVec(ll []float64, x [][]float64, z []float64) {
 	z0 := z[0]
 	sigma := math.Sqrt(m.rv())
@@ -146,6 +150,8 @@ func (m *UNGM) LogLikelihoodVec(ll []float64, x [][]float64, z []float64) {
 }
 
 // InitVec implements VecModel.
+//
+//esthera:hotpath noalloc bce
 func (m *UNGM) InitVec(x [][]float64, r *rng.Rand) {
 	x0 := x[0]
 	sp := math.Sqrt(m.p0())

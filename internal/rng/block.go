@@ -14,6 +14,8 @@ const inv53 = 1.0 / (1 << 53)
 // len(dst) sequential NormFloat64 calls (same draws, same spare cache
 // state afterward). When the source is a block Buffer, the raw words are
 // taken from the block in bulk, skipping per-draw façade dispatch.
+//
+//esthera:hotpath noalloc bce
 func (r *Rand) FillNormals(dst []float64) {
 	if r.useZiggurat {
 		for i := range dst {
@@ -45,6 +47,8 @@ func (r *Rand) FillNormals(dst []float64) {
 // packing and 53-bit open-interval mapping as OpenFloat64 over Uint64).
 // It returns the next unfilled index; any remainder falls back to the
 // scalar path.
+//
+//esthera:hotpath noalloc bce
 func fillNormalsBuffered(dst []float64, i int, b *Buffer) int {
 	n := 4 * ((len(dst) - i) / 2)
 	if avail := len(b.bits) - b.pos; n > avail {
@@ -62,6 +66,8 @@ func fillNormalsBuffered(dst []float64, i int, b *Buffer) int {
 
 // FillUniforms fills dst with uniforms in [0,1), bit-identical to
 // len(dst) sequential Float64 calls.
+//
+//esthera:hotpath noalloc bce
 func (r *Rand) FillUniforms(dst []float64) {
 	i := 0
 	if b, ok := r.src.(*Buffer); ok {
@@ -84,8 +90,11 @@ func (r *Rand) FillUniforms(dst []float64) {
 // deviates. The slice is owned by the Rand and overwritten by the next
 // Normals call; Rand is single-goroutine by contract, so per-sub-filter
 // kernels can call this every round with zero steady-state allocation.
+//
+//esthera:hotpath noalloc bce
 func (r *Rand) Normals(n int) []float64 {
 	if cap(r.normScratch) < n {
+		//esthera:allow noalloc amortized scratch growth; steady-state calls reuse the buffer
 		r.normScratch = make([]float64, n)
 	}
 	s := r.normScratch[:n]
@@ -95,8 +104,11 @@ func (r *Rand) Normals(n int) []float64 {
 
 // Uniforms returns a reusable scratch slice of n uniforms in [0,1),
 // with the same ownership rules as Normals.
+//
+//esthera:hotpath noalloc bce
 func (r *Rand) Uniforms(n int) []float64 {
 	if cap(r.unifScratch) < n {
+		//esthera:allow noalloc amortized scratch growth; steady-state calls reuse the buffer
 		r.unifScratch = make([]float64, n)
 	}
 	s := r.unifScratch[:n]

@@ -46,6 +46,8 @@ func NewBuffer(capacity int, fallback BlockSource) *Buffer {
 // streams) and the read position rewinds. It returns the block capacity,
 // which the PRNG kernel accounts as work — the device-model cost of the
 // paper's PRNG kernel, independent of the lazy host-side realization.
+//
+//esthera:hotpath noalloc bce
 func (b *Buffer) Refill() int {
 	skipWords(b.fallback, len(b.bits)-b.gen)
 	b.pos, b.gen = 0, 0
@@ -72,6 +74,8 @@ func (b *Buffer) materializeTo(target int) {
 // take returns the next n block words (materializing them as needed) and
 // consumes them, or nil if fewer than n remain in the block. It is the
 // bulk-draw fast path used by Rand.FillNormals/FillUniforms.
+//
+//esthera:hotpath noalloc bce
 func (b *Buffer) take(n int) []uint32 {
 	if b.pos+n > len(b.bits) {
 		return nil
@@ -84,6 +88,8 @@ func (b *Buffer) take(n int) []uint32 {
 
 // Uint64 serves two buffered words, or delegates to the fallback stream
 // when fewer than two remain.
+//
+//esthera:hotpath noalloc bce
 func (b *Buffer) Uint64() uint64 {
 	if b.pos+2 <= len(b.bits) {
 		if b.pos+2 > b.gen {

@@ -56,6 +56,8 @@ func (p *Philox4x32) SetCounter(c0, c1, c2, c3 uint32) {
 // Round4x32 applies the full 10-round Philox4x32 bijection to ctr under
 // key and returns the four output words. It is exposed (rather than kept
 // private) so the device kernels can generate numbers positionally.
+//
+//esthera:hotpath noalloc bce
 func Round4x32(key [2]uint32, ctr [4]uint32) [4]uint32 {
 	k0, k1 := key[0], key[1]
 	// The counter words live in scalars so the ten rounds stay in
@@ -72,6 +74,8 @@ func Round4x32(key [2]uint32, ctr [4]uint32) [4]uint32 {
 }
 
 // refill produces the next 4-word block and advances the counter.
+//
+//esthera:hotpath noalloc bce
 func (p *Philox4x32) refill() {
 	p.buf = Round4x32(p.key, p.ctr)
 	// 128-bit increment.
@@ -85,6 +89,8 @@ func (p *Philox4x32) refill() {
 }
 
 // Uint32 returns the next 32-bit output.
+//
+//esthera:hotpath noalloc bce
 func (p *Philox4x32) Uint32() uint32 {
 	if p.n == 0 {
 		p.refill()
@@ -95,6 +101,8 @@ func (p *Philox4x32) Uint32() uint32 {
 }
 
 // Uint64 packs two 32-bit outputs, satisfying Source.
+//
+//esthera:hotpath noalloc bce
 func (p *Philox4x32) Uint64() uint64 {
 	hi := uint64(p.Uint32())
 	lo := uint64(p.Uint32())
@@ -106,6 +114,8 @@ func (p *Philox4x32) Uint64() uint64 {
 // drained first, whole 4-word blocks are then generated straight into
 // dst (skipping the internal buffer and its per-word bookkeeping), and
 // any tail goes through Uint32 so the leftover state matches.
+//
+//esthera:hotpath noalloc bce
 func (p *Philox4x32) Block(dst []uint32) {
 	i := 0
 	for p.n > 0 && i < len(dst) {

@@ -133,6 +133,8 @@ func NewPlan() *Plan {
 
 // Exclusive is the method form of the package-level Exclusive, reusing the
 // plan's bound closures. Identical results and cost accounting.
+//
+//esthera:hotpath noalloc bce
 func (pl *Plan) Exclusive(ctx device.Ctx, buf []float64) float64 {
 	n := len(buf)
 	if n == 0 {
@@ -153,6 +155,8 @@ func (pl *Plan) Exclusive(ctx device.Ctx, buf []float64) float64 {
 }
 
 // upDownSweep mirrors the package-level upDownSweep on the plan's state.
+//
+//esthera:hotpath noalloc bce
 func (pl *Plan) upDownSweep() float64 {
 	ctx, work := pl.ctx, pl.work
 	p := len(work)
@@ -184,6 +188,8 @@ func (pl *Plan) upDownSweep() float64 {
 
 // MaxIndex is the method form of the package-level MaxIndex, reusing the
 // plan's bound closures. Identical results and cost accounting.
+//
+//esthera:hotpath noalloc bce
 func (pl *Plan) MaxIndex(ctx device.Ctx, keys []float64) int {
 	n := len(keys)
 	if n == 0 {
@@ -210,6 +216,8 @@ func (pl *Plan) MaxIndex(ctx device.Ctx, keys []float64) int {
 
 // SumTree is the method form of the package-level SumTree, reusing the
 // plan's bound closures. Identical results and cost accounting.
+//
+//esthera:hotpath noalloc bce
 func (pl *Plan) SumTree(ctx device.Ctx, keys []float64) float64 {
 	n := len(keys)
 	if n == 0 {

@@ -50,6 +50,8 @@ func floatSortKeys(iks []int, keys []float64) {
 // KeyImage(b). Kernels use it to replace hot float comparisons (sort
 // networks, cdf binary searches) with integer ones, which compile to
 // branchless flag materialization instead of mispredict-prone jumps.
+//
+//esthera:hotpath noalloc bce
 func KeyImage(f float64) int {
 	f += 0 // -0.0 + 0 = +0.0; every other value is unchanged
 	b := int64(math.Float64bits(f))
@@ -57,6 +59,8 @@ func KeyImage(f float64) int {
 }
 
 // KeyImages fills dst with KeyImage of each element of src.
+//
+//esthera:hotpath noalloc bce
 func KeyImages(dst []int, src []float64) {
 	dst = dst[:len(src)]
 	for i, f := range src {
@@ -247,6 +251,8 @@ func NewNet() *Net {
 
 // SortDescending is the method form of the package-level SortDescending,
 // reusing the net's bound closure. Identical results and cost accounting.
+//
+//esthera:hotpath noalloc bce
 func (nt *Net) SortDescending(ctx device.Ctx, keys []float64, idx []int) {
 	n := len(keys)
 	if n <= 1 {
@@ -287,6 +293,8 @@ func (nt *Net) SortDescending(ctx device.Ctx, keys []float64, idx []int) {
 }
 
 // bitonic mirrors the package-level bitonic on the net's bound state.
+//
+//esthera:hotpath noalloc bce
 func (nt *Net) bitonic(ctx device.Ctx, keys []float64, idx []int) {
 	p := len(keys)
 	iks := ctx.ScratchInt(p)

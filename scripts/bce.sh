@@ -1,38 +1,29 @@
 #!/bin/sh
-# Bounds-check-elimination audit for the vectorized hot paths: rebuilds
-# the numeric core with -d=ssa/check_bce and prints every retained
-# bounds check with its source line, so a regression in the hoisted
-# [:n:n] slicing patterns (see DESIGN.md "Memory layout") is visible at
-# a glance.
+# Bounds-check-elimination audit for the vectorized hot paths, now a
+# thin wrapper over the bce analyzer (`esthera-vet -run bce`): every
+# function marked `//esthera:hotpath bce` is rebuilt with
+# -d=ssa/check_bce and its retained checks are classified. Setup-class
+# checks (outside loops: slice-header construction, table indexing) are
+# sanctioned by design; loop-class checks are ratcheted against
+# scripts/bce_baseline.txt — audited residuals the prove pass cannot
+# eliminate, like strided RNG reads (zs[2*i]). Any NEW per-element-loop
+# check fails this script with its source position, instead of relying
+# on a human eyeballing raw compiler output.
 #
-# The audit's expectation is NOT zero findings: per-group setup code
-# (sub-slice construction, per-sub-filter table indexing) and the cold
-# AoS pack/unpack boundary keep their checks by design, and the Go
-# prove pass cannot eliminate strided RNG reads (zs[2*i] — it does not
-# reason through the multiply). What must stay check-free is the
-# per-element bodies of the StepVec kernels: the column loops ranging
-# over a [:n:n]-hoisted destination. Eyeball the output — a finding
-# inside a `for i := range d0`-style loop is a regression.
+# After a deliberate, reviewed change to a hot loop, refresh the
+# baseline with `make vet-ratchet`.
 #
-# Usage: scripts/bce.sh [package ...]  (defaults to the numeric core)
+# Usage: scripts/bce.sh [package ...]
+# Package arguments are accepted for compatibility with the old audit
+# but the sweep is always module-wide: the analyzer's package filter
+# already restricts it to the numeric core, and partial runs would
+# leave the ratchet unchecked elsewhere.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-PKGS="${*:-./internal/kernels ./internal/sortnet ./internal/scan ./internal/rng ./internal/model/...}"
+if [ "$#" -gt 0 ]; then
+	echo "bce.sh: note: ignoring package arguments ($*); the bce sweep is module-wide" >&2
+fi
 
-for pkg in $PKGS; do
-	imp="$(go list "$pkg" 2>/dev/null)" || continue
-	for p in $imp; do
-		echo "== $p"
-		# -gcflags scoped to one package so dependency rebuilds stay quiet.
-		go build -gcflags="$p=-d=ssa/check_bce" "$p" 2>&1 |
-			grep -v '^#' |
-			while IFS= read -r line; do
-				file="${line%%:*}"
-				ln="$(echo "$line" | cut -d: -f2)"
-				src="$(sed -n "${ln}p" "$file" 2>/dev/null | sed 's/^[[:space:]]*//')"
-				printf '  %-48s %s\n' "$line" "$src"
-			done
-	done
-done
+exec go run ./cmd/esthera-vet -run bce ./...

@@ -71,7 +71,7 @@ fi
 # touches, so any steady-state allocation is a leak into the hot path.
 MAX_ALLOCS="$(awk '/^BenchmarkRoundFused/ { for (i = 2; i <= NF; i++) if ($(i) == "allocs/op") if ($(i-1) + 0 > max + 0) max = $(i-1) } END { print max + 0 }' "$RAW")"
 if [ "$MAX_ALLOCS" -gt 0 ]; then
-	echo "bench_guard: FAIL — fused round allocates $MAX_ALLOCS objects/op, want 0" >&2
+	echo "bench_guard: FAIL [allocs/op] — fused round allocates $MAX_ALLOCS objects/op, want 0 (ns/op not at fault; find the escape with \`go run ./cmd/esthera-vet -run noalloc ./...\`)" >&2
 	exit 1
 fi
 echo "bench_guard: fused round allocs/op: 0"
@@ -81,7 +81,7 @@ awk -v fresh="$FRESH_NS" -v base="$BASE_NS" -v tol="$TOLERANCE" -v src="$BASELIN
 	delta = (fresh - base) / base * 100
 	printf "bench_guard: fused round %.0f ns/op vs %.0f baseline (%s): %+.1f%% (tolerance +%s%%)\n", fresh, base, src, delta, tol
 	if (fresh > limit) {
-		printf "bench_guard: FAIL — fused round regressed past tolerance\n"
+		printf "bench_guard: FAIL [ns/op] — fused round %.0f ns/op exceeds limit %.0f (baseline %.0f +%s%%); allocs/op already passed at 0\n", fresh, limit, base, tol
 		exit 1
 	}
 	print "bench_guard: ok"

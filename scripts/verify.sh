@@ -11,11 +11,13 @@ cd "$(dirname "$0")/.."
 go build ./...
 go vet ./...
 go run ./cmd/esthera-vet -list
-# The telemetry layer is a leaf package every hot path calls into, and
-# the shard package carries the framed wire structs the checkpointcompat
-# analyzer must keep covered: -require makes the sweep fail loudly if a
-# module-path change ever silently drops either from ./... coverage.
-go run ./cmd/esthera-vet -require esthera/internal/telemetry,esthera/internal/shard ./...
+# -require makes the sweep fail loudly if a module-path change ever
+# silently drops a load-bearing package from ./... coverage: telemetry
+# (leaf package every hot path calls into), shard (framed wire structs
+# under checkpointcompat), the //esthera:hotpath-annotated numeric core
+# (kernels/sortnet/scan/rng/model under noalloc+bce, model under
+# draworder), and serve (lockorder).
+go run ./cmd/esthera-vet -require esthera/internal/telemetry,esthera/internal/shard,esthera/internal/kernels,esthera/internal/sortnet,esthera/internal/scan,esthera/internal/rng,esthera/internal/model,esthera/internal/model/arm,esthera/internal/serve ./...
 go test ./...
 go test -race ./...
 # The vectorized lane kernels and the branchless sort/search paths are
