@@ -316,7 +316,7 @@ func BenchmarkTableIIDefaults(b *testing.B) {
 // this PR's persistent pool + kernel fusion attack. UNGM keeps per-lane
 // model work small so the sub-filter kernels stay in the
 // launch-overhead-dominated regime of Fig. 4a's left edge.
-func benchRoundPath(b *testing.B, fused, traced bool, subFilters, particlesPer int) {
+func benchRoundPath(b *testing.B, fused, traced bool, subFilters, particlesPer int, algo kernels.Algo) {
 	b.Helper()
 	m := model.NewUNGM()
 	dev := device.New(device.Config{LocalMemBytes: -1})
@@ -330,6 +330,7 @@ func benchRoundPath(b *testing.B, fused, traced bool, subFilters, particlesPer i
 		ParticlesPer:  particlesPer,
 		ExchangeCount: 1,
 		Topology:      top,
+		Resampler:     algo,
 	}, 1)
 	if err != nil {
 		b.Fatal(err)
@@ -362,7 +363,7 @@ func benchRoundPath(b *testing.B, fused, traced bool, subFilters, particlesPer i
 func BenchmarkRound(b *testing.B) {
 	for _, n := range []int{64, 256} {
 		b.Run("n="+strconv.Itoa(n)+"/m=128", func(b *testing.B) {
-			benchRoundPath(b, false, false, n, 128)
+			benchRoundPath(b, false, false, n, 128, kernels.AlgoRWS)
 		})
 	}
 }
@@ -374,7 +375,16 @@ func BenchmarkRound(b *testing.B) {
 func BenchmarkRoundFused(b *testing.B) {
 	for _, n := range []int{64, 256} {
 		b.Run("n="+strconv.Itoa(n)+"/m=128", func(b *testing.B) {
-			benchRoundPath(b, true, false, n, 128)
+			benchRoundPath(b, true, false, n, 128, kernels.AlgoRWS)
+		})
+	}
+	// Metropolis series: the collective-free resampler replaces the
+	// bitonic sort + prefix-sum scan with per-lane biased random walks
+	// (top-t selection only). Same zero-allocation contract —
+	// scripts/bench_guard.sh ratchets this series too.
+	for _, n := range []int{64, 256} {
+		b.Run("n="+strconv.Itoa(n)+"/m=128/metropolis", func(b *testing.B) {
+			benchRoundPath(b, true, false, n, 128, kernels.AlgoMetropolis)
 		})
 	}
 }
@@ -386,7 +396,7 @@ func BenchmarkRoundFused(b *testing.B) {
 func BenchmarkRoundFusedTraced(b *testing.B) {
 	for _, n := range []int{64, 256} {
 		b.Run("n="+strconv.Itoa(n)+"/m=128", func(b *testing.B) {
-			benchRoundPath(b, true, true, n, 128)
+			benchRoundPath(b, true, true, n, 128, kernels.AlgoRWS)
 		})
 	}
 }

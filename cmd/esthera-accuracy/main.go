@@ -22,7 +22,8 @@ import (
 func main() {
 	var (
 		fig     = flag.String("fig", "", "figure: 6, 7, 9 (empty with -exp empty = all)")
-		exp     = flag.String("exp", "", "ablation: policy, variants, estimator, diversity, precision, embedded, closedloop")
+		exp     = flag.String("exp", "", "ablation: policy, variants, estimator, diversity, precision, embedded, closedloop, adaptive")
+		gate    = flag.Float64("gate", 0, "with -exp adaptive: fail (exit 1) unless every adaptive/Metropolis error is within this ratio of the fixed RWS/Vose baseline (0 = report only)")
 		runs    = flag.Int("runs", 8, "independent runs per configuration (paper: 100)")
 		steps   = flag.Int("steps", 60, "filtering steps per run (paper: 100)")
 		seed    = flag.Uint64("seed", 0xE57, "master seed")
@@ -37,6 +38,7 @@ func main() {
 	}
 
 	var tables []*experiments.Table
+	var adaptive *experiments.AdaptiveResult
 	add := func(ts []*experiments.Table, err error) {
 		if err != nil {
 			fatal(err)
@@ -59,13 +61,21 @@ func main() {
 		"precision":  func() { one(experiments.PrecisionAblation(o)) },
 		"embedded":   func() { one(experiments.EmbeddedScaleDown(o)) },
 		"closedloop": func() { one(experiments.ClosedLoopAblation(o)) },
+		"adaptive": func() {
+			r, err := experiments.AdaptiveAblation(o)
+			if err != nil {
+				fatal(err)
+			}
+			adaptive = r
+			tables = append(tables, r.Table)
+		},
 	}
 	switch {
 	case *fig == "" && *exp == "":
 		for _, k := range []string{"6", "7", "9"} {
 			figs[k]()
 		}
-		for _, k := range []string{"policy", "variants", "estimator", "diversity", "precision", "embedded", "closedloop"} {
+		for _, k := range []string{"policy", "variants", "estimator", "diversity", "precision", "embedded", "closedloop", "adaptive"} {
 			exps[k]()
 		}
 	case *fig != "":
@@ -84,6 +94,16 @@ func main() {
 
 	for _, t := range tables {
 		t.Fprint(os.Stdout)
+	}
+	if *gate > 0 {
+		if adaptive == nil {
+			fatal(fmt.Errorf("-gate requires -exp adaptive"))
+		}
+		if err := adaptive.Gate(*gate); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("adaptive gate: ok — worst candidate %.4g vs baseline %.4g (ratio limit %.2f)\n",
+			adaptive.Worst, adaptive.Baseline, *gate)
 	}
 	if *csvPath != "" {
 		f, err := os.Create(*csvPath)

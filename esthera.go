@@ -44,9 +44,11 @@ type Config struct {
 	ExchangeScheme string
 	// ExchangeCount is t, the particles sent per neighbor pair.
 	ExchangeCount int
-	// Resampler is "rws" (default), "vose" or "systematic".
+	// Resampler is "rws" (default), "vose", "systematic" or
+	// "metropolis".
 	Resampler string
-	// Policy is "always" (default), "ess", "random" or "never".
+	// Policy is "always" (default), "never", "ess" / "ess:<frac>" or
+	// "random" / "random:<p>".
 	Policy string
 	// Streams selects the per-sub-filter PRNG: "philox" (default) or
 	// "mtgp".
@@ -59,6 +61,14 @@ type Config struct {
 	Seed uint64
 	// Workers sizes the host device (0 = GOMAXPROCS).
 	Workers int
+	// AdaptEvery enables the ESS-driven adaptive allocator in the
+	// parallel filter: every AdaptEvery rounds the per-sub-filter
+	// particle windows are re-divided toward the degenerating
+	// sub-filters (gain and clamps default per filter.AdaptConfig).
+	// 0, the default, keeps fixed uniform windows. Only NewFilter
+	// honors it; the sequential and centralized builders reject
+	// non-zero values.
+	AdaptEvery int
 }
 
 // DefaultConfig returns the paper's Table II defaults for GPU-class
@@ -101,6 +111,9 @@ func (cfg Config) Validate() error {
 	default:
 		return fmt.Errorf("esthera: unknown streams %q (philox, mtgp)", cfg.Streams)
 	}
+	if cfg.AdaptEvery < 0 {
+		return fmt.Errorf("esthera: AdaptEvery must be >= 0, got %d", cfg.AdaptEvery)
+	}
 	return nil
 }
 
@@ -136,6 +149,7 @@ func NewFilter(m Model, cfg Config) (Filter, error) {
 		Policy:        policy,
 		Streams:       cfg.Streams,
 		Estimator:     est,
+		Adapt:         filter.AdaptConfig{Every: cfg.AdaptEvery},
 	}, cfg.Seed)
 }
 
@@ -143,6 +157,9 @@ func NewFilter(m Model, cfg Config) (Filter, error) {
 // the same distributed algorithm (useful for validation and platforms
 // where goroutine parallelism is undesirable).
 func NewSequentialFilter(m Model, cfg Config) (Filter, error) {
+	if cfg.AdaptEvery != 0 {
+		return nil, fmt.Errorf("esthera: AdaptEvery requires the parallel filter (NewFilter)")
+	}
 	scheme, err := exchange.SchemeByName(orDefault(cfg.ExchangeScheme, "ring"))
 	if err != nil {
 		return nil, err

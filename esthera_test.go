@@ -137,6 +137,15 @@ func TestConfigValidation(t *testing.T) {
 	if _, err := esthera.NewFilter(m, cfg); err != nil {
 		t.Errorf("parallel systematic: %v", err)
 	}
+	// Adaptive allocation is a parallel-filter feature; the sequential
+	// builder must say so rather than silently ignore it.
+	cfg.AdaptEvery = 4
+	if _, err := esthera.NewSequentialFilter(m, cfg); err == nil {
+		t.Error("sequential filter accepted AdaptEvery")
+	}
+	if _, err := esthera.NewFilter(m, cfg); err != nil {
+		t.Errorf("parallel adaptive: %v", err)
+	}
 }
 
 func TestConfigValidate(t *testing.T) {
@@ -153,12 +162,19 @@ func TestConfigValidate(t *testing.T) {
 	if err := good.Validate(); err != nil {
 		t.Errorf("valid names rejected: %v", err)
 	}
+	good2 := esthera.Config{
+		Resampler: "metropolis", Policy: "ess:0.3", AdaptEvery: 4,
+	}
+	if err := good2.Validate(); err != nil {
+		t.Errorf("valid names rejected: %v", err)
+	}
 	bad := []esthera.Config{
 		{ExchangeScheme: "mesh"},
 		{Resampler: "multinomial"},
 		{Policy: "sometimes"},
 		{Streams: "xorshift"},
 		{Estimator: "median"},
+		{AdaptEvery: -1},
 	}
 	for i, cfg := range bad {
 		if err := cfg.Validate(); err == nil {

@@ -1,0 +1,143 @@
+package filter
+
+import (
+	"math"
+)
+
+// Adaptive particle allocation (Demirel et al., arXiv:1310.4624,
+// "adaptive distributed resampling"): instead of giving every sub-filter
+// the same m particles, periodically re-divide the fixed particle budget
+// by degeneracy — sub-filters whose effective sample size is healthy
+// shrink, degenerating ones grow. The device pipeline realizes a
+// reallocation by re-cutting the per-sub-filter windows of the SoA
+// arena (kernels.Pipeline.Reallocate); total particle count, memory and
+// wire formats are unchanged.
+
+// AdaptConfig parameterizes the ESS-driven allocator.
+type AdaptConfig struct {
+	// Every triggers a reallocation check after every k-th round; 0 (the
+	// default) disables adaptive allocation entirely.
+	Every int
+	// Gain in (0, 1] is the fraction of the distance to the ESS-derived
+	// target allocation applied per reallocation (default 0.5). Lower
+	// gains damp oscillation between competing sub-filters.
+	Gain float64
+	// MinWindow and MaxWindow clamp every window (defaults: a quarter of
+	// and four times the configured per-sub-filter size). MinWindow is
+	// additionally raised to hold the exchange traffic the topology
+	// delivers (the pipeline rejects windows that cannot).
+	MinWindow, MaxWindow int
+}
+
+// withDefaults resolves zero fields against the filter's shape:
+// particlesPer is the configured uniform window, minFloor the smallest
+// window the pipeline accepts (exchange incoming + 1).
+func (c AdaptConfig) withDefaults(particlesPer, minFloor int) AdaptConfig {
+	if c.Gain <= 0 || c.Gain > 1 {
+		c.Gain = 0.5
+	}
+	if c.MinWindow <= 0 {
+		c.MinWindow = particlesPer / 4
+	}
+	// The clamp range must contain the uniform window so every budget is
+	// representable (the repair loop in AdaptiveWindows relies on it).
+	if c.MinWindow > particlesPer {
+		c.MinWindow = particlesPer
+	}
+	if c.MinWindow < minFloor {
+		c.MinWindow = minFloor
+	}
+	if c.MaxWindow <= 0 {
+		c.MaxWindow = 4 * particlesPer
+	}
+	if c.MaxWindow < particlesPer {
+		c.MaxWindow = particlesPer
+	}
+	if c.MaxWindow < c.MinWindow {
+		c.MaxWindow = c.MinWindow
+	}
+	return c
+}
+
+// AdaptiveWindows computes the next window partition from the current
+// one and the per-sub-filter ESS fractions. Pure and deterministic — the
+// same inputs always produce the same partition (the property the
+// checkpoint/restore bit-exactness of adaptive runs rests on).
+//
+// Each sub-filter's need is its degeneracy 1 − essFrac, floored at 0.05
+// so healthy sub-filters keep a survivable share; the target allocation
+// divides the total budget proportionally to need; the new window moves
+// a Gain-fraction of the way from current to target, clamps to
+// [MinWindow, MaxWindow], and the remaining budget imbalance is repaired
+// one particle at a time in sub-filter index order.
+func AdaptiveWindows(cur []int, essFrac []float64, total int, cfg AdaptConfig) []int {
+	n := len(cur)
+	next := make([]int, n)
+	need := make([]float64, n)
+	sumNeed := 0.0
+	for s := 0; s < n; s++ {
+		f := essFrac[s]
+		if math.IsNaN(f) || f < 0 {
+			f = 0
+		}
+		if f > 1 {
+			f = 1
+		}
+		d := 1 - f
+		if d < 0.05 {
+			d = 0.05
+		}
+		need[s] = d
+		sumNeed += d
+	}
+	clamp := func(v int) int {
+		if v < cfg.MinWindow {
+			return cfg.MinWindow
+		}
+		if v > cfg.MaxWindow {
+			return cfg.MaxWindow
+		}
+		return v
+	}
+	sum := 0
+	for s := 0; s < n; s++ {
+		target := float64(total) * need[s] / sumNeed
+		moved := float64(cur[s]) + cfg.Gain*(target-float64(cur[s]))
+		next[s] = clamp(int(math.Round(moved)))
+		sum += next[s]
+	}
+	// Repair the budget in index order, one particle per pass step —
+	// deterministic and clamp-respecting. Terminates: the clamped range
+	// always admits sums on both sides of total (the uniform partition
+	// is representable: validated MinWindow ≤ total/n ≤ MaxWindow).
+	for sum != total {
+		for s := 0; s < n && sum != total; s++ {
+			if sum < total && next[s] < cfg.MaxWindow {
+				next[s]++
+				sum++
+			} else if sum > total && next[s] > cfg.MinWindow {
+				next[s]--
+				sum--
+			}
+		}
+	}
+	return next
+}
+
+// maybeAdapt runs the allocator when the stride fires: reads the
+// per-sub-filter ESS recorded inside the just-finished round at the
+// resample decision point (the post-round log-weights are already reset
+// and would lie), computes the next partition, and applies it to the
+// pipeline. Called from Step after the round, so the resize happens
+// between rounds — the next round's kernels see a consistent partition.
+func (f *Parallel) maybeAdapt() {
+	if f.adapt.Every <= 0 || f.k%f.adapt.Every != 0 {
+		return
+	}
+	f.essScratch = f.p.ResampleESSFrac(f.essScratch[:0])
+	next := AdaptiveWindows(f.p.Windows(), f.essScratch, f.TotalParticles(), f.adapt)
+	// The partition is valid by construction; a rejection here would be
+	// an allocator bug, and dropping the resize is strictly safer than
+	// failing the round.
+	_ = f.p.Reallocate(next)
+}

@@ -20,6 +20,10 @@ type Parallel struct {
 	dim  int
 	k    int
 	seed uint64
+	// adapt is the resolved ESS-driven allocator config (Every == 0 when
+	// disabled); essScratch is its reused SubESSFrac buffer.
+	adapt      AdaptConfig
+	essScratch []float64
 }
 
 // ParallelConfig maps DistributedConfig onto the kernel pipeline.
@@ -40,6 +44,10 @@ type ParallelConfig struct {
 	// Estimator selects the global-estimate reduction (default
 	// MaxWeight; WeightedMean uses the weighted-average kernel).
 	Estimator Estimator
+	// Adapt enables ESS-driven adaptive particle allocation when
+	// Adapt.Every > 0: every k rounds the per-sub-filter windows are
+	// re-divided by degeneracy (see AdaptConfig).
+	Adapt AdaptConfig
 }
 
 // NewParallel builds the filter on dev.
@@ -65,7 +73,11 @@ func NewParallel(dev *device.Device, m model.Model, cfg ParallelConfig, seed uin
 	if err != nil {
 		return nil, err
 	}
-	return &Parallel{p: pipe, dim: m.StateDim(), seed: seed}, nil
+	f := &Parallel{p: pipe, dim: m.StateDim(), seed: seed}
+	if cfg.Adapt.Every > 0 {
+		f.adapt = cfg.Adapt.withDefaults(cfg.ParticlesPer, pipe.MinWindowFloor())
+	}
+	return f, nil
 }
 
 // Name implements Filter.
@@ -84,6 +96,7 @@ func (f *Parallel) Reset(seed uint64) {
 func (f *Parallel) Step(u, z []float64) Estimate {
 	f.k++
 	state, lw := f.p.RoundFused(u, z, f.k)
+	f.maybeAdapt()
 	// The pipeline reuses its estimate buffer; the Estimate escapes to
 	// the caller, so copy.
 	return Estimate{State: append([]float64(nil), state...), LogWeight: lw}
@@ -186,6 +199,11 @@ func (bs *BatchStepper) StepBatch(fs []*Parallel, us, zs [][]float64) ([]Estimat
 	out := make([]Estimate, len(fs))
 	for i := range fs {
 		e := &bs.entries[i]
+		// Adaptive filters resize between rounds on this path too, so a
+		// batched run tracks the solo Step sequence exactly. (The batcher
+		// re-partitions by group size each round, so diverging window
+		// shapes across filters are fine.)
+		fs[i].maybeAdapt()
 		// The entry's State buffer is reused next batch; the Estimate
 		// escapes to the caller, so copy.
 		out[i] = Estimate{State: append([]float64(nil), e.State...), LogWeight: e.LogW}

@@ -36,8 +36,9 @@ type BatchRound struct {
 // pulls), so they remain per-pipeline launches between the shared ones.
 //
 // Every pipeline must have been created on dev. Pipelines with different
-// ParticlesPer (work-group sizes) cannot share a grid; RoundBatch
-// partitions the batch by group size and merges within each partition.
+// work-group sizes (the largest per-sub-filter window — ParticlesPer
+// under uniform allocation) cannot share a grid; RoundBatch partitions
+// the batch by group size and merges within each partition.
 // A pipeline must appear at most once per batch (a session's steps are
 // ordered; coalescing two rounds of the same filter would reorder its
 // kernels).
@@ -108,7 +109,7 @@ func (b *Batcher) Round(batch []*BatchRound) error {
 			return fmt.Errorf("kernels: pipeline appears twice in one batch")
 		}
 		b.seen[e.P] = b.round
-		m := e.P.cfg.ParticlesPer
+		m := e.P.groupLanes()
 		p := b.parts[m]
 		if p == nil {
 			// Amortized: a merged part is built once per distinct group
@@ -163,7 +164,7 @@ func (p *mergedPart) run(dev *device.Device) {
 			p.groups = append(p.groups, batchSlot{e: i, s: s})
 		}
 	}
-	grid := device.Grid{Groups: len(p.groups), GroupSize: p.entries[0].P.cfg.ParticlesPer}
+	grid := device.Grid{Groups: len(p.groups), GroupSize: p.entries[0].P.groupLanes()}
 
 	dev.LaunchFused(fusedPhases, grid, p.fused)
 	// No buffer swaps: each pipeline's fused body chains x → x2 → x.

@@ -42,7 +42,7 @@ func fusedTracePair(t *testing.T, algo Algo, mean bool, seed uint64) (unfused, f
 // produce bit-identical estimates, log-weights, and particle buffers as
 // the unfused kernel-per-launch round.
 func TestFusedRoundBitIdentical(t *testing.T) {
-	for _, algo := range []Algo{AlgoRWS, AlgoVose} {
+	for _, algo := range []Algo{AlgoRWS, AlgoVose, AlgoMetropolis} {
 		for _, mean := range []bool{false, true} {
 			for _, seed := range []uint64{1, 2, 3} {
 				name := fmt.Sprintf("%s/mean=%v/seed=%d", algo, mean, seed)

@@ -53,7 +53,7 @@ func goldenModel(t *testing.T, name string) model.Model {
 // per-step estimate, best log-weight, best sub-filter, and the full
 // log-weight and particle buffers — into one FNV-1a 64 hash. Any
 // draw-order, accumulation-order, or layout drift changes the hash.
-func goldenTraceHash(t *testing.T, modelName string, algo Algo, seed uint64) uint64 {
+func goldenTraceHash(t *testing.T, modelName string, algo Algo, mean bool, seed uint64) uint64 {
 	t.Helper()
 	mdl := goldenModel(t, modelName)
 	dev := device.New(device.Config{Workers: 4, LocalMemBytes: -1})
@@ -67,6 +67,7 @@ func goldenTraceHash(t *testing.T, modelName string, algo Algo, seed uint64) uin
 		ExchangeCount: 1,
 		Topology:      top,
 		Resampler:     algo,
+		MeanEstimate:  mean,
 	}, seed)
 	if err != nil {
 		t.Fatal(err)
@@ -111,24 +112,37 @@ func goldenKeys() []string {
 				keys = append(keys, fmt.Sprintf("%s/%s/seed=%d", m, algo, seed))
 			}
 		}
+		// Metropolis pins cover both estimate reductions (max and mean):
+		// the collective-free resampler replaces the local sort with a
+		// top-t selection, so its trace is locked separately under each
+		// estimate path.
+		for _, variant := range []string{"metropolis", "metropolis+mean"} {
+			for _, seed := range []uint64{1, 2, 3} {
+				keys = append(keys, fmt.Sprintf("%s/%s/seed=%d", m, variant, seed))
+			}
+		}
 	}
 	return keys
 }
 
-func parseGoldenKey(t *testing.T, key string) (modelName string, algo Algo, seed uint64) {
+func parseGoldenKey(t *testing.T, key string) (modelName string, algo Algo, mean bool, seed uint64) {
 	t.Helper()
 	parts := strings.Split(key, "/")
 	if len(parts) != 3 {
 		t.Fatalf("malformed golden key %q", key)
 	}
-	algo, err := AlgoByName(parts[1])
+	algoName := parts[1]
+	if v, ok := strings.CutSuffix(algoName, "+mean"); ok {
+		algoName, mean = v, true
+	}
+	algo, err := AlgoByName(algoName)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if _, err := fmt.Sscanf(parts[2], "seed=%d", &seed); err != nil {
 		t.Fatalf("malformed golden key %q: %v", key, err)
 	}
-	return parts[0], algo, seed
+	return parts[0], algo, mean, seed
 }
 
 func readGoldenPins(t *testing.T) map[string]uint64 {
@@ -173,8 +187,8 @@ func TestFusedGoldenPins(t *testing.T) {
 		sb.WriteString("# log-weight, best sub-filter, log-weights, particles per step).\n")
 		sb.WriteString("# Regenerate only from a known-good tree: go test -run TestFusedGoldenPins -update-golden ./internal/kernels\n")
 		for _, key := range keys {
-			m, algo, seed := parseGoldenKey(t, key)
-			fmt.Fprintf(&sb, "%s %016x\n", key, goldenTraceHash(t, m, algo, seed))
+			m, algo, mean, seed := parseGoldenKey(t, key)
+			fmt.Fprintf(&sb, "%s %016x\n", key, goldenTraceHash(t, m, algo, mean, seed))
 		}
 		if err := os.MkdirAll(filepath.Dir(goldenFile), 0o755); err != nil {
 			t.Fatal(err)
@@ -199,8 +213,8 @@ func TestFusedGoldenPins(t *testing.T) {
 	for _, key := range keys {
 		key := key
 		t.Run(key, func(t *testing.T) {
-			m, algo, seed := parseGoldenKey(t, key)
-			got := goldenTraceHash(t, m, algo, seed)
+			m, algo, mean, seed := parseGoldenKey(t, key)
+			got := goldenTraceHash(t, m, algo, mean, seed)
 			if got != pins[key] {
 				t.Fatalf("fused-round trace drifted: hash %016x, pinned %016x — the round is no longer bit-identical to the pre-refactor pipeline", got, pins[key])
 			}

@@ -5,6 +5,7 @@ import (
 
 	"esthera/internal/device"
 	"esthera/internal/exchange"
+	"esthera/internal/resample"
 	"esthera/internal/sortnet"
 )
 
@@ -87,16 +88,24 @@ func (p *Pipeline) KernelSampleWeight(u, z []float64, k int) {
 //
 //esthera:hotpath noalloc bce
 func (p *Pipeline) sampleGroup(g *device.Group, s int, u, z []float64, k int, xin, xout *soaBuf) {
-	m := p.cfg.ParticlesPer
+	off, m := p.winOff[s], p.winLen[s]
 	dim := p.dim
 	vm := p.vms[s]
 	r := p.rands[s]
 	src := xin.sub[s]
 	dst := xout.sub[s]
 	vs, vd := p.vsrc[s], p.vdst[s]
-	lws := p.logw[s*m : (s+1)*m : (s+1)*m]
-	lls := p.ll[s*m : (s+1)*m : (s+1)*m]
+	lws := p.logw[off : off+m : off+m]
+	lls := p.ll[off : off+m : off+m]
 	g.StepVec(func(lo, hi int) {
+		// The launch group size is the largest window; smaller windows
+		// clamp their span and idle the tail lanes (same in every body).
+		if hi > m {
+			hi = m
+		}
+		if lo >= hi {
+			return
+		}
 		for c := 0; c < dim; c++ {
 			vs[c] = src[c][lo:hi:hi]
 			vd[c] = dst[c][lo:hi:hi]
@@ -138,14 +147,29 @@ func (p *Pipeline) KernelSortLocal() {
 //
 //esthera:hotpath noalloc bce
 func (p *Pipeline) sortGroup(g *device.Group, s int, xin, xout *soaBuf) {
-	m := p.cfg.ParticlesPer
+	if p.cfg.Resampler == AlgoMetropolis {
+		// Metropolis resampling needs no sorted input — that is its
+		// point. Only the estimate and exchange kernels' contract
+		// remains: slot 0 must hold the block's best particle and slots
+		// 0..t-1 its published top-t, which a t-pass selection provides
+		// without the full bitonic network's log²m barrier stages.
+		p.topSelectGroup(g, s, xin, xout)
+		return
+	}
+	off, m := p.winOff[s], p.winLen[s]
 	dim := p.dim
 	src := xin.sub[s]
 	dst := xout.sub[s]
-	lws := p.logw[s*m : (s+1)*m : (s+1)*m]
+	lws := p.logw[off : off+m : off+m]
 	keys := g.AllocLocalF64(m)
 	idx := g.AllocLocalInt(m)
 	g.StepVec(func(lo, hi int) {
+		if hi > m {
+			hi = m
+		}
+		if lo >= hi {
+			return
+		}
 		k := keys[lo:hi:hi]
 		ix := idx[lo:hi:hi]
 		lw := lws[lo:hi:hi]
@@ -161,6 +185,12 @@ func (p *Pipeline) sortGroup(g *device.Group, s int, xin, xout *soaBuf) {
 	// (non-contiguous reads, contiguous unit-stride writes), then write
 	// back sorted weights.
 	g.StepVec(func(lo, hi int) {
+		if hi > m {
+			hi = m
+		}
+		if lo >= hi {
+			return
+		}
 		ix := idx[lo:hi:hi]
 		for c := 0; c < dim; c++ {
 			sc := src[c]
@@ -174,6 +204,12 @@ func (p *Pipeline) sortGroup(g *device.Group, s int, xin, xout *soaBuf) {
 	g.GlobalRead(8 * dim * m)
 	g.GlobalWrite(8 * dim * m)
 	g.StepVec(func(lo, hi int) {
+		if hi > m {
+			hi = m
+		}
+		if lo >= hi {
+			return
+		}
 		lw := lws[lo:hi:hi]
 		k := keys[lo:hi:hi]
 		for i := range lw {
@@ -182,6 +218,80 @@ func (p *Pipeline) sortGroup(g *device.Group, s int, xin, xout *soaBuf) {
 	})
 	g.LocalRead(8 * m)
 	g.GlobalWrite(8 * m)
+}
+
+// topSelectGroup is the local-sort phase under Metropolis resampling: a
+// pass-through copy of the window plus a t-round selection moving the
+// top-max(1,t) particles (by log-weight) into the leading slots, where
+// the estimate and exchange kernels expect them. Each pass is one
+// barrier-phased MaxIndex reduction over the remaining suffix and a
+// lane-0 row swap — O(t·log m) work against the bitonic network's
+// O(m·log²m), and crucially t ≪ m passes instead of the full sort's
+// data-movement barrage. Slots beyond t keep sampling order, so the
+// exchange's "worst slots" overwrite arbitrary (not worst) particles —
+// the diversity tradeoff the EXPERIMENTS.md ablation quantifies.
+//
+//esthera:hotpath noalloc bce
+func (p *Pipeline) topSelectGroup(g *device.Group, s int, xin, xout *soaBuf) {
+	off, m := p.winOff[s], p.winLen[s]
+	dim := p.dim
+	src := xin.sub[s]
+	dst := xout.sub[s]
+	lws := p.logw[off : off+m : off+m]
+	// Pass-through copy into the out buffer (the fused round chains
+	// buffers, so the phase must land its output in xout like the sort).
+	g.StepVec(func(lo, hi int) {
+		if hi > m {
+			hi = m
+		}
+		if lo >= hi {
+			return
+		}
+		for c := 0; c < dim; c++ {
+			copy(dst[c][lo:hi], src[c][lo:hi])
+		}
+	})
+	g.GlobalRead(8 * dim * m)
+	g.GlobalWrite(8 * dim * m)
+	t := p.cfg.ExchangeCount
+	if t < 1 {
+		t = 1
+	}
+	if t > m {
+		t = m
+	}
+	keys := g.AllocLocalF64(m)
+	g.StepVec(func(lo, hi int) {
+		if hi > m {
+			hi = m
+		}
+		if lo >= hi {
+			return
+		}
+		k := keys[lo:hi:hi]
+		lw := lws[lo:hi:hi]
+		for i := range k {
+			k[i] = lw[i]
+		}
+	})
+	g.GlobalRead(8 * m)
+	g.LocalWrite(8 * m)
+	for pass := 0; pass < t; pass++ {
+		best := pass + p.scans[s].MaxIndex(g, keys[pass:m])
+		g.StepOne(func() {
+			if best != pass {
+				keys[pass], keys[best] = keys[best], keys[pass]
+				lws[pass], lws[best] = lws[best], lws[pass]
+				for c := 0; c < dim; c++ {
+					dc := dst[c]
+					dc[pass], dc[best] = dc[best], dc[pass]
+				}
+			}
+			g.LocalRead(16)
+			g.GlobalRead(16 * (dim + 1))
+			g.GlobalWrite(16 * (dim + 1))
+		})
+	}
 }
 
 // KernelEstimate is kernel 4 (§VI-D): since every sub-filter just sorted,
@@ -215,12 +325,11 @@ func (p *Pipeline) estGrid() device.Grid {
 //
 //esthera:hotpath noalloc bce
 func (p *Pipeline) estHeadGroup(g *device.Group) {
-	m := p.cfg.ParticlesPer
 	N := p.cfg.SubFilters
 	heads := p.heads
 	g.StepSpan(func(lo, hi int) {
 		for i := 0; i < N; i++ {
-			heads[i] = p.logw[i*m]
+			heads[i] = p.logw[p.winOff[i]]
 		}
 	})
 	g.GlobalRead(8 * N)
@@ -300,13 +409,19 @@ func (p *Pipeline) kernelEstimateMean() ([]float64, float64) {
 //
 //esthera:hotpath noalloc bce
 func (p *Pipeline) estMeanGroup(g *device.Group, s int) {
-	m := p.cfg.ParticlesPer
+	off, m := p.winOff[s], p.winLen[s]
 	dim := p.dim
 	maxLW := p.estMaxLW
 	cols := p.cur.sub[s]
-	lws := p.logw[s*m : (s+1)*m : (s+1)*m]
+	lws := p.logw[off : off+m : off+m]
 	wsum := g.AllocLocalF64(m)
 	g.StepVec(func(lo, hi int) {
+		if hi > m {
+			hi = m
+		}
+		if lo >= hi {
+			return
+		}
 		w := wsum[lo:hi:hi]
 		lw := lws[lo:hi:hi]
 		for i := range w {
@@ -377,7 +492,7 @@ func (p *Pipeline) KernelExchange() {
 //esthera:hotpath noalloc bce
 func (p *Pipeline) exchPublishGroup(g *device.Group, s int) {
 	t := p.cfg.ExchangeCount
-	m := p.cfg.ParticlesPer
+	off := p.winOff[s]
 	dim := p.dim
 	stride := dim + 1
 	cols := p.cur.sub[s]
@@ -387,7 +502,7 @@ func (p *Pipeline) exchPublishGroup(g *device.Group, s int) {
 			for d := 0; d < dim; d++ {
 				rec[d] = cols[d][lane]
 			}
-			rec[dim] = p.logw[s*m+lane]
+			rec[dim] = p.logw[off+lane]
 		}
 	})
 	g.GlobalRead(8 * stride * t)
@@ -400,7 +515,7 @@ func (p *Pipeline) exchPublishGroup(g *device.Group, s int) {
 //esthera:hotpath noalloc bce
 func (p *Pipeline) exchPullGroup(g *device.Group, s int) {
 	t := p.cfg.ExchangeCount
-	m := p.cfg.ParticlesPer
+	off, m := p.winOff[s], p.winLen[s]
 	dim := p.dim
 	stride := dim + 1
 	cols := p.cur.sub[s]
@@ -416,7 +531,7 @@ func (p *Pipeline) exchPullGroup(g *device.Group, s int) {
 			for d := 0; d < dim; d++ {
 				cols[d][slot] = rec[d]
 			}
-			p.logw[s*m+slot] = rec[dim]
+			p.logw[off+slot] = rec[dim]
 		}
 	})
 	g.GlobalRead(8 * stride * incoming)
@@ -460,7 +575,7 @@ func (p *Pipeline) exchPoolGroup(g *device.Group) {
 //esthera:hotpath noalloc bce
 func (p *Pipeline) exchBroadcastGroup(g *device.Group, s int) {
 	t := p.cfg.ExchangeCount
-	m := p.cfg.ParticlesPer
+	off, m := p.winOff[s], p.winLen[s]
 	dim := p.dim
 	stride := dim + 1
 	cols := p.cur.sub[s]
@@ -472,7 +587,7 @@ func (p *Pipeline) exchBroadcastGroup(g *device.Group, s int) {
 			for d := 0; d < dim; d++ {
 				cols[d][slot] = rec[d]
 			}
-			p.logw[s*m+slot] = rec[dim]
+			p.logw[off+slot] = rec[dim]
 		}
 	})
 	g.GlobalRead(8 * stride * t)
@@ -496,18 +611,24 @@ func (p *Pipeline) KernelResample() {
 //
 //esthera:hotpath noalloc bce
 func (p *Pipeline) resampleGroup(g *device.Group, s int) {
-	m := p.cfg.ParticlesPer
+	off, m := p.winOff[s], p.winLen[s]
 	dim := p.dim
 	src := p.cur.sub[s]
 	dst := p.nxt.sub[s]
 	r := p.rands[s]
-	lws := p.logw[s*m : (s+1)*m : (s+1)*m]
+	lws := p.logw[off : off+m : off+m]
 
 	// Local linear weights, stabilized by the local max (slot 0
 	// holds the max log-weight after sorting; after an exchange a
 	// received particle may beat it, so reduce properly).
 	w := g.AllocLocalF64(m)
 	g.StepVec(func(lo, hi int) {
+		if hi > m {
+			hi = m
+		}
+		if lo >= hi {
+			return
+		}
 		wl := w[lo:hi:hi]
 		lw := lws[lo:hi:hi]
 		for i := range wl {
@@ -520,6 +641,12 @@ func (p *Pipeline) resampleGroup(g *device.Group, s int) {
 	maxLW := w[maxIdx]
 	degenerate := math.IsInf(maxLW, -1) || math.IsNaN(maxLW)
 	g.StepVec(func(lo, hi int) {
+		if hi > m {
+			hi = m
+		}
+		if lo >= hi {
+			return
+		}
 		wl := w[lo:hi:hi]
 		if degenerate {
 			for i := range wl {
@@ -536,6 +663,24 @@ func (p *Pipeline) resampleGroup(g *device.Group, s int) {
 
 	resampled := false
 	g.StepOne(func() {
+		// Record the honest degeneracy signal while it still exists: the
+		// ESS fraction of the weights the resampler is about to consume.
+		// After this kernel the weights are uniform and the signal is
+		// gone. Degenerate windows (NaN/±Inf max) read 0.
+		if degenerate {
+			p.essAtResample[s] = 0
+		} else {
+			var sum, sumSq float64
+			for _, v := range w[:m] {
+				sum += v
+				sumSq += v * v
+			}
+			if sumSq == 0 {
+				p.essAtResample[s] = 0
+			} else {
+				p.essAtResample[s] = sum * sum / sumSq / float64(m)
+			}
+		}
 		resampled = p.cfg.Policy.ShouldResample(w, r)
 		// Record the policy decision for health sampling; each group
 		// owns its own flag slot, and readers wait for the launch.
@@ -545,10 +690,18 @@ func (p *Pipeline) resampleGroup(g *device.Group, s int) {
 			p.resampleFlags[s] = 0
 		}
 	})
+	g.Ops(3 * m)
+	g.LocalRead(8 * m)
 	if !resampled {
 		// Keep the population; copy through so the double buffer
 		// stays coherent.
 		g.StepVec(func(lo, hi int) {
+			if hi > m {
+				hi = m
+			}
+			if lo >= hi {
+				return
+			}
 			for c := 0; c < dim; c++ {
 				copy(dst[c][lo:hi], src[c][lo:hi])
 			}
@@ -564,12 +717,20 @@ func (p *Pipeline) resampleGroup(g *device.Group, s int) {
 		p.voseSelect(g, w, sel, s)
 	case AlgoSystematic:
 		p.systematicSelect(g, w, sel, s)
+	case AlgoMetropolis:
+		p.metropolisSelect(g, w, sel, s)
 	default:
 		p.rwsSelect(g, w, sel, s)
 	}
 
 	// Gather survivors column by column and reset weights.
 	g.StepVec(func(lo, hi int) {
+		if hi > m {
+			hi = m
+		}
+		if lo >= hi {
+			return
+		}
 		ix := sel[lo:hi:hi]
 		for c := 0; c < dim; c++ {
 			sc := src[c]
@@ -596,6 +757,12 @@ func (p *Pipeline) rwsSelect(g *device.Group, w []float64, sel []int, s int) {
 	r := p.rands[s]
 	cdf := g.AllocLocalF64(m)
 	g.StepVec(func(lo, hi int) {
+		if hi > m {
+			hi = m
+		}
+		if lo >= hi {
+			return
+		}
 		c := cdf[lo:hi:hi]
 		wl := w[lo:hi:hi]
 		for i := range c {
@@ -607,6 +774,12 @@ func (p *Pipeline) rwsSelect(g *device.Group, w []float64, sel []int, s int) {
 	total := p.scans[s].Exclusive(g, cdf) // exclusive prefix sums + total
 	if !(total > 0) {
 		g.StepVec(func(lo, hi int) {
+			if hi > m {
+				hi = m
+			}
+			if lo >= hi {
+				return
+			}
 			ix := sel[lo:hi:hi]
 			for i := range ix {
 				ix[i] = lo + i
@@ -637,6 +810,12 @@ func (p *Pipeline) rwsSelect(g *device.Group, w []float64, sel []int, s int) {
 	sortnet.KeyImages(icdf, cdf)
 	laneIters := g.ScratchInt(m)
 	g.StepSpan(func(spanLo, spanHi int) {
+		if spanHi > m {
+			spanHi = m
+		}
+		if spanLo >= spanHi {
+			return
+		}
 		lane := spanLo
 		if m&(m-1) == 0 {
 			// For power-of-two m the halving recurrence visits interval
@@ -715,6 +894,12 @@ func (p *Pipeline) systematicSelect(g *device.Group, w []float64, sel []int, s i
 	r := p.rands[s]
 	cdf := g.AllocLocalF64(m)
 	g.StepVec(func(lo, hi int) {
+		if hi > m {
+			hi = m
+		}
+		if lo >= hi {
+			return
+		}
 		c := cdf[lo:hi:hi]
 		wl := w[lo:hi:hi]
 		for i := range c {
@@ -726,6 +911,12 @@ func (p *Pipeline) systematicSelect(g *device.Group, w []float64, sel []int, s i
 	total := p.scans[s].Exclusive(g, cdf)
 	if !(total > 0) {
 		g.StepVec(func(lo, hi int) {
+			if hi > m {
+				hi = m
+			}
+			if lo >= hi {
+				return
+			}
 			ix := sel[lo:hi:hi]
 			for i := range ix {
 				ix[i] = lo + i
@@ -743,6 +934,9 @@ func (p *Pipeline) systematicSelect(g *device.Group, w []float64, sel []int, s i
 	// scratch and are summed host-side after the barrier.
 	laneIters := g.ScratchInt(m)
 	g.StepSpan(func(spanLo, spanHi int) {
+		if spanHi > m {
+			spanHi = m
+		}
 		for lane := spanLo; lane < spanHi; lane++ {
 			u := (u0 + float64(lane)) * step
 			lo, hi := 0, m-1
@@ -795,6 +989,12 @@ func (p *Pipeline) voseSelect(g *device.Group, w []float64, sel []int, s int) {
 	})
 	if !(total > 0) {
 		g.StepVec(func(lo, hi int) {
+			if hi > m {
+				hi = m
+			}
+			if lo >= hi {
+				return
+			}
 			ix := sel[lo:hi:hi]
 			for i := range ix {
 				ix[i] = lo + i
@@ -867,6 +1067,9 @@ func (p *Pipeline) voseSelect(g *device.Group, w []float64, sel []int, s int) {
 		g.Ops(2 * m)
 	})
 	g.StepSpan(func(lo, hi int) {
+		if hi > m {
+			hi = m
+		}
 		for lane := lo; lane < hi; lane++ {
 			i := int(us[2*lane] * float64(m))
 			if i >= m {
@@ -882,4 +1085,73 @@ func (p *Pipeline) voseSelect(g *device.Group, w []float64, sel []int, s int) {
 	g.Ops(3 * m)
 	g.LocalRead(24 * m)
 	g.LocalWrite(4 * m)
+}
+
+// metropolisSelect fills sel with Metropolis-chain draws (Murray et al.,
+// arXiv:1202.6163): each lane runs an independent biased random walk
+// over the particle indices, proposing a uniform index each step and
+// accepting when u·w[cur] < w[proposal]. No prefix sum, no alias table,
+// no sorted input — the only collective structure left is the
+// barrier-phased alternation of one deterministic-order draw phase (the
+// stream is shared per sub-filter, so the 2m uniforms of each chain step
+// are drawn in a dedicated lane-0 phase, exactly like the other selects'
+// pre-drawn uniforms) and one data-parallel walk phase. The chain length
+// is MetropolisSteps(m) = 2·⌈log₂ m⌉ + 8 (resample.MetropolisSteps — the
+// sequential reference uses the same schedule, and DESIGN.md §12 records
+// the choice). All writes are lane-indexed (cur[lane], sel[lane]), so
+// the barrier analyzer's no-cross-lane-write rule holds.
+//
+//esthera:hotpath noalloc bce
+func (p *Pipeline) metropolisSelect(g *device.Group, w []float64, sel []int, s int) {
+	m := len(w)
+	r := p.rands[s]
+	steps := resample.MetropolisSteps(m)
+	cur := sel // chains walk in place: sel doubles as the chain state
+	g.StepVec(func(lo, hi int) {
+		if hi > m {
+			hi = m
+		}
+		if lo >= hi {
+			return
+		}
+		ix := cur[lo:hi:hi]
+		for i := range ix {
+			ix[i] = lo + i
+		}
+	})
+	g.LocalWrite(4 * m)
+	us := g.AllocLocalF64(2 * m)[: 2*m : 2*m]
+	ws := w[:m:m]
+	fm := float64(m)
+	// One draw closure and one walk closure, bound once and stepped B
+	// times — the chain loop itself allocates nothing.
+	draw := func() {
+		// Draw phase: 2m uniforms in deterministic stream order (one
+		// proposal + one acceptance draw per lane).
+		r.FillUniforms(us)
+		g.Ops(2 * m)
+	}
+	walk := func(lo, hi int) {
+		// Walk phase: every lane advances its own chain one step.
+		if hi > m {
+			hi = m
+		}
+		for lane := lo; lane < hi; lane++ {
+			k := int(us[2*lane] * fm)
+			if k >= m {
+				k = m - 1
+			}
+			c := cur[lane]
+			if us[2*lane+1]*ws[c] < ws[k] {
+				cur[lane] = k
+			}
+		}
+	}
+	for b := 0; b < steps; b++ {
+		g.StepOne(draw)
+		g.StepSpan(walk)
+	}
+	g.Ops(4 * m * steps)
+	g.LocalRead(24 * m * steps)
+	g.LocalWrite(4 * m * steps)
 }

@@ -233,7 +233,9 @@ func TestResampleKernelResetsWeightsAndConcentrates(t *testing.T) {
 func TestResampleKernelProportions(t *testing.T) {
 	// Statistical check: two particles with weights 0.25/0.75 in each
 	// block; after resampling, survivor counts must reflect that.
-	for _, algo := range []Algo{AlgoRWS, AlgoVose, AlgoSystematic} {
+	// Metropolis participates: its chain bias at B = 2·⌈log₂ m⌉ + 8 must
+	// stay inside the same statistical band as the exact resamplers.
+	for _, algo := range []Algo{AlgoRWS, AlgoVose, AlgoSystematic, AlgoMetropolis} {
 		p := newPipeline(t, Config{SubFilters: 64, ParticlesPer: 64, Resampler: algo}, 8)
 		lw := p.LogWeights()
 		x := p.Particles()

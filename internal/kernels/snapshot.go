@@ -16,14 +16,18 @@ import (
 // The shape fields (SubFilters, ParticlesPer, Dim, Streams family) must
 // match the restoring pipeline's configuration; Restore validates them.
 type Snapshot struct {
-	SubFilters   int         `json:"sub_filters"`
-	ParticlesPer int         `json:"particles_per"`
-	Dim          int         `json:"dim"`
-	X            []float64   `json:"-"` // particle state, AoS (serialized out-of-band: may be large and must stay bit-exact)
-	LogW         []float64   `json:"-"`
-	BestSub      int         `json:"best_sub"`
-	BestLW       float64     `json:"-"`
-	Rands        []rng.State `json:"rands"`
+	SubFilters   int       `json:"sub_filters"`
+	ParticlesPer int       `json:"particles_per"`
+	Dim          int       `json:"dim"`
+	X            []float64 `json:"-"` // particle state, AoS (serialized out-of-band: may be large and must stay bit-exact)
+	LogW         []float64 `json:"-"`
+	BestSub      int       `json:"best_sub"`
+	BestLW       float64   `json:"-"`
+	// Windows is the per-sub-filter window partition when the adaptive
+	// allocator has resized it; nil means uniform (ParticlesPer each), so
+	// uniform pipelines serialize byte-identically to pre-adaptive ones.
+	Windows []int       `json:"windows,omitempty"`
+	Rands   []rng.State `json:"rands"`
 }
 
 // Snapshot captures the pipeline's current state. It must not be called
@@ -38,6 +42,9 @@ func (p *Pipeline) Snapshot() *Snapshot {
 		BestSub:      p.bestSub,
 		BestLW:       p.bestLW,
 		Rands:        make([]rng.State, p.cfg.SubFilters),
+	}
+	if !p.uniformWindows() {
+		s.Windows = append([]int(nil), p.winLen...)
 	}
 	for i, r := range p.rands {
 		s.Rands[i] = r.SaveState()
@@ -66,6 +73,11 @@ func (p *Pipeline) Restore(s *Snapshot) error {
 	if s.BestSub < 0 || s.BestSub >= p.cfg.SubFilters {
 		return fmt.Errorf("kernels: snapshot best sub-filter %d out of range", s.BestSub)
 	}
+	if s.Windows != nil {
+		if err := p.validateWindows(s.Windows); err != nil {
+			return fmt.Errorf("kernels: snapshot windows: %w", err)
+		}
+	}
 	// Validate every stream before mutating anything, so a malformed
 	// snapshot cannot leave the pipeline half-restored.
 	saved := make([]rng.State, len(p.rands))
@@ -79,6 +91,19 @@ func (p *Pipeline) Restore(s *Snapshot) error {
 			}
 			return fmt.Errorf("kernels: stream %d: %w", i, err)
 		}
+	}
+	// Install the snapshot's window partition (nil = uniform) before the
+	// state lands: Snapshot.X rows are in arena order, which the windows
+	// define. unpackFrom itself is window-agnostic (whole columns), so
+	// only the sub-filter views need re-cutting.
+	if s.Windows != nil {
+		p.applyWindows(s.Windows)
+	} else if !p.uniformWindows() {
+		uni := make([]int, p.cfg.SubFilters)
+		for i := range uni {
+			uni[i] = p.cfg.ParticlesPer
+		}
+		p.applyWindows(uni)
 	}
 	p.unpackFrom(s.X)
 	copy(p.logw, s.LogW)

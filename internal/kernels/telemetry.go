@@ -50,5 +50,7 @@ func (p *Pipeline) observeRound() {
 	}
 	h := telemetry.HealthFromLogWeights(p.logw, accepted, p.cfg.SubFilters)
 	h.Round = p.round
+	h.MinWindow, h.MaxWindow = p.windowBounds()
+	h.Reallocations = p.reallocs
 	p.lastHealth = h
 }

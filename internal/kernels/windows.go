@@ -1,0 +1,226 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+
+	"esthera/internal/exchange"
+)
+
+// Adaptive particle allocation (Demirel et al., arXiv:1310.4624): the
+// per-sub-filter windows of the SoA arena can be resized between rounds,
+// shrinking sub-filters whose effective sample size is healthy and
+// growing degenerating ones. The arena's total size never changes — the
+// windows are a partition — so steady-state rounds stay allocation-free
+// and the wire formats (checkpoints, exchange records) are untouched:
+// AoS conversion happens only here, at the reallocation boundary,
+// through the same pack/unpack paths checkpoints use.
+
+// Windows returns a copy of the current per-sub-filter window lengths.
+func (p *Pipeline) Windows() []int {
+	return append([]int(nil), p.winLen...)
+}
+
+// Reallocations returns the number of window resizes applied so far.
+func (p *Pipeline) Reallocations() int64 { return p.reallocs }
+
+// windowBounds returns the smallest and largest window lengths.
+func (p *Pipeline) windowBounds() (min, max int) {
+	min, max = p.winLen[0], p.winLen[0]
+	for _, l := range p.winLen[1:] {
+		if l < min {
+			min = l
+		}
+		if l > max {
+			max = l
+		}
+	}
+	return min, max
+}
+
+// uniformWindows reports whether every window has the configured size.
+func (p *Pipeline) uniformWindows() bool {
+	for _, l := range p.winLen {
+		if l != p.cfg.ParticlesPer {
+			return false
+		}
+	}
+	return true
+}
+
+// MinWindowFloor returns the smallest window length validateWindows
+// accepts: every window must hold the exchange traffic the topology
+// delivers plus at least one locally-owned particle. The adaptive
+// allocator uses it as the hard lower clamp.
+func (p *Pipeline) MinWindowFloor() int {
+	t := p.cfg.ExchangeCount
+	if t == 0 {
+		return 1
+	}
+	incoming := p.cfg.Topology.MaxDegree() * t
+	if p.cfg.Topology.Scheme() == exchange.AllToAll {
+		incoming = t
+	}
+	return incoming + 1
+}
+
+// validateWindows checks a candidate window partition against the
+// pipeline's invariants.
+func (p *Pipeline) validateWindows(sizes []int) error {
+	N, m := p.cfg.SubFilters, p.cfg.ParticlesPer
+	if len(sizes) != N {
+		return fmt.Errorf("kernels: %d window sizes for %d sub-filters", len(sizes), N)
+	}
+	t := p.cfg.ExchangeCount
+	incoming := p.cfg.Topology.MaxDegree() * t
+	if p.cfg.Topology.Scheme() == exchange.AllToAll {
+		incoming = t
+	}
+	total := 0
+	for s, l := range sizes {
+		if l < 1 {
+			return fmt.Errorf("kernels: window %d size %d < 1", s, l)
+		}
+		if t > 0 && incoming >= l {
+			return fmt.Errorf("kernels: window %d size %d cannot hold %d incoming exchange particles",
+				s, l, incoming)
+		}
+		if t > l {
+			return fmt.Errorf("kernels: window %d size %d < exchange count %d", s, l, t)
+		}
+		total += l
+	}
+	if total != N*m {
+		return fmt.Errorf("kernels: window sizes sum to %d, arena holds %d", total, N*m)
+	}
+	return nil
+}
+
+// applyWindows installs a (validated) window partition: offsets, lengths,
+// group size, and the re-cut sub-filter views of both particle buffers.
+// It moves no particle data — Reallocate replays rows afterwards, and
+// Restore overwrites the arena wholesale from the snapshot.
+func (p *Pipeline) applyWindows(sizes []int) {
+	off := 0
+	maxWin := 0
+	for s, l := range sizes {
+		p.winOff[s] = off
+		p.winLen[s] = l
+		off += l
+		if l > maxWin {
+			maxWin = l
+		}
+	}
+	p.maxWin = maxWin
+	p.cur.cut(p.winOff, p.winLen)
+	p.nxt.cut(p.winOff, p.winLen)
+}
+
+// Reallocate resizes the per-sub-filter windows to sizes (one entry per
+// sub-filter, summing to SubFilters × ParticlesPer). Shrinking keeps the
+// window's leading particles — after the local sort those are the
+// best-weighted ones — and growing cycle-clones the existing particles
+// (row j comes from old row j mod oldLen, log-weight included), the
+// standard population-expansion bootstrap: the clones separate at the
+// next propagation's independent noise draws.
+//
+// State moves through the AoS boundary format via the same pack path
+// checkpoints use, so reallocation is deliberately not a hot path; it
+// runs every k rounds from the adaptive allocator, between launches.
+// Random streams are not touched — draws stay in per-sub-filter order,
+// and a grown window's extra draws fall back to the stream's sequential
+// path position-correctly (rng.Buffer's overflow contract).
+func (p *Pipeline) Reallocate(sizes []int) error {
+	if err := p.validateWindows(sizes); err != nil {
+		return err
+	}
+	same := true
+	for s, l := range sizes {
+		if l != p.winLen[s] {
+			same = false
+			break
+		}
+	}
+	if same {
+		return nil
+	}
+
+	// Pack the current population (AoS, arena row order) and keep the old
+	// layout so rows can be replayed into the new windows.
+	aos := p.Particles()
+	oldLogw := append([]float64(nil), p.logw...)
+	oldOff := append([]int(nil), p.winOff...)
+	oldLen := append([]int(nil), p.winLen...)
+
+	p.applyWindows(sizes)
+
+	dim := p.dim
+	for s := range sizes {
+		no, nl := p.winOff[s], p.winLen[s]
+		oo, ol := oldOff[s], oldLen[s]
+		sub := p.cur.sub[s]
+		for j := 0; j < nl; j++ {
+			srcRow := oo + j%ol
+			rec := aos[srcRow*dim : (srcRow+1)*dim]
+			for d := 0; d < dim; d++ {
+				sub[d][j] = rec[d]
+			}
+			p.logw[no+j] = oldLogw[srcRow]
+		}
+	}
+	p.reallocs++
+	return nil
+}
+
+// ResampleESSFrac appends each sub-filter's ESS fraction as measured
+// inside the most recent round at the resample decision point — before
+// the resampler reset the weights. This is the adaptive allocator's
+// input signal: the post-round log-weights "lie" about degeneracy (an
+// always-resample pipeline reads uniformly healthy every round), while
+// this captures the weights the resampler actually consumed. Before any
+// round it reads all-1 (the fresh prior is healthy by construction).
+func (p *Pipeline) ResampleESSFrac(dst []float64) []float64 {
+	return append(dst, p.essAtResample...)
+}
+
+// SubESSFrac computes each sub-filter's effective-sample-size fraction
+// (ESS over window length, in [0, 1]) from the current log-weights,
+// appending to dst. Unlike ResampleESSFrac it reads the live buffer —
+// useful for poison detection and post-hoc inspection, but blind to
+// degeneracy that resampling already erased. Non-finite windows —
+// poisoned (NaN/+Inf) or fully underflowed — read as 0, fully
+// degenerate, the same clamp resample.ESS and
+// telemetry.HealthFromLogWeights apply.
+func (p *Pipeline) SubESSFrac(dst []float64) []float64 {
+	for s := 0; s < p.cfg.SubFilters; s++ {
+		off, m := p.winOff[s], p.winLen[s]
+		lws := p.logw[off : off+m]
+		maxLW := math.Inf(-1)
+		poisoned := false
+		for _, lw := range lws {
+			if math.IsNaN(lw) || math.IsInf(lw, 1) {
+				poisoned = true
+				break
+			}
+			if lw > maxLW {
+				maxLW = lw
+			}
+		}
+		if poisoned || math.IsInf(maxLW, -1) {
+			dst = append(dst, 0)
+			continue
+		}
+		var sum, sumSq float64
+		for _, lw := range lws {
+			w := math.Exp(lw - maxLW)
+			sum += w
+			sumSq += w * w
+		}
+		if sumSq == 0 {
+			dst = append(dst, 0)
+			continue
+		}
+		dst = append(dst, sum*sum/sumSq/float64(m))
+	}
+	return dst
+}

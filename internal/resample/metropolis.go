@@ -1,0 +1,78 @@
+package resample
+
+import (
+	"math/bits"
+
+	"esthera/internal/rng"
+)
+
+// Metropolis is Murray, Lee & Jacob's collective-free resampler (arXiv:
+// 1202.6163): each output slot runs an independent Metropolis chain over
+// the particle indices, proposing a uniformly random particle each step
+// and accepting it with probability min(1, w_proposal/w_current). After
+// B steps the chain's occupancy distribution approaches the normalized
+// weights, so the B-th state is (approximately) a multinomial draw.
+//
+// Unlike RWS and the alias method it needs no prefix sum, no alias-table
+// construction, and no sorted input — every chain touches only its own
+// state plus random reads of the weight vector, which is exactly the
+// access pattern that removes the collective barriers from a many-core
+// resampling kernel (the device version lives in internal/kernels). The
+// price is bias: the draw is exact only as B → ∞. With the chain length
+// below (B = 2·⌈log₂ n⌉ + 8), uniform proposals mix fast enough that the
+// residual bias is far below resampling noise at sub-filter sizes; the
+// EXPERIMENTS.md adaptive-resampling ablation quantifies it end to end.
+type Metropolis struct {
+	// Steps is the chain length B; 0 selects MetropolisSteps(len(weights)).
+	Steps int
+}
+
+// MetropolisSteps is the default chain length for n particles:
+// 2·⌈log₂ n⌉ + 8. Murray et al. bound the bias by ε after
+// B = O(log n · log ε⁻¹) steps for bounded weight ratios; the constant
+// here is sized for the weight skew the arm benchmark actually produces
+// (DESIGN.md §12 records the choice and the ablation that validates it).
+func MetropolisSteps(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 2*bits.Len(uint(n-1)) + 8
+}
+
+// Name implements Resampler.
+func (Metropolis) Name() string { return "metropolis" }
+
+// Resample implements Resampler.
+func (mr Metropolis) Resample(dst []int, weights []float64, r *rng.Rand) {
+	checkArgs(dst, weights)
+	n := len(weights)
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	if !(total > 0) {
+		uniformFill(dst, n, r)
+		return
+	}
+	steps := mr.Steps
+	if steps <= 0 {
+		steps = MetropolisSteps(n)
+	}
+	for i := range dst {
+		// Chains start at slot i (mod n when dst is larger), matching the
+		// kernel version's lane-indexed starts.
+		cur := i % n
+		for b := 0; b < steps; b++ {
+			k := r.Intn(n)
+			u := r.Float64()
+			// Accept with probability min(1, w[k]/w[cur]); the
+			// multiplied form needs no division. (NaN weights never
+			// reach this loop: they poison the total above and take
+			// the uniform fallback.)
+			if u*weights[cur] < weights[k] {
+				cur = k
+			}
+		}
+		dst[i] = cur
+	}
+}

@@ -2,6 +2,8 @@ package resample
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 
 	"esthera/internal/rng"
 )
@@ -21,19 +23,52 @@ type Policy interface {
 	ShouldResample(weights []float64, r *rng.Rand) bool
 }
 
-// PolicyByName maps a flag-friendly name to a policy with its default
-// parameters: "always" (or ""), "never", "ess" (Frac 0.5) or "random"
-// (P 0.5).
+// PolicyByName maps a flag-friendly name to a policy: "always" (or ""),
+// "never", "ess" (Frac 0.5) or "random" (P 0.5). The parameterized
+// policies also accept an explicit parameter after a colon — "ess:0.3"
+// sets ESSThreshold.Frac, "random:0.25" sets RandomFrequency.P — with
+// range validation: Frac must be positive (a fraction above 1 is legal
+// and resamples always, useful as an ablation endpoint) and P must lie
+// in [0, 1].
 func PolicyByName(name string) (Policy, error) {
-	switch name {
+	base, param, hasParam := strings.Cut(name, ":")
+	switch base {
 	case "", "always":
+		if hasParam {
+			return nil, fmt.Errorf("resample: policy %q takes no parameter", base)
+		}
 		return Always{}, nil
 	case "never":
+		if hasParam {
+			return nil, fmt.Errorf("resample: policy %q takes no parameter", base)
+		}
 		return Never{}, nil
 	case "ess":
-		return ESSThreshold{Frac: 0.5}, nil
+		frac := 0.5
+		if hasParam {
+			v, err := strconv.ParseFloat(param, 64)
+			if err != nil {
+				return nil, fmt.Errorf("resample: bad ess threshold %q: %w", param, err)
+			}
+			frac = v
+		}
+		if !(frac > 0) {
+			return nil, fmt.Errorf("resample: ess threshold fraction %v out of range (want > 0)", frac)
+		}
+		return ESSThreshold{Frac: frac}, nil
 	case "random":
-		return RandomFrequency{P: 0.5}, nil
+		p := 0.5
+		if hasParam {
+			v, err := strconv.ParseFloat(param, 64)
+			if err != nil {
+				return nil, fmt.Errorf("resample: bad random frequency %q: %w", param, err)
+			}
+			p = v
+		}
+		if !(p >= 0 && p <= 1) {
+			return nil, fmt.Errorf("resample: random frequency %v out of range (want [0, 1])", p)
+		}
+		return RandomFrequency{P: p}, nil
 	}
 	return nil, fmt.Errorf("resample: unknown resampling policy %q", name)
 }

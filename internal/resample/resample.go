@@ -13,8 +13,9 @@
 //     sub-filter sizes.
 //
 // This package provides sequential implementations of both plus the other
-// standard schemes (multinomial, systematic, stratified, residual) as
-// baselines and ablations, the effective-sample-size metric, and the
+// standard schemes (multinomial, systematic, stratified, residual), the
+// collective-free Metropolis resampler of Murray et al. (arXiv:1202.6163)
+// as baselines and ablations, the effective-sample-size metric, and the
 // "when to resample" policies discussed in §IV (always, ESS threshold,
 // random frequency). The barrier-phased device versions live in
 // internal/kernels.
@@ -22,6 +23,7 @@ package resample
 
 import (
 	"fmt"
+	"math"
 
 	"esthera/internal/rng"
 	"esthera/internal/scan"
@@ -38,6 +40,12 @@ type Resampler interface {
 // ESS returns the effective sample size of a weight vector,
 // (Σw)² / Σw². It equals len(w) for uniform weights and approaches 1 under
 // total degeneracy. Weights need not be normalized.
+//
+// A non-finite result — any NaN weight poisons both sums, and an Inf
+// weight overflows them — is clamped to 0, the fully-degenerate reading.
+// The clamp is what keeps ESSThreshold.ShouldResample live on a poisoned
+// filter: NaN < frac·n is false for every threshold, so without it a
+// single NaN weight would silently disable resampling forever.
 func ESS(weights []float64) float64 {
 	var s, s2 float64
 	for _, w := range weights {
@@ -47,7 +55,11 @@ func ESS(weights []float64) float64 {
 	if s2 == 0 {
 		return 0
 	}
-	return s * s / s2
+	ess := s * s / s2
+	if math.IsNaN(ess) || math.IsInf(ess, 0) {
+		return 0
+	}
+	return ess
 }
 
 // Normalize scales weights in place to sum to 1 and returns the original
@@ -247,14 +259,16 @@ func uniformFill(dst []int, n int, r *rng.Rand) {
 	}
 }
 
-// ByName returns the named resampler ("rws", "vose", "systematic",
-// "stratified", "multinomial", "residual").
+// ByName returns the named resampler ("rws", "vose", "metropolis",
+// "systematic", "stratified", "multinomial", "residual").
 func ByName(name string) (Resampler, error) {
 	switch name {
 	case "rws":
 		return RWS{}, nil
 	case "vose":
 		return Vose{}, nil
+	case "metropolis":
+		return Metropolis{}, nil
 	case "systematic":
 		return Systematic{}, nil
 	case "stratified":

@@ -288,7 +288,7 @@ func TestQuickAliasReconstruction(t *testing.T) {
 }
 
 func TestByName(t *testing.T) {
-	for _, name := range []string{"rws", "vose", "systematic", "stratified", "multinomial", "residual"} {
+	for _, name := range []string{"rws", "vose", "metropolis", "systematic", "stratified", "multinomial", "residual"} {
 		rs, err := ByName(name)
 		if err != nil {
 			t.Fatalf("ByName(%q): %v", name, err)

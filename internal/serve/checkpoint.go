@@ -47,6 +47,12 @@ type Checkpoint struct {
 	LastState  string `json:"last_state,omitempty"`
 	LastLWBits uint64 `json:"last_lw_bits"`
 
+	// Windows is the per-sub-filter window partition when the adaptive
+	// allocator has resized it; absent means uniform (ParticlesPer
+	// each), so non-adaptive checkpoints are byte-identical to the
+	// pre-adaptive wire format.
+	Windows []int `json:"windows,omitempty"`
+
 	// Rands is the exact position of every per-sub-filter random stream.
 	Rands []rng.State `json:"rands"`
 }
@@ -138,6 +144,7 @@ func (s *Server) checkpointLocked(id string, sess *Session) *Checkpoint {
 		BestLWBits:   math.Float64bits(snap.Pipe.BestLW),
 		LastState:    encodeF64s(last.State),
 		LastLWBits:   math.Float64bits(last.LogWeight),
+		Windows:      snap.Pipe.Windows,
 		Rands:        snap.Pipe.Rands,
 	}
 	return cp
@@ -185,6 +192,7 @@ func (s *Server) Restore(cp *Checkpoint) (string, error) {
 			LogW:         logw,
 			BestSub:      cp.BestSub,
 			BestLW:       math.Float64frombits(cp.BestLWBits),
+			Windows:      cp.Windows,
 			Rands:        cp.Rands,
 		},
 	})

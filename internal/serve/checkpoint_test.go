@@ -192,3 +192,67 @@ func TestRestoreRejectsBadCheckpoints(t *testing.T) {
 		t.Fatalf("good checkpoint rejected after bad attempts: %v", err)
 	}
 }
+
+// TestCheckpointDeterminismAdaptive repeats the roundtrip with the
+// ESS-driven adaptive allocator enabled (and the Metropolis resampler,
+// so the collective-free scheme is covered over the wire too). The
+// checkpoint carries the reallocated window layout and the round
+// counter, so the restored session must replay the same reallocation
+// cadence bit-exactly — and the original session must actually have
+// reallocated, or the test proves nothing.
+func TestCheckpointDeterminismAdaptive(t *testing.T) {
+	spec := FilterSpec{
+		Model:        "ungm",
+		SubFilters:   8,
+		ParticlesPer: 16,
+		Resampler:    "metropolis",
+		Seed:         42,
+		AdaptEvery:   3,
+	}
+	a := newTestServer(t, Config{Workers: 4})
+	idA, err := a.Create(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const cut = 10
+	for k := 1; k <= cut; k++ {
+		if _, err := a.Step(idA, nil, obs(0, k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cp, err := a.Checkpoint(idA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := newTestServer(t, Config{Workers: 2})
+	idB, err := b.Restore(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := cut + 1; k <= 30; k++ {
+		z := obs(0, k)
+		ra, err := a.Step(idA, nil, z)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := b.Step(idB, nil, z)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(ra.State[0]) != math.Float64bits(rb.State[0]) ||
+			math.Float64bits(ra.LogWeight) != math.Float64bits(rb.LogWeight) {
+			t.Fatalf("step %d diverged: (%v,%v) vs (%v,%v)", k, ra.State[0], ra.LogWeight, rb.State[0], rb.LogWeight)
+		}
+	}
+	// The allocator must have fired, and its count must surface in the
+	// session health sample (the /metrics reallocations counter source).
+	var got int64
+	for _, sess := range a.Stats().Sessions {
+		if sess.ID == idA && sess.Health != nil {
+			got = sess.Health.Reallocations
+		}
+	}
+	if got == 0 {
+		t.Fatal("adaptive session never reallocated (or health sample missing the count)")
+	}
+}

@@ -68,6 +68,16 @@ func (s *Server) collectMetrics(e *telemetry.Emitter) {
 				h.ResampleAccept, "session", sess.id)
 			e.Gauge("esthera_filter_health_round", "Round the health sample was taken at.",
 				float64(h.Round), "session", sess.id)
+			e.Gauge("esthera_filter_non_finite_weights", "NaN/+Inf log-weights at the last health sample (poisoned filter indicator).",
+				float64(h.NonFiniteWeights), "session", sess.id)
+			if h.MaxWindow > 0 {
+				e.Gauge("esthera_filter_min_window", "Smallest per-sub-filter particle window.",
+					float64(h.MinWindow), "session", sess.id)
+				e.Gauge("esthera_filter_max_window", "Largest per-sub-filter particle window.",
+					float64(h.MaxWindow), "session", sess.id)
+				e.Counter("esthera_filter_reallocations_total", "Adaptive-allocator window resizes applied.",
+					float64(h.Reallocations), "session", sess.id)
+			}
 		}
 	}
 

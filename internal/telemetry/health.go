@@ -25,6 +25,20 @@ type FilterHealth struct {
 	// policy fired on the previous round's decision (resampling runs
 	// after the health sample point).
 	ResampleAccept float64 `json:"resample_accept"`
+	// NonFiniteWeights counts log-weights that were NaN or +Inf at the
+	// sample point. Any positive count forces the fully-degenerate
+	// reading (ESS 0) — a poisoned filter must look maximally unhealthy,
+	// not silently healthy — and distinguishes numerical poisoning from
+	// benign all-underflow (which also reads ESS 0 but with a 0 here).
+	NonFiniteWeights int `json:"non_finite_weights,omitempty"`
+	// MinWindow and MaxWindow are the smallest and largest per-sub-filter
+	// particle windows at the sample point; equal under uniform (fixed)
+	// allocation. Zero when the filter does not expose windows.
+	MinWindow int `json:"min_window,omitempty"`
+	MaxWindow int `json:"max_window,omitempty"`
+	// Reallocations counts adaptive-allocator window resizes applied so
+	// far (cumulative over the filter's lifetime).
+	Reallocations int64 `json:"reallocations,omitempty"`
 }
 
 // HealthFromLogWeights computes a FilterHealth from raw log-weights.
@@ -42,11 +56,25 @@ func HealthFromLogWeights(logw []float64, resampledGroups, groups int) FilterHea
 	}
 	maxLW := math.Inf(-1)
 	for _, lw := range logw {
+		// NaN and +Inf log-weights are counted and excluded here, then
+		// force the degenerate-zero reading below. Without the explicit
+		// clamp the NaN would ride through exp() into the sums, and
+		// whether the output is 0 or NaN would hinge on the accident of
+		// which guard's NaN comparison happens to be false — the same
+		// signal-that-lies hole as resample.ESS. (-Inf is a legitimate
+		// underflowed weight, not poisoning.)
+		if math.IsNaN(lw) || math.IsInf(lw, 1) {
+			h.NonFiniteWeights++
+			continue
+		}
 		if lw > maxLW {
 			maxLW = lw
 		}
 	}
-	if math.IsInf(maxLW, -1) || math.IsNaN(maxLW) {
+	if h.NonFiniteWeights > 0 {
+		return h // poisoned: fully degenerate, ESS pinned to 0
+	}
+	if math.IsInf(maxLW, -1) {
 		return h // fully degenerate: every weight underflowed
 	}
 	var sum, sumSq, maxW float64

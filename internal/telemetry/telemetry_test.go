@@ -318,6 +318,46 @@ func TestHealthFromLogWeights(t *testing.T) {
 	}
 }
 
+// TestHealthFromLogWeightsNonFinite pins the poisoned-filter clamp: NaN
+// or +Inf log-weights must yield the explicit fully-degenerate reading
+// (ESS/ESSFrac/MaxWeightRatio all exactly 0 — never NaN, which some
+// Prometheus scrapers reject in text exposition) and be counted in
+// NonFiniteWeights so poisoning is distinguishable from benign
+// all-underflow degeneracy.
+func TestHealthFromLogWeightsNonFinite(t *testing.T) {
+	nan := math.NaN()
+	cases := []struct {
+		name       string
+		logw       []float64
+		wantNonFin int
+	}{
+		{"one-nan", []float64{0, nan, -1}, 1},
+		{"all-nan", []float64{nan, nan}, 2},
+		{"plus-inf", []float64{0, math.Inf(1)}, 1},
+		{"nan-and-inf", []float64{nan, math.Inf(1), -2}, 2},
+	}
+	for _, c := range cases {
+		h := HealthFromLogWeights(c.logw, 1, 2)
+		if h.ESS != 0 || h.ESSFrac != 0 || h.MaxWeightRatio != 0 {
+			t.Errorf("%s: health = %+v, want degenerate zeros", c.name, h)
+		}
+		if math.IsNaN(h.ESS) || math.IsNaN(h.ESSFrac) || math.IsNaN(h.MaxWeightRatio) {
+			t.Errorf("%s: NaN leaked into health %+v", c.name, h)
+		}
+		if h.NonFiniteWeights != c.wantNonFin {
+			t.Errorf("%s: NonFiniteWeights = %d, want %d", c.name, h.NonFiniteWeights, c.wantNonFin)
+		}
+		if h.Particles != len(c.logw) {
+			t.Errorf("%s: particles = %d, want %d", c.name, h.Particles, len(c.logw))
+		}
+	}
+	// Benign all-underflow stays distinguishable: degenerate but clean.
+	h := HealthFromLogWeights([]float64{math.Inf(-1), math.Inf(-1)}, 0, 0)
+	if h.NonFiniteWeights != 0 {
+		t.Fatalf("-Inf underflow miscounted as poisoning: %+v", h)
+	}
+}
+
 func TestWantsPrometheus(t *testing.T) {
 	cases := []struct {
 		target, accept string
