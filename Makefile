@@ -1,7 +1,13 @@
 .PHONY: build test lint vet-ratchet verify ci bench bench-json serve chaos
 
+# Build-info stamping: esthera/internal/telemetry.Version defaults to
+# "dev"; builds through make stamp it from git so `esthera-serve
+# -version`, the listen banner and /healthz report the exact commit.
+VERSION ?= $(shell git describe --always --dirty 2>/dev/null || echo dev)
+LDFLAGS := -ldflags "-X esthera/internal/telemetry.Version=$(VERSION)"
+
 build:
-	go build ./...
+	go build $(LDFLAGS) ./...
 
 test:
 	go test ./...

@@ -40,6 +40,8 @@ import (
 	"time"
 
 	"esthera/internal/shard"
+	"esthera/internal/telemetry"
+	tlog "esthera/internal/telemetry/log"
 )
 
 func main() {
@@ -52,9 +54,21 @@ func main() {
 		rebalance = flag.Int("rebalance-threshold", 0, "migrate load when the busiest shard exceeds the idlest by more than this many sessions (0 = off)")
 		retryHint = flag.Duration("retry-hint", 0, "Retry-After hint on migration/failover 503s (0 = 15ms)")
 		snapshot  = flag.Duration("snapshot", 0, "failover-insurance checkpoint refresh interval (0 = off)")
+		trace     = flag.Bool("trace", false, "start with span recording enabled (toggle at runtime via POST /trace)")
+		logLevel  = flag.String("log-level", "info", "structured log level: debug, info, warn, error, off (runtime via POST /logz)")
+		version   = flag.Bool("version", false, "print the build string and exit")
 	)
 	flag.Parse()
 
+	if *version {
+		fmt.Println(telemetry.BuildString())
+		return
+	}
+	lv, err := tlog.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "esthera-router:", err)
+		os.Exit(2)
+	}
 	specs, err := parseShards(*shards)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "esthera-router:", err)
@@ -67,6 +81,9 @@ func main() {
 		FailAfter:          *failAfter,
 		RebalanceThreshold: *rebalance,
 		RetryAfter:         *retryHint,
+		Trace:              *trace,
+		LogLevel:           lv,
+		LogSink:            os.Stderr,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "esthera-router:", err)
@@ -99,7 +116,7 @@ func main() {
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "esthera-router listening on %s, %d shards\n", *addr, len(specs))
+	fmt.Fprintf(os.Stderr, "%s router listening on %s, %d shards\n", telemetry.BuildString(), *addr, len(specs))
 
 	select {
 	case err := <-errc:

@@ -53,6 +53,8 @@ import (
 
 	"esthera"
 	"esthera/internal/shard"
+	"esthera/internal/telemetry"
+	tlog "esthera/internal/telemetry/log"
 )
 
 func main() {
@@ -70,8 +72,24 @@ func main() {
 		pprof    = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled)")
 		shAddr   = flag.String("shard-addr", "", "serve the shard transport (pings, checkpoint transfer) on this address (empty = disabled)")
 		shName   = flag.String("shard-name", "", "replica name in shard transport handshakes (empty = -shard-addr)")
+		logLevel = flag.String("log-level", "info", "structured log level: debug, info, warn, error, off (runtime via POST /logz)")
+		version  = flag.Bool("version", false, "print the build string and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println(telemetry.BuildString())
+		return
+	}
+	lv, err := tlog.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "esthera-serve:", err)
+		os.Exit(2)
+	}
+	name := *shName
+	if name == "" {
+		name = *addr
+	}
 
 	s := esthera.NewServer(esthera.ServerConfig{
 		Workers:      *workers,
@@ -82,6 +100,9 @@ func main() {
 		RetryAfter:   *retry,
 		Trace:        *trace,
 		HealthStride: *stride,
+		Name:         name,
+		LogLevel:     lv,
+		LogSink:      os.Stderr,
 	})
 	defer s.Shutdown()
 
@@ -122,7 +143,7 @@ func main() {
 	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "esthera-serve listening on %s\n", *addr)
+	fmt.Fprintf(os.Stderr, "%s listening on %s\n", telemetry.BuildString(), *addr)
 
 	select {
 	case err := <-errc:

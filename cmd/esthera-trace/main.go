@@ -16,16 +16,31 @@
 //	esthera-trace top -in spans.json -n 10
 //	    The n longest individual spans.
 //
+//	esthera-trace fetch -out r1.json http://replica:8080/trace?format=raw
+//	    Drain one process's spans over HTTP into a file.
+//
+//	esthera-trace merge -out swarm.json -shards shards.json r1.json r2.json router.json
+//	    Align N per-process raw trace files onto one timeline (using the
+//	    router's NTP-style clock-offset estimates from /v1/shards) and
+//	    emit a single Chrome trace with one track per process. Spans of
+//	    one request share a trace ID across processes; -require-cross
+//	    exits non-zero unless a cross-process trace contains the named
+//	    span (the chaos harness's failover assertion).
+//
 //	esthera-trace fig8 -steps 200 -csv fig8.csv
 //	    The legacy Figure 8 generator, also the default when no
 //	    subcommand is given.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"strconv"
+	"strings"
 	"time"
 
 	"esthera/internal/device"
@@ -49,6 +64,12 @@ func main() {
 			return
 		case "top":
 			fatalIf(runTop(os.Args[2:]))
+			return
+		case "merge":
+			fatalIf(runMerge(os.Args[2:]))
+			return
+		case "fetch":
+			fatalIf(runFetch(os.Args[2:]))
 			return
 		case "fig8":
 			runFig8(os.Args[2:])
@@ -74,7 +95,11 @@ func loadEvents(path string, d demoOptions) ([]telemetry.Event, error) {
 		if err != nil {
 			return nil, err
 		}
-		return telemetry.ParseEvents(data)
+		evs, err := telemetry.ParseEvents(data)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return evs, nil
 	}
 	return demoEvents(d)
 }
@@ -206,6 +231,148 @@ func runTop(args []string) error {
 }
 
 func fmtDur(d time.Duration) string { return d.Round(time.Microsecond).String() }
+
+// runMerge aligns N per-process raw trace files onto one timeline and
+// writes a single Chrome trace with one track (pid) per process.
+func runMerge(args []string) error {
+	fs := flag.NewFlagSet("merge", flag.ExitOnError)
+	out := fs.String("out", "", "output file (empty: stdout)")
+	shardsPath := fs.String("shards", "", "router /v1/shards JSON supplying per-process clock offsets")
+	offsetsArg := fs.String("offsets", "", "manual clock offsets as name=ns[,name=ns...] (override -shards)")
+	requireCross := fs.String("require-cross", "", "exit non-zero unless a cross-process trace contains this span name")
+	quiet := fs.Bool("quiet", false, "suppress the stats line on stderr")
+	_ = fs.Parse(args)
+	files := fs.Args()
+	if len(files) == 0 {
+		return fmt.Errorf("merge needs at least one trace file (GET /trace?format=raw output)")
+	}
+
+	offsets, err := loadOffsets(*shardsPath, *offsetsArg)
+	if err != nil {
+		return err
+	}
+	procs := make([]telemetry.ProcessTrace, 0, len(files))
+	for i, path := range files {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		meta, evs, err := telemetry.ParseTrace(data)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		if len(evs) == 0 {
+			return fmt.Errorf("%s: no span events (empty drain, or not a trace file)", path)
+		}
+		if meta.Process == "" {
+			meta.Process = fmt.Sprintf("proc-%d", i)
+		}
+		procs = append(procs, telemetry.ProcessTrace{Meta: meta, OffsetNS: offsets[meta.Process], Events: evs})
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	stats, cross, err := telemetry.MergeTraces(w, procs)
+	if err != nil {
+		return err
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "merged %d processes, %d events, %d traces (%d cross-process)\n",
+			stats.Processes, stats.Events, stats.Traces, stats.CrossProcessTraces)
+	}
+	if *requireCross != "" {
+		for _, ct := range cross {
+			for _, span := range ct.Spans {
+				if span == *requireCross {
+					if !*quiet {
+						fmt.Fprintf(os.Stderr, "cross-process trace %s spans %v via %q\n",
+							ct.Trace, ct.Processes, *requireCross)
+					}
+					return nil
+				}
+			}
+		}
+		return fmt.Errorf("no cross-process trace contains span %q (%d cross-process traces checked)",
+			*requireCross, len(cross))
+	}
+	return nil
+}
+
+// loadOffsets builds the process → clock-offset (ns) map from the
+// router's /v1/shards snapshot and/or manual name=ns overrides.
+func loadOffsets(shardsPath, manual string) (map[string]int64, error) {
+	offsets := make(map[string]int64)
+	if shardsPath != "" {
+		data, err := os.ReadFile(shardsPath)
+		if err != nil {
+			return nil, err
+		}
+		var doc struct {
+			Shards []struct {
+				Name          string `json:"name"`
+				ClockOffsetNS int64  `json:"clock_offset_ns"`
+			} `json:"shards"`
+		}
+		if err := json.Unmarshal(data, &doc); err != nil {
+			return nil, fmt.Errorf("%s: not a /v1/shards snapshot: %w", shardsPath, err)
+		}
+		for _, sh := range doc.Shards {
+			offsets[sh.Name] = sh.ClockOffsetNS
+		}
+	}
+	if manual != "" {
+		for _, pair := range strings.Split(manual, ",") {
+			name, ns, ok := strings.Cut(strings.TrimSpace(pair), "=")
+			if !ok {
+				return nil, fmt.Errorf("bad -offsets entry %q, want name=ns", pair)
+			}
+			v, err := strconv.ParseInt(ns, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad -offsets entry %q: %v", pair, err)
+			}
+			offsets[name] = v
+		}
+	}
+	return offsets, nil
+}
+
+// runFetch drains one process's trace endpoint into a file.
+func runFetch(args []string) error {
+	fs := flag.NewFlagSet("fetch", flag.ExitOnError)
+	out := fs.String("out", "", "output file (empty: stdout)")
+	_ = fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("fetch needs exactly one URL (e.g. http://replica:8080/trace?format=raw)")
+	}
+	url := fs.Arg(0)
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("fetch %s: status %d: %s", url, resp.StatusCode, body)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	_, err = io.Copy(w, resp.Body)
+	return err
+}
 
 // runFig8 is the legacy default: regenerate Figure 8 — the lemniscate
 // ground truth with a converging high-particle trace and a diverging

@@ -13,12 +13,14 @@ import (
 // annotated package must be added here (and to the esthera-vet -require
 // list in scripts/verify.sh, which guards against silent coverage loss).
 var hotPackages = map[string]bool{
-	"esthera/internal/kernels":   true,
-	"esthera/internal/sortnet":   true,
-	"esthera/internal/scan":      true,
-	"esthera/internal/rng":       true,
-	"esthera/internal/model":     true,
-	"esthera/internal/model/arm": true,
+	"esthera/internal/kernels":       true,
+	"esthera/internal/sortnet":       true,
+	"esthera/internal/scan":          true,
+	"esthera/internal/rng":           true,
+	"esthera/internal/model":         true,
+	"esthera/internal/model/arm":     true,
+	"esthera/internal/telemetry":     true,
+	"esthera/internal/telemetry/log": true,
 }
 
 func isHotPackage(path string) bool { return hotPackages[path] }

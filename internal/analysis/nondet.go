@@ -45,6 +45,10 @@ var clockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
 // flagged.
 var sanctionedClockConsumers = map[string]bool{
 	"esthera/internal/telemetry": true,
+	// The structured logger stamps entries with the wall clock but, like
+	// the tracer, writes only its own ring buffer — log output never
+	// feeds back into particle state, weights or RNG consumption.
+	"esthera/internal/telemetry/log": true,
 }
 
 // goroutineProbes are runtime functions whose result depends on

@@ -1,0 +1,31 @@
+package nondet
+
+import (
+	"time"
+
+	tlog "esthera/internal/telemetry/log"
+)
+
+// LoggedRound is the approved spelling for in-kernel structured
+// logging: esthera/internal/telemetry/log is a sanctioned clock
+// consumer — it stamps entries internally but writes only its own ring
+// buffer, never filter state. Nothing here is flagged.
+func LoggedRound(l *tlog.Logger, k int64) {
+	if l.Enabled(tlog.LevelDebug) {
+		l.Debug("round", tlog.Int("k", k))
+	}
+}
+
+// LoggedDuration passes a pre-measured duration through a log field;
+// field constructors on the sanctioned package stay legal.
+func LoggedDuration(l *tlog.Logger, d time.Duration) {
+	l.Info("step", tlog.Dur("took", d))
+}
+
+// DirectClockBesideLogger shows the sanction does not bleed: a direct
+// wall-clock read in kernel code is still flagged even when the result
+// only feeds a log field.
+func DirectClockBesideLogger(l *tlog.Logger) {
+	start := time.Now() // want `nondeterministic clock read time\.Now`
+	l.Info("step", tlog.Dur("took", time.Since(start))) // want `nondeterministic clock read time\.Since`
+}

@@ -1,0 +1,70 @@
+package platform
+
+// Analytic request-cost model. PredictKernel prices work from measured
+// device counters, which exist only after a round has run; admission
+// and SLO accounting need a price *before* stepping. EstimateRoundLaneOps
+// derives one from the filter's shape alone — the same lane-operation
+// currency the device counters use — so every request can be stamped
+// with a predicted cost at session-create time and exported per step.
+
+// RoundShape describes one filtering round's work for cost estimation.
+type RoundShape struct {
+	// SubFilters is the number of independent sub-filters (work groups).
+	SubFilters int
+	// ParticlesPer is the particle count per sub-filter.
+	ParticlesPer int
+	// StateDim is the model state dimension (propagate/weight work
+	// scales with it).
+	StateDim int
+	// ExchangeCount is the number of particles exchanged per round
+	// across the ring topology (0 when exchange is off this round).
+	ExchangeCount int
+}
+
+// EstimateRoundLaneOps predicts the lane operations of one fused round
+// over the given shape. The per-particle terms mirror the fused
+// kernel's phases:
+//
+//   - rand: one Philox block draw plus Box-Muller shaping, ~8 lane ops
+//     per Gaussian, StateDim+1 draws (state noise + resample uniform)
+//   - propagate + weight: ~6 lane ops per state dimension each
+//     (multiply-add chains plus one transcendental amortized)
+//   - resample: a log2(m) CDF binary search per particle
+//   - sort: the bitonic network's log2(m)·(log2(m)+1)/2 stages, one
+//     compare-exchange per particle per stage
+//
+// plus StateDim+1 lane ops per exchanged particle for pack/unpack.
+// The constants are calibrated to the same order as the device
+// counters' per-phase lane-op attribution; the point is a consistent
+// relative price across requests, not nanosecond accuracy.
+func EstimateRoundLaneOps(shape RoundShape) int64 {
+	n := int64(shape.SubFilters)
+	m := int64(shape.ParticlesPer)
+	if n <= 0 || m <= 0 {
+		return 0
+	}
+	d := int64(shape.StateDim)
+	if d <= 0 {
+		d = 1
+	}
+	lg := log2ceil(m)
+	perParticle := 8*(d+1) + // rand
+		6*d + // propagate
+		6*d + // weight
+		lg + // CDF search
+		lg*(lg+1)/2 // bitonic stages
+	ops := n * m * perParticle
+	if shape.ExchangeCount > 0 {
+		ops += n * int64(shape.ExchangeCount) * (d + 1)
+	}
+	return ops
+}
+
+// log2ceil returns ceil(log2(v)) for v >= 1.
+func log2ceil(v int64) int64 {
+	var lg int64
+	for p := int64(1); p < v; p <<= 1 {
+		lg++
+	}
+	return lg
+}

@@ -1,0 +1,39 @@
+package platform
+
+import "testing"
+
+func TestEstimateRoundLaneOpsScales(t *testing.T) {
+	base := EstimateRoundLaneOps(RoundShape{SubFilters: 4, ParticlesPer: 128, StateDim: 2})
+	if base <= 0 {
+		t.Fatalf("base cost = %d", base)
+	}
+	// Linear in sub-filter count.
+	if got := EstimateRoundLaneOps(RoundShape{SubFilters: 8, ParticlesPer: 128, StateDim: 2}); got != 2*base {
+		t.Fatalf("doubling sub-filters: %d, want %d", got, 2*base)
+	}
+	// Superlinear in particles (sort term grows with log^2 m).
+	if got := EstimateRoundLaneOps(RoundShape{SubFilters: 4, ParticlesPer: 256, StateDim: 2}); got <= 2*base {
+		t.Fatalf("doubling particles: %d, want > %d", got, 2*base)
+	}
+	// Exchange adds work.
+	withX := EstimateRoundLaneOps(RoundShape{SubFilters: 4, ParticlesPer: 128, StateDim: 2, ExchangeCount: 16})
+	if withX <= base {
+		t.Fatalf("exchange cost missing: %d <= %d", withX, base)
+	}
+	// Degenerate shapes are free, zero state dim defaults to 1.
+	if EstimateRoundLaneOps(RoundShape{}) != 0 {
+		t.Fatal("empty shape priced nonzero")
+	}
+	if EstimateRoundLaneOps(RoundShape{SubFilters: 1, ParticlesPer: 1}) <= 0 {
+		t.Fatal("minimal shape priced zero")
+	}
+}
+
+func TestLog2Ceil(t *testing.T) {
+	cases := map[int64]int64{1: 0, 2: 1, 3: 2, 4: 2, 128: 7, 129: 8}
+	for v, want := range cases {
+		if got := log2ceil(v); got != want {
+			t.Errorf("log2ceil(%d) = %d, want %d", v, got, want)
+		}
+	}
+}

@@ -10,6 +10,8 @@ import (
 	"net/http"
 	"strconv"
 	"time"
+
+	"esthera/internal/telemetry"
 )
 
 // ClientConfig shapes a Client.
@@ -153,6 +155,9 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		}
 		if payload != nil {
 			req.Header.Set("Content-Type", "application/json")
+		}
+		if tc, ok := telemetry.TraceFromContext(ctx); ok {
+			req.Header.Set(telemetry.TraceHeader, tc.HeaderValue())
 		}
 		resp, err := c.cfg.HTTPClient.Do(req)
 		if err != nil {

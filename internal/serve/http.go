@@ -10,6 +10,7 @@ import (
 	"strconv"
 
 	"esthera/internal/telemetry"
+	tlog "esthera/internal/telemetry/log"
 )
 
 // NewHandler exposes a Server as a JSON-over-HTTP API (stdlib only):
@@ -27,8 +28,14 @@ import (
 //	GET    /trace                                                   → drain recorded spans (Chrome trace JSON;
 //	                                                                  ?format=raw for the wire format)
 //	POST   /trace                       {"enabled": bool}           → toggle span recording
-//	GET    /healthz                                                 → 200 while up
+//	GET    /logz                                                    → drain structured log ring (JSON lines)
+//	POST   /logz                        {"level": "debug"|...}      → set log level
+//	GET    /healthz                                                 → 200 while up (body carries the build string)
 //	GET    /readyz                                                  → 200 admitting, 503 draining/closed
+//
+// A W3C traceparent request header is parsed into the request context,
+// so a step propagated from the router joins the caller's trace; without
+// one a fresh trace ID is minted per step when tracing is enabled.
 //
 // Step requests run under the request context: a client disconnect or
 // deadline cancels a still-queued step (the scheduler skips it without
@@ -74,7 +81,11 @@ func NewHandler(s *Server) http.Handler {
 		if !readJSON(w, r, &body) {
 			return
 		}
-		res, err := s.StepCtx(r.Context(), r.PathValue("id"), body.U, body.Z)
+		ctx := r.Context()
+		if tc, ok := telemetry.ParseTraceParent(r.Header.Get(telemetry.TraceHeader)); ok {
+			ctx = telemetry.ContextWithTrace(ctx, tc)
+		}
+		res, err := s.StepCtx(ctx, r.PathValue("id"), body.U, body.Z)
 		if err != nil {
 			httpError(w, err)
 			return
@@ -116,8 +127,9 @@ func NewHandler(s *Server) http.Handler {
 		writeJSON(w, http.StatusOK, s.Stats())
 	})
 	mux.Handle("/trace", telemetry.TraceHandler(s.tracer))
+	mux.Handle("/logz", tlog.Handler(s.log))
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "build": telemetry.BuildString()})
 	})
 	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
 		if !s.Ready() {

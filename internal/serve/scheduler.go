@@ -36,6 +36,10 @@ type stepReq struct {
 	u, z  []float64
 	done  chan stepResult // buffered(1): delivery never blocks the scheduler
 	state atomic.Int32
+	// tc is the request's propagated (or freshly minted) trace context;
+	// span is the request-span ID under which the step is reported.
+	tc   telemetry.TraceContext
+	span uint64
 }
 
 func (r *stepReq) claim() bool   { return r.state.CompareAndSwap(reqPending, reqClaimed) }
@@ -128,6 +132,19 @@ func (s *Server) runBatch(batch []*stepReq) {
 		us[i] = r.u
 		zs[i] = r.z
 	}
+	// Install the driving request's trace as the ambient context so
+	// every span the fused round records below (device, kernels,
+	// cluster) is stamped with the same trace ID. A batch can merge
+	// several requests; the first live traced one wins — its trace
+	// covers the shared launch, the rest keep their own request spans.
+	ambient := false
+	for _, r := range live {
+		if r.tc.Valid() {
+			s.tracer.SetAmbient(telemetry.TraceContext{Trace: r.tc.Trace, Span: r.span})
+			ambient = true
+			break
+		}
+	}
 	start := time.Now()
 	ests, err := func() (out []filter.Estimate, err error) {
 		defer func() {
@@ -143,7 +160,10 @@ func (s *Server) runBatch(batch []*stepReq) {
 		ev := telemetry.Event{Name: "batch", Cat: "serve", TS: s.tracer.Stamp(start), Dur: elapsed}
 		ev.SetArg("steps", int64(len(live)))
 		ev.SetArg("skipped", int64(len(batch)-len(live)))
-		s.tracer.Record(ev)
+		s.tracer.Record(ev) // recorded under ambient: inherits the trace
+	}
+	if ambient {
+		s.tracer.ClearAmbient()
 	}
 	if err != nil {
 		for _, r := range live {

@@ -30,6 +30,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -42,6 +43,7 @@ import (
 	"esthera/internal/model"
 	"esthera/internal/resample"
 	"esthera/internal/telemetry"
+	tlog "esthera/internal/telemetry/log"
 )
 
 // Config shapes a Server.
@@ -75,6 +77,21 @@ type Config struct {
 	// weight degeneracy, resample acceptance): every k-th round is
 	// sampled. 0 means every round; negative disables sampling.
 	HealthStride int
+	// Name identifies this process in traces and structured logs (the
+	// shard name in a swarm). "" leaves exports unnamed.
+	Name string
+	// LogLevel is the structured logger's minimum severity (zero =
+	// info); LogSink, when non-nil, additionally mirrors warn+ records
+	// there as they happen (the binaries pass stderr). The ring-buffered
+	// log is always available at /logz regardless.
+	LogLevel tlog.Level
+	LogSink  io.Writer
+	// StepSLO is the step endpoint's latency objective: a step counts
+	// against the error budget when it exceeds this bound (0 = 50ms).
+	// SLOObjective is the target good fraction (0 = 0.99). Burn rates
+	// are exported via /metrics (esthera_slo_*).
+	StepSLO      time.Duration
+	SLOObjective float64
 }
 
 func (c Config) withDefaults() Config {
@@ -219,11 +236,16 @@ type Server struct {
 	batchLatNS atomic.Int64
 
 	// Observability: the span tracer shared by the device, every
-	// session's pipeline, and the scheduler; and the metrics registry
+	// session's pipeline, and the scheduler; the metrics registry
 	// unifying serve counters, latency histograms, filter health and
-	// the device profile behind /metrics (see telemetry.go).
-	tracer *telemetry.Tracer
-	reg    *telemetry.Registry
+	// the device profile behind /metrics (see telemetry.go); the
+	// structured logger behind /logz; and the step endpoint's SLO
+	// tracker plus predicted-cost histogram.
+	tracer   *telemetry.Tracer
+	reg      *telemetry.Registry
+	log      *tlog.Logger
+	sloStep  *telemetry.SLOTracker
+	costHist *telemetry.Histogram
 }
 
 // NewServer starts a server with the given model registry. The caller
@@ -243,7 +265,16 @@ func NewServer(cfg Config, models map[string]ModelFactory) *Server {
 	}
 	s.stepper = filter.NewBatchStepper(s.dev)
 	s.tracer.SetEnabled(cfg.Trace)
+	s.tracer.SetProcess(cfg.Name)
 	s.dev.SetTracer(s.tracer)
+	s.log = tlog.New(tlog.Config{Level: cfg.LogLevel, Process: cfg.Name, Sink: cfg.LogSink})
+	s.sloStep = telemetry.NewSLOTracker(telemetry.SLO{Objective: cfg.SLOObjective, Threshold: cfg.StepSLO})
+	// Predicted lane-op cost per request, bucketed in powers of four:
+	// spans the arm default (16x64 sub-filters, ~200k ops) out to the
+	// million-particle shapes the throughput scenarios use.
+	s.costHist = s.reg.NewHistogram("esthera_request_cost_laneops",
+		"Predicted lane-operation cost of each stepped request (platform cost model).",
+		[]float64{1e3, 4e3, 16e3, 64e3, 256e3, 1e6, 4e6, 16e6, 64e6, 256e6})
 	s.reg.RegisterCollector(s.collectMetrics)
 	for name, f := range models {
 		s.models[name] = f
@@ -340,7 +371,12 @@ func (s *Server) install(sp FilterSpec, f *filter.Parallel, mdl model.Model) (st
 	if s.cfg.HealthStride > 0 {
 		f.Pipeline().SetHealthEvery(s.cfg.HealthStride)
 	}
-	s.sessions[id] = newSession(id, sp, f, mdl)
+	sess := newSession(id, sp, f, mdl)
+	s.sessions[id] = sess
+	s.log.Info("session created",
+		tlog.Str("session", id), tlog.Str("model", sp.Model),
+		tlog.Int("sub_filters", int64(sp.SubFilters)), tlog.Int("particles_per", int64(sp.ParticlesPer)),
+		tlog.Int("cost_laneops", sess.cost))
 	return id, nil
 }
 
@@ -424,6 +460,20 @@ func (s *Server) StepCtx(ctx context.Context, id string, u, z []float64) (StepRe
 	}
 
 	req := &stepReq{sess: sess, u: u, z: z, done: make(chan stepResult, 1)}
+	if s.tracer.Enabled() {
+		// Propagated trace context (router ingress via the traceparent
+		// header) plus this request's own span: the batch that executes
+		// the step installs it as the tracer's ambient context, so
+		// device/kernel round spans inherit the request's trace ID. A
+		// request arriving without a trace mints its own, so standalone
+		// (router-less) traces still group by request.
+		tc, ok := telemetry.TraceFromContext(ctx)
+		if !ok {
+			tc = telemetry.TraceContext{Trace: telemetry.NewTraceID()}
+		}
+		req.tc = tc
+		req.span = telemetry.NewSpanID()
+	}
 	select {
 	case s.queue <- req:
 		s.inflight.Add(1)
@@ -435,7 +485,7 @@ func (s *Server) StepCtx(ctx context.Context, id string, u, z []float64) (StepRe
 	}
 	select {
 	case res := <-req.done:
-		return s.finish(sess, res, start)
+		return s.finish(sess, req, res, start)
 	case <-ctx.Done():
 		if req.abandon() {
 			// Still queued: the scheduler will skip it; the step is
@@ -446,7 +496,7 @@ func (s *Server) StepCtx(ctx context.Context, id string, u, z []float64) (StepRe
 		// The scheduler claimed the step first: it will be applied and a
 		// result is guaranteed on done. Take it — reporting failure here
 		// would desynchronize the session from its own filter.
-		return s.finish(sess, <-req.done, start)
+		return s.finish(sess, req, <-req.done, start)
 	case <-s.quit:
 		if req.abandon() {
 			// Still queued at shutdown: never applied.
@@ -455,28 +505,42 @@ func (s *Server) StepCtx(ctx context.Context, id string, u, z []float64) (StepRe
 		// The batch completed (or is completing) concurrently with
 		// shutdown: prefer the ready result over quit, so an applied
 		// step is never reported as failed and recordStep always runs.
-		return s.finish(sess, <-req.done, start)
+		return s.finish(sess, req, <-req.done, start)
 	}
 }
 
 // finish delivers one completed step to the caller, recording it in the
 // session bookkeeping so Estimate and Stats stay consistent with the
 // filter state.
-func (s *Server) finish(sess *Session, res stepResult, start time.Time) (StepResult, error) {
+func (s *Server) finish(sess *Session, req *stepReq, res stepResult, start time.Time) (StepResult, error) {
 	if res.err != nil {
+		s.log.Warn("step failed",
+			tlog.Str("session", sess.id), tlog.Trace(req.tc), tlog.Str("error", res.err.Error()))
 		return StepResult{}, res.err
 	}
 	elapsed := time.Since(start)
 	sess.recordStep(res.est, elapsed)
+	s.sloStep.Observe(elapsed)
+	s.costHist.Observe(float64(sess.cost))
 	if s.cfg.HealthStride > 0 {
 		// The caller holds sess.stepMu and the batch that ran this step
 		// has delivered, so the pipeline's health sample is stable.
 		sess.setHealth(sess.f.Pipeline().LastHealth())
 	}
 	if s.tracer.Enabled() {
-		ev := telemetry.Event{Name: "request", Cat: "serve", TS: s.tracer.Stamp(start), Dur: elapsed}
+		ev := telemetry.Event{
+			Name: "request", Cat: "serve", TS: s.tracer.Stamp(start), Dur: elapsed,
+			Trace: req.tc.Trace, Span: req.span, Parent: req.tc.Span,
+		}
 		ev.SetArg("step", int64(res.step))
+		ev.SetArg("cost_laneops", sess.cost)
 		s.tracer.Record(ev)
+	}
+	if s.log.Enabled(tlog.LevelDebug) {
+		s.log.Debug("step",
+			tlog.Str("session", sess.id), tlog.Int("step", int64(res.step)),
+			tlog.Dur("latency", elapsed), tlog.Int("cost_laneops", sess.cost),
+			tlog.Trace(telemetry.TraceContext{Trace: req.tc.Trace, Span: req.span}))
 	}
 	return StepResult{Step: res.step, State: res.est.State, LogWeight: res.est.LogWeight}, nil
 }
@@ -526,6 +590,7 @@ func (s *Server) Close(id string) error {
 	s.mu.Lock()
 	delete(s.sessions, id)
 	s.mu.Unlock()
+	s.log.Info("session closed", tlog.Str("session", id))
 	return nil
 }
 
@@ -548,7 +613,9 @@ func (s *Server) Sessions() []string {
 // Shutdown afterwards for that. Drain is idempotent and safe to call
 // concurrently.
 func (s *Server) Drain(ctx context.Context) error {
-	s.draining.Store(true)
+	if !s.draining.Swap(true) {
+		s.log.Info("drain started", tlog.Int("inflight", s.inflight.Load()))
+	}
 	tick := time.NewTicker(time.Millisecond)
 	defer tick.Stop()
 	for {
@@ -602,6 +669,7 @@ func (s *Server) Shutdown() {
 	}
 	s.closed = true
 	s.mu.Unlock()
+	s.log.Info("server shutdown")
 	close(s.quit)
 	<-s.done
 }

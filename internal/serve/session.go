@@ -8,6 +8,7 @@ import (
 
 	"esthera/internal/filter"
 	"esthera/internal/model"
+	"esthera/internal/platform"
 	"esthera/internal/telemetry"
 )
 
@@ -17,6 +18,10 @@ type Session struct {
 	spec FilterSpec
 	f    *filter.Parallel
 	mdl  model.Model
+	// cost is the predicted lane-op price of one fused round over this
+	// session's shape, computed once at create time from the platform
+	// cost model and stamped on every request (trace arg + histogram).
+	cost int64
 
 	// stepMu serializes this session's steps (and checkpoints and close)
 	// in arrival order: the filter is a strictly ordered Markov
@@ -42,6 +47,12 @@ type Session struct {
 func newSession(id string, sp FilterSpec, f *filter.Parallel, mdl model.Model) *Session {
 	return &Session{
 		id: id, spec: sp, f: f, mdl: mdl, created: time.Now(),
+		cost: platform.EstimateRoundLaneOps(platform.RoundShape{
+			SubFilters:    sp.SubFilters,
+			ParticlesPer:  sp.ParticlesPer,
+			StateDim:      mdl.StateDim(),
+			ExchangeCount: sp.ExchangeCount,
+		}),
 		// No estimate exists before the first step: log-weight -Inf.
 		lastEst: filter.Estimate{LogWeight: math.Inf(-1)},
 	}

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"esthera/internal/telemetry"
+	tlog "esthera/internal/telemetry/log"
 )
 
 // Observability accessors and the metrics collector unifying the
@@ -20,9 +21,15 @@ func (s *Server) Tracer() *telemetry.Tracer { return s.tracer }
 // same state as Stats() in Prometheus shape.
 func (s *Server) Registry() *telemetry.Registry { return s.reg }
 
+// Logger returns the server's structured logger (ring-buffered,
+// drained over /logz). Never nil.
+func (s *Server) Logger() *tlog.Logger { return s.log }
+
 // collectMetrics is the registry collector: it walks the same state Stats()
 // publishes as JSON and emits it under stable esthera_* names.
 func (s *Server) collectMetrics(e *telemetry.Emitter) {
+	telemetry.CollectBuildInfo(e)
+	s.sloStep.Collect(e, "step")
 	e.Gauge("esthera_serve_ready", "1 while the server accepts steps.", b2f(s.Ready()))
 	e.Gauge("esthera_serve_draining", "1 while a graceful drain is in progress.", b2f(s.draining.Load()))
 	e.Gauge("esthera_serve_queue_depth", "Steps waiting in the admission queue.", float64(len(s.queue)))

@@ -4,8 +4,11 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"esthera/internal/serve"
+	"esthera/internal/telemetry"
+	tlog "esthera/internal/telemetry/log"
 )
 
 // migrationLogCap bounds the at-most-once dedup log. Entries are
@@ -59,11 +62,19 @@ func NewAgent(name string, srv *serve.Server) *Agent {
 func (a *Agent) HandleFrame(remote string, t FrameType, payload []byte) (FrameType, []byte, error) {
 	switch t {
 	case FramePing:
+		// t1 (receive) is stamped as early as possible and t2 (send)
+		// as late as possible, so the NTP-style offset the caller
+		// derives excludes as much local processing as the frame
+		// handler allows.
+		recv := time.Now().UnixNano()
 		var ping PingMsg
 		if err := unmarshal(t, payload, &ping); err != nil {
 			return 0, nil, err
 		}
-		return FramePong, marshal(a.pong(ping.Seq)), nil
+		pong := a.pong(ping.Seq)
+		pong.RecvUnixNano = recv
+		pong.SendUnixNano = time.Now().UnixNano()
+		return FramePong, marshal(pong), nil
 	case FrameExport:
 		var req ExportMsg
 		if err := unmarshal(t, payload, &req); err != nil {
@@ -105,6 +116,29 @@ func (a *Agent) pong(seq int64) PongMsg {
 	}
 }
 
+// span records one replica-side migration span under the caller's
+// trace (carried on the wire in traceparent form) and mirrors it to
+// the replica's structured log, correlated by the same trace context.
+func (a *Agent) span(traceparent, name, sessionID string, start time.Time, failed bool) {
+	tc, ok := telemetry.ParseTraceParent(traceparent)
+	if !ok {
+		return
+	}
+	elapsed := time.Since(start)
+	tr := a.srv.Tracer()
+	span := telemetry.NewSpanID()
+	if tr.Enabled() {
+		ev := telemetry.Event{Name: name, Cat: "shard", TS: tr.Stamp(start), Dur: elapsed,
+			Trace: tc.Trace, Span: span, Parent: tc.Span}
+		if failed {
+			ev.SetArg("failed", 1)
+		}
+		tr.Record(ev)
+	}
+	a.srv.Logger().Info(name, tlog.Trace(telemetry.TraceContext{Trace: tc.Trace, Span: span}),
+		tlog.Str("session", sessionID), tlog.Dur("took", elapsed), tlog.Bool("failed", failed))
+}
+
 // export runs the source half of a migration. With req.Close the
 // checkpoint+close is one atomic section (serve.Export); without it
 // this is a plain snapshot (the router's failover-insurance path).
@@ -126,11 +160,13 @@ func (a *Agent) export(req ExportMsg) (*CheckpointMsg, error) {
 		cp  *serve.Checkpoint
 		err error
 	)
+	start := time.Now()
 	if req.Close {
 		cp, err = a.srv.Export(req.SessionID)
 	} else {
 		cp, err = a.srv.Checkpoint(req.SessionID)
 	}
+	a.span(req.Trace, "agent.export", req.SessionID, start, err != nil)
 	if err != nil {
 		return nil, wireError(err)
 	}
@@ -159,7 +195,9 @@ func (a *Agent) restore(req RestoreMsg) (*RestoredMsg, error) {
 		}
 		a.mu.Unlock()
 	}
+	start := time.Now()
 	id, err := a.srv.Restore(req.Checkpoint)
+	a.span(req.Trace, "agent.restore", id, start, err != nil)
 	if err != nil {
 		return nil, wireError(err)
 	}

@@ -10,6 +10,7 @@ import (
 
 	"esthera/internal/serve"
 	"esthera/internal/telemetry"
+	tlog "esthera/internal/telemetry/log"
 )
 
 // NewRouterHandler exposes a Router over the same JSON-over-HTTP
@@ -27,8 +28,17 @@ import (
 //	GET    /v1/shards                                           → per-shard liveness/placement
 //	GET    /metrics                                             → {"router": ..., "shards": {...}} (JSON);
 //	                                                              Prometheus text with ?format=prometheus
-//	GET    /healthz                                             → 200 while up
+//	GET    /trace                                               → drain router spans (Chrome JSON; ?format=raw)
+//	POST   /trace                        {"enabled": bool}      → toggle span recording
+//	GET    /logz                                                → drain structured log ring (JSON lines)
+//	POST   /logz                         {"level": "..."}       → set log level
+//	GET    /healthz                                             → 200 while up (body carries the build string)
 //	GET    /readyz                                              → 200 with ≥1 live shard, else 503
+//
+// A W3C traceparent request header on a step joins the caller's trace;
+// absent one, the router mints a fresh trace ID per step when tracing
+// is enabled, and either way forwards the context downstream so the
+// replica's spans share the trace.
 //
 // A serve.Client pointed at a router works unchanged: step and
 // estimate requests forward to the owning replica, and the transient
@@ -74,7 +84,11 @@ func NewRouterHandler(r *Router) http.Handler {
 		if !readJSON(w, req, &body) {
 			return
 		}
-		res, err := r.Step(req.Context(), req.PathValue("id"), body.U, body.Z)
+		ctx := req.Context()
+		if tc, ok := telemetry.ParseTraceParent(req.Header.Get(telemetry.TraceHeader)); ok {
+			ctx = telemetry.ContextWithTrace(ctx, tc)
+		}
+		res, err := r.Step(ctx, req.PathValue("id"), body.U, body.Z)
 		if err != nil {
 			routerError(w, r, err)
 			return
@@ -125,8 +139,10 @@ func NewRouterHandler(r *Router) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, aggregateStats(req.Context(), r))
 	})
+	mux.Handle("/trace", telemetry.TraceHandler(r.Tracer()))
+	mux.Handle("/logz", tlog.Handler(r.Logger()))
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, req *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "build": telemetry.BuildString()})
 	})
 	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, req *http.Request) {
 		if !r.Ready() {
@@ -161,6 +177,8 @@ func aggregateStats(ctx context.Context, r *Router) AggregatedStats {
 // Prometheus samples, with per-shard liveness labeled by shard name.
 func routerCollector(r *Router) telemetry.Collector {
 	return func(e *telemetry.Emitter) {
+		telemetry.CollectBuildInfo(e)
+		r.StepSLO().Collect(e, "route.step")
 		st := r.Stats()
 		e.Gauge("esthera_router_sessions", "Sessions routed by this router.", float64(st.Sessions))
 		e.Gauge("esthera_router_sessions_parked", "Sessions with no live shard, held as checkpoints.", float64(st.Parked))
@@ -183,6 +201,8 @@ func routerCollector(r *Router) telemetry.Collector {
 			}
 			e.Gauge("esthera_router_shard_up", "Shard liveness (1 = accepting placements).", up, "shard", sh.Name)
 			e.Gauge("esthera_router_shard_sessions", "Sessions homed on the shard.", float64(sh.Sessions), "shard", sh.Name)
+			e.Gauge("esthera_router_shard_clock_offset_seconds", "EWMA of replica clock minus router clock (NTP-style probe estimate).", float64(sh.ClockOffsetNS)/1e9, "shard", sh.Name)
+			e.Gauge("esthera_router_shard_rtt_seconds", "EWMA of transport probe round-trip time.", float64(sh.RTTNS)/1e9, "shard", sh.Name)
 		}
 	}
 }

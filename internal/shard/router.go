@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
 	"strconv"
@@ -12,6 +13,8 @@ import (
 	"time"
 
 	"esthera/internal/serve"
+	"esthera/internal/telemetry"
+	tlog "esthera/internal/telemetry/log"
 )
 
 // ShardSpec names one replica: its HTTP base URL (step/estimate
@@ -55,6 +58,19 @@ type RouterConfig struct {
 	HTTPClient *http.Client
 	// Name identifies the router in transport handshakes (0 = "router").
 	Name string
+	// Trace enables span recording at router start (toggleable over
+	// POST /trace). Each forwarded step carries its trace downstream in
+	// a traceparent header; migrations and failovers carry theirs in
+	// the transport's control frames.
+	Trace bool
+	// LogLevel / LogSink shape the router's structured log (drained
+	// over /logz; Sink mirrors warnings+ to a writer, typically stderr).
+	LogLevel tlog.Level
+	LogSink  io.Writer
+	// StepSLO / SLOObjective shape the forwarded-step latency objective
+	// (0 = the telemetry defaults: 50ms at 99%).
+	StepSLO      time.Duration
+	SLOObjective float64
 }
 
 func (c RouterConfig) withDefaults() RouterConfig {
@@ -100,6 +116,27 @@ type shardState struct {
 	// failingOver collapses concurrent failover triggers to one run.
 	failingOver atomic.Bool
 	lastPong    atomic.Pointer[PongMsg]
+	// clockOffsetNS/rttNS are EWMAs of the NTP-style estimates the
+	// probe loop derives from ping/pong timestamps: offset is the
+	// replica clock minus the router clock (what `esthera-trace merge`
+	// subtracts to align timelines), rtt the probe round trip.
+	// clockSeen guards the EWMA seed (an offset of exactly 0 is legal).
+	clockSeen     atomic.Bool
+	clockOffsetNS atomic.Int64
+	rttNS         atomic.Int64
+}
+
+// observeClock folds one probe's offset/rtt sample into the EWMAs.
+func (sh *shardState) observeClock(offset, rtt int64) {
+	if !sh.clockSeen.Swap(true) {
+		sh.clockOffsetNS.Store(offset)
+		sh.rttNS.Store(rtt)
+		return
+	}
+	old := sh.clockOffsetNS.Load()
+	sh.clockOffsetNS.Store(old + (offset-old)/4)
+	old = sh.rttNS.Load()
+	sh.rttNS.Store(old + (rtt-old)/4)
 }
 
 // route is one public session's placement. Guarded by Router.mu.
@@ -133,6 +170,10 @@ type Router struct {
 	names  []string // sorted shard names
 	ring   *Ring
 
+	tracer  *telemetry.Tracer
+	log     *tlog.Logger
+	sloStep *telemetry.SLOTracker
+
 	mu     sync.Mutex
 	routes map[string]*route
 	nextID uint64
@@ -163,12 +204,17 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 		return nil, errors.New("shard: router needs at least one shard")
 	}
 	r := &Router{
-		cfg:    cfg,
-		shards: make(map[string]*shardState, len(cfg.Shards)),
-		ring:   NewRing(cfg.Vnodes),
-		routes: make(map[string]*route),
-		quit:   make(chan struct{}),
+		cfg:     cfg,
+		shards:  make(map[string]*shardState, len(cfg.Shards)),
+		ring:    NewRing(cfg.Vnodes),
+		routes:  make(map[string]*route),
+		quit:    make(chan struct{}),
+		tracer:  telemetry.New(telemetry.Config{}),
+		log:     tlog.New(tlog.Config{Level: cfg.LogLevel, Process: cfg.Name, Sink: cfg.LogSink}),
+		sloStep: telemetry.NewSLOTracker(telemetry.SLO{Objective: cfg.SLOObjective, Threshold: cfg.StepSLO}),
 	}
+	r.tracer.SetEnabled(cfg.Trace)
+	r.tracer.SetProcess(cfg.Name)
 	for _, sp := range cfg.Shards {
 		if sp.Name == "" || sp.BaseURL == "" {
 			return nil, fmt.Errorf("shard: shard spec needs name and base_url (got %+v)", sp)
@@ -237,7 +283,7 @@ func (r *Router) Create(ctx context.Context, spec serve.FilterSpec) (string, err
 	}
 	rt := &route{spec: spec, shard: target, remoteID: remoteID, epoch: 1}
 	if sh.spec.TransportAddr != "" {
-		if cp, err := r.exportFrom(ctx, sh, "", remoteID, false); err == nil {
+		if cp, err := r.exportFrom(ctx, sh, "", remoteID, false, ""); err == nil {
 			rt.lastCP = cp
 		}
 	}
@@ -265,6 +311,24 @@ func (r *Router) lookupRoute(id string) (shardName, remoteID string, err error) 
 	return rt.shard, rt.remoteID, nil
 }
 
+// traceStep derives the router-side trace identity of one forwarded
+// call: the propagated trace context (or a fresh trace when the tracer
+// is on and none arrived), a new ingress span, and a child ctx whose
+// traceparent header parents the replica's request span to the
+// router's. span == 0 means the call is untraced.
+func (r *Router) traceStep(ctx context.Context) (context.Context, telemetry.TraceContext, uint64) {
+	tc, ok := telemetry.TraceFromContext(ctx)
+	if !ok {
+		if !r.tracer.Enabled() {
+			return ctx, telemetry.TraceContext{}, 0
+		}
+		tc = telemetry.TraceContext{Trace: telemetry.NewTraceID()}
+	}
+	span := telemetry.NewSpanID()
+	ctx = telemetry.ContextWithTrace(ctx, telemetry.TraceContext{Trace: tc.Trace, Span: span})
+	return ctx, tc, span
+}
+
 // Step forwards one observation step to the session's shard. Failures
 // of the shard surface as the retryable ErrShardDown while failover
 // rehomes the session; the caller's retry loop (serve.Client honors
@@ -279,7 +343,19 @@ func (r *Router) Step(ctx context.Context, id string, u, z []float64) (serve.Ste
 		r.kickFailover(sh)
 		return serve.StepResult{}, ErrShardDown
 	}
+	ctx, tc, span := r.traceStep(ctx)
+	start := time.Now()
 	res, err := sh.client.Step(ctx, remoteID, u, z)
+	elapsed := time.Since(start)
+	r.sloStep.Observe(elapsed)
+	if span != 0 && r.tracer.Enabled() {
+		ev := telemetry.Event{Name: "route.step", Cat: "router", TS: r.tracer.Stamp(start), Dur: elapsed,
+			Trace: tc.Trace, Span: span, Parent: tc.Span}
+		if err != nil {
+			ev.SetArg("failed", 1)
+		}
+		r.tracer.Record(ev)
+	}
 	if err == nil {
 		r.stepsForwarded.Add(1)
 		r.mu.Lock()
@@ -289,6 +365,8 @@ func (r *Router) Step(ctx context.Context, id string, u, z []float64) (serve.Ste
 		r.mu.Unlock()
 		return res, nil
 	}
+	r.log.Warn("step forward failed", tlog.Trace(telemetry.TraceContext{Trace: tc.Trace, Span: span}),
+		tlog.Str("session", id), tlog.Str("shard", shardName), tlog.Str("error", err.Error()))
 	return serve.StepResult{}, r.stepError(ctx, id, sh, remoteID, err)
 }
 
@@ -363,7 +441,7 @@ func (r *Router) Checkpoint(ctx context.Context, id string) (*serve.Checkpoint, 
 		return nil, err
 	}
 	sh := r.shards[shardName]
-	cp, err := r.exportFrom(ctx, sh, "", remoteID, false)
+	cp, err := r.exportFrom(ctx, sh, "", remoteID, false, "")
 	if err != nil {
 		return nil, r.stepError(ctx, id, sh, remoteID, err)
 	}
@@ -417,9 +495,11 @@ func (r *Router) ShardOf(id string) (string, error) {
 }
 
 // exportFrom pulls a checkpoint over the transport. close selects the
-// atomic export (migration drain) versus a plain snapshot.
-func (r *Router) exportFrom(ctx context.Context, sh *shardState, mid, remoteID string, close bool) (*serve.Checkpoint, error) {
-	t, payload, err := sh.peer.Call(ctx, FrameExport, marshal(ExportMsg{MigrationID: mid, SessionID: remoteID, Close: close}))
+// atomic export (migration drain) versus a plain snapshot. trace (a
+// traceparent string, "" = untraced) rides the control frame so the
+// replica's export span joins the caller's trace.
+func (r *Router) exportFrom(ctx context.Context, sh *shardState, mid, remoteID string, close bool, trace string) (*serve.Checkpoint, error) {
+	t, payload, err := sh.peer.Call(ctx, FrameExport, marshal(ExportMsg{MigrationID: mid, SessionID: remoteID, Close: close, Trace: trace}))
 	if err != nil {
 		return nil, err
 	}
@@ -440,8 +520,8 @@ func (r *Router) exportFrom(ctx context.Context, sh *shardState, mid, remoteID s
 // restored session's replica-local id. At-most-once per migration id:
 // a retry of a transfer the target already applied returns the
 // original id.
-func (r *Router) restoreOn(ctx context.Context, sh *shardState, mid string, cp *serve.Checkpoint) (string, error) {
-	t, payload, err := sh.peer.Call(ctx, FrameRestore, marshal(RestoreMsg{MigrationID: mid, Checkpoint: cp}))
+func (r *Router) restoreOn(ctx context.Context, sh *shardState, mid string, cp *serve.Checkpoint, trace string) (string, error) {
+	t, payload, err := sh.peer.Call(ctx, FrameRestore, marshal(RestoreMsg{MigrationID: mid, Checkpoint: cp, Trace: trace}))
 	if err != nil {
 		return "", err
 	}
@@ -473,7 +553,22 @@ func (r *Router) restoreOn(ctx context.Context, sh *shardState, mid string, cp *
 // If the restore cannot reach the target the session parks (its state
 // is the exported checkpoint) and placement retries on the failover
 // path; the session is never left half-moved with two live copies.
+//
+// The whole protocol runs under one trace: the caller's propagated
+// context or a freshly minted trace ID. The hold window (step 1 until
+// repoint) is the "migrate.hold" span; export and restore are child
+// spans, and the trace crosses the transport so both replicas' agent
+// spans land in the same trace.
 func (r *Router) Migrate(ctx context.Context, id, target string) error {
+	tc, traced := telemetry.TraceFromContext(ctx)
+	if !traced && r.tracer.Enabled() {
+		tc = telemetry.TraceContext{Trace: telemetry.NewTraceID()}
+		traced = true
+	}
+	var migSpan uint64
+	if traced {
+		migSpan = telemetry.NewSpanID()
+	}
 	r.mu.Lock()
 	rt, ok := r.routes[id]
 	if !ok {
@@ -513,17 +608,31 @@ func (r *Router) Migrate(ctx context.Context, id, target string) error {
 	rt.epoch++
 	mid := id + "#" + strconv.Itoa(rt.epoch)
 	remoteID := rt.remoteID
+	holdStart := time.Now()
 	r.mu.Unlock()
 
+	childTrace := ""
+	if traced {
+		childTrace = telemetry.TraceContext{Trace: tc.Trace, Span: migSpan}.HeaderValue()
+	}
+	holdSpan := func(failed bool) {
+		r.recordSpan("migrate.hold", tc, migSpan, tc.Span, holdStart, failed)
+	}
+
 	ssh := r.shards[source]
-	cp, err := r.exportFrom(ctx, ssh, mid, remoteID, true)
+	expStart := time.Now()
+	cp, err := r.exportFrom(ctx, ssh, mid, remoteID, true, childTrace)
+	r.recordSpan("migrate.export", tc, spanIf(traced), migSpan, expStart, err != nil)
 	if err != nil {
 		// Nothing moved: the source still owns the session (or lost it
 		// to a crash, which the failover path will notice). Unwind.
 		r.mu.Lock()
 		rt.migrating = false
 		r.mu.Unlock()
+		holdSpan(true)
 		r.migrationErrors.Add(1)
+		r.log.Warn("migrate export failed", tlog.Trace(telemetry.TraceContext{Trace: tc.Trace, Span: migSpan}),
+			tlog.Str("session", id), tlog.Str("source", source), tlog.Str("error", err.Error()))
 		var rerr *RemoteError
 		if !errors.As(err, &rerr) {
 			r.strike(ssh)
@@ -531,7 +640,9 @@ func (r *Router) Migrate(ctx context.Context, id, target string) error {
 		return fmt.Errorf("shard: migrate %s: export from %s: %w", id, source, err)
 	}
 
-	newID, err := r.restoreOn(ctx, tsh, mid, cp)
+	resStart := time.Now()
+	newID, err := r.restoreOn(ctx, tsh, mid, cp, childTrace)
+	r.recordSpan("migrate.restore", tc, spanIf(traced), migSpan, resStart, err != nil)
 	if err != nil {
 		// The source copy is closed and the target unreachable: park
 		// with the checkpoint and let placement retry elsewhere.
@@ -541,8 +652,11 @@ func (r *Router) Migrate(ctx context.Context, id, target string) error {
 		rt.lastCP = cp
 		rt.migrating = false
 		r.mu.Unlock()
+		holdSpan(true)
 		r.migrationErrors.Add(1)
 		r.parked.Add(1)
+		r.log.Warn("migrate restore failed, session parked", tlog.Trace(telemetry.TraceContext{Trace: tc.Trace, Span: migSpan}),
+			tlog.Str("session", id), tlog.Str("target", target), tlog.Str("error", err.Error()))
 		r.strike(tsh)
 		go r.placeParked()
 		return fmt.Errorf("shard: migrate %s: restore on %s: %w", id, target, err)
@@ -554,8 +668,34 @@ func (r *Router) Migrate(ctx context.Context, id, target string) error {
 	rt.lastCP = cp
 	rt.migrating = false
 	r.mu.Unlock()
+	holdSpan(false)
 	r.migrations.Add(1)
+	r.log.Info("migrated", tlog.Trace(telemetry.TraceContext{Trace: tc.Trace, Span: migSpan}),
+		tlog.Str("session", id), tlog.Str("source", source), tlog.Str("target", target),
+		tlog.Dur("hold", time.Since(holdStart)))
 	return nil
+}
+
+// recordSpan records one router span; a zero span ID (untraced call)
+// or a disabled tracer makes it a no-op.
+func (r *Router) recordSpan(name string, tc telemetry.TraceContext, span, parent uint64, start time.Time, failed bool) {
+	if span == 0 || !r.tracer.Enabled() {
+		return
+	}
+	ev := telemetry.Event{Name: name, Cat: "router", TS: r.tracer.Stamp(start), Dur: time.Since(start),
+		Trace: tc.Trace, Span: span, Parent: parent}
+	if failed {
+		ev.SetArg("failed", 1)
+	}
+	r.tracer.Record(ev)
+}
+
+// spanIf mints a span ID for a traced operation (0 when untraced).
+func spanIf(traced bool) uint64 {
+	if !traced {
+		return 0
+	}
+	return telemetry.NewSpanID()
 }
 
 // leastLoadedLocked picks the live shard owning the fewest routes,
@@ -608,6 +748,7 @@ func (r *Router) parkRoute(id, shardName, remoteID string) {
 func (r *Router) strike(sh *shardState) {
 	if n := sh.strikes.Add(1); int(n) >= r.cfg.FailAfter {
 		if !sh.down.Swap(true) {
+			r.log.Warn("shard marked down", tlog.Str("shard", sh.spec.Name), tlog.Int("strikes", int64(n)))
 			r.kickFailover(sh)
 		}
 	}
@@ -649,6 +790,7 @@ func (r *Router) failoverShard(sh *shardState) {
 		return
 	}
 	r.failovers.Add(1)
+	r.log.Warn("shard failover", tlog.Str("shard", name), tlog.Int("sessions", int64(len(victims))))
 	sort.Strings(victims)
 	for _, id := range victims {
 		r.placeRoute(id)
@@ -658,6 +800,11 @@ func (r *Router) failoverShard(sh *shardState) {
 // placeRoute homes one held route (migrating=true, shard="") on a live
 // shard, or parks it when none can take it. It owns clearing the
 // migrating flag.
+//
+// Placement runs under its own freshly minted trace (there is no
+// request to inherit one from — failover is the router's initiative),
+// carried through the restore frame so the surviving replica's
+// agent.restore span shares it: the cross-process failover trace.
 func (r *Router) placeRoute(id string) {
 	r.mu.Lock()
 	rt, ok := r.routes[id]
@@ -671,16 +818,29 @@ func (r *Router) placeRoute(id string) {
 	mid := id + "#" + strconv.Itoa(rt.epoch)
 	r.mu.Unlock()
 
+	var tc telemetry.TraceContext
+	var span uint64
+	childTrace := ""
+	if r.tracer.Enabled() {
+		tc = telemetry.TraceContext{Trace: telemetry.NewTraceID()}
+		span = telemetry.NewSpanID()
+		childTrace = telemetry.TraceContext{Trace: tc.Trace, Span: span}.HeaderValue()
+	}
+	start := time.Now()
+
 	target := r.ring.LookupFunc(id, r.isLive)
-	finish := func(shard, remoteID string) {
+	finish := func(shard, remoteID, outcome string) {
 		r.mu.Lock()
 		rt.shard = shard
 		rt.remoteID = remoteID
 		rt.migrating = false
 		r.mu.Unlock()
+		r.recordSpan("failover.place", tc, span, 0, start, shard == "")
+		r.log.Info("failover placement", tlog.Trace(telemetry.TraceContext{Trace: tc.Trace, Span: span}),
+			tlog.Str("session", id), tlog.Str("shard", shard), tlog.Str("outcome", outcome))
 	}
 	if target == "" {
-		finish("", "")
+		finish("", "", "parked")
 		r.parked.Add(1)
 		return
 	}
@@ -688,20 +848,20 @@ func (r *Router) placeRoute(id string) {
 	defer cancel()
 	sh := r.shards[target]
 	if cp != nil && sh.spec.TransportAddr != "" {
-		if remoteID, err := r.restoreOn(ctx, sh, mid, cp); err == nil {
-			finish(target, remoteID)
+		if remoteID, err := r.restoreOn(ctx, sh, mid, cp, childTrace); err == nil {
+			finish(target, remoteID, "restored")
 			r.restored.Add(1)
 			return
 		}
 		r.strike(sh)
 	} else if remoteID, err := sh.client.Create(ctx, spec); err == nil {
-		finish(target, remoteID)
+		finish(target, remoteID, "recreated")
 		r.recreated.Add(1)
 		return
 	} else {
 		r.strike(sh)
 	}
-	finish("", "")
+	finish("", "", "parked")
 	r.parked.Add(1)
 }
 
@@ -819,17 +979,29 @@ func (r *Router) probeLoop() {
 }
 
 // probe pings one shard once and applies the outcome to its liveness.
+// Each probe doubles as one NTP-style clock-offset exchange: t0/t3 are
+// the router clock around the call, t1/t2 the replica clock inside it
+// (PongMsg), and the derived offset/rtt feed the shard's EWMAs — the
+// alignment data `esthera-trace merge` uses.
 func (r *Router) probe(sh *shardState, seq int64) {
 	r.probes.Add(1)
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 	defer cancel()
-	t, payload, err := sh.peer.Call(ctx, FramePing, marshal(PingMsg{Seq: seq}))
+	t0 := time.Now().UnixNano()
+	t, payload, err := sh.peer.Call(ctx, FramePing, marshal(PingMsg{Seq: seq, SentUnixNano: t0}))
+	t3 := time.Now().UnixNano()
 	if err == nil && t == FramePong {
 		var pong PongMsg
 		if uerr := unmarshal(t, payload, &pong); uerr == nil {
+			if pong.RecvUnixNano > 0 && pong.SendUnixNano > 0 {
+				offset := ((pong.RecvUnixNano - t0) + (pong.SendUnixNano - t3)) / 2
+				rtt := (t3 - t0) - (pong.SendUnixNano - pong.RecvUnixNano)
+				sh.observeClock(offset, rtt)
+			}
 			sh.lastPong.Store(&pong)
 			sh.strikes.Store(0)
 			if sh.down.Swap(false) {
+				r.log.Info("shard recovered", tlog.Str("shard", sh.spec.Name))
 				// The shard is back: give parked sessions a home and,
 				// if enabled, level load onto it.
 				r.wg.Add(1)
@@ -864,6 +1036,11 @@ type ShardHealth struct {
 	Strikes       int      `json:"strikes"`
 	Sessions      int      `json:"sessions"`
 	LastPong      *PongMsg `json:"last_pong,omitempty"`
+	// ClockOffsetNS is the EWMA of the replica clock minus the router
+	// clock (NTP-style, from probe ping/pong timestamps); RTTNS the
+	// probe round trip. Both 0 until the first timestamped pong.
+	ClockOffsetNS int64 `json:"clock_offset_ns"`
+	RTTNS         int64 `json:"rtt_ns"`
 }
 
 // RouterStats is the router's introspection record.
@@ -925,6 +1102,8 @@ func (r *Router) Stats() RouterStats {
 			Strikes:       int(sh.strikes.Load()),
 			Sessions:      counts[name],
 			LastPong:      sh.lastPong.Load(),
+			ClockOffsetNS: sh.clockOffsetNS.Load(),
+			RTTNS:         sh.rttNS.Load(),
 		})
 	}
 	return st
@@ -944,6 +1123,16 @@ func (r *Router) ShardStats(ctx context.Context, name string) (serve.Stats, erro
 	}
 	return sh.client.Stats(ctx)
 }
+
+// Tracer returns the router's span tracer (drained over /trace).
+func (r *Router) Tracer() *telemetry.Tracer { return r.tracer }
+
+// Logger returns the router's structured logger (drained over /logz).
+// Never nil.
+func (r *Router) Logger() *tlog.Logger { return r.log }
+
+// StepSLO returns the forwarded-step SLO tracker.
+func (r *Router) StepSLO() *telemetry.SLOTracker { return r.sloStep }
 
 // Ready reports whether the router can serve: at least one live shard.
 func (r *Router) Ready() bool {

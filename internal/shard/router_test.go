@@ -8,11 +8,13 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"esthera/internal/model"
 	"esthera/internal/serve"
+	"esthera/internal/telemetry"
 )
 
 func testModels() map[string]serve.ModelFactory {
@@ -463,6 +465,139 @@ func TestRouterProbeFailover(t *testing.T) {
 	}
 	if st := router.Stats(); st.ProbeFailures == 0 {
 		t.Fatalf("probe failures = 0 after killing a replica: %+v", st)
+	}
+}
+
+// spansNamed filters drained events down to one span name.
+func spansNamed(evs []telemetry.Event, name string) []telemetry.Event {
+	var out []telemetry.Event
+	for _, ev := range evs {
+		if ev.Name == name {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// TestMigrationTraceContinuity is the span-continuity acceptance test:
+// a session stepped under one propagated trace context, live-migrated
+// mid-load, and stepped again must yield spans sharing that single
+// trace ID in the router (route.step, the migrate.hold window, export
+// and restore) and on both replicas (request spans before and after
+// the move, plus the agent's export/restore spans) — one request
+// identity across every process it touched.
+func TestMigrationTraceContinuity(t *testing.T) {
+	a := startReplica(t, "a")
+	b := startReplica(t, "b")
+	a.srv.Tracer().SetEnabled(true)
+	b.srv.Tracer().SetEnabled(true)
+	router := newTestRouter(t, RouterConfig{Trace: true}, a, b)
+	ctx := context.Background()
+
+	id, err := router.Create(ctx, serve.FilterSpec{Model: "ungm", Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	source, _ := router.ShardOf(id)
+	target := "a"
+	if source == "a" {
+		target = "b"
+	}
+
+	// Every call below carries the same propagated trace context, as an
+	// upstream caller with a traceparent header would.
+	tc := telemetry.TraceContext{Trace: telemetry.NewTraceID(), Span: telemetry.NewSpanID()}
+	tctx := telemetry.ContextWithTrace(ctx, tc)
+
+	for k := 0; k < 4; k++ {
+		if _, err := router.Step(tctx, id, nil, obs(k)); err != nil {
+			t.Fatalf("pre-migration step %d: %v", k, err)
+		}
+	}
+
+	// Migrate mid-load: a background loader keeps stepping (riding out
+	// the hold window's ErrMigrating, as serve.Client's retry loop
+	// would) while the migration runs.
+	stop := make(chan struct{})
+	var loader sync.WaitGroup
+	loader.Add(1)
+	go func() {
+		defer loader.Done()
+		for k := 4; ; k++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := router.Step(tctx, id, nil, obs(k)); err != nil && !errors.Is(err, ErrMigrating) {
+				t.Errorf("mid-load step %d: %v", k, err)
+				return
+			}
+		}
+	}()
+	if err := router.Migrate(tctx, id, target); err != nil {
+		t.Fatalf("migrate: %v", err)
+	}
+	close(stop)
+	loader.Wait()
+	if _, err := router.Step(tctx, id, nil, obs(100)); err != nil {
+		t.Fatalf("post-migration step: %v", err)
+	}
+
+	// Router side: the forwarded steps and the whole migration protocol
+	// share the propagated trace ID, and the hold window is a real span.
+	revs := router.Tracer().Drain()
+	for _, name := range []string{"route.step", "migrate.hold", "migrate.export", "migrate.restore"} {
+		spans := spansNamed(revs, name)
+		if len(spans) == 0 {
+			t.Fatalf("router recorded no %q span", name)
+		}
+		for _, ev := range spans {
+			if ev.Trace != tc.Trace {
+				t.Fatalf("router %q span has trace %s, want %s", name, ev.Trace, tc.Trace)
+			}
+		}
+	}
+	hold := spansNamed(revs, "migrate.hold")[0]
+	if hold.Dur <= 0 {
+		t.Fatalf("migrate.hold span has non-positive duration %v", hold.Dur)
+	}
+	if hold.Parent != tc.Span {
+		t.Fatalf("migrate.hold parent span %x, want the caller's %x", hold.Parent, tc.Span)
+	}
+
+	// Replica side: the source saw traced request spans and the export;
+	// the target saw the restore and the post-migration request spans —
+	// all under the same trace ID.
+	src, tgt := a, b
+	if source == "b" {
+		src, tgt = b, a
+	}
+	sevs := src.srv.Tracer().Drain()
+	tevs := tgt.srv.Tracer().Drain()
+	for _, check := range []struct {
+		proc string
+		evs  []telemetry.Event
+		span string
+	}{
+		{src.name, sevs, "request"},
+		{src.name, sevs, "agent.export"},
+		{tgt.name, tevs, "agent.restore"},
+		{tgt.name, tevs, "request"},
+	} {
+		spans := spansNamed(check.evs, check.span)
+		if len(spans) == 0 {
+			t.Fatalf("replica %s recorded no %q span", check.proc, check.span)
+		}
+		found := false
+		for _, ev := range spans {
+			if ev.Trace == tc.Trace {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("replica %s has no %q span with trace %s", check.proc, check.span, tc.Trace)
+		}
 	}
 }
 

@@ -209,23 +209,34 @@ func (e *RemoteError) Is(target error) bool {
 	return target == serve.ErrNotFound && e.Code == CodeNotFound
 }
 
-// PingMsg probes a replica's agent.
+// PingMsg probes a replica's agent. SentUnixNano is the sender's clock
+// at transmit (t0 of the NTP-style offset exchange); the replica echoes
+// its own receive/send times in the pong, and the caller derives the
+// clock offset that lets `esthera-trace merge` align per-process
+// traces onto one timeline.
 type PingMsg struct {
-	Seq int64 `json:"seq"`
+	Seq          int64 `json:"seq"`
+	SentUnixNano int64 `json:"sent_unix_nano,omitempty"`
 }
 
 // PongMsg is the replica's health summary — the serve layer's
 // degraded-mode health counters, made visible to the router's failure
-// detector and rebalancer.
+// detector and rebalancer — plus the replica-clock timestamps of the
+// offset exchange: RecvUnixNano (t1) when the ping arrived and
+// SendUnixNano (t2) just before the pong left. With the caller's t0/t3
+// around the call, offset = ((t1-t0)+(t2-t3))/2 and
+// rtt = (t3-t0)-(t2-t1), the classic NTP estimate.
 type PongMsg struct {
-	Seq        int64  `json:"seq"`
-	Name       string `json:"name"`
-	Ready      bool   `json:"ready"`
-	Draining   bool   `json:"draining"`
-	Sessions   int    `json:"sessions"`
-	InFlight   int64  `json:"in_flight"`
-	QueueDepth int    `json:"queue_depth"`
-	QueueCap   int    `json:"queue_cap"`
+	Seq          int64  `json:"seq"`
+	Name         string `json:"name"`
+	Ready        bool   `json:"ready"`
+	Draining     bool   `json:"draining"`
+	Sessions     int    `json:"sessions"`
+	InFlight     int64  `json:"in_flight"`
+	QueueDepth   int    `json:"queue_depth"`
+	QueueCap     int    `json:"queue_cap"`
+	RecvUnixNano int64  `json:"recv_unix_nano,omitempty"`
+	SendUnixNano int64  `json:"send_unix_nano,omitempty"`
 }
 
 // ExportMsg asks the replica to checkpoint session SessionID. With
@@ -239,6 +250,10 @@ type ExportMsg struct {
 	MigrationID string `json:"migration_id"`
 	SessionID   string `json:"session_id"`
 	Close       bool   `json:"close"`
+	// Trace carries the caller's trace context in W3C traceparent form
+	// ("00-<32 hex trace>-<16 hex span>-01", empty = untraced), so the
+	// replica's export span joins the router's migration trace.
+	Trace string `json:"trace,omitempty"`
 }
 
 // CheckpointMsg answers FrameExport. The checkpoint is the serving
@@ -255,6 +270,10 @@ type CheckpointMsg struct {
 type RestoreMsg struct {
 	MigrationID string            `json:"migration_id"`
 	Checkpoint  *serve.Checkpoint `json:"checkpoint"`
+	// Trace is the caller's trace context (traceparent form, empty =
+	// untraced); a restore driven by migration or failover records its
+	// replica-side span under the originating trace.
+	Trace string `json:"trace,omitempty"`
 }
 
 // RestoredMsg answers FrameRestore. Duplicate reports that the

@@ -1,0 +1,24 @@
+package telemetry
+
+import "runtime"
+
+// Version is the build identity, stamped at link time:
+//
+//	go build -ldflags "-X esthera/internal/telemetry.Version=$(git describe --always --dirty)"
+//
+// The Makefile's build targets do this; a plain `go build` reports
+// "dev".
+var Version = "dev"
+
+// BuildString is the human-readable build identity served by /healthz.
+func BuildString() string {
+	return "esthera " + Version + " " + runtime.Version()
+}
+
+// CollectBuildInfo emits the esthera_build_info gauge: constant 1,
+// carrying the build identity in its labels (the Prometheus idiom for
+// joining version info onto other series).
+func CollectBuildInfo(e *Emitter) {
+	e.Gauge("esthera_build_info", "build identity: constant 1 labeled by version and Go runtime",
+		1, "version", Version, "go_version", runtime.Version())
+}

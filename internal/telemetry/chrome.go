@@ -1,6 +1,8 @@
 package telemetry
 
 import (
+	"encoding/binary"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -39,89 +41,187 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 		Args: map[string]any{"name": "esthera"},
 	})
 	for _, ev := range events {
-		ce := chromeEvent{
-			Name: ev.Name,
-			Cat:  ev.Cat,
-			Ph:   "X",
-			TS:   float64(ev.TS) / float64(time.Microsecond),
-			Dur:  float64(ev.Dur) / float64(time.Microsecond),
-			PID:  1,
-			TID:  int(ev.TID),
-		}
-		for _, a := range ev.Args {
-			if a.Name == "" {
-				continue
-			}
-			if ce.Args == nil {
-				ce.Args = make(map[string]any, maxArgs)
-			}
-			ce.Args[a.Name] = a.Value
-		}
-		out.TraceEvents = append(out.TraceEvents, ce)
+		out.TraceEvents = append(out.TraceEvents, toChromeEvent(ev, 1))
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(out)
 }
 
+// toChromeEvent converts one raw event. Trace identity rides as string
+// args (hex), so a merged trace can be grepped for one trace ID and the
+// Perfetto flow UI can correlate spans.
+func toChromeEvent(ev Event, pid int) chromeEvent {
+	ce := chromeEvent{
+		Name: ev.Name,
+		Cat:  ev.Cat,
+		Ph:   "X",
+		TS:   float64(ev.TS) / float64(time.Microsecond),
+		Dur:  float64(ev.Dur) / float64(time.Microsecond),
+		PID:  pid,
+		TID:  int(ev.TID),
+	}
+	n := maxArgs
+	if !ev.Trace.IsZero() {
+		n += 3
+	}
+	for _, a := range ev.Args {
+		if a.Name == "" {
+			continue
+		}
+		if ce.Args == nil {
+			ce.Args = make(map[string]any, n)
+		}
+		ce.Args[a.Name] = a.Value
+	}
+	if !ev.Trace.IsZero() {
+		if ce.Args == nil {
+			ce.Args = make(map[string]any, n)
+		}
+		ce.Args["trace"] = ev.Trace.String()
+		if ev.Span != 0 {
+			ce.Args["span"] = spanHex(ev.Span)
+		}
+		if ev.Parent != 0 {
+			ce.Args["parent"] = spanHex(ev.Parent)
+		}
+	}
+	return ce
+}
+
+// spanHex renders a span ID the way traceparent spells it: 16 hex.
+func spanHex(id uint64) string {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], id)
+	return hex.EncodeToString(b[:])
+}
+
+func parseSpanHex(s string) uint64 {
+	var b [8]byte
+	if len(s) != 16 {
+		return 0
+	}
+	if _, err := hex.Decode(b[:], []byte(s)); err != nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b[:])
+}
+
+// TraceMeta is the per-process identity attached to a raw trace file:
+// which process drained it and where its epoch sits on the wall clock,
+// the two facts esthera-trace merge needs to align N files onto one
+// timeline.
+type TraceMeta struct {
+	Process       string `json:"process,omitempty"`
+	EpochUnixNano int64  `json:"epoch_unix_nano,omitempty"`
+	Dropped       int64  `json:"dropped,omitempty"`
+}
+
 // rawTrace is the wire format served by GET /trace?format=raw: events
-// with full nanosecond resolution plus the tracer's drop counter.
+// with full nanosecond resolution plus the tracer's identity and drop
+// counter.
 type rawTrace struct {
-	Events  []Event `json:"events"`
-	Dropped int64   `json:"dropped,omitempty"`
+	Events        []Event `json:"events"`
+	Process       string  `json:"process,omitempty"`
+	EpochUnixNano int64   `json:"epoch_unix_nano,omitempty"`
+	Dropped       int64   `json:"dropped,omitempty"`
 }
 
 // EncodeEvents serializes events in the raw nanosecond wire format.
 func EncodeEvents(w io.Writer, events []Event, dropped int64) error {
-	return json.NewEncoder(w).Encode(rawTrace{Events: events, Dropped: dropped})
+	return EncodeTrace(w, TraceMeta{Dropped: dropped}, events)
+}
+
+// EncodeTrace serializes events plus process metadata in the raw
+// nanosecond wire format.
+func EncodeTrace(w io.Writer, meta TraceMeta, events []Event) error {
+	return json.NewEncoder(w).Encode(rawTrace{
+		Events:        events,
+		Process:       meta.Process,
+		EpochUnixNano: meta.EpochUnixNano,
+		Dropped:       meta.Dropped,
+	})
 }
 
 // ParseEvents decodes a trace from any of the three shapes the tooling
 // produces: the raw wire format ({"events": [...]}), Chrome trace-event
 // JSON ({"traceEvents": [...]}), or a bare JSON array of raw events.
 func ParseEvents(data []byte) ([]Event, error) {
+	_, events, err := ParseTrace(data)
+	return events, err
+}
+
+// ParseTrace decodes a trace like ParseEvents and additionally returns
+// the process metadata when the file carries it (raw wire format, or
+// the process_name metadata record of a Chrome trace).
+func ParseTrace(data []byte) (TraceMeta, []Event, error) {
 	var probe struct {
-		Events      []Event           `json:"events"`
-		TraceEvents []json.RawMessage `json:"traceEvents"`
+		Events        []Event           `json:"events"`
+		Process       string            `json:"process"`
+		EpochUnixNano int64             `json:"epoch_unix_nano"`
+		Dropped       int64             `json:"dropped"`
+		TraceEvents   []json.RawMessage `json:"traceEvents"`
 	}
 	if err := json.Unmarshal(data, &probe); err != nil {
 		var bare []Event
 		if err2 := json.Unmarshal(data, &bare); err2 == nil {
-			return bare, nil
+			return TraceMeta{}, bare, nil
 		}
-		return nil, fmt.Errorf("telemetry: unrecognized trace format: %w", err)
+		return TraceMeta{}, nil, fmt.Errorf("telemetry: unrecognized trace format: %w", err)
 	}
+	meta := TraceMeta{Process: probe.Process, EpochUnixNano: probe.EpochUnixNano, Dropped: probe.Dropped}
 	if probe.TraceEvents != nil {
 		events := make([]Event, 0, len(probe.TraceEvents))
 		for _, raw := range probe.TraceEvents {
 			var ce chromeEvent
 			if err := json.Unmarshal(raw, &ce); err != nil {
-				return nil, fmt.Errorf("telemetry: bad trace event: %w", err)
+				return meta, nil, fmt.Errorf("telemetry: bad trace event: %w", err)
 			}
 			if ce.Ph != "X" {
+				if ce.Ph == "M" && ce.Name == "process_name" && meta.Process == "" {
+					if name, ok := ce.Args["name"].(string); ok {
+						meta.Process = name
+					}
+				}
 				continue // metadata and instant events carry no interval
 			}
-			ev := Event{
-				Name: ce.Name,
-				Cat:  ce.Cat,
-				TS:   time.Duration(ce.TS * float64(time.Microsecond)),
-				Dur:  time.Duration(ce.Dur * float64(time.Microsecond)),
-				TID:  int32(ce.TID),
-			}
-			names := make([]string, 0, len(ce.Args))
-			for k := range ce.Args {
-				names = append(names, k)
-			}
-			sort.Strings(names)
-			for _, k := range names {
-				if v, ok := ce.Args[k].(float64); ok {
-					ev.SetArg(k, int64(v))
-				}
-			}
-			events = append(events, ev)
+			events = append(events, fromChromeEvent(ce))
 		}
-		return events, nil
+		return meta, events, nil
 	}
-	return probe.Events, nil
+	return meta, probe.Events, nil
+}
+
+// fromChromeEvent converts one Chrome entry back to a raw event,
+// recovering the trace identity from its string args.
+func fromChromeEvent(ce chromeEvent) Event {
+	ev := Event{
+		Name: ce.Name,
+		Cat:  ce.Cat,
+		TS:   time.Duration(ce.TS * float64(time.Microsecond)),
+		Dur:  time.Duration(ce.Dur * float64(time.Microsecond)),
+		TID:  int32(ce.TID),
+	}
+	names := make([]string, 0, len(ce.Args))
+	for k := range ce.Args {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		switch v := ce.Args[k].(type) {
+		case float64:
+			ev.SetArg(k, int64(v))
+		case string:
+			switch k {
+			case "trace":
+				ev.Trace.parseHex(v)
+			case "span":
+				ev.Span = parseSpanHex(v)
+			case "parent":
+				ev.Parent = parseSpanHex(v)
+			}
+		}
+	}
+	return ev
 }
 
 // NameSummary aggregates all spans sharing one name.

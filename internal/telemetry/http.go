@@ -55,7 +55,8 @@ func TraceHandler(t *Tracer) http.Handler {
 			events := t.Drain()
 			w.Header().Set("Content-Type", "application/json")
 			if r.URL.Query().Get("format") == "raw" {
-				_ = EncodeEvents(w, events, t.Dropped())
+				meta := TraceMeta{Process: t.Process(), EpochUnixNano: t.EpochUnixNano(), Dropped: t.Dropped()}
+				_ = EncodeTrace(w, meta, events)
 				return
 			}
 			_ = WriteChromeTrace(w, events)

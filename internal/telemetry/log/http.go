@@ -1,0 +1,41 @@
+package log
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// Handler exposes a Logger over HTTP (the /logz endpoint): GET drains
+// the ring as JSON lines; POST with {"level":"debug"} retunes the
+// minimum severity at runtime.
+func Handler(l *Logger) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodGet:
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			w.Header().Set("X-Esthera-Log-Dropped", strconv.FormatInt(l.Dropped(), 10))
+			_ = WriteJSONLines(w, l.Process(), l.Drain())
+		case http.MethodPost:
+			var req struct {
+				Level string `json:"level"`
+			}
+			dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<16))
+			dec.DisallowUnknownFields()
+			if err := dec.Decode(&req); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			lv, err := ParseLevel(req.Level)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			l.SetLevel(lv)
+			w.Header().Set("Content-Type", "application/json")
+			_, _ = w.Write([]byte(`{"level":"` + lv.String() + `"}` + "\n"))
+		default:
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		}
+	})
+}

@@ -1,0 +1,437 @@
+// Package log is the serving stack's structured logger: leveled,
+// ring-buffered JSON lines with trace/session/shard correlation
+// fields. It follows the telemetry package's discipline — a disabled
+// call site costs one atomic load and zero allocations, so loggers can
+// sit on request paths — while keeping the dependency footprint at
+// stdlib only.
+//
+// Records land in a fixed-capacity ring drained on demand (the /logz
+// endpoint), so a quiet process holds no log I/O at all; an optional
+// sink additionally mirrors records at or above a level to a writer
+// (stderr in the binaries) as they happen.
+//
+// Import as tlog to avoid shadowing the stdlib log package:
+//
+//	tlog "esthera/internal/telemetry/log"
+package log
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"esthera/internal/telemetry"
+)
+
+// Level orders log severities. The zero value is Info, so a zero
+// Config logs at the conventional default.
+type Level int32
+
+const (
+	LevelDebug Level = -1
+	LevelInfo  Level = 0
+	LevelWarn  Level = 1
+	LevelError Level = 2
+	// LevelOff is above every severity; setting it silences the logger.
+	LevelOff Level = 3
+)
+
+// String renders the level the way the JSON schema spells it.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	case LevelOff:
+		return "off"
+	}
+	return "level(" + strconv.Itoa(int(l)) + ")"
+}
+
+// ParseLevel parses the String spelling.
+func ParseLevel(s string) (Level, error) {
+	switch s {
+	case "debug":
+		return LevelDebug, nil
+	case "info", "":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	case "off":
+		return LevelOff, nil
+	}
+	return LevelInfo, fmt.Errorf("log: unknown level %q (debug, info, warn, error, off)", s)
+}
+
+// Field kinds. Fields are plain values (no interface boxing) so
+// building them below the enabled level allocates nothing.
+const (
+	kindStr = iota
+	kindInt
+	kindUint
+	kindBool
+	kindDur
+	kindTrace
+)
+
+// Field is one key/value attached to a record.
+type Field struct {
+	Key  string
+	kind uint8
+	str  string
+	num  int64
+	tc   telemetry.TraceContext
+}
+
+// Str is a string field.
+//
+//esthera:hotpath noalloc
+func Str(k, v string) Field { return Field{Key: k, kind: kindStr, str: v} }
+
+// Int is an integer field.
+//
+//esthera:hotpath noalloc
+func Int(k string, v int64) Field { return Field{Key: k, kind: kindInt, num: v} }
+
+// Uint is an unsigned integer field.
+//
+//esthera:hotpath noalloc
+func Uint(k string, v uint64) Field { return Field{Key: k, kind: kindUint, num: int64(v)} }
+
+// Bool is a boolean field.
+//
+//esthera:hotpath noalloc
+func Bool(k string, v bool) Field {
+	f := Field{Key: k, kind: kindBool}
+	if v {
+		f.num = 1
+	}
+	return f
+}
+
+// Dur is a duration field, rendered in nanoseconds as <key>_ns.
+//
+//esthera:hotpath noalloc
+func Dur(k string, d time.Duration) Field { return Field{Key: k, kind: kindDur, num: int64(d)} }
+
+// Trace correlates the record with a distributed trace: it expands to
+// "trace" and "span" keys in the JSON line.
+//
+//esthera:hotpath noalloc
+func Trace(tc telemetry.TraceContext) Field { return Field{Key: "trace", kind: kindTrace, tc: tc} }
+
+// maxFields caps per-record fields (scope plus call site); extras are
+// dropped rather than allocated for.
+const maxFields = 10
+
+// Entry is one buffered record.
+type Entry struct {
+	TimeUnixNano int64
+	Level        Level
+	Msg          string
+	N            int
+	Fields       [maxFields]Field
+}
+
+// Config shapes a Logger.
+type Config struct {
+	// Level is the minimum severity recorded. Zero means Info.
+	Level Level
+	// Cap is the ring capacity in records; 0 means 2048.
+	Cap int
+	// Process is stamped on every drained JSON line.
+	Process string
+	// Sink, when non-nil, receives the JSON line of every record at or
+	// above SinkLevel as it is logged (the binaries pass stderr).
+	Sink io.Writer
+	// SinkLevel defaults to Warn.
+	SinkLevel Level
+}
+
+// core is the ring shared by a logger and its With-derived children.
+type core struct {
+	mu        sync.Mutex
+	buf       []Entry
+	head      int
+	dropped   int64
+	process   string
+	sink      io.Writer
+	sinkLevel Level
+	level     atomic.Int32
+}
+
+// Logger records structured entries. A nil *Logger is valid and
+// discards everything, so call sites can hold one unconditionally.
+type Logger struct {
+	c     *core
+	scope []Field
+}
+
+// New builds a Logger.
+func New(cfg Config) *Logger {
+	capN := cfg.Cap
+	if capN <= 0 {
+		capN = 2048
+	}
+	sinkLv := cfg.SinkLevel
+	if sinkLv == 0 {
+		sinkLv = LevelWarn
+	}
+	c := &core{
+		buf:       make([]Entry, 0, capN),
+		process:   cfg.Process,
+		sink:      cfg.Sink,
+		sinkLevel: sinkLv,
+	}
+	c.level.Store(int32(cfg.Level))
+	return &Logger{c: c}
+}
+
+// With returns a child logger whose records carry the given fields in
+// addition to its parent's. The child shares the parent's ring and
+// level.
+func (l *Logger) With(fields ...Field) *Logger {
+	if l == nil || len(fields) == 0 {
+		return l
+	}
+	scope := make([]Field, 0, len(l.scope)+len(fields))
+	scope = append(scope, l.scope...)
+	scope = append(scope, fields...)
+	return &Logger{c: l.c, scope: scope}
+}
+
+// SetLevel changes the minimum recorded severity for this logger and
+// everything sharing its ring.
+func (l *Logger) SetLevel(v Level) {
+	if l != nil {
+		l.c.level.Store(int32(v))
+	}
+}
+
+// Level returns the current minimum severity (Off for a nil logger).
+func (l *Logger) Level() Level {
+	if l == nil {
+		return LevelOff
+	}
+	return Level(l.c.level.Load())
+}
+
+// Enabled reports whether records at lv would be kept. One atomic
+// load; false for a nil logger.
+//
+//esthera:hotpath noalloc
+func (l *Logger) Enabled(lv Level) bool {
+	return l != nil && lv >= Level(l.c.level.Load())
+}
+
+// Debug records at debug level. Below the enabled level the call
+// allocates nothing.
+//
+//esthera:hotpath noalloc
+func (l *Logger) Debug(msg string, fields ...Field) {
+	if l.Enabled(LevelDebug) {
+		l.write(LevelDebug, msg, fields)
+	}
+}
+
+// Info records at info level.
+//
+//esthera:hotpath noalloc
+func (l *Logger) Info(msg string, fields ...Field) {
+	if l.Enabled(LevelInfo) {
+		l.write(LevelInfo, msg, fields)
+	}
+}
+
+// Warn records at warn level.
+//
+//esthera:hotpath noalloc
+func (l *Logger) Warn(msg string, fields ...Field) {
+	if l.Enabled(LevelWarn) {
+		l.write(LevelWarn, msg, fields)
+	}
+}
+
+// Error records at error level.
+//
+//esthera:hotpath noalloc
+func (l *Logger) Error(msg string, fields ...Field) {
+	if l.Enabled(LevelError) {
+		l.write(LevelError, msg, fields)
+	}
+}
+
+// write copies the record into the ring (and mirrors it to the sink
+// when configured). Fields are copied by value; the variadic slice
+// never escapes, which is what keeps disabled call sites
+// allocation-free.
+func (l *Logger) write(lv Level, msg string, fields []Field) {
+	e := Entry{TimeUnixNano: time.Now().UnixNano(), Level: lv, Msg: msg}
+	for _, f := range l.scope {
+		if e.N == maxFields {
+			break
+		}
+		e.Fields[e.N] = f
+		e.N++
+	}
+	for _, f := range fields {
+		if e.N == maxFields {
+			break
+		}
+		e.Fields[e.N] = f
+		e.N++
+	}
+	c := l.c
+	c.mu.Lock()
+	if len(c.buf) < cap(c.buf) {
+		c.buf = append(c.buf, e)
+	} else {
+		c.buf[c.head] = e
+		c.head++
+		if c.head == cap(c.buf) {
+			c.head = 0
+		}
+		c.dropped++
+	}
+	if c.sink != nil && lv >= c.sinkLevel {
+		var line bytes.Buffer
+		appendJSONLine(&line, c.process, &e)
+		c.sink.Write(line.Bytes())
+	}
+	c.mu.Unlock()
+}
+
+// Drain removes and returns the buffered records in order.
+func (l *Logger) Drain() []Entry {
+	if l == nil {
+		return nil
+	}
+	c := l.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Entry, 0, len(c.buf))
+	out = append(out, c.buf[c.head:]...)
+	out = append(out, c.buf[:c.head]...)
+	c.buf = c.buf[:0]
+	c.head = 0
+	return out
+}
+
+// Dropped is the cumulative count of records overwritten because the
+// ring was full.
+func (l *Logger) Dropped() int64 {
+	if l == nil {
+		return 0
+	}
+	l.c.mu.Lock()
+	defer l.c.mu.Unlock()
+	return l.c.dropped
+}
+
+// Process returns the configured process name.
+func (l *Logger) Process() string {
+	if l == nil {
+		return ""
+	}
+	return l.c.process
+}
+
+// WriteJSONLines renders entries as one JSON object per line:
+//
+//	{"ts":"...","level":"info","proc":"r1","msg":"...","session":"s-1",...}
+func WriteJSONLines(w io.Writer, process string, entries []Entry) error {
+	var buf bytes.Buffer
+	for i := range entries {
+		buf.Reset()
+		appendJSONLine(&buf, process, &entries[i])
+		if _, err := w.Write(buf.Bytes()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func appendJSONLine(buf *bytes.Buffer, process string, e *Entry) {
+	buf.WriteString(`{"ts":"`)
+	buf.WriteString(time.Unix(0, e.TimeUnixNano).UTC().Format(time.RFC3339Nano))
+	buf.WriteString(`","level":"`)
+	buf.WriteString(e.Level.String())
+	buf.WriteByte('"')
+	if process != "" {
+		buf.WriteString(`,"proc":`)
+		appendJSONString(buf, process)
+	}
+	buf.WriteString(`,"msg":`)
+	appendJSONString(buf, e.Msg)
+	for i := 0; i < e.N; i++ {
+		f := &e.Fields[i]
+		switch f.kind {
+		case kindTrace:
+			buf.WriteString(`,"trace":"`)
+			buf.WriteString(f.tc.Trace.String())
+			buf.WriteString(`","span":"`)
+			buf.WriteString(strconv.FormatUint(f.tc.Span, 16))
+			buf.WriteByte('"')
+			continue
+		case kindDur:
+			buf.WriteByte(',')
+			appendJSONString(buf, f.Key+"_ns")
+		default:
+			buf.WriteByte(',')
+			appendJSONString(buf, f.Key)
+		}
+		buf.WriteByte(':')
+		switch f.kind {
+		case kindStr:
+			appendJSONString(buf, f.str)
+		case kindInt, kindDur:
+			buf.WriteString(strconv.FormatInt(f.num, 10))
+		case kindUint:
+			buf.WriteString(strconv.FormatUint(uint64(f.num), 10))
+		case kindBool:
+			if f.num != 0 {
+				buf.WriteString("true")
+			} else {
+				buf.WriteString("false")
+			}
+		}
+	}
+	buf.WriteString("}\n")
+}
+
+// appendJSONString writes a quoted, escaped JSON string.
+func appendJSONString(buf *bytes.Buffer, s string) {
+	buf.WriteByte('"')
+	for _, r := range s {
+		switch r {
+		case '"':
+			buf.WriteString(`\"`)
+		case '\\':
+			buf.WriteString(`\\`)
+		case '\n':
+			buf.WriteString(`\n`)
+		case '\r':
+			buf.WriteString(`\r`)
+		case '\t':
+			buf.WriteString(`\t`)
+		default:
+			if r < 0x20 {
+				fmt.Fprintf(buf, `\u%04x`, r)
+			} else {
+				buf.WriteRune(r)
+			}
+		}
+	}
+	buf.WriteByte('"')
+}

@@ -1,0 +1,180 @@
+package log
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"esthera/internal/telemetry"
+)
+
+func TestDisabledLevelZeroAlloc(t *testing.T) {
+	l := New(Config{Level: LevelInfo, Cap: 16})
+	allocs := testing.AllocsPerRun(100, func() {
+		l.Debug("below level", Str("session", "s-1"), Int("step", 7), Dur("lat", time.Millisecond))
+	})
+	if allocs != 0 {
+		t.Fatalf("below-level log allocated %v per op, want 0", allocs)
+	}
+	var nilL *Logger
+	allocs = testing.AllocsPerRun(100, func() {
+		nilL.Error("nil logger", Str("k", "v"))
+		nilL.Info("nil logger")
+	})
+	if allocs != 0 {
+		t.Fatalf("nil logger allocated %v per op, want 0", allocs)
+	}
+	if got := l.Drain(); len(got) != 0 {
+		t.Fatalf("below-level call buffered %d records", len(got))
+	}
+}
+
+func TestRingBufferAndDrain(t *testing.T) {
+	l := New(Config{Level: LevelDebug, Cap: 4})
+	for i := int64(0); i < 10; i++ {
+		l.Info("e", Int("i", i))
+	}
+	got := l.Drain()
+	if len(got) != 4 {
+		t.Fatalf("ring kept %d records, want 4", len(got))
+	}
+	// Oldest overwritten, newest survive, in order.
+	for i, e := range got {
+		if want := int64(6 + i); e.Fields[0].num != want {
+			t.Fatalf("record %d i = %d, want %d", i, e.Fields[0].num, want)
+		}
+	}
+	if l.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", l.Dropped())
+	}
+	if again := l.Drain(); len(again) != 0 {
+		t.Fatalf("second drain returned %d records", len(again))
+	}
+}
+
+func TestLevelGateAndSetLevel(t *testing.T) {
+	l := New(Config{Level: LevelWarn, Cap: 16})
+	l.Info("dropped")
+	l.Warn("kept")
+	l.SetLevel(LevelDebug)
+	l.Debug("now kept")
+	got := l.Drain()
+	if len(got) != 2 || got[0].Msg != "kept" || got[1].Msg != "now kept" {
+		t.Fatalf("records = %+v", got)
+	}
+	if !l.Enabled(LevelDebug) || (*Logger)(nil).Enabled(LevelError) {
+		t.Fatal("Enabled gate wrong")
+	}
+}
+
+func TestWithScopesFields(t *testing.T) {
+	l := New(Config{Level: LevelDebug, Cap: 16})
+	child := l.With(Str("shard", "r1")).With(Str("session", "s-9"))
+	child.Info("stepped", Int("step", 3))
+	got := l.Drain()
+	if len(got) != 1 || got[0].N != 3 {
+		t.Fatalf("records = %+v", got)
+	}
+	if got[0].Fields[0].str != "r1" || got[0].Fields[1].str != "s-9" || got[0].Fields[2].num != 3 {
+		t.Fatalf("fields = %+v", got[0].Fields)
+	}
+}
+
+func TestJSONLinesSchema(t *testing.T) {
+	l := New(Config{Level: LevelDebug, Cap: 16, Process: "router"})
+	tc := telemetry.TraceContext{Trace: telemetry.NewTraceID(), Span: 0xabc}
+	l.Info(`migrate "hold"`, Trace(tc), Str("session", "s-1"), Int("epoch", 2),
+		Dur("hold", 3*time.Millisecond), Bool("duplicate", false), Uint("lanes", 16))
+	var buf bytes.Buffer
+	if err := WriteJSONLines(&buf, l.Process(), l.Drain()); err != nil {
+		t.Fatal(err)
+	}
+	line := buf.String()
+	if !strings.HasSuffix(line, "\n") || strings.Count(line, "\n") != 1 {
+		t.Fatalf("not one line: %q", line)
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(line), &rec); err != nil {
+		t.Fatalf("line is not JSON: %v\n%s", err, line)
+	}
+	if rec["level"] != "info" || rec["proc"] != "router" || rec["msg"] != `migrate "hold"` {
+		t.Fatalf("record = %v", rec)
+	}
+	if rec["trace"] != tc.Trace.String() || rec["span"] != "abc" {
+		t.Fatalf("trace correlation = %v", rec)
+	}
+	if rec["session"] != "s-1" || rec["epoch"] != float64(2) || rec["hold_ns"] != float64(3e6) {
+		t.Fatalf("fields = %v", rec)
+	}
+	if rec["duplicate"] != false {
+		t.Fatalf("bool field = %v", rec)
+	}
+	if _, err := time.Parse(time.RFC3339Nano, rec["ts"].(string)); err != nil {
+		t.Fatalf("ts: %v", err)
+	}
+}
+
+func TestSinkMirrorsAtLevel(t *testing.T) {
+	var sink bytes.Buffer
+	l := New(Config{Level: LevelDebug, Cap: 16, Sink: &sink, SinkLevel: LevelWarn, Process: "r1"})
+	l.Info("quiet")
+	l.Error("loud", Str("why", "boom"))
+	if n := strings.Count(sink.String(), "\n"); n != 1 {
+		t.Fatalf("sink lines = %d, want 1:\n%s", n, sink.String())
+	}
+	if !strings.Contains(sink.String(), `"msg":"loud"`) {
+		t.Fatalf("sink = %s", sink.String())
+	}
+	// Both records still land in the ring.
+	if got := l.Drain(); len(got) != 2 {
+		t.Fatalf("ring records = %d", len(got))
+	}
+}
+
+func TestParseLevelRoundTrip(t *testing.T) {
+	for _, lv := range []Level{LevelDebug, LevelInfo, LevelWarn, LevelError, LevelOff} {
+		got, err := ParseLevel(lv.String())
+		if err != nil || got != lv {
+			t.Fatalf("ParseLevel(%q) = %v, %v", lv.String(), got, err)
+		}
+	}
+	if _, err := ParseLevel("loudest"); err == nil {
+		t.Fatal("ParseLevel accepted junk")
+	}
+}
+
+func TestHandlerDrainAndSetLevel(t *testing.T) {
+	l := New(Config{Level: LevelInfo, Cap: 16, Process: "r2"})
+	l.Info("hello", Str("k", "v"))
+	h := Handler(l)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/logz", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), `"msg":"hello"`) {
+		t.Fatalf("GET /logz = %d %q", rec.Code, rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type = %q", ct)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/logz", strings.NewReader(`{"level":"debug"}`)))
+	if rec.Code != 200 || l.Level() != LevelDebug {
+		t.Fatalf("POST /logz = %d, level %v", rec.Code, l.Level())
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/logz", strings.NewReader(`{"level":"nope"}`)))
+	if rec.Code != 400 {
+		t.Fatalf("bad level = %d", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("DELETE", "/logz", nil))
+	if rec.Code != 405 {
+		t.Fatalf("DELETE = %d", rec.Code)
+	}
+}

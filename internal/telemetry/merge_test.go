@@ -1,0 +1,101 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestMergeTracesAlignsAndFindsCrossProcess(t *testing.T) {
+	trace := NewTraceID()
+	base := int64(1_000_000_000_000) // router epoch, ns
+	// The replica's clock runs 500µs ahead of the router's; its epoch
+	// reads later than it actually was.
+	offset := int64(500_000)
+	procs := []ProcessTrace{
+		{
+			Meta: TraceMeta{Process: "router", EpochUnixNano: base},
+			Events: []Event{
+				{Name: "ingress", Trace: trace, Span: 1, TS: 0, Dur: 4 * time.Millisecond},
+				{Name: "forward", Trace: trace, Span: 2, Parent: 1, TS: time.Millisecond, Dur: 2 * time.Millisecond},
+			},
+		},
+		{
+			Meta:     TraceMeta{Process: "r1", EpochUnixNano: base + offset},
+			OffsetNS: offset,
+			Events: []Event{
+				{Name: "request", Trace: trace, Span: 3, Parent: 2, TS: 2 * time.Millisecond, Dur: time.Millisecond},
+				{Name: "round", TS: 2500 * time.Microsecond, Dur: 300 * time.Microsecond},
+			},
+		},
+	}
+	var buf bytes.Buffer
+	stats, cross, err := MergeTraces(&buf, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Processes != 2 || stats.Events != 4 || stats.Traces != 1 || stats.CrossProcessTraces != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if len(cross) != 1 || cross[0].Trace != trace {
+		t.Fatalf("cross = %+v", cross)
+	}
+	if len(cross[0].Processes) != 2 || cross[0].Processes[0] != "r1" || cross[0].Processes[1] != "router" {
+		t.Fatalf("cross processes = %v", cross[0].Processes)
+	}
+
+	// The output is schema-valid Chrome JSON with two process_name
+	// metadata records and offset-corrected timestamps: the replica's
+	// "request" at local 2ms with a +500µs clock offset lands at 2ms on
+	// the unified (router) timeline, not 2.5ms.
+	var out struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("merged output is not chrome JSON: %v", err)
+	}
+	metaCount := 0
+	var requestTS float64 = -1
+	for _, ev := range out.TraceEvents {
+		if ev["ph"] == "M" {
+			metaCount++
+			continue
+		}
+		if ev["name"] == "request" {
+			requestTS = ev["ts"].(float64)
+			if args, ok := ev["args"].(map[string]any); !ok || args["trace"] != trace.String() {
+				t.Fatalf("request lost trace arg: %+v", ev)
+			}
+			if pid := ev["pid"].(float64); pid != 2 {
+				t.Fatalf("request pid = %v, want 2", pid)
+			}
+		}
+	}
+	if metaCount != 2 {
+		t.Fatalf("metadata records = %d, want 2", metaCount)
+	}
+	if requestTS != 2000 { // microseconds
+		t.Fatalf("request unified ts = %vus, want 2000us", requestTS)
+	}
+}
+
+func TestMergeTracesGroupsDrainsOfOneProcess(t *testing.T) {
+	procs := []ProcessTrace{
+		{Meta: TraceMeta{Process: "r1", EpochUnixNano: 100}, Events: []Event{{Name: "a"}}},
+		{Meta: TraceMeta{Process: "r1", EpochUnixNano: 100}, Events: []Event{{Name: "b"}}},
+	}
+	stats, _, err := MergeTraces(nil, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Processes != 1 || stats.Events != 2 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+func TestMergeTracesRejectsEmpty(t *testing.T) {
+	if _, _, err := MergeTraces(nil, nil); err == nil {
+		t.Fatal("merge of zero traces succeeded")
+	}
+}

@@ -1,0 +1,142 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// SLO accounting: each serving endpoint declares a latency objective
+// ("99% of steps complete within 50ms") and the tracker keeps rolling
+// per-second good/bad counts so the registry can export burn rates —
+// the rate error budget is being consumed at, where 1.0 means exactly
+// on budget and N means the budget burns N× too fast. Burn rate over
+// two windows (1m and 5m) is the standard multi-window alert input.
+
+// SLO is one latency objective.
+type SLO struct {
+	// Objective is the target good fraction, e.g. 0.99. Values outside
+	// (0,1) default to 0.99.
+	Objective float64
+	// Threshold is the latency bound a request must meet to count as
+	// good. 0 defaults to 50ms.
+	Threshold time.Duration
+}
+
+// sloWindowSeconds bounds the rolling history; 5 minutes covers the
+// longest exported burn window.
+const sloWindowSeconds = 300
+
+type sloSlot struct {
+	sec        int64
+	total, bad int64
+}
+
+// SLOTracker counts requests against one SLO. All methods are safe for
+// concurrent use; a nil tracker ignores observations.
+type SLOTracker struct {
+	slo SLO
+
+	mu       sync.Mutex
+	slots    [sloWindowSeconds]sloSlot
+	total    int64
+	breached int64
+}
+
+// NewSLOTracker builds a tracker, applying defaults for zero fields.
+func NewSLOTracker(slo SLO) *SLOTracker {
+	if slo.Objective <= 0 || slo.Objective >= 1 {
+		slo.Objective = 0.99
+	}
+	if slo.Threshold <= 0 {
+		slo.Threshold = 50 * time.Millisecond
+	}
+	return &SLOTracker{slo: slo}
+}
+
+// Observe records one request latency.
+func (t *SLOTracker) Observe(d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.observeAt(time.Now().Unix(), d)
+}
+
+func (t *SLOTracker) observeAt(sec int64, d time.Duration) {
+	bad := d > t.slo.Threshold
+	t.mu.Lock()
+	s := &t.slots[sec%sloWindowSeconds]
+	if s.sec != sec {
+		*s = sloSlot{sec: sec}
+	}
+	s.total++
+	t.total++
+	if bad {
+		s.bad++
+		t.breached++
+	}
+	t.mu.Unlock()
+}
+
+// SLOSnapshot is one tracker's exported state.
+type SLOSnapshot struct {
+	Objective float64       `json:"objective"`
+	Threshold time.Duration `json:"threshold_ns"`
+	Total     int64         `json:"total"`
+	Breached  int64         `json:"breached"`
+	Burn1m    float64       `json:"burn_rate_1m"`
+	Burn5m    float64       `json:"burn_rate_5m"`
+}
+
+// Snapshot returns lifetime counters and current burn rates.
+func (t *SLOTracker) Snapshot() SLOSnapshot {
+	if t == nil {
+		return SLOSnapshot{}
+	}
+	return t.snapshotAt(time.Now().Unix())
+}
+
+func (t *SLOTracker) snapshotAt(sec int64) SLOSnapshot {
+	snap := SLOSnapshot{Objective: t.slo.Objective, Threshold: t.slo.Threshold}
+	var tot1, bad1, tot5, bad5 int64
+	t.mu.Lock()
+	snap.Total, snap.Breached = t.total, t.breached
+	for i := range t.slots {
+		s := &t.slots[i]
+		if s.sec == 0 || s.sec <= sec-sloWindowSeconds {
+			continue
+		}
+		tot5 += s.total
+		bad5 += s.bad
+		if s.sec > sec-60 {
+			tot1 += s.total
+			bad1 += s.bad
+		}
+	}
+	t.mu.Unlock()
+	snap.Burn1m = burnRate(tot1, bad1, t.slo.Objective)
+	snap.Burn5m = burnRate(tot5, bad5, t.slo.Objective)
+	return snap
+}
+
+// burnRate is (observed bad fraction) / (allowed bad fraction).
+func burnRate(total, bad int64, objective float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return (float64(bad) / float64(total)) / (1 - objective)
+}
+
+// Collect emits the tracker's state through a registry collector,
+// labeled by endpoint.
+func (t *SLOTracker) Collect(e *Emitter, endpoint string) {
+	if t == nil {
+		return
+	}
+	snap := t.Snapshot()
+	e.Counter("esthera_slo_requests_total", "requests counted against the endpoint's latency SLO", float64(snap.Total), "endpoint", endpoint)
+	e.Counter("esthera_slo_breaches_total", "requests that missed the endpoint's latency threshold", float64(snap.Breached), "endpoint", endpoint)
+	e.Gauge("esthera_slo_threshold_seconds", "latency threshold of the endpoint's SLO", snap.Threshold.Seconds(), "endpoint", endpoint)
+	e.Gauge("esthera_slo_objective", "target good fraction of the endpoint's SLO", snap.Objective, "endpoint", endpoint)
+	e.Gauge("esthera_slo_burn_rate", "error-budget burn rate over the labeled window (1.0 = exactly on budget)", snap.Burn1m, "endpoint", endpoint, "window", "1m")
+	e.Gauge("esthera_slo_burn_rate", "error-budget burn rate over the labeled window (1.0 = exactly on budget)", snap.Burn5m, "endpoint", endpoint, "window", "5m")
+}

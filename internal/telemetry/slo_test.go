@@ -1,0 +1,105 @@
+package telemetry
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSLOTrackerBurnRates(t *testing.T) {
+	tr := NewSLOTracker(SLO{Objective: 0.99, Threshold: 50 * time.Millisecond})
+	now := int64(10_000)
+	// 100 requests in the last minute, 2 bad: burn = (2/100)/(0.01) = 2.
+	for i := 0; i < 98; i++ {
+		tr.observeAt(now, 10*time.Millisecond)
+	}
+	tr.observeAt(now, 80*time.Millisecond)
+	tr.observeAt(now, 200*time.Millisecond)
+	// Old traffic outside the 5m window must not count.
+	tr.observeAt(now-400, time.Second)
+
+	snap := tr.snapshotAt(now)
+	if snap.Total != 101 || snap.Breached != 3 {
+		t.Fatalf("lifetime counters = %+v", snap)
+	}
+	if math.Abs(snap.Burn1m-2.0) > 1e-9 {
+		t.Fatalf("burn1m = %v, want 2.0", snap.Burn1m)
+	}
+	if math.Abs(snap.Burn5m-2.0) > 1e-9 {
+		t.Fatalf("burn5m = %v, want 2.0 (stale slot leaked in?)", snap.Burn5m)
+	}
+
+	// A breach 3 minutes ago shows in the 5m burn but not the 1m burn.
+	tr2 := NewSLOTracker(SLO{Objective: 0.99, Threshold: 50 * time.Millisecond})
+	tr2.observeAt(now-180, time.Second)
+	for i := 0; i < 99; i++ {
+		tr2.observeAt(now, time.Millisecond)
+	}
+	snap = tr2.snapshotAt(now)
+	if snap.Burn1m != 0 {
+		t.Fatalf("burn1m = %v, want 0", snap.Burn1m)
+	}
+	if math.Abs(snap.Burn5m-1.0) > 1e-9 {
+		t.Fatalf("burn5m = %v, want 1.0", snap.Burn5m)
+	}
+}
+
+func TestSLOTrackerDefaultsAndNil(t *testing.T) {
+	tr := NewSLOTracker(SLO{})
+	if tr.slo.Objective != 0.99 || tr.slo.Threshold != 50*time.Millisecond {
+		t.Fatalf("defaults = %+v", tr.slo)
+	}
+	var nilTr *SLOTracker
+	nilTr.Observe(time.Second) // must not panic
+	if snap := nilTr.Snapshot(); snap != (SLOSnapshot{}) {
+		t.Fatalf("nil snapshot = %+v", snap)
+	}
+}
+
+func TestSLOCollectExposition(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewSLOTracker(SLO{Objective: 0.95, Threshold: 10 * time.Millisecond})
+	tr.Observe(time.Millisecond)
+	tr.Observe(time.Second)
+	reg.RegisterCollector(func(e *Emitter) { tr.Collect(e, "step") })
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		`esthera_slo_requests_total{endpoint="step"} 2`,
+		`esthera_slo_breaches_total{endpoint="step"} 1`,
+		`esthera_slo_burn_rate{endpoint="step",window="1m"}`,
+		`esthera_slo_burn_rate{endpoint="step",window="5m"}`,
+		`esthera_slo_objective{endpoint="step"} 0.95`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	if err := LintPrometheus(strings.NewReader(text)); err != nil {
+		t.Fatalf("lint: %v", err)
+	}
+}
+
+func TestBuildInfoGauge(t *testing.T) {
+	reg := NewRegistry()
+	reg.RegisterCollector(CollectBuildInfo)
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if !strings.Contains(text, `esthera_build_info{version="`) || !strings.Contains(text, `go_version="go`) {
+		t.Fatalf("build info missing:\n%s", text)
+	}
+	if err := LintPrometheus(strings.NewReader(text)); err != nil {
+		t.Fatalf("lint: %v", err)
+	}
+	if BuildString() == "" {
+		t.Fatal("empty build string")
+	}
+}

@@ -32,22 +32,31 @@ type Arg struct {
 	Value int64  `json:"value"`
 }
 
-// maxArgs is the per-event argument capacity. Two covers every current
-// call site (e.g. groups+lanes, rerouted+dropped); raising it is a
-// wire-compatible change.
-const maxArgs = 2
+// maxArgs is the per-event argument capacity. Three covers every
+// current call site (e.g. step+cost_laneops, rerouted+dropped); raising
+// it is a wire-compatible change.
+const maxArgs = 3
 
 // Event is one completed span: a named interval relative to the owning
 // Tracer's epoch. TID groups events onto the same track in trace
 // viewers; events recorded together via RecordBatch share a TID so
 // viewers nest them by containment.
+//
+// Trace/Span/Parent carry the distributed trace identity (see
+// tracectx.go): Trace is the request's 16-byte ID, Span this span's
+// process-unique ID (0 for anonymous leaf spans), Parent the span ID
+// this one nests under. Events recorded while the tracer has an
+// ambient context (SetAmbient) inherit Trace and Parent automatically.
 type Event struct {
-	Name string        `json:"name"`
-	Cat  string        `json:"cat"`
-	TS   time.Duration `json:"ts_ns"`
-	Dur  time.Duration `json:"dur_ns"`
-	TID  int32         `json:"tid"`
-	Args [maxArgs]Arg  `json:"args"`
+	Name   string        `json:"name"`
+	Cat    string        `json:"cat"`
+	TS     time.Duration `json:"ts_ns"`
+	Dur    time.Duration `json:"dur_ns"`
+	TID    int32         `json:"tid"`
+	Trace  TraceID       `json:"trace,omitzero"`
+	Span   uint64        `json:"span,omitempty"`
+	Parent uint64        `json:"parent,omitempty"`
+	Args   [maxArgs]Arg  `json:"args"`
 }
 
 // SetArg attaches an integer argument, filling the first free slot.
@@ -95,6 +104,8 @@ type Tracer struct {
 	enabled atomic.Bool
 	next    atomic.Uint32
 	mask    uint32
+	ambient atomic.Pointer[TraceContext]
+	process atomic.Pointer[string]
 	shards  []shard
 }
 
@@ -131,7 +142,73 @@ func (t *Tracer) SetEnabled(on bool) {
 }
 
 // Enabled reports whether recording is on. False for a nil Tracer.
+//
+//esthera:hotpath noalloc
 func (t *Tracer) Enabled() bool { return t != nil && t.enabled.Load() }
+
+// SetProcess names the process owning this tracer (router name, shard
+// name). The name rides in the raw trace export so esthera-trace merge
+// can put each process on its own track.
+func (t *Tracer) SetProcess(name string) {
+	if t != nil {
+		t.process.Store(&name)
+	}
+}
+
+// Process returns the name set by SetProcess, or "".
+func (t *Tracer) Process() string {
+	if t == nil {
+		return ""
+	}
+	if p := t.process.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
+// EpochUnixNano is the wall-clock instant event timestamps are relative
+// to; merge tooling uses it (plus the transport's clock-offset
+// estimate) to align traces from different processes.
+func (t *Tracer) EpochUnixNano() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.epoch.UnixNano()
+}
+
+// SetAmbient installs a trace context inherited by every event recorded
+// until ClearAmbient: events with a zero Trace get the ambient trace ID
+// and, when they carry no explicit parent, the ambient span as parent.
+// The serving scheduler brackets each batched kernel round with this so
+// device/kernel spans land on the driving request's trace.
+func (t *Tracer) SetAmbient(tc TraceContext) {
+	if t != nil {
+		t.ambient.Store(&tc)
+	}
+}
+
+// ClearAmbient removes the ambient trace context.
+func (t *Tracer) ClearAmbient() {
+	if t != nil {
+		t.ambient.Store(nil)
+	}
+}
+
+// stamp applies the ambient trace context to an event that carries no
+// explicit trace.
+//
+//esthera:hotpath noalloc
+func (t *Tracer) stamp(ev *Event) {
+	if !ev.Trace.IsZero() {
+		return
+	}
+	if amb := t.ambient.Load(); amb != nil {
+		ev.Trace = amb.Trace
+		if ev.Parent == 0 {
+			ev.Parent = amb.Span
+		}
+	}
+}
 
 // Stamp converts an absolute time into this tracer's epoch-relative
 // timestamp, for call sites that already measured their own interval.
@@ -144,10 +221,13 @@ func (t *Tracer) Stamp(at time.Time) time.Duration {
 
 // Record appends one pre-measured event. No-op when nil or disabled;
 // never allocates.
+//
+//esthera:hotpath noalloc
 func (t *Tracer) Record(ev Event) {
 	if !t.Enabled() {
 		return
 	}
+	t.stamp(&ev)
 	sh := &t.shards[t.next.Add(1)&t.mask]
 	sh.mu.Lock()
 	sh.put(ev)
@@ -164,6 +244,7 @@ func (t *Tracer) RecordBatch(evs []Event) {
 	sh := &t.shards[t.next.Add(1)&t.mask]
 	sh.mu.Lock()
 	for _, ev := range evs {
+		t.stamp(&ev)
 		sh.put(ev)
 	}
 	sh.mu.Unlock()
@@ -239,6 +320,8 @@ type Span struct {
 
 // Begin opens a span. When the tracer is nil or disabled this returns
 // the zero Span without reading the clock.
+//
+//esthera:hotpath noalloc
 func (t *Tracer) Begin(cat, name string) Span {
 	if !t.Enabled() {
 		return Span{}
@@ -247,6 +330,8 @@ func (t *Tracer) Begin(cat, name string) Span {
 }
 
 // Arg attaches an integer argument and returns the span for chaining.
+//
+//esthera:hotpath noalloc
 func (s Span) Arg(name string, v int64) Span {
 	if s.tr != nil {
 		s.ev.SetArg(name, v)
@@ -254,7 +339,22 @@ func (s Span) Arg(name string, v int64) Span {
 	return s
 }
 
+// WithTrace stamps the span with an explicit trace identity: the
+// request's trace ID, this span's own ID (mint with NewSpanID), and the
+// parent span it nests under. Spans without an explicit identity
+// inherit the tracer's ambient context at Record time.
+//
+//esthera:hotpath noalloc
+func (s Span) WithTrace(trace TraceID, span, parent uint64) Span {
+	if s.tr != nil {
+		s.ev.Trace, s.ev.Span, s.ev.Parent = trace, span, parent
+	}
+	return s
+}
+
 // End closes and records the span.
+//
+//esthera:hotpath noalloc
 func (s Span) End() {
 	if s.tr == nil {
 		return

@@ -34,16 +34,33 @@ echo "chaos: building binaries" >&2
 go build -o "$TMP/esthera-serve" ./cmd/esthera-serve
 go build -o "$TMP/esthera-router" ./cmd/esthera-router
 go build -o "$TMP/esthera-swarm" ./cmd/esthera-swarm
+go build -o "$TMP/esthera-trace" ./cmd/esthera-trace
 
 # start_replica <index>: HTTP on PORT+i, shard transport on PORT+10+i.
 # Prints the replica pid; logs append so a restart keeps history.
+# Tracing is on so the post-run merge can assert span continuity.
 start_replica() {
 	"$TMP/esthera-serve" \
 		-addr "127.0.0.1:$((PORT + $1))" \
 		-shard-addr "127.0.0.1:$((PORT + 10 + $1))" \
-		-shard-name "r$1" \
+		-shard-name "r$1" -trace \
 		>>"$TMP/replica$1.log" 2>&1 &
 	echo $!
+}
+
+# fetch_traces <tag>: drain every process's span ring into
+# trace_<proc>_<tag>.json. Drains are periodic (GET /trace empties the
+# ring) so a long run cannot overflow spans recorded early — the
+# failover spans from the kill land in the first drain. A dead or
+# freshly restarted process is tolerated here; empty drains are
+# filtered out before the merge.
+fetch_traces() {
+	"$TMP/esthera-trace" fetch -out "$TMP/trace_router_$1.json" \
+		"http://127.0.0.1:$PORT/trace?format=raw" 2>/dev/null || true
+	for i in 1 2 3; do
+		"$TMP/esthera-trace" fetch -out "$TMP/trace_r${i}_$1.json" \
+			"http://127.0.0.1:$((PORT + i))/trace?format=raw" 2>/dev/null || true
+	done
 }
 
 R1="$(start_replica 1)"
@@ -59,10 +76,26 @@ SPEC="$SPEC,r3|http://127.0.0.1:$((PORT + 3))|127.0.0.1:$((PORT + 13))"
 	-addr "127.0.0.1:$PORT" \
 	-shards "$SPEC" \
 	-probe 100ms -fail-after 2 -retry-hint 25ms \
-	-snapshot 500ms -rebalance-threshold 3 \
+	-snapshot 500ms -rebalance-threshold 3 -trace \
 	>"$TMP/router.log" 2>&1 &
 ROUTER=$!
 PIDS="$PIDS $ROUTER"
+
+# Periodic trace drains for the whole run: the span rings are
+# fixed-capacity and swarm load overwrites them in a couple of seconds,
+# so a single post-run drain would have lost the failover spans from
+# the kill. Draining every second bounds any span's time-at-risk to
+# one interval; same-named files land on the same merged track.
+(
+	n=0
+	while :; do
+		sleep 1
+		n=$((n + 1))
+		fetch_traces "p$n"
+	done
+) &
+POLLER=$!
+PIDS="$PIDS $POLLER"
 
 echo "chaos: starting swarm ($SESSIONS sessions, $DURATION)" >&2
 "$TMP/esthera-swarm" \
@@ -94,4 +127,38 @@ if [ "$STATUS" -ne 0 ]; then
 	tail -40 "$TMP/router.log" >&2 || true
 	exit "$STATUS"
 fi
-echo "chaos: ok — replica death cost retries, not errors" >&2
+
+# Post-chaos trace merge: stop the poller, final drain, clock offsets
+# from the router's ping estimator, then align every per-process trace
+# onto one timeline.
+kill "$POLLER" 2>/dev/null || true
+# -require-cross fails the merge unless at least one trace ID observed
+# in two or more processes traverses the failover path — proof that the
+# killed replica's sessions kept their trace identity across the hop.
+fetch_traces end
+curl -sf "http://127.0.0.1:$PORT/v1/shards" >"$TMP/shards.json" ||
+	wget -qO "$TMP/shards.json" "http://127.0.0.1:$PORT/v1/shards"
+
+TRACES=""
+for f in "$TMP"/trace_*.json; do
+	[ -f "$f" ] || continue
+	# Skip empty drains (a freshly restarted replica's ring starts empty).
+	grep -q '"events":\[{' "$f" && TRACES="$TRACES $f"
+done
+if [ -z "$TRACES" ]; then
+	echo "chaos: FAIL — no non-empty trace drains collected" >&2
+	exit 1
+fi
+# shellcheck disable=SC2086 # TRACES is a space-separated file list
+if ! "$TMP/esthera-trace" merge -out "$TMP/merged_trace.json" \
+	-shards "$TMP/shards.json" -require-cross failover.place $TRACES >&2; then
+	echo "chaos: FAIL — merged trace missing a cross-process failover trace" >&2
+	exit 1
+fi
+# The merged artifact must itself be a parseable trace.
+if ! "$TMP/esthera-trace" summary -in "$TMP/merged_trace.json" >&2; then
+	echo "chaos: FAIL — merged trace does not parse" >&2
+	exit 1
+fi
+
+echo "chaos: ok — replica death cost retries, not errors; failover kept trace continuity" >&2

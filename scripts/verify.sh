@@ -13,11 +13,12 @@ go vet ./...
 go run ./cmd/esthera-vet -list
 # -require makes the sweep fail loudly if a module-path change ever
 # silently drops a load-bearing package from ./... coverage: telemetry
-# (leaf package every hot path calls into), shard (framed wire structs
-# under checkpointcompat), the //esthera:hotpath-annotated numeric core
-# (kernels/sortnet/scan/rng/model under noalloc+bce, model under
-# draworder), and serve (lockorder).
-go run ./cmd/esthera-vet -require esthera/internal/telemetry,esthera/internal/shard,esthera/internal/kernels,esthera/internal/sortnet,esthera/internal/scan,esthera/internal/rng,esthera/internal/model,esthera/internal/model/arm,esthera/internal/serve ./...
+# and telemetry/log (leaf packages every hot path calls into, both under
+# the noalloc ratchet for their disabled-path helpers), shard (framed
+# wire structs under checkpointcompat), the //esthera:hotpath-annotated
+# numeric core (kernels/sortnet/scan/rng/model under noalloc+bce, model
+# under draworder), and serve (lockorder).
+go run ./cmd/esthera-vet -require esthera/internal/telemetry,esthera/internal/telemetry/log,esthera/internal/shard,esthera/internal/kernels,esthera/internal/sortnet,esthera/internal/scan,esthera/internal/rng,esthera/internal/model,esthera/internal/model/arm,esthera/internal/serve ./...
 go test ./...
 go test -race ./...
 # The vectorized lane kernels and the branchless sort/search paths are
